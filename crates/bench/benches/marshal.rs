@@ -1,0 +1,48 @@
+//! Table 1 / Figure 6-1/2/5 — real wall-clock client marshaling:
+//! generic layered path vs compiled specialized stubs, per array size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use specrpc::echo::{build_echo_proc, generic_encode_request, workload};
+use specrpc_tempo::compile::{run_encode, StubArgs};
+use specrpc_xdr::mem::XdrMem;
+use specrpc_xdr::OpCounts;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_marshal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marshal");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for n in [20usize, 250, 2000] {
+        group.throughput(Throughput::Bytes((4 * n) as u64));
+
+        let mut data = workload(n);
+        let mut enc = XdrMem::encoder(1 << 20);
+        group.bench_with_input(BenchmarkId::new("generic", n), &n, |b, _| {
+            b.iter(|| {
+                let len = generic_encode_request(&mut enc, 0x42, &mut data).unwrap();
+                black_box(len)
+            })
+        });
+
+        let proc_ = build_echo_proc(n, None).expect("pipeline");
+        let args = StubArgs::new(vec![0x42], vec![workload(n)]);
+        let mut buf = vec![0u8; proc_.client_encode.wire_len];
+        let mut counts = OpCounts::new();
+        group.bench_with_input(BenchmarkId::new("specialized", n), &n, |b, _| {
+            b.iter(|| {
+                let out =
+                    run_encode(&proc_.client_encode.program, &mut buf, &args, &mut counts)
+                        .unwrap();
+                black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_marshal);
+criterion_main!(benches);

@@ -1,0 +1,402 @@
+//! The transport-facing specialized client and server.
+//!
+//! The specialized path replaces header + argument marshaling with
+//! compiled residual stubs but keeps the protocol machinery (xid
+//! allocation, retransmission, reply matching) — specialization removes
+//! interpretation, not the protocol. Every dynamic guard failure falls
+//! back to the generic path, preserving the original semantics (§6.2).
+
+use crate::pipeline::CompiledProc;
+use specrpc_rpc::error::RpcError;
+use specrpc_rpc::msg::ReplyHeader;
+use specrpc_rpc::svc::SvcRegistry;
+use specrpc_rpc::ClntUdp;
+use specrpc_rpcgen::sunlib::{call_fields, reply_fields};
+use specrpc_tempo::compile::{run_decode, run_encode, Outcome, StubArgs};
+use specrpc_xdr::mem::XdrMem;
+use specrpc_xdr::{OpCounts, XdrResult, XdrStream};
+use std::rc::Rc;
+
+/// Which path served a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathUsed {
+    /// The compiled specialized stubs.
+    Fast,
+    /// The generic micro-layer path (guard fallback).
+    GenericFallback,
+}
+
+/// A specialized RPC client for one procedure: compiled stubs over the
+/// shared UDP transaction layer, with a generic decoder fallback.
+pub struct FastClient {
+    clnt: ClntUdp,
+    proc_: Rc<CompiledProc>,
+    /// Stub-op and byte counts from specialized marshaling.
+    pub counts: OpCounts,
+    /// Calls served by the fast path.
+    pub fast_calls: u64,
+    /// Calls that fell back to the generic decoder.
+    pub fallback_calls: u64,
+}
+
+impl FastClient {
+    /// Wrap a transport client with compiled stubs.
+    pub fn new(clnt: ClntUdp, proc_: Rc<CompiledProc>) -> Self {
+        FastClient {
+            clnt,
+            proc_,
+            counts: OpCounts::new(),
+            fast_calls: 0,
+            fallback_calls: 0,
+        }
+    }
+
+    /// Access the underlying transport client (timeout tuning).
+    pub fn transport_mut(&mut self) -> &mut ClntUdp {
+        &mut self.clnt
+    }
+
+    /// Perform the call: `args` carries the user argument slots (scalars
+    /// *after* the xid slot 0, arrays from 0) — build it with
+    /// [`FastClient::args`]. Returns the result slots and which path
+    /// decoded the reply.
+    pub fn call(&mut self, args: &StubArgs) -> Result<(StubArgs, PathUsed), RpcError> {
+        let xid = self.clnt.next_xid();
+        let mut request = vec![0u8; self.proc_.client_encode.wire_len];
+        let mut full_args = args.clone();
+        full_args.scalars[0] = xid as i32;
+        run_encode(
+            &self.proc_.client_encode.program,
+            &mut request,
+            &full_args,
+            &mut self.counts,
+        )
+        .map_err(|e| RpcError::Transport(e.to_string()))?;
+
+        let reply = self.clnt.exchange(request, xid)?;
+
+        // Specialized decode with generic fallback.
+        let dec = &self.proc_.client_decode;
+        let mut out = StubArgs::new(
+            vec![0; dec.layout.scalar_count as usize],
+            vec![Vec::new(); dec.layout.array_count as usize],
+        );
+        match run_decode(&dec.program, &reply, &mut out, reply.len(), &mut self.counts) {
+            Ok(Outcome::Done { ret: 1, .. }) => {
+                self.fast_calls += 1;
+                Ok((out, PathUsed::Fast))
+            }
+            Ok(Outcome::Done { .. }) | Ok(Outcome::Fallback) => {
+                self.fallback_calls += 1;
+                let out = self.decode_generic(&reply)?;
+                Ok((out, PathUsed::GenericFallback))
+            }
+            Err(e) => Err(RpcError::Transport(e.to_string())),
+        }
+    }
+
+    /// Build the argument [`StubArgs`] with the xid slot reserved.
+    pub fn args(&self, scalars: Vec<i32>, arrays: Vec<Vec<i32>>) -> StubArgs {
+        let mut all = Vec::with_capacity(scalars.len() + 1);
+        all.push(0); // xid slot
+        all.extend(scalars);
+        StubArgs::new(all, arrays)
+    }
+
+    /// The generic reply path (§6.2 `else` branch): full header
+    /// validation and layered decoding.
+    fn decode_generic(&mut self, reply: &[u8]) -> Result<StubArgs, RpcError> {
+        let mut dec = XdrMem::decoder(reply);
+        let hdr = ReplyHeader::decode(&mut dec)?;
+        if let Some(err) = hdr.to_error() {
+            return Err(err);
+        }
+        let decp = &self.proc_.client_decode;
+        let mut out = StubArgs::new(
+            vec![0; decp.layout.scalar_count as usize],
+            vec![Vec::new(); decp.layout.array_count as usize],
+        );
+        decode_shape_generic(
+            &mut dec,
+            &self.proc_.res_shape,
+            &decp.layout,
+            reply_fields::COUNT as u16,
+            &mut out,
+        )?;
+        self.clnt.counts += *dec.counts();
+        Ok(out)
+    }
+}
+
+/// Decode a message shape through the generic micro-layers into StubArgs
+/// slots (shared by client fallback and server fallback).
+pub fn decode_shape_generic(
+    xdrs: &mut dyn XdrStream,
+    shape: &specrpc_rpcgen::stubgen::MsgShape,
+    layout: &specrpc_rpcgen::stubgen::ShapeLayout,
+    scalar_base: u16,
+    out: &mut StubArgs,
+) -> XdrResult {
+    use specrpc_rpcgen::stubgen::FieldShape;
+    let mut s = scalar_base as usize;
+    let mut a = 0usize;
+    for f in &shape.fields {
+        match f {
+            FieldShape::Scalar { .. } => {
+                specrpc_xdr::primitives::xdr_int(xdrs, &mut out.scalars[s])?;
+                s += 1;
+            }
+            FieldShape::VarIntArray { max, .. } => {
+                specrpc_xdr::composite::xdr_array(
+                    xdrs,
+                    &mut out.arrays[a],
+                    (*max).min(u32::MAX as usize),
+                    specrpc_xdr::primitives::xdr_int,
+                )?;
+                a += 1;
+            }
+            FieldShape::FixedIntArray { len, .. } => {
+                out.arrays[a].clear();
+                out.arrays[a].resize(*len, 0);
+                let arr = &mut out.arrays[a];
+                specrpc_xdr::composite::xdr_vector(
+                    xdrs,
+                    arr.as_mut_slice(),
+                    specrpc_xdr::primitives::xdr_int,
+                )?;
+                a += 1;
+            }
+        }
+    }
+    let _ = layout;
+    Ok(())
+}
+
+/// Encode a message shape through the generic micro-layers from StubArgs
+/// slots.
+pub fn encode_shape_generic(
+    xdrs: &mut dyn XdrStream,
+    shape: &specrpc_rpcgen::stubgen::MsgShape,
+    scalar_base: u16,
+    args: &mut StubArgs,
+) -> XdrResult {
+    use specrpc_rpcgen::stubgen::FieldShape;
+    let mut s = scalar_base as usize;
+    let mut a = 0usize;
+    for f in &shape.fields {
+        match f {
+            FieldShape::Scalar { .. } => {
+                specrpc_xdr::primitives::xdr_int(xdrs, &mut args.scalars[s])?;
+                s += 1;
+            }
+            FieldShape::VarIntArray { max, .. } => {
+                specrpc_xdr::composite::xdr_array(
+                    xdrs,
+                    &mut args.arrays[a],
+                    (*max).min(u32::MAX as usize),
+                    specrpc_xdr::primitives::xdr_int,
+                )?;
+                a += 1;
+            }
+            FieldShape::FixedIntArray { .. } => {
+                specrpc_xdr::composite::xdr_vector(
+                    xdrs,
+                    args.arrays[a].as_mut_slice(),
+                    specrpc_xdr::primitives::xdr_int,
+                )?;
+                a += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A user service function for the fast server: argument slots in,
+/// result slots out.
+pub type FastHandler = Rc<dyn Fn(&StubArgs) -> StubArgs>;
+
+/// The specialized server: installs a raw fast-path handler (compiled
+/// decode → user function → compiled encode) and a generic handler for
+/// fallback, on the same registry.
+pub struct FastServer;
+
+impl FastServer {
+    /// Install `handler` for `proc_`'s procedure, both fast and generic.
+    pub fn install(registry: &mut SvcRegistry, proc_: Rc<CompiledProc>, handler: FastHandler) {
+        let (prog, vers, pnum) = proc_.target;
+
+        // Fast path.
+        let p = proc_.clone();
+        let h = handler.clone();
+        registry.register_raw(
+            prog,
+            vers,
+            pnum,
+            Box::new(move |request: &[u8]| {
+                let dec = &p.server_decode;
+                let mut counts = OpCounts::new();
+                let mut args = StubArgs::new(
+                    vec![0; dec.layout.scalar_count as usize],
+                    vec![Vec::new(); dec.layout.array_count as usize],
+                );
+                match run_decode(&dec.program, request, &mut args, request.len(), &mut counts) {
+                    Ok(Outcome::Done { ret: 1, .. }) => {}
+                    _ => return None, // guard failed → generic path
+                }
+                let xid = args.scalars[call_fields::XID];
+                let results = h(&args);
+                let enc = &p.server_encode;
+                let mut full = results;
+                // Reply stub scalar slot 0 is the xid.
+                full.scalars.insert(0, xid);
+                let mut reply = vec![0u8; enc.wire_len];
+                match run_encode(&enc.program, &mut reply, &full, &mut counts) {
+                    Ok(Outcome::Done { ret: 1, .. }) => Some(reply),
+                    _ => None,
+                }
+            }),
+        );
+
+        // Generic path (also serves guard fallbacks).
+        let p = proc_;
+        let h = handler;
+        registry.register(
+            prog,
+            vers,
+            pnum,
+            Box::new(move |args_x, results_x| {
+                let dec = &p.server_decode;
+                let mut args = StubArgs::new(
+                    vec![0; dec.layout.scalar_count as usize],
+                    vec![Vec::new(); dec.layout.array_count as usize],
+                );
+                decode_shape_generic(
+                    args_x,
+                    &p.arg_shape,
+                    &dec.layout,
+                    call_fields::COUNT as u16,
+                    &mut args,
+                )
+                .map_err(RpcError::from)?;
+                let mut results = h(&args);
+                // Generic results have no xid scratch; encode from slot 0.
+                encode_shape_generic(results_x, &p.res_shape, 0, &mut results)
+                    .map_err(RpcError::from)?;
+                Ok(())
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::ProcPipeline;
+    use specrpc_netsim::net::{Network, NetworkConfig};
+    use specrpc_rpc::svc_udp::serve_udp;
+    use std::cell::RefCell;
+
+    const IDL: &str = r#"
+        const MAXARR = 2000;
+        struct int_arr { int arr<MAXARR>; };
+        program ARRAYPROG {
+            version ARRAYVERS { int_arr ECHO(int_arr) = 1; } = 1;
+        } = 0x20000101;
+    "#;
+
+    fn setup(n: usize) -> (Network, FastClient, Rc<RefCell<SvcRegistry>>) {
+        let cp = Rc::new(ProcPipeline::new(n).build_from_idl(IDL, None, 1).unwrap());
+        let net = Network::new(NetworkConfig::lan(), 7);
+        let mut reg = SvcRegistry::new();
+        let handler: FastHandler = Rc::new(|args: &StubArgs| {
+            // Echo with doubling so we can see the server ran.
+            let doubled: Vec<i32> = args.arrays[0].iter().map(|v| v * 2).collect();
+            StubArgs::new(vec![], vec![doubled])
+        });
+        FastServer::install(&mut reg, cp.clone(), handler);
+        let reg = Rc::new(RefCell::new(reg));
+        serve_udp(&net, 800, reg.clone(), None);
+        let clnt = ClntUdp::create(&net, 5100, 800, 0x2000_0101, 1);
+        (net, FastClient::new(clnt, cp), reg)
+    }
+
+    #[test]
+    fn fast_call_round_trips() {
+        let (_net, mut client, reg) = setup(10);
+        let data: Vec<i32> = (0..10).collect();
+        let args = client.args(vec![], vec![data.clone()]);
+        let (out, path) = client.call(&args).unwrap();
+        assert_eq!(path, PathUsed::Fast);
+        let want: Vec<i32> = data.iter().map(|v| v * 2).collect();
+        assert_eq!(out.arrays[0], want);
+        assert_eq!(reg.borrow().raw_dispatches, 1);
+        assert_eq!(reg.borrow().generic_dispatches, 0);
+        assert!(client.counts.stub_ops > 0);
+    }
+
+    #[test]
+    fn generic_client_triggers_server_guard_fallback() {
+        // The server is specialized for 10 elements. A *generic* client
+        // sends 7: the server's inlen guard fails, the generic dispatch
+        // answers, and semantics are preserved (§6.2 else branch).
+        let (net, _fast_client, reg) = setup(10);
+        let mut generic = ClntUdp::create(&net, 5200, 800, 0x2000_0101, 1);
+        let mut out: Vec<i32> = Vec::new();
+        generic
+            .call(
+                1,
+                &mut |x| {
+                    let mut v: Vec<i32> = (0..7).collect();
+                    specrpc_xdr::composite::xdr_array(
+                        x,
+                        &mut v,
+                        2000,
+                        specrpc_xdr::primitives::xdr_int,
+                    )
+                },
+                &mut |x| {
+                    specrpc_xdr::composite::xdr_array(
+                        x,
+                        &mut out,
+                        2000,
+                        specrpc_xdr::primitives::xdr_int,
+                    )
+                },
+            )
+            .unwrap();
+        let want: Vec<i32> = (0..7).map(|v| v * 2).collect();
+        assert_eq!(out, want);
+        assert_eq!(reg.borrow().raw_fallbacks, 1);
+        assert_eq!(reg.borrow().generic_dispatches, 1);
+    }
+
+    #[test]
+    fn error_reply_reaches_client_through_fallback() {
+        // Call a procedure number the server does not implement via the
+        // fast client: the ProcUnavail reply fails the reply guard, the
+        // generic decoder runs and surfaces the proper error.
+        let cp10 = Rc::new(ProcPipeline::new(1).build_from_idl(IDL, None, 1).unwrap());
+        let net = Network::new(NetworkConfig::lan(), 9);
+        let reg = Rc::new(RefCell::new(SvcRegistry::new()));
+        // Program registered with no procedures beyond NULL.
+        reg.borrow_mut().register(0x2000_0101, 1, 0, Box::new(|_, _| Ok(())));
+        serve_udp(&net, 801, reg, None);
+        let clnt = ClntUdp::create(&net, 5300, 801, 0x2000_0101, 1);
+        let mut client = FastClient::new(clnt, cp10);
+        let args = client.args(vec![], vec![vec![42]]);
+        let err = client.call(&args).unwrap_err();
+        assert_eq!(err, RpcError::ProcUnavail);
+        assert_eq!(client.fallback_calls, 1);
+    }
+
+    #[test]
+    fn wrong_wire_size_from_client_side() {
+        // Encode stub wire length is fixed per context; sending a
+        // different count than the pinned length is a caller error the
+        // stub detects as BadElem (too few) — the API requires matching
+        // the context, mirroring per-size specialized binaries (Table 3).
+        let (_net, mut client, _reg) = setup(10);
+        let args = client.args(vec![], vec![vec![1, 2, 3]]);
+        assert!(client.call(&args).is_err());
+    }
+}

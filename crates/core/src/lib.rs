@@ -1,0 +1,27 @@
+//! `specrpc` — the end-to-end facade of the reproduction.
+//!
+//! Everything the paper's experiment does, behind one API:
+//!
+//! 1. parse an RPC interface definition (`specrpc-rpcgen`),
+//! 2. generate the generic marshaling stubs in the Sun micro-layer style,
+//! 3. run the Tempo pipeline (`specrpc-tempo`): binding-time division,
+//!    specialization against the statically known call context, residual
+//!    clean-up, compilation to flat stub programs,
+//! 4. wire the result into the RPC runtime (`specrpc-rpc`) over the
+//!    simulated network (`specrpc-netsim`), with automatic fallback to the
+//!    generic path when a dynamic guard fails (§6.2 of the paper).
+//!
+//! The [`echo`] module packages the paper's benchmark workload (a remote
+//! procedure exchanging integer arrays, §5 "The test program"); [`fast`]
+//! has the transport-facing specialized client/server; [`pipeline`] the
+//! IDL-to-stub driver; [`summary`] maps specializer statistics onto the
+//! paper's §3 categories.
+
+pub mod echo;
+pub mod fast;
+pub mod pipeline;
+pub mod summary;
+
+pub use fast::{FastClient, FastServer, PathUsed};
+pub use pipeline::{CompiledProc, PipelineError, ProcPipeline};
+pub use summary::Summary;

@@ -1,0 +1,102 @@
+//! Mapping specializer statistics onto the paper's §3 categories.
+
+use specrpc_tempo::spec::SpecReport;
+
+/// What specialization eliminated, in the paper's vocabulary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// §3.1 — encode/decode dispatches eliminated (`x_op` switches in
+    /// `xdr_long` and the `XDR_PUTLONG`/`XDR_GETLONG` vtable selections).
+    pub dispatches_eliminated: u64,
+    /// §3.2 — buffer-overflow checks eliminated (`x_handy` tests in
+    /// `xdrmem_putlong`/`xdrmem_getlong`).
+    pub overflow_checks_eliminated: u64,
+    /// §3.3 — exit-status tests folded via static returns (the
+    /// `if (!xdr_…) return FALSE` chains in stubs and header marshalers).
+    pub status_tests_folded: u64,
+    /// Micro-layer calls unfolded (inlined) into the residual.
+    pub calls_unfolded: u64,
+    /// Loop iterations unrolled.
+    pub loop_iters_unrolled: u64,
+    /// Dynamic guards kept in the residual (reply validation, §6.2
+    /// `inlen`).
+    pub dynamic_guards: u64,
+    /// Residual statement count.
+    pub residual_stmts: usize,
+}
+
+impl Summary {
+    /// Classify a raw report.
+    pub fn from_report(r: &SpecReport) -> Summary {
+        let dispatches = r.folds_in("xdr_long")
+            + r.folds_in("XDR_PUTLONG")
+            + r.folds_in("XDR_GETLONG");
+        let overflow = r.folds_in("xdrmem_putlong") + r.folds_in("xdrmem_getlong");
+        let status = r.static_ifs_folded - dispatches - overflow;
+        Summary {
+            dispatches_eliminated: dispatches,
+            overflow_checks_eliminated: overflow,
+            status_tests_folded: status,
+            calls_unfolded: r.calls_unfolded,
+            loop_iters_unrolled: r.loop_iters_unrolled,
+            dynamic_guards: r.dynamic_ifs_residualized,
+            residual_stmts: r.residual_stmts,
+        }
+    }
+
+    /// Render as the report block examples print.
+    pub fn render(&self) -> String {
+        format!(
+            "  §3.1 dispatches eliminated:     {}\n\
+             \u{20} §3.2 overflow checks removed:   {}\n\
+             \u{20} §3.3 status tests folded:       {}\n\
+             \u{20} calls unfolded (inlined):       {}\n\
+             \u{20} loop iterations unrolled:       {}\n\
+             \u{20} dynamic guards kept (§3.4):     {}\n\
+             \u{20} residual statements:            {}",
+            self.dispatches_eliminated,
+            self.overflow_checks_eliminated,
+            self.status_tests_folded,
+            self.calls_unfolded,
+            self.loop_iters_unrolled,
+            self.dynamic_guards,
+            self.residual_stmts,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::echo::build_echo_proc;
+
+    #[test]
+    fn echo_encode_summary_has_all_categories() {
+        let n = 100;
+        let proc_ = build_echo_proc(n, None).unwrap();
+        let s = Summary::from_report(&proc_.client_encode.report);
+        // One dispatch chain per element plus the ten header words.
+        assert!(s.dispatches_eliminated >= (n as u64) * 2, "{s:?}");
+        assert!(s.overflow_checks_eliminated >= n as u64 + 10, "{s:?}");
+        assert!(s.status_tests_folded >= n as u64, "{s:?}");
+        assert!(s.calls_unfolded >= (n as u64) * 4, "{s:?}");
+        assert_eq!(s.loop_iters_unrolled, n as u64);
+        assert_eq!(s.dynamic_guards, 0, "encode side has no dynamic guards");
+    }
+
+    #[test]
+    fn echo_decode_summary_keeps_guards() {
+        let proc_ = build_echo_proc(10, None).unwrap();
+        let s = Summary::from_report(&proc_.client_decode.report);
+        // inlen guard + mtype/stat/verf/astat checks + array length guard.
+        assert!(s.dynamic_guards >= 5, "{s:?}");
+    }
+
+    #[test]
+    fn render_mentions_sections() {
+        let s = Summary { dispatches_eliminated: 7, ..Default::default() };
+        let text = s.render();
+        assert!(text.contains("§3.1"));
+        assert!(text.contains('7'));
+    }
+}

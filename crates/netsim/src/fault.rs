@@ -1,0 +1,150 @@
+//! Fault injection for the simulated network.
+//!
+//! UDP in the real Sun RPC deployment loses, duplicates and reorders
+//! datagrams; the client's retransmission logic (`clntudp_call`) exists
+//! because of it. The simulator reproduces those conditions
+//! deterministically from a seed so failure-path tests are repeatable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Probabilities of datagram mishaps (applied to UDP only; the TCP model
+/// is a reliable byte pipe, as the paper's transport layering assumes).
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability a datagram is silently dropped.
+    pub loss: f64,
+    /// Probability a datagram is delivered twice.
+    pub duplicate: f64,
+    /// Probability a datagram is delayed enough to arrive after its
+    /// successors.
+    pub reorder: f64,
+}
+
+impl FaultConfig {
+    /// No faults (the default).
+    pub const NONE: FaultConfig = FaultConfig {
+        loss: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+    };
+
+    /// A moderately lossy link for failure-injection tests.
+    pub const LOSSY: FaultConfig = FaultConfig {
+        loss: 0.2,
+        duplicate: 0.1,
+        reorder: 0.2,
+    };
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::NONE
+    }
+}
+
+/// The seeded fault decision stream.
+#[derive(Debug)]
+pub struct FaultState {
+    cfg: FaultConfig,
+    rng: StdRng,
+}
+
+/// What should happen to one datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver normally.
+    Deliver,
+    /// Drop silently.
+    Drop,
+    /// Deliver twice.
+    Duplicate,
+    /// Deliver late (after extra delay).
+    Delay,
+}
+
+impl FaultState {
+    /// New decision stream from a config and seed.
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        FaultState {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Decide the fate of the next datagram.
+    pub fn judge(&mut self) -> Verdict {
+        let x: f64 = self.rng.random();
+        if x < self.cfg.loss {
+            Verdict::Drop
+        } else if x < self.cfg.loss + self.cfg.duplicate {
+            Verdict::Duplicate
+        } else if x < self.cfg.loss + self.cfg.duplicate + self.cfg.reorder {
+            Verdict::Delay
+        } else {
+            Verdict::Deliver
+        }
+    }
+
+    /// Extra delay (in nanoseconds) for reordered datagrams.
+    pub fn delay_ns(&mut self) -> u64 {
+        self.rng.random_range(200_000..2_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_always_delivers() {
+        let mut f = FaultState::new(FaultConfig::NONE, 42);
+        for _ in 0..1000 {
+            assert_eq!(f.judge(), Verdict::Deliver);
+        }
+    }
+
+    #[test]
+    fn seeded_stream_is_deterministic() {
+        let mut a = FaultState::new(FaultConfig::LOSSY, 7);
+        let mut b = FaultState::new(FaultConfig::LOSSY, 7);
+        for _ in 0..500 {
+            assert_eq!(a.judge(), b.judge());
+        }
+    }
+
+    #[test]
+    fn lossy_config_produces_all_verdicts() {
+        let mut f = FaultState::new(FaultConfig::LOSSY, 1);
+        let mut seen = [false; 4];
+        for _ in 0..2000 {
+            match f.judge() {
+                Verdict::Deliver => seen[0] = true,
+                Verdict::Drop => seen[1] = true,
+                Verdict::Duplicate => seen[2] = true,
+                Verdict::Delay => seen[3] = true,
+            }
+        }
+        assert!(seen.iter().all(|s| *s), "{seen:?}");
+    }
+
+    #[test]
+    fn loss_rate_roughly_matches_config() {
+        let mut f = FaultState::new(
+            FaultConfig { loss: 0.3, duplicate: 0.0, reorder: 0.0 },
+            99,
+        );
+        let drops = (0..10_000).filter(|_| f.judge() == Verdict::Drop).count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn delay_in_declared_range() {
+        let mut f = FaultState::new(FaultConfig::LOSSY, 3);
+        for _ in 0..100 {
+            let d = f.delay_ns();
+            assert!((200_000..2_000_000).contains(&d));
+        }
+    }
+}

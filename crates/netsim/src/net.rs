@@ -1,0 +1,518 @@
+//! The event-driven virtual-time network core.
+//!
+//! A [`Network`] is a single-threaded discrete-event simulator: sends
+//! schedule delivery events at `now + latency + size/bandwidth`; the run
+//! loop pops events in time order, advancing the virtual clock. Servers
+//! are *handlers* — callbacks invoked when traffic reaches their address —
+//! while the test driver plays the client, blocking in
+//! [`Network::run_until`]-style waits that advance the clock.
+//!
+//! Determinism: all randomness (fault injection) is seeded, event ties are
+//! broken by sequence number, and no wall-clock time is consulted; two runs
+//! with the same seed produce byte- and time-identical traces.
+
+use crate::fault::{FaultConfig, FaultState, Verdict};
+use crate::time::SimTime;
+use std::cell::RefCell;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::rc::Rc;
+
+/// A network address (think UDP/TCP port; hosts are implicit — the paper's
+/// testbed is two machines on one link).
+pub type Addr = u16;
+
+/// Identifier of a bound client endpoint.
+pub type EndpointId = usize;
+
+/// Identifier of a TCP connection.
+pub type ConnId = usize;
+
+/// Link parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// One-way propagation + stack traversal latency.
+    pub latency: SimTime,
+    /// Serialization cost per payload byte.
+    pub ns_per_byte: u64,
+    /// Datagram fault model (UDP only).
+    pub faults: FaultConfig,
+}
+
+impl NetworkConfig {
+    /// A clean fast LAN (defaults suitable for tests).
+    pub fn lan() -> Self {
+        NetworkConfig {
+            latency: SimTime::from_micros(150),
+            ns_per_byte: 80, // ≈ 100 Mbit/s
+            faults: FaultConfig::NONE,
+        }
+    }
+
+    /// Same link with the given fault model.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// A datagram in flight or delivered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sender address.
+    pub from: Addr,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+enum Event {
+    UdpDeliver { to: Addr, dg: Datagram },
+    TcpDeliver { conn: ConnId, to_server: bool, bytes: Vec<u8> },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A UDP service handler: gets a request datagram, optionally returns a
+/// reply plus the simulated processing time spent producing it.
+pub type UdpHandler = Box<dyn FnMut(&[u8], Addr) -> Option<(Vec<u8>, SimTime)>>;
+
+/// Per-connection TCP service handler: gets newly arrived bytes, returns
+/// bytes to send back plus processing time (empty response is fine — the
+/// handler may be mid-record).
+pub trait TcpHandler {
+    /// Consume newly arrived bytes, produce output bytes and the simulated
+    /// processing time.
+    fn on_bytes(&mut self, bytes: &[u8]) -> (Vec<u8>, SimTime);
+}
+
+/// Factory producing one [`TcpHandler`] per accepted connection.
+pub type TcpHandlerFactory = Box<dyn FnMut() -> Box<dyn TcpHandler>>;
+
+struct ConnState {
+    client_rx: VecDeque<u8>,
+    server_handler: Option<Box<dyn TcpHandler>>,
+    /// Transmit-complete times per direction (to_server, to_client):
+    /// TCP is FIFO with cumulative serialization, so each send starts
+    /// after the previous one finished.
+    busy_until: [SimTime; 2],
+}
+
+struct NetInner {
+    now: SimTime,
+    seq: u64,
+    cfg: NetworkConfig,
+    faults: FaultState,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    /// Client mailboxes keyed by bound address.
+    mailboxes: HashMap<Addr, VecDeque<Datagram>>,
+    udp_handlers: HashMap<Addr, UdpHandler>,
+    tcp_listeners: HashMap<Addr, TcpHandlerFactory>,
+    conns: Vec<ConnState>,
+    /// Total payload bytes that crossed the link (for reports).
+    bytes_sent: u64,
+    datagrams_sent: u64,
+}
+
+/// Cloneable handle to a simulated network.
+#[derive(Clone)]
+pub struct Network {
+    inner: Rc<RefCell<NetInner>>,
+}
+
+impl Network {
+    /// A network with the given link parameters and fault seed.
+    pub fn new(cfg: NetworkConfig, seed: u64) -> Self {
+        Network {
+            inner: Rc::new(RefCell::new(NetInner {
+                now: SimTime::ZERO,
+                seq: 0,
+                faults: FaultState::new(cfg.faults, seed),
+                cfg,
+                queue: BinaryHeap::new(),
+                mailboxes: HashMap::new(),
+                udp_handlers: HashMap::new(),
+                tcp_listeners: HashMap::new(),
+                conns: Vec::new(),
+                bytes_sent: 0,
+                datagrams_sent: 0,
+            })),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().now
+    }
+
+    /// Total payload bytes sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.borrow().bytes_sent
+    }
+
+    /// Total datagrams sent so far.
+    pub fn datagrams_sent(&self) -> u64 {
+        self.inner.borrow().datagrams_sent
+    }
+
+    /// Bind a client UDP endpoint at `addr` (mailbox semantics).
+    pub fn bind_udp(&self, addr: Addr) -> Endpoint {
+        self.inner
+            .borrow_mut()
+            .mailboxes
+            .entry(addr)
+            .or_default();
+        Endpoint {
+            net: self.clone(),
+            addr,
+        }
+    }
+
+    /// Install a UDP service at `addr`.
+    pub fn serve_udp(&self, addr: Addr, handler: UdpHandler) {
+        self.inner.borrow_mut().udp_handlers.insert(addr, handler);
+    }
+
+    /// Install a TCP service (one handler per accepted connection).
+    pub fn serve_tcp(&self, addr: Addr, factory: TcpHandlerFactory) {
+        self.inner.borrow_mut().tcp_listeners.insert(addr, factory);
+    }
+
+    /// Open a TCP connection to a listening address.
+    pub fn connect_tcp(&self, addr: Addr) -> Option<crate::tcp::SimTcpStream> {
+        let handler = {
+            let mut inner = self.inner.borrow_mut();
+            let factory = inner.tcp_listeners.get_mut(&addr)?;
+            factory()
+        };
+        let conn = {
+            let mut inner = self.inner.borrow_mut();
+            inner.conns.push(ConnState {
+                client_rx: VecDeque::new(),
+                server_handler: Some(handler),
+                busy_until: [SimTime::ZERO; 2],
+            });
+            inner.conns.len() - 1
+        };
+        Some(crate::tcp::SimTcpStream::new(self.clone(), conn))
+    }
+
+    /// Send a datagram from `from` to `to` (applies the fault model).
+    pub fn send_udp(&self, from: Addr, to: Addr, payload: Vec<u8>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.bytes_sent += payload.len() as u64;
+        inner.datagrams_sent += 1;
+        let base = inner.now
+            + inner.cfg.latency
+            + SimTime::from_nanos(payload.len() as u64 * inner.cfg.ns_per_byte);
+        let verdict = inner.faults.judge();
+        let dg = Datagram { from, payload };
+        match verdict {
+            Verdict::Drop => {}
+            Verdict::Deliver => inner.schedule(base, Event::UdpDeliver { to, dg }),
+            Verdict::Duplicate => {
+                inner.schedule(base, Event::UdpDeliver { to, dg: dg.clone() });
+                let jitter = SimTime::from_nanos(inner.faults.delay_ns());
+                inner.schedule(base + jitter, Event::UdpDeliver { to, dg });
+            }
+            Verdict::Delay => {
+                let jitter = SimTime::from_nanos(inner.faults.delay_ns());
+                inner.schedule(base + jitter, Event::UdpDeliver { to, dg });
+            }
+        }
+    }
+
+    pub(crate) fn send_tcp(&self, conn: ConnId, to_server: bool, bytes: Vec<u8>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.bytes_sent += bytes.len() as u64;
+        let dir = usize::from(to_server);
+        let start = inner.now.max(inner.conns[conn].busy_until[dir]);
+        let tx_done = start + SimTime::from_nanos(bytes.len() as u64 * inner.cfg.ns_per_byte);
+        inner.conns[conn].busy_until[dir] = tx_done;
+        let at = tx_done + inner.cfg.latency;
+        inner.schedule(at, Event::TcpDeliver { conn, to_server, bytes });
+    }
+
+    pub(crate) fn conn_client_rx_take(&self, conn: ConnId, want: usize) -> Option<Vec<u8>> {
+        let mut inner = self.inner.borrow_mut();
+        let rx = &mut inner.conns[conn].client_rx;
+        if rx.len() < want {
+            return None;
+        }
+        Some(rx.drain(..want).collect())
+    }
+
+    /// Process events until `pred` holds or virtual time passes `deadline`.
+    /// Returns whether the predicate was satisfied.
+    pub fn run_until(&self, deadline: SimTime, mut pred: impl FnMut() -> bool) -> bool {
+        loop {
+            if pred() {
+                return true;
+            }
+            let next = {
+                let mut inner = self.inner.borrow_mut();
+                match inner.queue.peek() {
+                    Some(Reverse(s)) if s.at <= deadline => {
+                        let Reverse(s) = inner.queue.pop().expect("peeked");
+                        inner.now = s.at;
+                        Some(s.ev)
+                    }
+                    _ => None,
+                }
+            };
+            match next {
+                Some(ev) => self.dispatch(ev),
+                None => {
+                    // Nothing left before the deadline: advance the clock.
+                    {
+                        let mut inner = self.inner.borrow_mut();
+                        if inner.now < deadline {
+                            inner.now = deadline;
+                        }
+                    }
+                    return pred();
+                }
+            }
+        }
+    }
+
+    /// Advance the clock unconditionally (models client-side work between
+    /// protocol steps).
+    pub fn advance(&self, dt: SimTime) {
+        let deadline = self.now() + dt;
+        self.run_until(deadline, || false);
+    }
+
+    fn dispatch(&self, ev: Event) {
+        match ev {
+            Event::UdpDeliver { to, dg } => {
+                // A handler, if present, consumes the datagram; otherwise a
+                // bound mailbox receives it; otherwise it is dropped
+                // (ICMP-unreachable behaviour is not modeled).
+                let handler = self.inner.borrow_mut().udp_handlers.remove(&to);
+                if let Some(mut h) = handler {
+                    let reply = h(&dg.payload, dg.from);
+                    {
+                        let mut inner = self.inner.borrow_mut();
+                        inner.udp_handlers.insert(to, h);
+                    }
+                    if let Some((bytes, proc_time)) = reply {
+                        self.advance_inner(proc_time);
+                        self.send_udp(to, dg.from, bytes);
+                    }
+                    return;
+                }
+                let mut inner = self.inner.borrow_mut();
+                if let Some(mb) = inner.mailboxes.get_mut(&to) {
+                    mb.push_back(dg);
+                }
+            }
+            Event::TcpDeliver { conn, to_server, bytes } => {
+                if to_server {
+                    let handler = self.inner.borrow_mut().conns[conn].server_handler.take();
+                    if let Some(mut h) = handler {
+                        let (out, proc_time) = h.on_bytes(&bytes);
+                        self.inner.borrow_mut().conns[conn].server_handler = Some(h);
+                        if !out.is_empty() {
+                            self.advance_inner(proc_time);
+                            self.send_tcp(conn, false, out);
+                        }
+                    }
+                } else {
+                    let mut inner = self.inner.borrow_mut();
+                    inner.conns[conn].client_rx.extend(bytes);
+                }
+            }
+        }
+    }
+
+    fn advance_inner(&self, dt: SimTime) {
+        let mut inner = self.inner.borrow_mut();
+        inner.now += dt;
+    }
+}
+
+impl NetInner {
+    fn schedule(&mut self, at: SimTime, ev: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, ev }));
+    }
+}
+
+/// A bound client UDP endpoint.
+pub struct Endpoint {
+    net: Network,
+    addr: Addr,
+}
+
+impl Endpoint {
+    /// This endpoint's address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Send a datagram.
+    pub fn send_to(&self, to: Addr, payload: Vec<u8>) {
+        self.net.send_udp(self.addr, to, payload);
+    }
+
+    /// Receive the next datagram, running the network up to `timeout` of
+    /// virtual time from now.
+    pub fn recv_timeout(&self, timeout: SimTime) -> Option<Datagram> {
+        let deadline = self.net.now() + timeout;
+        let addr = self.addr;
+        let net = self.net.clone();
+        let got = self.net.run_until(deadline, || {
+            !net.inner
+                .borrow()
+                .mailboxes
+                .get(&addr)
+                .map(VecDeque::is_empty)
+                .unwrap_or(true)
+        });
+        if !got {
+            return None;
+        }
+        self.net
+            .inner
+            .borrow_mut()
+            .mailboxes
+            .get_mut(&addr)
+            .and_then(VecDeque::pop_front)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn udp_echo_handler_round_trip() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp(
+            2000,
+            Box::new(|req, _from| Some((req.to_vec(), SimTime::from_micros(50)))),
+        );
+        let ep = net.bind_udp(5001);
+        ep.send_to(2000, vec![1, 2, 3]);
+        let dg = ep.recv_timeout(SimTime::from_millis(10)).expect("reply");
+        assert_eq!(dg.payload, vec![1, 2, 3]);
+        assert_eq!(dg.from, 2000);
+        // Two traversals + processing: at least 2×latency.
+        assert!(net.now() >= SimTime::from_micros(350), "{}", net.now());
+    }
+
+    #[test]
+    fn virtual_time_includes_serialization() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp(2000, Box::new(|_, _| Some((vec![0], SimTime::ZERO))));
+        let ep = net.bind_udp(5001);
+        ep.send_to(2000, vec![0u8; 10_000]);
+        ep.recv_timeout(SimTime::from_millis(100)).expect("reply");
+        // 10 KB at 80 ns/B = 0.8 ms one way.
+        assert!(net.now() >= SimTime::from_nanos(800_000), "{}", net.now());
+    }
+
+    #[test]
+    fn recv_timeout_expires_and_advances_clock() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        let ep = net.bind_udp(5001);
+        let before = net.now();
+        assert!(ep.recv_timeout(SimTime::from_millis(5)).is_none());
+        assert_eq!(net.now(), before + SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn datagram_to_unbound_address_is_dropped() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        let ep = net.bind_udp(5001);
+        ep.send_to(999, vec![1]);
+        assert!(ep.recv_timeout(SimTime::from_millis(2)).is_none());
+    }
+
+    #[test]
+    fn lossy_network_drops_some() {
+        let net = Network::new(
+            NetworkConfig::lan().with_faults(FaultConfig { loss: 1.0, duplicate: 0.0, reorder: 0.0 }),
+            1,
+        );
+        net.serve_udp(2000, Box::new(|r, _| Some((r.to_vec(), SimTime::ZERO))));
+        let ep = net.bind_udp(5001);
+        ep.send_to(2000, vec![1]);
+        assert!(ep.recv_timeout(SimTime::from_millis(5)).is_none());
+    }
+
+    #[test]
+    fn duplicate_faults_deliver_twice() {
+        let net = Network::new(
+            NetworkConfig::lan().with_faults(FaultConfig { loss: 0.0, duplicate: 1.0, reorder: 0.0 }),
+            1,
+        );
+        let a = net.bind_udp(5001);
+        let b = net.bind_udp(5002);
+        a.send_to(5002, vec![7]);
+        assert!(b.recv_timeout(SimTime::from_millis(10)).is_some());
+        assert!(b.recv_timeout(SimTime::from_millis(10)).is_some());
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let run = |seed| {
+            let net = Network::new(NetworkConfig::lan().with_faults(FaultConfig::LOSSY), seed);
+            net.serve_udp(2000, Box::new(|r, _| Some((r.to_vec(), SimTime::from_micros(10)))));
+            let ep = net.bind_udp(5001);
+            let mut delivered = 0;
+            for i in 0..50u8 {
+                ep.send_to(2000, vec![i]);
+                if ep.recv_timeout(SimTime::from_millis(3)).is_some() {
+                    delivered += 1;
+                }
+            }
+            (delivered, net.now())
+        };
+        assert_eq!(run(42), run(42));
+        // Different seeds give different fault patterns (almost surely).
+        assert_ne!(run(42).1, run(43).1);
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        let a = net.bind_udp(1);
+        let _b = net.bind_udp(2);
+        a.send_to(2, vec![0; 100]);
+        assert_eq!(net.bytes_sent(), 100);
+        assert_eq!(net.datagrams_sent(), 1);
+    }
+
+    #[test]
+    fn handler_processing_time_advances_clock() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp(2000, Box::new(|r, _| Some((r.to_vec(), SimTime::from_millis(3)))));
+        let ep = net.bind_udp(5001);
+        ep.send_to(2000, vec![1]);
+        ep.recv_timeout(SimTime::from_millis(50)).expect("reply");
+        assert!(net.now() >= SimTime::from_millis(3));
+    }
+}

@@ -1,0 +1,173 @@
+//! The reliable byte-stream (TCP) model.
+//!
+//! Sun RPC over TCP layers record marking (`xdrrec`) on a reliable,
+//! ordered byte stream. The simulator models TCP as exactly that — an
+//! in-order, lossless pipe with latency and serialization delay — which is
+//! the property the RPC layer depends on (congestion control and
+//! retransmission are below the abstraction the paper works at).
+
+use crate::net::{ConnId, Network};
+use crate::time::SimTime;
+use specrpc_xdr::rec::RecordIo;
+use specrpc_xdr::{XdrError, XdrResult};
+
+/// Client side of a simulated TCP connection, usable directly as the
+/// byte transport under an XDR record stream.
+pub struct SimTcpStream {
+    net: Network,
+    conn: ConnId,
+    /// Receive budget: how long a blocking read may run the network.
+    read_timeout: SimTime,
+}
+
+impl SimTcpStream {
+    pub(crate) fn new(net: Network, conn: ConnId) -> Self {
+        SimTcpStream {
+            net,
+            conn,
+            read_timeout: SimTime::from_millis(5_000),
+        }
+    }
+
+    /// Set the virtual-time budget for blocking reads.
+    pub fn set_read_timeout(&mut self, t: SimTime) {
+        self.read_timeout = t;
+    }
+
+    /// The underlying network handle.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+}
+
+impl RecordIo for SimTcpStream {
+    fn write_all(&mut self, buf: &[u8]) -> XdrResult {
+        self.net.send_tcp(self.conn, true, buf.to_vec());
+        Ok(())
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> XdrResult {
+        let want = buf.len();
+        let deadline = self.net.now() + self.read_timeout;
+        let net = self.net.clone();
+        let conn = self.conn;
+        // Run the network until enough bytes have accumulated.
+        let ready = self.net.run_until(deadline, || {
+            net.conn_client_rx_take(conn, 0).is_some() && {
+                // Probe: take(0) always succeeds; check actual length by
+                // attempting the real take below. We use a cheap peek via
+                // take(want) inside the final step instead.
+                true
+            }
+        });
+        let _ = ready;
+        // Poll loop: attempt the take, running the network in slices.
+        loop {
+            if let Some(bytes) = self.net.conn_client_rx_take(self.conn, want) {
+                buf.copy_from_slice(&bytes);
+                return Ok(());
+            }
+            let now = self.net.now();
+            if now >= deadline {
+                return Err(XdrError::Io(format!(
+                    "tcp read timeout: wanted {want} bytes"
+                )));
+            }
+            let slice_end = (now + SimTime::from_micros(100)).min(deadline);
+            self.net.run_until(slice_end, || false);
+        }
+    }
+}
+
+impl RecordIo for &mut SimTcpStream {
+    fn write_all(&mut self, buf: &[u8]) -> XdrResult {
+        (**self).write_all(buf)
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> XdrResult {
+        (**self).read_exact(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{NetworkConfig, TcpHandler};
+    use specrpc_xdr::rec::XdrRec;
+    use specrpc_xdr::XdrStream;
+
+    /// Echo server: accumulates bytes; when at least one full length-
+    /// prefixed blob arrived, echoes it back.
+    struct Echo {
+        buf: Vec<u8>,
+    }
+
+    impl TcpHandler for Echo {
+        fn on_bytes(&mut self, bytes: &[u8]) -> (Vec<u8>, SimTime) {
+            self.buf.extend_from_slice(bytes);
+            (std::mem::take(&mut self.buf), SimTime::from_micros(30))
+        }
+    }
+
+    #[test]
+    fn connect_requires_listener() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        assert!(net.connect_tcp(99).is_none());
+    }
+
+    #[test]
+    fn bytes_round_trip_through_echo() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_tcp(2049, Box::new(|| Box::new(Echo { buf: Vec::new() })));
+        let mut conn = net.connect_tcp(2049).expect("connect");
+        conn.write_all(b"hello tcp").unwrap();
+        let mut out = [0u8; 9];
+        conn.read_exact(&mut out).unwrap();
+        assert_eq!(&out, b"hello tcp");
+    }
+
+    #[test]
+    fn read_timeout_fires() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_tcp(2049, Box::new(|| Box::new(Echo { buf: Vec::new() })));
+        let mut conn = net.connect_tcp(2049).expect("connect");
+        conn.set_read_timeout(SimTime::from_millis(2));
+        let mut out = [0u8; 4];
+        assert!(matches!(conn.read_exact(&mut out), Err(XdrError::Io(_))));
+    }
+
+    #[test]
+    fn record_stream_over_sim_tcp() {
+        let net = Network::new(NetworkConfig::lan(), 7);
+        net.serve_tcp(111, Box::new(|| Box::new(Echo { buf: Vec::new() })));
+        let conn = net.connect_tcp(111).expect("connect");
+
+        let mut rec = XdrRec::with_fragment_size(conn, specrpc_xdr::XdrOp::Encode, 8192);
+        rec.putlong(0x0a0b0c0d).unwrap();
+        rec.putlong(-99).unwrap();
+        rec.end_of_record().unwrap();
+
+        // Reuse the same stream object for reading the echoed record: build
+        // a decode-mode stream over the same connection.
+        let conn = rec.into_io();
+        let mut dec = XdrRec::with_fragment_size(conn, specrpc_xdr::XdrOp::Decode, 8192);
+        assert_eq!(dec.getlong().unwrap(), 0x0a0b0c0d);
+        assert_eq!(dec.getlong().unwrap(), -99);
+    }
+
+    #[test]
+    fn separate_connections_do_not_interleave() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_tcp(2049, Box::new(|| Box::new(Echo { buf: Vec::new() })));
+        let mut c1 = net.connect_tcp(2049).unwrap();
+        let mut c2 = net.connect_tcp(2049).unwrap();
+        c1.write_all(b"abcd").unwrap();
+        c2.write_all(b"wxyz").unwrap();
+        let mut o2 = [0u8; 4];
+        c2.read_exact(&mut o2).unwrap();
+        assert_eq!(&o2, b"wxyz");
+        let mut o1 = [0u8; 4];
+        c1.read_exact(&mut o1).unwrap();
+        assert_eq!(&o1, b"abcd");
+    }
+}

@@ -1,0 +1,211 @@
+//! The TCP RPC client (`clnttcp_create`/`clnttcp_call`): record-marked
+//! calls over the reliable stream, no retransmission (the transport is
+//! reliable), still xid-checked.
+
+use crate::error::RpcError;
+use crate::msg::{CallHeader, ReplyHeader};
+use crate::xid::XidGen;
+use specrpc_netsim::net::{Addr, Network};
+use specrpc_netsim::tcp::SimTcpStream;
+use specrpc_xdr::rec::XdrRec;
+use specrpc_xdr::{OpCounts, XdrOp, XdrResult, XdrStream};
+
+/// A TCP RPC client handle.
+pub struct ClntTcp {
+    conn: SimTcpStream,
+    prog: u32,
+    vers: u32,
+    xids: XidGen,
+    /// Micro-layer counts accumulated by generic marshaling.
+    pub counts: OpCounts,
+}
+
+impl ClntTcp {
+    /// `clnttcp_create`: connect to the server's TCP service.
+    pub fn create(net: &Network, server: Addr, prog: u32, vers: u32) -> Result<Self, RpcError> {
+        let conn = net
+            .connect_tcp(server)
+            .ok_or_else(|| RpcError::Transport(format!("connect to {server} refused")))?;
+        Ok(ClntTcp {
+            conn,
+            prog,
+            vers,
+            xids: XidGen::new(server as u32 ^ 0x5555),
+            counts: OpCounts::new(),
+        })
+    }
+
+    /// `clnt_call` over TCP: one record out, one record in.
+    pub fn call(
+        &mut self,
+        proc_: u32,
+        encode_args: &mut dyn FnMut(&mut dyn XdrStream) -> XdrResult,
+        decode_results: &mut dyn FnMut(&mut dyn XdrStream) -> XdrResult,
+    ) -> Result<(), RpcError> {
+        let xid = self.xids.next_xid();
+        // Encode the call as one record.
+        {
+            let mut enc = XdrRec::with_fragment_size(&mut self.conn, XdrOp::Encode, 8192);
+            let mut msg = CallHeader::new(xid, self.prog, self.vers, proc_);
+            CallHeader::xdr(&mut enc, &mut msg)?;
+            encode_args(&mut enc)?;
+            enc.end_of_record()?;
+            self.counts += *enc.counts();
+        }
+        // Read reply records until the xid matches (stale replies are
+        // skipped, mirroring clnttcp_call's loop).
+        loop {
+            let mut dec = XdrRec::with_fragment_size(&mut self.conn, XdrOp::Decode, 8192);
+            let hdr = ReplyHeader::decode(&mut dec)?;
+            if hdr.xid != xid {
+                dec.skip_record().map_err(RpcError::from)?;
+                continue;
+            }
+            if let Some(err) = hdr.to_error() {
+                self.counts += *dec.counts();
+                return Err(err);
+            }
+            let r = decode_results(&mut dec);
+            self.counts += *dec.counts();
+            return r.map_err(RpcError::from);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svc::SvcRegistry;
+    use crate::svc_tcp::serve_tcp;
+    use specrpc_netsim::net::NetworkConfig;
+    use specrpc_xdr::composite::{xdr_array, xdr_string};
+    use specrpc_xdr::primitives::xdr_int;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    const PROG: u32 = 400_100;
+
+    fn service() -> Rc<RefCell<SvcRegistry>> {
+        let mut reg = SvcRegistry::new();
+        reg.register(
+            PROG,
+            1,
+            1,
+            Box::new(|args, results| {
+                let mut v: Vec<i32> = Vec::new();
+                xdr_array(args, &mut v, 100_000, xdr_int)?;
+                v.reverse();
+                xdr_array(results, &mut v, 100_000, xdr_int)?;
+                Ok(())
+            }),
+        );
+        reg.register(
+            PROG,
+            1,
+            2,
+            Box::new(|args, results| {
+                let mut s = String::new();
+                xdr_string(args, &mut s, 1024)?;
+                let mut up = s.to_uppercase();
+                xdr_string(results, &mut up, 1024)?;
+                Ok(())
+            }),
+        );
+        Rc::new(RefCell::new(reg))
+    }
+
+    #[test]
+    fn tcp_call_round_trips() {
+        let net = Network::new(NetworkConfig::lan(), 11);
+        serve_tcp(&net, 2049, service(), None);
+        let mut clnt = ClntTcp::create(&net, 2049, PROG, 1).unwrap();
+        let mut out: Vec<i32> = Vec::new();
+        clnt.call(
+            1,
+            &mut |x| {
+                let mut v = vec![1, 2, 3];
+                xdr_array(x, &mut v, 100, xdr_int)
+            },
+            &mut |x| xdr_array(x, &mut out, 100, xdr_int),
+        )
+        .unwrap();
+        assert_eq!(out, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn multiple_calls_on_one_connection() {
+        let net = Network::new(NetworkConfig::lan(), 11);
+        serve_tcp(&net, 2049, service(), None);
+        let mut clnt = ClntTcp::create(&net, 2049, PROG, 1).unwrap();
+        for i in 0..5 {
+            let mut out: Vec<i32> = Vec::new();
+            clnt.call(
+                1,
+                &mut |x| {
+                    let mut v = vec![i, i + 1];
+                    xdr_array(x, &mut v, 100, xdr_int)
+                },
+                &mut |x| xdr_array(x, &mut out, 100, xdr_int),
+            )
+            .unwrap();
+            assert_eq!(out, vec![i + 1, i]);
+        }
+    }
+
+    #[test]
+    fn string_procedure() {
+        let net = Network::new(NetworkConfig::lan(), 11);
+        serve_tcp(&net, 2049, service(), None);
+        let mut clnt = ClntTcp::create(&net, 2049, PROG, 1).unwrap();
+        let mut out = String::new();
+        clnt.call(
+            2,
+            &mut |x| {
+                let mut s = String::from("remote procedure call");
+                xdr_string(x, &mut s, 1024)
+            },
+            &mut |x| xdr_string(x, &mut out, 1024),
+        )
+        .unwrap();
+        assert_eq!(out, "REMOTE PROCEDURE CALL");
+    }
+
+    #[test]
+    fn large_payload_spans_fragments() {
+        let net = Network::new(NetworkConfig::lan(), 11);
+        serve_tcp(&net, 2049, service(), None);
+        let mut clnt = ClntTcp::create(&net, 2049, PROG, 1).unwrap();
+        let data: Vec<i32> = (0..5000).collect();
+        let mut out: Vec<i32> = Vec::new();
+        clnt.call(
+            1,
+            &mut |x| {
+                let mut v = data.clone();
+                xdr_array(x, &mut v, 100_000, xdr_int)
+            },
+            &mut |x| xdr_array(x, &mut out, 100_000, xdr_int),
+        )
+        .unwrap();
+        let want: Vec<i32> = (0..5000).rev().collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn connect_refused_without_listener() {
+        let net = Network::new(NetworkConfig::lan(), 11);
+        assert!(matches!(
+            ClntTcp::create(&net, 2049, PROG, 1),
+            Err(RpcError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn server_error_over_tcp() {
+        let net = Network::new(NetworkConfig::lan(), 11);
+        serve_tcp(&net, 2049, service(), None);
+        let mut clnt = ClntTcp::create(&net, 2049, PROG, 9).unwrap();
+        let err = clnt.call(1, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err();
+        assert!(matches!(err, RpcError::ProgMismatch { .. }));
+    }
+}
+

@@ -1,0 +1,95 @@
+//! RPC-layer errors (the `clnt_stat` constellation of the original API).
+
+use specrpc_xdr::XdrError;
+use std::fmt;
+
+/// Failures visible to an RPC caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RpcError {
+    /// Marshaling or unmarshaling failed (`RPC_CANTENCODEARGS` /
+    /// `RPC_CANTDECODERES`).
+    Xdr(XdrError),
+    /// No reply within the total timeout (`RPC_TIMEDOUT`).
+    TimedOut,
+    /// The server rejected the RPC version (`RPC_VERSMISMATCH`).
+    RpcVersMismatch {
+        /// Lowest version the server supports.
+        low: u32,
+        /// Highest version the server supports.
+        high: u32,
+    },
+    /// The server rejected authentication (`RPC_AUTHERROR`).
+    AuthError,
+    /// Program not registered at the server (`RPC_PROGUNAVAIL`).
+    ProgUnavail,
+    /// Program version not supported (`RPC_PROGVERSMISMATCH`).
+    ProgMismatch {
+        /// Lowest supported program version.
+        low: u32,
+        /// Highest supported program version.
+        high: u32,
+    },
+    /// Procedure number unknown to the program (`RPC_PROCUNAVAIL`).
+    ProcUnavail,
+    /// The server could not decode the arguments (`RPC_CANTDECODEARGS`
+    /// as seen from the caller: garbage args).
+    GarbageArgs,
+    /// Server-side system error (`RPC_SYSTEMERROR`).
+    SystemErr,
+    /// A malformed reply that could not be parsed at all.
+    BadReply(String),
+    /// The portmapper has no registration for the requested service.
+    ProgNotRegistered,
+    /// Transport-level failure (simulated connection problems).
+    Transport(String),
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcError::Xdr(e) => write!(f, "XDR failure: {e}"),
+            RpcError::TimedOut => write!(f, "RPC timed out"),
+            RpcError::RpcVersMismatch { low, high } => {
+                write!(f, "RPC version mismatch (server supports {low}..{high})")
+            }
+            RpcError::AuthError => write!(f, "authentication rejected"),
+            RpcError::ProgUnavail => write!(f, "program unavailable"),
+            RpcError::ProgMismatch { low, high } => {
+                write!(f, "program version mismatch (server supports {low}..{high})")
+            }
+            RpcError::ProcUnavail => write!(f, "procedure unavailable"),
+            RpcError::GarbageArgs => write!(f, "server could not decode arguments"),
+            RpcError::SystemErr => write!(f, "server system error"),
+            RpcError::BadReply(why) => write!(f, "malformed reply: {why}"),
+            RpcError::ProgNotRegistered => write!(f, "program not registered with portmapper"),
+            RpcError::Transport(why) => write!(f, "transport error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+impl From<XdrError> for RpcError {
+    fn from(e: XdrError) -> Self {
+        RpcError::Xdr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(RpcError::TimedOut.to_string().contains("timed out"));
+        assert!(RpcError::ProgMismatch { low: 1, high: 3 }
+            .to_string()
+            .contains("1..3"));
+    }
+
+    #[test]
+    fn from_xdr_error() {
+        let e: RpcError = XdrError::WrongOp.into();
+        assert!(matches!(e, RpcError::Xdr(XdrError::WrongOp)));
+    }
+}

@@ -1,0 +1,349 @@
+//! Server-side dispatch (`svc.c`): program/version/procedure registry,
+//! request decoding, reply construction, and the raw fast-path hook the
+//! specialized server plugs into.
+
+use crate::error::RpcError;
+use crate::msg::{AcceptStat, CallHeader, RejectStat, ReplyHeader, RPC_VERS};
+use specrpc_xdr::mem::XdrMem;
+use specrpc_xdr::{OpCounts, XdrError, XdrStream};
+use std::collections::HashMap;
+
+/// A generic procedure handler: decode arguments from the first stream
+/// (positioned after the call header), encode results into the second
+/// (positioned after the reply header).
+pub type ProcHandler =
+    Box<dyn FnMut(&mut dyn XdrStream, &mut dyn XdrStream) -> Result<(), RpcError>>;
+
+/// A specialized (raw) handler: takes the whole request datagram; returns
+/// the whole reply datagram, or `None` to fall back to the generic path
+/// (dynamic-guard failure, §6.2).
+pub type RawHandler = Box<dyn FnMut(&[u8]) -> Option<Vec<u8>>>;
+
+/// Default reply buffer size (UDP max payload in the original: 8800).
+pub const REPLY_BUF_SIZE: usize = 66_000;
+
+/// The service registry and dispatcher.
+#[derive(Default)]
+pub struct SvcRegistry {
+    procs: HashMap<(u32, u32), HashMap<u32, ProcHandler>>,
+    raw: HashMap<(u32, u32, u32), RawHandler>,
+    /// Micro-layer counts accumulated by generic dispatches (for the cost
+    /// model and reports).
+    pub counts: OpCounts,
+    /// Number of generic dispatches performed.
+    pub generic_dispatches: u64,
+    /// Number of requests served by raw (specialized) handlers.
+    pub raw_dispatches: u64,
+    /// Number of raw-handler fallbacks to the generic path.
+    pub raw_fallbacks: u64,
+}
+
+impl SvcRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        SvcRegistry::default()
+    }
+
+    /// `svc_register`: install a generic handler.
+    pub fn register(&mut self, prog: u32, vers: u32, proc_: u32, handler: ProcHandler) {
+        self.procs
+            .entry((prog, vers))
+            .or_default()
+            .insert(proc_, handler);
+    }
+
+    /// Install a specialized raw handler for one procedure.
+    pub fn register_raw(&mut self, prog: u32, vers: u32, proc_: u32, handler: RawHandler) {
+        self.raw.insert((prog, vers, proc_), handler);
+    }
+
+    /// Remove a program registration (`svc_unregister`).
+    pub fn unregister(&mut self, prog: u32, vers: u32) {
+        self.procs.remove(&(prog, vers));
+        self.raw.retain(|k, _| (k.0, k.1) != (prog, vers));
+    }
+
+    /// Whether a program/version is registered.
+    pub fn is_registered(&self, prog: u32, vers: u32) -> bool {
+        self.procs.contains_key(&(prog, vers))
+    }
+
+    /// Dispatch one request datagram to a reply datagram.
+    ///
+    /// Tries the specialized raw handler first when one matches the
+    /// request's (prog, vers, proc) words; a `None` from it (guard failure)
+    /// falls back to the generic path, preserving semantics.
+    pub fn dispatch(&mut self, request: &[u8]) -> Vec<u8> {
+        if let Some(key) = peek_call_target(request) {
+            // Raw handlers borrow `self.raw` mutably; take-and-restore to
+            // allow fallback into the generic path.
+            if let Some(mut h) = self.raw.remove(&key) {
+                let out = h(request);
+                self.raw.insert(key, h);
+                match out {
+                    Some(reply) => {
+                        self.raw_dispatches += 1;
+                        return reply;
+                    }
+                    None => self.raw_fallbacks += 1,
+                }
+            }
+        }
+        self.generic_dispatches += 1;
+        self.dispatch_generic(request)
+    }
+
+    fn dispatch_generic(&mut self, request: &[u8]) -> Vec<u8> {
+        let mut args = XdrMem::decoder(request);
+        let mut msg = CallHeader::new(0, 0, 0, 0);
+        if CallHeader::xdr(&mut args, &mut msg).is_err() {
+            // Undecodable header: best-effort garbage-args reply echoing
+            // whatever xid prefix we can read.
+            let xid = request
+                .get(..4)
+                .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+                .unwrap_or(0);
+            return encode_failure(xid, AcceptStat::GarbageArgs, None);
+        }
+        self.counts += *args.counts();
+
+        if msg.rpcvers != RPC_VERS {
+            let mut enc = XdrMem::encoder(64);
+            ReplyHeader::encode_denied(&mut enc, msg.xid, RejectStat::RpcMismatch, Some((RPC_VERS, RPC_VERS)))
+                .expect("deny fits");
+            return enc.into_bytes();
+        }
+
+        let versions: Vec<u32> = self
+            .procs
+            .keys()
+            .filter(|(p, _)| *p == msg.prog)
+            .map(|(_, v)| *v)
+            .collect();
+        let Some(table) = self.procs.get_mut(&(msg.prog, msg.vers)) else {
+            if versions.is_empty() {
+                return encode_failure(msg.xid, AcceptStat::ProgUnavail, None);
+            }
+            let lo = *versions.iter().min().expect("nonempty");
+            let hi = *versions.iter().max().expect("nonempty");
+            return encode_failure(msg.xid, AcceptStat::ProgMismatch, Some((lo, hi)));
+        };
+        let Some(handler) = table.get_mut(&msg.proc_) else {
+            return encode_failure(msg.xid, AcceptStat::ProcUnavail, None);
+        };
+
+        let mut results = XdrMem::encoder(REPLY_BUF_SIZE);
+        ReplyHeader::encode_success(&mut results, msg.xid).expect("header fits");
+        let r = handler(&mut args, &mut results);
+        self.counts += *args.counts();
+        self.counts += *results.counts();
+        match r {
+            Ok(()) => results.into_bytes(),
+            Err(RpcError::Xdr(XdrError::Underflow { .. }))
+            | Err(RpcError::Xdr(XdrError::SizeLimit { .. }))
+            | Err(RpcError::Xdr(XdrError::BadBool(_)))
+            | Err(RpcError::Xdr(XdrError::BadEnumValue(_)))
+            | Err(RpcError::Xdr(XdrError::BadUnionDiscriminant(_)))
+            | Err(RpcError::Xdr(XdrError::BadString)) => {
+                encode_failure(msg.xid, AcceptStat::GarbageArgs, None)
+            }
+            Err(_) => encode_failure(msg.xid, AcceptStat::SystemErr, None),
+        }
+    }
+}
+
+/// Extract (prog, vers, proc) from a call datagram without full decoding
+/// (words 3..6 of the header).
+pub fn peek_call_target(request: &[u8]) -> Option<(u32, u32, u32)> {
+    if request.len() < 24 {
+        return None;
+    }
+    let word = |i: usize| {
+        u32::from_be_bytes([
+            request[i * 4],
+            request[i * 4 + 1],
+            request[i * 4 + 2],
+            request[i * 4 + 3],
+        ])
+    };
+    // word 1 must be CALL.
+    if word(1) != 0 {
+        return None;
+    }
+    Some((word(3), word(4), word(5)))
+}
+
+fn encode_failure(xid: u32, stat: AcceptStat, mismatch: Option<(u32, u32)>) -> Vec<u8> {
+    let mut enc = XdrMem::encoder(64);
+    ReplyHeader::encode_accept_failure(&mut enc, xid, stat, mismatch).expect("failure fits");
+    enc.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::ReplyBody;
+    use specrpc_xdr::primitives::xdr_int;
+
+    fn echo_registry() -> SvcRegistry {
+        let mut reg = SvcRegistry::new();
+        reg.register(
+            100_007,
+            1,
+            3,
+            Box::new(|args, results| {
+                let mut v = 0i32;
+                xdr_int(args, &mut v)?;
+                let mut doubled = v * 2;
+                xdr_int(results, &mut doubled)?;
+                Ok(())
+            }),
+        );
+        reg
+    }
+
+    fn make_call(prog: u32, vers: u32, proc_: u32, arg: i32) -> Vec<u8> {
+        let mut enc = XdrMem::encoder(256);
+        let mut msg = CallHeader::new(0x1111, prog, vers, proc_);
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let mut a = arg;
+        xdr_int(&mut enc, &mut a).unwrap();
+        enc.into_bytes()
+    }
+
+    fn parse_reply(reply: &[u8]) -> (ReplyHeader, XdrMem) {
+        let mut dec = XdrMem::decoder(reply);
+        let hdr = ReplyHeader::decode(&mut dec).unwrap();
+        (hdr, dec)
+    }
+
+    #[test]
+    fn success_dispatch_doubles() {
+        let mut reg = echo_registry();
+        let reply = reg.dispatch(&make_call(100_007, 1, 3, 21));
+        let (hdr, mut dec) = parse_reply(&reply);
+        assert_eq!(hdr.xid, 0x1111);
+        assert!(hdr.to_error().is_none());
+        let mut out = 0i32;
+        xdr_int(&mut dec, &mut out).unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(reg.generic_dispatches, 1);
+    }
+
+    #[test]
+    fn unknown_program() {
+        let mut reg = echo_registry();
+        let reply = reg.dispatch(&make_call(555, 1, 3, 0));
+        let (hdr, _) = parse_reply(&reply);
+        assert_eq!(hdr.to_error(), Some(RpcError::ProgUnavail));
+    }
+
+    #[test]
+    fn version_mismatch_reports_range() {
+        let mut reg = echo_registry();
+        let reply = reg.dispatch(&make_call(100_007, 9, 3, 0));
+        let (hdr, _) = parse_reply(&reply);
+        assert_eq!(hdr.to_error(), Some(RpcError::ProgMismatch { low: 1, high: 1 }));
+    }
+
+    #[test]
+    fn unknown_procedure() {
+        let mut reg = echo_registry();
+        let reply = reg.dispatch(&make_call(100_007, 1, 99, 0));
+        let (hdr, _) = parse_reply(&reply);
+        assert_eq!(hdr.to_error(), Some(RpcError::ProcUnavail));
+    }
+
+    #[test]
+    fn rpc_version_denied() {
+        let mut enc = XdrMem::encoder(256);
+        let mut msg = CallHeader::new(5, 100_007, 1, 3);
+        msg.rpcvers = 3;
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let mut reg = echo_registry();
+        let reply = reg.dispatch(&enc.into_bytes());
+        let (hdr, _) = parse_reply(&reply);
+        assert!(matches!(hdr.body, ReplyBody::Denied { .. }));
+    }
+
+    #[test]
+    fn truncated_args_yield_garbage_args() {
+        let mut reg = echo_registry();
+        let mut call = make_call(100_007, 1, 3, 21);
+        call.truncate(call.len() - 4); // drop the argument
+        let reply = reg.dispatch(&call);
+        let (hdr, _) = parse_reply(&reply);
+        assert_eq!(hdr.to_error(), Some(RpcError::GarbageArgs));
+    }
+
+    #[test]
+    fn garbage_header_still_produces_reply() {
+        let mut reg = echo_registry();
+        let reply = reg.dispatch(&[1, 2, 3]);
+        assert!(!reply.is_empty());
+    }
+
+    #[test]
+    fn raw_handler_takes_precedence_and_falls_back() {
+        let mut reg = echo_registry();
+        reg.register_raw(
+            100_007,
+            1,
+            3,
+            Box::new(|req: &[u8]| {
+                // "Specialized" echo: only handles arg == 1 (guard), else
+                // falls back.
+                let arg = i32::from_be_bytes(req[40..44].try_into().unwrap());
+                if arg != 1 {
+                    return None;
+                }
+                let mut enc = XdrMem::encoder(64);
+                let xid = u32::from_be_bytes(req[..4].try_into().unwrap());
+                ReplyHeader::encode_success(&mut enc, xid).unwrap();
+                let mut v = 2i32;
+                xdr_int(&mut enc, &mut v).unwrap();
+                Some(enc.into_bytes())
+            }),
+        );
+        // Guard passes: raw path.
+        let reply = reg.dispatch(&make_call(100_007, 1, 3, 1));
+        let (_, mut dec) = parse_reply(&reply);
+        let mut out = 0i32;
+        xdr_int(&mut dec, &mut out).unwrap();
+        assert_eq!(out, 2);
+        assert_eq!(reg.raw_dispatches, 1);
+        // Guard fails: generic fallback still answers correctly.
+        let reply = reg.dispatch(&make_call(100_007, 1, 3, 30));
+        let (_, mut dec) = parse_reply(&reply);
+        xdr_int(&mut dec, &mut out).unwrap();
+        assert_eq!(out, 60);
+        assert_eq!(reg.raw_fallbacks, 1);
+        assert_eq!(reg.generic_dispatches, 1);
+    }
+
+    #[test]
+    fn unregister_removes_program() {
+        let mut reg = echo_registry();
+        assert!(reg.is_registered(100_007, 1));
+        reg.unregister(100_007, 1);
+        assert!(!reg.is_registered(100_007, 1));
+        let reply = reg.dispatch(&make_call(100_007, 1, 3, 1));
+        let (hdr, _) = parse_reply(&reply);
+        assert_eq!(hdr.to_error(), Some(RpcError::ProgUnavail));
+    }
+
+    #[test]
+    fn peek_call_target_parses_words() {
+        let call = make_call(77, 8, 9, 0);
+        assert_eq!(peek_call_target(&call), Some((77, 8, 9)));
+        assert_eq!(peek_call_target(&[0; 8]), None);
+    }
+
+    #[test]
+    fn generic_dispatch_accumulates_counts() {
+        let mut reg = echo_registry();
+        reg.dispatch(&make_call(100_007, 1, 3, 21));
+        assert!(reg.counts.dispatches > 0);
+        assert!(reg.counts.mem_moves > 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! TCP transport adapter for the server (`svctcp_create`): a
+//! record-marking reassembly state machine per connection, dispatching
+//! complete records through the shared [`SvcRegistry`].
+
+use crate::svc::SvcRegistry;
+use specrpc_netsim::net::{Addr, Network, TcpHandler};
+use specrpc_netsim::SimTime;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Per-(request, reply) byte processing-time model (see `svc_udp`).
+pub type ProcTimeModel = Rc<dyn Fn(usize, usize) -> SimTime>;
+
+const LAST_FRAG: u32 = 0x8000_0000;
+const LEN_MASK: u32 = 0x7fff_ffff;
+
+/// Record-marking reassembler + dispatcher for one connection.
+pub struct SvcTcpConn {
+    registry: Rc<RefCell<SvcRegistry>>,
+    model: ProcTimeModel,
+    buf: Vec<u8>,
+    /// Payload of the record being assembled (across fragments).
+    record: Vec<u8>,
+}
+
+impl SvcTcpConn {
+    fn new(registry: Rc<RefCell<SvcRegistry>>, model: ProcTimeModel) -> Self {
+        SvcTcpConn {
+            registry,
+            model,
+            buf: Vec::new(),
+            record: Vec::new(),
+        }
+    }
+
+    /// Pull complete fragments out of the byte buffer; returns complete
+    /// record payloads.
+    fn drain_records(&mut self) -> Vec<Vec<u8>> {
+        let mut records = Vec::new();
+        loop {
+            if self.buf.len() < 4 {
+                return records;
+            }
+            let header = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+            let len = (header & LEN_MASK) as usize;
+            let last = header & LAST_FRAG != 0;
+            if self.buf.len() < 4 + len {
+                return records;
+            }
+            self.record.extend_from_slice(&self.buf[4..4 + len]);
+            self.buf.drain(..4 + len);
+            if last {
+                records.push(std::mem::take(&mut self.record));
+            }
+        }
+    }
+}
+
+impl TcpHandler for SvcTcpConn {
+    fn on_bytes(&mut self, bytes: &[u8]) -> (Vec<u8>, SimTime) {
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        let mut time = SimTime::ZERO;
+        for request in self.drain_records() {
+            let reply = self.registry.borrow_mut().dispatch(&request);
+            time += (self.model)(request.len(), reply.len());
+            // Reply as a single record.
+            let header = (reply.len() as u32 | LAST_FRAG).to_be_bytes();
+            out.extend_from_slice(&header);
+            out.extend_from_slice(&reply);
+        }
+        (out, time)
+    }
+}
+
+/// Install the registry as a TCP service at `addr`.
+pub fn serve_tcp(
+    net: &Network,
+    addr: Addr,
+    registry: Rc<RefCell<SvcRegistry>>,
+    proc_time: Option<ProcTimeModel>,
+) {
+    let model: ProcTimeModel = proc_time
+        .unwrap_or_else(|| Rc::new(|req, rep| SimTime::from_nanos(50_000 + 20 * (req + rep) as u64)));
+    net.serve_tcp(
+        addr,
+        Box::new(move || {
+            Box::new(SvcTcpConn::new(registry.clone(), model.clone())) as Box<dyn TcpHandler>
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specrpc_xdr::primitives::xdr_int;
+
+    fn reg() -> Rc<RefCell<SvcRegistry>> {
+        let mut r = SvcRegistry::new();
+        r.register(
+            1,
+            1,
+            1,
+            Box::new(|args, results| {
+                let mut v = 0i32;
+                xdr_int(args, &mut v)?;
+                let mut neg = -v;
+                xdr_int(results, &mut neg)?;
+                Ok(())
+            }),
+        );
+        Rc::new(RefCell::new(r))
+    }
+
+    fn call_record(xid: u32, arg: i32) -> Vec<u8> {
+        use crate::msg::CallHeader;
+        use specrpc_xdr::mem::XdrMem;
+        let mut enc = XdrMem::encoder(128);
+        let mut msg = CallHeader::new(xid, 1, 1, 1);
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let mut a = arg;
+        xdr_int(&mut enc, &mut a).unwrap();
+        let payload = enc.into_bytes();
+        let mut rec = ((payload.len() as u32) | LAST_FRAG).to_be_bytes().to_vec();
+        rec.extend_from_slice(&payload);
+        rec
+    }
+
+    #[test]
+    fn complete_record_dispatches() {
+        let mut conn = SvcTcpConn::new(reg(), Rc::new(|_, _| SimTime::ZERO));
+        let (out, _) = conn.on_bytes(&call_record(7, 5));
+        assert!(!out.is_empty());
+        // Reply record header then xid.
+        assert_eq!(&out[4..8], &7u32.to_be_bytes());
+    }
+
+    #[test]
+    fn partial_bytes_accumulate() {
+        let mut conn = SvcTcpConn::new(reg(), Rc::new(|_, _| SimTime::ZERO));
+        let rec = call_record(9, 1);
+        let (mid, _) = conn.on_bytes(&rec[..10]);
+        assert!(mid.is_empty(), "incomplete record must not dispatch");
+        let (out, _) = conn.on_bytes(&rec[10..]);
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn multi_fragment_record_reassembles() {
+        let mut conn = SvcTcpConn::new(reg(), Rc::new(|_, _| SimTime::ZERO));
+        let full = call_record(3, 2);
+        let payload = &full[4..];
+        // Split payload into two fragments: first without LAST bit.
+        let (a, b) = payload.split_at(8);
+        let mut wire = (a.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(a);
+        wire.extend_from_slice(&((b.len() as u32) | LAST_FRAG).to_be_bytes());
+        wire.extend_from_slice(b);
+        let (out, _) = conn.on_bytes(&wire);
+        assert_eq!(&out[4..8], &3u32.to_be_bytes());
+    }
+
+    #[test]
+    fn two_records_in_one_burst() {
+        let mut conn = SvcTcpConn::new(reg(), Rc::new(|_, _| SimTime::ZERO));
+        let mut wire = call_record(1, 10);
+        wire.extend_from_slice(&call_record(2, 20));
+        let (out, _) = conn.on_bytes(&wire);
+        // Two reply records present.
+        assert_eq!(&out[4..8], &1u32.to_be_bytes());
+        let first_len = (u32::from_be_bytes([out[0], out[1], out[2], out[3]]) & LEN_MASK) as usize;
+        let second = &out[4 + first_len..];
+        assert_eq!(&second[4..8], &2u32.to_be_bytes());
+    }
+
+    #[test]
+    fn processing_time_sums_per_record() {
+        let mut conn = SvcTcpConn::new(reg(), Rc::new(|_, _| SimTime::from_millis(1)));
+        let mut wire = call_record(1, 10);
+        wire.extend_from_slice(&call_record(2, 20));
+        let (_, t) = conn.on_bytes(&wire);
+        assert_eq!(t, SimTime::from_millis(2));
+    }
+}

@@ -1,0 +1,256 @@
+//! Tokenizer for the XDR IDL.
+
+use std::fmt;
+
+/// A token with its source line (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal or 0x hex).
+    Number(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `*`
+    Star,
+    /// `:`
+    Colon,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Gt => write!(f, ">"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Eq => write!(f, "="),
+            Tok::Star => write!(f, "*"),
+            Tok::Colon => write!(f, ":"),
+        }
+    }
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize IDL source. Supports `/* … */` and `//`/`%` comment lines
+/// (rpcgen passes `%` lines through; we skip them).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '%' => {
+                // pass-through line: skip to newline
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(LexError {
+                            message: "unterminated comment".into(),
+                            line,
+                        });
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '{' => { out.push(Token { kind: Tok::LBrace, line }); i += 1; }
+            '}' => { out.push(Token { kind: Tok::RBrace, line }); i += 1; }
+            '(' => { out.push(Token { kind: Tok::LParen, line }); i += 1; }
+            ')' => { out.push(Token { kind: Tok::RParen, line }); i += 1; }
+            '[' => { out.push(Token { kind: Tok::LBracket, line }); i += 1; }
+            ']' => { out.push(Token { kind: Tok::RBracket, line }); i += 1; }
+            '<' => { out.push(Token { kind: Tok::Lt, line }); i += 1; }
+            '>' => { out.push(Token { kind: Tok::Gt, line }); i += 1; }
+            ';' => { out.push(Token { kind: Tok::Semi, line }); i += 1; }
+            ',' => { out.push(Token { kind: Tok::Comma, line }); i += 1; }
+            '=' => { out.push(Token { kind: Tok::Eq, line }); i += 1; }
+            '*' => { out.push(Token { kind: Tok::Star, line }); i += 1; }
+            ':' => { out.push(Token { kind: Tok::Colon, line }); i += 1; }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                // hex?
+                if c == '0' && bytes.get(i) == Some(&'x') {
+                    i += 1;
+                    let hs = i;
+                    while i < bytes.len() && bytes[i].is_ascii_hexdigit() {
+                        i += 1;
+                    }
+                    let text: String = bytes[hs..i].iter().collect();
+                    let v = i64::from_str_radix(&text, 16).map_err(|_| LexError {
+                        message: format!("bad hex literal 0x{text}"),
+                        line,
+                    })?;
+                    out.push(Token { kind: Tok::Number(v), line });
+                    continue;
+                }
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                let v: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("bad number `{text}`"),
+                    line,
+                })?;
+                out.push(Token { kind: Tok::Number(v), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(Token { kind: Tok::Ident(text), line });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            kinds("struct pair { int a; }"),
+            vec![
+                Tok::Ident("struct".into()),
+                Tok::Ident("pair".into()),
+                Tok::LBrace,
+                Tok::Ident("int".into()),
+                Tok::Ident("a".into()),
+                Tok::Semi,
+                Tok::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_decimal_hex_negative() {
+        assert_eq!(
+            kinds("123 0x20 -7"),
+            vec![Tok::Number(123), Tok::Number(0x20), Tok::Number(-7)]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("int /* c comment\nspanning */ a; // line\n%#include <foo>\nb"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("a".into()),
+                Tok::Semi,
+                Tok::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = lex("a\nb\n  c").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        let e = lex("int a; @").unwrap_err();
+        assert!(e.to_string().contains('@'));
+    }
+}

@@ -1,0 +1,522 @@
+//! Recursive-descent parser for the XDR IDL.
+
+use crate::ast::*;
+use crate::lexer::{lex, LexError, Tok, Token};
+use std::fmt;
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Unexpected token.
+    Unexpected {
+        /// What was found (empty at end of input).
+        found: String,
+        /// What was expected.
+        expected: String,
+        /// Source line.
+        line: usize,
+    },
+    /// A name was used before definition (constants in sizes).
+    UnknownConst(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Unexpected { found, expected, line } => {
+                write!(f, "line {line}: expected {expected}, found {found}")
+            }
+            ParseError::UnknownConst(n) => write!(f, "unknown constant `{n}` used as size"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parse a whole IDL source file.
+pub fn parse(src: &str) -> Result<IdlFile, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, file: IdlFile::default() };
+    p.file()?;
+    Ok(p.file)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    file: IdlFile,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, expected: &str) -> Result<T, ParseError> {
+        Err(ParseError::Unexpected {
+            found: self
+                .peek()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "end of input".into()),
+            expected: expected.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        if self.peek() == Some(&want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&want.to_string())
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => self.err("identifier"),
+        }
+    }
+
+    /// A number literal or previously defined constant name.
+    fn number(&mut self) -> Result<i64, ParseError> {
+        match self.peek() {
+            Some(Tok::Number(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(n)
+            }
+            Some(Tok::Ident(name)) => {
+                let name = name.clone();
+                match self.file.const_value(&name) {
+                    Some(v) => {
+                        self.pos += 1;
+                        Ok(v)
+                    }
+                    None => Err(ParseError::UnknownConst(name)),
+                }
+            }
+            _ => self.err("number"),
+        }
+    }
+
+    fn file(&mut self) -> Result<(), ParseError> {
+        while self.peek().is_some() {
+            let def = self.definition()?;
+            self.file.defs.push(def);
+        }
+        Ok(())
+    }
+
+    fn definition(&mut self) -> Result<Definition, ParseError> {
+        let kw = self.ident()?;
+        match kw.as_str() {
+            "const" => {
+                let name = self.ident()?;
+                self.expect(Tok::Eq)?;
+                let value = self.number()?;
+                self.expect(Tok::Semi)?;
+                Ok(Definition::Const { name, value })
+            }
+            "enum" => {
+                let name = self.ident()?;
+                self.expect(Tok::LBrace)?;
+                let mut members = Vec::new();
+                let mut next = 0i64;
+                loop {
+                    let m = self.ident()?;
+                    let v = if self.peek() == Some(&Tok::Eq) {
+                        self.pos += 1;
+                        self.number()?
+                    } else {
+                        next
+                    };
+                    next = v + 1;
+                    members.push((m, v));
+                    match self.bump() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::RBrace) => break,
+                        _ => return self.err(", or }"),
+                    }
+                }
+                self.expect(Tok::Semi)?;
+                Ok(Definition::Enum { name, members })
+            }
+            "struct" => {
+                let name = self.ident()?;
+                self.expect(Tok::LBrace)?;
+                let mut fields = Vec::new();
+                while self.peek() != Some(&Tok::RBrace) {
+                    fields.push(self.decl()?);
+                    self.expect(Tok::Semi)?;
+                }
+                self.expect(Tok::RBrace)?;
+                self.expect(Tok::Semi)?;
+                Ok(Definition::Struct { name, fields })
+            }
+            "union" => {
+                let name = self.ident()?;
+                let sw = self.ident()?;
+                if sw != "switch" {
+                    return self.err("`switch`");
+                }
+                self.expect(Tok::LParen)?;
+                let _disc_ty = self.type_ref()?;
+                let disc = self.ident()?;
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::LBrace)?;
+                let mut arms = Vec::new();
+                let mut default = None;
+                while self.peek() != Some(&Tok::RBrace) {
+                    let kw = self.ident()?;
+                    match kw.as_str() {
+                        "case" => {
+                            let mut cases = vec![self.number()?];
+                            self.expect(Tok::Colon)?;
+                            // fall-through cases
+                            while self.peek() == Some(&Tok::Ident("case".into())) {
+                                self.pos += 1;
+                                cases.push(self.number()?);
+                                self.expect(Tok::Colon)?;
+                            }
+                            let decl = self.arm_decl()?;
+                            self.expect(Tok::Semi)?;
+                            arms.push(UnionArm { cases, decl });
+                        }
+                        "default" => {
+                            self.expect(Tok::Colon)?;
+                            default = Some(self.arm_decl()?);
+                            self.expect(Tok::Semi)?;
+                        }
+                        other => {
+                            return Err(ParseError::Unexpected {
+                                found: format!("`{other}`"),
+                                expected: "`case` or `default`".into(),
+                                line: self.line(),
+                            })
+                        }
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                self.expect(Tok::Semi)?;
+                Ok(Definition::Union { name, disc, arms, default })
+            }
+            "typedef" => {
+                let d = self.decl()?;
+                self.expect(Tok::Semi)?;
+                Ok(Definition::Typedef(d))
+            }
+            "program" => {
+                let name = self.ident()?;
+                self.expect(Tok::LBrace)?;
+                let mut versions = Vec::new();
+                while self.peek() != Some(&Tok::RBrace) {
+                    versions.push(self.version()?);
+                }
+                self.expect(Tok::RBrace)?;
+                self.expect(Tok::Eq)?;
+                let number = self.number()? as u32;
+                self.expect(Tok::Semi)?;
+                Ok(Definition::Program(ProgramDef { name, number, versions }))
+            }
+            other => Err(ParseError::Unexpected {
+                found: format!("`{other}`"),
+                expected: "const/enum/struct/union/typedef/program".into(),
+                line: self.line(),
+            }),
+        }
+    }
+
+    fn version(&mut self) -> Result<VersionDef, ParseError> {
+        let kw = self.ident()?;
+        if kw != "version" {
+            return self.err("`version`");
+        }
+        let name = self.ident()?;
+        self.expect(Tok::LBrace)?;
+        let mut procs = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            let result = self.type_ref()?;
+            let pname = self.ident()?;
+            self.expect(Tok::LParen)?;
+            let arg = if self.peek() == Some(&Tok::RParen) {
+                IdlType::Void
+            } else {
+                self.type_ref()?
+            };
+            self.expect(Tok::RParen)?;
+            self.expect(Tok::Eq)?;
+            let number = self.number()? as u32;
+            self.expect(Tok::Semi)?;
+            procs.push(ProcDef { name: pname, number, result, arg });
+        }
+        self.expect(Tok::RBrace)?;
+        self.expect(Tok::Eq)?;
+        let number = self.number()? as u32;
+        self.expect(Tok::Semi)?;
+        Ok(VersionDef { name, number, procs })
+    }
+
+    fn type_ref(&mut self) -> Result<IdlType, ParseError> {
+        let name = self.ident()?;
+        Ok(match name.as_str() {
+            "int" | "long" => IdlType::Int,
+            "unsigned" => {
+                // optional following int/hyper
+                match self.peek() {
+                    Some(Tok::Ident(s)) if s == "int" || s == "long" => {
+                        self.pos += 1;
+                        IdlType::UInt
+                    }
+                    Some(Tok::Ident(s)) if s == "hyper" => {
+                        self.pos += 1;
+                        IdlType::UHyper
+                    }
+                    _ => IdlType::UInt,
+                }
+            }
+            "hyper" => IdlType::Hyper,
+            "bool" => IdlType::Bool,
+            "float" => IdlType::Float,
+            "double" => IdlType::Double,
+            "void" => IdlType::Void,
+            _ => IdlType::Named(name),
+        })
+    }
+
+    /// A declaration inside a struct/union/typedef.
+    fn decl(&mut self) -> Result<Decl, ParseError> {
+        // `string name<max>` and `opaque name[n]`/`<max>` are special.
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == "string" {
+                self.pos += 1;
+                let name = self.ident()?;
+                self.expect(Tok::Lt)?;
+                let max = if self.peek() == Some(&Tok::Gt) { 0 } else { self.number()? as usize };
+                self.expect(Tok::Gt)?;
+                return Ok(Decl { name, ty: IdlType::Void, kind: DeclKind::String(max) });
+            }
+            if s == "opaque" {
+                self.pos += 1;
+                let name = self.ident()?;
+                match self.bump() {
+                    Some(Tok::LBracket) => {
+                        let n = self.number()? as usize;
+                        self.expect(Tok::RBracket)?;
+                        return Ok(Decl { name, ty: IdlType::Void, kind: DeclKind::FixedOpaque(n) });
+                    }
+                    Some(Tok::Lt) => {
+                        let max = if self.peek() == Some(&Tok::Gt) { 0 } else { self.number()? as usize };
+                        self.expect(Tok::Gt)?;
+                        return Ok(Decl { name, ty: IdlType::Void, kind: DeclKind::VarOpaque(max) });
+                    }
+                    _ => return self.err("[ or <"),
+                }
+            }
+        }
+        let ty = self.type_ref()?;
+        let pointer = if self.peek() == Some(&Tok::Star) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let name = self.ident()?;
+        let kind = match self.peek() {
+            Some(Tok::LBracket) => {
+                self.pos += 1;
+                let n = self.number()? as usize;
+                self.expect(Tok::RBracket)?;
+                DeclKind::FixedArray(n)
+            }
+            Some(Tok::Lt) => {
+                self.pos += 1;
+                let max = if self.peek() == Some(&Tok::Gt) { 0 } else { self.number()? as usize };
+                self.expect(Tok::Gt)?;
+                DeclKind::VarArray(max)
+            }
+            _ if pointer => DeclKind::Pointer,
+            _ => DeclKind::Scalar,
+        };
+        Ok(Decl { name, ty, kind })
+    }
+
+    /// Declaration in a union arm: may be `void`.
+    fn arm_decl(&mut self) -> Result<Decl, ParseError> {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == "void" {
+                self.pos += 1;
+                return Ok(Decl {
+                    name: String::new(),
+                    ty: IdlType::Void,
+                    kind: DeclKind::Scalar,
+                });
+            }
+        }
+        self.decl()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's benchmark interface: an integer-array echo service.
+    pub const ARRAY_X: &str = r#"
+        const MAXARR = 2000;
+
+        struct int_arr {
+            int arr<MAXARR>;
+        };
+
+        program ARRAYPROG {
+            version ARRAYVERS {
+                int_arr ECHO(int_arr) = 1;
+            } = 1;
+        } = 0x20000101;
+    "#;
+
+    #[test]
+    fn parses_the_benchmark_idl() {
+        let f = parse(ARRAY_X).unwrap();
+        assert_eq!(f.const_value("MAXARR"), Some(2000));
+        let s = f.struct_def("int_arr").unwrap();
+        assert_eq!(s[0].kind, DeclKind::VarArray(2000));
+        let progs = f.programs();
+        assert_eq!(progs[0].number, 0x2000_0101);
+        assert_eq!(progs[0].versions[0].procs[0].name, "ECHO");
+        assert_eq!(progs[0].versions[0].procs[0].arg, IdlType::Named("int_arr".into()));
+    }
+
+    #[test]
+    fn parses_rmin_pair() {
+        let src = r#"
+            struct pair { int int1; int int2; };
+            program RMINPROG {
+                version RMINVERS {
+                    int RMIN(pair) = 1;
+                } = 1;
+            } = 0x20000100;
+        "#;
+        let f = parse(src).unwrap();
+        assert_eq!(f.struct_def("pair").unwrap().len(), 2);
+        assert_eq!(f.programs()[0].versions[0].procs[0].result, IdlType::Int);
+    }
+
+    #[test]
+    fn parses_enum_with_implicit_values() {
+        let f = parse("enum color { RED, GREEN = 5, BLUE };").unwrap();
+        assert_eq!(
+            f.enum_def("color").unwrap(),
+            &[("RED".into(), 0), ("GREEN".into(), 5), ("BLUE".into(), 6)]
+        );
+    }
+
+    #[test]
+    fn parses_union_and_default() {
+        let src = r#"
+            union result switch (int status) {
+                case 0:
+                    int value;
+                case 1:
+                case 2:
+                    void;
+                default:
+                    int errno_;
+            };
+        "#;
+        let f = parse(src).unwrap();
+        match &f.defs[0] {
+            Definition::Union { name, disc, arms, default } => {
+                assert_eq!(name, "result");
+                assert_eq!(disc, "status");
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[1].cases, vec![1, 2]);
+                assert!(default.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_strings_opaques_pointers() {
+        let src = r#"
+            struct entry {
+                string name<255>;
+                opaque digest[16];
+                opaque blob<>;
+                entry *next;
+            };
+        "#;
+        let f = parse(src).unwrap();
+        let fields = f.struct_def("entry").unwrap();
+        assert_eq!(fields[0].kind, DeclKind::String(255));
+        assert_eq!(fields[1].kind, DeclKind::FixedOpaque(16));
+        assert_eq!(fields[2].kind, DeclKind::VarOpaque(0));
+        assert_eq!(fields[3].kind, DeclKind::Pointer);
+    }
+
+    #[test]
+    fn typedef_and_unsigned() {
+        let f = parse("typedef unsigned int uint32_like; typedef unsigned hyper u64_like;").unwrap();
+        match &f.defs[0] {
+            Definition::Typedef(d) => assert_eq!(d.ty, IdlType::UInt),
+            other => panic!("{other:?}"),
+        }
+        match &f.defs[1] {
+            Definition::Typedef(d) => assert_eq!(d.ty, IdlType::UHyper),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("struct s {\n int a\n}").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_const_in_size() {
+        assert_eq!(
+            parse("struct s { int a<NOPE>; };").unwrap_err(),
+            ParseError::UnknownConst("NOPE".into())
+        );
+    }
+
+    #[test]
+    fn void_arg_procedure() {
+        let f = parse(
+            "program P { version V { int PING(void) = 0; } = 1; } = 99;",
+        )
+        .unwrap();
+        assert_eq!(f.programs()[0].versions[0].procs[0].arg, IdlType::Void);
+    }
+}

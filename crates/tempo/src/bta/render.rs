@@ -1,0 +1,130 @@
+//! Binding-time–colored rendering of analyzed instances.
+//!
+//! Mirrors Tempo's UI (§6.1): static code prints plain (the paper's Roman
+//! face), dynamic code prints in **bold** (ANSI) or wrapped in `«…»` when
+//! color is off, so the division is visible in tests and logs too.
+
+use super::{AStmt, Bt, Instance};
+use crate::ir::pretty::{expr_str, lvalue_str, type_str};
+use crate::ir::{Program, Stmt};
+use std::fmt::Write;
+
+const BOLD: &str = "\x1b[1m";
+const RESET: &str = "\x1b[0m";
+
+fn mark(bt: Bt, text: &str, color: bool) -> String {
+    match bt {
+        Bt::S => text.to_string(),
+        Bt::D if color => format!("{BOLD}{text}{RESET}"),
+        Bt::D => format!("«{text}»"),
+    }
+}
+
+/// Render one instance with binding-time marks.
+pub fn render_instance(prog: &Program, inst: &Instance, color: bool) -> String {
+    let func = match prog.func(&inst.func) {
+        Some(f) => f,
+        None => return format!("<unknown function {}>", inst.func),
+    };
+    let mut out = String::new();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .map(|(n, t)| format!("{} {}", type_str(prog, t), n))
+        .collect();
+    let _ = writeln!(
+        out,
+        "// instance of {} (context: {:?}; return: {:?})",
+        inst.func,
+        inst.ctx.iter().map(aval_short).collect::<Vec<_>>(),
+        aval_short(&inst.ret),
+    );
+    let _ = writeln!(
+        out,
+        "{} {}({}) {{",
+        type_str(prog, &func.ret),
+        inst.func,
+        params.join(", ")
+    );
+    for s in &inst.body {
+        render_stmt(prog, func, s, 1, color, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn aval_short(v: &super::AVal) -> &'static str {
+    match v {
+        super::AVal::Stat => "S",
+        super::AVal::Dyn => "D",
+        super::AVal::Ptr(_) => "S*",
+        super::AVal::BufPtr => "Sbuf",
+    }
+}
+
+fn render_stmt(
+    prog: &Program,
+    func: &crate::ir::Function,
+    s: &AStmt,
+    indent: usize,
+    color: bool,
+    out: &mut String,
+) {
+    let pad = "    ".repeat(indent);
+    match &s.stmt {
+        Stmt::Assign(lv, e) => {
+            let text = format!(
+                "{} = {};",
+                lvalue_str(prog, func, lv),
+                expr_str(prog, func, e)
+            );
+            let _ = writeln!(out, "{pad}{}", mark(s.bt, &text, color));
+        }
+        Stmt::If(c, _, _) => {
+            let head = format!("if ({})", expr_str(prog, func, c));
+            let _ = writeln!(out, "{pad}{} {{", mark(s.bt, &head, color));
+            for st in &s.blocks[0] {
+                render_stmt(prog, func, st, indent + 1, color, out);
+            }
+            if !s.blocks[1].is_empty() {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for st in &s.blocks[1] {
+                    render_stmt(prog, func, st, indent + 1, color, out);
+                }
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::While(c, _) => {
+            let head = format!("while ({})", expr_str(prog, func, c));
+            let _ = writeln!(out, "{pad}{} {{", mark(s.bt, &head, color));
+            for st in &s.blocks[0] {
+                render_stmt(prog, func, st, indent + 1, color, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::For { var, lo, hi, .. } => {
+            let v = func.var_name(*var);
+            let head = format!(
+                "for ({v} = {}; {v} < {}; {v}++)",
+                expr_str(prog, func, lo),
+                expr_str(prog, func, hi)
+            );
+            let _ = writeln!(out, "{pad}{} {{", mark(s.bt, &head, color));
+            for st in &s.blocks[0] {
+                render_stmt(prog, func, st, indent + 1, color, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Expr(e) => {
+            let text = format!("{};", expr_str(prog, func, e));
+            let _ = writeln!(out, "{pad}{}", mark(s.bt, &text, color));
+        }
+        Stmt::Return(None) => {
+            let _ = writeln!(out, "{pad}{}", mark(s.bt, "return;", color));
+        }
+        Stmt::Return(Some(e)) => {
+            let text = format!("return {};", expr_str(prog, func, e));
+            let _ = writeln!(out, "{pad}{}", mark(s.bt, &text, color));
+        }
+    }
+}

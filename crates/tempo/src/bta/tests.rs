@@ -1,0 +1,308 @@
+//! BTA tests on the miniature Sun RPC marshaling chain, asserting the
+//! paper's §3 divisions and that the analysis agrees with what the
+//! specializer actually folds.
+
+use super::*;
+use crate::ir::builder::*;
+use crate::ir::{FieldDef, Program, StructDef, Type};
+
+const X_OP: usize = 0;
+const X_HANDY: usize = 1;
+const X_PRIVATE: usize = 2;
+
+fn mini_program() -> Program {
+    let mut p = Program::new();
+    let xdr_sid = p.add_struct(StructDef {
+        name: "XDR".into(),
+        fields: vec![
+            FieldDef { name: "x_op".into(), ty: Type::Long },
+            FieldDef { name: "x_handy".into(), ty: Type::Long },
+            FieldDef { name: "x_private".into(), ty: Type::BufPtr },
+        ],
+    });
+    let pair_sid = p.add_struct(StructDef {
+        name: "PAIR".into(),
+        fields: vec![
+            FieldDef { name: "int1".into(), ty: Type::Long },
+            FieldDef { name: "int2".into(), ty: Type::Long },
+        ],
+    });
+
+    let mut fb = FunctionBuilder::new("xdrmem_putlong");
+    let xdrs = fb.param("xdrs", ptr(Type::Struct(xdr_sid)));
+    let lp = fb.param("lp", ptr(Type::Long));
+    fb.returns(Type::Long);
+    let putlong = fb.body(vec![
+        assign(
+            field(deref_var(xdrs), X_HANDY),
+            sub(lv(field(deref_var(xdrs), X_HANDY)), c(4)),
+        ),
+        if_then(
+            lt(lv(field(deref_var(xdrs), X_HANDY)), c(0)),
+            vec![ret(Some(c(0)))],
+        ),
+        assign(
+            buf32(lv(field(deref_var(xdrs), X_PRIVATE))),
+            htonl(lv(deref_var(lp))),
+        ),
+        assign(
+            field(deref_var(xdrs), X_PRIVATE),
+            add(lv(field(deref_var(xdrs), X_PRIVATE)), c(4)),
+        ),
+        ret(Some(c(1))),
+    ]);
+    p.add_func(putlong);
+
+    let mut fb = FunctionBuilder::new("xdr_long");
+    let xdrs = fb.param("xdrs", ptr(Type::Struct(xdr_sid)));
+    let lp = fb.param("lp", ptr(Type::Long));
+    fb.returns(Type::Long);
+    let xl = fb.body(vec![
+        if_then(
+            eq(lv(field(deref_var(xdrs), X_OP)), c(0)),
+            vec![ret(Some(call("xdrmem_putlong", vec![lv(var(xdrs)), lv(var(lp))])))],
+        ),
+        ret(Some(c(0))),
+    ]);
+    p.add_func(xl);
+
+    let mut fb = FunctionBuilder::new("xdr_pair");
+    let xdrs = fb.param("xdrs", ptr(Type::Struct(xdr_sid)));
+    let objp = fb.param("objp", ptr(Type::Struct(pair_sid)));
+    fb.returns(Type::Long);
+    let xp = fb.body(vec![
+        if_then(
+            not(call("xdr_long", vec![lv(var(xdrs)), addr_of(field(deref_var(objp), 0))])),
+            vec![ret(Some(c(0)))],
+        ),
+        if_then(
+            not(call("xdr_long", vec![lv(var(xdrs)), addr_of(field(deref_var(objp), 1))])),
+            vec![ret(Some(c(0)))],
+        ),
+        ret(Some(c(1))),
+    ]);
+    p.add_func(xp);
+    p.validate().unwrap();
+    p
+}
+
+fn analyzed() -> (Program, Analysis) {
+    let p = mini_program();
+    let xdr_sid = p.struct_named("XDR").unwrap();
+    let pair_sid = p.struct_named("PAIR").unwrap();
+    let mut bta = Bta::new(&p);
+    let xdr_obj = bta.add_static_struct(xdr_sid);
+    bta.set_slot(xdr_obj, X_PRIVATE, AVal::BufPtr);
+    let pair_obj = bta.add_dynamic_struct(pair_sid);
+    let a = bta
+        .analyze(
+            "xdr_pair",
+            vec![
+                AVal::Ptr([xdr_obj].into_iter().collect()),
+                AVal::Ptr([pair_obj].into_iter().collect()),
+            ],
+        )
+        .unwrap();
+    (p, a)
+}
+
+#[test]
+fn dispatch_condition_is_static() {
+    let (_, a) = analyzed();
+    let insts = a.instances_of("xdr_long");
+    assert!(!insts.is_empty());
+    for inst in insts {
+        // The `if (xdrs->x_op == 0)` dispatch is static (§3.1).
+        assert_eq!(inst.body[0].bt, Bt::S, "{:?}", inst.body[0]);
+    }
+}
+
+#[test]
+fn overflow_check_is_static_but_buffer_store_is_dynamic() {
+    let (_, a) = analyzed();
+    let inst = &a.instances_of("xdrmem_putlong")[0];
+    // handy decrement: static; overflow test: static (§3.2).
+    assert_eq!(inst.body[0].bt, Bt::S);
+    assert_eq!(inst.body[1].bt, Bt::S);
+    // buffer store: dynamic (the data is unknown).
+    assert_eq!(inst.body[2].bt, Bt::D);
+    // cursor advance: static (pointer arithmetic on a static BufPtr).
+    assert_eq!(inst.body[3].bt, Bt::S);
+}
+
+#[test]
+fn static_returns_propagate_through_the_chain() {
+    let (_, a) = analyzed();
+    // xdrmem_putlong has dynamic side effects but a static return (§3.3).
+    let putlong = &a.instances_of("xdrmem_putlong")[0];
+    assert_eq!(putlong.ret, AVal::Stat);
+    // Hence xdr_long's return is static, hence xdr_pair's status tests are
+    // static statements.
+    let pair = a.entry();
+    assert_eq!(pair.func, "xdr_pair");
+    assert_eq!(pair.body[0].bt, Bt::S, "first status test");
+    assert_eq!(pair.body[1].bt, Bt::S, "second status test");
+    assert_eq!(pair.ret, AVal::Stat);
+}
+
+#[test]
+fn context_sensitivity_produces_distinct_instances() {
+    // Call xdr_long twice: once on a static struct field, once on a
+    // dynamic one; the putlong instances differ in the store's rhs bt.
+    let mut p = mini_program();
+    let pair_sid = p.struct_named("PAIR").unwrap();
+    let xdr_sid = p.struct_named("XDR").unwrap();
+    let mut fb = FunctionBuilder::new("two_calls");
+    let xdrs = fb.param("xdrs", ptr(Type::Struct(xdr_sid)));
+    let sp = fb.param("sp", ptr(Type::Struct(pair_sid)));
+    let dp = fb.param("dp", ptr(Type::Struct(pair_sid)));
+    fb.returns(Type::Long);
+    let f = fb.body(vec![
+        expr_stmt(call("xdr_long", vec![lv(var(xdrs)), addr_of(field(deref_var(sp), 0))])),
+        expr_stmt(call("xdr_long", vec![lv(var(xdrs)), addr_of(field(deref_var(dp), 0))])),
+        ret(Some(c(1))),
+    ]);
+    p.add_func(f);
+
+    let mut bta = Bta::new(&p);
+    let xdr_obj = bta.add_static_struct(xdr_sid);
+    bta.set_slot(xdr_obj, X_PRIVATE, AVal::BufPtr);
+    let s_obj = bta.add_static_struct(pair_sid); // fully static args
+    let d_obj = bta.add_dynamic_struct(pair_sid);
+    let a = bta
+        .analyze(
+            "two_calls",
+            vec![
+                AVal::Ptr([xdr_obj].into_iter().collect()),
+                AVal::Ptr([s_obj].into_iter().collect()),
+                AVal::Ptr([d_obj].into_iter().collect()),
+            ],
+        )
+        .unwrap();
+
+    let puts = a.instances_of("xdrmem_putlong");
+    assert_eq!(puts.len(), 2, "one instance per binding-time context");
+    // First instance encodes static data: even the store's RHS is static
+    // (but the store itself stays dynamic — it writes the wire).
+    let store_rhs_bts: Vec<Bt> = puts.iter().map(|i| i.body[2].exprs[0].bt).collect();
+    assert_eq!(store_rhs_bts, vec![Bt::S, Bt::D]);
+}
+
+#[test]
+fn flow_sensitive_join_promotes_to_dynamic() {
+    // if (d) x = <dyn>; else x = 1;  — after the join x is dynamic, but
+    // *inside* the else branch a use of x would be static.
+    let mut p = Program::new();
+    let mut fb = FunctionBuilder::new("f");
+    let d = fb.param("d", Type::Long);
+    let x = fb.local("x", Type::Long);
+    fb.returns(Type::Long);
+    let f = fb.body(vec![
+        if_else(
+            lv(var(d)),
+            vec![assign(var(x), lv(var(d)))],
+            vec![assign(var(x), c(1)), ret(Some(lv(var(x))))],
+        ),
+        ret(Some(lv(var(x)))),
+    ]);
+    p.add_func(f);
+    let mut bta = Bta::new(&p);
+    let a = bta.analyze("f", vec![AVal::Dyn]).unwrap();
+    let inst = a.entry();
+    // Inside else: return x is static (flow-sensitive).
+    assert_eq!(inst.body[0].blocks[1][1].bt, Bt::S);
+    // After the join: return x is dynamic.
+    assert_eq!(inst.body[1].bt, Bt::D);
+}
+
+#[test]
+fn loop_fixpoint_promotes_accumulator() {
+    // acc starts static but accumulates a dynamic value in a loop.
+    let mut p = Program::new();
+    let mut fb = FunctionBuilder::new("f");
+    let d = fb.param("d", Type::Long);
+    let acc = fb.local("acc", Type::Long);
+    let i = fb.local("i", Type::Long);
+    fb.returns(Type::Long);
+    let f = fb.body(vec![
+        assign(var(acc), c(0)),
+        for_loop(i, c(0), c(4), vec![assign(var(acc), add(lv(var(acc)), lv(var(d))))]),
+        ret(Some(lv(var(acc)))),
+    ]);
+    p.add_func(f);
+    let mut bta = Bta::new(&p);
+    let a = bta.analyze("f", vec![AVal::Dyn]).unwrap();
+    assert_eq!(a.entry().ret, AVal::Dyn);
+    // The loop head itself has static bounds.
+    assert_eq!(a.entry().body[1].bt, Bt::S);
+}
+
+#[test]
+fn render_marks_dynamic_statements() {
+    let (p, a) = analyzed();
+    let text = a.render(&p, false);
+    // The buffer store renders inside dynamic marks.
+    assert!(text.contains("«*(long*)(xdrs->x_private) = htonl(*lp);»"), "{text}");
+    // The dispatch renders unmarked (static).
+    assert!(text.contains("if ((xdrs->x_op == 0))"), "{text}");
+    assert!(!text.contains("«if ((xdrs->x_op == 0))"), "{text}");
+}
+
+#[test]
+fn render_with_ansi_bold() {
+    let (p, a) = analyzed();
+    let text = a.render(&p, true);
+    assert!(text.contains("\x1b[1m"), "bold escape present");
+}
+
+#[test]
+fn stmt_counts_split() {
+    let (_, a) = analyzed();
+    let inst = &a.instances_of("xdrmem_putlong")[0];
+    let (s, d) = inst.stmt_counts();
+    assert_eq!(d, 1, "only the buffer store is dynamic");
+    assert!(s >= 4);
+}
+
+#[test]
+fn bta_agrees_with_specializer_on_the_mini_chain() {
+    // What BTA calls static conditionals, the specializer folds: the
+    // entry's dynamic statement count matches the residual statement count
+    // (modulo the materialized return).
+    use crate::eval::{Place, Value};
+    use crate::spec::{SVal, Specializer};
+
+    let p = mini_program();
+    let (_, a) = analyzed();
+    let bta_dynamic: usize = a
+        .instances
+        .iter()
+        .map(|i| i.stmt_counts().1)
+        .sum();
+
+    let xdr_sid = p.struct_named("XDR").unwrap();
+    let pair_sid = p.struct_named("PAIR").unwrap();
+    let mut spec = Specializer::new(&p);
+    let buf = spec.alloc_buffer("buf");
+    let pair_obj = spec.alloc_dynamic_struct(pair_sid, "objp");
+    let xdr_obj = spec.alloc_static_struct(xdr_sid);
+    spec.set_slot_static(Place { obj: xdr_obj, slot: X_OP }, Value::Long(0));
+    spec.set_slot_static(Place { obj: xdr_obj, slot: X_HANDY }, Value::Long(64));
+    spec.set_slot_static(Place { obj: xdr_obj, slot: X_PRIVATE }, Value::BufPtr(buf, 0));
+    let residual = spec
+        .specialize(
+            "xdr_pair",
+            vec![
+                SVal::S(Value::Ref(Place { obj: xdr_obj, slot: 0 })),
+                SVal::S(Value::Ref(Place { obj: pair_obj, slot: 0 })),
+            ],
+            "spec",
+        )
+        .unwrap();
+    // Residual: the dynamic stores (2, one per xdr_long instance context
+    // in BTA terms) plus the materialized return.
+    assert_eq!(residual.stmt_count(), 2 + 1);
+    // BTA counted one dynamic store per putlong instance; instances are
+    // per-context, and both calls share one context here.
+    assert!(bta_dynamic >= 1);
+}

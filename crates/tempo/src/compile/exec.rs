@@ -1,0 +1,369 @@
+//! Execution of compiled stub programs against real buffers.
+//!
+//! [`run_encode`] and [`run_decode`] are the tight loops the benchmarks
+//! measure. Per array element they perform one match on a copied micro-op
+//! plus one bounds-checked 4-byte move — versus the generic path's two
+//! virtual calls, an operation dispatch, an overflow check and a status
+//! test. The difference between the two is exactly the interpretation
+//! overhead the paper's specialization removes.
+
+use super::{count_op, StubOp, StubProgram};
+use specrpc_xdr::OpCounts;
+use std::fmt;
+
+/// The specialized calling convention: scalar arguments and integer arrays
+/// by slot. `rpcgen` assigns the slots when it generates conventions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StubArgs {
+    /// Scalar slots.
+    pub scalars: Vec<i32>,
+    /// Array slots.
+    pub arrays: Vec<Vec<i32>>,
+}
+
+impl StubArgs {
+    /// Convenience constructor.
+    pub fn new(scalars: Vec<i32>, arrays: Vec<Vec<i32>>) -> Self {
+        StubArgs { scalars, arrays }
+    }
+}
+
+/// Result of running a stub.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The stub completed; `ret` is the residual return value and
+    /// `wire_len` the bytes read/written.
+    Done {
+        /// Residual return value (C `TRUE`/`FALSE`).
+        ret: i32,
+        /// Bytes of wire data processed.
+        wire_len: usize,
+    },
+    /// A dynamic guard failed (`inlen` mismatch, reply-word mismatch):
+    /// the caller must run the generic path instead — the §6.2 `else`
+    /// branch that "preserves the semantics".
+    Fallback,
+}
+
+/// Hard execution failures (these indicate harness bugs, not wire
+/// conditions — wire conditions produce [`Outcome::Fallback`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StubError {
+    /// Buffer shorter than an op's reach.
+    BufTooSmall {
+        /// Byte offset of the access.
+        off: usize,
+        /// Buffer length.
+        len: usize,
+    },
+    /// Scalar slot out of range.
+    BadScalarSlot(u16),
+    /// Array slot out of range.
+    BadArraySlot(u16),
+    /// Array element out of range.
+    BadElem {
+        /// Array slot.
+        arr: u16,
+        /// Element index.
+        idx: usize,
+        /// Array length.
+        len: usize,
+    },
+    /// Malformed loop structure.
+    BadLoop,
+    /// Decode op encountered while encoding or vice versa.
+    WrongDirection(&'static str),
+}
+
+impl fmt::Display for StubError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StubError::BufTooSmall { off, len } => {
+                write!(f, "buffer too small: access at {off}, length {len}")
+            }
+            StubError::BadScalarSlot(s) => write!(f, "scalar slot {s} out of range"),
+            StubError::BadArraySlot(a) => write!(f, "array slot {a} out of range"),
+            StubError::BadElem { arr, idx, len } => {
+                write!(f, "array {arr} element {idx} out of range (len {len})")
+            }
+            StubError::BadLoop => write!(f, "malformed loop structure"),
+            StubError::WrongDirection(op) => write!(f, "op {op} illegal in this direction"),
+        }
+    }
+}
+
+impl std::error::Error for StubError {}
+
+#[derive(Clone, Copy)]
+struct LoopFrame {
+    start_pc: usize,
+    remaining: u32,
+    off_acc: u32,
+    idx_acc: u32,
+    off_stride: u32,
+    idx_stride: u32,
+}
+
+/// Run an encode stub: reads `args`, writes `buf`.
+pub fn run_encode(
+    prog: &StubProgram,
+    buf: &mut [u8],
+    args: &StubArgs,
+    counts: &mut OpCounts,
+) -> Result<Outcome, StubError> {
+    let ops = &prog.ops;
+    let mut pc = 0usize;
+    let mut lp: Option<LoopFrame> = None;
+    let mut off_acc = 0u32;
+    let mut idx_acc = 0u32;
+    while pc < ops.len() {
+        let op = ops[pc];
+        match op {
+            StubOp::PutImm { off, word } => {
+                let o = (off + off_acc) as usize;
+                put4(buf, o, word.to_le_bytes())?;
+                count_op(counts, 4);
+            }
+            StubOp::PutScalar { off, slot } => {
+                let v = *args
+                    .scalars
+                    .get(slot as usize)
+                    .ok_or(StubError::BadScalarSlot(slot))?;
+                put4(buf, (off + off_acc) as usize, v.to_be_bytes())?;
+                count_op(counts, 4);
+            }
+            StubOp::PutElem { off, arr, idx } => {
+                let a = args
+                    .arrays
+                    .get(arr as usize)
+                    .ok_or(StubError::BadArraySlot(arr))?;
+                let i = (idx + idx_acc) as usize;
+                let v = *a.get(i).ok_or(StubError::BadElem {
+                    arr,
+                    idx: i,
+                    len: a.len(),
+                })?;
+                put4(buf, (off + off_acc) as usize, v.to_be_bytes())?;
+                count_op(counts, 4);
+            }
+            StubOp::Loop {
+                times,
+                off_stride,
+                idx_stride,
+                ..
+            } => {
+                count_op(counts, 0);
+                if times == 0 {
+                    // Skip the body entirely.
+                    pc = skip_loop(ops, pc)?;
+                    continue;
+                }
+                lp = Some(LoopFrame {
+                    start_pc: pc + 1,
+                    remaining: times,
+                    off_acc,
+                    idx_acc,
+                    off_stride,
+                    idx_stride,
+                });
+            }
+            StubOp::EndLoop => {
+                let frame = lp.as_mut().ok_or(StubError::BadLoop)?;
+                frame.remaining -= 1;
+                if frame.remaining > 0 {
+                    off_acc += frame.off_stride;
+                    idx_acc += frame.idx_stride;
+                    pc = frame.start_pc;
+                    continue;
+                }
+                off_acc = frame.off_acc;
+                idx_acc = frame.idx_acc;
+                lp = None;
+            }
+            StubOp::Ret { val } => {
+                count_op(counts, 0);
+                return Ok(Outcome::Done {
+                    ret: val,
+                    wire_len: prog.wire_len,
+                });
+            }
+            StubOp::SetScalarImm { .. } | StubOp::SetArrLen { .. } => {
+                return Err(StubError::WrongDirection("decode-only op in encode"))
+            }
+            StubOp::GetScalar { .. } | StubOp::GetElem { .. } => {
+                return Err(StubError::WrongDirection("get in encode"))
+            }
+            StubOp::CheckWord { .. } | StubOp::CheckScalar { .. } | StubOp::LenGuard { .. } => {
+                return Err(StubError::WrongDirection("guard in encode"))
+            }
+        }
+        pc += 1;
+    }
+    Ok(Outcome::Done {
+        ret: 1,
+        wire_len: prog.wire_len,
+    })
+}
+
+/// Run a decode stub: reads `buf` (of `inlen` valid bytes), writes `args`.
+pub fn run_decode(
+    prog: &StubProgram,
+    buf: &[u8],
+    args: &mut StubArgs,
+    inlen: usize,
+    counts: &mut OpCounts,
+) -> Result<Outcome, StubError> {
+    let ops = &prog.ops;
+    let mut pc = 0usize;
+    let mut lp: Option<LoopFrame> = None;
+    let mut off_acc = 0u32;
+    let mut idx_acc = 0u32;
+    while pc < ops.len() {
+        let op = ops[pc];
+        match op {
+            StubOp::LenGuard { expected } => {
+                count_op(counts, 0);
+                if inlen != expected as usize {
+                    return Ok(Outcome::Fallback);
+                }
+            }
+            StubOp::CheckWord { off, want } => {
+                let v = get4(buf, (off + off_acc) as usize)?;
+                count_op(counts, 4);
+                if i32::from_be_bytes(v) != want {
+                    return Ok(Outcome::Fallback);
+                }
+            }
+            StubOp::CheckScalar { slot, want } => {
+                let v = *args
+                    .scalars
+                    .get(slot as usize)
+                    .ok_or(StubError::BadScalarSlot(slot))?;
+                count_op(counts, 0);
+                if v != want {
+                    return Ok(Outcome::Fallback);
+                }
+            }
+            StubOp::GetScalar { off, slot } => {
+                let v = i32::from_be_bytes(get4(buf, (off + off_acc) as usize)?);
+                let s = args
+                    .scalars
+                    .get_mut(slot as usize)
+                    .ok_or(StubError::BadScalarSlot(slot))?;
+                *s = v;
+                count_op(counts, 4);
+            }
+            StubOp::GetElem { off, arr, idx } => {
+                let v = i32::from_be_bytes(get4(buf, (off + off_acc) as usize)?);
+                let a = args
+                    .arrays
+                    .get_mut(arr as usize)
+                    .ok_or(StubError::BadArraySlot(arr))?;
+                let i = (idx + idx_acc) as usize;
+                let len = a.len();
+                *a.get_mut(i).ok_or(StubError::BadElem { arr, idx: i, len })? = v;
+                count_op(counts, 4);
+            }
+            StubOp::SetScalarImm { slot, val } => {
+                let s = args
+                    .scalars
+                    .get_mut(slot as usize)
+                    .ok_or(StubError::BadScalarSlot(slot))?;
+                *s = val;
+                count_op(counts, 0);
+            }
+            StubOp::SetArrLen { arr, len } => {
+                let a = args
+                    .arrays
+                    .get_mut(arr as usize)
+                    .ok_or(StubError::BadArraySlot(arr))?;
+                a.resize(len as usize, 0);
+                count_op(counts, 0);
+            }
+            StubOp::Loop {
+                times,
+                off_stride,
+                idx_stride,
+                ..
+            } => {
+                count_op(counts, 0);
+                if times == 0 {
+                    pc = skip_loop(ops, pc)?;
+                    continue;
+                }
+                lp = Some(LoopFrame {
+                    start_pc: pc + 1,
+                    remaining: times,
+                    off_acc,
+                    idx_acc,
+                    off_stride,
+                    idx_stride,
+                });
+            }
+            StubOp::EndLoop => {
+                let frame = lp.as_mut().ok_or(StubError::BadLoop)?;
+                frame.remaining -= 1;
+                if frame.remaining > 0 {
+                    off_acc += frame.off_stride;
+                    idx_acc += frame.idx_stride;
+                    pc = frame.start_pc;
+                    continue;
+                }
+                off_acc = frame.off_acc;
+                idx_acc = frame.idx_acc;
+                lp = None;
+            }
+            StubOp::Ret { val } => {
+                count_op(counts, 0);
+                return Ok(Outcome::Done {
+                    ret: val,
+                    wire_len: prog.wire_len,
+                });
+            }
+            StubOp::PutImm { .. } | StubOp::PutScalar { .. } | StubOp::PutElem { .. } => {
+                return Err(StubError::WrongDirection("put in decode"))
+            }
+        }
+        pc += 1;
+    }
+    Ok(Outcome::Done {
+        ret: 1,
+        wire_len: prog.wire_len,
+    })
+}
+
+#[inline(always)]
+fn put4(buf: &mut [u8], off: usize, bytes: [u8; 4]) -> Result<(), StubError> {
+    match buf.get_mut(off..off + 4) {
+        Some(dst) => {
+            dst.copy_from_slice(&bytes);
+            Ok(())
+        }
+        None => Err(StubError::BufTooSmall { off, len: buf.len() }),
+    }
+}
+
+#[inline(always)]
+fn get4(buf: &[u8], off: usize) -> Result<[u8; 4], StubError> {
+    match buf.get(off..off + 4) {
+        Some(src) => {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(src);
+            Ok(b)
+        }
+        None => Err(StubError::BufTooSmall { off, len: buf.len() }),
+    }
+}
+
+fn skip_loop(ops: &[StubOp], pc: usize) -> Result<usize, StubError> {
+    match ops.get(pc) {
+        Some(StubOp::Loop { body, .. }) => {
+            let end = pc + 1 + *body as usize;
+            match ops.get(end) {
+                Some(StubOp::EndLoop) => Ok(end + 1),
+                _ => Err(StubError::BadLoop),
+            }
+        }
+        _ => Err(StubError::BadLoop),
+    }
+}

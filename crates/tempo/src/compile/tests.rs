@@ -1,0 +1,347 @@
+//! Compiler + VM tests: hand-built residual IR in, wire bytes out.
+
+use super::*;
+use crate::ir::builder::*;
+use crate::ir::{FieldDef, Function, Program, StructDef, Type};
+use specrpc_xdr::OpCounts;
+
+/// An argument struct `ARGS { len; arr[4]; }` and conventions mapping it
+/// to scalar slot 0 / array slot 0.
+fn args_prog() -> (Program, usize) {
+    let mut p = Program::new();
+    let sid = p.add_struct(StructDef {
+        name: "ARGS".into(),
+        fields: vec![
+            FieldDef { name: "len".into(), ty: Type::Long },
+            FieldDef {
+                name: "arr".into(),
+                ty: Type::Array(Box::new(Type::Long), 4),
+            },
+        ],
+    });
+    (p, sid)
+}
+
+fn conventions() -> StubConventions {
+    StubConventions {
+        params: vec![
+            ParamBinding::Buffer,
+            ParamBinding::Struct(vec![
+                FieldBinding {
+                    slot_start: 0,
+                    slot_len: 1,
+                    target: FieldTarget::ArrayLen(0),
+                },
+                FieldBinding {
+                    slot_start: 1,
+                    slot_len: 4,
+                    target: FieldTarget::Array(0),
+                },
+            ]),
+            ParamBinding::InLen,
+        ],
+    }
+}
+
+/// Residual encode function:
+/// ```c
+/// void enc(char* buf, ARGS* argsp, long inlen) {
+///     *(long*)(buf) = 0x04000000;            // htonl(4), prefolded
+///     *(long*)(buf+4) = htonl(argsp->arr[0]);
+///     ...
+///     *(long*)(buf+16) = htonl(argsp->arr[3]);
+/// }
+/// ```
+fn encode_residual(p: &Program, sid: usize) -> Function {
+    let mut fb = FunctionBuilder::new("enc");
+    let buf = fb.param("buf", Type::BufPtr);
+    let argsp = fb.param("argsp", ptr(Type::Struct(sid)));
+    let _inlen = fb.param("inlen", Type::Long);
+    let mut body = vec![assign(
+        buf32(lv(var(buf))),
+        c((4u32).swap_bytes() as i64),
+    )];
+    for i in 0..4 {
+        body.push(assign(
+            buf32(add(lv(var(buf)), c(4 + 4 * i))),
+            htonl(lv(index(field(deref_var(argsp), 1), c(i)))),
+        ));
+    }
+    let f = fb.body(body);
+    let _ = p; // layout only
+    f
+}
+
+#[test]
+fn compile_encode_shapes() {
+    let (p, sid) = args_prog();
+    let f = encode_residual(&p, sid);
+    let stub = compile(&p, &f, &conventions(), CompileOptions::default()).unwrap();
+    assert_eq!(stub.ops.len(), 6, "{:?}", stub.ops);
+    assert_eq!(
+        stub.ops[0],
+        StubOp::PutImm {
+            off: 0,
+            word: (4u32).swap_bytes()
+        }
+    );
+    assert_eq!(stub.ops[1], StubOp::PutElem { off: 4, arr: 0, idx: 0 });
+    assert_eq!(stub.ops[4], StubOp::PutElem { off: 16, arr: 0, idx: 3 });
+    assert_eq!(stub.ops[5], StubOp::Ret { val: 1 });
+    assert_eq!(stub.wire_len, 20);
+}
+
+#[test]
+fn encode_produces_wire_bytes() {
+    let (p, sid) = args_prog();
+    let f = encode_residual(&p, sid);
+    let stub = compile(&p, &f, &conventions(), CompileOptions::default()).unwrap();
+    let args = StubArgs::new(vec![], vec![vec![0x01020304, 2, 3, -1]]);
+    let mut buf = vec![0u8; 32];
+    let mut counts = OpCounts::new();
+    let out = run_encode(&stub, &mut buf, &args, &mut counts).unwrap();
+    assert_eq!(out, Outcome::Done { ret: 1, wire_len: 20 });
+    assert_eq!(&buf[0..4], &[0, 0, 0, 4], "length word");
+    assert_eq!(&buf[4..8], &[1, 2, 3, 4], "big-endian element");
+    assert_eq!(&buf[16..20], &[0xff, 0xff, 0xff, 0xff]);
+    assert_eq!(counts.stub_ops, 6);
+    assert_eq!(counts.mem_moves, 20);
+}
+
+/// Residual decode with guards:
+/// ```c
+/// long dec(char* buf, ARGS* argsp, long inlen) {
+///     if (inlen == 20) {
+///         if (ntohl(*(long*)(buf)) != 4) return 0;
+///         argsp->len = 4;                    // SetArrLen via conventions
+///         argsp->arr[i] = ntohl(*(long*)(buf+4+4i));
+///         return 1;
+///     } else return 0;
+/// }
+/// ```
+fn decode_residual(sid: usize) -> Function {
+    let mut fb = FunctionBuilder::new("dec");
+    let buf = fb.param("buf", Type::BufPtr);
+    let argsp = fb.param("argsp", ptr(Type::Struct(sid)));
+    let inlen = fb.param("inlen", Type::Long);
+    fb.returns(Type::Long);
+    let mut fast = vec![
+        if_then(
+            ne(ntohl(lv(buf32(lv(var(buf))))), c(4)),
+            vec![ret(Some(c(0)))],
+        ),
+        assign(field(deref_var(argsp), 0), c(4)),
+    ];
+    for i in 0..4 {
+        fast.push(assign(
+            index(field(deref_var(argsp), 1), c(i)),
+            ntohl(lv(buf32(add(lv(var(buf)), c(4 + 4 * i))))),
+        ));
+    }
+    fast.push(ret(Some(c(1))));
+    fb.body(vec![if_else(
+        eq(lv(var(inlen)), c(20)),
+        fast,
+        vec![ret(Some(c(0)))],
+    )])
+}
+
+#[test]
+fn compile_decode_with_guards() {
+    let (p, sid) = args_prog();
+    let f = decode_residual(sid);
+    let stub = compile(&p, &f, &conventions(), CompileOptions::default()).unwrap();
+    assert_eq!(stub.ops[0], StubOp::LenGuard { expected: 20 });
+    assert_eq!(stub.ops[1], StubOp::CheckWord { off: 0, want: 4 });
+    assert_eq!(stub.ops[2], StubOp::SetArrLen { arr: 0, len: 4 });
+    assert!(matches!(stub.ops[3], StubOp::GetElem { off: 4, arr: 0, idx: 0 }));
+}
+
+#[test]
+fn decode_roundtrips_encode() {
+    let (p, sid) = args_prog();
+    let enc = encode_residual(&p, sid);
+    let enc_stub = compile(&p, &enc, &conventions(), CompileOptions::default()).unwrap();
+    let dec = decode_residual(sid);
+    let dec_stub = compile(&p, &dec, &conventions(), CompileOptions::default()).unwrap();
+
+    let args = StubArgs::new(vec![], vec![vec![10, -20, 30, -40]]);
+    let mut buf = vec![0u8; 20];
+    let mut counts = OpCounts::new();
+    run_encode(&enc_stub, &mut buf, &args, &mut counts).unwrap();
+
+    let mut out = StubArgs::new(vec![], vec![vec![]]);
+    let r = run_decode(&dec_stub, &buf, &mut out, 20, &mut counts).unwrap();
+    assert_eq!(r, Outcome::Done { ret: 1, wire_len: 20 });
+    assert_eq!(out.arrays[0], vec![10, -20, 30, -40]);
+}
+
+#[test]
+fn len_guard_mismatch_falls_back() {
+    let (p, sid) = args_prog();
+    let dec = decode_residual(sid);
+    let stub = compile(&p, &dec, &conventions(), CompileOptions::default()).unwrap();
+    let mut out = StubArgs::new(vec![], vec![vec![]]);
+    let mut counts = OpCounts::new();
+    let buf = vec![0u8; 20];
+    let r = run_decode(&stub, &buf, &mut out, 16, &mut counts).unwrap();
+    assert_eq!(r, Outcome::Fallback);
+    assert!(out.arrays[0].is_empty(), "fallback must not mutate");
+}
+
+#[test]
+fn check_word_mismatch_falls_back() {
+    let (p, sid) = args_prog();
+    let dec = decode_residual(sid);
+    let stub = compile(&p, &dec, &conventions(), CompileOptions::default()).unwrap();
+    let mut out = StubArgs::new(vec![], vec![vec![]]);
+    let mut counts = OpCounts::new();
+    let mut buf = vec![0u8; 20];
+    buf[3] = 9; // claims 9 elements, stub expects 4
+    let r = run_decode(&stub, &buf, &mut out, 20, &mut counts).unwrap();
+    assert_eq!(r, Outcome::Fallback);
+}
+
+fn big_encode_residual(sid: usize, n: usize) -> Function {
+    let mut fb = FunctionBuilder::new("enc_big");
+    let buf = fb.param("buf", Type::BufPtr);
+    let argsp = fb.param("argsp", ptr(Type::Struct(sid)));
+    let mut body = Vec::new();
+    for i in 0..n {
+        body.push(assign(
+            buf32(add(lv(var(buf)), c(4 * i as i64))),
+            htonl(lv(index(field(deref_var(argsp), 1), c(i as i64)))),
+        ));
+    }
+    fb.body(body)
+}
+
+fn big_prog(n: usize) -> (Program, usize) {
+    let mut p = Program::new();
+    let sid = p.add_struct(StructDef {
+        name: "BIG".into(),
+        fields: vec![
+            FieldDef { name: "len".into(), ty: Type::Long },
+            FieldDef {
+                name: "arr".into(),
+                ty: Type::Array(Box::new(Type::Long), n),
+            },
+        ],
+    });
+    (p, sid)
+}
+
+fn big_conv(n: usize) -> StubConventions {
+    StubConventions {
+        params: vec![
+            ParamBinding::Buffer,
+            ParamBinding::Struct(vec![
+                FieldBinding { slot_start: 0, slot_len: 1, target: FieldTarget::ArrayLen(0) },
+                FieldBinding { slot_start: 1, slot_len: n, target: FieldTarget::Array(0) },
+            ]),
+        ],
+    }
+}
+
+#[test]
+fn rechunk_rolls_runs_into_loops() {
+    let n = 1000usize;
+    let (p, sid) = big_prog(n);
+    let f = big_encode_residual(sid, n);
+    let full = compile(&p, &f, &big_conv(n), CompileOptions::default()).unwrap();
+    assert_eq!(full.ops.len(), n + 1);
+
+    let chunked = compile(&p, &f, &big_conv(n), CompileOptions { chunk: Some(250) }).unwrap();
+    // Loop(4×250) + 250 body + EndLoop + Ret.
+    assert_eq!(chunked.ops.len(), 250 + 3, "{}", chunked.ops.len());
+    assert!(matches!(
+        chunked.ops[0],
+        StubOp::Loop { times: 4, body: 250, off_stride: 1000, idx_stride: 250 }
+    ));
+    assert_eq!(chunked.wire_len, full.wire_len);
+}
+
+#[test]
+fn chunked_and_full_produce_identical_bytes() {
+    let n = 1003usize; // non-multiple: exercises the remainder path
+    let (p, sid) = big_prog(n);
+    let f = big_encode_residual(sid, n);
+    let full = compile(&p, &f, &big_conv(n), CompileOptions::default()).unwrap();
+    let chunked = compile(&p, &f, &big_conv(n), CompileOptions { chunk: Some(250) }).unwrap();
+
+    let data: Vec<i32> = (0..n as i32).map(|i| i * 7 - 3).collect();
+    let args = StubArgs::new(vec![], vec![data]);
+    let mut b1 = vec![0u8; 4 * n];
+    let mut b2 = vec![0u8; 4 * n];
+    let mut counts = OpCounts::new();
+    run_encode(&full, &mut b1, &args, &mut counts).unwrap();
+    run_encode(&chunked, &mut b2, &args, &mut counts).unwrap();
+    assert_eq!(b1, b2);
+}
+
+#[test]
+fn chunk_one_keeps_a_plain_loop() {
+    let n = 64usize;
+    let (p, sid) = big_prog(n);
+    let f = big_encode_residual(sid, n);
+    let s = compile(&p, &f, &big_conv(n), CompileOptions { chunk: Some(1) }).unwrap();
+    // Loop(64×1) + 1 body op + EndLoop + Ret.
+    assert_eq!(s.ops.len(), 4);
+}
+
+#[test]
+fn buffer_too_small_is_detected() {
+    let (p, sid) = args_prog();
+    let f = encode_residual(&p, sid);
+    let stub = compile(&p, &f, &conventions(), CompileOptions::default()).unwrap();
+    let args = StubArgs::new(vec![], vec![vec![1, 2, 3, 4]]);
+    let mut buf = vec![0u8; 8];
+    let mut counts = OpCounts::new();
+    let err = run_encode(&stub, &mut buf, &args, &mut counts).unwrap_err();
+    assert!(matches!(err, StubError::BufTooSmall { .. }));
+}
+
+#[test]
+fn non_affine_offset_rejected() {
+    let (p, sid) = args_prog();
+    let mut fb = FunctionBuilder::new("bad");
+    let buf = fb.param("buf", Type::BufPtr);
+    let argsp = fb.param("argsp", ptr(Type::Struct(sid)));
+    let f = fb.body(vec![assign(
+        buf32(add(lv(var(buf)), lv(field(deref_var(argsp), 0)))),
+        c(0),
+    )]);
+    let err = compile(&p, &f, &conventions(), CompileOptions::default()).unwrap_err();
+    assert!(matches!(err, CompileError::NonAffineOffset(_)));
+}
+
+#[test]
+fn unbound_path_rejected() {
+    let (p, sid) = args_prog();
+    let mut fb = FunctionBuilder::new("bad");
+    let buf = fb.param("buf", Type::BufPtr);
+    let _argsp = fb.param("argsp", ptr(Type::Struct(sid)));
+    let other = fb.param("other", ptr(Type::Struct(sid)));
+    let f = fb.body(vec![assign(
+        buf32(lv(var(buf))),
+        htonl(lv(field(deref_var(other), 0))),
+    )]);
+    // `other` has no binding in the conventions (only 3 params bound).
+    let conv = StubConventions {
+        params: vec![ParamBinding::Buffer, ParamBinding::InLen],
+    };
+    let err = compile(&p, &f, &conv, CompileOptions::default()).unwrap_err();
+    assert!(matches!(err, CompileError::UnboundPath(_)));
+}
+
+#[test]
+fn code_size_grows_linearly_with_ops() {
+    let (p, sid) = big_prog(100);
+    let f = big_encode_residual(sid, 100);
+    let s100 = compile(&p, &f, &big_conv(100), CompileOptions::default()).unwrap();
+    let (p2, sid2) = big_prog(200);
+    let f2 = big_encode_residual(sid2, 200);
+    let s200 = compile(&p2, &f2, &big_conv(200), CompileOptions::default()).unwrap();
+    let d = s200.code_size_bytes() - s100.code_size_bytes();
+    assert_eq!(d, 100 * 40, "40 modeled bytes per additional element");
+}

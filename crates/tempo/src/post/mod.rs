@@ -1,0 +1,513 @@
+//! Post-processing passes over residual functions.
+//!
+//! Tempo runs reductions after specialization proper; ours are:
+//! constant folding, branch simplification, unreachable-code trimming, and
+//! dead-local elimination (the specializer's conservative lifting at branch
+//! merges can leave locals that nothing reads).
+
+use crate::ir::{BinOp, Expr, Function, LValue, Stmt, UnOp, VarId};
+use std::collections::HashSet;
+
+/// Run all passes to a fixpoint (bounded).
+pub fn optimize(f: &mut Function) {
+    for _ in 0..8 {
+        let before = f.stmt_count();
+        fold_function(f);
+        trim_unreachable(&mut f.body);
+        let removed = remove_dead_locals(f);
+        if f.stmt_count() == before && !removed {
+            break;
+        }
+    }
+}
+
+/// Constant-fold every expression in the function and simplify
+/// constant-condition branches.
+pub fn fold_function(f: &mut Function) {
+    fn fold_block(stmts: &mut Vec<Stmt>) {
+        let old = std::mem::take(stmts);
+        for mut s in old {
+            match &mut s {
+                Stmt::Assign(lv, e) => {
+                    fold_lvalue(lv);
+                    *e = fold_expr(e.clone());
+                    stmts.push(s);
+                }
+                Stmt::If(c, t, els) => {
+                    let c2 = fold_expr(c.clone());
+                    fold_block(t);
+                    fold_block(els);
+                    match c2 {
+                        Expr::Const(v) => {
+                            let taken = if v != 0 { t } else { els };
+                            stmts.append(taken);
+                        }
+                        other => {
+                            *c = other;
+                            stmts.push(s);
+                        }
+                    }
+                }
+                Stmt::While(c, b) => {
+                    *c = fold_expr(c.clone());
+                    fold_block(b);
+                    if matches!(c, Expr::Const(0)) {
+                        continue;
+                    }
+                    stmts.push(s);
+                }
+                Stmt::For { lo, hi, body, .. } => {
+                    *lo = fold_expr(lo.clone());
+                    *hi = fold_expr(hi.clone());
+                    fold_block(body);
+                    if let (Expr::Const(l), Expr::Const(h)) = (&*lo, &*hi) {
+                        if l >= h {
+                            continue; // zero-trip loop
+                        }
+                    }
+                    stmts.push(s);
+                }
+                Stmt::Expr(e) => {
+                    let e2 = fold_expr(e.clone());
+                    if matches!(e2, Expr::Const(_)) {
+                        continue; // pure constant at statement position
+                    }
+                    *e = e2;
+                    stmts.push(s);
+                }
+                Stmt::Return(Some(e)) => {
+                    *e = fold_expr(e.clone());
+                    stmts.push(s);
+                }
+                Stmt::Return(None) => stmts.push(s),
+            }
+        }
+    }
+    fold_block(&mut f.body);
+}
+
+fn fold_lvalue(lv: &mut LValue) {
+    match lv {
+        LValue::Var(_) => {}
+        LValue::Deref(e) | LValue::Buf32(e) => **e = fold_expr((**e).clone()),
+        LValue::Field(inner, _) => fold_lvalue(inner),
+        LValue::Index(inner, e) => {
+            fold_lvalue(inner);
+            **e = fold_expr((**e).clone());
+        }
+    }
+}
+
+/// Fold one expression bottom-up.
+pub fn fold_expr(e: Expr) -> Expr {
+    match e {
+        Expr::Un(op, inner) => {
+            let inner = fold_expr(*inner);
+            if let Expr::Const(v) = inner {
+                let r = match op {
+                    UnOp::Neg => -v,
+                    UnOp::Not => (v == 0) as i64,
+                    UnOp::Htonl | UnOp::Ntohl => (v as u32).swap_bytes() as i64,
+                };
+                return Expr::Const(r);
+            }
+            Expr::Un(op, Box::new(inner))
+        }
+        Expr::Bin(op, a, b) => {
+            let a = fold_expr(*a);
+            let b = fold_expr(*b);
+            if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+                if let Some(v) = fold_binop(op, *x, *y) {
+                    return Expr::Const(v);
+                }
+            }
+            // Algebraic identities that show up in offset arithmetic.
+            match (&op, &a, &b) {
+                (BinOp::Add, e, Expr::Const(0)) | (BinOp::Sub, e, Expr::Const(0)) => {
+                    return e.clone()
+                }
+                (BinOp::Add, Expr::Const(0), e) => return e.clone(),
+                (BinOp::Mul, e, Expr::Const(1)) => return e.clone(),
+                (BinOp::Mul, Expr::Const(1), e) => return e.clone(),
+                (BinOp::Mul, _, Expr::Const(0)) | (BinOp::Mul, Expr::Const(0), _) => {
+                    return Expr::Const(0)
+                }
+                _ => {}
+            }
+            Expr::Bin(op, Box::new(a), Box::new(b))
+        }
+        Expr::Lv(mut lv) => {
+            fold_lvalue(&mut lv);
+            Expr::Lv(lv)
+        }
+        Expr::AddrOf(mut lv) => {
+            fold_lvalue(&mut lv);
+            Expr::AddrOf(lv)
+        }
+        Expr::Call(name, args) => {
+            Expr::Call(name, args.into_iter().map(fold_expr).collect())
+        }
+        other => other,
+    }
+}
+
+fn fold_binop(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return None;
+            }
+            a / b
+        }
+        BinOp::Mod => {
+            if b == 0 {
+                return None;
+            }
+            a % b
+        }
+        BinOp::Eq => (a == b) as i64,
+        BinOp::Ne => (a != b) as i64,
+        BinOp::Lt => (a < b) as i64,
+        BinOp::Le => (a <= b) as i64,
+        BinOp::Gt => (a > b) as i64,
+        BinOp::Ge => (a >= b) as i64,
+        BinOp::And => ((a != 0) && (b != 0)) as i64,
+        BinOp::Or => ((a != 0) || (b != 0)) as i64,
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        BinOp::Shr => a.wrapping_shr(b as u32),
+    })
+}
+
+/// Drop statements after an unconditional return within each block.
+pub fn trim_unreachable(stmts: &mut Vec<Stmt>) {
+    let mut cut = None;
+    for (i, s) in stmts.iter_mut().enumerate() {
+        match s {
+            Stmt::Return(_) => {
+                cut = Some(i + 1);
+                break;
+            }
+            Stmt::If(_, t, e) => {
+                trim_unreachable(t);
+                trim_unreachable(e);
+                let t_returns = matches!(t.last(), Some(Stmt::Return(_)));
+                let e_returns = matches!(e.last(), Some(Stmt::Return(_)));
+                if t_returns && e_returns {
+                    cut = Some(i + 1);
+                    break;
+                }
+            }
+            Stmt::While(_, b) => trim_unreachable(b),
+            Stmt::For { body, .. } => trim_unreachable(body),
+            _ => {}
+        }
+    }
+    if let Some(c) = cut {
+        stmts.truncate(c);
+    }
+}
+
+/// Remove locals that are written but never read; returns whether anything
+/// was removed.
+pub fn remove_dead_locals(f: &mut Function) -> bool {
+    let mut read: HashSet<VarId> = HashSet::new();
+    collect_reads_block(&f.body, &mut read);
+
+    let nparams = f.params.len();
+    let mut keep = vec![true; f.var_count()];
+    let mut any = false;
+    for v in nparams..f.var_count() {
+        if !read.contains(&v) && !var_is_loop_var(&f.body, v) {
+            keep[v] = false;
+            any = true;
+        }
+    }
+    if !any {
+        return false;
+    }
+    // Renumber.
+    let mut remap = vec![0usize; f.var_count()];
+    let mut next = 0usize;
+    for (v, k) in keep.iter().enumerate() {
+        if *k {
+            remap[v] = next;
+            next += 1;
+        }
+    }
+    let mut new_locals = Vec::new();
+    for (i, l) in f.locals.iter().enumerate() {
+        if keep[nparams + i] {
+            new_locals.push(l.clone());
+        }
+    }
+    f.locals = new_locals;
+    // Drop assignments to dead vars and rewrite ids.
+    rewrite_block(&mut f.body, &keep, &remap);
+    true
+}
+
+fn var_is_loop_var(stmts: &[Stmt], v: VarId) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::For { var, body, .. } => *var == v || var_is_loop_var(body, v),
+        Stmt::If(_, t, e) => var_is_loop_var(t, v) || var_is_loop_var(e, v),
+        Stmt::While(_, b) => var_is_loop_var(b, v),
+        _ => false,
+    })
+}
+
+fn rewrite_block(stmts: &mut Vec<Stmt>, keep: &[bool], remap: &[usize]) {
+    stmts.retain(|s| match s {
+        Stmt::Assign(LValue::Var(v), _) => keep[*v],
+        _ => true,
+    });
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::Assign(lv, e) => {
+                rewrite_lvalue(lv, remap);
+                rewrite_expr(e, remap);
+            }
+            Stmt::If(c, t, e) => {
+                rewrite_expr(c, remap);
+                rewrite_block(t, keep, remap);
+                rewrite_block(e, keep, remap);
+            }
+            Stmt::While(c, b) => {
+                rewrite_expr(c, remap);
+                rewrite_block(b, keep, remap);
+            }
+            Stmt::For { var, lo, hi, body } => {
+                *var = remap[*var];
+                rewrite_expr(lo, remap);
+                rewrite_expr(hi, remap);
+                rewrite_block(body, keep, remap);
+            }
+            Stmt::Expr(e) => rewrite_expr(e, remap),
+            Stmt::Return(Some(e)) => rewrite_expr(e, remap),
+            Stmt::Return(None) => {}
+        }
+    }
+}
+
+fn rewrite_lvalue(lv: &mut LValue, remap: &[usize]) {
+    match lv {
+        LValue::Var(v) => *v = remap[*v],
+        LValue::Deref(e) | LValue::Buf32(e) => rewrite_expr(e, remap),
+        LValue::Field(inner, _) => rewrite_lvalue(inner, remap),
+        LValue::Index(inner, e) => {
+            rewrite_lvalue(inner, remap);
+            rewrite_expr(e, remap);
+        }
+    }
+}
+
+fn rewrite_expr(e: &mut Expr, remap: &[usize]) {
+    match e {
+        Expr::Lv(lv) | Expr::AddrOf(lv) => rewrite_lvalue(lv, remap),
+        Expr::Un(_, inner) => rewrite_expr(inner, remap),
+        Expr::Bin(_, a, b) => {
+            rewrite_expr(a, remap);
+            rewrite_expr(b, remap);
+        }
+        Expr::Call(_, args) => args.iter_mut().for_each(|a| rewrite_expr(a, remap)),
+        Expr::Const(_) => {}
+    }
+}
+
+fn collect_reads_block(stmts: &[Stmt], read: &mut HashSet<VarId>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(lv, e) => {
+                // A write to Var is not a read, but nested parts are.
+                match lv {
+                    LValue::Var(_) => {}
+                    other => collect_reads_lvalue(other, read),
+                }
+                collect_reads_expr(e, read);
+            }
+            Stmt::If(c, t, e) => {
+                collect_reads_expr(c, read);
+                collect_reads_block(t, read);
+                collect_reads_block(e, read);
+            }
+            Stmt::While(c, b) => {
+                collect_reads_expr(c, read);
+                collect_reads_block(b, read);
+            }
+            Stmt::For { lo, hi, body, .. } => {
+                collect_reads_expr(lo, read);
+                collect_reads_expr(hi, read);
+                collect_reads_block(body, read);
+            }
+            Stmt::Expr(e) => collect_reads_expr(e, read),
+            Stmt::Return(Some(e)) => collect_reads_expr(e, read),
+            Stmt::Return(None) => {}
+        }
+    }
+}
+
+fn collect_reads_lvalue(lv: &LValue, read: &mut HashSet<VarId>) {
+    match lv {
+        LValue::Var(v) => {
+            read.insert(*v);
+        }
+        LValue::Deref(e) | LValue::Buf32(e) => collect_reads_expr(e, read),
+        LValue::Field(inner, _) => collect_reads_lvalue(inner, read),
+        LValue::Index(inner, e) => {
+            collect_reads_lvalue(inner, read);
+            collect_reads_expr(e, read);
+        }
+    }
+}
+
+fn collect_reads_expr(e: &Expr, read: &mut HashSet<VarId>) {
+    match e {
+        Expr::Lv(lv) | Expr::AddrOf(lv) => collect_reads_lvalue(lv, read),
+        Expr::Un(_, inner) => collect_reads_expr(inner, read),
+        Expr::Bin(_, a, b) => {
+            collect_reads_expr(a, read);
+            collect_reads_expr(b, read);
+        }
+        Expr::Call(_, args) => args.iter().for_each(|a| collect_reads_expr(a, read)),
+        Expr::Const(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::*;
+    use crate::ir::Type;
+
+    #[test]
+    fn fold_constant_arith() {
+        let e = add(c(2), mul(c(3), c(4)));
+        assert_eq!(fold_expr(e), Expr::Const(14));
+    }
+
+    #[test]
+    fn fold_htonl_of_const() {
+        let e = htonl(c(1));
+        assert_eq!(fold_expr(e), Expr::Const((1u32).swap_bytes() as i64));
+    }
+
+    #[test]
+    fn fold_identities() {
+        let e = add(lv(var(0)), c(0));
+        assert_eq!(fold_expr(e), lv(var(0)));
+        let e = mul(lv(var(0)), c(0));
+        assert_eq!(fold_expr(e), Expr::Const(0));
+    }
+
+    #[test]
+    fn fold_preserves_div_by_zero() {
+        // 1/0 must not fold away; it stays for run-time semantics.
+        let e = Expr::Bin(BinOp::Div, Box::new(c(1)), Box::new(c(0)));
+        assert!(matches!(fold_expr(e), Expr::Bin(BinOp::Div, _, _)));
+    }
+
+    #[test]
+    fn constant_if_selects_branch() {
+        let mut fb = FunctionBuilder::new("f");
+        let b = fb.param("b", Type::BufPtr);
+        let mut f = fb.body(vec![if_else(
+            eq(c(1), c(1)),
+            vec![assign(buf32(lv(var(b))), c(7))],
+            vec![assign(buf32(lv(var(b))), c(9))],
+        )]);
+        fold_function(&mut f);
+        assert_eq!(f.body.len(), 1);
+        assert!(matches!(&f.body[0], Stmt::Assign(_, Expr::Const(7))));
+    }
+
+    #[test]
+    fn zero_trip_for_is_dropped() {
+        let mut fb = FunctionBuilder::new("f");
+        let i = fb.local("i", Type::Long);
+        let mut f = fb.body(vec![for_loop(i, c(5), c(5), vec![])]);
+        fold_function(&mut f);
+        assert!(f.body.is_empty());
+    }
+
+    #[test]
+    fn unreachable_after_return_trimmed() {
+        let mut fb = FunctionBuilder::new("f");
+        fb.returns(Type::Long);
+        let mut f = fb.body(vec![ret(Some(c(1))), ret(Some(c(2))), ret(Some(c(3)))]);
+        trim_unreachable(&mut f.body);
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn unreachable_after_both_branches_return() {
+        let mut fb = FunctionBuilder::new("f");
+        let d = fb.param("d", Type::Long);
+        fb.returns(Type::Long);
+        let mut f = fb.body(vec![
+            if_else(lv(var(d)), vec![ret(Some(c(1)))], vec![ret(Some(c(0)))]),
+            ret(Some(c(9))),
+        ]);
+        trim_unreachable(&mut f.body);
+        assert_eq!(f.body.len(), 1);
+    }
+
+    #[test]
+    fn dead_local_removed_and_renumbered() {
+        let mut fb = FunctionBuilder::new("f");
+        let p = fb.param("p", Type::Long);
+        let dead = fb.local("dead", Type::Long);
+        let live = fb.local("live", Type::Long);
+        fb.returns(Type::Long);
+        let mut f = fb.body(vec![
+            assign(var(dead), c(1)),
+            assign(var(live), add(lv(var(p)), c(2))),
+            ret(Some(lv(var(live)))),
+        ]);
+        assert!(remove_dead_locals(&mut f));
+        assert_eq!(f.locals.len(), 1);
+        assert_eq!(f.locals[0].0, "live");
+        // live was var 2, now var 1.
+        assert!(matches!(&f.body[0], Stmt::Assign(LValue::Var(1), _)));
+        assert!(matches!(&f.body[1], Stmt::Return(Some(Expr::Lv(lv))) if **lv == LValue::Var(1)));
+    }
+
+    #[test]
+    fn loop_vars_survive_dce() {
+        let mut fb = FunctionBuilder::new("f");
+        let b = fb.param("b", Type::BufPtr);
+        let i = fb.local("i", Type::Long);
+        let mut f = fb.body(vec![for_loop(
+            i,
+            c(0),
+            c(4),
+            vec![assign(buf32(lv(var(b))), c(1))],
+        )]);
+        assert!(!remove_dead_locals(&mut f));
+        assert_eq!(f.locals.len(), 1);
+    }
+
+    #[test]
+    fn optimize_runs_to_fixpoint() {
+        let mut fb = FunctionBuilder::new("f");
+        let b = fb.param("b", Type::BufPtr);
+        let t = fb.local("t", Type::Long);
+        fb.returns(Type::Long);
+        let mut f = fb.body(vec![
+            assign(var(t), add(c(1), c(1))),
+            if_else(
+                eq(c(2), c(2)),
+                vec![assign(buf32(lv(var(b))), c(5)), ret(Some(c(1)))],
+                vec![ret(Some(c(0)))],
+            ),
+            ret(Some(lv(var(t)))), // unreachable, reads t
+        ]);
+        optimize(&mut f);
+        // After folding the if and trimming, t is dead and removed.
+        assert!(f.locals.is_empty(), "{f:?}");
+        assert_eq!(f.body.len(), 2);
+    }
+}

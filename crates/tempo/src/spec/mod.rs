@@ -1,0 +1,1104 @@
+//! The specializer: online partial evaluation of IR programs.
+//!
+//! Given an entry function, concrete values for its *static* inputs, and
+//! names for its *dynamic* roots, the specializer produces a residual
+//! [`Function`] in which (mirroring §3 of the paper):
+//!
+//! * run-time dispatch on statically known tags is folded
+//!   (`xdrs->x_op` switches — §3.1),
+//! * buffer-overflow accounting is executed at specialization time
+//!   (`x_handy` arithmetic — §3.2),
+//! * statically known return values are propagated to callers even when
+//!   the callee has dynamic side effects (*static returns* — §3.3 / §4),
+//! * calls are unfolded (inlined) and loops with static bounds are fully
+//!   unrolled, yielding the straight-line residual code of Figure 5,
+//! * partially-static structures are handled per-slot (§4): one struct may
+//!   mix specialization-time fields (`x_op`, `x_handy`) and run-time fields
+//!   (argument values),
+//! * binding times are flow-sensitive (§4): the §6.2 `inlen` guard makes a
+//!   dynamic variable *locally* static inside the guarded branch.
+//!
+//! Context sensitivity (§4) is obtained by construction: every call is
+//! unfolded in its own calling context, so two calls to `xdr_long` — one
+//! with a static integer (the procedure identifier), one with dynamic
+//! arguments — specialize independently.
+
+use crate::eval::{eval_binop, EvalError, Heap, ObjId, Place, Value};
+use crate::ir::{
+    BinOp, Expr, FieldDef, Function, LValue, Program, Stmt, StructDef, Type, UnOp, VarId,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+mod report;
+pub use report::SpecReport;
+
+/// How a specialization request describes each entry-function argument.
+#[derive(Debug, Clone)]
+pub enum SpecArg {
+    /// A fully static value (scalar, or a pointer to a registered object).
+    Static(Value),
+    /// A dynamic scalar that becomes a residual parameter
+    /// (for example the transaction id `xid`).
+    Dynamic {
+        /// Residual parameter name.
+        name: String,
+        /// Residual parameter type.
+        ty: Type,
+    },
+}
+
+/// Specialization failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The entry function does not exist.
+    UnknownFunction(String),
+    /// The static evaluator failed (the program would fail at run time on
+    /// its static part — e.g. a statically detected buffer overflow).
+    Eval(EvalError),
+    /// Residual code needed to name an object that has no residual root.
+    UnnamedObject(ObjId),
+    /// A `return` under dynamic control inside an unfolded (inlined) call;
+    /// the residual would need non-local exit.
+    DynamicReturnInUnfold(String),
+    /// A loop whose condition/bounds are dynamic mutates static state.
+    DynamicLoopMutatesStatic,
+    /// `while` with a dynamic condition is outside the supported subset.
+    DynamicWhile,
+    /// Specialization step budget exhausted.
+    OutOfFuel,
+    /// Static control flow merged incompatibly (internal limitation).
+    MergeConflict(String),
+    /// An argument count mismatch at the entry.
+    BadArity {
+        /// Arguments supplied.
+        got: usize,
+        /// Parameters expected.
+        want: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            SpecError::Eval(e) => write!(f, "static evaluation failed: {e}"),
+            SpecError::UnnamedObject(o) => {
+                write!(f, "residual code refers to object #{o} which has no residual name")
+            }
+            SpecError::DynamicReturnInUnfold(func) => {
+                write!(f, "dynamic return inside unfolded call to `{func}`")
+            }
+            SpecError::DynamicLoopMutatesStatic => {
+                write!(f, "dynamic-bound loop mutates static state")
+            }
+            SpecError::DynamicWhile => write!(f, "dynamic while condition unsupported"),
+            SpecError::OutOfFuel => write!(f, "specialization fuel exhausted"),
+            SpecError::MergeConflict(what) => write!(f, "branch merge conflict on {what}"),
+            SpecError::BadArity { got, want } => {
+                write!(f, "entry called with {got} args, expected {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<EvalError> for SpecError {
+    fn from(e: EvalError) -> Self {
+        SpecError::Eval(e)
+    }
+}
+
+/// A specialization-time value: either known (static) or a residual
+/// expression (dynamic).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SVal {
+    /// Known at specialization time.
+    S(Value),
+    /// Unknown; the residual expression computing it at run time.
+    D(Expr),
+}
+
+/// Per-object dynamic mask: which flat slots hold run-time data.
+#[derive(Debug, Clone, PartialEq)]
+struct DynMask {
+    slots: Vec<bool>,
+}
+
+#[derive(Debug, Clone)]
+struct State {
+    heap: Heap,
+    masks: Vec<DynMask>,
+    frame: Vec<SVal>,
+}
+
+/// The specializer. Drive it by registering the static heap (objects with
+/// per-slot binding times and residual names), then calling
+/// [`Specializer::specialize`].
+pub struct Specializer<'p> {
+    prog: &'p Program,
+    heap: Heap,
+    masks: Vec<DynMask>,
+    /// Residual root name (parameter id) per object.
+    names: HashMap<ObjId, VarId>,
+    residual_params: Vec<(String, Type)>,
+    residual_locals: Vec<(String, Type)>,
+    /// Source-var → residual-local binding cache per unfold depth is not
+    /// needed; residual locals are allocated per dynamization event.
+    fuel: u64,
+    steps: u64,
+    report: SpecReport,
+}
+
+enum Term {
+    Fell,
+    Returned(SVal),
+    /// All paths emitted residual returns (entry only).
+    ResidualReturned,
+}
+
+impl<'p> Specializer<'p> {
+    /// A specializer over `prog` with an empty static heap.
+    pub fn new(prog: &'p Program) -> Self {
+        Specializer {
+            prog,
+            heap: Heap::new(),
+            masks: Vec::new(),
+            names: HashMap::new(),
+            residual_params: Vec::new(),
+            residual_locals: Vec::new(),
+            fuel: 50_000_000,
+            steps: 0,
+            report: SpecReport::default(),
+        }
+    }
+
+    /// The static heap (for initializing object slots).
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// Allocate a struct whose slots are all **static** (e.g. the `XDR`
+    /// handle: `x_op`, `x_handy`, the buffer cursor…).
+    pub fn alloc_static_struct(&mut self, sid: usize) -> ObjId {
+        let obj = self.heap.alloc_struct(self.prog, sid);
+        let n = self.prog.structs[sid].flat_size(self.prog);
+        self.masks.push(DynMask { slots: vec![false; n] });
+        obj
+    }
+
+    /// Allocate a struct whose slots are all **dynamic**, reachable in the
+    /// residual program through a fresh pointer parameter `name` (e.g. the
+    /// RPC argument struct `argsp`).
+    pub fn alloc_dynamic_struct(&mut self, sid: usize, name: &str) -> ObjId {
+        let obj = self.heap.alloc_struct(self.prog, sid);
+        let n = self.prog.structs[sid].flat_size(self.prog);
+        self.masks.push(DynMask { slots: vec![true; n] });
+        let pid = self.add_residual_param(name, Type::Ptr(Box::new(Type::Struct(sid))));
+        self.names.insert(obj, pid);
+        obj
+    }
+
+    /// Allocate a byte buffer reachable in the residual program through a
+    /// fresh buffer-pointer parameter `name` (the XDR wire buffer). The
+    /// buffer's *contents* are dynamic; pointers into it are static.
+    pub fn alloc_buffer(&mut self, name: &str) -> ObjId {
+        let obj = self.heap.alloc_bytes(0);
+        self.masks.push(DynMask { slots: Vec::new() });
+        let pid = self.add_residual_param(name, Type::BufPtr);
+        self.names.insert(obj, pid);
+        obj
+    }
+
+    /// Mark one slot of a registered object static and give it a value
+    /// (partially-static structures, §4: e.g. the array-length field of an
+    /// otherwise dynamic argument struct).
+    pub fn set_slot_static(&mut self, place: Place, v: Value) {
+        self.heap.write_slot(place, v).expect("slot in range");
+        self.masks[place.obj].slots[place.slot] = false;
+    }
+
+    /// Mark one slot of a registered object dynamic.
+    pub fn set_slot_dynamic(&mut self, place: Place) {
+        self.masks[place.obj].slots[place.slot] = true;
+    }
+
+    fn add_residual_param(&mut self, name: &str, ty: Type) -> VarId {
+        assert!(
+            self.residual_locals.is_empty(),
+            "register all dynamic roots before specializing"
+        );
+        self.residual_params.push((name.to_string(), ty));
+        self.residual_params.len() - 1
+    }
+
+    /// Register a dynamic scalar residual parameter (e.g. `xid`) and return
+    /// a dynamic value reading it, to pass as a [`SpecArg`]-style argument.
+    pub fn dynamic_scalar_param(&mut self, name: &str, ty: Type) -> SVal {
+        let pid = self.add_residual_param(name, ty);
+        SVal::D(Expr::Lv(Box::new(LValue::Var(pid))))
+    }
+
+    /// The accumulated report (valid after [`Specializer::specialize`]).
+    pub fn report(&self) -> &SpecReport {
+        &self.report
+    }
+
+    /// Specialize `entry` with the given arguments, producing a residual
+    /// function named `residual_name` whose parameters are the registered
+    /// dynamic roots (in registration order).
+    pub fn specialize(
+        &mut self,
+        entry: &str,
+        args: Vec<SVal>,
+        residual_name: &str,
+    ) -> Result<Function, SpecError> {
+        let func = self
+            .prog
+            .func(entry)
+            .ok_or_else(|| SpecError::UnknownFunction(entry.to_string()))?;
+        if args.len() != func.params.len() {
+            return Err(SpecError::BadArity {
+                got: args.len(),
+                want: func.params.len(),
+            });
+        }
+        let mut frame = vec![SVal::S(Value::Long(0)); func.var_count()];
+        frame[..args.len()].clone_from_slice(&args);
+        let mut body = Vec::new();
+        let term = self.spec_block(func, &mut frame, &func.body, &mut body, 0)?;
+        // The entry's return value (static or residual) is materialized so
+        // callers of the residual observe the same value the generic code
+        // computes.
+        if let Term::Returned(v) = term {
+            if func.ret != Type::Void {
+                body.push(Stmt::Return(Some(self.to_resid(v)?)));
+            }
+        }
+        let residual = Function {
+            name: residual_name.to_string(),
+            params: self.residual_params.clone(),
+            locals: self.residual_locals.clone(),
+            ret: func.ret.clone(),
+            body,
+        };
+        self.report.residual_stmts = residual.stmt_count();
+        Ok(residual)
+    }
+
+    fn burn(&mut self) -> Result<(), SpecError> {
+        self.steps += 1;
+        if self.steps > self.fuel {
+            return Err(SpecError::OutOfFuel);
+        }
+        Ok(())
+    }
+
+    // ---- residual local allocation -------------------------------------
+
+    fn fresh_local(&mut self, hint: &str, ty: Type) -> VarId {
+        let name = format!("{}_{}", hint, self.residual_locals.len());
+        self.residual_locals.push((name, ty));
+        self.residual_params.len() + self.residual_locals.len() - 1
+    }
+
+    // ---- lifting --------------------------------------------------------
+
+    /// Turn a static value into a residual expression.
+    fn lift(&self, v: &Value) -> Result<Expr, SpecError> {
+        match v {
+            Value::Long(x) => Ok(Expr::Const(*x)),
+            Value::BufPtr(obj, off) => {
+                let pid = *self.names.get(obj).ok_or(SpecError::UnnamedObject(*obj))?;
+                let base = Expr::Lv(Box::new(LValue::Var(pid)));
+                if *off == 0 {
+                    Ok(base)
+                } else {
+                    Ok(Expr::Bin(
+                        BinOp::Add,
+                        Box::new(base),
+                        Box::new(Expr::Const(*off as i64)),
+                    ))
+                }
+            }
+            Value::Ref(place) => Ok(Expr::AddrOf(Box::new(self.residual_lv(*place)?))),
+            Value::Unit => Ok(Expr::Const(0)),
+        }
+    }
+
+    /// Residual lvalue naming a heap slot, reconstructed from the object's
+    /// residual root and type layout.
+    fn residual_lv(&self, place: Place) -> Result<LValue, SpecError> {
+        let pid = *self
+            .names
+            .get(&place.obj)
+            .ok_or(SpecError::UnnamedObject(place.obj))?;
+        let root = LValue::Deref(Box::new(Expr::Lv(Box::new(LValue::Var(pid)))));
+        let ty = self.heap.object(place.obj).ty.clone();
+        self.path_into(root, &ty, place.slot)
+    }
+
+    fn path_into(&self, base: LValue, ty: &Type, slot: usize) -> Result<LValue, SpecError> {
+        match ty {
+            Type::Long | Type::Ptr(_) | Type::BufPtr => Ok(base),
+            Type::Struct(sid) => {
+                let st = &self.prog.structs[*sid];
+                let mut off = 0;
+                for (fid, fd) in st.fields.iter().enumerate() {
+                    let sz = fd.ty.flat_size(self.prog);
+                    if slot < off + sz {
+                        return self.path_into(
+                            LValue::Field(Box::new(base), fid),
+                            &fd.ty,
+                            slot - off,
+                        );
+                    }
+                    off += sz;
+                }
+                Err(SpecError::MergeConflict(format!(
+                    "slot {slot} outside struct {}",
+                    st.name
+                )))
+            }
+            Type::Array(elem, _) => {
+                let esz = elem.flat_size(self.prog);
+                let idx = slot / esz;
+                self.path_into(
+                    LValue::Index(Box::new(base), Box::new(Expr::Const(idx as i64))),
+                    elem,
+                    slot % esz,
+                )
+            }
+            Type::Void => Err(SpecError::MergeConflict("slot in void object".into())),
+        }
+    }
+
+    // ---- lvalue resolution ----------------------------------------------
+
+    /// Where an lvalue lives at specialization time.
+    fn resolve_lvalue(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<SVal>,
+        lv: &LValue,
+        out: &mut Vec<Stmt>,
+        depth: usize,
+    ) -> Result<(SLoc, Type), SpecError> {
+        match lv {
+            LValue::Var(v) => Ok((SLoc::Var(*v), func.var_type(*v).clone())),
+            LValue::Deref(e) => {
+                let ty = self.static_expr_type(func, e);
+                let inner = match ty {
+                    Some(Type::Ptr(inner)) => *inner,
+                    _ => Type::Long,
+                };
+                match self.spec_expr(func, frame, e, out, depth)? {
+                    SVal::S(Value::Ref(place)) => Ok((SLoc::Slot(place), inner)),
+                    SVal::S(other) => Err(SpecError::Eval(EvalError::TypeMismatch {
+                        wanted: "pointer",
+                        got: match other {
+                            Value::Long(_) => "long",
+                            _ => "other",
+                        },
+                    })),
+                    SVal::D(re) => Ok((SLoc::DynL(LValue::Deref(Box::new(re))), inner)),
+                }
+            }
+            LValue::Field(inner, fid) => {
+                let (loc, ty) = self.resolve_lvalue(func, frame, inner, out, depth)?;
+                let sid = match ty {
+                    Type::Struct(sid) => sid,
+                    _ => {
+                        return Err(SpecError::Eval(EvalError::TypeMismatch {
+                            wanted: "struct",
+                            got: "other",
+                        }))
+                    }
+                };
+                let off = self.prog.structs[sid].field_offset(self.prog, *fid);
+                let fty = self.prog.structs[sid].fields[*fid].ty.clone();
+                match loc {
+                    SLoc::Slot(p) => Ok((
+                        SLoc::Slot(Place {
+                            obj: p.obj,
+                            slot: p.slot + off,
+                        }),
+                        fty,
+                    )),
+                    SLoc::DynL(dl) => Ok((SLoc::DynL(LValue::Field(Box::new(dl), *fid)), fty)),
+                    SLoc::Var(_) | SLoc::Buf(..) => Err(SpecError::Eval(EvalError::TypeMismatch {
+                        wanted: "aggregate",
+                        got: "scalar location",
+                    })),
+                }
+            }
+            LValue::Index(inner, idx) => {
+                let (loc, ty) = self.resolve_lvalue(func, frame, inner, out, depth)?;
+                let (elem, n) = match ty {
+                    Type::Array(elem, n) => (*elem, n),
+                    _ => {
+                        return Err(SpecError::Eval(EvalError::TypeMismatch {
+                            wanted: "array",
+                            got: "other",
+                        }))
+                    }
+                };
+                let esz = elem.flat_size(self.prog);
+                let iv = self.spec_expr(func, frame, idx, out, depth)?;
+                match (loc, iv) {
+                    (SLoc::Slot(p), SVal::S(i)) => {
+                        let i = i.as_long()?;
+                        if i < 0 || i as usize >= n {
+                            return Err(SpecError::Eval(EvalError::OutOfBounds {
+                                index: i.max(0) as usize,
+                                len: n,
+                            }));
+                        }
+                        Ok((
+                            SLoc::Slot(Place {
+                                obj: p.obj,
+                                slot: p.slot + i as usize * esz,
+                            }),
+                            elem,
+                        ))
+                    }
+                    (SLoc::Slot(p), SVal::D(ie)) => {
+                        // Static base, dynamic index: residual indexing of
+                        // the named object (a residual loop body).
+                        let base_lv = self.residual_lv(Place { obj: p.obj, slot: p.slot })?;
+                        // p.slot must be the array start for the path to be
+                        // meaningful; residual_lv reconstructs it.
+                        let arr_lv = match base_lv {
+                            // residual_lv on the first element returns
+                            // `arr[0]`; strip the index to get the array.
+                            LValue::Index(arr, _) => *arr,
+                            other => other,
+                        };
+                        Ok((SLoc::DynL(LValue::Index(Box::new(arr_lv), Box::new(ie))), elem))
+                    }
+                    (SLoc::DynL(dl), SVal::S(i)) => Ok((
+                        SLoc::DynL(LValue::Index(Box::new(dl), Box::new(Expr::Const(i.as_long()?)))),
+                        elem,
+                    )),
+                    (SLoc::DynL(dl), SVal::D(ie)) => {
+                        Ok((SLoc::DynL(LValue::Index(Box::new(dl), Box::new(ie))), elem))
+                    }
+                    (SLoc::Var(_) | SLoc::Buf(..), _) => {
+                        Err(SpecError::Eval(EvalError::TypeMismatch {
+                            wanted: "aggregate",
+                            got: "scalar location",
+                        }))
+                    }
+                }
+            }
+            LValue::Buf32(e) => match self.spec_expr(func, frame, e, out, depth)? {
+                SVal::S(Value::BufPtr(obj, off)) => Ok((SLoc::Buf(obj, off), Type::Long)),
+                SVal::S(_) => Err(SpecError::Eval(EvalError::TypeMismatch {
+                    wanted: "buffer pointer",
+                    got: "other",
+                })),
+                SVal::D(re) => Ok((SLoc::DynL(LValue::Buf32(Box::new(re))), Type::Long)),
+            },
+        }
+    }
+
+    fn static_expr_type(&self, func: &Function, e: &Expr) -> Option<Type> {
+        match e {
+            Expr::Lv(lv) => self.static_lvalue_type(func, lv),
+            Expr::AddrOf(lv) => Some(Type::Ptr(Box::new(self.static_lvalue_type(func, lv)?))),
+            Expr::Bin(BinOp::Add | BinOp::Sub, a, _) => self.static_expr_type(func, a),
+            _ => None,
+        }
+    }
+
+    fn static_lvalue_type(&self, func: &Function, lv: &LValue) -> Option<Type> {
+        match lv {
+            LValue::Var(v) => Some(func.var_type(*v).clone()),
+            LValue::Deref(e) => match self.static_expr_type(func, e)? {
+                Type::Ptr(inner) => Some(*inner),
+                _ => None,
+            },
+            LValue::Field(inner, fid) => match self.static_lvalue_type(func, inner)? {
+                Type::Struct(sid) => Some(self.prog.structs[sid].fields.get(*fid)?.ty.clone()),
+                _ => None,
+            },
+            LValue::Index(inner, _) => match self.static_lvalue_type(func, inner)? {
+                Type::Array(t, _) => Some(*t),
+                _ => None,
+            },
+            LValue::Buf32(_) => Some(Type::Long),
+        }
+    }
+
+    // ---- expression specialization ---------------------------------------
+
+    fn spec_expr(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<SVal>,
+        e: &Expr,
+        out: &mut Vec<Stmt>,
+        depth: usize,
+    ) -> Result<SVal, SpecError> {
+        self.burn()?;
+        match e {
+            Expr::Const(v) => Ok(SVal::S(Value::Long(*v))),
+            Expr::Lv(lv) => {
+                let (loc, _) = self.resolve_lvalue(func, frame, lv, out, depth)?;
+                match loc {
+                    SLoc::Var(v) => Ok(frame[v].clone()),
+                    SLoc::Slot(p) => {
+                        if self.masks[p.obj].slots[p.slot] {
+                            Ok(SVal::D(Expr::Lv(Box::new(self.residual_lv(p)?))))
+                        } else {
+                            Ok(SVal::S(self.heap.read_slot(p)?))
+                        }
+                    }
+                    SLoc::Buf(obj, off) => {
+                        // Buffer contents are dynamic.
+                        let ptr = self.lift(&Value::BufPtr(obj, off))?;
+                        Ok(SVal::D(Expr::Lv(Box::new(LValue::Buf32(Box::new(ptr))))))
+                    }
+                    SLoc::DynL(dl) => Ok(SVal::D(Expr::Lv(Box::new(dl)))),
+                }
+            }
+            Expr::AddrOf(lv) => {
+                let (loc, _) = self.resolve_lvalue(func, frame, lv, out, depth)?;
+                match loc {
+                    // Pointers to dynamic data are themselves static —
+                    // Tempo's pointer/pointee binding-time split.
+                    SLoc::Slot(p) => Ok(SVal::S(Value::Ref(p))),
+                    SLoc::Buf(obj, off) => Ok(SVal::S(Value::BufPtr(obj, off))),
+                    SLoc::DynL(dl) => Ok(SVal::D(Expr::AddrOf(Box::new(dl)))),
+                    SLoc::Var(_) => Err(SpecError::Eval(EvalError::TypeMismatch {
+                        wanted: "heap lvalue",
+                        got: "local variable",
+                    })),
+                }
+            }
+            Expr::Un(op, inner) => {
+                let v = self.spec_expr(func, frame, inner, out, depth)?;
+                match v {
+                    SVal::S(v) => {
+                        let x = v.as_long()?;
+                        let r = match op {
+                            UnOp::Neg => -x,
+                            UnOp::Not => (x == 0) as i64,
+                            UnOp::Htonl | UnOp::Ntohl => (x as u32).swap_bytes() as i64,
+                        };
+                        Ok(SVal::S(Value::Long(r)))
+                    }
+                    SVal::D(re) => Ok(SVal::D(Expr::Un(*op, Box::new(re)))),
+                }
+            }
+            Expr::Bin(op @ (BinOp::And | BinOp::Or), a, b) => {
+                let va = self.spec_expr(func, frame, a, out, depth)?;
+                match va {
+                    SVal::S(v) => {
+                        let t = v.truthy()?;
+                        let short = matches!(op, BinOp::And) && !t
+                            || matches!(op, BinOp::Or) && t;
+                        if short {
+                            return Ok(SVal::S(Value::Long(t as i64)));
+                        }
+                        // Result is the truthiness of b.
+                        match self.spec_expr(func, frame, b, out, depth)? {
+                            SVal::S(vb) => Ok(SVal::S(Value::Long(vb.truthy()? as i64))),
+                            SVal::D(rb) => Ok(SVal::D(rb)),
+                        }
+                    }
+                    SVal::D(ra) => {
+                        let rb = match self.spec_expr(func, frame, b, out, depth)? {
+                            SVal::S(vb) => self.lift(&vb)?,
+                            SVal::D(rb) => rb,
+                        };
+                        Ok(SVal::D(Expr::Bin(*op, Box::new(ra), Box::new(rb))))
+                    }
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let va = self.spec_expr(func, frame, a, out, depth)?;
+                let vb = self.spec_expr(func, frame, b, out, depth)?;
+                match (va, vb) {
+                    (SVal::S(x), SVal::S(y)) => Ok(SVal::S(eval_binop(*op, x, y)?)),
+                    (x, y) => {
+                        let rx = self.to_resid(x)?;
+                        let ry = self.to_resid(y)?;
+                        Ok(SVal::D(Expr::Bin(*op, Box::new(rx), Box::new(ry))))
+                    }
+                }
+            }
+            Expr::Call(name, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.spec_expr(func, frame, a, out, depth)?);
+                }
+                self.unfold_call(name, vals, out, depth)
+            }
+        }
+    }
+
+    fn to_resid(&self, v: SVal) -> Result<Expr, SpecError> {
+        match v {
+            SVal::S(v) => self.lift(&v),
+            SVal::D(e) => Ok(e),
+        }
+    }
+
+    /// Unfold (inline-specialize) a call. Context sensitivity is by
+    /// construction: each call site specializes the callee against its own
+    /// static context. The callee's return value may be static even when
+    /// its emitted residual statements are not (*static returns*, §4).
+    fn unfold_call(
+        &mut self,
+        name: &str,
+        args: Vec<SVal>,
+        out: &mut Vec<Stmt>,
+        depth: usize,
+    ) -> Result<SVal, SpecError> {
+        let callee = self
+            .prog
+            .func(name)
+            .ok_or_else(|| SpecError::UnknownFunction(name.to_string()))?;
+        if args.len() != callee.params.len() {
+            return Err(SpecError::BadArity {
+                got: args.len(),
+                want: callee.params.len(),
+            });
+        }
+        self.report.calls_unfolded += 1;
+        let mut frame = vec![SVal::S(Value::Long(0)); callee.var_count()];
+        frame[..args.len()].clone_from_slice(&args);
+        match self.spec_block(callee, &mut frame, &callee.body, out, depth + 1)? {
+            Term::Returned(v) => Ok(v),
+            Term::Fell => Ok(SVal::S(Value::Unit)),
+            Term::ResidualReturned => Err(SpecError::DynamicReturnInUnfold(name.to_string())),
+        }
+    }
+
+    // ---- statement specialization ----------------------------------------
+
+    fn spec_block(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<SVal>,
+        stmts: &[Stmt],
+        out: &mut Vec<Stmt>,
+        depth: usize,
+    ) -> Result<Term, SpecError> {
+        for s in stmts {
+            match self.spec_stmt(func, frame, s, out, depth)? {
+                Term::Fell => {}
+                t => return Ok(t),
+            }
+        }
+        Ok(Term::Fell)
+    }
+
+    fn spec_stmt(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<SVal>,
+        s: &Stmt,
+        out: &mut Vec<Stmt>,
+        depth: usize,
+    ) -> Result<Term, SpecError> {
+        self.burn()?;
+        match s {
+            Stmt::Assign(lv, e) => {
+                let sval = self.spec_expr(func, frame, e, out, depth)?;
+                self.spec_assign(func, frame, lv, sval, out, depth)?;
+                Ok(Term::Fell)
+            }
+            Stmt::If(c, t, els) => {
+                let cond = self.spec_expr(func, frame, c, out, depth)?;
+                match cond {
+                    SVal::S(v) => {
+                        self.report.static_ifs_folded += 1;
+                        *self
+                            .report
+                            .folded_ifs_by_func
+                            .entry(func.name.clone())
+                            .or_insert(0) += 1;
+                        if v.truthy()? {
+                            self.spec_block(func, frame, t, out, depth)
+                        } else {
+                            self.spec_block(func, frame, els, out, depth)
+                        }
+                    }
+                    SVal::D(rc) => self.spec_dynamic_if(func, frame, rc, t, els, out, depth),
+                }
+            }
+            Stmt::While(c, b) => {
+                // Execute statically as long as the condition stays static.
+                let mut iters = 0u64;
+                loop {
+                    self.burn()?;
+                    let cond = self.spec_expr(func, frame, c, out, depth)?;
+                    match cond {
+                        SVal::S(v) => {
+                            if !v.truthy()? {
+                                return Ok(Term::Fell);
+                            }
+                            iters += 1;
+                            self.report.loop_iters_unrolled += 1;
+                            if iters > 10_000_000 {
+                                return Err(SpecError::OutOfFuel);
+                            }
+                            match self.spec_block(func, frame, b, out, depth)? {
+                                Term::Fell => {}
+                                t => return Ok(t),
+                            }
+                        }
+                        SVal::D(_) => return Err(SpecError::DynamicWhile),
+                    }
+                }
+            }
+            Stmt::For { var, lo, hi, body } => {
+                let lo_v = self.spec_expr(func, frame, lo, out, depth)?;
+                let hi_v = self.spec_expr(func, frame, hi, out, depth)?;
+                match (lo_v, hi_v) {
+                    (SVal::S(lo_v), SVal::S(hi_v)) => {
+                        let lo = lo_v.as_long()?;
+                        let hi = hi_v.as_long()?;
+                        // Full unrolling (the paper's default residual code
+                        // shape; bounded re-chunking happens in the stub
+                        // compiler, mirroring the manual transformation of
+                        // §5 Table 4).
+                        for i in lo..hi {
+                            frame[*var] = SVal::S(Value::Long(i));
+                            self.report.loop_iters_unrolled += 1;
+                            match self.spec_block(func, frame, body, out, depth)? {
+                                Term::Fell => {}
+                                t => return Ok(t),
+                            }
+                        }
+                        Ok(Term::Fell)
+                    }
+                    (lo_v, hi_v) => {
+                        self.spec_dynamic_for(func, frame, *var, lo_v, hi_v, body, out, depth)
+                    }
+                }
+            }
+            Stmt::Expr(e) => {
+                let v = self.spec_expr(func, frame, e, out, depth)?;
+                // A dynamic non-call expression at statement position would
+                // be dead; calls have already emitted their residuals.
+                drop(v);
+                Ok(Term::Fell)
+            }
+            Stmt::Return(None) => Ok(Term::Returned(SVal::S(Value::Unit))),
+            Stmt::Return(Some(e)) => {
+                let v = self.spec_expr(func, frame, e, out, depth)?;
+                Ok(Term::Returned(v))
+            }
+        }
+    }
+
+    fn spec_assign(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<SVal>,
+        lv: &LValue,
+        sval: SVal,
+        out: &mut Vec<Stmt>,
+        depth: usize,
+    ) -> Result<(), SpecError> {
+        let (loc, _) = self.resolve_lvalue(func, frame, lv, out, depth)?;
+        match loc {
+            SLoc::Var(v) => {
+                match &sval {
+                    SVal::S(_) => frame[v] = sval,
+                    SVal::D(re) => {
+                        // Dynamize the variable: allocate a residual local
+                        // holding the run-time value.
+                        let rv = self.fresh_local(func.var_name(v), func.var_type(v).clone());
+                        out.push(Stmt::Assign(LValue::Var(rv), re.clone()));
+                        frame[v] = SVal::D(Expr::Lv(Box::new(LValue::Var(rv))));
+                    }
+                }
+                Ok(())
+            }
+            SLoc::Slot(p) => match sval {
+                SVal::S(v) => {
+                    if self.masks[p.obj].slots[p.slot] {
+                        // Writing a static value to a dynamic slot: the
+                        // run-time state must be updated too (flow
+                        // sensitivity: the slot becomes locally static).
+                        let rlv = self.residual_lv(p)?;
+                        out.push(Stmt::Assign(rlv, self.lift(&v)?));
+                        self.heap.write_slot(p, v)?;
+                        self.masks[p.obj].slots[p.slot] = false;
+                    } else {
+                        self.heap.write_slot(p, v)?;
+                        self.report.static_assigns += 1;
+                    }
+                    Ok(())
+                }
+                SVal::D(re) => {
+                    let rlv = self.residual_lv(p)?;
+                    out.push(Stmt::Assign(rlv, re));
+                    self.masks[p.obj].slots[p.slot] = true;
+                    Ok(())
+                }
+            },
+            SLoc::Buf(obj, off) => {
+                let ptr = self.lift(&Value::BufPtr(obj, off))?;
+                let rhs = self.to_resid(sval)?;
+                out.push(Stmt::Assign(LValue::Buf32(Box::new(ptr)), rhs));
+                Ok(())
+            }
+            SLoc::DynL(dl) => {
+                let rhs = self.to_resid(sval)?;
+                out.push(Stmt::Assign(dl, rhs));
+                Ok(())
+            }
+        }
+    }
+
+    fn snapshot(&self, frame: &[SVal]) -> State {
+        State {
+            heap: self.heap.clone(),
+            masks: self.masks.clone(),
+            frame: frame.to_vec(),
+        }
+    }
+
+    fn restore(&mut self, st: &State, frame: &mut Vec<SVal>) {
+        self.heap = st.heap.clone();
+        self.masks = st.masks.clone();
+        frame.clone_from(&st.frame);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spec_dynamic_if(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<SVal>,
+        cond: Expr,
+        t: &[Stmt],
+        els: &[Stmt],
+        out: &mut Vec<Stmt>,
+        depth: usize,
+    ) -> Result<Term, SpecError> {
+        self.report.dynamic_ifs_residualized += 1;
+        let pre = self.snapshot(frame);
+
+        // THEN branch on the live state.
+        let mut then_block = Vec::new();
+        let then_term = self.spec_branch(func, frame, t, &mut then_block, depth)?;
+        let then_state = self.snapshot(frame);
+
+        // ELSE branch on the pre-state.
+        self.restore(&pre, frame);
+        let mut else_block = Vec::new();
+        let else_term = self.spec_branch(func, frame, els, &mut else_block, depth)?;
+        let else_state = self.snapshot(frame);
+
+        // Merge fall-through states.
+        let then_falls = matches!(then_term, Term::Fell);
+        let else_falls = matches!(else_term, Term::Fell);
+        match (then_falls, else_falls) {
+            (true, true) => {
+                self.merge_states(
+                    func,
+                    frame,
+                    &then_state,
+                    &else_state,
+                    &mut then_block,
+                    &mut else_block,
+                )?;
+            }
+            (true, false) => self.restore(&then_state, frame),
+            (false, true) => self.restore(&else_state, frame),
+            (false, false) => { /* both returned; state after is unreachable */ }
+        }
+
+        out.push(Stmt::If(cond, then_block, else_block));
+        if !then_falls && !else_falls {
+            Ok(Term::ResidualReturned)
+        } else {
+            Ok(Term::Fell)
+        }
+    }
+
+    /// Specialize a branch body, converting terminations into residual
+    /// returns (entry level) or failing (inside unfolds).
+    fn spec_branch(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<SVal>,
+        stmts: &[Stmt],
+        block: &mut Vec<Stmt>,
+        depth: usize,
+    ) -> Result<Term, SpecError> {
+        match self.spec_block(func, frame, stmts, block, depth)? {
+            Term::Fell => Ok(Term::Fell),
+            Term::Returned(v) => {
+                if depth == 0 {
+                    let re = match v {
+                        SVal::S(Value::Unit) => None,
+                        v => Some(self.to_resid(v)?),
+                    };
+                    block.push(Stmt::Return(re));
+                    Ok(Term::ResidualReturned)
+                } else {
+                    Err(SpecError::DynamicReturnInUnfold(func.name.clone()))
+                }
+            }
+            Term::ResidualReturned => Ok(Term::ResidualReturned),
+        }
+    }
+
+    fn merge_states(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<SVal>,
+        a: &State,
+        b: &State,
+        a_block: &mut Vec<Stmt>,
+        b_block: &mut Vec<Stmt>,
+    ) -> Result<(), SpecError> {
+        // Frame variables.
+        for v in 0..frame.len() {
+            let va = &a.frame[v];
+            let vb = &b.frame[v];
+            if va == vb {
+                frame[v] = va.clone();
+                continue;
+            }
+            // Diverged: dynamize through a fresh residual local assigned in
+            // both branches.
+            let rv = self.fresh_local(func.var_name(v), func.var_type(v).clone());
+            let ea = match va {
+                SVal::S(x) => self.lift(x)?,
+                SVal::D(e) => e.clone(),
+            };
+            let eb = match vb {
+                SVal::S(x) => self.lift(x)?,
+                SVal::D(e) => e.clone(),
+            };
+            a_block.push(Stmt::Assign(LValue::Var(rv), ea));
+            b_block.push(Stmt::Assign(LValue::Var(rv), eb));
+            frame[v] = SVal::D(Expr::Lv(Box::new(LValue::Var(rv))));
+        }
+        // Heap slots.
+        let heap_a = a.heap.clone();
+        let heap_b = b.heap.clone();
+        self.heap = heap_a.clone();
+        self.masks = a.masks.clone();
+        for obj in 0..self.masks.len() {
+            let nslots = self.masks[obj].slots.len();
+            for slot in 0..nslots {
+                let da = a.masks[obj].slots[slot];
+                let db = b.masks[obj].slots[slot];
+                let p = Place { obj, slot };
+                if !da && !db {
+                    let xa = heap_a.read_slot(p)?;
+                    let xb = heap_b.read_slot(p)?;
+                    if xa == xb {
+                        continue;
+                    }
+                    // Static in both branches with different values: lift
+                    // both sides into the residual and mark dynamic.
+                    let rlv = self.residual_lv(p)?;
+                    a_block.push(Stmt::Assign(rlv.clone(), self.lift(&xa)?));
+                    b_block.push(Stmt::Assign(rlv, self.lift(&xb)?));
+                    self.masks[obj].slots[slot] = true;
+                } else if da != db {
+                    // Dynamic on one side only: the dynamic side has already
+                    // written the residual location; the static side must
+                    // materialize its value.
+                    let (static_heap, static_block) =
+                        if da { (&heap_b, &mut *b_block) } else { (&heap_a, &mut *a_block) };
+                    let xv = static_heap.read_slot(p)?;
+                    let rlv = self.residual_lv(p)?;
+                    static_block.push(Stmt::Assign(rlv, self.lift(&xv)?));
+                    self.masks[obj].slots[slot] = true;
+                }
+                // Dynamic in both: already dynamic, nothing to do.
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn spec_dynamic_for(
+        &mut self,
+        func: &Function,
+        frame: &mut Vec<SVal>,
+        var: VarId,
+        lo: SVal,
+        hi: SVal,
+        body: &[Stmt],
+        out: &mut Vec<Stmt>,
+        depth: usize,
+    ) -> Result<Term, SpecError> {
+        self.report.dynamic_loops_residualized += 1;
+        // Residual loop: the induction variable becomes a residual local;
+        // the body must not mutate static state (checked by snapshot
+        // comparison) since it runs an unknown number of times.
+        let rv = self.fresh_local(func.var_name(var), Type::Long);
+        frame[var] = SVal::D(Expr::Lv(Box::new(LValue::Var(rv))));
+        let lo_e = self.to_resid(lo)?;
+        let hi_e = self.to_resid(hi)?;
+
+        let pre = self.snapshot(frame);
+        let mut body_block = Vec::new();
+        let term = self.spec_block(func, frame, body, &mut body_block, depth)?;
+        if !matches!(term, Term::Fell) {
+            return Err(SpecError::DynamicLoopMutatesStatic);
+        }
+        let post = self.snapshot(frame);
+        if pre.masks != post.masks || !heaps_static_equal(&pre, &post)? || pre.frame != post.frame {
+            return Err(SpecError::DynamicLoopMutatesStatic);
+        }
+        out.push(Stmt::For {
+            var: rv,
+            lo: lo_e,
+            hi: hi_e,
+            body: body_block,
+        });
+        Ok(Term::Fell)
+    }
+}
+
+fn heaps_static_equal(a: &State, b: &State) -> Result<bool, SpecError> {
+    for obj in 0..a.masks.len() {
+        for slot in 0..a.masks[obj].slots.len() {
+            if !a.masks[obj].slots[slot] {
+                let p = Place { obj, slot };
+                if a.heap.read_slot(p)? != b.heap.read_slot(p)? {
+                    return Ok(false);
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+enum SLoc {
+    Var(VarId),
+    Slot(Place),
+    Buf(ObjId, usize),
+    DynL(LValue),
+}
+
+/// Convenience: build a one-off program containing a struct for tests.
+#[doc(hidden)]
+pub fn test_struct(name: &str, fields: &[(&str, Type)]) -> StructDef {
+    StructDef {
+        name: name.to_string(),
+        fields: fields
+            .iter()
+            .map(|(n, t)| FieldDef {
+                name: n.to_string(),
+                ty: t.clone(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,606 @@
+//! Specializer tests built around a miniature of the paper's Figures 2–5:
+//! a two-integer `xdr_pair` marshaler over the layered
+//! `xdr_long → xdrmem_putlong → htonl` chain.
+
+use super::*;
+use crate::eval::Evaluator;
+use crate::ir::builder::*;
+use crate::ir::{pretty, Program, Stmt, Type};
+
+const OP_ENCODE: i64 = 0;
+const OP_DECODE: i64 = 1;
+
+// Field ids in struct XDR.
+const X_OP: usize = 0;
+const X_HANDY: usize = 1;
+const X_PRIVATE: usize = 2;
+// Field ids in struct PAIR.
+const INT1: usize = 0;
+const INT2: usize = 1;
+
+/// Build the miniature marshaling program (Figures 2–4 of the paper,
+/// transliterated).
+fn mini_rpc_program() -> Program {
+    let mut p = Program::new();
+    let xdr_sid = p.add_struct(test_struct(
+        "XDR",
+        &[
+            ("x_op", Type::Long),
+            ("x_handy", Type::Long),
+            ("x_private", Type::BufPtr),
+        ],
+    ));
+    let pair_sid = p.add_struct(test_struct(
+        "PAIR",
+        &[("int1", Type::Long), ("int2", Type::Long)],
+    ));
+
+    // xdrmem_putlong (Figure 3).
+    let mut fb = FunctionBuilder::new("xdrmem_putlong");
+    let xdrs = fb.param("xdrs", ptr(Type::Struct(xdr_sid)));
+    let lp = fb.param("lp", ptr(Type::Long));
+    fb.returns(Type::Long);
+    let putlong = fb.body(vec![
+        assign(
+            field(deref_var(xdrs), X_HANDY),
+            sub(lv(field(deref_var(xdrs), X_HANDY)), c(4)),
+        ),
+        if_then(
+            lt(lv(field(deref_var(xdrs), X_HANDY)), c(0)),
+            vec![ret(Some(c(0)))],
+        ),
+        assign(
+            buf32(lv(field(deref_var(xdrs), X_PRIVATE))),
+            htonl(lv(deref_var(lp))),
+        ),
+        assign(
+            field(deref_var(xdrs), X_PRIVATE),
+            add(lv(field(deref_var(xdrs), X_PRIVATE)), c(4)),
+        ),
+        ret(Some(c(1))),
+    ]);
+    p.add_func(putlong);
+
+    // xdrmem_getlong.
+    let mut fb = FunctionBuilder::new("xdrmem_getlong");
+    let xdrs = fb.param("xdrs", ptr(Type::Struct(xdr_sid)));
+    let lp = fb.param("lp", ptr(Type::Long));
+    fb.returns(Type::Long);
+    let getlong = fb.body(vec![
+        assign(
+            field(deref_var(xdrs), X_HANDY),
+            sub(lv(field(deref_var(xdrs), X_HANDY)), c(4)),
+        ),
+        if_then(
+            lt(lv(field(deref_var(xdrs), X_HANDY)), c(0)),
+            vec![ret(Some(c(0)))],
+        ),
+        assign(
+            deref_var(lp),
+            ntohl(lv(buf32(lv(field(deref_var(xdrs), X_PRIVATE))))),
+        ),
+        assign(
+            field(deref_var(xdrs), X_PRIVATE),
+            add(lv(field(deref_var(xdrs), X_PRIVATE)), c(4)),
+        ),
+        ret(Some(c(1))),
+    ]);
+    p.add_func(getlong);
+
+    // xdr_long (Figure 2): three-way dispatch on x_op.
+    let mut fb = FunctionBuilder::new("xdr_long");
+    let xdrs = fb.param("xdrs", ptr(Type::Struct(xdr_sid)));
+    let lp = fb.param("lp", ptr(Type::Long));
+    fb.returns(Type::Long);
+    let xdr_long = fb.body(vec![
+        if_then(
+            eq(lv(field(deref_var(xdrs), X_OP)), c(OP_ENCODE)),
+            vec![ret(Some(call(
+                "xdrmem_putlong",
+                vec![lv(var(xdrs)), lv(var(lp))],
+            )))],
+        ),
+        if_then(
+            eq(lv(field(deref_var(xdrs), X_OP)), c(OP_DECODE)),
+            vec![ret(Some(call(
+                "xdrmem_getlong",
+                vec![lv(var(xdrs)), lv(var(lp))],
+            )))],
+        ),
+        if_then(eq(lv(field(deref_var(xdrs), X_OP)), c(2)), vec![ret(Some(c(1)))]),
+        ret(Some(c(0))),
+    ]);
+    p.add_func(xdr_long);
+
+    // xdr_pair (Figure 4).
+    let mut fb = FunctionBuilder::new("xdr_pair");
+    let xdrs = fb.param("xdrs", ptr(Type::Struct(xdr_sid)));
+    let objp = fb.param("objp", ptr(Type::Struct(pair_sid)));
+    fb.returns(Type::Long);
+    let xdr_pair = fb.body(vec![
+        if_then(
+            not(call(
+                "xdr_long",
+                vec![lv(var(xdrs)), addr_of(field(deref_var(objp), INT1))],
+            )),
+            vec![ret(Some(c(0)))],
+        ),
+        if_then(
+            not(call(
+                "xdr_long",
+                vec![lv(var(xdrs)), addr_of(field(deref_var(objp), INT2))],
+            )),
+            vec![ret(Some(c(0)))],
+        ),
+        ret(Some(c(1))),
+    ]);
+    p.add_func(xdr_pair);
+    p.validate().unwrap();
+    p
+}
+
+struct PairSetup<'p> {
+    spec: Specializer<'p>,
+    xdr_obj: ObjId,
+    pair_obj: ObjId,
+}
+
+fn setup_pair(prog: &Program, op: i64, handy: i64) -> PairSetup<'_> {
+    let xdr_sid = prog.struct_named("XDR").unwrap();
+    let pair_sid = prog.struct_named("PAIR").unwrap();
+    let mut spec = Specializer::new(prog);
+    let buf = spec.alloc_buffer("buf");
+    let pair_obj = spec.alloc_dynamic_struct(pair_sid, "objp");
+    let xdr_obj = spec.alloc_static_struct(xdr_sid);
+    spec.set_slot_static(Place { obj: xdr_obj, slot: X_OP }, Value::Long(op));
+    spec.set_slot_static(Place { obj: xdr_obj, slot: X_HANDY }, Value::Long(handy));
+    spec.set_slot_static(
+        Place { obj: xdr_obj, slot: X_PRIVATE },
+        Value::BufPtr(buf, 0),
+    );
+    PairSetup { spec, xdr_obj, pair_obj }
+}
+
+fn specialize_pair(prog: &Program, op: i64, handy: i64) -> (Function, SpecReport) {
+    let mut s = setup_pair(prog, op, handy);
+    let args = vec![
+        SVal::S(Value::Ref(Place { obj: s.xdr_obj, slot: 0 })),
+        SVal::S(Value::Ref(Place { obj: s.pair_obj, slot: 0 })),
+    ];
+    let f = s.spec.specialize("xdr_pair", args, "xdr_pair_spec").unwrap();
+    (f, s.spec.report().clone())
+}
+
+#[test]
+fn encode_residual_is_straight_line_figure5() {
+    let prog = mini_rpc_program();
+    let (f, report) = specialize_pair(&prog, OP_ENCODE, 64);
+    let printed = pretty::function_str(&prog, &f);
+
+    // No dispatch, no overflow check, no status test survives (Figure 5).
+    assert!(!printed.contains("if"), "residual has a conditional:\n{printed}");
+    assert!(printed.contains("htonl(objp->int1)"), "{printed}");
+    assert!(printed.contains("htonl(objp->int2)"), "{printed}");
+    // Two buffer stores at offsets 0 and 4, then the static return.
+    assert!(printed.contains("*(long*)(buf)"), "{printed}");
+    assert!(printed.contains("*(long*)((buf + 4))"), "{printed}");
+    assert!(printed.contains("return 1;"), "{printed}");
+
+    // The three If folds per xdr_long chain plus xdr_pair's status tests.
+    assert!(report.static_ifs_folded >= 6, "{report:?}");
+    assert_eq!(report.folds_in("xdrmem_putlong"), 2, "overflow checks folded");
+    assert!(report.folds_in("xdr_pair") >= 2, "status tests folded");
+    assert_eq!(report.calls_unfolded, 4, "two xdr_long + two putlong");
+    assert_eq!(report.dynamic_ifs_residualized, 0);
+}
+
+#[test]
+fn encode_residual_equivalent_to_generic() {
+    let prog = mini_rpc_program();
+    let (residual, _) = specialize_pair(&prog, OP_ENCODE, 64);
+
+    // Generic run.
+    let xdr_sid = prog.struct_named("XDR").unwrap();
+    let pair_sid = prog.struct_named("PAIR").unwrap();
+    let mut ev = Evaluator::new(&prog);
+    let buf = ev.heap.alloc_bytes(64);
+    let xdr = ev.heap.alloc_struct(&prog, xdr_sid);
+    let pair = ev.heap.alloc_struct(&prog, pair_sid);
+    ev.heap.write_slot(Place { obj: xdr, slot: X_OP }, Value::Long(OP_ENCODE)).unwrap();
+    ev.heap.write_slot(Place { obj: xdr, slot: X_HANDY }, Value::Long(64)).unwrap();
+    ev.heap
+        .write_slot(Place { obj: xdr, slot: X_PRIVATE }, Value::BufPtr(buf, 0))
+        .unwrap();
+    ev.heap.write_slot(Place { obj: pair, slot: INT1 }, Value::Long(0x0102_0304)).unwrap();
+    ev.heap.write_slot(Place { obj: pair, slot: INT2 }, Value::Long(-7)).unwrap();
+    let r = ev
+        .call(
+            "xdr_pair",
+            vec![
+                Value::Ref(Place { obj: xdr, slot: 0 }),
+                Value::Ref(Place { obj: pair, slot: 0 }),
+            ],
+        )
+        .unwrap();
+    assert_eq!(r, Value::Long(1));
+    let generic_bytes = ev.heap.bytes(buf).unwrap().to_vec();
+
+    // Residual run (the residual is itself IR: interpret it).
+    let mut prog2 = prog.clone();
+    prog2.add_func(residual);
+    prog2.validate().unwrap();
+    let mut ev2 = Evaluator::new(&prog2);
+    let buf2 = ev2.heap.alloc_bytes(64);
+    let pair2 = ev2.heap.alloc_struct(&prog2, pair_sid);
+    ev2.heap.write_slot(Place { obj: pair2, slot: INT1 }, Value::Long(0x0102_0304)).unwrap();
+    ev2.heap.write_slot(Place { obj: pair2, slot: INT2 }, Value::Long(-7)).unwrap();
+    let r2 = ev2
+        .call(
+            "xdr_pair_spec",
+            vec![Value::BufPtr(buf2, 0), Value::Ref(Place { obj: pair2, slot: 0 })],
+        )
+        .unwrap();
+    assert_eq!(r2, Value::Long(1));
+    assert_eq!(ev2.heap.bytes(buf2).unwrap(), generic_bytes.as_slice());
+    assert_eq!(&generic_bytes[..4], &[1, 2, 3, 4], "big-endian on the wire");
+}
+
+#[test]
+fn decode_residual_reads_buffer() {
+    let prog = mini_rpc_program();
+    let (f, _) = specialize_pair(&prog, OP_DECODE, 64);
+    let printed = pretty::function_str(&prog, &f);
+    assert!(printed.contains("objp->int1 = ntohl(*(long*)(buf));"), "{printed}");
+    assert!(printed.contains("objp->int2 = ntohl(*(long*)((buf + 4)));"), "{printed}");
+    assert!(!printed.contains("if"), "{printed}");
+}
+
+#[test]
+fn statically_detected_overflow_folds_to_failure() {
+    let prog = mini_rpc_program();
+    // Only 4 bytes of space: the second putlong statically overflows, so
+    // the whole stub folds to `return 0` (failure), computed entirely at
+    // specialization time.
+    let (f, _) = specialize_pair(&prog, OP_ENCODE, 4);
+    let last = f.body.last().unwrap();
+    assert_eq!(last, &Stmt::Return(Some(Expr::Const(0))));
+}
+
+#[test]
+fn free_mode_folds_to_trivial_success() {
+    let prog = mini_rpc_program();
+    let (f, _) = specialize_pair(&prog, 2, 64);
+    // XDR_FREE on scalars is a no-op: the residual is just `return 1`.
+    let printed = pretty::function_str(&prog, &f);
+    assert!(!printed.contains("*(long*)"), "{printed}");
+    assert!(printed.contains("return 1;"), "{printed}");
+}
+
+#[test]
+fn static_return_with_dynamic_side_effects() {
+    // g writes dynamic data to the buffer but returns a static 1;
+    // f's test on g's return value must fold (§3.3 / static returns).
+    let mut p = Program::new();
+    let mut fb = FunctionBuilder::new("g");
+    let bp = fb.param("bp", Type::BufPtr);
+    let v = fb.param("v", Type::Long);
+    fb.returns(Type::Long);
+    let g = fb.body(vec![
+        assign(buf32(lv(var(bp))), htonl(lv(var(v)))),
+        ret(Some(c(1))),
+    ]);
+    p.add_func(g);
+    let mut fb = FunctionBuilder::new("f");
+    let bp = fb.param("bp", Type::BufPtr);
+    let v = fb.param("v", Type::Long);
+    fb.returns(Type::Long);
+    let f = fb.body(vec![
+        if_then(
+            not(call("g", vec![lv(var(bp)), lv(var(v))])),
+            vec![ret(Some(c(0)))],
+        ),
+        ret(Some(c(1))),
+    ]);
+    p.add_func(f);
+    p.validate().unwrap();
+
+    let mut spec = Specializer::new(&p);
+    let buf = spec.alloc_buffer("buf");
+    let val = spec.dynamic_scalar_param("v", Type::Long);
+    let residual = spec
+        .specialize(
+            "f",
+            vec![SVal::S(Value::BufPtr(buf, 0)), val],
+            "f_spec",
+        )
+        .unwrap();
+    let printed = pretty::function_str(&p, &residual);
+    assert!(!printed.contains("if"), "status test must fold:\n{printed}");
+    assert!(printed.contains("htonl(v)"), "{printed}");
+    assert_eq!(spec.report().static_ifs_folded, 1);
+}
+
+#[test]
+fn inlen_guard_restatizes_in_then_branch() {
+    // The §6.2 rewrite: inside `if (inlen == 8)`, assigning the constant
+    // makes inlen static again, so downstream uses fold; the else branch
+    // keeps the general (dynamic) path.
+    let mut p = Program::new();
+    let mut fb = FunctionBuilder::new("decode");
+    let bp = fb.param("bp", Type::BufPtr);
+    let inlen = fb.param("inlen", Type::Long);
+    fb.returns(Type::Long);
+    let f = fb.body(vec![
+        if_else(
+            eq(lv(var(inlen)), c(8)),
+            vec![
+                assign(var(inlen), c(8)),
+                // A store whose offset depends on inlen: static in the
+                // guarded branch.
+                assign(buf32(add(lv(var(bp)), sub(lv(var(inlen)), c(8)))), c(5)),
+                ret(Some(c(1))),
+            ],
+            vec![ret(Some(c(0)))],
+        ),
+    ]);
+    p.add_func(f);
+    p.validate().unwrap();
+
+    let mut spec = Specializer::new(&p);
+    let buf = spec.alloc_buffer("buf");
+    let inlen_arg = spec.dynamic_scalar_param("inlen", Type::Long);
+    let residual = spec
+        .specialize("decode", vec![SVal::S(Value::BufPtr(buf, 0)), inlen_arg], "decode_spec")
+        .unwrap();
+    let printed = pretty::function_str(&p, &residual);
+    // The guard itself stays dynamic…
+    assert!(printed.contains("if ((inlen == 8))"), "{printed}");
+    // …but the offset computation folded to the buffer base.
+    assert!(printed.contains("*(long*)(buf) = 5;"), "{printed}");
+    assert!(!printed.contains("(inlen - 8)"), "{printed}");
+    assert_eq!(spec.report().dynamic_ifs_residualized, 1);
+}
+
+#[test]
+fn diverging_branch_values_are_merged_via_residual_local() {
+    // if (d) x = 1; else x = 2; return x;  — x must be dynamized.
+    let mut p = Program::new();
+    let mut fb = FunctionBuilder::new("pick");
+    let d = fb.param("d", Type::Long);
+    let x = fb.local("x", Type::Long);
+    fb.returns(Type::Long);
+    let f = fb.body(vec![
+        if_else(
+            ne(lv(var(d)), c(0)),
+            vec![assign(var(x), c(1))],
+            vec![assign(var(x), c(2))],
+        ),
+        ret(Some(lv(var(x)))),
+    ]);
+    p.add_func(f);
+
+    let mut spec = Specializer::new(&p);
+    let d_arg = spec.dynamic_scalar_param("d", Type::Long);
+    let residual = spec.specialize("pick", vec![d_arg], "pick_spec").unwrap();
+
+    // Execute the residual for both branch outcomes and compare with the
+    // generic semantics.
+    let mut p2 = p.clone();
+    p2.add_func(residual);
+    p2.validate().unwrap();
+    for dv in [0i64, 5] {
+        let mut ev = Evaluator::new(&p2);
+        let want = ev.call("pick", vec![Value::Long(dv)]).unwrap();
+        let mut ev2 = Evaluator::new(&p2);
+        let got = ev2.call("pick_spec", vec![Value::Long(dv)]).unwrap();
+        assert_eq!(got, want, "d = {dv}");
+    }
+}
+
+#[test]
+fn loop_with_static_bounds_unrolls_fully() {
+    // for (i = 0; i < 3; i++) *(bp + 4*i) = htonl(v);  — three stores.
+    let mut p = Program::new();
+    let mut fb = FunctionBuilder::new("fill");
+    let bp = fb.param("bp", Type::BufPtr);
+    let v = fb.param("v", Type::Long);
+    let i = fb.local("i", Type::Long);
+    let f = fb.body(vec![for_loop(
+        i,
+        c(0),
+        c(3),
+        vec![assign(
+            buf32(add(lv(var(bp)), mul(lv(var(i)), c(4)))),
+            htonl(lv(var(v))),
+        )],
+    )]);
+    p.add_func(f);
+
+    let mut spec = Specializer::new(&p);
+    let buf = spec.alloc_buffer("buf");
+    let v_arg = spec.dynamic_scalar_param("v", Type::Long);
+    let residual = spec
+        .specialize("fill", vec![SVal::S(Value::BufPtr(buf, 0)), v_arg], "fill_spec")
+        .unwrap();
+    assert_eq!(residual.stmt_count(), 3, "fully unrolled");
+    assert_eq!(spec.report().loop_iters_unrolled, 3);
+    let printed = pretty::function_str(&p, &residual);
+    assert!(printed.contains("*(long*)((buf + 8))"), "{printed}");
+}
+
+#[test]
+fn dynamic_bound_loop_residualizes() {
+    let mut p = Program::new();
+    let mut fb = FunctionBuilder::new("fill");
+    let bp = fb.param("bp", Type::BufPtr);
+    let n = fb.param("n", Type::Long);
+    let i = fb.local("i", Type::Long);
+    let f = fb.body(vec![for_loop(
+        i,
+        c(0),
+        lv(var(n)),
+        vec![assign(buf32(add(lv(var(bp)), mul(lv(var(i)), c(4)))), c(9))],
+    )]);
+    p.add_func(f);
+
+    let mut spec = Specializer::new(&p);
+    let buf = spec.alloc_buffer("buf");
+    let n_arg = spec.dynamic_scalar_param("n", Type::Long);
+    let residual = spec
+        .specialize("fill", vec![SVal::S(Value::BufPtr(buf, 0)), n_arg], "fill_spec")
+        .unwrap();
+    assert!(matches!(residual.body[0], Stmt::For { .. }));
+    assert_eq!(spec.report().dynamic_loops_residualized, 1);
+}
+
+#[test]
+fn unnamed_dynamic_access_is_an_error() {
+    let mut p = Program::new();
+    let sid = p.add_struct(test_struct("S", &[("a", Type::Long)]));
+    let mut fb = FunctionBuilder::new("f");
+    let sp = fb.param("sp", ptr(Type::Struct(sid)));
+    fb.returns(Type::Long);
+    let f = fb.body(vec![ret(Some(lv(field(deref_var(sp), 0))))]);
+    p.add_func(f);
+
+    let mut spec = Specializer::new(&p);
+    // Allocate WITHOUT a residual name, then mark the slot dynamic.
+    let obj = spec.alloc_static_struct(sid);
+    spec.set_slot_dynamic(Place { obj, slot: 0 });
+    let err = spec
+        .specialize("f", vec![SVal::S(Value::Ref(Place { obj, slot: 0 }))], "f_spec")
+        .unwrap_err();
+    assert_eq!(err, SpecError::UnnamedObject(obj));
+}
+
+#[test]
+fn dynamic_while_is_rejected() {
+    let mut p = Program::new();
+    let mut fb = FunctionBuilder::new("f");
+    let d = fb.param("d", Type::Long);
+    let f = fb.body(vec![Stmt::While(ne(lv(var(d)), c(0)), vec![])]);
+    p.add_func(f);
+    let mut spec = Specializer::new(&p);
+    let d_arg = spec.dynamic_scalar_param("d", Type::Long);
+    assert_eq!(
+        spec.specialize("f", vec![d_arg], "f_spec").unwrap_err(),
+        SpecError::DynamicWhile
+    );
+}
+
+#[test]
+fn static_while_executes() {
+    let mut p = Program::new();
+    let mut fb = FunctionBuilder::new("f");
+    let bp = fb.param("bp", Type::BufPtr);
+    let k = fb.local("k", Type::Long);
+    fb.returns(Type::Long);
+    let f = fb.body(vec![
+        assign(var(k), c(0)),
+        Stmt::While(
+            lt(lv(var(k)), c(2)),
+            vec![
+                assign(buf32(add(lv(var(bp)), mul(lv(var(k)), c(4)))), c(3)),
+                assign(var(k), add(lv(var(k)), c(1))),
+            ],
+        ),
+        ret(Some(lv(var(k)))),
+    ]);
+    p.add_func(f);
+    let mut spec = Specializer::new(&p);
+    let buf = spec.alloc_buffer("buf");
+    let residual = spec
+        .specialize("f", vec![SVal::S(Value::BufPtr(buf, 0))], "f_spec")
+        .unwrap();
+    // Two stores plus the materialized static return.
+    assert_eq!(residual.stmt_count(), 3);
+    assert!(matches!(residual.body.last().unwrap(), Stmt::Return(Some(Expr::Const(2)))));
+}
+
+#[test]
+fn partially_static_struct_mixes_binding_times() {
+    // One struct: field `n` static (array length), field `val` dynamic.
+    let mut p = Program::new();
+    let sid = p.add_struct(test_struct("S", &[("n", Type::Long), ("val", Type::Long)]));
+    let mut fb = FunctionBuilder::new("f");
+    let sp = fb.param("sp", ptr(Type::Struct(sid)));
+    let bp = fb.param("bp", Type::BufPtr);
+    let i = fb.local("i", Type::Long);
+    let f = fb.body(vec![for_loop(
+        i,
+        c(0),
+        lv(field(deref_var(sp), 0)),
+        vec![assign(
+            buf32(add(lv(var(bp)), mul(lv(var(i)), c(4)))),
+            htonl(lv(field(deref_var(sp), 1))),
+        )],
+    )]);
+    p.add_func(f);
+
+    let mut spec = Specializer::new(&p);
+    let buf = spec.alloc_buffer("buf");
+    let obj = spec.alloc_dynamic_struct(sid, "sp");
+    spec.set_slot_static(Place { obj, slot: 0 }, Value::Long(4));
+    let residual = spec
+        .specialize(
+            "f",
+            vec![
+                SVal::S(Value::Ref(Place { obj, slot: 0 })),
+                SVal::S(Value::BufPtr(buf, 0)),
+            ],
+            "f_spec",
+        )
+        .unwrap();
+    // Static length ⇒ fully unrolled to 4 stores of the dynamic field.
+    assert_eq!(residual.stmt_count(), 4);
+    let printed = pretty::function_str(&p, &residual);
+    assert!(printed.contains("htonl(sp->val)"), "{printed}");
+}
+
+#[test]
+fn context_sensitivity_static_and_dynamic_call_sites() {
+    // h(bp, lp) writes *lp; called once with a static pointer-to-static
+    // (the procedure id) and once with dynamic data: the first call's
+    // store becomes a constant, the second stays dynamic.
+    let mut p = Program::new();
+    let sid = p.add_struct(test_struct("CTX", &[("proc_id", Type::Long), ("arg", Type::Long)]));
+    let mut fb = FunctionBuilder::new("h");
+    let bp = fb.param("bp", Type::BufPtr);
+    let lp = fb.param("lp", ptr(Type::Long));
+    let h = fb.body(vec![assign(buf32(lv(var(bp))), htonl(lv(deref_var(lp))))]);
+    p.add_func(h);
+    let mut fb = FunctionBuilder::new("f");
+    let cp = fb.param("cp", ptr(Type::Struct(sid)));
+    let bp = fb.param("bp", Type::BufPtr);
+    let f = fb.body(vec![
+        expr_stmt(call("h", vec![lv(var(bp)), addr_of(field(deref_var(cp), 0))])),
+        expr_stmt(call(
+            "h",
+            vec![add(lv(var(bp)), c(4)), addr_of(field(deref_var(cp), 1))],
+        )),
+    ]);
+    p.add_func(f);
+
+    let mut spec = Specializer::new(&p);
+    let buf = spec.alloc_buffer("buf");
+    let obj = spec.alloc_dynamic_struct(sid, "cp");
+    spec.set_slot_static(Place { obj, slot: 0 }, Value::Long(0x2A)); // proc id 42
+    let residual = spec
+        .specialize(
+            "f",
+            vec![
+                SVal::S(Value::Ref(Place { obj, slot: 0 })),
+                SVal::S(Value::BufPtr(buf, 0)),
+            ],
+            "f_spec",
+        )
+        .unwrap();
+    let printed = pretty::function_str(&p, &residual);
+    // First store folded to the byte-swapped constant, second residual.
+    let swapped = (0x2Au32).swap_bytes() as i64;
+    assert!(
+        printed.contains(&format!("*(long*)(buf) = {swapped};")),
+        "{printed}"
+    );
+    assert!(printed.contains("htonl(cp->arg)"), "{printed}");
+}

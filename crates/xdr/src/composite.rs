@@ -1,0 +1,497 @@
+//! Composite XDR filter routines: opaque data, counted bytes, strings,
+//! arrays, vectors, optional data, and discriminated unions.
+//!
+//! Like the primitives, these mirror the generic Sun routines: each takes
+//! the stream plus an element filter and interprets the stream's `x_op`
+//! and the run-time length information. `xdr_array` is the routine the
+//! paper's benchmark exercises (marshaling an integer array); the generic
+//! version performs a dispatch, an overflow check, and two layer calls *per
+//! element* — precisely the per-element interpretation the specializer
+//! unrolls away (Figure 5).
+
+use crate::error::{XdrError, XdrResult};
+use crate::primitives::xdr_u_int;
+use crate::sizes::{pad_len, BYTES_PER_XDR_UNIT};
+use crate::stream::{XdrOp, XdrStream};
+
+/// Element filter signature used by the container routines
+/// (the `xdrproc_t` of the C code).
+pub type XdrProc<T> = fn(&mut dyn XdrStream, &mut T) -> XdrResult;
+
+/// Fixed-length opaque data: the bytes travel raw, padded to a unit
+/// boundary with zeroes (`xdr_opaque`).
+#[inline(never)]
+pub fn xdr_opaque(xdrs: &mut dyn XdrStream, data: &mut [u8]) -> XdrResult {
+    let c = xdrs.counts_mut();
+    c.layer_calls += 1;
+    c.dispatches += 1;
+    let pad = pad_len(data.len());
+    match xdrs.op() {
+        XdrOp::Encode => {
+            xdrs.putbytes(data)?;
+            if pad > 0 {
+                xdrs.putbytes(&[0u8; BYTES_PER_XDR_UNIT][..pad])?;
+            }
+            Ok(())
+        }
+        XdrOp::Decode => {
+            xdrs.getbytes(data)?;
+            if pad > 0 {
+                let mut sink = [0u8; BYTES_PER_XDR_UNIT];
+                xdrs.getbytes(&mut sink[..pad])?;
+            }
+            Ok(())
+        }
+        XdrOp::Free => Ok(()),
+    }
+}
+
+/// Counted (variable-length) opaque data (`xdr_bytes`): a length word
+/// followed by padded payload; `maxsize` bounds the length in both
+/// directions.
+#[inline(never)]
+pub fn xdr_bytes(xdrs: &mut dyn XdrStream, data: &mut Vec<u8>, maxsize: usize) -> XdrResult {
+    let c = xdrs.counts_mut();
+    c.layer_calls += 1;
+    c.dispatches += 1;
+    match xdrs.op() {
+        XdrOp::Encode => {
+            if data.len() > maxsize {
+                return Err(XdrError::SizeLimit {
+                    len: data.len(),
+                    max: maxsize,
+                });
+            }
+            let mut len = data.len() as u32;
+            xdr_u_int(xdrs, &mut len)?;
+            xdr_opaque(xdrs, data.as_mut_slice())
+        }
+        XdrOp::Decode => {
+            let mut len = 0u32;
+            xdr_u_int(xdrs, &mut len)?;
+            let len = len as usize;
+            if len > maxsize {
+                return Err(XdrError::SizeLimit { len, max: maxsize });
+            }
+            data.clear();
+            data.resize(len, 0);
+            xdr_opaque(xdrs, data.as_mut_slice())
+        }
+        XdrOp::Free => {
+            data.clear();
+            Ok(())
+        }
+    }
+}
+
+/// A counted ASCII/UTF-8 string (`xdr_string`): like [`xdr_bytes`] but the
+/// payload must be valid UTF-8 without interior NUL.
+#[inline(never)]
+pub fn xdr_string(xdrs: &mut dyn XdrStream, s: &mut String, maxsize: usize) -> XdrResult {
+    let c = xdrs.counts_mut();
+    c.layer_calls += 1;
+    c.dispatches += 1;
+    match xdrs.op() {
+        XdrOp::Encode => {
+            if s.len() > maxsize {
+                return Err(XdrError::SizeLimit {
+                    len: s.len(),
+                    max: maxsize,
+                });
+            }
+            if s.bytes().any(|b| b == 0) {
+                return Err(XdrError::BadString);
+            }
+            let mut len = s.len() as u32;
+            xdr_u_int(xdrs, &mut len)?;
+            let mut bytes = std::mem::take(s).into_bytes();
+            let r = xdr_opaque(xdrs, bytes.as_mut_slice());
+            *s = String::from_utf8(bytes).expect("encode does not mutate");
+            r
+        }
+        XdrOp::Decode => {
+            let mut len = 0u32;
+            xdr_u_int(xdrs, &mut len)?;
+            let len = len as usize;
+            if len > maxsize {
+                return Err(XdrError::SizeLimit { len, max: maxsize });
+            }
+            let mut bytes = vec![0u8; len];
+            xdr_opaque(xdrs, bytes.as_mut_slice())?;
+            if bytes.contains(&0) {
+                return Err(XdrError::BadString);
+            }
+            *s = String::from_utf8(bytes).map_err(|_| XdrError::BadString)?;
+            Ok(())
+        }
+        XdrOp::Free => {
+            s.clear();
+            Ok(())
+        }
+    }
+}
+
+/// Counted (variable-length) array (`xdr_array`): a length word followed by
+/// `len` elements, each run through `elem_proc`.
+///
+/// This is the workhorse of the paper's benchmark. Note the per-element
+/// costs in the generic version: one indirect call to `elem_proc`, one
+/// dispatch, one overflow check per element.
+#[inline(never)]
+pub fn xdr_array<T: Default>(
+    xdrs: &mut dyn XdrStream,
+    arr: &mut Vec<T>,
+    maxsize: usize,
+    elem_proc: XdrProc<T>,
+) -> XdrResult {
+    let c = xdrs.counts_mut();
+    c.layer_calls += 1;
+    c.dispatches += 1;
+    match xdrs.op() {
+        XdrOp::Encode => {
+            if arr.len() > maxsize {
+                return Err(XdrError::SizeLimit {
+                    len: arr.len(),
+                    max: maxsize,
+                });
+            }
+            let mut len = arr.len() as u32;
+            xdr_u_int(xdrs, &mut len)?;
+            for elem in arr.iter_mut() {
+                // The status check mirrors the `if (!xdr_...) return FALSE`
+                // of the generated stubs (Figure 4).
+                xdrs.counts_mut().status_checks += 1;
+                elem_proc(xdrs, elem)?;
+            }
+            Ok(())
+        }
+        XdrOp::Decode => {
+            let mut len = 0u32;
+            xdr_u_int(xdrs, &mut len)?;
+            let len = len as usize;
+            if len > maxsize {
+                return Err(XdrError::SizeLimit { len, max: maxsize });
+            }
+            arr.clear();
+            arr.resize_with(len, T::default);
+            for elem in arr.iter_mut() {
+                xdrs.counts_mut().status_checks += 1;
+                elem_proc(xdrs, elem)?;
+            }
+            Ok(())
+        }
+        XdrOp::Free => {
+            for elem in arr.iter_mut() {
+                elem_proc(xdrs, elem)?;
+            }
+            arr.clear();
+            Ok(())
+        }
+    }
+}
+
+/// Fixed-length array (`xdr_vector`): `arr.len()` elements with no length
+/// word.
+#[inline(never)]
+pub fn xdr_vector<T>(xdrs: &mut dyn XdrStream, arr: &mut [T], elem_proc: XdrProc<T>) -> XdrResult {
+    let c = xdrs.counts_mut();
+    c.layer_calls += 1;
+    for elem in arr.iter_mut() {
+        xdrs.counts_mut().status_checks += 1;
+        elem_proc(xdrs, elem)?;
+    }
+    Ok(())
+}
+
+/// Optional data (`xdr_pointer`): a boolean "follows" word, then the value
+/// if present. This is how linked structures travel in XDR.
+#[inline(never)]
+pub fn xdr_pointer<T: Default>(
+    xdrs: &mut dyn XdrStream,
+    objp: &mut Option<Box<T>>,
+    elem_proc: XdrProc<T>,
+) -> XdrResult {
+    let c = xdrs.counts_mut();
+    c.layer_calls += 1;
+    c.dispatches += 1;
+    match xdrs.op() {
+        XdrOp::Encode => {
+            let mut more = objp.is_some() as i32;
+            crate::primitives::xdr_long(xdrs, &mut more)?;
+            if let Some(inner) = objp.as_deref_mut() {
+                elem_proc(xdrs, inner)?;
+            }
+            Ok(())
+        }
+        XdrOp::Decode => {
+            let mut more = 0i32;
+            crate::primitives::xdr_long(xdrs, &mut more)?;
+            match more {
+                0 => {
+                    *objp = None;
+                    Ok(())
+                }
+                1 => {
+                    let mut inner = Box::<T>::default();
+                    elem_proc(xdrs, &mut inner)?;
+                    *objp = Some(inner);
+                    Ok(())
+                }
+                other => Err(XdrError::BadBool(other)),
+            }
+        }
+        XdrOp::Free => {
+            *objp = None;
+            Ok(())
+        }
+    }
+}
+
+/// One arm of a discriminated union: the discriminant value and the filter
+/// that handles the arm's body.
+pub struct UnionArm<'a, T> {
+    /// Discriminant value selecting this arm.
+    pub value: i32,
+    /// Filter for the arm body.
+    pub proc_: &'a mut dyn FnMut(&mut dyn XdrStream, &mut T) -> XdrResult,
+}
+
+/// Discriminated union (`xdr_union`): encode/decode the discriminant, then
+/// interpret the arm table to find the matching body filter.
+///
+/// The arm-table interpretation is another instance of the run-time
+/// dispatch that specialization removes when the discriminant is static.
+#[inline(never)]
+pub fn xdr_union<T>(
+    xdrs: &mut dyn XdrStream,
+    discriminant: &mut i32,
+    body: &mut T,
+    arms: &mut [UnionArm<'_, T>],
+    default_arm: Option<&mut dyn FnMut(&mut dyn XdrStream, &mut T) -> XdrResult>,
+) -> XdrResult {
+    let c = xdrs.counts_mut();
+    c.layer_calls += 1;
+    c.dispatches += 1;
+    crate::primitives::xdr_long(xdrs, discriminant)?;
+    for arm in arms.iter_mut() {
+        xdrs.counts_mut().dispatches += 1;
+        if arm.value == *discriminant {
+            return (arm.proc_)(xdrs, body);
+        }
+    }
+    match default_arm {
+        Some(f) => f(xdrs, body),
+        None => Err(XdrError::BadUnionDiscriminant(*discriminant)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::XdrMem;
+    use crate::primitives::{xdr_int, xdr_long};
+
+    #[test]
+    fn opaque_pads_to_unit() {
+        let mut e = XdrMem::encoder(16);
+        let mut data = *b"abcde";
+        xdr_opaque(&mut e, &mut data).unwrap();
+        assert_eq!(e.getpos(), 8);
+        assert_eq!(&e.bytes()[..5], b"abcde");
+        assert_eq!(&e.bytes()[5..], &[0, 0, 0]);
+
+        let mut d = XdrMem::decoder(e.bytes());
+        let mut out = [0u8; 5];
+        xdr_opaque(&mut d, &mut out).unwrap();
+        assert_eq!(&out, b"abcde");
+        assert_eq!(d.getpos(), 8, "decoder must consume padding");
+    }
+
+    #[test]
+    fn bytes_roundtrip_and_maxsize() {
+        let mut e = XdrMem::encoder(32);
+        let mut v = b"hello!".to_vec();
+        xdr_bytes(&mut e, &mut v, 10).unwrap();
+        assert_eq!(e.getpos(), 4 + 8);
+
+        let mut d = XdrMem::decoder(e.bytes());
+        let mut out = Vec::new();
+        xdr_bytes(&mut d, &mut out, 10).unwrap();
+        assert_eq!(out, b"hello!");
+
+        // Decoding with a smaller bound must fail.
+        let mut d2 = XdrMem::decoder(e.bytes());
+        let mut out2 = Vec::new();
+        assert_eq!(
+            xdr_bytes(&mut d2, &mut out2, 3).unwrap_err(),
+            XdrError::SizeLimit { len: 6, max: 3 }
+        );
+
+        // Encoding beyond the bound must fail too.
+        let mut e2 = XdrMem::encoder(32);
+        let mut big = vec![0u8; 11];
+        assert!(matches!(
+            xdr_bytes(&mut e2, &mut big, 10).unwrap_err(),
+            XdrError::SizeLimit { len: 11, max: 10 }
+        ));
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut e = XdrMem::encoder(32);
+        let mut s = String::from("remote procedure");
+        xdr_string(&mut e, &mut s, 64).unwrap();
+        assert_eq!(s, "remote procedure", "encode must not consume the value");
+
+        let mut d = XdrMem::decoder(e.bytes());
+        let mut out = String::new();
+        xdr_string(&mut d, &mut out, 64).unwrap();
+        assert_eq!(out, "remote procedure");
+    }
+
+    #[test]
+    fn string_rejects_interior_nul() {
+        let mut e = XdrMem::encoder(16);
+        let mut s = String::from("a\0b");
+        assert_eq!(xdr_string(&mut e, &mut s, 16).unwrap_err(), XdrError::BadString);
+
+        // And on decode: length 1, payload NUL.
+        let wire = [0, 0, 0, 1, 0, 0, 0, 0];
+        let mut d = XdrMem::decoder(&wire);
+        let mut out = String::new();
+        assert_eq!(xdr_string(&mut d, &mut out, 16).unwrap_err(), XdrError::BadString);
+    }
+
+    #[test]
+    fn array_roundtrip() {
+        let mut e = XdrMem::encoder(4 + 5 * 4);
+        let mut v = vec![1i32, -2, 3, -4, 5];
+        xdr_array(&mut e, &mut v, 100, xdr_int).unwrap();
+        assert_eq!(e.getpos(), 24);
+
+        let mut d = XdrMem::decoder(e.bytes());
+        let mut out: Vec<i32> = Vec::new();
+        xdr_array(&mut d, &mut out, 100, xdr_int).unwrap();
+        assert_eq!(out, vec![1, -2, 3, -4, 5]);
+    }
+
+    #[test]
+    fn array_decode_respects_maxsize() {
+        // Hand-craft a wire image claiming 1000 elements.
+        let mut e = XdrMem::encoder(8);
+        let mut len = 1000u32;
+        xdr_u_int(&mut e, &mut len).unwrap();
+        let mut d = XdrMem::decoder(e.bytes());
+        let mut out: Vec<i32> = Vec::new();
+        assert_eq!(
+            xdr_array(&mut d, &mut out, 10, xdr_int).unwrap_err(),
+            XdrError::SizeLimit { len: 1000, max: 10 }
+        );
+    }
+
+    #[test]
+    fn array_generic_costs_scale_per_element() {
+        let mut e = XdrMem::encoder(4 + 100 * 4);
+        let mut v = vec![7i32; 100];
+        xdr_array(&mut e, &mut v, 1000, xdr_int).unwrap();
+        let c = *e.counts();
+        // One dispatch per element via xdr_long, plus the array's own and
+        // the length word's.
+        assert!(c.dispatches >= 100, "dispatches = {}", c.dispatches);
+        assert!(c.overflow_checks >= 101, "checks = {}", c.overflow_checks);
+        assert!(c.status_checks >= 100);
+        // xdr_int + xdr_long = 2 layer calls per element at minimum.
+        assert!(c.layer_calls >= 200);
+    }
+
+    #[test]
+    fn vector_has_no_length_word() {
+        let mut e = XdrMem::encoder(12);
+        let mut v = [9i32, 8, 7];
+        xdr_vector(&mut e, &mut v, xdr_int).unwrap();
+        assert_eq!(e.getpos(), 12);
+
+        let mut d = XdrMem::decoder(e.bytes());
+        let mut out = [0i32; 3];
+        xdr_vector(&mut d, &mut out, xdr_int).unwrap();
+        assert_eq!(out, [9, 8, 7]);
+    }
+
+    #[test]
+    fn pointer_roundtrip_some_and_none() {
+        let mut e = XdrMem::encoder(16);
+        let mut p: Option<Box<i32>> = Some(Box::new(77));
+        xdr_pointer(&mut e, &mut p, xdr_int).unwrap();
+        let mut none: Option<Box<i32>> = None;
+        xdr_pointer(&mut e, &mut none, xdr_int).unwrap();
+
+        let mut d = XdrMem::decoder(e.bytes());
+        let mut out: Option<Box<i32>> = None;
+        xdr_pointer(&mut d, &mut out, xdr_int).unwrap();
+        assert_eq!(out.as_deref(), Some(&77));
+        let mut out2: Option<Box<i32>> = Some(Box::new(1));
+        xdr_pointer(&mut d, &mut out2, xdr_int).unwrap();
+        assert_eq!(out2, None);
+    }
+
+    #[test]
+    fn pointer_rejects_garbage_follows_word() {
+        let wire = [0, 0, 0, 9];
+        let mut d = XdrMem::decoder(&wire);
+        let mut out: Option<Box<i32>> = None;
+        assert_eq!(
+            xdr_pointer(&mut d, &mut out, xdr_int).unwrap_err(),
+            XdrError::BadBool(9)
+        );
+    }
+
+    #[test]
+    fn union_selects_matching_arm() {
+        let mut e = XdrMem::encoder(16);
+        let mut disc = 2i32;
+        let mut body = 55i32;
+        let mut enc_long = |x: &mut dyn XdrStream, b: &mut i32| xdr_long(x, b);
+        let mut enc_double_it = |x: &mut dyn XdrStream, b: &mut i32| {
+            let mut twice = *b * 2;
+            xdr_long(x, &mut twice)
+        };
+        let mut arms = [
+            UnionArm { value: 1, proc_: &mut enc_double_it },
+            UnionArm { value: 2, proc_: &mut enc_long },
+        ];
+        xdr_union(&mut e, &mut disc, &mut body, &mut arms, None).unwrap();
+        assert_eq!(e.bytes(), &[0, 0, 0, 2, 0, 0, 0, 55]);
+    }
+
+    #[test]
+    fn union_uses_default_arm_or_fails() {
+        let mut e = XdrMem::encoder(16);
+        let mut disc = 9i32;
+        let mut body = 1i32;
+        let mut arms: [UnionArm<'_, i32>; 0] = [];
+        assert_eq!(
+            xdr_union(&mut e, &mut disc, &mut body, &mut arms, None).unwrap_err(),
+            XdrError::BadUnionDiscriminant(9)
+        );
+
+        let mut e2 = XdrMem::encoder(16);
+        let mut void_arm = |_x: &mut dyn XdrStream, _b: &mut i32| Ok(());
+        let mut arms2: [UnionArm<'_, i32>; 0] = [];
+        xdr_union(&mut e2, &mut disc, &mut body, &mut arms2, Some(&mut void_arm)).unwrap();
+        assert_eq!(e2.getpos(), 4);
+    }
+
+    #[test]
+    fn free_mode_clears_containers() {
+        let mut f = XdrMem::freer();
+        let mut v = vec![1i32, 2, 3];
+        xdr_array(&mut f, &mut v, 10, xdr_int).unwrap();
+        assert!(v.is_empty());
+        let mut s = String::from("x");
+        xdr_string(&mut f, &mut s, 10).unwrap();
+        assert!(s.is_empty());
+        let mut p: Option<Box<i32>> = Some(Box::new(1));
+        xdr_pointer(&mut f, &mut p, xdr_int).unwrap();
+        assert!(p.is_none());
+    }
+}

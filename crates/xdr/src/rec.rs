@@ -1,0 +1,420 @@
+//! The record-marking XDR stream (`xdrrec`) used by RPC over TCP.
+//!
+//! RPC messages on a byte stream are delimited by the record-marking
+//! standard (RFC 1057 §10): a record is a sequence of fragments, each
+//! preceded by a 4-byte header whose low 31 bits give the fragment length
+//! and whose high bit marks the final fragment of the record.
+//!
+//! Like `xdrrec_create` in the C code, [`XdrRec`] buffers output into
+//! fragments and transparently walks fragment chains on input.
+
+use crate::cost::OpCounts;
+use crate::error::{XdrError, XdrResult};
+use crate::sizes::BYTES_PER_XDR_UNIT;
+use crate::stream::{XdrOp, XdrStream};
+use crate::{htonl, ntohl};
+
+/// Byte transport underneath a record stream (a TCP connection in the real
+/// system, a simulated stream or an in-memory pipe here).
+pub trait RecordIo {
+    /// Write all of `buf` to the transport.
+    fn write_all(&mut self, buf: &[u8]) -> XdrResult;
+    /// Read exactly `buf.len()` bytes from the transport.
+    fn read_exact(&mut self, buf: &mut [u8]) -> XdrResult;
+}
+
+/// An in-memory loopback transport, useful for tests: everything written is
+/// available for reading.
+#[derive(Debug, Default)]
+pub struct MemPipe {
+    data: Vec<u8>,
+    read_pos: usize,
+}
+
+impl MemPipe {
+    /// An empty pipe.
+    pub fn new() -> Self {
+        MemPipe::default()
+    }
+
+    /// Bytes written but not yet read.
+    pub fn pending(&self) -> usize {
+        self.data.len() - self.read_pos
+    }
+}
+
+impl RecordIo for MemPipe {
+    fn write_all(&mut self, buf: &[u8]) -> XdrResult {
+        self.data.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> XdrResult {
+        if self.pending() < buf.len() {
+            return Err(XdrError::Io(format!(
+                "pipe underrun: wanted {}, have {}",
+                buf.len(),
+                self.pending()
+            )));
+        }
+        buf.copy_from_slice(&self.data[self.read_pos..self.read_pos + buf.len()]);
+        self.read_pos += buf.len();
+        Ok(())
+    }
+}
+
+/// Default upper bound on fragment payload size (matches the C default
+/// send buffer).
+pub const DEFAULT_FRAGMENT_SIZE: usize = 8192;
+
+const LAST_FRAG_FLAG: u32 = 0x8000_0000;
+const FRAG_LEN_MASK: u32 = 0x7fff_ffff;
+
+/// A record-marking XDR stream over a byte transport.
+pub struct XdrRec<T: RecordIo> {
+    op: XdrOp,
+    io: T,
+    max_frag: usize,
+    /// Output fragment under construction.
+    out: Vec<u8>,
+    /// Total bytes of payload written (across flushed fragments).
+    out_total: usize,
+    /// Bytes remaining in the current input fragment.
+    in_frag_remaining: usize,
+    /// Whether the current input fragment is the record's last.
+    in_last_frag: bool,
+    /// Whether we are positioned inside a record (a fragment header has
+    /// been consumed and the record has not ended).
+    in_record: bool,
+    in_total: usize,
+    counts: OpCounts,
+}
+
+impl<T: RecordIo> XdrRec<T> {
+    /// Create an encoding record stream (`xdrrec_create` + `XDR_ENCODE`).
+    pub fn encoder(io: T) -> Self {
+        Self::with_fragment_size(io, XdrOp::Encode, DEFAULT_FRAGMENT_SIZE)
+    }
+
+    /// Create a decoding record stream.
+    pub fn decoder(io: T) -> Self {
+        Self::with_fragment_size(io, XdrOp::Decode, DEFAULT_FRAGMENT_SIZE)
+    }
+
+    /// Create a stream with an explicit fragment size bound.
+    pub fn with_fragment_size(io: T, op: XdrOp, max_frag: usize) -> Self {
+        assert!(max_frag >= BYTES_PER_XDR_UNIT, "fragment size too small");
+        XdrRec {
+            op,
+            io,
+            max_frag,
+            out: Vec::new(),
+            out_total: 0,
+            in_frag_remaining: 0,
+            in_last_frag: false,
+            in_record: false,
+            in_total: 0,
+            counts: OpCounts::new(),
+        }
+    }
+
+    /// Access the underlying transport.
+    pub fn io(&self) -> &T {
+        &self.io
+    }
+
+    /// Mutable access to the underlying transport.
+    pub fn io_mut(&mut self) -> &mut T {
+        &mut self.io
+    }
+
+    /// Consume the stream and return the transport.
+    pub fn into_io(self) -> T {
+        self.io
+    }
+
+    fn emit_fragment(&mut self, last: bool) -> XdrResult {
+        let len = self.out.len() as u32;
+        let header = htonl(len | if last { LAST_FRAG_FLAG } else { 0 });
+        self.io.write_all(&header.to_ne_bytes())?;
+        self.io.write_all(&self.out)?;
+        self.counts.mem_moves += self.out.len() as u64 + 4;
+        self.out.clear();
+        Ok(())
+    }
+
+    /// `xdrrec_endofrecord`: flush buffered output as the record's final
+    /// fragment.
+    pub fn end_of_record(&mut self) -> XdrResult {
+        self.emit_fragment(true)
+    }
+
+    fn buffer_out(&mut self, bytes: &[u8]) -> XdrResult {
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let room = self.max_frag - self.out.len();
+            if room == 0 {
+                self.emit_fragment(false)?;
+                continue;
+            }
+            let take = room.min(rest.len());
+            self.out.extend_from_slice(&rest[..take]);
+            self.out_total += take;
+            rest = &rest[take..];
+        }
+        Ok(())
+    }
+
+    fn read_fragment_header(&mut self) -> XdrResult {
+        let mut raw = [0u8; 4];
+        self.io.read_exact(&mut raw)?;
+        let header = ntohl(u32::from_ne_bytes(raw));
+        let len = (header & FRAG_LEN_MASK) as usize;
+        self.in_last_frag = header & LAST_FRAG_FLAG != 0;
+        self.in_frag_remaining = len;
+        self.in_record = true;
+        Ok(())
+    }
+
+    fn fill_in(&mut self, out: &mut [u8]) -> XdrResult {
+        let mut filled = 0;
+        while filled < out.len() {
+            if self.in_frag_remaining == 0 {
+                if self.in_record && self.in_last_frag {
+                    // Record exhausted mid-item.
+                    return Err(XdrError::Underflow {
+                        needed: out.len() - filled,
+                        remaining: 0,
+                    });
+                }
+                self.read_fragment_header()?;
+                // A zero-length non-final fragment is legal but suspicious;
+                // a zero-length final fragment ends the record.
+                if self.in_frag_remaining == 0 && self.in_last_frag {
+                    return Err(XdrError::Underflow {
+                        needed: out.len() - filled,
+                        remaining: 0,
+                    });
+                }
+                continue;
+            }
+            let take = self.in_frag_remaining.min(out.len() - filled);
+            self.io.read_exact(&mut out[filled..filled + take])?;
+            self.in_frag_remaining -= take;
+            filled += take;
+            self.in_total += take;
+            self.counts.mem_moves += take as u64;
+        }
+        Ok(())
+    }
+
+    /// `xdrrec_skiprecord`: discard the rest of the current record and
+    /// position at the start of the next one.
+    pub fn skip_record(&mut self) -> XdrResult {
+        loop {
+            if self.in_frag_remaining > 0 {
+                let mut sink = [0u8; 256];
+                while self.in_frag_remaining > 0 {
+                    let take = self.in_frag_remaining.min(sink.len());
+                    self.io.read_exact(&mut sink[..take])?;
+                    self.in_frag_remaining -= take;
+                }
+            }
+            if self.in_record && self.in_last_frag {
+                self.in_record = false;
+                return Ok(());
+            }
+            self.read_fragment_header()?;
+        }
+    }
+}
+
+impl<T: RecordIo> XdrStream for XdrRec<T> {
+    fn op(&self) -> XdrOp {
+        self.op
+    }
+
+    #[inline(never)]
+    fn putlong(&mut self, v: i32) -> XdrResult {
+        self.counts.overflow_checks += 1;
+        self.counts.byteorder_ops += 1;
+        let net = htonl(v as u32);
+        self.buffer_out(&net.to_ne_bytes())
+    }
+
+    #[inline(never)]
+    fn getlong(&mut self) -> XdrResult<i32> {
+        self.counts.overflow_checks += 1;
+        let mut raw = [0u8; 4];
+        self.fill_in(&mut raw)?;
+        self.counts.byteorder_ops += 1;
+        Ok(ntohl(u32::from_ne_bytes(raw)) as i32)
+    }
+
+    #[inline(never)]
+    fn putbytes(&mut self, bytes: &[u8]) -> XdrResult {
+        self.counts.overflow_checks += 1;
+        self.counts.mem_moves += bytes.len() as u64;
+        self.buffer_out(bytes)
+    }
+
+    #[inline(never)]
+    fn getbytes(&mut self, out: &mut [u8]) -> XdrResult {
+        self.counts.overflow_checks += 1;
+        self.fill_in(out)
+    }
+
+    fn getpos(&self) -> usize {
+        match self.op {
+            XdrOp::Encode => self.out_total,
+            _ => self.in_total,
+        }
+    }
+
+    fn setpos(&mut self, pos: usize) -> XdrResult {
+        // Only repositioning within the unflushed output fragment is
+        // supported, mirroring the C implementation's limitation.
+        if self.op == XdrOp::Encode {
+            let frag_start = self.out_total - self.out.len();
+            if pos >= frag_start && pos <= self.out_total {
+                self.out.truncate(pos - frag_start);
+                self.out_total = pos;
+                return Ok(());
+            }
+        }
+        Err(XdrError::BadPosition(pos))
+    }
+
+    fn counts_mut(&mut self) -> &mut OpCounts {
+        &mut self.counts
+    }
+
+    fn counts(&self) -> &OpCounts {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_fragment_roundtrip() {
+        let mut enc = XdrRec::encoder(MemPipe::new());
+        enc.putlong(42).unwrap();
+        enc.putlong(-1).unwrap();
+        enc.end_of_record().unwrap();
+        let pipe = enc.into_io();
+
+        let mut dec = XdrRec::decoder(pipe);
+        assert_eq!(dec.getlong().unwrap(), 42);
+        assert_eq!(dec.getlong().unwrap(), -1);
+    }
+
+    #[test]
+    fn header_has_last_fragment_bit() {
+        let mut enc = XdrRec::encoder(MemPipe::new());
+        enc.putlong(7).unwrap();
+        enc.end_of_record().unwrap();
+        let pipe = enc.into_io();
+        // First 4 bytes: header = 0x80000004.
+        assert_eq!(&pipe.data[..4], &[0x80, 0, 0, 4]);
+        assert_eq!(&pipe.data[4..8], &[0, 0, 0, 7]);
+    }
+
+    #[test]
+    fn multi_fragment_records_are_transparent() {
+        // Force 8-byte fragments so three longs span two fragments.
+        let mut enc = XdrRec::with_fragment_size(MemPipe::new(), XdrOp::Encode, 8);
+        for i in 0..5 {
+            enc.putlong(i).unwrap();
+        }
+        enc.end_of_record().unwrap();
+        let pipe = enc.into_io();
+
+        let mut dec = XdrRec::decoder(pipe);
+        for i in 0..5 {
+            assert_eq!(dec.getlong().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn reading_past_record_end_fails() {
+        let mut enc = XdrRec::encoder(MemPipe::new());
+        enc.putlong(1).unwrap();
+        enc.end_of_record().unwrap();
+        let mut dec = XdrRec::decoder(enc.into_io());
+        assert_eq!(dec.getlong().unwrap(), 1);
+        assert!(dec.getlong().is_err());
+    }
+
+    #[test]
+    fn skip_record_positions_at_next_record() {
+        let mut enc = XdrRec::with_fragment_size(MemPipe::new(), XdrOp::Encode, 8);
+        for i in 0..4 {
+            enc.putlong(i).unwrap();
+        }
+        enc.end_of_record().unwrap();
+        enc.putlong(99).unwrap();
+        enc.end_of_record().unwrap();
+
+        let mut dec = XdrRec::decoder(enc.into_io());
+        assert_eq!(dec.getlong().unwrap(), 0);
+        dec.skip_record().unwrap();
+        assert_eq!(dec.getlong().unwrap(), 99);
+    }
+
+    #[test]
+    fn putbytes_spans_fragments() {
+        let mut enc = XdrRec::with_fragment_size(MemPipe::new(), XdrOp::Encode, 8);
+        let payload: Vec<u8> = (0..40u8).collect();
+        enc.putbytes(&payload).unwrap();
+        enc.end_of_record().unwrap();
+
+        let mut dec = XdrRec::decoder(enc.into_io());
+        let mut out = vec![0u8; 40];
+        dec.getbytes(&mut out).unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn setpos_within_output_fragment() {
+        let mut enc = XdrRec::encoder(MemPipe::new());
+        enc.putlong(1).unwrap();
+        enc.putlong(2).unwrap();
+        enc.setpos(4).unwrap();
+        enc.putlong(3).unwrap();
+        enc.end_of_record().unwrap();
+        let mut dec = XdrRec::decoder(enc.into_io());
+        assert_eq!(dec.getlong().unwrap(), 1);
+        assert_eq!(dec.getlong().unwrap(), 3);
+        assert!(dec.getlong().is_err());
+    }
+
+    #[test]
+    fn setpos_outside_fragment_is_rejected() {
+        let mut enc = XdrRec::with_fragment_size(MemPipe::new(), XdrOp::Encode, 8);
+        for i in 0..4 {
+            enc.putlong(i).unwrap();
+        }
+        // First fragment (8 bytes) already flushed; cannot seek into it.
+        assert!(enc.setpos(0).is_err());
+    }
+
+    #[test]
+    fn empty_pipe_read_is_io_error() {
+        let mut dec = XdrRec::decoder(MemPipe::new());
+        assert!(matches!(dec.getlong().unwrap_err(), XdrError::Io(_)));
+    }
+
+    #[test]
+    fn getpos_tracks_payload_not_headers() {
+        let mut enc = XdrRec::encoder(MemPipe::new());
+        enc.putlong(5).unwrap();
+        assert_eq!(enc.getpos(), 4);
+        enc.end_of_record().unwrap();
+        let mut dec = XdrRec::decoder(enc.into_io());
+        dec.getlong().unwrap();
+        assert_eq!(dec.getpos(), 4);
+    }
+}

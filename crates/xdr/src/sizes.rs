@@ -1,0 +1,67 @@
+//! Wire-format size constants and padding arithmetic.
+//!
+//! XDR (RFC 1014) encodes everything in multiples of a four-byte unit;
+//! opaque data is padded with zero bytes up to the next unit boundary.
+
+/// The fundamental XDR unit: every item occupies a multiple of 4 bytes.
+pub const BYTES_PER_XDR_UNIT: usize = 4;
+
+/// Round `len` up to the next multiple of [`BYTES_PER_XDR_UNIT`].
+///
+/// This is the `RNDUP` macro of the original implementation.
+pub const fn rndup(len: usize) -> usize {
+    (len + BYTES_PER_XDR_UNIT - 1) & !(BYTES_PER_XDR_UNIT - 1)
+}
+
+/// Number of zero padding bytes needed after `len` bytes of opaque data.
+pub const fn pad_len(len: usize) -> usize {
+    rndup(len) - len
+}
+
+/// Encoded size in bytes of a fixed-length opaque of `len` bytes.
+pub const fn opaque_size(len: usize) -> usize {
+    rndup(len)
+}
+
+/// Encoded size in bytes of a counted (variable-length) opaque/string of
+/// `len` bytes: a 4-byte length word plus the padded payload.
+pub const fn counted_opaque_size(len: usize) -> usize {
+    BYTES_PER_XDR_UNIT + rndup(len)
+}
+
+/// Encoded size in bytes of a counted array of `n` elements, each of
+/// encoded size `elem_size`.
+pub const fn counted_array_size(n: usize, elem_size: usize) -> usize {
+    BYTES_PER_XDR_UNIT + n * elem_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rndup_rounds_to_four() {
+        assert_eq!(rndup(0), 0);
+        assert_eq!(rndup(1), 4);
+        assert_eq!(rndup(3), 4);
+        assert_eq!(rndup(4), 4);
+        assert_eq!(rndup(5), 8);
+        assert_eq!(rndup(8), 8);
+    }
+
+    #[test]
+    fn pad_complements_len() {
+        for len in 0..64 {
+            assert_eq!((len + pad_len(len)) % BYTES_PER_XDR_UNIT, 0);
+            assert!(pad_len(len) < BYTES_PER_XDR_UNIT);
+        }
+    }
+
+    #[test]
+    fn counted_sizes() {
+        assert_eq!(counted_opaque_size(0), 4);
+        assert_eq!(counted_opaque_size(1), 8);
+        assert_eq!(counted_opaque_size(4), 8);
+        assert_eq!(counted_array_size(20, 4), 84);
+    }
+}

@@ -1,0 +1,66 @@
+//! The paper's benchmark workload (§5): parallel programs exchanging
+//! large chunks of structured data over RPC — integer arrays of the
+//! Table 1/2 sizes — measured in virtual time on the simulated network,
+//! plus a demonstration of the §6.2 guard fallback keeping clients and
+//! servers of mismatched specialization contexts interoperable.
+//!
+//! ```text
+//! cargo run --release --example array_exchange
+//! ```
+
+use specrpc::echo::{workload, EchoBench, Mode, PAPER_SIZES};
+
+fn main() {
+    println!("== array exchange: the paper's test program on the simulated network ==\n");
+    println!(
+        "{:>6} | {:>14} {:>14} {:>9} | {:>8}",
+        "n", "generic(ms)", "special(ms)", "speedup", "fastpath"
+    );
+    println!("{}", "-".repeat(62));
+
+    for &n in &PAPER_SIZES {
+        let mut bench = EchoBench::new(n, None, 42).expect("deploy");
+        bench.model_cpu(specrpc_netsim::platform::Platform::IpxSunosAtm);
+        let data = workload(n);
+        let iters = 20;
+        let tg = bench
+            .timed_round_trips(Mode::Generic, &data, iters)
+            .expect("generic round trips");
+        let ts = bench
+            .timed_round_trips(Mode::Specialized, &data, iters)
+            .expect("specialized round trips");
+        println!(
+            "{:>6} | {:>14.3} {:>14.3} {:>9.2} | {:>7}/{}",
+            n,
+            tg.as_millis_f64(),
+            ts.as_millis_f64(),
+            tg.as_millis_f64() / ts.as_millis_f64(),
+            bench.fast.fast_calls,
+            iters,
+        );
+    }
+
+    println!("\n(virtual time with IPX/SunOS client CPU weights; the full tables come from");
+    println!(" `cargo run -p specrpc-bench --bin paper-tables`)\n");
+
+    // Interoperability: a client specialized for 100-element arrays
+    // talking to the same server with a 64-element array falls back to
+    // the generic path and still gets the right answer.
+    println!("-- guard fallback (§6.2): mismatched sizes stay correct --");
+    let mut bench = EchoBench::new(100, None, 7).expect("deploy");
+    let small = workload(64);
+    let out = bench.round_trip(Mode::Generic, &small).expect("fallback call");
+    assert_eq!(out, small);
+    println!(
+        "  64-element call against 100-element stubs: served generically \
+         (server fallbacks: {})",
+        bench.registry.borrow().raw_fallbacks
+    );
+    let exact = workload(100);
+    let out = bench.round_trip(Mode::Specialized, &exact).expect("fast call");
+    assert_eq!(out, exact);
+    println!(
+        "  100-element call: fast path (server raw dispatches: {})",
+        bench.registry.borrow().raw_dispatches
+    );
+}
