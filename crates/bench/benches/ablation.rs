@@ -49,15 +49,33 @@ fn bench_ablation(c: &mut Criterion) {
             let buf = ev.heap.alloc_bytes(1 << 14);
             let xdr = ev.heap.alloc_struct(&gs.program, gs.ids.xdr_sid);
             for (slot, v) in [(0usize, 0i64), (1, 0), (2, 1 << 14)] {
-                ev.heap.write_slot(Place { obj: xdr, slot }, Value::Long(v)).unwrap();
+                ev.heap
+                    .write_slot(Place { obj: xdr, slot }, Value::Long(v))
+                    .unwrap();
             }
-            ev.heap.write_slot(Place { obj: xdr, slot: 4 }, Value::BufPtr(buf, 0)).unwrap();
+            ev.heap
+                .write_slot(Place { obj: xdr, slot: 4 }, Value::BufPtr(buf, 0))
+                .unwrap();
             let cmsg = ev.heap.alloc_struct(&gs.program, gs.ids.call_sid);
             let argsp = ev.heap.alloc_struct(&gs.program, gs.arg_sid);
-            ev.heap.write_slot(Place { obj: argsp, slot: 0 }, Value::Long(N as i64)).unwrap();
+            ev.heap
+                .write_slot(
+                    Place {
+                        obj: argsp,
+                        slot: 0,
+                    },
+                    Value::Long(N as i64),
+                )
+                .unwrap();
             for i in 0..N {
                 ev.heap
-                    .write_slot(Place { obj: argsp, slot: 1 + i }, Value::Long(i as i64))
+                    .write_slot(
+                        Place {
+                            obj: argsp,
+                            slot: 1 + i,
+                        },
+                        Value::Long(i as i64),
+                    )
                     .unwrap();
             }
             let r = ev
@@ -66,7 +84,10 @@ fn bench_ablation(c: &mut Criterion) {
                     vec![
                         Value::Ref(Place { obj: xdr, slot: 0 }),
                         Value::Ref(Place { obj: cmsg, slot: 0 }),
-                        Value::Ref(Place { obj: argsp, slot: 0 }),
+                        Value::Ref(Place {
+                            obj: argsp,
+                            slot: 0,
+                        }),
                     ],
                 )
                 .unwrap();
@@ -94,9 +115,7 @@ fn bench_ablation(c: &mut Criterion) {
     let mut data = workload(N);
     let mut enc = XdrMem::encoder(1 << 14);
     group.bench_function("generic", |b| {
-        b.iter(|| {
-            black_box(generic_encode_request(&mut enc, 7, &mut data).unwrap())
-        })
+        b.iter(|| black_box(generic_encode_request(&mut enc, 7, &mut data).unwrap()))
     });
 
     // 4. Specialized compiled stubs.

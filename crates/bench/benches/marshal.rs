@@ -35,8 +35,7 @@ fn bench_marshal(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("specialized", n), &n, |b, _| {
             b.iter(|| {
                 let out =
-                    run_encode(&proc_.client_encode.program, &mut buf, &args, &mut counts)
-                        .unwrap();
+                    run_encode(&proc_.client_encode.program, &mut buf, &args, &mut counts).unwrap();
                 black_box(out)
             })
         });

@@ -1,6 +1,6 @@
 //! Table 2 / Figure 6-3/4/6 — full RPC round trips over the simulated
 //! network, generic vs specialized (wall-clock of the deterministic
-//! simulation; virtual-time tables come from `paper-tables`).
+//! simulation; virtual-time tables come from `paper_tables`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use specrpc::echo::{EchoBench, Mode};

@@ -1,6 +1,6 @@
 //! Table 4 — full unrolling vs bounded (250-element) unrolling of the
 //! specialized marshaling stubs (real wall clock; the modeled instruction-
-//! cache numbers come from `paper-tables`).
+//! cache numbers come from `paper_tables`).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use specrpc::echo::{build_echo_proc, workload};
@@ -17,28 +17,23 @@ fn bench_unroll(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
 
     for n in [500usize, 1000, 2000] {
-        for (label, chunk) in [("full", None), ("chunk250", Some(250)), ("chunk25", Some(25))] {
+        for (label, chunk) in [
+            ("full", None),
+            ("chunk250", Some(250)),
+            ("chunk25", Some(25)),
+        ] {
             let proc_ = build_echo_proc(n, chunk).expect("pipeline");
             let args = StubArgs::new(vec![1], vec![workload(n)]);
             let mut buf = vec![0u8; proc_.client_encode.wire_len];
             let mut counts = OpCounts::new();
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        black_box(
-                            run_encode(
-                                &proc_.client_encode.program,
-                                &mut buf,
-                                &args,
-                                &mut counts,
-                            )
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        run_encode(&proc_.client_encode.program, &mut buf, &args, &mut counts)
                             .unwrap(),
-                        )
-                    })
-                },
-            );
+                    )
+                })
+            });
         }
     }
     group.finish();

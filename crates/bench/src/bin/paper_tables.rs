@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! cargo run -p specrpc-bench --bin paper-tables [--release]
+//! cargo run -p specrpc-bench --bin paper_tables [--release]
 //! ```
 //!
 //! Prints Tables 1–4 side by side with the paper's reported values, and

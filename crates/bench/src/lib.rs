@@ -125,7 +125,13 @@ pub fn measure_specialized(proc_: &CompiledProc, n: usize) -> MeasuredCounts {
     let args = StubArgs::new(vec![0x1111], vec![data.clone()]);
     let mut request = vec![0u8; proc_.client_encode.wire_len];
     let mut client_enc = OpCounts::new();
-    run_encode(&proc_.client_encode.program, &mut request, &args, &mut client_enc).unwrap();
+    run_encode(
+        &proc_.client_encode.program,
+        &mut request,
+        &args,
+        &mut client_enc,
+    )
+    .unwrap();
 
     let sd = &proc_.server_decode;
     let mut sargs = StubArgs::new(
@@ -133,8 +139,18 @@ pub fn measure_specialized(proc_: &CompiledProc, n: usize) -> MeasuredCounts {
         vec![Vec::new(); sd.layout.array_count as usize],
     );
     let mut server_dec = OpCounts::new();
-    let out = run_decode(&sd.program, &request, &mut sargs, request.len(), &mut server_dec).unwrap();
-    assert!(matches!(out, specrpc_tempo::compile::Outcome::Done { ret: 1, .. }));
+    let out = run_decode(
+        &sd.program,
+        &request,
+        &mut sargs,
+        request.len(),
+        &mut server_dec,
+    )
+    .unwrap();
+    assert!(matches!(
+        out,
+        specrpc_tempo::compile::Outcome::Done { ret: 1, .. }
+    ));
 
     let se = &proc_.server_encode;
     let reply_args = StubArgs::new(vec![0x1111], vec![sargs.arrays[0].clone()]);
@@ -148,8 +164,18 @@ pub fn measure_specialized(proc_: &CompiledProc, n: usize) -> MeasuredCounts {
         vec![Vec::new(); cd.layout.array_count as usize],
     );
     let mut client_dec = OpCounts::new();
-    let out = run_decode(&cd.program, &reply, &mut cargs, reply.len(), &mut client_dec).unwrap();
-    assert!(matches!(out, specrpc_tempo::compile::Outcome::Done { ret: 1, .. }));
+    let out = run_decode(
+        &cd.program,
+        &reply,
+        &mut cargs,
+        reply.len(),
+        &mut client_dec,
+    )
+    .unwrap();
+    assert!(matches!(
+        out,
+        specrpc_tempo::compile::Outcome::Done { ret: 1, .. }
+    ));
     assert_eq!(cargs.arrays[0], data);
 
     // Argument marshaling alone: the full stub minus the ten header
@@ -167,9 +193,11 @@ pub fn measure_specialized(proc_: &CompiledProc, n: usize) -> MeasuredCounts {
         request_len: request.len(),
         reply_len: reply.len(),
         code_bytes: SPEC_BASE_BYTES - GENERIC_CLIENT_BYTES
-            + proc_.client_encode.program.code_size_bytes().max(
-                proc_.client_decode.program.code_size_bytes(),
-            ),
+            + proc_
+                .client_encode
+                .program
+                .code_size_bytes()
+                .max(proc_.client_decode.program.code_size_bytes()),
     }
 }
 
@@ -357,8 +385,18 @@ mod tests {
             for (r, (po, ps)) in rows.iter().zip(paper.iter()) {
                 let eo = (r.orig_ms - po).abs() / po;
                 let es = (r.spec_ms - ps).abs() / ps;
-                assert!(eo < 0.35, "{platform:?} n={} orig {} vs {po}", r.n, r.orig_ms);
-                assert!(es < 0.35, "{platform:?} n={} spec {} vs {ps}", r.n, r.spec_ms);
+                assert!(
+                    eo < 0.35,
+                    "{platform:?} n={} orig {} vs {po}",
+                    r.n,
+                    r.orig_ms
+                );
+                assert!(
+                    es < 0.35,
+                    "{platform:?} n={} spec {} vs {ps}",
+                    r.n,
+                    r.spec_ms
+                );
             }
         }
     }
@@ -370,7 +408,10 @@ mod tests {
             (Platform::PcLinuxFastEthernet, 1.15, 1.75),
         ] {
             let rows = table2(platform);
-            assert!(rows[0].speedup() > 1.0 && rows[0].speedup() < 1.3, "{rows:?}");
+            assert!(
+                rows[0].speedup() > 1.0 && rows[0].speedup() < 1.3,
+                "{rows:?}"
+            );
             assert!(rows[5].speedup() > rows[0].speedup());
             assert!(
                 rows[5].speedup() > lo && rows[5].speedup() < hi,
@@ -389,7 +430,10 @@ mod tests {
         // Linear growth: slope between consecutive sizes roughly constant.
         let slope1 = (t[1].2 - t[0].2) as f64 / (t[1].0 - t[0].0) as f64;
         let slope5 = (t[5].2 - t[4].2) as f64 / (t[5].0 - t[4].0) as f64;
-        assert!((slope1 - slope5).abs() / slope1 < 0.2, "{slope1} vs {slope5}");
+        assert!(
+            (slope1 - slope5).abs() / slope1 < 0.2,
+            "{slope1} vs {slope5}"
+        );
     }
 
     #[test]

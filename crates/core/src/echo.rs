@@ -67,11 +67,7 @@ pub fn build_echo_proc(n: usize, chunk: Option<usize>) -> Result<CompiledProc, P
 /// Generic client-side request marshaling (the original Sun path):
 /// call header + counted array, all through the layered micro-routines.
 /// Returns the number of bytes produced; counts accumulate in the stream.
-pub fn generic_encode_request(
-    enc: &mut XdrMem,
-    xid: u32,
-    data: &mut Vec<i32>,
-) -> XdrResult<usize> {
+pub fn generic_encode_request(enc: &mut XdrMem, xid: u32, data: &mut Vec<i32>) -> XdrResult<usize> {
     enc.reset_encode();
     let mut msg = CallHeader::new(xid, ECHO_PROG, ECHO_VERS, ECHO_PROC);
     CallHeader::xdr(enc, &mut msg)?;
@@ -115,9 +111,8 @@ pub enum Mode {
 /// Install the echo service (fast + generic paths) on a network.
 pub fn serve_echo(net: &Network, proc_: Rc<CompiledProc>) -> Rc<RefCell<SvcRegistry>> {
     let mut reg = SvcRegistry::new();
-    let handler: FastHandler = Rc::new(|args: &StubArgs| {
-        StubArgs::new(vec![], vec![args.arrays[0].clone()])
-    });
+    let handler: FastHandler =
+        Rc::new(|args: &StubArgs| StubArgs::new(vec![], vec![args.arrays[0].clone()]));
     FastServer::install(&mut reg, proc_, handler);
     let reg = Rc::new(RefCell::new(reg));
     serve_udp(net, ECHO_PORT, reg.clone(), None);
@@ -151,7 +146,14 @@ impl EchoBench {
         let generic = ClntUdp::create(&net, 5001, ECHO_PORT, ECHO_PROG, ECHO_VERS);
         let clnt = ClntUdp::create(&net, 5002, ECHO_PORT, ECHO_PROG, ECHO_VERS);
         let fast = FastClient::new(clnt, proc_);
-        Ok(EchoBench { net, fast, generic, registry, n, costs: None })
+        Ok(EchoBench {
+            net,
+            fast,
+            generic,
+            registry,
+            n,
+            costs: None,
+        })
     }
 
     /// Model client CPU time on the given 1997 platform: marshaling op
@@ -222,7 +224,9 @@ impl EchoBench {
 /// Deterministic workload data for size `n` (the paper's arrays of
 /// 4-byte integers).
 pub fn workload(n: usize) -> Vec<i32> {
-    (0..n).map(|i| (i as i32).wrapping_mul(2_654_435_761u32 as i32) ^ 0x5a5a).collect()
+    (0..n)
+        .map(|i| (i as i32).wrapping_mul(2_654_435_761u32 as i32) ^ 0x5a5a)
+        .collect()
 }
 
 #[cfg(test)]
@@ -278,7 +282,11 @@ mod tests {
         specialized_encode_request(&proc_, &mut buf, &args, &mut s).unwrap();
 
         // Same bytes moved...
-        assert_eq!(g.mem_moves, s.mem_moves + 0, "g={} s={}", g.mem_moves, s.mem_moves);
+        assert_eq!(
+            g.mem_moves, s.mem_moves,
+            "g={} s={}",
+            g.mem_moves, s.mem_moves
+        );
         // ...but the interpretive events are gone.
         assert_eq!(s.dispatches, 0);
         assert_eq!(s.overflow_checks, 0);
@@ -286,7 +294,11 @@ mod tests {
         assert!(g.overflow_checks >= n as u64);
         // The residual executes about one op per wire word.
         let words = (proc_.client_encode.wire_len / 4) as u64;
-        assert!(s.stub_ops <= words + 2, "stub_ops={} words={words}", s.stub_ops);
+        assert!(
+            s.stub_ops <= words + 2,
+            "stub_ops={} words={words}",
+            s.stub_ops
+        );
     }
 
     #[test]
@@ -294,7 +306,9 @@ mod tests {
         let mut bench = EchoBench::new(200, None, 11).unwrap();
         let data = workload(200);
         let tg = bench.timed_round_trips(Mode::Generic, &data, 5).unwrap();
-        let ts = bench.timed_round_trips(Mode::Specialized, &data, 5).unwrap();
+        let ts = bench
+            .timed_round_trips(Mode::Specialized, &data, 5)
+            .unwrap();
         // With the default (cost-agnostic) server time model the two are
         // close; specialized must at least not be slower in virtual time.
         assert!(ts <= tg, "spec {ts} vs generic {tg}");

@@ -81,7 +81,13 @@ impl FastClient {
             vec![0; dec.layout.scalar_count as usize],
             vec![Vec::new(); dec.layout.array_count as usize],
         );
-        match run_decode(&dec.program, &reply, &mut out, reply.len(), &mut self.counts) {
+        match run_decode(
+            &dec.program,
+            &reply,
+            &mut out,
+            reply.len(),
+            &mut self.counts,
+        ) {
             Ok(Outcome::Done { ret: 1, .. }) => {
                 self.fast_calls += 1;
                 Ok((out, PathUsed::Fast))
@@ -379,7 +385,8 @@ mod tests {
         let net = Network::new(NetworkConfig::lan(), 9);
         let reg = Rc::new(RefCell::new(SvcRegistry::new()));
         // Program registered with no procedures beyond NULL.
-        reg.borrow_mut().register(0x2000_0101, 1, 0, Box::new(|_, _| Ok(())));
+        reg.borrow_mut()
+            .register(0x2000_0101, 1, 0, Box::new(|_, _| Ok(())));
         serve_udp(&net, 801, reg, None);
         let clnt = ClntUdp::create(&net, 5300, 801, 0x2000_0101, 1);
         let mut client = FastClient::new(clnt, cp10);

@@ -90,7 +90,10 @@ pub struct ProcPipeline {
 impl ProcPipeline {
     /// A pipeline with the given specialization context.
     pub fn new(pinned_len: usize) -> Self {
-        ProcPipeline { pinned_len, chunk: None }
+        ProcPipeline {
+            pinned_len,
+            chunk: None,
+        }
     }
 
     /// Use bounded unrolling with the given chunk.
@@ -117,10 +120,13 @@ impl ProcPipeline {
                 proc_num,
             })?
             .clone();
-        let vers = prog.versions.first().ok_or_else(|| PipelineError::NoSuchProc {
-            program: prog.name.clone(),
-            proc_num,
-        })?;
+        let vers = prog
+            .versions
+            .first()
+            .ok_or_else(|| PipelineError::NoSuchProc {
+                program: prog.name.clone(),
+                proc_num,
+            })?;
         let proc_: &ProcDef = vers
             .procs
             .iter()
@@ -188,7 +194,9 @@ mod tests {
 
     #[test]
     fn chunked_pipeline_shrinks_stub() {
-        let full = ProcPipeline::new(1000).build_from_idl(IDL, None, 1).unwrap();
+        let full = ProcPipeline::new(1000)
+            .build_from_idl(IDL, None, 1)
+            .unwrap();
         let chunked = ProcPipeline::new(1000)
             .with_chunk(250)
             .build_from_idl(IDL, None, 1)
@@ -198,8 +206,13 @@ mod tests {
 
     #[test]
     fn missing_procedure_is_reported() {
-        let err = ProcPipeline::new(10).build_from_idl(IDL, None, 99).unwrap_err();
-        assert!(matches!(err, PipelineError::NoSuchProc { proc_num: 99, .. }));
+        let err = ProcPipeline::new(10)
+            .build_from_idl(IDL, None, 99)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::NoSuchProc { proc_num: 99, .. }
+        ));
     }
 
     #[test]
@@ -208,13 +221,17 @@ mod tests {
             struct s { string x<8>; };
             program P { version V { s F(s) = 1; } = 1; } = 7;
         "#;
-        let err = ProcPipeline::new(10).build_from_idl(idl, None, 1).unwrap_err();
+        let err = ProcPipeline::new(10)
+            .build_from_idl(idl, None, 1)
+            .unwrap_err();
         assert!(matches!(err, PipelineError::UnsupportedShape));
     }
 
     #[test]
     fn parse_error_is_reported() {
-        let err = ProcPipeline::new(10).build_from_idl("struct {", None, 1).unwrap_err();
+        let err = ProcPipeline::new(10)
+            .build_from_idl("struct {", None, 1)
+            .unwrap_err();
         assert!(matches!(err, PipelineError::Parse(_)));
     }
 }

@@ -28,9 +28,8 @@ pub struct Summary {
 impl Summary {
     /// Classify a raw report.
     pub fn from_report(r: &SpecReport) -> Summary {
-        let dispatches = r.folds_in("xdr_long")
-            + r.folds_in("XDR_PUTLONG")
-            + r.folds_in("XDR_GETLONG");
+        let dispatches =
+            r.folds_in("xdr_long") + r.folds_in("XDR_PUTLONG") + r.folds_in("XDR_GETLONG");
         let overflow = r.folds_in("xdrmem_putlong") + r.folds_in("xdrmem_getlong");
         let status = r.static_ifs_folded - dispatches - overflow;
         Summary {
@@ -94,7 +93,10 @@ mod tests {
 
     #[test]
     fn render_mentions_sections() {
-        let s = Summary { dispatches_eliminated: 7, ..Default::default() };
+        let s = Summary {
+            dispatches_eliminated: 7,
+            ..Default::default()
+        };
         let text = s.render();
         assert!(text.contains("§3.1"));
         assert!(text.contains('7'));

@@ -131,7 +131,11 @@ mod tests {
     #[test]
     fn loss_rate_roughly_matches_config() {
         let mut f = FaultState::new(
-            FaultConfig { loss: 0.3, duplicate: 0.0, reorder: 0.0 },
+            FaultConfig {
+                loss: 0.3,
+                duplicate: 0.0,
+                reorder: 0.0,
+            },
             99,
         );
         let drops = (0..10_000).filter(|_| f.judge() == Verdict::Drop).count();

@@ -14,8 +14,8 @@
 use crate::fault::{FaultConfig, FaultState, Verdict};
 use crate::time::SimTime;
 use std::cell::RefCell;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::rc::Rc;
 
 /// A network address (think UDP/TCP port; hosts are implicit — the paper's
@@ -66,8 +66,15 @@ pub struct Datagram {
 }
 
 enum Event {
-    UdpDeliver { to: Addr, dg: Datagram },
-    TcpDeliver { conn: ConnId, to_server: bool, bytes: Vec<u8> },
+    UdpDeliver {
+        to: Addr,
+        dg: Datagram,
+    },
+    TcpDeliver {
+        conn: ConnId,
+        to_server: bool,
+        bytes: Vec<u8>,
+    },
 }
 
 struct Scheduled {
@@ -177,11 +184,7 @@ impl Network {
 
     /// Bind a client UDP endpoint at `addr` (mailbox semantics).
     pub fn bind_udp(&self, addr: Addr) -> Endpoint {
-        self.inner
-            .borrow_mut()
-            .mailboxes
-            .entry(addr)
-            .or_default();
+        self.inner.borrow_mut().mailboxes.entry(addr).or_default();
         Endpoint {
             net: self.clone(),
             addr,
@@ -250,7 +253,14 @@ impl Network {
         let tx_done = start + SimTime::from_nanos(bytes.len() as u64 * inner.cfg.ns_per_byte);
         inner.conns[conn].busy_until[dir] = tx_done;
         let at = tx_done + inner.cfg.latency;
-        inner.schedule(at, Event::TcpDeliver { conn, to_server, bytes });
+        inner.schedule(
+            at,
+            Event::TcpDeliver {
+                conn,
+                to_server,
+                bytes,
+            },
+        );
     }
 
     pub(crate) fn conn_client_rx_take(&self, conn: ConnId, want: usize) -> Option<Vec<u8>> {
@@ -327,7 +337,11 @@ impl Network {
                     mb.push_back(dg);
                 }
             }
-            Event::TcpDeliver { conn, to_server, bytes } => {
+            Event::TcpDeliver {
+                conn,
+                to_server,
+                bytes,
+            } => {
                 if to_server {
                     let handler = self.inner.borrow_mut().conns[conn].server_handler.take();
                     if let Some(mut h) = handler {
@@ -370,6 +384,11 @@ impl Endpoint {
     /// This endpoint's address.
     pub fn addr(&self) -> Addr {
         self.addr
+    }
+
+    /// Current virtual time at this endpoint's network.
+    pub fn now(&self) -> SimTime {
+        self.net.now()
     }
 
     /// Send a datagram.
@@ -454,7 +473,11 @@ mod tests {
     #[test]
     fn lossy_network_drops_some() {
         let net = Network::new(
-            NetworkConfig::lan().with_faults(FaultConfig { loss: 1.0, duplicate: 0.0, reorder: 0.0 }),
+            NetworkConfig::lan().with_faults(FaultConfig {
+                loss: 1.0,
+                duplicate: 0.0,
+                reorder: 0.0,
+            }),
             1,
         );
         net.serve_udp(2000, Box::new(|r, _| Some((r.to_vec(), SimTime::ZERO))));
@@ -466,7 +489,11 @@ mod tests {
     #[test]
     fn duplicate_faults_deliver_twice() {
         let net = Network::new(
-            NetworkConfig::lan().with_faults(FaultConfig { loss: 0.0, duplicate: 1.0, reorder: 0.0 }),
+            NetworkConfig::lan().with_faults(FaultConfig {
+                loss: 0.0,
+                duplicate: 1.0,
+                reorder: 0.0,
+            }),
             1,
         );
         let a = net.bind_udp(5001);
@@ -480,7 +507,10 @@ mod tests {
     fn same_seed_same_trace() {
         let run = |seed| {
             let net = Network::new(NetworkConfig::lan().with_faults(FaultConfig::LOSSY), seed);
-            net.serve_udp(2000, Box::new(|r, _| Some((r.to_vec(), SimTime::from_micros(10)))));
+            net.serve_udp(
+                2000,
+                Box::new(|r, _| Some((r.to_vec(), SimTime::from_micros(10)))),
+            );
             let ep = net.bind_udp(5001);
             let mut delivered = 0;
             for i in 0..50u8 {
@@ -509,7 +539,10 @@ mod tests {
     #[test]
     fn handler_processing_time_advances_clock() {
         let net = Network::new(NetworkConfig::lan(), 1);
-        net.serve_udp(2000, Box::new(|r, _| Some((r.to_vec(), SimTime::from_millis(3)))));
+        net.serve_udp(
+            2000,
+            Box::new(|r, _| Some((r.to_vec(), SimTime::from_millis(3)))),
+        );
         let ep = net.bind_udp(5001);
         ep.send_to(2000, vec![1]);
         ep.recv_timeout(SimTime::from_millis(50)).expect("reply");

@@ -226,12 +226,18 @@ mod tests {
         let expect_orig = [(20, 0.047), (250, 0.49), (2000, 3.93)];
         for (n, want) in expect_orig {
             let got = marshal_ms(Platform::IpxSunosAtm, n, false);
-            assert!((got - want).abs() / want < 0.15, "n={n}: got {got}, want {want}");
+            assert!(
+                (got - want).abs() / want < 0.15,
+                "n={n}: got {got}, want {want}"
+            );
         }
         let expect_spec = [(20, 0.017), (250, 0.13), (2000, 1.38)];
         for (n, want) in expect_spec {
             let got = marshal_ms(Platform::IpxSunosAtm, n, true);
-            assert!((got - want).abs() / want < 0.15, "n={n}: got {got}, want {want}");
+            assert!(
+                (got - want).abs() / want < 0.15,
+                "n={n}: got {got}, want {want}"
+            );
         }
     }
 
@@ -240,12 +246,18 @@ mod tests {
         let expect_orig = [(20, 0.071), (500, 0.29), (2000, 0.97)];
         for (n, want) in expect_orig {
             let got = marshal_ms(Platform::PcLinuxFastEthernet, n, false);
-            assert!((got - want).abs() / want < 0.15, "n={n}: got {got}, want {want}");
+            assert!(
+                (got - want).abs() / want < 0.15,
+                "n={n}: got {got}, want {want}"
+            );
         }
         let expect_spec = [(20, 0.063), (500, 0.11), (2000, 0.29)];
         for (n, want) in expect_spec {
             let got = marshal_ms(Platform::PcLinuxFastEthernet, n, true);
-            assert!((got - want).abs() / want < 0.20, "n={n}: got {got}, want {want}");
+            assert!(
+                (got - want).abs() / want < 0.20,
+                "n={n}: got {got}, want {want}"
+            );
         }
     }
 
@@ -278,8 +290,16 @@ mod tests {
     }
 
     fn rt_ms(p: Platform, n: u64, spec: bool) -> f64 {
-        let code = if spec { spec_code_bytes(n as usize) } else { 20_004 };
-        let counts = if spec { spec_counts(n) } else { generic_counts(n) };
+        let code = if spec {
+            spec_code_bytes(n as usize)
+        } else {
+            20_004
+        };
+        let counts = if spec {
+            spec_counts(n)
+        } else {
+            generic_counts(n)
+        };
         let sample = RoundTripSample {
             marshals: vec![(counts, code); 4],
             wire_bytes: (8 * n + 64) as usize,
@@ -298,7 +318,10 @@ mod tests {
         ] {
             let got20 = rt_ms(p, 20, false);
             let got2000 = rt_ms(p, 2000, false);
-            assert!((got20 - want20).abs() / want20 < 0.15, "{p:?} 20: {got20} vs {want20}");
+            assert!(
+                (got20 - want20).abs() / want20 < 0.15,
+                "{p:?} 20: {got20} vs {want20}"
+            );
             assert!(
                 (got2000 - want2000).abs() / want2000 < 0.15,
                 "{p:?} 2000: {got2000} vs {want2000}"
@@ -310,7 +333,10 @@ mod tests {
                 s2000 > plateau_lo && s2000 < plateau_hi,
                 "{p:?}: plateau {s2000:.2}"
             );
-            assert!(s20 > 1.0 && s20 < 1.25, "{p:?}: small-size speedup {s20:.2}");
+            assert!(
+                s20 > 1.0 && s20 < 1.25,
+                "{p:?}: small-size speedup {s20:.2}"
+            );
         }
     }
 
@@ -339,7 +365,10 @@ mod tests {
     fn platform_labels() {
         assert_eq!(Platform::IpxSunosAtm.label(), "IPX/SunOs");
         assert_eq!(Platform::all().len(), 2);
-        assert!(Platform::PcLinuxFastEthernet.costs().name.contains("Ethernet"));
+        assert!(Platform::PcLinuxFastEthernet
+            .costs()
+            .name
+            .contains("Ethernet"));
     }
 
     #[test]
@@ -359,6 +388,9 @@ mod tests {
             - marshal_ms(Platform::PcLinuxFastEthernet, 2000, false);
         let gap_spec = marshal_ms(Platform::IpxSunosAtm, 2000, true)
             - marshal_ms(Platform::PcLinuxFastEthernet, 2000, true);
-        assert!(gap_spec < gap_orig, "specialization narrows the absolute gap");
+        assert!(
+            gap_spec < gap_orig,
+            "specialization narrows the absolute gap"
+        );
     }
 }

@@ -39,26 +39,27 @@ impl SimUdpSocket {
     /// Receive the next datagram from the peer within `timeout` (datagrams
     /// from other sources are discarded, like a connected socket).
     pub fn recv(&self, timeout: SimTime) -> Option<Vec<u8>> {
-        let deadline_budget = timeout;
-        let start = budget_start();
-        let mut remaining = deadline_budget;
+        let deadline = self.ep.now() + timeout;
+        let mut remaining = timeout;
         loop {
             let dg: Datagram = self.ep.recv_timeout(remaining)?;
             if dg.from == self.peer {
                 return Some(dg.payload);
             }
-            // Discard stranger traffic; shrink the remaining budget.
-            let _ = start;
-            remaining = remaining.saturating_sub(SimTime::from_micros(1));
-            if remaining == SimTime::ZERO {
+            // Discard stranger traffic; charge the virtual time it
+            // actually consumed against the deadline.
+            let now = self.ep.now();
+            if now >= deadline {
                 return None;
             }
+            remaining = deadline - now;
         }
     }
-}
 
-fn budget_start() -> SimTime {
-    SimTime::ZERO
+    /// Current virtual time at this socket's network.
+    pub fn now(&self) -> SimTime {
+        self.ep.now()
+    }
 }
 
 #[cfg(test)]

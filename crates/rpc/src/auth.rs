@@ -1,9 +1,9 @@
 //! RPC authentication flavors (RFC 1057 §9): `AUTH_NONE` and `AUTH_SYS`
 //! (née `AUTH_UNIX`), carried as opaque bodies in call and reply headers.
 
+use specrpc_xdr::composite::xdr_array;
 use specrpc_xdr::composite::{xdr_bytes, xdr_string};
 use specrpc_xdr::primitives::{xdr_u_int, xdr_u_long};
-use specrpc_xdr::composite::xdr_array;
 use specrpc_xdr::{XdrResult, XdrStream};
 
 /// Maximum opaque auth body size (RFC 1057).
@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn opaque_auth_roundtrip() {
         let mut enc = XdrMem::encoder(64);
-        let mut a = OpaqueAuth { flavor: 7, body: vec![1, 2, 3] };
+        let mut a = OpaqueAuth {
+            flavor: 7,
+            body: vec![1, 2, 3],
+        };
         OpaqueAuth::xdr(&mut enc, &mut a).unwrap();
         let mut dec = XdrMem::decoder(enc.bytes());
         let mut out = OpaqueAuth::default();
@@ -142,7 +145,10 @@ mod tests {
     #[test]
     fn auth_body_size_limit_enforced() {
         let mut enc = XdrMem::encoder(1024);
-        let mut a = OpaqueAuth { flavor: 1, body: vec![0; 401] };
+        let mut a = OpaqueAuth {
+            flavor: 1,
+            body: vec![0; 401],
+        };
         assert!(OpaqueAuth::xdr(&mut enc, &mut a).is_err());
     }
 }

@@ -208,4 +208,3 @@ mod tests {
         assert!(matches!(err, RpcError::ProgMismatch { .. }));
     }
 }
-

@@ -74,12 +74,20 @@ impl ClntUdp {
             xid,
             "request must start with its xid"
         );
-        let mut elapsed = SimTime::ZERO;
+        let start = self.sock.now();
         loop {
             self.sock.send(request.clone());
-            let mut try_left = self.retry_timeout;
+            // Drain replies until the per-try deadline passes (recv
+            // returning None), then retransmit. Both deadlines are held in
+            // virtual time, so stale-xid replies are charged for the time
+            // they actually consumed waiting — not a token decrement.
+            let try_deadline = self.sock.now() + self.retry_timeout;
             loop {
-                let Some(reply) = self.sock.recv(try_left) else {
+                let now = self.sock.now();
+                if now >= try_deadline {
+                    break;
+                }
+                let Some(reply) = self.sock.recv(try_deadline - now) else {
                     break; // per-try timeout: retransmit
                 };
                 if reply.len() >= 4
@@ -89,13 +97,8 @@ impl ClntUdp {
                 }
                 // Stale xid (a late reply to a retransmitted call):
                 // keep waiting out the remainder of this try.
-                try_left = SimTime::from_nanos(try_left.as_nanos().saturating_sub(1));
-                if try_left == SimTime::ZERO {
-                    break;
-                }
             }
-            elapsed += self.retry_timeout;
-            if elapsed >= self.total_timeout {
+            if self.sock.now() - start >= self.total_timeout {
                 return Err(RpcError::TimedOut);
             }
             self.retransmits += 1;
@@ -195,16 +198,45 @@ mod tests {
         let mut clnt = ClntUdp::create(&net, 5000, 999, PROG, 1);
         clnt.retry_timeout = SimTime::from_millis(10);
         clnt.total_timeout = SimTime::from_millis(50);
-        let err = clnt
-            .call(1, &mut |_| Ok(()), &mut |_| Ok(()))
-            .unwrap_err();
+        let err = clnt.call(1, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err();
         assert_eq!(err, RpcError::TimedOut);
+    }
+
+    #[test]
+    fn stale_replies_do_not_extend_total_timeout() {
+        // A server that always answers with the wrong xid: every reply is
+        // stale, so the call must still time out at ~total_timeout of
+        // virtual time rather than being extended per stale datagram.
+        let net = Network::new(NetworkConfig::lan(), 4);
+        net.serve_udp(
+            700,
+            Box::new(|req, _| {
+                let mut bogus = req.to_vec();
+                bogus[0] ^= 0x80; // corrupt the xid word
+                Some((bogus, SimTime::ZERO))
+            }),
+        );
+        let mut clnt = ClntUdp::create(&net, 5000, 700, PROG, 1);
+        clnt.retry_timeout = SimTime::from_millis(10);
+        clnt.total_timeout = SimTime::from_millis(50);
+        let start = net.now();
+        let err = clnt.call(1, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err();
+        assert_eq!(err, RpcError::TimedOut);
+        let took = net.now() - start;
+        assert!(
+            took >= SimTime::from_millis(50) && took <= SimTime::from_millis(80),
+            "timed out after {took:?}, expected ~50-80ms of virtual time"
+        );
     }
 
     #[test]
     fn retransmission_survives_heavy_loss() {
         let net = Network::new(
-            NetworkConfig::lan().with_faults(FaultConfig { loss: 0.4, duplicate: 0.1, reorder: 0.1 }),
+            NetworkConfig::lan().with_faults(FaultConfig {
+                loss: 0.4,
+                duplicate: 0.1,
+                reorder: 0.1,
+            }),
             12345,
         );
         let mut clnt = start(&net, true);
@@ -216,13 +248,13 @@ mod tests {
             clnt.call(
                 1,
                 &mut |x| {
-                    let mut v = vec![round as i32; 8];
+                    let mut v = vec![round; 8];
                     xdr_array(x, &mut v, 100, xdr_int)
                 },
                 &mut |x| xdr_int(x, &mut out),
             )
             .unwrap();
-            assert_eq!(out, round as i32 * 8);
+            assert_eq!(out, round * 8);
             total_retransmits = clnt.retransmits;
         }
         assert!(total_retransmits > 0, "loss must have forced retries");
@@ -231,7 +263,11 @@ mod tests {
     #[test]
     fn duplicate_replies_are_ignored_by_xid() {
         let net = Network::new(
-            NetworkConfig::lan().with_faults(FaultConfig { loss: 0.0, duplicate: 0.5, reorder: 0.0 }),
+            NetworkConfig::lan().with_faults(FaultConfig {
+                loss: 0.0,
+                duplicate: 0.5,
+                reorder: 0.0,
+            }),
             7,
         );
         let mut clnt = start(&net, true);

@@ -55,7 +55,10 @@ impl fmt::Display for RpcError {
             RpcError::AuthError => write!(f, "authentication rejected"),
             RpcError::ProgUnavail => write!(f, "program unavailable"),
             RpcError::ProgMismatch { low, high } => {
-                write!(f, "program version mismatch (server supports {low}..{high})")
+                write!(
+                    f,
+                    "program version mismatch (server supports {low}..{high})"
+                )
             }
             RpcError::ProcUnavail => write!(f, "procedure unavailable"),
             RpcError::GarbageArgs => write!(f, "server could not decode arguments"),

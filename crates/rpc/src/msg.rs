@@ -248,7 +248,11 @@ impl ReplyHeader {
                 };
                 Ok(ReplyHeader {
                     xid,
-                    body: ReplyBody::Accepted { verf, stat, mismatch },
+                    body: ReplyBody::Accepted {
+                        verf,
+                        stat,
+                        mismatch,
+                    },
                 })
             }
             1 => {
@@ -374,7 +378,10 @@ mod tests {
         ReplyHeader::encode_denied(&mut enc, 9, RejectStat::RpcMismatch, Some((2, 2))).unwrap();
         let mut dec = XdrMem::decoder(enc.bytes());
         let hdr = ReplyHeader::decode(&mut dec).unwrap();
-        assert_eq!(hdr.to_error(), Some(RpcError::RpcVersMismatch { low: 2, high: 2 }));
+        assert_eq!(
+            hdr.to_error(),
+            Some(RpcError::RpcVersMismatch { low: 2, high: 2 })
+        );
     }
 
     #[test]

@@ -56,10 +56,13 @@ impl Mapping {
     }
 }
 
+/// The shared portmapper table: `(prog, vers, prot) -> port`.
+pub type PmapTable = Rc<RefCell<HashMap<(u32, u32, u32), u32>>>;
+
 /// Create a portmapper service and install it on the network at
 /// [`PMAP_PORT`]. Returns the shared mapping table.
-pub fn start_portmapper(net: &Network) -> Rc<RefCell<HashMap<(u32, u32, u32), u32>>> {
-    let table: Rc<RefCell<HashMap<(u32, u32, u32), u32>>> = Rc::new(RefCell::new(HashMap::new()));
+pub fn start_portmapper(net: &Network) -> PmapTable {
+    let table: PmapTable = Rc::new(RefCell::new(HashMap::new()));
     let mut reg = SvcRegistry::new();
 
     reg.register(PMAP_PROG, PMAP_VERS, PMAPPROC_NULL, Box::new(|_, _| Ok(())));
@@ -70,7 +73,12 @@ pub fn start_portmapper(net: &Network) -> Rc<RefCell<HashMap<(u32, u32, u32), u3
         PMAP_VERS,
         PMAPPROC_SET,
         Box::new(move |args, results| {
-            let mut m = Mapping { prog: 0, vers: 0, prot: 0, port: 0 };
+            let mut m = Mapping {
+                prog: 0,
+                vers: 0,
+                prot: 0,
+                port: 0,
+            };
             Mapping::xdr(args, &mut m)?;
             let inserted = match t.borrow_mut().entry((m.prog, m.vers, m.prot)) {
                 std::collections::hash_map::Entry::Occupied(_) => false,
@@ -91,7 +99,12 @@ pub fn start_portmapper(net: &Network) -> Rc<RefCell<HashMap<(u32, u32, u32), u3
         PMAP_VERS,
         PMAPPROC_UNSET,
         Box::new(move |args, results| {
-            let mut m = Mapping { prog: 0, vers: 0, prot: 0, port: 0 };
+            let mut m = Mapping {
+                prog: 0,
+                vers: 0,
+                prot: 0,
+                port: 0,
+            };
             Mapping::xdr(args, &mut m)?;
             let mut removed = false;
             t.borrow_mut().retain(|k, _| {
@@ -110,12 +123,14 @@ pub fn start_portmapper(net: &Network) -> Rc<RefCell<HashMap<(u32, u32, u32), u3
         PMAP_VERS,
         PMAPPROC_GETPORT,
         Box::new(move |args, results| {
-            let mut m = Mapping { prog: 0, vers: 0, prot: 0, port: 0 };
+            let mut m = Mapping {
+                prog: 0,
+                vers: 0,
+                prot: 0,
+                port: 0,
+            };
             Mapping::xdr(args, &mut m)?;
-            let mut port = *t
-                .borrow()
-                .get(&(m.prog, m.vers, m.prot))
-                .unwrap_or(&0);
+            let mut port = *t.borrow().get(&(m.prog, m.vers, m.prot)).unwrap_or(&0);
             xdr_u_long(xdrs_cast(results), &mut port)?;
             Ok(())
         }),
@@ -135,11 +150,9 @@ pub fn pmap_set(net: &Network, local: Addr, m: Mapping) -> Result<bool, RpcError
     let mut clnt = ClntUdp::create(net, local, PMAP_PORT, PMAP_PROG, PMAP_VERS);
     let mut ok = false;
     let mut m2 = m;
-    clnt.call(
-        PMAPPROC_SET,
-        &mut |x| Mapping::xdr(x, &mut m2),
-        &mut |x| xdr_bool(x, &mut ok),
-    )?;
+    clnt.call(PMAPPROC_SET, &mut |x| Mapping::xdr(x, &mut m2), &mut |x| {
+        xdr_bool(x, &mut ok)
+    })?;
     Ok(ok)
 }
 
@@ -147,12 +160,15 @@ pub fn pmap_set(net: &Network, local: Addr, m: Mapping) -> Result<bool, RpcError
 pub fn pmap_unset(net: &Network, local: Addr, prog: u32, vers: u32) -> Result<bool, RpcError> {
     let mut clnt = ClntUdp::create(net, local, PMAP_PORT, PMAP_PROG, PMAP_VERS);
     let mut ok = false;
-    let mut m = Mapping { prog, vers, prot: 0, port: 0 };
-    clnt.call(
-        PMAPPROC_UNSET,
-        &mut |x| Mapping::xdr(x, &mut m),
-        &mut |x| xdr_bool(x, &mut ok),
-    )?;
+    let mut m = Mapping {
+        prog,
+        vers,
+        prot: 0,
+        port: 0,
+    };
+    clnt.call(PMAPPROC_UNSET, &mut |x| Mapping::xdr(x, &mut m), &mut |x| {
+        xdr_bool(x, &mut ok)
+    })?;
     Ok(ok)
 }
 
@@ -167,7 +183,12 @@ pub fn pmap_getport(
 ) -> Result<Addr, RpcError> {
     let mut clnt = ClntUdp::create(net, local, PMAP_PORT, PMAP_PROG, PMAP_VERS);
     let mut port = 0u32;
-    let mut m = Mapping { prog, vers, prot, port: 0 };
+    let mut m = Mapping {
+        prog,
+        vers,
+        prot,
+        port: 0,
+    };
     clnt.call(
         PMAPPROC_GETPORT,
         &mut |x| Mapping::xdr(x, &mut m),
@@ -188,7 +209,12 @@ mod tests {
     fn set_getport_unset_cycle() {
         let net = Network::new(NetworkConfig::lan(), 21);
         start_portmapper(&net);
-        let m = Mapping { prog: 500_000, vers: 1, prot: IPPROTO_UDP, port: 2049 };
+        let m = Mapping {
+            prog: 500_000,
+            vers: 1,
+            prot: IPPROTO_UDP,
+            port: 2049,
+        };
         assert!(pmap_set(&net, 6000, m).unwrap());
         assert_eq!(
             pmap_getport(&net, 6001, 500_000, 1, IPPROTO_UDP).unwrap(),
@@ -205,10 +231,18 @@ mod tests {
     fn duplicate_set_is_refused() {
         let net = Network::new(NetworkConfig::lan(), 21);
         start_portmapper(&net);
-        let m = Mapping { prog: 1, vers: 1, prot: IPPROTO_UDP, port: 2000 };
+        let m = Mapping {
+            prog: 1,
+            vers: 1,
+            prot: IPPROTO_UDP,
+            port: 2000,
+        };
         assert!(pmap_set(&net, 6000, m).unwrap());
         let m2 = Mapping { port: 3000, ..m };
-        assert!(!pmap_set(&net, 6000, m2).unwrap(), "first registration wins");
+        assert!(
+            !pmap_set(&net, 6000, m2).unwrap(),
+            "first registration wins"
+        );
         assert_eq!(pmap_getport(&net, 6001, 1, 1, IPPROTO_UDP).unwrap(), 2000);
     }
 
@@ -216,8 +250,28 @@ mod tests {
     fn getport_distinguishes_protocols() {
         let net = Network::new(NetworkConfig::lan(), 21);
         start_portmapper(&net);
-        pmap_set(&net, 6000, Mapping { prog: 9, vers: 1, prot: IPPROTO_UDP, port: 700 }).unwrap();
-        pmap_set(&net, 6000, Mapping { prog: 9, vers: 1, prot: IPPROTO_TCP, port: 701 }).unwrap();
+        pmap_set(
+            &net,
+            6000,
+            Mapping {
+                prog: 9,
+                vers: 1,
+                prot: IPPROTO_UDP,
+                port: 700,
+            },
+        )
+        .unwrap();
+        pmap_set(
+            &net,
+            6000,
+            Mapping {
+                prog: 9,
+                vers: 1,
+                prot: IPPROTO_TCP,
+                port: 701,
+            },
+        )
+        .unwrap();
         assert_eq!(pmap_getport(&net, 6001, 9, 1, IPPROTO_UDP).unwrap(), 700);
         assert_eq!(pmap_getport(&net, 6002, 9, 1, IPPROTO_TCP).unwrap(), 701);
     }
@@ -226,11 +280,21 @@ mod tests {
     fn mapping_xdr_roundtrip() {
         use specrpc_xdr::mem::XdrMem;
         let mut enc = XdrMem::encoder(32);
-        let mut m = Mapping { prog: 1, vers: 2, prot: 3, port: 4 };
+        let mut m = Mapping {
+            prog: 1,
+            vers: 2,
+            prot: 3,
+            port: 4,
+        };
         Mapping::xdr(&mut enc, &mut m).unwrap();
         assert_eq!(enc.getpos(), 16);
         let mut dec = XdrMem::decoder(enc.bytes());
-        let mut out = Mapping { prog: 0, vers: 0, prot: 0, port: 0 };
+        let mut out = Mapping {
+            prog: 0,
+            vers: 0,
+            prot: 0,
+            port: 0,
+        };
         Mapping::xdr(&mut dec, &mut out).unwrap();
         assert_eq!(out, m);
     }

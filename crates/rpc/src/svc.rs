@@ -109,8 +109,13 @@ impl SvcRegistry {
 
         if msg.rpcvers != RPC_VERS {
             let mut enc = XdrMem::encoder(64);
-            ReplyHeader::encode_denied(&mut enc, msg.xid, RejectStat::RpcMismatch, Some((RPC_VERS, RPC_VERS)))
-                .expect("deny fits");
+            ReplyHeader::encode_denied(
+                &mut enc,
+                msg.xid,
+                RejectStat::RpcMismatch,
+                Some((RPC_VERS, RPC_VERS)),
+            )
+            .expect("deny fits");
             return enc.into_bytes();
         }
 
@@ -243,7 +248,10 @@ mod tests {
         let mut reg = echo_registry();
         let reply = reg.dispatch(&make_call(100_007, 9, 3, 0));
         let (hdr, _) = parse_reply(&reply);
-        assert_eq!(hdr.to_error(), Some(RpcError::ProgMismatch { low: 1, high: 1 }));
+        assert_eq!(
+            hdr.to_error(),
+            Some(RpcError::ProgMismatch { low: 1, high: 1 })
+        );
     }
 
     #[test]

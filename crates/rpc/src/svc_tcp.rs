@@ -80,8 +80,9 @@ pub fn serve_tcp(
     registry: Rc<RefCell<SvcRegistry>>,
     proc_time: Option<ProcTimeModel>,
 ) {
-    let model: ProcTimeModel = proc_time
-        .unwrap_or_else(|| Rc::new(|req, rep| SimTime::from_nanos(50_000 + 20 * (req + rep) as u64)));
+    let model: ProcTimeModel = proc_time.unwrap_or_else(|| {
+        Rc::new(|req, rep| SimTime::from_nanos(50_000 + 20 * (req + rep) as u64))
+    });
     net.serve_tcp(
         addr,
         Box::new(move || {

@@ -192,12 +192,17 @@ mod tests {
     fn lookups_work() {
         let f = IdlFile {
             defs: vec![
-                Definition::Const { name: "MAX".into(), value: 100 },
+                Definition::Const {
+                    name: "MAX".into(),
+                    value: 100,
+                },
                 Definition::Struct {
                     name: "pair".into(),
-                    fields: vec![
-                        Decl { name: "a".into(), ty: IdlType::Int, kind: DeclKind::Scalar },
-                    ],
+                    fields: vec![Decl {
+                        name: "a".into(),
+                        ty: IdlType::Int,
+                        kind: DeclKind::Scalar,
+                    }],
                 },
                 Definition::Enum {
                     name: "color".into(),

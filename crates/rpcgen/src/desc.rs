@@ -111,9 +111,12 @@ impl XdrValue {
                 XdrValue::Array((0..*n).map(|_| XdrValue::default_of(elem)).collect())
             }
             TypeDesc::VarArray(..) => XdrValue::Array(Vec::new()),
-            TypeDesc::Struct(fields) => {
-                XdrValue::Struct(fields.iter().map(|(_, d)| XdrValue::default_of(d)).collect())
-            }
+            TypeDesc::Struct(fields) => XdrValue::Struct(
+                fields
+                    .iter()
+                    .map(|(_, d)| XdrValue::default_of(d))
+                    .collect(),
+            ),
             TypeDesc::Optional(_) => XdrValue::Optional(None),
             TypeDesc::Recurse(_) => XdrValue::Optional(None),
         }
@@ -136,7 +139,10 @@ impl XdrValue {
                 items.iter().map(|i| i.wire_size_s(elem, stack)).sum()
             }
             (XdrValue::Array(items), TypeDesc::VarArray(elem, _)) => {
-                4 + items.iter().map(|i| i.wire_size_s(elem, stack)).sum::<usize>()
+                4 + items
+                    .iter()
+                    .map(|i| i.wire_size_s(elem, stack))
+                    .sum::<usize>()
             }
             (XdrValue::Struct(vals), TypeDesc::Struct(fields)) => {
                 stack.push(desc);
@@ -184,7 +190,9 @@ impl fmt::Display for ResolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ResolveError::Unknown(n) => write!(f, "unknown type `{n}`"),
-            ResolveError::UnsupportedUnion(n) => write!(f, "union `{n}` not supported as a descriptor"),
+            ResolveError::UnsupportedUnion(n) => {
+                write!(f, "union `{n}` not supported as a descriptor")
+            }
             ResolveError::InfiniteType(n) => write!(f, "type `{n}` recurses without indirection"),
         }
     }
@@ -246,7 +254,9 @@ fn named_desc(
                 return Ok(TypeDesc::Struct(fs));
             }
             Definition::Enum { name: n, members } if n == name => {
-                return Ok(TypeDesc::Enum(members.iter().map(|(_, v)| *v as i32).collect()));
+                return Ok(TypeDesc::Enum(
+                    members.iter().map(|(_, v)| *v as i32).collect(),
+                ));
             }
             Definition::Typedef(d) if d.name == name => {
                 return decl_desc(file, d, guard);
@@ -337,7 +347,10 @@ fn xdr_value_s<'d>(
         (TypeDesc::String(max), XdrValue::Str(s)) => xdr_string(xdrs, s, limit(*max)),
         (TypeDesc::FixedOpaque(n), XdrValue::Opaque(b)) => {
             if b.len() != *n {
-                return Err(XdrError::SizeLimit { len: b.len(), max: *n });
+                return Err(XdrError::SizeLimit {
+                    len: b.len(),
+                    max: *n,
+                });
             }
             xdr_opaque(xdrs, b.as_mut_slice())
         }
@@ -350,7 +363,10 @@ fn xdr_value_s<'d>(
                 }
                 _ => {
                     if items.len() != *n {
-                        return Err(XdrError::SizeLimit { len: items.len(), max: *n });
+                        return Err(XdrError::SizeLimit {
+                            len: items.len(),
+                            max: *n,
+                        });
                     }
                 }
             }
@@ -364,7 +380,10 @@ fn xdr_value_s<'d>(
             match xdrs.op() {
                 XdrOp::Encode => {
                     if items.len() > max {
-                        return Err(XdrError::SizeLimit { len: items.len(), max });
+                        return Err(XdrError::SizeLimit {
+                            len: items.len(),
+                            max,
+                        });
                     }
                     let mut len = items.len() as u32;
                     xdr_u_int(xdrs, &mut len)?;
@@ -373,7 +392,10 @@ fn xdr_value_s<'d>(
                     let mut len = 0u32;
                     xdr_u_int(xdrs, &mut len)?;
                     if len as usize > max {
-                        return Err(XdrError::SizeLimit { len: len as usize, max });
+                        return Err(XdrError::SizeLimit {
+                            len: len as usize,
+                            max,
+                        });
                     }
                     items.clear();
                     items.resize(len as usize, XdrValue::default_of(elem));
@@ -394,7 +416,10 @@ fn xdr_value_s<'d>(
                 vals.extend(fields.iter().map(|(_, d)| XdrValue::default_of(d)));
             }
             if vals.len() != fields.len() {
-                return Err(XdrError::SizeLimit { len: vals.len(), max: fields.len() });
+                return Err(XdrError::SizeLimit {
+                    len: vals.len(),
+                    max: fields.len(),
+                });
             }
             stack.push(desc);
             for ((_, d), v) in fields.iter().zip(vals.iter_mut()) {
@@ -489,7 +514,10 @@ mod tests {
 
     #[test]
     fn scalar_roundtrips() {
-        assert_eq!(roundtrip(&TypeDesc::Int, &XdrValue::Int(-5)), XdrValue::Int(-5));
+        assert_eq!(
+            roundtrip(&TypeDesc::Int, &XdrValue::Int(-5)),
+            XdrValue::Int(-5)
+        );
         assert_eq!(
             roundtrip(&TypeDesc::UHyper, &XdrValue::UHyper(u64::MAX)),
             XdrValue::UHyper(u64::MAX)
@@ -498,7 +526,10 @@ mod tests {
             roundtrip(&TypeDesc::Double, &XdrValue::Double(2.5)),
             XdrValue::Double(2.5)
         );
-        assert_eq!(roundtrip(&TypeDesc::Bool, &XdrValue::Bool(true)), XdrValue::Bool(true));
+        assert_eq!(
+            roundtrip(&TypeDesc::Bool, &XdrValue::Bool(true)),
+            XdrValue::Bool(true)
+        );
     }
 
     #[test]
@@ -512,7 +543,10 @@ mod tests {
             XdrValue::Opaque(vec![1, 2, 3])
         );
         assert_eq!(
-            roundtrip(&TypeDesc::FixedOpaque(4), &XdrValue::Opaque(vec![9, 8, 7, 6])),
+            roundtrip(
+                &TypeDesc::FixedOpaque(4),
+                &XdrValue::Opaque(vec![9, 8, 7, 6])
+            ),
             XdrValue::Opaque(vec![9, 8, 7, 6])
         );
     }

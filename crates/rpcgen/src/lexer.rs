@@ -130,19 +130,97 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
             }
-            '{' => { out.push(Token { kind: Tok::LBrace, line }); i += 1; }
-            '}' => { out.push(Token { kind: Tok::RBrace, line }); i += 1; }
-            '(' => { out.push(Token { kind: Tok::LParen, line }); i += 1; }
-            ')' => { out.push(Token { kind: Tok::RParen, line }); i += 1; }
-            '[' => { out.push(Token { kind: Tok::LBracket, line }); i += 1; }
-            ']' => { out.push(Token { kind: Tok::RBracket, line }); i += 1; }
-            '<' => { out.push(Token { kind: Tok::Lt, line }); i += 1; }
-            '>' => { out.push(Token { kind: Tok::Gt, line }); i += 1; }
-            ';' => { out.push(Token { kind: Tok::Semi, line }); i += 1; }
-            ',' => { out.push(Token { kind: Tok::Comma, line }); i += 1; }
-            '=' => { out.push(Token { kind: Tok::Eq, line }); i += 1; }
-            '*' => { out.push(Token { kind: Tok::Star, line }); i += 1; }
-            ':' => { out.push(Token { kind: Tok::Colon, line }); i += 1; }
+            '{' => {
+                out.push(Token {
+                    kind: Tok::LBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '}' => {
+                out.push(Token {
+                    kind: Tok::RBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token {
+                    kind: Tok::LParen,
+                    line,
+                });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token {
+                    kind: Tok::RParen,
+                    line,
+                });
+                i += 1;
+            }
+            '[' => {
+                out.push(Token {
+                    kind: Tok::LBracket,
+                    line,
+                });
+                i += 1;
+            }
+            ']' => {
+                out.push(Token {
+                    kind: Tok::RBracket,
+                    line,
+                });
+                i += 1;
+            }
+            '<' => {
+                out.push(Token {
+                    kind: Tok::Lt,
+                    line,
+                });
+                i += 1;
+            }
+            '>' => {
+                out.push(Token {
+                    kind: Tok::Gt,
+                    line,
+                });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token {
+                    kind: Tok::Semi,
+                    line,
+                });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token {
+                    kind: Tok::Comma,
+                    line,
+                });
+                i += 1;
+            }
+            '=' => {
+                out.push(Token {
+                    kind: Tok::Eq,
+                    line,
+                });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token {
+                    kind: Tok::Star,
+                    line,
+                });
+                i += 1;
+            }
+            ':' => {
+                out.push(Token {
+                    kind: Tok::Colon,
+                    line,
+                });
+                i += 1;
+            }
             '-' | '0'..='9' => {
                 let start = i;
                 i += 1;
@@ -158,7 +236,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         message: format!("bad hex literal 0x{text}"),
                         line,
                     })?;
-                    out.push(Token { kind: Tok::Number(v), line });
+                    out.push(Token {
+                        kind: Tok::Number(v),
+                        line,
+                    });
                     continue;
                 }
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -169,7 +250,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     message: format!("bad number `{text}`"),
                     line,
                 })?;
-                out.push(Token { kind: Tok::Number(v), line });
+                out.push(Token {
+                    kind: Tok::Number(v),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -177,7 +261,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     i += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                out.push(Token { kind: Tok::Ident(text), line });
+                out.push(Token {
+                    kind: Tok::Ident(text),
+                    line,
+                });
             }
             other => {
                 return Err(LexError {

@@ -26,7 +26,11 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { found, expected, line } => {
+            ParseError::Unexpected {
+                found,
+                expected,
+                line,
+            } => {
                 write!(f, "line {line}: expected {expected}, found {found}")
             }
             ParseError::UnknownConst(n) => write!(f, "unknown constant `{n}` used as size"),
@@ -45,7 +49,11 @@ impl From<LexError> for ParseError {
 /// Parse a whole IDL source file.
 pub fn parse(src: &str) -> Result<IdlFile, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, file: IdlFile::default() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        file: IdlFile::default(),
+    };
     p.file()?;
     Ok(p.file)
 }
@@ -226,7 +234,12 @@ impl Parser {
                 }
                 self.expect(Tok::RBrace)?;
                 self.expect(Tok::Semi)?;
-                Ok(Definition::Union { name, disc, arms, default })
+                Ok(Definition::Union {
+                    name,
+                    disc,
+                    arms,
+                    default,
+                })
             }
             "typedef" => {
                 let d = self.decl()?;
@@ -244,7 +257,11 @@ impl Parser {
                 self.expect(Tok::Eq)?;
                 let number = self.number()? as u32;
                 self.expect(Tok::Semi)?;
-                Ok(Definition::Program(ProgramDef { name, number, versions }))
+                Ok(Definition::Program(ProgramDef {
+                    name,
+                    number,
+                    versions,
+                }))
             }
             other => Err(ParseError::Unexpected {
                 found: format!("`{other}`"),
@@ -275,13 +292,22 @@ impl Parser {
             self.expect(Tok::Eq)?;
             let number = self.number()? as u32;
             self.expect(Tok::Semi)?;
-            procs.push(ProcDef { name: pname, number, result, arg });
+            procs.push(ProcDef {
+                name: pname,
+                number,
+                result,
+                arg,
+            });
         }
         self.expect(Tok::RBrace)?;
         self.expect(Tok::Eq)?;
         let number = self.number()? as u32;
         self.expect(Tok::Semi)?;
-        Ok(VersionDef { name, number, procs })
+        Ok(VersionDef {
+            name,
+            number,
+            procs,
+        })
     }
 
     fn type_ref(&mut self) -> Result<IdlType, ParseError> {
@@ -319,9 +345,17 @@ impl Parser {
                 self.pos += 1;
                 let name = self.ident()?;
                 self.expect(Tok::Lt)?;
-                let max = if self.peek() == Some(&Tok::Gt) { 0 } else { self.number()? as usize };
+                let max = if self.peek() == Some(&Tok::Gt) {
+                    0
+                } else {
+                    self.number()? as usize
+                };
                 self.expect(Tok::Gt)?;
-                return Ok(Decl { name, ty: IdlType::Void, kind: DeclKind::String(max) });
+                return Ok(Decl {
+                    name,
+                    ty: IdlType::Void,
+                    kind: DeclKind::String(max),
+                });
             }
             if s == "opaque" {
                 self.pos += 1;
@@ -330,12 +364,24 @@ impl Parser {
                     Some(Tok::LBracket) => {
                         let n = self.number()? as usize;
                         self.expect(Tok::RBracket)?;
-                        return Ok(Decl { name, ty: IdlType::Void, kind: DeclKind::FixedOpaque(n) });
+                        return Ok(Decl {
+                            name,
+                            ty: IdlType::Void,
+                            kind: DeclKind::FixedOpaque(n),
+                        });
                     }
                     Some(Tok::Lt) => {
-                        let max = if self.peek() == Some(&Tok::Gt) { 0 } else { self.number()? as usize };
+                        let max = if self.peek() == Some(&Tok::Gt) {
+                            0
+                        } else {
+                            self.number()? as usize
+                        };
                         self.expect(Tok::Gt)?;
-                        return Ok(Decl { name, ty: IdlType::Void, kind: DeclKind::VarOpaque(max) });
+                        return Ok(Decl {
+                            name,
+                            ty: IdlType::Void,
+                            kind: DeclKind::VarOpaque(max),
+                        });
                     }
                     _ => return self.err("[ or <"),
                 }
@@ -358,7 +404,11 @@ impl Parser {
             }
             Some(Tok::Lt) => {
                 self.pos += 1;
-                let max = if self.peek() == Some(&Tok::Gt) { 0 } else { self.number()? as usize };
+                let max = if self.peek() == Some(&Tok::Gt) {
+                    0
+                } else {
+                    self.number()? as usize
+                };
                 self.expect(Tok::Gt)?;
                 DeclKind::VarArray(max)
             }
@@ -412,7 +462,10 @@ mod tests {
         let progs = f.programs();
         assert_eq!(progs[0].number, 0x2000_0101);
         assert_eq!(progs[0].versions[0].procs[0].name, "ECHO");
-        assert_eq!(progs[0].versions[0].procs[0].arg, IdlType::Named("int_arr".into()));
+        assert_eq!(
+            progs[0].versions[0].procs[0].arg,
+            IdlType::Named("int_arr".into())
+        );
     }
 
     #[test]
@@ -454,7 +507,12 @@ mod tests {
         "#;
         let f = parse(src).unwrap();
         match &f.defs[0] {
-            Definition::Union { name, disc, arms, default } => {
+            Definition::Union {
+                name,
+                disc,
+                arms,
+                default,
+            } => {
                 assert_eq!(name, "result");
                 assert_eq!(disc, "status");
                 assert_eq!(arms.len(), 2);
@@ -485,7 +543,8 @@ mod tests {
 
     #[test]
     fn typedef_and_unsigned() {
-        let f = parse("typedef unsigned int uint32_like; typedef unsigned hyper u64_like;").unwrap();
+        let f =
+            parse("typedef unsigned int uint32_like; typedef unsigned hyper u64_like;").unwrap();
         match &f.defs[0] {
             Definition::Typedef(d) => assert_eq!(d.ty, IdlType::UInt),
             other => panic!("{other:?}"),
@@ -513,10 +572,7 @@ mod tests {
 
     #[test]
     fn void_arg_procedure() {
-        let f = parse(
-            "program P { version V { int PING(void) = 0; } = 1; } = 99;",
-        )
-        .unwrap();
+        let f = parse("program P { version V { int PING(void) = 0; } = 1; } = 99;").unwrap();
         assert_eq!(f.programs()[0].versions[0].procs[0].arg, IdlType::Void);
     }
 }

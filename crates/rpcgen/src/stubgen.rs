@@ -93,16 +93,18 @@ impl MsgShape {
         match ty {
             IdlType::Void => Some(MsgShape::default()),
             IdlType::Int | IdlType::UInt => Some(MsgShape {
-                fields: vec![FieldShape::Scalar { name: "value".into() }],
+                fields: vec![FieldShape::Scalar {
+                    name: "value".into(),
+                }],
             }),
             IdlType::Named(n) => {
                 let decls = file.struct_def(n)?;
                 let mut fields = Vec::new();
                 for d in decls {
                     let shape = match (&d.ty, &d.kind) {
-                        (IdlType::Int | IdlType::UInt, DeclKind::Scalar) => {
-                            FieldShape::Scalar { name: d.name.clone() }
-                        }
+                        (IdlType::Int | IdlType::UInt, DeclKind::Scalar) => FieldShape::Scalar {
+                            name: d.name.clone(),
+                        },
                         (IdlType::Int | IdlType::UInt, DeclKind::VarArray(max)) => {
                             FieldShape::VarIntArray {
                                 name: d.name.clone(),
@@ -111,7 +113,10 @@ impl MsgShape {
                             }
                         }
                         (IdlType::Int | IdlType::UInt, DeclKind::FixedArray(n)) => {
-                            FieldShape::FixedIntArray { name: d.name.clone(), len: *n }
+                            FieldShape::FixedIntArray {
+                                name: d.name.clone(),
+                                len: *n,
+                            }
                         }
                         _ => return None,
                     };
@@ -264,8 +269,10 @@ pub fn generate_from_shapes(
     let request_len = CALL_HEADER_BYTES + arg_shape.wire_size();
     let reply_len = REPLY_HEADER_BYTES + res_shape.wire_size();
 
-    let client_encode = gen_client_encode(&mut program, ids, arg_sid, &arg_shape, &suffix, request_len);
-    let client_decode = gen_client_decode(&mut program, ids, res_sid, &res_shape, &suffix, reply_len);
+    let client_encode =
+        gen_client_encode(&mut program, ids, arg_sid, &arg_shape, &suffix, request_len);
+    let client_decode =
+        gen_client_decode(&mut program, ids, res_sid, &res_shape, &suffix, reply_len);
     let server_decode = gen_server_decode(
         &mut program,
         ids,
@@ -275,7 +282,8 @@ pub fn generate_from_shapes(
         request_len,
         (prog_num, vers_num, proc_num),
     );
-    let server_encode = gen_server_encode(&mut program, ids, res_sid, &res_shape, &suffix, reply_len);
+    let server_encode =
+        gen_server_encode(&mut program, ids, res_sid, &res_shape, &suffix, reply_len);
 
     program.validate().expect("generated stubs are well-formed");
     GeneratedStubs {
@@ -301,10 +309,18 @@ fn add_msg_struct(program: &mut Program, base: &str, shape: &MsgShape) -> usize 
     for f in &shape.fields {
         match f {
             FieldShape::Scalar { name } => {
-                fields.push(FieldDef { name: name.clone(), ty: Type::Long });
+                fields.push(FieldDef {
+                    name: name.clone(),
+                    ty: Type::Long,
+                });
             }
-            FieldShape::VarIntArray { name, pinned_len, .. } => {
-                fields.push(FieldDef { name: format!("{name}_len"), ty: Type::Long });
+            FieldShape::VarIntArray {
+                name, pinned_len, ..
+            } => {
+                fields.push(FieldDef {
+                    name: format!("{name}_len"),
+                    ty: Type::Long,
+                });
                 fields.push(FieldDef {
                     name: name.clone(),
                     ty: Type::Array(Box::new(Type::Long), (*pinned_len).max(1)),
@@ -349,7 +365,9 @@ fn bind_msg(shape: &MsgShape, scalar_base: u16, array_base: u16) -> MsgBinding {
                 s += 1;
                 slot += 1;
             }
-            FieldShape::VarIntArray { name, pinned_len, .. } => {
+            FieldShape::VarIntArray {
+                name, pinned_len, ..
+            } => {
                 bindings.push(FieldBinding {
                     slot_start: slot,
                     slot_len: 1,
@@ -428,7 +446,10 @@ fn gen_fields(
             FieldShape::Scalar { .. } => {
                 body.push(checked_call(
                     "xdr_int",
-                    vec![lv(var(xdrs_var)), addr_of(field(deref_var(msg_var), val_fid))],
+                    vec![
+                        lv(var(xdrs_var)),
+                        addr_of(field(deref_var(msg_var), val_fid)),
+                    ],
                 ));
             }
             FieldShape::VarIntArray { pinned_len, .. } => {
@@ -436,7 +457,10 @@ fn gen_fields(
                 // Length word through the generic chain.
                 body.push(checked_call(
                     "xdr_u_int",
-                    vec![lv(var(xdrs_var)), addr_of(field(deref_var(msg_var), len_fid))],
+                    vec![
+                        lv(var(xdrs_var)),
+                        addr_of(field(deref_var(msg_var), len_fid)),
+                    ],
                 ));
                 let elems = for_loop(
                     loop_var,
@@ -446,10 +470,7 @@ fn gen_fields(
                         "xdr_int",
                         vec![
                             lv(var(xdrs_var)),
-                            addr_of(index(
-                                field(deref_var(msg_var), val_fid),
-                                lv(var(loop_var)),
-                            )),
+                            addr_of(index(field(deref_var(msg_var), val_fid), lv(var(loop_var)))),
                         ],
                     )],
                 );
@@ -459,7 +480,10 @@ fn gen_fields(
                     // else branch preserves the general case by falling
                     // back.
                     body.push(if_else(
-                        eq(lv(field(deref_var(msg_var), len_fid)), c(*pinned_len as i64)),
+                        eq(
+                            lv(field(deref_var(msg_var), len_fid)),
+                            c(*pinned_len as i64),
+                        ),
                         vec![
                             assign(field(deref_var(msg_var), len_fid), c(*pinned_len as i64)),
                             elems,
@@ -481,10 +505,7 @@ fn gen_fields(
                         "xdr_int",
                         vec![
                             lv(var(xdrs_var)),
-                            addr_of(index(
-                                field(deref_var(msg_var), val_fid),
-                                lv(var(loop_var)),
-                            )),
+                            addr_of(index(field(deref_var(msg_var), val_fid), lv(var(loop_var)))),
                         ],
                     )],
                 ));
@@ -508,7 +529,10 @@ fn gen_client_encode(
     let argsp = fb.param("argsp", ptr(Type::Struct(arg_sid)));
     let i = fb.local("i", Type::Long);
     fb.returns(Type::Long);
-    let mut body = vec![checked_call("xdr_callmsg", vec![lv(var(xdrs)), lv(var(cmsg))])];
+    let mut body = vec![checked_call(
+        "xdr_callmsg",
+        vec![lv(var(xdrs)), lv(var(cmsg))],
+    )];
     gen_fields(&mut body, shape, argsp, i, xdrs, false);
     body.push(ret(Some(c(1))));
     program.add_func(fb.body(body));
@@ -555,7 +579,10 @@ fn gen_client_decode(
         checked_call("xdr_replymsg_words", vec![lv(var(xdrs)), lv(var(rmsg))]),
         // Validation stays dynamic (§3.4): soundness of the reply.
         if_then(
-            ne(lv(field(deref_var(rmsg), reply_fields::MTYPE)), c(MSG_REPLY)),
+            ne(
+                lv(field(deref_var(rmsg), reply_fields::MTYPE)),
+                c(MSG_REPLY),
+            ),
             vec![ret(Some(c(0)))],
         ),
         if_then(
@@ -794,7 +821,13 @@ pub fn specialize_with_report(
                 (call_fields::VERF_FLAVOR, 0),
                 (call_fields::VERF_LEN, 0),
             ] {
-                spec.set_slot_static(Place { obj: cmsg, slot: fid }, Value::Long(v));
+                spec.set_slot_static(
+                    Place {
+                        obj: cmsg,
+                        slot: fid,
+                    },
+                    Value::Long(v),
+                );
             }
             let argsp = spec.alloc_dynamic_struct(gs.arg_sid, "argsp");
             pin_lengths(&mut spec, argsp, &gs.arg_shape);
@@ -804,7 +837,10 @@ pub fn specialize_with_report(
                 vec![
                     SVal::S(Value::Ref(Place { obj: xdr, slot: 0 })),
                     SVal::S(Value::Ref(Place { obj: cmsg, slot: 0 })),
-                    SVal::S(Value::Ref(Place { obj: argsp, slot: 0 })),
+                    SVal::S(Value::Ref(Place {
+                        obj: argsp,
+                        slot: 0,
+                    })),
                 ],
             )
         }
@@ -833,7 +869,10 @@ pub fn specialize_with_report(
                 vec![
                     SVal::S(Value::Ref(Place { obj: xdr, slot: 0 })),
                     SVal::S(Value::Ref(Place { obj: cmsg, slot: 0 })),
-                    SVal::S(Value::Ref(Place { obj: argsp, slot: 0 })),
+                    SVal::S(Value::Ref(Place {
+                        obj: argsp,
+                        slot: 0,
+                    })),
                     inlen,
                 ],
             )
@@ -847,7 +886,13 @@ pub fn specialize_with_report(
                 (reply_fields::VERF_LEN, 0),
                 (reply_fields::ASTAT, 0),
             ] {
-                spec.set_slot_static(Place { obj: rmsg, slot: fid }, Value::Long(v));
+                spec.set_slot_static(
+                    Place {
+                        obj: rmsg,
+                        slot: fid,
+                    },
+                    Value::Long(v),
+                );
             }
             let resp = spec.alloc_dynamic_struct(gs.res_sid, "resp");
             pin_lengths(&mut spec, resp, &gs.res_shape);
@@ -877,11 +922,41 @@ fn alloc_xdr(
 ) -> specrpc_tempo::eval::ObjId {
     use xdr_fields::*;
     let xdr = spec.alloc_static_struct(xdr_sid);
-    spec.set_slot_static(Place { obj: xdr, slot: X_OP }, Value::Long(op));
-    spec.set_slot_static(Place { obj: xdr, slot: X_KIND }, Value::Long(sunlib::XDR_MEM));
-    spec.set_slot_static(Place { obj: xdr, slot: X_HANDY }, Value::Long(1 << 20));
-    spec.set_slot_static(Place { obj: xdr, slot: X_BASE }, Value::BufPtr(buf, 0));
-    spec.set_slot_static(Place { obj: xdr, slot: X_PRIVATE }, Value::BufPtr(buf, 0));
+    spec.set_slot_static(
+        Place {
+            obj: xdr,
+            slot: X_OP,
+        },
+        Value::Long(op),
+    );
+    spec.set_slot_static(
+        Place {
+            obj: xdr,
+            slot: X_KIND,
+        },
+        Value::Long(sunlib::XDR_MEM),
+    );
+    spec.set_slot_static(
+        Place {
+            obj: xdr,
+            slot: X_HANDY,
+        },
+        Value::Long(1 << 20),
+    );
+    spec.set_slot_static(
+        Place {
+            obj: xdr,
+            slot: X_BASE,
+        },
+        Value::BufPtr(buf, 0),
+    );
+    spec.set_slot_static(
+        Place {
+            obj: xdr,
+            slot: X_PRIVATE,
+        },
+        Value::BufPtr(buf, 0),
+    );
     xdr
 }
 
@@ -896,10 +971,7 @@ fn pin_lengths(spec: &mut Specializer<'_>, obj: specrpc_tempo::eval::ObjId, shap
         match f {
             FieldShape::Scalar { .. } => slot += 1,
             FieldShape::VarIntArray { pinned_len, .. } => {
-                spec.set_slot_static(
-                    Place { obj, slot },
-                    Value::Long(*pinned_len as i64),
-                );
+                spec.set_slot_static(Place { obj, slot }, Value::Long(*pinned_len as i64));
                 slot += 1 + (*pinned_len).max(1);
             }
             FieldShape::FixedIntArray { len, .. } => slot += (*len).max(1),

@@ -15,15 +15,21 @@ const PROC: u32 = 1;
 fn pair_shape() -> MsgShape {
     MsgShape {
         fields: vec![
-            FieldShape::Scalar { name: "int1".into() },
-            FieldShape::Scalar { name: "int2".into() },
+            FieldShape::Scalar {
+                name: "int1".into(),
+            },
+            FieldShape::Scalar {
+                name: "int2".into(),
+            },
         ],
     }
 }
 
 fn int_shape() -> MsgShape {
     MsgShape {
-        fields: vec![FieldShape::Scalar { name: "value".into() }],
+        fields: vec![FieldShape::Scalar {
+            name: "value".into(),
+        }],
     }
 }
 
@@ -44,10 +50,42 @@ fn generic_encode_request(gs: &GeneratedStubs, xid: u32, args: &StubArgs) -> Vec
     let buf = ev.heap.alloc_bytes(1 << 16);
     let xdr = ev.heap.alloc_struct(&gs.program, gs.ids.xdr_sid);
     use crate::sunlib::xdr_fields::*;
-    ev.heap.write_slot(Place { obj: xdr, slot: X_OP }, Value::Long(XDR_ENCODE)).unwrap();
-    ev.heap.write_slot(Place { obj: xdr, slot: X_KIND }, Value::Long(XDR_MEM)).unwrap();
-    ev.heap.write_slot(Place { obj: xdr, slot: X_HANDY }, Value::Long(1 << 16)).unwrap();
-    ev.heap.write_slot(Place { obj: xdr, slot: X_PRIVATE }, Value::BufPtr(buf, 0)).unwrap();
+    ev.heap
+        .write_slot(
+            Place {
+                obj: xdr,
+                slot: X_OP,
+            },
+            Value::Long(XDR_ENCODE),
+        )
+        .unwrap();
+    ev.heap
+        .write_slot(
+            Place {
+                obj: xdr,
+                slot: X_KIND,
+            },
+            Value::Long(XDR_MEM),
+        )
+        .unwrap();
+    ev.heap
+        .write_slot(
+            Place {
+                obj: xdr,
+                slot: X_HANDY,
+            },
+            Value::Long(1 << 16),
+        )
+        .unwrap();
+    ev.heap
+        .write_slot(
+            Place {
+                obj: xdr,
+                slot: X_PRIVATE,
+            },
+            Value::BufPtr(buf, 0),
+        )
+        .unwrap();
 
     let cmsg = ev.heap.alloc_struct(&gs.program, gs.ids.call_sid);
     let (p, v, pr) = gs.target;
@@ -59,7 +97,15 @@ fn generic_encode_request(gs: &GeneratedStubs, xid: u32, args: &StubArgs) -> Vec
         (call_fields::VERS, v as i64),
         (call_fields::PROC, pr as i64),
     ] {
-        ev.heap.write_slot(Place { obj: cmsg, slot: fid }, Value::Long(val)).unwrap();
+        ev.heap
+            .write_slot(
+                Place {
+                    obj: cmsg,
+                    slot: fid,
+                },
+                Value::Long(val),
+            )
+            .unwrap();
     }
 
     let argsp = ev.heap.alloc_struct(&gs.program, gs.arg_sid);
@@ -71,7 +117,10 @@ fn generic_encode_request(gs: &GeneratedStubs, xid: u32, args: &StubArgs) -> Vec
             vec![
                 Value::Ref(Place { obj: xdr, slot: 0 }),
                 Value::Ref(Place { obj: cmsg, slot: 0 }),
-                Value::Ref(Place { obj: argsp, slot: 0 }),
+                Value::Ref(Place {
+                    obj: argsp,
+                    slot: 0,
+                }),
             ],
         )
         .unwrap();
@@ -107,7 +156,13 @@ fn fill_msg_object(
                 slot += 1;
                 for (k, val) in args.arrays[a].iter().enumerate() {
                     ev.heap
-                        .write_slot(Place { obj, slot: slot + k }, Value::Long(*val as i64))
+                        .write_slot(
+                            Place {
+                                obj,
+                                slot: slot + k,
+                            },
+                            Value::Long(*val as i64),
+                        )
                         .unwrap();
                 }
                 slot += (*pinned_len).max(1);
@@ -116,7 +171,13 @@ fn fill_msg_object(
             FieldShape::FixedIntArray { len, .. } => {
                 for (k, val) in args.arrays[a].iter().enumerate() {
                     ev.heap
-                        .write_slot(Place { obj, slot: slot + k }, Value::Long(*val as i64))
+                        .write_slot(
+                            Place {
+                                obj,
+                                slot: slot + k,
+                            },
+                            Value::Long(*val as i64),
+                        )
                         .unwrap();
                 }
                 slot += (*len).max(1);

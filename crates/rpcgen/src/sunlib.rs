@@ -107,29 +107,65 @@ pub fn build() -> (Program, SunIds) {
     let xdr_sid = p.add_struct(StructDef {
         name: "XDR".into(),
         fields: vec![
-            FieldDef { name: "x_op".into(), ty: Type::Long },
-            FieldDef { name: "x_kind".into(), ty: Type::Long },
-            FieldDef { name: "x_handy".into(), ty: Type::Long },
-            FieldDef { name: "x_base".into(), ty: Type::BufPtr },
-            FieldDef { name: "x_private".into(), ty: Type::BufPtr },
+            FieldDef {
+                name: "x_op".into(),
+                ty: Type::Long,
+            },
+            FieldDef {
+                name: "x_kind".into(),
+                ty: Type::Long,
+            },
+            FieldDef {
+                name: "x_handy".into(),
+                ty: Type::Long,
+            },
+            FieldDef {
+                name: "x_base".into(),
+                ty: Type::BufPtr,
+            },
+            FieldDef {
+                name: "x_private".into(),
+                ty: Type::BufPtr,
+            },
         ],
     });
     let call_sid = p.add_struct(StructDef {
         name: "call_msg".into(),
         fields: [
-            "xid", "mtype", "rpcvers", "prog", "vers", "proc_num",
-            "cred_flavor", "cred_len", "verf_flavor", "verf_len",
+            "xid",
+            "mtype",
+            "rpcvers",
+            "prog",
+            "vers",
+            "proc_num",
+            "cred_flavor",
+            "cred_len",
+            "verf_flavor",
+            "verf_len",
         ]
         .iter()
-        .map(|n| FieldDef { name: (*n).into(), ty: Type::Long })
+        .map(|n| FieldDef {
+            name: (*n).into(),
+            ty: Type::Long,
+        })
         .collect(),
     });
     let reply_sid = p.add_struct(StructDef {
         name: "reply_msg".into(),
-        fields: ["xid", "mtype", "reply_stat", "verf_flavor", "verf_len", "accept_stat"]
-            .iter()
-            .map(|n| FieldDef { name: (*n).into(), ty: Type::Long })
-            .collect(),
+        fields: [
+            "xid",
+            "mtype",
+            "reply_stat",
+            "verf_flavor",
+            "verf_len",
+            "accept_stat",
+        ]
+        .iter()
+        .map(|n| FieldDef {
+            name: (*n).into(),
+            ty: Type::Long,
+        })
+        .collect(),
     });
 
     add_xdrmem_putlong(&mut p, xdr_sid);
@@ -144,7 +180,14 @@ pub fn build() -> (Program, SunIds) {
     add_xdr_replymsg_words(&mut p, xdr_sid, reply_sid);
 
     p.validate().expect("sunlib is well-formed");
-    (p, SunIds { xdr_sid, call_sid, reply_sid })
+    (
+        p,
+        SunIds {
+            xdr_sid,
+            call_sid,
+            reply_sid,
+        },
+    )
 }
 
 /// Figure 3: `xdrmem_putlong`.
@@ -220,7 +263,10 @@ fn add_xdr_putlong_dispatch(p: &mut Program, xdr_sid: usize) {
     let f = fb.body(vec![
         if_then(
             eq(lv(field(deref_var(xdrs), X_KIND)), c(XDR_MEM)),
-            vec![ret(Some(call("xdrmem_putlong", vec![lv(var(xdrs)), lv(var(lp))])))],
+            vec![ret(Some(call(
+                "xdrmem_putlong",
+                vec![lv(var(xdrs)), lv(var(lp))],
+            )))],
         ),
         ret(Some(c(0))),
     ]);
@@ -237,7 +283,10 @@ fn add_xdr_getlong_dispatch(p: &mut Program, xdr_sid: usize) {
     let f = fb.body(vec![
         if_then(
             eq(lv(field(deref_var(xdrs), X_KIND)), c(XDR_MEM)),
-            vec![ret(Some(call("xdrmem_getlong", vec![lv(var(xdrs)), lv(var(lp))])))],
+            vec![ret(Some(call(
+                "xdrmem_getlong",
+                vec![lv(var(xdrs)), lv(var(lp))],
+            )))],
         ),
         ret(Some(c(0))),
     ]);
@@ -254,11 +303,17 @@ fn add_xdr_long(p: &mut Program, xdr_sid: usize) {
     let f = fb.body(vec![
         if_then(
             eq(lv(field(deref_var(xdrs), X_OP)), c(XDR_ENCODE)),
-            vec![ret(Some(call("XDR_PUTLONG", vec![lv(var(xdrs)), lv(var(lp))])))],
+            vec![ret(Some(call(
+                "XDR_PUTLONG",
+                vec![lv(var(xdrs)), lv(var(lp))],
+            )))],
         ),
         if_then(
             eq(lv(field(deref_var(xdrs), X_OP)), c(XDR_DECODE)),
-            vec![ret(Some(call("XDR_GETLONG", vec![lv(var(xdrs)), lv(var(lp))])))],
+            vec![ret(Some(call(
+                "XDR_GETLONG",
+                vec![lv(var(xdrs)), lv(var(lp))],
+            )))],
         ),
         if_then(
             eq(lv(field(deref_var(xdrs), X_OP)), c(XDR_FREE)),
@@ -276,7 +331,10 @@ fn add_forwarder(p: &mut Program, name: &str, target: &str, xdr_sid: usize) {
     let xdrs = fb.param("xdrs", ptr(Type::Struct(xdr_sid)));
     let lp = fb.param("lp", ptr(Type::Long));
     fb.returns(Type::Long);
-    let f = fb.body(vec![ret(Some(call(target, vec![lv(var(xdrs)), lv(var(lp))])))]);
+    let f = fb.body(vec![ret(Some(call(
+        target,
+        vec![lv(var(xdrs)), lv(var(lp))],
+    )))]);
     p.add_func(f);
 }
 
@@ -340,15 +398,61 @@ mod tests {
     use super::*;
     use specrpc_tempo::eval::{Evaluator, Place, Value};
 
-    fn setup_xdr(ev: &mut Evaluator<'_>, prog: &Program, ids: SunIds, op: i64, bufsize: usize) -> (usize, usize) {
+    fn setup_xdr(
+        ev: &mut Evaluator<'_>,
+        prog: &Program,
+        ids: SunIds,
+        op: i64,
+        bufsize: usize,
+    ) -> (usize, usize) {
         let buf = ev.heap.alloc_bytes(bufsize);
         let xdr = ev.heap.alloc_struct(prog, ids.xdr_sid);
         use xdr_fields::*;
-        ev.heap.write_slot(Place { obj: xdr, slot: X_OP }, Value::Long(op)).unwrap();
-        ev.heap.write_slot(Place { obj: xdr, slot: X_KIND }, Value::Long(XDR_MEM)).unwrap();
-        ev.heap.write_slot(Place { obj: xdr, slot: X_HANDY }, Value::Long(bufsize as i64)).unwrap();
-        ev.heap.write_slot(Place { obj: xdr, slot: X_BASE }, Value::BufPtr(buf, 0)).unwrap();
-        ev.heap.write_slot(Place { obj: xdr, slot: X_PRIVATE }, Value::BufPtr(buf, 0)).unwrap();
+        ev.heap
+            .write_slot(
+                Place {
+                    obj: xdr,
+                    slot: X_OP,
+                },
+                Value::Long(op),
+            )
+            .unwrap();
+        ev.heap
+            .write_slot(
+                Place {
+                    obj: xdr,
+                    slot: X_KIND,
+                },
+                Value::Long(XDR_MEM),
+            )
+            .unwrap();
+        ev.heap
+            .write_slot(
+                Place {
+                    obj: xdr,
+                    slot: X_HANDY,
+                },
+                Value::Long(bufsize as i64),
+            )
+            .unwrap();
+        ev.heap
+            .write_slot(
+                Place {
+                    obj: xdr,
+                    slot: X_BASE,
+                },
+                Value::BufPtr(buf, 0),
+            )
+            .unwrap();
+        ev.heap
+            .write_slot(
+                Place {
+                    obj: xdr,
+                    slot: X_PRIVATE,
+                },
+                Value::BufPtr(buf, 0),
+            )
+            .unwrap();
         (xdr, buf)
     }
 
@@ -359,11 +463,16 @@ mod tests {
         let (xdr, buf) = setup_xdr(&mut ev, &prog, ids, XDR_ENCODE, 16);
         // A heap cell holding the value to encode.
         let cell = ev.heap.alloc_array(&prog, specrpc_tempo::ir::Type::Long, 1);
-        ev.heap.write_slot(Place { obj: cell, slot: 0 }, Value::Long(0x0102_0304)).unwrap();
+        ev.heap
+            .write_slot(Place { obj: cell, slot: 0 }, Value::Long(0x0102_0304))
+            .unwrap();
         let r = ev
             .call(
                 "xdr_long",
-                vec![Value::Ref(Place { obj: xdr, slot: 0 }), Value::Ref(Place { obj: cell, slot: 0 })],
+                vec![
+                    Value::Ref(Place { obj: xdr, slot: 0 }),
+                    Value::Ref(Place { obj: cell, slot: 0 }),
+                ],
             )
             .unwrap();
         assert_eq!(r, Value::Long(1));
@@ -381,10 +490,15 @@ mod tests {
         let mut ev = Evaluator::new(&prog);
         let (xdr, buf) = setup_xdr(&mut ev, &prog, ids, XDR_ENCODE, 16);
         let cell = ev.heap.alloc_array(&prog, specrpc_tempo::ir::Type::Long, 1);
-        ev.heap.write_slot(Place { obj: cell, slot: 0 }, Value::Long(-77)).unwrap();
+        ev.heap
+            .write_slot(Place { obj: cell, slot: 0 }, Value::Long(-77))
+            .unwrap();
         ev.call(
             "xdr_long",
-            vec![Value::Ref(Place { obj: xdr, slot: 0 }), Value::Ref(Place { obj: cell, slot: 0 })],
+            vec![
+                Value::Ref(Place { obj: xdr, slot: 0 }),
+                Value::Ref(Place { obj: cell, slot: 0 }),
+            ],
         )
         .unwrap();
         let wire = ev.heap.bytes(buf).unwrap().to_vec();
@@ -394,20 +508,66 @@ mod tests {
         let buf2 = ev2.heap.alloc_bytes_from(wire);
         let xdr2 = ev2.heap.alloc_struct(&prog, ids.xdr_sid);
         use xdr_fields::*;
-        ev2.heap.write_slot(Place { obj: xdr2, slot: X_OP }, Value::Long(XDR_DECODE)).unwrap();
-        ev2.heap.write_slot(Place { obj: xdr2, slot: X_KIND }, Value::Long(XDR_MEM)).unwrap();
-        ev2.heap.write_slot(Place { obj: xdr2, slot: X_HANDY }, Value::Long(16)).unwrap();
-        ev2.heap.write_slot(Place { obj: xdr2, slot: X_PRIVATE }, Value::BufPtr(buf2, 0)).unwrap();
-        let cell2 = ev2.heap.alloc_array(&prog, specrpc_tempo::ir::Type::Long, 1);
+        ev2.heap
+            .write_slot(
+                Place {
+                    obj: xdr2,
+                    slot: X_OP,
+                },
+                Value::Long(XDR_DECODE),
+            )
+            .unwrap();
+        ev2.heap
+            .write_slot(
+                Place {
+                    obj: xdr2,
+                    slot: X_KIND,
+                },
+                Value::Long(XDR_MEM),
+            )
+            .unwrap();
+        ev2.heap
+            .write_slot(
+                Place {
+                    obj: xdr2,
+                    slot: X_HANDY,
+                },
+                Value::Long(16),
+            )
+            .unwrap();
+        ev2.heap
+            .write_slot(
+                Place {
+                    obj: xdr2,
+                    slot: X_PRIVATE,
+                },
+                Value::BufPtr(buf2, 0),
+            )
+            .unwrap();
+        let cell2 = ev2
+            .heap
+            .alloc_array(&prog, specrpc_tempo::ir::Type::Long, 1);
         let r = ev2
             .call(
                 "xdr_long",
-                vec![Value::Ref(Place { obj: xdr2, slot: 0 }), Value::Ref(Place { obj: cell2, slot: 0 })],
+                vec![
+                    Value::Ref(Place { obj: xdr2, slot: 0 }),
+                    Value::Ref(Place {
+                        obj: cell2,
+                        slot: 0,
+                    }),
+                ],
             )
             .unwrap();
         assert_eq!(r, Value::Long(1));
         // Decoded value is sign-extended 32-bit; compare low 32 bits.
-        let got = ev2.heap.read_slot(Place { obj: cell2, slot: 0 }).unwrap();
+        let got = ev2
+            .heap
+            .read_slot(Place {
+                obj: cell2,
+                slot: 0,
+            })
+            .unwrap();
         match got {
             Value::Long(x) => assert_eq!(x as u32, (-77i32) as u32),
             other => panic!("{other:?}"),
@@ -423,7 +583,10 @@ mod tests {
         let r = ev
             .call(
                 "xdr_long",
-                vec![Value::Ref(Place { obj: xdr, slot: 0 }), Value::Ref(Place { obj: cell, slot: 0 })],
+                vec![
+                    Value::Ref(Place { obj: xdr, slot: 0 }),
+                    Value::Ref(Place { obj: cell, slot: 0 }),
+                ],
             )
             .unwrap();
         assert_eq!(r, Value::Long(0), "overflow propagates FALSE");
@@ -438,7 +601,10 @@ mod tests {
         let r = ev
             .call(
                 "xdr_long",
-                vec![Value::Ref(Place { obj: xdr, slot: 0 }), Value::Ref(Place { obj: cell, slot: 0 })],
+                vec![
+                    Value::Ref(Place { obj: xdr, slot: 0 }),
+                    Value::Ref(Place { obj: cell, slot: 0 }),
+                ],
             )
             .unwrap();
         assert_eq!(r, Value::Long(1));
@@ -450,13 +616,28 @@ mod tests {
         let mut ev = Evaluator::new(&prog);
         let (xdr, buf) = setup_xdr(&mut ev, &prog, ids, XDR_ENCODE, 64);
         let cmsg = ev.heap.alloc_struct(&prog, ids.call_sid);
-        for (fid, val) in [(call_fields::XID, 0x42), (call_fields::RPCVERS, 2), (call_fields::PROG, 99)] {
-            ev.heap.write_slot(Place { obj: cmsg, slot: fid }, Value::Long(val)).unwrap();
+        for (fid, val) in [
+            (call_fields::XID, 0x42),
+            (call_fields::RPCVERS, 2),
+            (call_fields::PROG, 99),
+        ] {
+            ev.heap
+                .write_slot(
+                    Place {
+                        obj: cmsg,
+                        slot: fid,
+                    },
+                    Value::Long(val),
+                )
+                .unwrap();
         }
         let r = ev
             .call(
                 "xdr_callmsg",
-                vec![Value::Ref(Place { obj: xdr, slot: 0 }), Value::Ref(Place { obj: cmsg, slot: 0 })],
+                vec![
+                    Value::Ref(Place { obj: xdr, slot: 0 }),
+                    Value::Ref(Place { obj: cmsg, slot: 0 }),
+                ],
             )
             .unwrap();
         assert_eq!(r, Value::Long(1));
@@ -465,7 +646,13 @@ mod tests {
         assert_eq!(&bytes[8..12], &[0, 0, 0, 2]);
         // All ten words written; cursor at 40.
         use xdr_fields::*;
-        let cursor = ev.heap.read_slot(Place { obj: xdr, slot: X_PRIVATE }).unwrap();
+        let cursor = ev
+            .heap
+            .read_slot(Place {
+                obj: xdr,
+                slot: X_PRIVATE,
+            })
+            .unwrap();
         assert_eq!(cursor, Value::BufPtr(buf, 40));
     }
 
@@ -473,7 +660,10 @@ mod tests {
     fn library_validates_and_prints() {
         let (prog, _) = build();
         let text = specrpc_tempo::ir::pretty::program_str(&prog);
-        assert!(text.contains("long xdr_long(struct XDR* xdrs, long* lp)"), "{text}");
+        assert!(
+            text.contains("long xdr_long(struct XDR* xdrs, long* lp)"),
+            "{text}"
+        );
         assert!(text.contains("xdrs->x_handy"), "{text}");
     }
 }

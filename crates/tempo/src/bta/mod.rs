@@ -421,7 +421,11 @@ impl<'p> Bta<'p> {
                 let (lv_, le) = self.abs_expr(func, frame, lo, instances, depth)?;
                 let (hv, he) = self.abs_expr(func, frame, hi, instances, depth)?;
                 let bound_bt = lv_.bt().join(hv.bt());
-                frame[*var] = if bound_bt == Bt::S { AVal::Stat } else { AVal::Dyn };
+                frame[*var] = if bound_bt == Bt::S {
+                    AVal::Stat
+                } else {
+                    AVal::Dyn
+                };
                 let mut body_ann = Vec::new();
                 for _ in 0..64 {
                     let frame_in = frame.clone();
@@ -499,9 +503,7 @@ impl<'p> Bta<'p> {
                 let v = match loc {
                     ALoc::Slots(objs, _) => AVal::Ptr(objs),
                     ALoc::Buf => AVal::BufPtr,
-                    ALoc::Var(_) => {
-                        return Err(BtaError::Unsupported("address of local".into()))
-                    }
+                    ALoc::Var(_) => return Err(BtaError::Unsupported("address of local".into())),
                     ALoc::Dynamic => AVal::Dyn,
                 };
                 (v, vec![])
@@ -510,7 +512,11 @@ impl<'p> Bta<'p> {
                 let (iv, ie) = self.abs_expr(func, frame, inner, instances, depth)?;
                 let v = match op {
                     UnOp::Neg | UnOp::Not | UnOp::Htonl | UnOp::Ntohl => {
-                        if iv.bt() == Bt::S { AVal::Stat } else { AVal::Dyn }
+                        if iv.bt() == Bt::S {
+                            AVal::Stat
+                        } else {
+                            AVal::Dyn
+                        }
                     }
                 };
                 (v, vec![ie])
@@ -587,7 +593,10 @@ impl<'p> Bta<'p> {
                             .ok_or_else(|| {
                                 BtaError::Unsupported("field of non-struct object".into())
                             })?;
-                        Ok(ALoc::Slots(objs, base + afield_offset(self.prog, sid, *fid)))
+                        Ok(ALoc::Slots(
+                            objs,
+                            base + afield_offset(self.prog, sid, *fid),
+                        ))
                     }
                     other => Ok(other),
                 }
@@ -603,7 +612,9 @@ impl<'p> Bta<'p> {
                 match pv {
                     AVal::BufPtr => Ok(ALoc::Buf),
                     AVal::Dyn => Ok(ALoc::Dynamic),
-                    _ => Err(BtaError::Unsupported("buf access through non-bufptr".into())),
+                    _ => Err(BtaError::Unsupported(
+                        "buf access through non-bufptr".into(),
+                    )),
                 }
             }
         }
@@ -615,10 +626,7 @@ impl<'p> Bta<'p> {
             ALoc::Slots(objs, slot) => {
                 let mut v: Option<AVal> = None;
                 for o in objs {
-                    let sv = self.heap[*o]
-                        .get(*slot)
-                        .cloned()
-                        .unwrap_or(AVal::Dyn);
+                    let sv = self.heap[*o].get(*slot).cloned().unwrap_or(AVal::Dyn);
                     v = Some(match v {
                         None => sv,
                         Some(prev) => prev.join(&sv),

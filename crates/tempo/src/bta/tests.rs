@@ -15,16 +15,31 @@ fn mini_program() -> Program {
     let xdr_sid = p.add_struct(StructDef {
         name: "XDR".into(),
         fields: vec![
-            FieldDef { name: "x_op".into(), ty: Type::Long },
-            FieldDef { name: "x_handy".into(), ty: Type::Long },
-            FieldDef { name: "x_private".into(), ty: Type::BufPtr },
+            FieldDef {
+                name: "x_op".into(),
+                ty: Type::Long,
+            },
+            FieldDef {
+                name: "x_handy".into(),
+                ty: Type::Long,
+            },
+            FieldDef {
+                name: "x_private".into(),
+                ty: Type::BufPtr,
+            },
         ],
     });
     let pair_sid = p.add_struct(StructDef {
         name: "PAIR".into(),
         fields: vec![
-            FieldDef { name: "int1".into(), ty: Type::Long },
-            FieldDef { name: "int2".into(), ty: Type::Long },
+            FieldDef {
+                name: "int1".into(),
+                ty: Type::Long,
+            },
+            FieldDef {
+                name: "int2".into(),
+                ty: Type::Long,
+            },
         ],
     });
 
@@ -60,7 +75,10 @@ fn mini_program() -> Program {
     let xl = fb.body(vec![
         if_then(
             eq(lv(field(deref_var(xdrs), X_OP)), c(0)),
-            vec![ret(Some(call("xdrmem_putlong", vec![lv(var(xdrs)), lv(var(lp))])))],
+            vec![ret(Some(call(
+                "xdrmem_putlong",
+                vec![lv(var(xdrs)), lv(var(lp))],
+            )))],
         ),
         ret(Some(c(0))),
     ]);
@@ -72,11 +90,17 @@ fn mini_program() -> Program {
     fb.returns(Type::Long);
     let xp = fb.body(vec![
         if_then(
-            not(call("xdr_long", vec![lv(var(xdrs)), addr_of(field(deref_var(objp), 0))])),
+            not(call(
+                "xdr_long",
+                vec![lv(var(xdrs)), addr_of(field(deref_var(objp), 0))],
+            )),
             vec![ret(Some(c(0)))],
         ),
         if_then(
-            not(call("xdr_long", vec![lv(var(xdrs)), addr_of(field(deref_var(objp), 1))])),
+            not(call(
+                "xdr_long",
+                vec![lv(var(xdrs)), addr_of(field(deref_var(objp), 1))],
+            )),
             vec![ret(Some(c(0)))],
         ),
         ret(Some(c(1))),
@@ -158,8 +182,14 @@ fn context_sensitivity_produces_distinct_instances() {
     let dp = fb.param("dp", ptr(Type::Struct(pair_sid)));
     fb.returns(Type::Long);
     let f = fb.body(vec![
-        expr_stmt(call("xdr_long", vec![lv(var(xdrs)), addr_of(field(deref_var(sp), 0))])),
-        expr_stmt(call("xdr_long", vec![lv(var(xdrs)), addr_of(field(deref_var(dp), 0))])),
+        expr_stmt(call(
+            "xdr_long",
+            vec![lv(var(xdrs)), addr_of(field(deref_var(sp), 0))],
+        )),
+        expr_stmt(call(
+            "xdr_long",
+            vec![lv(var(xdrs)), addr_of(field(deref_var(dp), 0))],
+        )),
         ret(Some(c(1))),
     ]);
     p.add_func(f);
@@ -226,7 +256,12 @@ fn loop_fixpoint_promotes_accumulator() {
     fb.returns(Type::Long);
     let f = fb.body(vec![
         assign(var(acc), c(0)),
-        for_loop(i, c(0), c(4), vec![assign(var(acc), add(lv(var(acc)), lv(var(d))))]),
+        for_loop(
+            i,
+            c(0),
+            c(4),
+            vec![assign(var(acc), add(lv(var(acc)), lv(var(d))))],
+        ),
         ret(Some(lv(var(acc)))),
     ]);
     p.add_func(f);
@@ -242,7 +277,10 @@ fn render_marks_dynamic_statements() {
     let (p, a) = analyzed();
     let text = a.render(&p, false);
     // The buffer store renders inside dynamic marks.
-    assert!(text.contains("«*(long*)(xdrs->x_private) = htonl(*lp);»"), "{text}");
+    assert!(
+        text.contains("«*(long*)(xdrs->x_private) = htonl(*lp);»"),
+        "{text}"
+    );
     // The dispatch renders unmarked (static).
     assert!(text.contains("if ((xdrs->x_op == 0))"), "{text}");
     assert!(!text.contains("«if ((xdrs->x_op == 0))"), "{text}");
@@ -274,11 +312,7 @@ fn bta_agrees_with_specializer_on_the_mini_chain() {
 
     let p = mini_program();
     let (_, a) = analyzed();
-    let bta_dynamic: usize = a
-        .instances
-        .iter()
-        .map(|i| i.stmt_counts().1)
-        .sum();
+    let bta_dynamic: usize = a.instances.iter().map(|i| i.stmt_counts().1).sum();
 
     let xdr_sid = p.struct_named("XDR").unwrap();
     let pair_sid = p.struct_named("PAIR").unwrap();
@@ -286,15 +320,39 @@ fn bta_agrees_with_specializer_on_the_mini_chain() {
     let buf = spec.alloc_buffer("buf");
     let pair_obj = spec.alloc_dynamic_struct(pair_sid, "objp");
     let xdr_obj = spec.alloc_static_struct(xdr_sid);
-    spec.set_slot_static(Place { obj: xdr_obj, slot: X_OP }, Value::Long(0));
-    spec.set_slot_static(Place { obj: xdr_obj, slot: X_HANDY }, Value::Long(64));
-    spec.set_slot_static(Place { obj: xdr_obj, slot: X_PRIVATE }, Value::BufPtr(buf, 0));
+    spec.set_slot_static(
+        Place {
+            obj: xdr_obj,
+            slot: X_OP,
+        },
+        Value::Long(0),
+    );
+    spec.set_slot_static(
+        Place {
+            obj: xdr_obj,
+            slot: X_HANDY,
+        },
+        Value::Long(64),
+    );
+    spec.set_slot_static(
+        Place {
+            obj: xdr_obj,
+            slot: X_PRIVATE,
+        },
+        Value::BufPtr(buf, 0),
+    );
     let residual = spec
         .specialize(
             "xdr_pair",
             vec![
-                SVal::S(Value::Ref(Place { obj: xdr_obj, slot: 0 })),
-                SVal::S(Value::Ref(Place { obj: pair_obj, slot: 0 })),
+                SVal::S(Value::Ref(Place {
+                    obj: xdr_obj,
+                    slot: 0,
+                })),
+                SVal::S(Value::Ref(Place {
+                    obj: pair_obj,
+                    slot: 0,
+                })),
             ],
             "spec",
         )

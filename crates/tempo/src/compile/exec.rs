@@ -261,7 +261,8 @@ pub fn run_decode(
                     .ok_or(StubError::BadArraySlot(arr))?;
                 let i = (idx + idx_acc) as usize;
                 let len = a.len();
-                *a.get_mut(i).ok_or(StubError::BadElem { arr, idx: i, len })? = v;
+                *a.get_mut(i)
+                    .ok_or(StubError::BadElem { arr, idx: i, len })? = v;
                 count_op(counts, 4);
             }
             StubOp::SetScalarImm { slot, val } => {
@@ -339,7 +340,10 @@ fn put4(buf: &mut [u8], off: usize, bytes: [u8; 4]) -> Result<(), StubError> {
             dst.copy_from_slice(&bytes);
             Ok(())
         }
-        None => Err(StubError::BufTooSmall { off, len: buf.len() }),
+        None => Err(StubError::BufTooSmall {
+            off,
+            len: buf.len(),
+        }),
     }
 }
 
@@ -351,7 +355,10 @@ fn get4(buf: &[u8], off: usize) -> Result<[u8; 4], StubError> {
             b.copy_from_slice(src);
             Ok(b)
         }
-        None => Err(StubError::BufTooSmall { off, len: buf.len() }),
+        None => Err(StubError::BufTooSmall {
+            off,
+            len: buf.len(),
+        }),
     }
 }
 

@@ -464,12 +464,13 @@ impl<'a> Compiler<'a> {
                     let off = self.pending_len.remove(&arr).ok_or_else(|| {
                         CompileError::Unsupported("length guard without decoded length".into())
                     })?;
-                    ops.push(StubOp::CheckWord { off, want: want as i32 });
+                    ops.push(StubOp::CheckWord {
+                        off,
+                        want: want as i32,
+                    });
                 }
                 PathRef::Elem(..) => {
-                    return Err(CompileError::Unsupported(
-                        "guard on array element".into(),
-                    ))
+                    return Err(CompileError::Unsupported("guard on array element".into()))
                 }
             }
             if then_is_fast {

@@ -12,7 +12,10 @@ fn args_prog() -> (Program, usize) {
     let sid = p.add_struct(StructDef {
         name: "ARGS".into(),
         fields: vec![
-            FieldDef { name: "len".into(), ty: Type::Long },
+            FieldDef {
+                name: "len".into(),
+                ty: Type::Long,
+            },
             FieldDef {
                 name: "arr".into(),
                 ty: Type::Array(Box::new(Type::Long), 4),
@@ -57,10 +60,7 @@ fn encode_residual(p: &Program, sid: usize) -> Function {
     let buf = fb.param("buf", Type::BufPtr);
     let argsp = fb.param("argsp", ptr(Type::Struct(sid)));
     let _inlen = fb.param("inlen", Type::Long);
-    let mut body = vec![assign(
-        buf32(lv(var(buf))),
-        c((4u32).swap_bytes() as i64),
-    )];
+    let mut body = vec![assign(buf32(lv(var(buf))), c((4u32).swap_bytes() as i64))];
     for i in 0..4 {
         body.push(assign(
             buf32(add(lv(var(buf)), c(4 + 4 * i))),
@@ -85,8 +85,22 @@ fn compile_encode_shapes() {
             word: (4u32).swap_bytes()
         }
     );
-    assert_eq!(stub.ops[1], StubOp::PutElem { off: 4, arr: 0, idx: 0 });
-    assert_eq!(stub.ops[4], StubOp::PutElem { off: 16, arr: 0, idx: 3 });
+    assert_eq!(
+        stub.ops[1],
+        StubOp::PutElem {
+            off: 4,
+            arr: 0,
+            idx: 0
+        }
+    );
+    assert_eq!(
+        stub.ops[4],
+        StubOp::PutElem {
+            off: 16,
+            arr: 0,
+            idx: 3
+        }
+    );
     assert_eq!(stub.ops[5], StubOp::Ret { val: 1 });
     assert_eq!(stub.wire_len, 20);
 }
@@ -100,7 +114,13 @@ fn encode_produces_wire_bytes() {
     let mut buf = vec![0u8; 32];
     let mut counts = OpCounts::new();
     let out = run_encode(&stub, &mut buf, &args, &mut counts).unwrap();
-    assert_eq!(out, Outcome::Done { ret: 1, wire_len: 20 });
+    assert_eq!(
+        out,
+        Outcome::Done {
+            ret: 1,
+            wire_len: 20
+        }
+    );
     assert_eq!(&buf[0..4], &[0, 0, 0, 4], "length word");
     assert_eq!(&buf[4..8], &[1, 2, 3, 4], "big-endian element");
     assert_eq!(&buf[16..20], &[0xff, 0xff, 0xff, 0xff]);
@@ -154,7 +174,14 @@ fn compile_decode_with_guards() {
     assert_eq!(stub.ops[0], StubOp::LenGuard { expected: 20 });
     assert_eq!(stub.ops[1], StubOp::CheckWord { off: 0, want: 4 });
     assert_eq!(stub.ops[2], StubOp::SetArrLen { arr: 0, len: 4 });
-    assert!(matches!(stub.ops[3], StubOp::GetElem { off: 4, arr: 0, idx: 0 }));
+    assert!(matches!(
+        stub.ops[3],
+        StubOp::GetElem {
+            off: 4,
+            arr: 0,
+            idx: 0
+        }
+    ));
 }
 
 #[test]
@@ -172,7 +199,13 @@ fn decode_roundtrips_encode() {
 
     let mut out = StubArgs::new(vec![], vec![vec![]]);
     let r = run_decode(&dec_stub, &buf, &mut out, 20, &mut counts).unwrap();
-    assert_eq!(r, Outcome::Done { ret: 1, wire_len: 20 });
+    assert_eq!(
+        r,
+        Outcome::Done {
+            ret: 1,
+            wire_len: 20
+        }
+    );
     assert_eq!(out.arrays[0], vec![10, -20, 30, -40]);
 }
 
@@ -221,7 +254,10 @@ fn big_prog(n: usize) -> (Program, usize) {
     let sid = p.add_struct(StructDef {
         name: "BIG".into(),
         fields: vec![
-            FieldDef { name: "len".into(), ty: Type::Long },
+            FieldDef {
+                name: "len".into(),
+                ty: Type::Long,
+            },
             FieldDef {
                 name: "arr".into(),
                 ty: Type::Array(Box::new(Type::Long), n),
@@ -236,8 +272,16 @@ fn big_conv(n: usize) -> StubConventions {
         params: vec![
             ParamBinding::Buffer,
             ParamBinding::Struct(vec![
-                FieldBinding { slot_start: 0, slot_len: 1, target: FieldTarget::ArrayLen(0) },
-                FieldBinding { slot_start: 1, slot_len: n, target: FieldTarget::Array(0) },
+                FieldBinding {
+                    slot_start: 0,
+                    slot_len: 1,
+                    target: FieldTarget::ArrayLen(0),
+                },
+                FieldBinding {
+                    slot_start: 1,
+                    slot_len: n,
+                    target: FieldTarget::Array(0),
+                },
             ]),
         ],
     }
@@ -256,7 +300,12 @@ fn rechunk_rolls_runs_into_loops() {
     assert_eq!(chunked.ops.len(), 250 + 3, "{}", chunked.ops.len());
     assert!(matches!(
         chunked.ops[0],
-        StubOp::Loop { times: 4, body: 250, off_stride: 1000, idx_stride: 250 }
+        StubOp::Loop {
+            times: 4,
+            body: 250,
+            off_stride: 1000,
+            idx_stride: 250
+        }
     ));
     assert_eq!(chunked.wire_len, full.wire_len);
 }

@@ -158,13 +158,10 @@ impl Heap {
     /// Read a value slot.
     pub fn read_slot(&self, p: Place) -> Result<Value, EvalError> {
         match &self.objects.get(p.obj).ok_or(EvalError::DanglingRef)?.data {
-            ObjectData::Slots(slots) => slots
-                .get(p.slot)
-                .copied()
-                .ok_or(EvalError::OutOfBounds {
-                    index: p.slot,
-                    len: slots.len(),
-                }),
+            ObjectData::Slots(slots) => slots.get(p.slot).copied().ok_or(EvalError::OutOfBounds {
+                index: p.slot,
+                len: slots.len(),
+            }),
             ObjectData::Bytes(_) => Err(EvalError::TypeMismatch {
                 wanted: "slots",
                 got: "bytes",
@@ -182,10 +179,9 @@ impl Heap {
         {
             ObjectData::Slots(slots) => {
                 let len = slots.len();
-                *slots.get_mut(p.slot).ok_or(EvalError::OutOfBounds {
-                    index: p.slot,
-                    len,
-                })? = v;
+                *slots
+                    .get_mut(p.slot)
+                    .ok_or(EvalError::OutOfBounds { index: p.slot, len })? = v;
                 Ok(())
             }
             ObjectData::Bytes(_) => Err(EvalError::TypeMismatch {
@@ -219,7 +215,12 @@ impl Heap {
 
     /// Write a 32-bit little-endian word into a byte buffer.
     pub fn buf_store32(&mut self, obj: ObjId, off: usize, v: u32) -> Result<(), EvalError> {
-        match &mut self.objects.get_mut(obj).ok_or(EvalError::DanglingRef)?.data {
+        match &mut self
+            .objects
+            .get_mut(obj)
+            .ok_or(EvalError::DanglingRef)?
+            .data
+        {
             ObjectData::Bytes(b) => {
                 if off + 4 > b.len() {
                     return Err(EvalError::OutOfBounds {
@@ -726,7 +727,7 @@ enum Loc {
 mod tests {
     use super::*;
     use crate::ir::builder::*;
-    use crate::ir::{FieldDef, Function, Program, StructDef, Type};
+    use crate::ir::{FieldDef, Program, StructDef, Type};
 
     fn arith_prog() -> Program {
         let mut p = Program::new();
@@ -763,8 +764,14 @@ mod tests {
         let sid = p.add_struct(StructDef {
             name: "S".into(),
             fields: vec![
-                FieldDef { name: "a".into(), ty: Type::Long },
-                FieldDef { name: "b".into(), ty: Type::Long },
+                FieldDef {
+                    name: "a".into(),
+                    ty: Type::Long,
+                },
+                FieldDef {
+                    name: "b".into(),
+                    ty: Type::Long,
+                },
             ],
         });
         let mut fb = FunctionBuilder::new("swap_sum");
@@ -782,13 +789,20 @@ mod tests {
 
         let mut ev = Evaluator::new(&p);
         let obj = ev.heap.alloc_struct(&p, sid);
-        ev.heap.write_slot(Place { obj, slot: 0 }, Value::Long(3)).unwrap();
-        ev.heap.write_slot(Place { obj, slot: 1 }, Value::Long(4)).unwrap();
+        ev.heap
+            .write_slot(Place { obj, slot: 0 }, Value::Long(3))
+            .unwrap();
+        ev.heap
+            .write_slot(Place { obj, slot: 1 }, Value::Long(4))
+            .unwrap();
         let r = ev
             .call("swap_sum", vec![Value::Ref(Place { obj, slot: 0 })])
             .unwrap();
         assert_eq!(r, Value::Long(7));
-        assert_eq!(ev.heap.read_slot(Place { obj, slot: 0 }).unwrap(), Value::Long(7));
+        assert_eq!(
+            ev.heap.read_slot(Place { obj, slot: 0 }).unwrap(),
+            Value::Long(7)
+        );
     }
 
     #[test]
@@ -802,11 +816,8 @@ mod tests {
 
         let mut ev = Evaluator::new(&p);
         let buf = ev.heap.alloc_bytes(8);
-        ev.call(
-            "put",
-            vec![Value::BufPtr(buf, 0), Value::Long(0x0102_0304)],
-        )
-        .unwrap();
+        ev.call("put", vec![Value::BufPtr(buf, 0), Value::Long(0x0102_0304)])
+            .unwrap();
         assert_eq!(&ev.heap.bytes(buf).unwrap()[..4], &[1, 2, 3, 4]);
     }
 
@@ -844,9 +855,15 @@ mod tests {
 
         let mut ev = Evaluator::new(&p);
         let obj = ev.heap.alloc_struct(&p, sid);
-        ev.heap.write_slot(Place { obj, slot: 1 }, Value::Long(10)).unwrap();
-        ev.call("f", vec![Value::Ref(Place { obj, slot: 0 })]).unwrap();
-        assert_eq!(ev.heap.read_slot(Place { obj, slot: 1 }).unwrap(), Value::Long(11));
+        ev.heap
+            .write_slot(Place { obj, slot: 1 }, Value::Long(10))
+            .unwrap();
+        ev.call("f", vec![Value::Ref(Place { obj, slot: 0 })])
+            .unwrap();
+        assert_eq!(
+            ev.heap.read_slot(Place { obj, slot: 1 }).unwrap(),
+            Value::Long(11)
+        );
     }
 
     #[test]

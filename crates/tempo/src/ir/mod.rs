@@ -366,7 +366,9 @@ impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrError::UnknownFunction(n) => write!(f, "call to unknown function `{n}`"),
-            IrError::BadVar { func, var } => write!(f, "function `{func}` uses undeclared var {var}"),
+            IrError::BadVar { func, var } => {
+                write!(f, "function `{func}` uses undeclared var {var}")
+            }
             IrError::BadStruct(s) => write!(f, "reference to unknown struct id {s}"),
             IrError::BadArity { func, got, want } => {
                 write!(f, "call to `{func}` with {got} args, expected {want}")
@@ -502,9 +504,18 @@ mod tests {
         let sid = p.add_struct(StructDef {
             name: "pair".into(),
             fields: vec![
-                FieldDef { name: "a".into(), ty: Type::Long },
-                FieldDef { name: "b".into(), ty: Type::Long },
-                FieldDef { name: "arr".into(), ty: Type::Array(Box::new(Type::Long), 4) },
+                FieldDef {
+                    name: "a".into(),
+                    ty: Type::Long,
+                },
+                FieldDef {
+                    name: "b".into(),
+                    ty: Type::Long,
+                },
+                FieldDef {
+                    name: "arr".into(),
+                    ty: Type::Array(Box::new(Type::Long), 4),
+                },
             ],
         });
         let f = Function {
@@ -585,7 +596,11 @@ mod tests {
         p.add_func(f);
         assert!(matches!(
             p.validate().unwrap_err(),
-            IrError::BadArity { got: 0, want: 1, .. }
+            IrError::BadArity {
+                got: 0,
+                want: 1,
+                ..
+            }
         ));
     }
 
@@ -600,7 +615,10 @@ mod tests {
             body: vec![assign(var(3), c(1))],
         };
         p.add_func(f);
-        assert!(matches!(p.validate().unwrap_err(), IrError::BadVar { var: 3, .. }));
+        assert!(matches!(
+            p.validate().unwrap_err(),
+            IrError::BadVar { var: 3, .. }
+        ));
     }
 
     #[test]

@@ -215,8 +215,14 @@ mod tests {
         let sid = p.add_struct(StructDef {
             name: "XDR".into(),
             fields: vec![
-                FieldDef { name: "x_op".into(), ty: Type::Long },
-                FieldDef { name: "x_handy".into(), ty: Type::Long },
+                FieldDef {
+                    name: "x_op".into(),
+                    ty: Type::Long,
+                },
+                FieldDef {
+                    name: "x_handy".into(),
+                    ty: Type::Long,
+                },
             ],
         });
         let mut fb = FunctionBuilder::new("probe");

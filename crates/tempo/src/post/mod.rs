@@ -144,9 +144,7 @@ pub fn fold_expr(e: Expr) -> Expr {
             fold_lvalue(&mut lv);
             Expr::AddrOf(lv)
         }
-        Expr::Call(name, args) => {
-            Expr::Call(name, args.into_iter().map(fold_expr).collect())
-        }
+        Expr::Call(name, args) => Expr::Call(name, args.into_iter().map(fold_expr).collect()),
         other => other,
     }
 }
@@ -221,9 +219,9 @@ pub fn remove_dead_locals(f: &mut Function) -> bool {
     let nparams = f.params.len();
     let mut keep = vec![true; f.var_count()];
     let mut any = false;
-    for v in nparams..f.var_count() {
+    for (v, k) in keep.iter_mut().enumerate().skip(nparams) {
         if !read.contains(&v) && !var_is_loop_var(&f.body, v) {
-            keep[v] = false;
+            *k = false;
             any = true;
         }
     }

@@ -84,7 +84,10 @@ impl fmt::Display for SpecError {
             SpecError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
             SpecError::Eval(e) => write!(f, "static evaluation failed: {e}"),
             SpecError::UnnamedObject(o) => {
-                write!(f, "residual code refers to object #{o} which has no residual name")
+                write!(
+                    f,
+                    "residual code refers to object #{o} which has no residual name"
+                )
             }
             SpecError::DynamicReturnInUnfold(func) => {
                 write!(f, "dynamic return inside unfolded call to `{func}`")
@@ -184,7 +187,9 @@ impl<'p> Specializer<'p> {
     pub fn alloc_static_struct(&mut self, sid: usize) -> ObjId {
         let obj = self.heap.alloc_struct(self.prog, sid);
         let n = self.prog.structs[sid].flat_size(self.prog);
-        self.masks.push(DynMask { slots: vec![false; n] });
+        self.masks.push(DynMask {
+            slots: vec![false; n],
+        });
         obj
     }
 
@@ -194,7 +199,9 @@ impl<'p> Specializer<'p> {
     pub fn alloc_dynamic_struct(&mut self, sid: usize, name: &str) -> ObjId {
         let obj = self.heap.alloc_struct(self.prog, sid);
         let n = self.prog.structs[sid].flat_size(self.prog);
-        self.masks.push(DynMask { slots: vec![true; n] });
+        self.masks.push(DynMask {
+            slots: vec![true; n],
+        });
         let pid = self.add_residual_param(name, Type::Ptr(Box::new(Type::Struct(sid))));
         self.names.insert(obj, pid);
         obj
@@ -466,7 +473,10 @@ impl<'p> Specializer<'p> {
                     (SLoc::Slot(p), SVal::D(ie)) => {
                         // Static base, dynamic index: residual indexing of
                         // the named object (a residual loop body).
-                        let base_lv = self.residual_lv(Place { obj: p.obj, slot: p.slot })?;
+                        let base_lv = self.residual_lv(Place {
+                            obj: p.obj,
+                            slot: p.slot,
+                        })?;
                         // p.slot must be the array start for the path to be
                         // meaningful; residual_lv reconstructs it.
                         let arr_lv = match base_lv {
@@ -475,10 +485,16 @@ impl<'p> Specializer<'p> {
                             LValue::Index(arr, _) => *arr,
                             other => other,
                         };
-                        Ok((SLoc::DynL(LValue::Index(Box::new(arr_lv), Box::new(ie))), elem))
+                        Ok((
+                            SLoc::DynL(LValue::Index(Box::new(arr_lv), Box::new(ie))),
+                            elem,
+                        ))
                     }
                     (SLoc::DynL(dl), SVal::S(i)) => Ok((
-                        SLoc::DynL(LValue::Index(Box::new(dl), Box::new(Expr::Const(i.as_long()?)))),
+                        SLoc::DynL(LValue::Index(
+                            Box::new(dl),
+                            Box::new(Expr::Const(i.as_long()?)),
+                        )),
                         elem,
                     )),
                     (SLoc::DynL(dl), SVal::D(ie)) => {
@@ -597,8 +613,7 @@ impl<'p> Specializer<'p> {
                 match va {
                     SVal::S(v) => {
                         let t = v.truthy()?;
-                        let short = matches!(op, BinOp::And) && !t
-                            || matches!(op, BinOp::Or) && t;
+                        let short = matches!(op, BinOp::And) && !t || matches!(op, BinOp::Or) && t;
                         if short {
                             return Ok(SVal::S(Value::Long(t as i64)));
                         }
@@ -954,18 +969,18 @@ impl<'p> Specializer<'p> {
     fn merge_states(
         &mut self,
         func: &Function,
-        frame: &mut Vec<SVal>,
+        frame: &mut [SVal],
         a: &State,
         b: &State,
         a_block: &mut Vec<Stmt>,
         b_block: &mut Vec<Stmt>,
     ) -> Result<(), SpecError> {
         // Frame variables.
-        for v in 0..frame.len() {
+        for (v, fv) in frame.iter_mut().enumerate() {
             let va = &a.frame[v];
             let vb = &b.frame[v];
             if va == vb {
-                frame[v] = va.clone();
+                *fv = va.clone();
                 continue;
             }
             // Diverged: dynamize through a fresh residual local assigned in
@@ -981,7 +996,7 @@ impl<'p> Specializer<'p> {
             };
             a_block.push(Stmt::Assign(LValue::Var(rv), ea));
             b_block.push(Stmt::Assign(LValue::Var(rv), eb));
-            frame[v] = SVal::D(Expr::Lv(Box::new(LValue::Var(rv))));
+            *fv = SVal::D(Expr::Lv(Box::new(LValue::Var(rv))));
         }
         // Heap slots.
         let heap_a = a.heap.clone();
@@ -1010,8 +1025,11 @@ impl<'p> Specializer<'p> {
                     // Dynamic on one side only: the dynamic side has already
                     // written the residual location; the static side must
                     // materialize its value.
-                    let (static_heap, static_block) =
-                        if da { (&heap_b, &mut *b_block) } else { (&heap_a, &mut *a_block) };
+                    let (static_heap, static_block) = if da {
+                        (&heap_b, &mut *b_block)
+                    } else {
+                        (&heap_a, &mut *a_block)
+                    };
                     let xv = static_heap.read_slot(p)?;
                     let rlv = self.residual_lv(p)?;
                     static_block.push(Stmt::Assign(rlv, self.lift(&xv)?));

@@ -107,7 +107,10 @@ fn mini_rpc_program() -> Program {
                 vec![lv(var(xdrs)), lv(var(lp))],
             )))],
         ),
-        if_then(eq(lv(field(deref_var(xdrs), X_OP)), c(2)), vec![ret(Some(c(1)))]),
+        if_then(
+            eq(lv(field(deref_var(xdrs), X_OP)), c(2)),
+            vec![ret(Some(c(1)))],
+        ),
         ret(Some(c(0))),
     ]);
     p.add_func(xdr_long);
@@ -152,22 +155,50 @@ fn setup_pair(prog: &Program, op: i64, handy: i64) -> PairSetup<'_> {
     let buf = spec.alloc_buffer("buf");
     let pair_obj = spec.alloc_dynamic_struct(pair_sid, "objp");
     let xdr_obj = spec.alloc_static_struct(xdr_sid);
-    spec.set_slot_static(Place { obj: xdr_obj, slot: X_OP }, Value::Long(op));
-    spec.set_slot_static(Place { obj: xdr_obj, slot: X_HANDY }, Value::Long(handy));
     spec.set_slot_static(
-        Place { obj: xdr_obj, slot: X_PRIVATE },
+        Place {
+            obj: xdr_obj,
+            slot: X_OP,
+        },
+        Value::Long(op),
+    );
+    spec.set_slot_static(
+        Place {
+            obj: xdr_obj,
+            slot: X_HANDY,
+        },
+        Value::Long(handy),
+    );
+    spec.set_slot_static(
+        Place {
+            obj: xdr_obj,
+            slot: X_PRIVATE,
+        },
         Value::BufPtr(buf, 0),
     );
-    PairSetup { spec, xdr_obj, pair_obj }
+    PairSetup {
+        spec,
+        xdr_obj,
+        pair_obj,
+    }
 }
 
 fn specialize_pair(prog: &Program, op: i64, handy: i64) -> (Function, SpecReport) {
     let mut s = setup_pair(prog, op, handy);
     let args = vec![
-        SVal::S(Value::Ref(Place { obj: s.xdr_obj, slot: 0 })),
-        SVal::S(Value::Ref(Place { obj: s.pair_obj, slot: 0 })),
+        SVal::S(Value::Ref(Place {
+            obj: s.xdr_obj,
+            slot: 0,
+        })),
+        SVal::S(Value::Ref(Place {
+            obj: s.pair_obj,
+            slot: 0,
+        })),
     ];
-    let f = s.spec.specialize("xdr_pair", args, "xdr_pair_spec").unwrap();
+    let f = s
+        .spec
+        .specialize("xdr_pair", args, "xdr_pair_spec")
+        .unwrap();
     (f, s.spec.report().clone())
 }
 
@@ -178,7 +209,10 @@ fn encode_residual_is_straight_line_figure5() {
     let printed = pretty::function_str(&prog, &f);
 
     // No dispatch, no overflow check, no status test survives (Figure 5).
-    assert!(!printed.contains("if"), "residual has a conditional:\n{printed}");
+    assert!(
+        !printed.contains("if"),
+        "residual has a conditional:\n{printed}"
+    );
     assert!(printed.contains("htonl(objp->int1)"), "{printed}");
     assert!(printed.contains("htonl(objp->int2)"), "{printed}");
     // Two buffer stores at offsets 0 and 4, then the static return.
@@ -188,7 +222,11 @@ fn encode_residual_is_straight_line_figure5() {
 
     // The three If folds per xdr_long chain plus xdr_pair's status tests.
     assert!(report.static_ifs_folded >= 6, "{report:?}");
-    assert_eq!(report.folds_in("xdrmem_putlong"), 2, "overflow checks folded");
+    assert_eq!(
+        report.folds_in("xdrmem_putlong"),
+        2,
+        "overflow checks folded"
+    );
     assert!(report.folds_in("xdr_pair") >= 2, "status tests folded");
     assert_eq!(report.calls_unfolded, 4, "two xdr_long + two putlong");
     assert_eq!(report.dynamic_ifs_residualized, 0);
@@ -206,13 +244,51 @@ fn encode_residual_equivalent_to_generic() {
     let buf = ev.heap.alloc_bytes(64);
     let xdr = ev.heap.alloc_struct(&prog, xdr_sid);
     let pair = ev.heap.alloc_struct(&prog, pair_sid);
-    ev.heap.write_slot(Place { obj: xdr, slot: X_OP }, Value::Long(OP_ENCODE)).unwrap();
-    ev.heap.write_slot(Place { obj: xdr, slot: X_HANDY }, Value::Long(64)).unwrap();
     ev.heap
-        .write_slot(Place { obj: xdr, slot: X_PRIVATE }, Value::BufPtr(buf, 0))
+        .write_slot(
+            Place {
+                obj: xdr,
+                slot: X_OP,
+            },
+            Value::Long(OP_ENCODE),
+        )
         .unwrap();
-    ev.heap.write_slot(Place { obj: pair, slot: INT1 }, Value::Long(0x0102_0304)).unwrap();
-    ev.heap.write_slot(Place { obj: pair, slot: INT2 }, Value::Long(-7)).unwrap();
+    ev.heap
+        .write_slot(
+            Place {
+                obj: xdr,
+                slot: X_HANDY,
+            },
+            Value::Long(64),
+        )
+        .unwrap();
+    ev.heap
+        .write_slot(
+            Place {
+                obj: xdr,
+                slot: X_PRIVATE,
+            },
+            Value::BufPtr(buf, 0),
+        )
+        .unwrap();
+    ev.heap
+        .write_slot(
+            Place {
+                obj: pair,
+                slot: INT1,
+            },
+            Value::Long(0x0102_0304),
+        )
+        .unwrap();
+    ev.heap
+        .write_slot(
+            Place {
+                obj: pair,
+                slot: INT2,
+            },
+            Value::Long(-7),
+        )
+        .unwrap();
     let r = ev
         .call(
             "xdr_pair",
@@ -232,12 +308,34 @@ fn encode_residual_equivalent_to_generic() {
     let mut ev2 = Evaluator::new(&prog2);
     let buf2 = ev2.heap.alloc_bytes(64);
     let pair2 = ev2.heap.alloc_struct(&prog2, pair_sid);
-    ev2.heap.write_slot(Place { obj: pair2, slot: INT1 }, Value::Long(0x0102_0304)).unwrap();
-    ev2.heap.write_slot(Place { obj: pair2, slot: INT2 }, Value::Long(-7)).unwrap();
+    ev2.heap
+        .write_slot(
+            Place {
+                obj: pair2,
+                slot: INT1,
+            },
+            Value::Long(0x0102_0304),
+        )
+        .unwrap();
+    ev2.heap
+        .write_slot(
+            Place {
+                obj: pair2,
+                slot: INT2,
+            },
+            Value::Long(-7),
+        )
+        .unwrap();
     let r2 = ev2
         .call(
             "xdr_pair_spec",
-            vec![Value::BufPtr(buf2, 0), Value::Ref(Place { obj: pair2, slot: 0 })],
+            vec![
+                Value::BufPtr(buf2, 0),
+                Value::Ref(Place {
+                    obj: pair2,
+                    slot: 0,
+                }),
+            ],
         )
         .unwrap();
     assert_eq!(r2, Value::Long(1));
@@ -250,8 +348,14 @@ fn decode_residual_reads_buffer() {
     let prog = mini_rpc_program();
     let (f, _) = specialize_pair(&prog, OP_DECODE, 64);
     let printed = pretty::function_str(&prog, &f);
-    assert!(printed.contains("objp->int1 = ntohl(*(long*)(buf));"), "{printed}");
-    assert!(printed.contains("objp->int2 = ntohl(*(long*)((buf + 4)));"), "{printed}");
+    assert!(
+        printed.contains("objp->int1 = ntohl(*(long*)(buf));"),
+        "{printed}"
+    );
+    assert!(
+        printed.contains("objp->int2 = ntohl(*(long*)((buf + 4)));"),
+        "{printed}"
+    );
     assert!(!printed.contains("if"), "{printed}");
 }
 
@@ -308,11 +412,7 @@ fn static_return_with_dynamic_side_effects() {
     let buf = spec.alloc_buffer("buf");
     let val = spec.dynamic_scalar_param("v", Type::Long);
     let residual = spec
-        .specialize(
-            "f",
-            vec![SVal::S(Value::BufPtr(buf, 0)), val],
-            "f_spec",
-        )
+        .specialize("f", vec![SVal::S(Value::BufPtr(buf, 0)), val], "f_spec")
         .unwrap();
     let printed = pretty::function_str(&p, &residual);
     assert!(!printed.contains("if"), "status test must fold:\n{printed}");
@@ -330,19 +430,17 @@ fn inlen_guard_restatizes_in_then_branch() {
     let bp = fb.param("bp", Type::BufPtr);
     let inlen = fb.param("inlen", Type::Long);
     fb.returns(Type::Long);
-    let f = fb.body(vec![
-        if_else(
-            eq(lv(var(inlen)), c(8)),
-            vec![
-                assign(var(inlen), c(8)),
-                // A store whose offset depends on inlen: static in the
-                // guarded branch.
-                assign(buf32(add(lv(var(bp)), sub(lv(var(inlen)), c(8)))), c(5)),
-                ret(Some(c(1))),
-            ],
-            vec![ret(Some(c(0)))],
-        ),
-    ]);
+    let f = fb.body(vec![if_else(
+        eq(lv(var(inlen)), c(8)),
+        vec![
+            assign(var(inlen), c(8)),
+            // A store whose offset depends on inlen: static in the
+            // guarded branch.
+            assign(buf32(add(lv(var(bp)), sub(lv(var(inlen)), c(8)))), c(5)),
+            ret(Some(c(1))),
+        ],
+        vec![ret(Some(c(0)))],
+    )]);
     p.add_func(f);
     p.validate().unwrap();
 
@@ -350,7 +448,11 @@ fn inlen_guard_restatizes_in_then_branch() {
     let buf = spec.alloc_buffer("buf");
     let inlen_arg = spec.dynamic_scalar_param("inlen", Type::Long);
     let residual = spec
-        .specialize("decode", vec![SVal::S(Value::BufPtr(buf, 0)), inlen_arg], "decode_spec")
+        .specialize(
+            "decode",
+            vec![SVal::S(Value::BufPtr(buf, 0)), inlen_arg],
+            "decode_spec",
+        )
         .unwrap();
     let printed = pretty::function_str(&p, &residual);
     // The guard itself stays dynamic…
@@ -420,7 +522,11 @@ fn loop_with_static_bounds_unrolls_fully() {
     let buf = spec.alloc_buffer("buf");
     let v_arg = spec.dynamic_scalar_param("v", Type::Long);
     let residual = spec
-        .specialize("fill", vec![SVal::S(Value::BufPtr(buf, 0)), v_arg], "fill_spec")
+        .specialize(
+            "fill",
+            vec![SVal::S(Value::BufPtr(buf, 0)), v_arg],
+            "fill_spec",
+        )
         .unwrap();
     assert_eq!(residual.stmt_count(), 3, "fully unrolled");
     assert_eq!(spec.report().loop_iters_unrolled, 3);
@@ -447,7 +553,11 @@ fn dynamic_bound_loop_residualizes() {
     let buf = spec.alloc_buffer("buf");
     let n_arg = spec.dynamic_scalar_param("n", Type::Long);
     let residual = spec
-        .specialize("fill", vec![SVal::S(Value::BufPtr(buf, 0)), n_arg], "fill_spec")
+        .specialize(
+            "fill",
+            vec![SVal::S(Value::BufPtr(buf, 0)), n_arg],
+            "fill_spec",
+        )
         .unwrap();
     assert!(matches!(residual.body[0], Stmt::For { .. }));
     assert_eq!(spec.report().dynamic_loops_residualized, 1);
@@ -468,7 +578,11 @@ fn unnamed_dynamic_access_is_an_error() {
     let obj = spec.alloc_static_struct(sid);
     spec.set_slot_dynamic(Place { obj, slot: 0 });
     let err = spec
-        .specialize("f", vec![SVal::S(Value::Ref(Place { obj, slot: 0 }))], "f_spec")
+        .specialize(
+            "f",
+            vec![SVal::S(Value::Ref(Place { obj, slot: 0 }))],
+            "f_spec",
+        )
         .unwrap_err();
     assert_eq!(err, SpecError::UnnamedObject(obj));
 }
@@ -514,7 +628,10 @@ fn static_while_executes() {
         .unwrap();
     // Two stores plus the materialized static return.
     assert_eq!(residual.stmt_count(), 3);
-    assert!(matches!(residual.body.last().unwrap(), Stmt::Return(Some(Expr::Const(2)))));
+    assert!(matches!(
+        residual.body.last().unwrap(),
+        Stmt::Return(Some(Expr::Const(2)))
+    ));
 }
 
 #[test]
@@ -563,7 +680,10 @@ fn context_sensitivity_static_and_dynamic_call_sites() {
     // (the procedure id) and once with dynamic data: the first call's
     // store becomes a constant, the second stays dynamic.
     let mut p = Program::new();
-    let sid = p.add_struct(test_struct("CTX", &[("proc_id", Type::Long), ("arg", Type::Long)]));
+    let sid = p.add_struct(test_struct(
+        "CTX",
+        &[("proc_id", Type::Long), ("arg", Type::Long)],
+    ));
     let mut fb = FunctionBuilder::new("h");
     let bp = fb.param("bp", Type::BufPtr);
     let lp = fb.param("lp", ptr(Type::Long));
@@ -573,7 +693,10 @@ fn context_sensitivity_static_and_dynamic_call_sites() {
     let cp = fb.param("cp", ptr(Type::Struct(sid)));
     let bp = fb.param("bp", Type::BufPtr);
     let f = fb.body(vec![
-        expr_stmt(call("h", vec![lv(var(bp)), addr_of(field(deref_var(cp), 0))])),
+        expr_stmt(call(
+            "h",
+            vec![lv(var(bp)), addr_of(field(deref_var(cp), 0))],
+        )),
         expr_stmt(call(
             "h",
             vec![add(lv(var(bp)), c(4)), addr_of(field(deref_var(cp), 1))],

@@ -247,13 +247,17 @@ pub fn xdr_pointer<T: Default>(
     }
 }
 
+/// A union arm's body filter: the same shape as every other XDR filter,
+/// specialized to the union's body type.
+pub type ArmProc<'a, T> = &'a mut dyn FnMut(&mut dyn XdrStream, &mut T) -> XdrResult;
+
 /// One arm of a discriminated union: the discriminant value and the filter
 /// that handles the arm's body.
 pub struct UnionArm<'a, T> {
     /// Discriminant value selecting this arm.
     pub value: i32,
     /// Filter for the arm body.
-    pub proc_: &'a mut dyn FnMut(&mut dyn XdrStream, &mut T) -> XdrResult,
+    pub proc_: ArmProc<'a, T>,
 }
 
 /// Discriminated union (`xdr_union`): encode/decode the discriminant, then
@@ -267,7 +271,7 @@ pub fn xdr_union<T>(
     discriminant: &mut i32,
     body: &mut T,
     arms: &mut [UnionArm<'_, T>],
-    default_arm: Option<&mut dyn FnMut(&mut dyn XdrStream, &mut T) -> XdrResult>,
+    default_arm: Option<ArmProc<'_, T>>,
 ) -> XdrResult {
     let c = xdrs.counts_mut();
     c.layer_calls += 1;
@@ -353,13 +357,19 @@ mod tests {
     fn string_rejects_interior_nul() {
         let mut e = XdrMem::encoder(16);
         let mut s = String::from("a\0b");
-        assert_eq!(xdr_string(&mut e, &mut s, 16).unwrap_err(), XdrError::BadString);
+        assert_eq!(
+            xdr_string(&mut e, &mut s, 16).unwrap_err(),
+            XdrError::BadString
+        );
 
         // And on decode: length 1, payload NUL.
         let wire = [0, 0, 0, 1, 0, 0, 0, 0];
         let mut d = XdrMem::decoder(&wire);
         let mut out = String::new();
-        assert_eq!(xdr_string(&mut d, &mut out, 16).unwrap_err(), XdrError::BadString);
+        assert_eq!(
+            xdr_string(&mut d, &mut out, 16).unwrap_err(),
+            XdrError::BadString
+        );
     }
 
     #[test]
@@ -456,8 +466,14 @@ mod tests {
             xdr_long(x, &mut twice)
         };
         let mut arms = [
-            UnionArm { value: 1, proc_: &mut enc_double_it },
-            UnionArm { value: 2, proc_: &mut enc_long },
+            UnionArm {
+                value: 1,
+                proc_: &mut enc_double_it,
+            },
+            UnionArm {
+                value: 2,
+                proc_: &mut enc_long,
+            },
         ];
         xdr_union(&mut e, &mut disc, &mut body, &mut arms, None).unwrap();
         assert_eq!(e.bytes(), &[0, 0, 0, 2, 0, 0, 0, 55]);
@@ -477,7 +493,14 @@ mod tests {
         let mut e2 = XdrMem::encoder(16);
         let mut void_arm = |_x: &mut dyn XdrStream, _b: &mut i32| Ok(());
         let mut arms2: [UnionArm<'_, i32>; 0] = [];
-        xdr_union(&mut e2, &mut disc, &mut body, &mut arms2, Some(&mut void_arm)).unwrap();
+        xdr_union(
+            &mut e2,
+            &mut disc,
+            &mut body,
+            &mut arms2,
+            Some(&mut void_arm),
+        )
+        .unwrap();
         assert_eq!(e2.getpos(), 4);
     }
 

@@ -8,14 +8,22 @@ pub const BYTES_PER_XDR_UNIT: usize = 4;
 
 /// Round `len` up to the next multiple of [`BYTES_PER_XDR_UNIT`].
 ///
-/// This is the `RNDUP` macro of the original implementation.
+/// This is the `RNDUP` macro of the original implementation. Unlike the C
+/// macro, it saturates instead of wrapping for `len` within 3 of
+/// `usize::MAX` — a hostile length word must never round *down* and defeat
+/// a downstream bounds check.
 pub const fn rndup(len: usize) -> usize {
-    (len + BYTES_PER_XDR_UNIT - 1) & !(BYTES_PER_XDR_UNIT - 1)
+    match len.checked_add(BYTES_PER_XDR_UNIT - 1) {
+        Some(n) => n & !(BYTES_PER_XDR_UNIT - 1),
+        None => usize::MAX,
+    }
 }
 
 /// Number of zero padding bytes needed after `len` bytes of opaque data.
 pub const fn pad_len(len: usize) -> usize {
-    rndup(len) - len
+    // Computed directly from the remainder (not `rndup(len) - len`) so it
+    // stays correct even where `rndup` saturates.
+    (BYTES_PER_XDR_UNIT - len % BYTES_PER_XDR_UNIT) % BYTES_PER_XDR_UNIT
 }
 
 /// Encoded size in bytes of a fixed-length opaque of `len` bytes.
@@ -26,13 +34,15 @@ pub const fn opaque_size(len: usize) -> usize {
 /// Encoded size in bytes of a counted (variable-length) opaque/string of
 /// `len` bytes: a 4-byte length word plus the padded payload.
 pub const fn counted_opaque_size(len: usize) -> usize {
-    BYTES_PER_XDR_UNIT + rndup(len)
+    rndup(len).saturating_add(BYTES_PER_XDR_UNIT)
 }
 
 /// Encoded size in bytes of a counted array of `n` elements, each of
-/// encoded size `elem_size`.
+/// encoded size `elem_size`. Saturates on overflow (a saturated size can
+/// never pass an `x_handy` buffer check, so hostile counts fail closed).
 pub const fn counted_array_size(n: usize, elem_size: usize) -> usize {
-    BYTES_PER_XDR_UNIT + n * elem_size
+    n.saturating_mul(elem_size)
+        .saturating_add(BYTES_PER_XDR_UNIT)
 }
 
 #[cfg(test)]
@@ -63,5 +73,19 @@ mod tests {
         assert_eq!(counted_opaque_size(1), 8);
         assert_eq!(counted_opaque_size(4), 8);
         assert_eq!(counted_array_size(20, 4), 84);
+    }
+
+    #[test]
+    fn hostile_lengths_saturate_instead_of_wrapping() {
+        // A wire length word near usize::MAX must not round down to a
+        // small value and slip past a buffer check.
+        assert_eq!(rndup(usize::MAX), usize::MAX);
+        assert_eq!(rndup(usize::MAX - 1), usize::MAX);
+        assert_eq!(rndup(usize::MAX - 3), usize::MAX - 3);
+        assert_eq!(pad_len(usize::MAX), 1);
+        assert_eq!(pad_len(usize::MAX - 3), 0);
+        assert_eq!(counted_opaque_size(usize::MAX), usize::MAX);
+        assert_eq!(counted_array_size(usize::MAX, 4), usize::MAX);
+        assert_eq!(counted_array_size(1 << 40, 1 << 40), usize::MAX);
     }
 }

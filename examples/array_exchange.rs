@@ -41,7 +41,7 @@ fn main() {
     }
 
     println!("\n(virtual time with IPX/SunOS client CPU weights; the full tables come from");
-    println!(" `cargo run -p specrpc-bench --bin paper-tables`)\n");
+    println!(" `cargo run -p specrpc-bench --bin paper_tables`)\n");
 
     // Interoperability: a client specialized for 100-element arrays
     // talking to the same server with a 64-element array falls back to
@@ -49,7 +49,9 @@ fn main() {
     println!("-- guard fallback (§6.2): mismatched sizes stay correct --");
     let mut bench = EchoBench::new(100, None, 7).expect("deploy");
     let small = workload(64);
-    let out = bench.round_trip(Mode::Generic, &small).expect("fallback call");
+    let out = bench
+        .round_trip(Mode::Generic, &small)
+        .expect("fallback call");
     assert_eq!(out, small);
     println!(
         "  64-element call against 100-element stubs: served generically \
@@ -57,7 +59,9 @@ fn main() {
         bench.registry.borrow().raw_fallbacks
     );
     let exact = workload(100);
-    let out = bench.round_trip(Mode::Specialized, &exact).expect("fast call");
+    let out = bench
+        .round_trip(Mode::Specialized, &exact)
+        .expect("fast call");
     assert_eq!(out, exact);
     println!(
         "  100-element call: fast path (server raw dispatches: {})",

@@ -27,13 +27,16 @@ const PROC_READ: u32 = 6;
 const PROC_WRITE: u32 = 8;
 const NFS_PORT: u16 = 2049;
 
+/// The in-memory "filesystem": file handle -> (name, contents).
+type FileTable = Rc<RefCell<HashMap<u32, (String, Vec<u8>)>>>;
+
 fn main() {
     println!("== NFS-like service over the Sun RPC substrate ==\n");
     let net = Network::new(NetworkConfig::lan(), 99);
 
     // 1. Portmapper up, service registered.
     pmap::start_portmapper(&net);
-    let files: Rc<RefCell<HashMap<u32, (String, Vec<u8>)>>> = Rc::new(RefCell::new(
+    let files: FileTable = Rc::new(RefCell::new(
         [
             (1u32, ("README".to_string(), b"specialized RPC".to_vec())),
             (2, ("paper.ps".to_string(), vec![0x25, 0x21])),
@@ -112,13 +115,18 @@ fn main() {
     pmap::pmap_set(
         &net,
         5900,
-        Mapping { prog: NFS_PROG, vers: NFS_VERS, prot: IPPROTO_TCP, port: NFS_PORT as u32 },
+        Mapping {
+            prog: NFS_PROG,
+            vers: NFS_VERS,
+            prot: IPPROTO_TCP,
+            port: NFS_PORT as u32,
+        },
     )
     .expect("pmap_set");
 
     // 2. Client: discover the port, mount-less lookup/read/write.
-    let port = pmap::pmap_getport(&net, 5901, NFS_PROG, NFS_VERS, IPPROTO_TCP)
-        .expect("portmapper lookup");
+    let port =
+        pmap::pmap_getport(&net, 5901, NFS_PROG, NFS_VERS, IPPROTO_TCP).expect("portmapper lookup");
     println!("portmapper: nfs at tcp port {port}");
     let mut clnt = ClntTcp::create(&net, port, NFS_PROG, NFS_VERS).expect("connect");
 
@@ -177,7 +185,10 @@ fn main() {
         &mut |x| xdr_bytes(x, &mut reread, 8192),
     )
     .expect("READ");
-    println!("READ(fh {handle}) -> {:?}", String::from_utf8_lossy(&reread));
+    println!(
+        "READ(fh {handle}) -> {:?}",
+        String::from_utf8_lossy(&reread)
+    );
     assert!(String::from_utf8_lossy(&reread).contains("specialization"));
     println!("\n(variable-length data rides the generic path; fixed-shape");
     println!(" procedures are the ones worth specializing, as in the paper)");

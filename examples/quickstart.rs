@@ -66,7 +66,9 @@ fn main() {
     println!("  rmin(&arg)");
     println!("    clnt_call -> clntudp_call");
     println!("      XDR_PUTLONG(&proc) -> xdrmem_putlong -> htonl");
-    println!("      xdr_pair -> xdr_int -> xdr_long -> XDR_PUTLONG -> xdrmem_putlong -> htonl  (x2)");
+    println!(
+        "      xdr_pair -> xdr_int -> xdr_long -> XDR_PUTLONG -> xdrmem_putlong -> htonl  (x2)"
+    );
     let mut generic = ClntUdp::create(&net, 5001, PORT, 0x2000_0100, 1);
     let mut result = 0i32;
     generic

@@ -56,7 +56,11 @@ fn main() {
 
     // ---- 3. Compiled stub ----
     let compiled = stubgen::specialize_stub(&gs, StubKind::ClientEncode, None).expect("compile");
-    println!("\n-- compiled stub ({} ops, wire {} bytes) --\n", compiled.program.len(), compiled.wire_len);
+    println!(
+        "\n-- compiled stub ({} ops, wire {} bytes) --\n",
+        compiled.program.len(),
+        compiled.wire_len
+    );
     for (i, op) in compiled.program.ops.iter().enumerate() {
         println!("  {i:>3}: {op:?}");
     }

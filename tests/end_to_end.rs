@@ -2,7 +2,7 @@
 //! → RPC over the simulated network — under normal and faulty conditions.
 
 use specrpc::echo::{workload, EchoBench, Mode};
-use specrpc::fast::{FastClient, FastHandler, FastServer, PathUsed};
+use specrpc::fast::{FastClient, FastHandler, FastServer};
 use specrpc::pipeline::ProcPipeline;
 use specrpc_netsim::net::{Network, NetworkConfig};
 use specrpc_netsim::{FaultConfig, SimTime};
@@ -19,7 +19,9 @@ fn echo_round_trips_match_across_modes_and_sizes() {
         let mut bench = EchoBench::new(n, None, n as u64).expect("deploy");
         let data = workload(n);
         let g = bench.round_trip(Mode::Generic, &data).expect("generic");
-        let s = bench.round_trip(Mode::Specialized, &data).expect("specialized");
+        let s = bench
+            .round_trip(Mode::Specialized, &data)
+            .expect("specialized");
         assert_eq!(g, data, "n={n}");
         assert_eq!(s, data, "n={n}");
         assert_eq!(bench.fast.fast_calls, 1, "n={n}: fast path used");
@@ -37,7 +39,11 @@ fn specialized_client_survives_lossy_network() {
             .expect("pipeline"),
     );
     let net = Network::new(
-        NetworkConfig::lan().with_faults(FaultConfig { loss: 0.3, duplicate: 0.15, reorder: 0.2 }),
+        NetworkConfig::lan().with_faults(FaultConfig {
+            loss: 0.3,
+            duplicate: 0.15,
+            reorder: 0.2,
+        }),
         20_260_612,
     );
     let mut reg = SvcRegistry::new();
@@ -54,7 +60,9 @@ fn specialized_client_survives_lossy_network() {
     let data = workload(n);
     for round in 0..25 {
         let args = fast.args(vec![], vec![data.clone()]);
-        let (out, _) = fast.call(&args).unwrap_or_else(|e| panic!("round {round}: {e}"));
+        let (out, _) = fast
+            .call(&args)
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
         assert_eq!(out.arrays[0], data, "round {round}");
     }
     assert!(
@@ -93,7 +101,13 @@ fn garbled_reply_falls_back_not_crashes() {
             let xid = args.scalars[0];
             let reply_args = StubArgs::new(vec![xid], vec![args.arrays[0].clone()]);
             let mut reply = vec![0u8; p2.server_encode.wire_len];
-            run_encode(&p2.server_encode.program, &mut reply, &reply_args, &mut counts).ok()?;
+            run_encode(
+                &p2.server_encode.program,
+                &mut reply,
+                &reply_args,
+                &mut counts,
+            )
+            .ok()?;
             reply[23] = 5; // accept_stat = SYSTEM_ERR
             Some((reply, SimTime::from_micros(20)))
         }),
@@ -117,12 +131,16 @@ fn mixed_fleet_interoperates() {
     let fast_out = bench.round_trip(Mode::Specialized, &exact).expect("fast");
     assert_eq!(fast_out, exact);
 
-    let gen_out = bench.round_trip(Mode::Generic, &exact).expect("generic same size");
+    let gen_out = bench
+        .round_trip(Mode::Generic, &exact)
+        .expect("generic same size");
     assert_eq!(gen_out, exact);
 
     for other in [1usize, 99, 101, 500] {
         let data = workload(other);
-        let out = bench.round_trip(Mode::Generic, &data).expect("generic other size");
+        let out = bench
+            .round_trip(Mode::Generic, &data)
+            .expect("generic other size");
         assert_eq!(out, data, "size {other}");
     }
     let reg = bench.registry.borrow();

@@ -39,10 +39,28 @@ fn service_discovery_then_call_over_udp_and_tcp() {
     let reg = sum_registry();
     serve_udp(&net, 901, reg.clone(), None);
     serve_tcp(&net, 902, reg, None);
-    pmap::pmap_set(&net, 6000, Mapping { prog: PROG, vers: 1, prot: IPPROTO_UDP, port: 901 })
-        .expect("set udp");
-    pmap::pmap_set(&net, 6000, Mapping { prog: PROG, vers: 1, prot: IPPROTO_TCP, port: 902 })
-        .expect("set tcp");
+    pmap::pmap_set(
+        &net,
+        6000,
+        Mapping {
+            prog: PROG,
+            vers: 1,
+            prot: IPPROTO_UDP,
+            port: 901,
+        },
+    )
+    .expect("set udp");
+    pmap::pmap_set(
+        &net,
+        6000,
+        Mapping {
+            prog: PROG,
+            vers: 1,
+            prot: IPPROTO_TCP,
+            port: 902,
+        },
+    )
+    .expect("set tcp");
 
     // UDP client via discovered port.
     let port = pmap::pmap_getport(&net, 6001, PROG, 1, IPPROTO_UDP).expect("getport udp");
@@ -135,10 +153,18 @@ fn pmap_full_lifecycle() {
     assert!(pmap::pmap_set(
         &net,
         6100,
-        Mapping { prog: PROG, vers: 1, prot: IPPROTO_UDP, port: 901 }
+        Mapping {
+            prog: PROG,
+            vers: 1,
+            prot: IPPROTO_UDP,
+            port: 901
+        }
     )
     .unwrap());
-    assert_eq!(pmap::pmap_getport(&net, 6101, PROG, 1, IPPROTO_UDP).unwrap(), 901);
+    assert_eq!(
+        pmap::pmap_getport(&net, 6101, PROG, 1, IPPROTO_UDP).unwrap(),
+        901
+    );
     assert!(pmap::pmap_unset(&net, 6102, PROG, 1).unwrap());
     assert!(matches!(
         pmap::pmap_getport(&net, 6103, PROG, 1, IPPROTO_UDP),

@@ -32,12 +32,8 @@ fn residual_grows_linearly_with_context_size_table3() {
 fn eliminations_scale_with_array_size() {
     // §3: the interpretive overhead the specializer removes is per-element;
     // the report's eliminated counts must scale linearly.
-    let s100 = Summary::from_report(
-        &build_echo_proc(100, None).unwrap().client_encode.report,
-    );
-    let s500 = Summary::from_report(
-        &build_echo_proc(500, None).unwrap().client_encode.report,
-    );
+    let s100 = Summary::from_report(&build_echo_proc(100, None).unwrap().client_encode.report);
+    let s500 = Summary::from_report(&build_echo_proc(500, None).unwrap().client_encode.report);
     let ratio = s500.dispatches_eliminated as f64 / s100.dispatches_eliminated as f64;
     assert!((ratio - 5.0).abs() < 0.5, "dispatch ratio {ratio}");
     let ratio = s500.overflow_checks_eliminated as f64 / s100.overflow_checks_eliminated as f64;

@@ -1,0 +1,231 @@
+//! Offline shim for the subset of the `criterion` API used by the
+//! workspace's four benches (the container has no crates.io access).
+//!
+//! It is a real measuring harness, not a no-op: each benchmark is warmed
+//! up, then timed for `sample_size` samples of auto-calibrated iteration
+//! batches, and median / mean wall-clock per iteration is printed. It
+//! does not do outlier analysis, plotting, or baseline comparison.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `group/function/parameter`.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new<F: Into<String>, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation; recorded and reported as bytes/sec when set.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Timing loop handed to the user's closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    sample_count: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up, and calibrate how many iterations fill ~1ms so each
+        // sample is long enough for the clock.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = if warm_iters == 0 {
+            Duration::from_millis(1)
+        } else {
+            self.warm_up.max(Duration::from_micros(1)) / warm_iters.max(1) as u32
+        };
+        let target_sample =
+            (self.measurement / self.sample_count.max(1) as u32).max(Duration::from_micros(200));
+        self.iters_per_sample =
+            (target_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn per_iter_nanos(&self) -> Vec<f64> {
+        self.samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample.max(1) as f64)
+            .collect()
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name);
+        self.run(label, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}/{}", self.name, id.function, id.parameter);
+        self.run(label, |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        let mut b = Bencher {
+            iters_per_sample: 1,
+            samples: Vec::new(),
+            sample_count: self.sample_size,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+        };
+        f(&mut b);
+        report(&label, &b, self.throughput);
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(label: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mut per_iter = b.per_iter_nanos();
+    if per_iter.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    per_iter.sort_by(|a, c| a.partial_cmp(c).unwrap());
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let tp = match throughput {
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / median * 1e9 / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            format!("  {:>10.1} Melem/s", n as f64 / median * 1e9 / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label:<40} median {:>12} mean {:>12}{tp}",
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{:.2} ms", ns / 1e6)
+    }
+}
+
+/// Top-level harness handle, as in `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group(name.to_string());
+        g.sample_size = 10;
+        g.run(name.to_string(), f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`; `cargo test` passes `--test`
+            // and expects bench targets to exit quickly without running.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

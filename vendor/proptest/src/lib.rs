@@ -1,0 +1,389 @@
+//! Offline shim for the subset of the `proptest` API used by this
+//! workspace (the container has no crates.io access).
+//!
+//! Implements the `proptest!` macro, `any::<T>()` for the primitive types
+//! the tests draw, integer-range strategies, `prop::collection::vec`,
+//! `prop::option::of`, and character-class regex string strategies of the
+//! form `"[...]{m,n}"`. Sampling is deterministic per test (seeded from
+//! the test name) and edge-biased: sizes hit their bounds and integers
+//! hit MIN/0/MAX with elevated probability. No shrinking — a failing
+//! case panics with the drawn values printed by the assert itself.
+
+pub mod test_runner {
+    /// Per-test configuration, as in `proptest::test_runner::Config`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 seeded from the test name: deterministic, per-test
+    /// independent streams.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A value generator, as in `proptest::strategy::Strategy` (sampling
+    /// only — no value trees, no shrinking).
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`crate::arbitrary::any`].
+    pub struct Any<T>(pub(crate) core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // 1-in-8: an edge value; otherwise uniform bits.
+                    match rng.below(8) {
+                        0 => [<$t>::MIN, 0, <$t>::MAX]
+                            [rng.below(3) as usize],
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            match rng.below(8) {
+                0 => [
+                    0.0,
+                    -0.0,
+                    1.0,
+                    -1.0,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::NAN,
+                ][rng.below(7) as usize],
+                _ => f64::from_bits(rng.next_u64()),
+            }
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f32::from_bits(rng.next_u64() as u32)
+        }
+    }
+
+    /// Draw a size from `[start, end)`, biased toward the two endpoints so
+    /// empty and maximal collections actually occur.
+    pub(crate) fn sample_size(rng: &mut TestRng, range: &core::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty size range in strategy");
+        match rng.below(8) {
+            0 => range.start,
+            1 => range.end - 1,
+            _ => range.start + rng.below((range.end - range.start) as u64) as usize,
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                    match rng.below(8) {
+                        0 => self.start,
+                        1 => self.end - 1,
+                        _ => self.start + (rng.below(span)) as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// `&str` literals act as regex strategies in proptest; this shim
+    /// supports the character-class form `[set]{m,n}` (with `a-z` ranges
+    /// inside the set) and falls back to short alphanumeric strings for
+    /// anything it cannot parse.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_char_class_pattern(self, rng).unwrap_or_else(|| {
+                const FALLBACK: &[u8] =
+                    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+                let len = rng.below(16) as usize;
+                (0..len)
+                    .map(|_| FALLBACK[rng.below(FALLBACK.len() as u64) as usize] as char)
+                    .collect()
+            })
+        }
+    }
+
+    fn sample_char_class_pattern(pat: &str, rng: &mut TestRng) -> Option<String> {
+        let rest = pat.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class = &rest[..close];
+        let rep = &rest[close + 1..];
+
+        let mut alphabet: Vec<char> = Vec::new();
+        let chars: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                if lo > hi {
+                    return None;
+                }
+                alphabet.extend(lo..=hi);
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        if alphabet.is_empty() {
+            return None;
+        }
+
+        let (min, max) =
+            if let Some(counts) = rep.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+                let (m, n) = counts.split_once(',')?;
+                (
+                    m.trim().parse::<usize>().ok()?,
+                    n.trim().parse::<usize>().ok()?,
+                )
+            } else if rep == "*" {
+                (0, 16)
+            } else if rep == "+" {
+                (1, 16)
+            } else if rep.is_empty() {
+                (1, 1)
+            } else {
+                return None;
+            };
+        if min > max {
+            return None;
+        }
+
+        let len = sample_size(rng, &(min..max + 1));
+        Some(
+            (0..len)
+                .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+                .collect(),
+        )
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Any, Arbitrary};
+
+    /// `any::<T>()` — the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{sample_size, Strategy};
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = sample_size(rng, &self.size);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `prop::option::of(inner)` — `None` about a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.sample(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of the real prelude's `prop` module path shorthand.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cfg.cases {
+                    let ($($pat,)+) = (
+                        $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_respects_size_range(v in prop::collection::vec(any::<i32>(), 1..10)) {
+            prop_assert!((1..10).contains(&v.len()));
+        }
+
+        #[test]
+        fn range_strategy_in_bounds(x in 4usize..24, b in 1u8..255) {
+            prop_assert!((4..24).contains(&x));
+            prop_assert!((1..255).contains(&b));
+        }
+
+        #[test]
+        fn string_pattern_matches_class(s in "[a-zA-Z0-9 ]{0,24}") {
+            prop_assert!(s.len() <= 24);
+            prop_assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == ' '));
+        }
+
+        #[test]
+        fn option_of_produces_both(o in prop::option::of(any::<i32>()), _pad in 0u32..10) {
+            let _ = o;
+        }
+    }
+
+    #[test]
+    fn edge_sizes_actually_occur() {
+        let mut rng = crate::test_runner::TestRng::deterministic("edge");
+        let strat = crate::collection::vec(any::<i32>(), 0..5);
+        let lens: Vec<usize> = (0..200).map(|_| strat.sample(&mut rng).len()).collect();
+        assert!(lens.contains(&0), "empty vec never drawn");
+        assert!(lens.contains(&4), "max-size vec never drawn");
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline shim for the subset of the `rand` 0.9 API used by this
+//! workspace (the container has no crates.io access, so heavyweight
+//! dependencies are vendored as minimal API-compatible stand-ins).
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng`
+//! methods `random::<f64>()` / `random_range(Range<_>)`. The generator is
+//! SplitMix64 seeded through the same constant scramble every instance —
+//! deterministic across runs and platforms, which is all the simulator's
+//! fault injection requires (it is NOT a cryptographic RNG).
+
+use core::ops::Range;
+
+/// Seed a generator from a `u64`, as in `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling over a primitive's full unit range, as in
+/// `rand::distr::StandardUniform`.
+pub trait UnitSample: Sized {
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+/// Uniform sampling from a half-open range, as in `rand::distr::uniform`.
+pub trait RangeSample: Sized {
+    fn sample_range(rng: &mut rngs::StdRng, range: Range<Self>) -> Self;
+}
+
+/// The user-facing generator methods, as in `rand::Rng`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn random<T: UnitSample>(&mut self) -> T;
+
+    fn random_range<T: RangeSample>(&mut self, range: Range<T>) -> T;
+}
+
+pub mod rngs {
+    use super::{RangeSample, Rng, SeedableRng, UnitSample};
+
+    /// SplitMix64 behind the `StdRng` name. Small state, passes the
+    /// statistical bar needed for loss/duplicate/reorder decisions.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        fn next(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+
+        fn random<T: UnitSample>(&mut self) -> T {
+            T::sample(self)
+        }
+
+        fn random_range<T: RangeSample>(&mut self, range: core::ops::Range<T>) -> T {
+            T::sample_range(self, range)
+        }
+    }
+}
+
+impl UnitSample for f64 {
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn sample(rng: &mut rngs::StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UnitSample for u64 {
+    fn sample(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl UnitSample for u32 {
+    fn sample(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl UnitSample for bool {
+    fn sample(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range(rng: &mut rngs::StdRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty random_range");
+                let span = (range.end as u128 - range.start as u128) as u64;
+                // Modulo bias is < 2^-40 for the spans the simulator uses;
+                // acceptable for fault injection, so no rejection loop.
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_sample_signed {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample_range(rng: &mut rngs::StdRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty random_range");
+                let span = (range.end as i128 - range.start as i128) as u64;
+                ((range.start as i128) + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_sample_signed!(i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x: u64 = r.random_range(200_000..2_000_000);
+            assert!((200_000..2_000_000).contains(&x));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mean: f64 = (0..100_000).map(|_| r.random::<f64>()).sum::<f64>() / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}
