@@ -1,9 +1,11 @@
 //! Table 2 / Figure 6-3/4/6 — full RPC round trips over the simulated
 //! network, generic vs specialized (wall-clock of the deterministic
-//! simulation; virtual-time tables come from `paper_tables`).
+//! simulation; virtual-time tables come from `paper_tables`), over both
+//! transports: UDP datagrams and record-marked TCP (the ROADMAP's TCP
+//! scenario, riding the `Transport` trait).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use specrpc::echo::{EchoBench, Mode};
+use specrpc::echo::{EchoBench, Mode, TcpEchoBench};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -28,5 +30,26 @@ fn bench_roundtrip(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_roundtrip);
+fn bench_roundtrip_tcp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("roundtrip_tcp");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for n in [20usize, 250, 2000] {
+        let data = specrpc::echo::workload(n);
+        let mut bench = TcpEchoBench::new(n, None, 42).expect("deploy");
+        group.bench_with_input(BenchmarkId::new("generic", n), &n, |b, _| {
+            b.iter(|| black_box(bench.round_trip(Mode::Generic, &data).unwrap()))
+        });
+        let mut bench = TcpEchoBench::new(n, None, 42).expect("deploy");
+        group.bench_with_input(BenchmarkId::new("specialized", n), &n, |b, _| {
+            b.iter(|| black_box(bench.round_trip(Mode::Specialized, &data).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_roundtrip, bench_roundtrip_tcp);
 criterion_main!(benches);

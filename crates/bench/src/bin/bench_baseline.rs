@@ -1,0 +1,227 @@
+//! Checked-in benchmark baselines: capture and diff.
+//!
+//! The vendored criterion harness writes machine-readable results when
+//! `CRITERION_JSON_DIR` is set. This helper turns those into the repo's
+//! `BENCH_<target>.json` baselines and compares fresh runs against them,
+//! so perf PRs assert "no regression" instead of eyeballing numbers:
+//!
+//! ```text
+//! CRITERION_JSON_DIR=target/bench-json cargo bench     # fresh run
+//! cargo run -p specrpc-bench --bin bench_baseline -- diff
+//! cargo run -p specrpc-bench --bin bench_baseline -- capture   # re-baseline
+//! ```
+//!
+//! `diff` prints per-benchmark deltas and flags changes beyond the
+//! threshold (default ±50% — wall-clock on shared machines is noisy;
+//! pass `--threshold <pct>` to tighten). `--strict` exits non-zero on
+//! flagged regressions, for CI use.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The bench targets with checked-in baselines.
+const TARGETS: [&str; 4] = ["marshal", "roundtrip", "unroll", "ablation"];
+
+/// One measured benchmark.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    label: String,
+    median_ns: f64,
+    mean_ns: f64,
+}
+
+/// Parse the fixed JSON shape the vendored criterion emits: an array of
+/// flat objects with one string field (`label`) and numeric fields.
+fn parse_entries(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..]
+            .find('}')
+            .ok_or_else(|| "unterminated object".to_string())?;
+        let obj = &rest[start + 1..start + end];
+        entries.push(parse_object(obj)?);
+        rest = &rest[start + end + 1..];
+    }
+    Ok(entries)
+}
+
+fn parse_object(obj: &str) -> Result<Entry, String> {
+    let mut label = None;
+    let mut median = None;
+    let mut mean = None;
+    for field in split_fields(obj) {
+        let (key, value) = field
+            .split_once(':')
+            .ok_or_else(|| format!("bad field `{field}`"))?;
+        let key = key.trim().trim_matches('"');
+        let value = value.trim();
+        match key {
+            "label" => {
+                let v = value
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("label not a string: `{value}`"))?;
+                label = Some(v.replace("\\\"", "\"").replace("\\\\", "\\"));
+            }
+            "median_ns" => median = Some(parse_num(value)?),
+            "mean_ns" => mean = Some(parse_num(value)?),
+            _ => {} // forward-compatible: ignore unknown numeric fields
+        }
+    }
+    Ok(Entry {
+        label: label.ok_or("entry without label")?,
+        median_ns: median.ok_or("entry without median_ns")?,
+        mean_ns: mean.ok_or("entry without mean_ns")?,
+    })
+}
+
+/// Split an object body on commas that are not inside a quoted string.
+fn split_fields(obj: &str) -> Vec<&str> {
+    let mut fields = Vec::new();
+    let (mut depth_quote, mut escaped, mut start) = (false, false, 0usize);
+    for (i, c) in obj.char_indices() {
+        match c {
+            '\\' if depth_quote => escaped = !escaped,
+            '"' if !escaped => depth_quote = !depth_quote,
+            ',' if !depth_quote => {
+                fields.push(&obj[start..i]);
+                start = i + 1;
+            }
+            _ => escaped = false,
+        }
+    }
+    if start < obj.len() {
+        fields.push(&obj[start..]);
+    }
+    fields.retain(|f| !f.trim().is_empty());
+    fields
+}
+
+fn parse_num(s: &str) -> Result<f64, String> {
+    s.parse::<f64>()
+        .map_err(|e| format!("bad number `{s}`: {e}"))
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench → workspace root is two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().unwrap_or(root)
+}
+
+fn fresh_path(target: &str) -> PathBuf {
+    workspace_root()
+        .join("target/bench-json")
+        .join(format!("{target}.json"))
+}
+
+fn baseline_path(target: &str) -> PathBuf {
+    workspace_root().join(format!("BENCH_{target}.json"))
+}
+
+fn load(path: &Path) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_entries(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn capture() -> Result<(), String> {
+    for target in TARGETS {
+        let from = fresh_path(target);
+        let entries = load(&from)?; // validate before blessing
+        let to = baseline_path(target);
+        std::fs::copy(&from, &to).map_err(|e| format!("cannot write {}: {e}", to.display()))?;
+        println!(
+            "captured {:<10} {} benchmarks -> {}",
+            target,
+            entries.len(),
+            to.display()
+        );
+    }
+    Ok(())
+}
+
+fn diff(threshold_pct: f64, strict: bool) -> Result<ExitCode, String> {
+    let mut flagged = 0usize;
+    for target in TARGETS {
+        let baseline = load(&baseline_path(target))?;
+        let fresh = load(&fresh_path(target))?;
+        println!("== {target} ==");
+        for b in &baseline {
+            let Some(f) = fresh.iter().find(|f| f.label == b.label) else {
+                println!("  {:<44} MISSING from fresh run", b.label);
+                flagged += 1;
+                continue;
+            };
+            let delta = (f.median_ns - b.median_ns) / b.median_ns * 100.0;
+            let mark = if delta.abs() > threshold_pct {
+                flagged += 1;
+                if delta > 0.0 {
+                    "  <-- REGRESSION"
+                } else {
+                    "  <-- improvement"
+                }
+            } else {
+                ""
+            };
+            println!(
+                "  {:<44} {:>12.1} ns -> {:>12.1} ns  {:>+7.1}%{}",
+                f.label, b.median_ns, f.median_ns, delta, mark
+            );
+        }
+        for f in &fresh {
+            if !baseline.iter().any(|b| b.label == f.label) {
+                println!("  {:<44} NEW (not in baseline)", f.label);
+            }
+        }
+    }
+    if flagged > 0 {
+        println!("\n{flagged} benchmark(s) beyond ±{threshold_pct}% of baseline");
+        if strict {
+            return Ok(ExitCode::FAILURE);
+        }
+    } else {
+        println!("\nall benchmarks within ±{threshold_pct}% of baseline");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench_baseline <capture|diff> [--threshold <pct>] [--strict]\n\
+         \n\
+         First produce a fresh machine-readable run:\n\
+         \u{20}   CRITERION_JSON_DIR=target/bench-json cargo bench\n\
+         then `diff` against the checked-in BENCH_*.json baselines, or\n\
+         `capture` to bless the fresh run as the new baselines."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threshold = 50.0;
+    let mut strict = false;
+    let mut command = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "capture" | "diff" => command = Some(a.clone()),
+            "--threshold" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(v)) => threshold = v,
+                _ => return usage(),
+            },
+            "--strict" => strict = true,
+            _ => return usage(),
+        }
+    }
+    let result = match command.as_deref() {
+        Some("capture") => capture().map(|()| ExitCode::SUCCESS),
+        Some("diff") => diff(threshold, strict),
+        _ => return usage(),
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("bench_baseline: {e}");
+        ExitCode::FAILURE
+    })
+}

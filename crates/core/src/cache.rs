@@ -1,0 +1,221 @@
+//! Memoization of the Tempo pipeline: one compiled stub set per
+//! specialization context.
+//!
+//! The paper builds one specialized binary per `(procedure, array size)`
+//! context (Table 3). At scale — many concurrent services, many clients —
+//! the same contexts recur constantly, and re-running
+//! binding-time analysis + specialization + compilation per call site
+//! would dwarf the marshaling savings. [`StubCache`] keys compiled
+//! [`CompiledProc`]s by `(program, version, procedure,` [`ShapeKey`]`)`
+//! and hands out [`Arc`]s, so a context is specialized exactly once and
+//! shared by every client/server that needs it (the `Arc` + interior
+//! `Mutex` make the cache shareable across threads once the dispatch
+//! layer goes multi-threaded).
+
+use crate::pipeline::{CompiledProc, PipelineError, ProcPipeline};
+use specrpc_rpcgen::stubgen::MsgShape;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The specialization-context identity of a compiled stub set: everything
+/// that changes the residual code. Two call sites with equal keys can
+/// share one Tempo run.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ShapeKey {
+    /// Pinned length for counted arrays (the per-size context).
+    pub pinned_len: usize,
+    /// Bounded-unroll chunk (Table 4); `None` = full unrolling.
+    pub chunk: Option<usize>,
+    /// Argument message shape.
+    pub arg: MsgShape,
+    /// Result message shape.
+    pub res: MsgShape,
+}
+
+impl ShapeKey {
+    /// The key for compiling `arg`/`res` under `pipeline`'s context.
+    pub fn of(pipeline: &ProcPipeline, arg: &MsgShape, res: &MsgShape) -> ShapeKey {
+        ShapeKey {
+            pinned_len: pipeline.pinned_len,
+            chunk: pipeline.chunk,
+            arg: arg.clone(),
+            res: res.clone(),
+        }
+    }
+}
+
+/// Cache effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache (no Tempo run).
+    pub hits: u64,
+    /// Lookups that ran the full pipeline.
+    pub misses: u64,
+    /// Distinct compiled contexts currently held.
+    pub entries: usize,
+}
+
+/// Full cache key: `(program, version, procedure,` [`ShapeKey`]`)`.
+pub type CacheKey = (u32, u32, u32, ShapeKey);
+
+/// One cache entry: a per-context lock around the compile result, so
+/// concurrent requests for the *same* context serialize on their entry
+/// (compile exactly once) while different contexts compile in parallel.
+type Slot = Arc<Mutex<Option<Arc<CompiledProc>>>>;
+
+/// A shape-keyed cache of compiled stub sets.
+#[derive(Default)]
+pub struct StubCache {
+    map: Mutex<HashMap<CacheKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl StubCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        StubCache::default()
+    }
+
+    /// Hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            // Count only filled slots (a failed compile leaves none).
+            entries: self
+                .map
+                .lock()
+                .expect("cache lock")
+                .values()
+                .filter(|s| s.lock().expect("slot lock").is_some())
+                .count(),
+        }
+    }
+
+    /// Return the compiled stub set for the context, running the Tempo
+    /// pipeline only on a miss. The global map lock is held only to find
+    /// or create the entry; the compile itself holds the per-entry lock,
+    /// so one context is never specialized twice and unrelated contexts
+    /// never wait on each other's compiles.
+    pub fn get_or_compile(
+        &self,
+        pipeline: &ProcPipeline,
+        prog: u32,
+        vers: u32,
+        proc_num: u32,
+        arg: &MsgShape,
+        res: &MsgShape,
+    ) -> Result<Arc<CompiledProc>, PipelineError> {
+        let key = (prog, vers, proc_num, ShapeKey::of(pipeline, arg, res));
+        let slot = self
+            .map
+            .lock()
+            .expect("cache lock")
+            .entry(key)
+            .or_default()
+            .clone();
+        let mut slot = slot.lock().expect("slot lock");
+        if let Some(hit) = slot.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        let compiled =
+            Arc::new(pipeline.build_from_shapes(prog, vers, proc_num, arg.clone(), res.clone())?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        *slot = Some(compiled.clone());
+        Ok(compiled)
+    }
+
+    /// [`StubCache::get_or_compile`] from IDL source: resolves the target
+    /// and shapes (cheap — no Tempo run), then consults the cache.
+    pub fn get_or_compile_idl(
+        &self,
+        pipeline: &ProcPipeline,
+        idl: &str,
+        program: Option<&str>,
+        proc_num: u32,
+    ) -> Result<Arc<CompiledProc>, PipelineError> {
+        let ((prog, vers, proc_num), arg, res) = pipeline.resolve_shapes(idl, program, proc_num)?;
+        self.get_or_compile(pipeline, prog, vers, proc_num, &arg, &res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IDL: &str = r#"
+        const MAXARR = 2000;
+        struct int_arr { int arr<MAXARR>; };
+        program ARRAYPROG {
+            version ARRAYVERS { int_arr ECHO(int_arr) = 1; } = 1;
+        } = 0x20000101;
+    "#;
+
+    #[test]
+    fn same_context_compiles_once() {
+        let cache = StubCache::new();
+        let p = ProcPipeline::new(40);
+        let a = cache.get_or_compile_idl(&p, IDL, None, 1).unwrap();
+        let b = cache.get_or_compile_idl(&p, IDL, None, 1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the same compile");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_contexts_get_distinct_entries() {
+        let cache = StubCache::new();
+        let a = cache
+            .get_or_compile_idl(&ProcPipeline::new(40), IDL, None, 1)
+            .unwrap();
+        let b = cache
+            .get_or_compile_idl(&ProcPipeline::new(41), IDL, None, 1)
+            .unwrap();
+        let c = cache
+            .get_or_compile_idl(&ProcPipeline::new(40).with_chunk(8), IDL, None, 1)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.client_encode.wire_len, b.client_encode.wire_len - 4);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 3, 3));
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        // The whole point of Arc + Mutex: concurrent clients resolve
+        // through one cache; equal contexts still compile exactly once.
+        let cache = Arc::new(StubCache::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                let p = ProcPipeline::new(25);
+                cache.get_or_compile_idl(&p, IDL, None, 1).unwrap().target
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), (0x2000_0101, 1, 1));
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "one Tempo run for four threads");
+        assert_eq!(s.hits, 3);
+    }
+
+    #[test]
+    fn unsupported_shape_error_propagates() {
+        let cache = StubCache::new();
+        let idl = r#"
+            struct s { string x<8>; };
+            program P { version V { s F(s) = 1; } = 1; } = 7;
+        "#;
+        let err = cache
+            .get_or_compile_idl(&ProcPipeline::new(10), idl, None, 1)
+            .unwrap_err();
+        assert!(matches!(err, PipelineError::UnsupportedShape));
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

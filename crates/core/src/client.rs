@@ -1,0 +1,261 @@
+//! The transport-agnostic specialized client.
+//!
+//! The specialized path replaces header + argument marshaling with
+//! compiled residual stubs but keeps the protocol machinery (xid
+//! allocation, retransmission, reply matching) — specialization removes
+//! interpretation, not the protocol. [`SpecClient`] is generic over any
+//! [`Transport`] (UDP with retransmission, record-marked TCP), and every
+//! dynamic guard failure falls back to the generic layered path,
+//! preserving the original semantics (§6.2).
+
+use crate::cache::StubCache;
+use crate::generic::decode_shape_generic;
+use crate::pipeline::{CompiledProc, PipelineError, ProcPipeline};
+use specrpc_rpc::error::RpcError;
+use specrpc_rpc::msg::ReplyHeader;
+use specrpc_rpc::transport::Transport;
+use specrpc_rpcgen::sunlib::reply_fields;
+use specrpc_tempo::compile::{run_decode, run_encode, Outcome, StubArgs};
+use specrpc_xdr::mem::XdrMem;
+use specrpc_xdr::{OpCounts, XdrStream};
+use std::sync::Arc;
+
+/// Which path served a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathUsed {
+    /// The compiled specialized stubs.
+    Fast,
+    /// The generic micro-layer path (guard fallback).
+    GenericFallback,
+}
+
+/// What a client should specialize: an IDL procedure plus its
+/// specialization context (the paper's per-size pinning).
+#[derive(Debug, Clone)]
+pub struct ProcSpec {
+    idl: String,
+    program: Option<String>,
+    proc_num: u32,
+    pinned_len: usize,
+}
+
+impl ProcSpec {
+    /// Specialize procedure `proc_num` of the first program in `idl`.
+    pub fn new(idl: impl Into<String>, proc_num: u32) -> ProcSpec {
+        ProcSpec {
+            idl: idl.into(),
+            program: None,
+            proc_num,
+            pinned_len: 0,
+        }
+    }
+
+    /// Select a program by name (default: the IDL's first program).
+    pub fn program(mut self, name: impl Into<String>) -> ProcSpec {
+        self.program = Some(name.into());
+        self
+    }
+
+    /// Pin counted arrays to `n` elements (the per-size context).
+    pub fn pinned(mut self, n: usize) -> ProcSpec {
+        self.pinned_len = n;
+        self
+    }
+
+    /// Compile this spec (optionally chunked, optionally through a
+    /// shared cache).
+    pub fn compile(
+        &self,
+        chunk: Option<usize>,
+        cache: Option<&StubCache>,
+    ) -> Result<Arc<CompiledProc>, PipelineError> {
+        let mut pipeline = ProcPipeline::new(self.pinned_len);
+        pipeline.chunk = chunk;
+        match cache {
+            Some(cache) => cache.get_or_compile_idl(
+                &pipeline,
+                &self.idl,
+                self.program.as_deref(),
+                self.proc_num,
+            ),
+            None => pipeline
+                .build_from_idl(&self.idl, self.program.as_deref(), self.proc_num)
+                .map(Arc::new),
+        }
+    }
+}
+
+enum StubSource {
+    Compiled(Arc<CompiledProc>),
+    Spec(ProcSpec),
+}
+
+/// Fluent constructor for [`SpecClient`]:
+/// `SpecClient::builder(transport).proc(spec).chunk(250).build()`.
+pub struct SpecClientBuilder<T: Transport> {
+    transport: T,
+    source: Option<StubSource>,
+    chunk: Option<usize>,
+    cache: Option<Arc<StubCache>>,
+}
+
+impl<T: Transport> SpecClientBuilder<T> {
+    /// Specialize the procedure described by `spec`.
+    pub fn proc(mut self, spec: ProcSpec) -> Self {
+        self.source = Some(StubSource::Spec(spec));
+        self
+    }
+
+    /// Use an already-compiled stub set (shared with a server or another
+    /// client). `chunk`/`cache` settings do not apply to it.
+    pub fn compiled(mut self, proc_: Arc<CompiledProc>) -> Self {
+        self.source = Some(StubSource::Compiled(proc_));
+        self
+    }
+
+    /// Bound loop unrolling to `chunk`-element pieces (Table 4).
+    pub fn chunk(mut self, chunk: usize) -> Self {
+        self.chunk = Some(chunk);
+        self
+    }
+
+    /// Resolve stubs through `cache` instead of always running Tempo.
+    pub fn cache(mut self, cache: Arc<StubCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Compile (or fetch) the stubs and wrap the transport.
+    pub fn build(self) -> Result<SpecClient<T>, PipelineError> {
+        let proc_ = match self.source.ok_or(PipelineError::NoProcGiven)? {
+            StubSource::Compiled(p) => p,
+            StubSource::Spec(spec) => spec.compile(self.chunk, self.cache.as_deref())?,
+        };
+        Ok(SpecClient::from_parts(self.transport, proc_))
+    }
+}
+
+/// A specialized RPC client for one procedure: compiled stubs over the
+/// shared transaction layer of any [`Transport`], with a generic decoder
+/// fallback.
+pub struct SpecClient<T: Transport> {
+    transport: T,
+    proc_: Arc<CompiledProc>,
+    /// Stub-op and byte counts from specialized marshaling (generic
+    /// fallback decoding accumulates here too).
+    pub counts: OpCounts,
+    /// Calls served by the fast path.
+    pub fast_calls: u64,
+    /// Calls that fell back to the generic decoder.
+    pub fallback_calls: u64,
+}
+
+impl<T: Transport> SpecClient<T> {
+    /// Start building a client over `transport`.
+    pub fn builder(transport: T) -> SpecClientBuilder<T> {
+        SpecClientBuilder {
+            transport,
+            source: None,
+            chunk: None,
+            cache: None,
+        }
+    }
+
+    /// Wrap a transport with already-compiled stubs.
+    pub fn from_parts(transport: T, proc_: Arc<CompiledProc>) -> Self {
+        SpecClient {
+            transport,
+            proc_,
+            counts: OpCounts::new(),
+            fast_calls: 0,
+            fallback_calls: 0,
+        }
+    }
+
+    /// The compiled stub set this client runs.
+    pub fn compiled(&self) -> &Arc<CompiledProc> {
+        &self.proc_
+    }
+
+    /// Access the underlying transport (timeout tuning).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Perform the call: `args` carries the user argument slots (scalars
+    /// *after* the xid slot 0, arrays from 0) — build it with
+    /// [`SpecClient::args`]. Returns the result slots and which path
+    /// decoded the reply.
+    pub fn call(&mut self, args: &StubArgs) -> Result<(StubArgs, PathUsed), RpcError> {
+        let xid = self.transport.next_xid();
+        let mut request = vec![0u8; self.proc_.client_encode.wire_len];
+        let mut full_args = args.clone();
+        full_args.scalars[0] = xid as i32;
+        run_encode(
+            &self.proc_.client_encode.program,
+            &mut request,
+            &full_args,
+            &mut self.counts,
+        )
+        .map_err(|e| RpcError::Transport(e.to_string()))?;
+
+        let reply = self.transport.call(request, xid)?;
+
+        // Specialized decode with generic fallback.
+        let dec = &self.proc_.client_decode;
+        let mut out = StubArgs::new(
+            vec![0; dec.layout.scalar_count as usize],
+            vec![Vec::new(); dec.layout.array_count as usize],
+        );
+        match run_decode(
+            &dec.program,
+            &reply,
+            &mut out,
+            reply.len(),
+            &mut self.counts,
+        ) {
+            Ok(Outcome::Done { ret: 1, .. }) => {
+                self.fast_calls += 1;
+                Ok((out, PathUsed::Fast))
+            }
+            Ok(Outcome::Done { .. }) | Ok(Outcome::Fallback) => {
+                self.fallback_calls += 1;
+                let out = self.decode_generic(&reply)?;
+                Ok((out, PathUsed::GenericFallback))
+            }
+            Err(e) => Err(RpcError::Transport(e.to_string())),
+        }
+    }
+
+    /// Build the argument [`StubArgs`] with the xid slot reserved.
+    pub fn args(&self, scalars: Vec<i32>, arrays: Vec<Vec<i32>>) -> StubArgs {
+        let mut all = Vec::with_capacity(scalars.len() + 1);
+        all.push(0); // xid slot
+        all.extend(scalars);
+        StubArgs::new(all, arrays)
+    }
+
+    /// The generic reply path (§6.2 `else` branch): full header
+    /// validation and layered decoding.
+    fn decode_generic(&mut self, reply: &[u8]) -> Result<StubArgs, RpcError> {
+        let mut dec = XdrMem::decoder(reply);
+        let hdr = ReplyHeader::decode(&mut dec)?;
+        if let Some(err) = hdr.to_error() {
+            return Err(err);
+        }
+        let decp = &self.proc_.client_decode;
+        let mut out = StubArgs::new(
+            vec![0; decp.layout.scalar_count as usize],
+            vec![Vec::new(); decp.layout.array_count as usize],
+        );
+        decode_shape_generic(
+            &mut dec,
+            &self.proc_.res_shape,
+            &decp.layout,
+            reply_fields::COUNT as u16,
+            &mut out,
+        )?;
+        self.counts += *dec.counts();
+        Ok(out)
+    }
+}

@@ -7,18 +7,20 @@
 //! specialized binary per array size — Table 3), generic and specialized
 //! marshal-only entry points (Table 1 / Figure 6-1/2/5), and full
 //! round-trip drivers over the simulated network (Table 2 /
-//! Figure 6-3/4/6).
+//! Figure 6-3/4/6) for both transports (UDP datagrams and record-marked
+//! TCP).
 
-use crate::fast::{FastClient, FastHandler, FastServer};
+use crate::cache::StubCache;
+use crate::client::{ProcSpec, SpecClient};
 use crate::pipeline::{CompiledProc, PipelineError, ProcPipeline};
+use crate::service::SpecService;
 use specrpc_netsim::net::{Network, NetworkConfig};
 use specrpc_netsim::platform::{Platform, PlatformCosts};
 use specrpc_netsim::SimTime;
 use specrpc_rpc::error::RpcError;
 use specrpc_rpc::msg::CallHeader;
 use specrpc_rpc::svc::SvcRegistry;
-use specrpc_rpc::svc_udp::serve_udp;
-use specrpc_rpc::ClntUdp;
+use specrpc_rpc::{ClntTcp, ClntUdp};
 use specrpc_tempo::compile::{run_encode, StubArgs};
 use specrpc_xdr::composite::xdr_array;
 use specrpc_xdr::mem::XdrMem;
@@ -26,6 +28,7 @@ use specrpc_xdr::primitives::xdr_int;
 use specrpc_xdr::{OpCounts, XdrResult, XdrStream};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Program number of the echo service.
 pub const ECHO_PROG: u32 = 0x2000_0101;
@@ -33,8 +36,10 @@ pub const ECHO_PROG: u32 = 0x2000_0101;
 pub const ECHO_VERS: u32 = 1;
 /// Procedure number of `ECHO`.
 pub const ECHO_PROC: u32 = 1;
-/// Server port in simulations.
+/// Server port in simulations (UDP).
 pub const ECHO_PORT: u16 = 2060;
+/// Server port for the TCP deployment.
+pub const ECHO_TCP_PORT: u16 = 2061;
 /// Maximum array size (the paper's largest measured point).
 pub const MAX_ARR: usize = 100_000;
 
@@ -56,12 +61,22 @@ pub const ECHO_IDL: &str = r#"
 /// The array sizes of the paper's tables.
 pub const PAPER_SIZES: [usize; 6] = [20, 100, 250, 500, 1000, 2000];
 
-/// Build the specialized stub set for arrays of `n` integers
+/// The [`ProcSpec`] for `ECHO` pinned to arrays of `n` integers.
+pub fn echo_spec(n: usize) -> ProcSpec {
+    ProcSpec::new(ECHO_IDL, ECHO_PROC).pinned(n)
+}
+
+/// The echo specialization pipeline for arrays of `n` integers
 /// (optionally with Table 4's bounded unrolling).
-pub fn build_echo_proc(n: usize, chunk: Option<usize>) -> Result<CompiledProc, PipelineError> {
+pub fn echo_pipeline(n: usize, chunk: Option<usize>) -> ProcPipeline {
     let mut p = ProcPipeline::new(n);
     p.chunk = chunk;
-    p.build_from_idl(ECHO_IDL, None, ECHO_PROC)
+    p
+}
+
+/// Build the specialized stub set for arrays of `n` integers.
+pub fn build_echo_proc(n: usize, chunk: Option<usize>) -> Result<CompiledProc, PipelineError> {
+    echo_pipeline(n, chunk).build_from_idl(ECHO_IDL, None, ECHO_PROC)
 }
 
 /// Generic client-side request marshaling (the original Sun path):
@@ -108,23 +123,24 @@ pub enum Mode {
     Specialized,
 }
 
-/// Install the echo service (fast + generic paths) on a network.
-pub fn serve_echo(net: &Network, proc_: Rc<CompiledProc>) -> Rc<RefCell<SvcRegistry>> {
-    let mut reg = SvcRegistry::new();
-    let handler: FastHandler =
-        Rc::new(|args: &StubArgs| StubArgs::new(vec![], vec![args.arrays[0].clone()]));
-    FastServer::install(&mut reg, proc_, handler);
-    let reg = Rc::new(RefCell::new(reg));
-    serve_udp(net, ECHO_PORT, reg.clone(), None);
-    reg
+/// The echo [`SpecService`] (one procedure; fast + generic paths).
+pub fn echo_service(proc_: Arc<CompiledProc>) -> SpecService {
+    SpecService::new().proc(proc_, |args: &StubArgs| {
+        StubArgs::new(vec![], vec![args.arrays[0].clone()])
+    })
 }
 
-/// A ready-to-measure echo deployment on the simulated network.
+/// Install the echo service on a network over UDP.
+pub fn serve_echo(net: &Network, proc_: Arc<CompiledProc>) -> Rc<RefCell<SvcRegistry>> {
+    echo_service(proc_).serve_udp(net, ECHO_PORT)
+}
+
+/// A ready-to-measure echo deployment on the simulated network (UDP).
 pub struct EchoBench {
     /// The network (virtual time observable via `net.now()`).
     pub net: Network,
     /// Specialized client.
-    pub fast: FastClient,
+    pub spec: SpecClient<ClntUdp>,
     /// Generic client.
     pub generic: ClntUdp,
     /// The shared service registry (path counters).
@@ -140,15 +156,32 @@ pub struct EchoBench {
 impl EchoBench {
     /// Deploy client + server for arrays of `n` integers.
     pub fn new(n: usize, chunk: Option<usize>, seed: u64) -> Result<EchoBench, PipelineError> {
-        let proc_ = Rc::new(build_echo_proc(n, chunk)?);
+        Self::deploy(Arc::new(build_echo_proc(n, chunk)?), n, seed)
+    }
+
+    /// Deploy like [`EchoBench::new`], resolving stubs through a shared
+    /// [`StubCache`] (a second deployment for the same `(n, chunk)` skips
+    /// the Tempo run).
+    pub fn new_cached(
+        n: usize,
+        chunk: Option<usize>,
+        seed: u64,
+        cache: &StubCache,
+    ) -> Result<EchoBench, PipelineError> {
+        let proc_ =
+            cache.get_or_compile_idl(&echo_pipeline(n, chunk), ECHO_IDL, None, ECHO_PROC)?;
+        Self::deploy(proc_, n, seed)
+    }
+
+    fn deploy(proc_: Arc<CompiledProc>, n: usize, seed: u64) -> Result<EchoBench, PipelineError> {
         let net = Network::new(NetworkConfig::lan(), seed);
         let registry = serve_echo(&net, proc_.clone());
         let generic = ClntUdp::create(&net, 5001, ECHO_PORT, ECHO_PROG, ECHO_VERS);
         let clnt = ClntUdp::create(&net, 5002, ECHO_PORT, ECHO_PROG, ECHO_VERS);
-        let fast = FastClient::new(clnt, proc_);
+        let spec = SpecClient::from_parts(clnt, proc_);
         Ok(EchoBench {
             net,
-            fast,
+            spec,
             generic,
             registry,
             n,
@@ -181,10 +214,10 @@ impl EchoBench {
     pub fn round_trip(&mut self, mode: Mode, data: &[i32]) -> Result<Vec<i32>, RpcError> {
         match mode {
             Mode::Specialized => {
-                let before = self.fast.counts;
-                let args = self.fast.args(vec![], vec![data.to_vec()]);
-                let (out, _) = self.fast.call(&args)?;
-                let after = self.fast.counts;
+                let before = self.spec.counts;
+                let args = self.spec.args(vec![], vec![data.to_vec()]);
+                let (out, _) = self.spec.call(&args)?;
+                let after = self.spec.counts;
                 self.advance_for(before, after);
                 Ok(out.arrays.into_iter().next().unwrap_or_default())
             }
@@ -218,6 +251,63 @@ impl EchoBench {
         }
         let total = self.net.now() - start;
         Ok(SimTime::from_nanos(total.as_nanos() / iters as u64))
+    }
+}
+
+/// The echo deployment over record-marked TCP: same service registry,
+/// same stubs, stream transport (the ROADMAP's TCP scenario).
+pub struct TcpEchoBench {
+    /// The network.
+    pub net: Network,
+    /// Specialized client over the stream transport.
+    pub spec: SpecClient<ClntTcp>,
+    /// Generic client.
+    pub generic: ClntTcp,
+    /// The shared service registry (path counters).
+    pub registry: Rc<RefCell<SvcRegistry>>,
+    /// Array size this deployment is specialized for.
+    pub n: usize,
+}
+
+impl TcpEchoBench {
+    /// Deploy client + server for arrays of `n` integers over TCP.
+    pub fn new(n: usize, chunk: Option<usize>, seed: u64) -> Result<TcpEchoBench, PipelineError> {
+        let proc_ = Arc::new(build_echo_proc(n, chunk)?);
+        let net = Network::new(NetworkConfig::lan(), seed);
+        let registry = echo_service(proc_.clone()).serve_tcp(&net, ECHO_TCP_PORT);
+        let generic = ClntTcp::create(&net, ECHO_TCP_PORT, ECHO_PROG, ECHO_VERS)
+            .map_err(|e| PipelineError::Deploy(e.to_string()))?;
+        let clnt = ClntTcp::create(&net, ECHO_TCP_PORT, ECHO_PROG, ECHO_VERS)
+            .map_err(|e| PipelineError::Deploy(e.to_string()))?;
+        let spec = SpecClient::from_parts(clnt, proc_);
+        Ok(TcpEchoBench {
+            net,
+            spec,
+            generic,
+            registry,
+            n,
+        })
+    }
+
+    /// One round trip in the given mode; returns the echoed data.
+    pub fn round_trip(&mut self, mode: Mode, data: &[i32]) -> Result<Vec<i32>, RpcError> {
+        match mode {
+            Mode::Specialized => {
+                let args = self.spec.args(vec![], vec![data.to_vec()]);
+                let (out, _) = self.spec.call(&args)?;
+                Ok(out.arrays.into_iter().next().unwrap_or_default())
+            }
+            Mode::Generic => {
+                let mut out: Vec<i32> = Vec::new();
+                let mut input = data.to_vec();
+                self.generic.call(
+                    ECHO_PROC,
+                    &mut |x| xdr_array(x, &mut input, MAX_ARR, xdr_int),
+                    &mut |x| xdr_array(x, &mut out, MAX_ARR, xdr_int),
+                )?;
+                Ok(out)
+            }
+        }
     }
 }
 
@@ -259,11 +349,32 @@ mod tests {
         assert_eq!(g, data);
         let s = bench.round_trip(Mode::Specialized, &data).unwrap();
         assert_eq!(s, data);
-        assert_eq!(bench.fast.fast_calls, 1);
+        assert_eq!(bench.spec.fast_calls, 1);
         // Both requests hit the server's raw fast path: the generic
         // client's wire image matches the specialized context too, so
         // server-side specialization also benefits generic clients.
         assert_eq!(bench.registry.borrow().raw_dispatches, 2);
+    }
+
+    #[test]
+    fn tcp_round_trip_both_modes() {
+        let mut bench = TcpEchoBench::new(50, None, 3).unwrap();
+        let data = workload(50);
+        let g = bench.round_trip(Mode::Generic, &data).unwrap();
+        assert_eq!(g, data);
+        let s = bench.round_trip(Mode::Specialized, &data).unwrap();
+        assert_eq!(s, data);
+        assert_eq!(bench.spec.fast_calls, 1);
+        assert_eq!(bench.registry.borrow().raw_dispatches, 2);
+    }
+
+    #[test]
+    fn cached_deployments_share_one_compile() {
+        let cache = StubCache::new();
+        let _a = EchoBench::new_cached(30, None, 1, &cache).unwrap();
+        let _b = EchoBench::new_cached(30, None, 2, &cache).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
     }
 
     #[test]

@@ -11,17 +11,84 @@
 //!    simulated network (`specrpc-netsim`), with automatic fallback to the
 //!    generic path when a dynamic guard fails (§6.2 of the paper).
 //!
+//! # The facade
+//!
+//! Three pieces cover deployment:
+//!
+//! - [`SpecClient`] — a specialized client over any
+//!   [`Transport`](specrpc_rpc::Transport) (retransmitting UDP or
+//!   record-marked TCP), built fluently:
+//!   `SpecClient::builder(transport).proc(spec).chunk(250).build()`.
+//! - [`SpecService`] — a server hosting *multiple* procedures, each
+//!   installed with a compiled fast path and a generic guard fallback,
+//!   dispatched by procedure number.
+//! - [`StubCache`] — memoizes Tempo output per
+//!   `(program, version, procedure,` [`ShapeKey`]`)`, so one
+//!   specialization context compiles once no matter how many clients and
+//!   services use it.
+//!
+//! # Quickstart
+//!
+//! A doubling service and a specialized client, end to end:
+//!
+//! ```
+//! use specrpc::{ProcSpec, SpecClient, SpecService, StubCache};
+//! use specrpc_netsim::net::{Network, NetworkConfig};
+//! use specrpc_rpc::ClntUdp;
+//! use specrpc_tempo::compile::StubArgs;
+//! use std::sync::Arc;
+//!
+//! const IDL: &str = r#"
+//!     program DBLPROG {
+//!         version DBLVERS { int DOUBLE(int) = 1; } = 1;
+//!     } = 0x20000777;
+//! "#;
+//!
+//! // One Tempo run, shared by server and client through the cache.
+//! let cache = Arc::new(StubCache::new());
+//! let spec = ProcSpec::new(IDL, 1);
+//! let proc_ = spec.compile(None, Some(&cache)).unwrap();
+//!
+//! let net = Network::new(NetworkConfig::lan(), 1);
+//! SpecService::new()
+//!     .proc(proc_.clone(), |args: &StubArgs| {
+//!         let v = *args.scalars.last().unwrap();
+//!         StubArgs::new(vec![v * 2], vec![])
+//!     })
+//!     .serve_udp(&net, 900);
+//!
+//! let transport = ClntUdp::create(&net, 5001, 900, 0x2000_0777, 1);
+//! let mut client = SpecClient::builder(transport)
+//!     .proc(ProcSpec::new(IDL, 1))
+//!     .cache(cache.clone())
+//!     .build()
+//!     .unwrap();
+//!
+//! let (out, path) = client.call(&client.args(vec![21], vec![])).unwrap();
+//! assert_eq!(*out.scalars.last().unwrap(), 42);
+//! assert_eq!(path, specrpc::PathUsed::Fast);
+//! // The client's stubs came from the cache: one miss (the compile),
+//! // one hit (the client reusing it).
+//! assert_eq!(cache.stats().misses, 1);
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
+//!
 //! The [`echo`] module packages the paper's benchmark workload (a remote
-//! procedure exchanging integer arrays, §5 "The test program"); [`fast`]
-//! has the transport-facing specialized client/server; [`pipeline`] the
-//! IDL-to-stub driver; [`summary`] maps specializer statistics onto the
-//! paper's §3 categories.
+//! procedure exchanging integer arrays, §5 "The test program"); [`client`]
+//! and [`service`] hold the transport-agnostic facade; [`cache`] the
+//! shape-keyed specialization cache; [`pipeline`] the IDL-to-stub driver;
+//! [`summary`] maps specializer statistics onto the paper's §3 categories.
 
+pub mod cache;
+pub mod client;
 pub mod echo;
-pub mod fast;
+pub mod generic;
 pub mod pipeline;
+pub mod service;
 pub mod summary;
 
-pub use fast::{FastClient, FastServer, PathUsed};
+pub use cache::{CacheStats, ShapeKey, StubCache};
+pub use client::{PathUsed, ProcSpec, SpecClient, SpecClientBuilder};
 pub use pipeline::{CompiledProc, PipelineError, ProcPipeline};
+pub use service::{SpecHandler, SpecService};
 pub use summary::Summary;

@@ -25,6 +25,10 @@ pub enum PipelineError {
     UnsupportedShape,
     /// Specialization or compilation failed.
     StubGen(StubGenError),
+    /// A client builder was finished without naming a procedure.
+    NoProcGiven,
+    /// Deploying over a transport failed (e.g. TCP connect refused).
+    Deploy(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -38,6 +42,10 @@ impl fmt::Display for PipelineError {
                 write!(f, "procedure shapes not specializable; generic path only")
             }
             PipelineError::StubGen(e) => write!(f, "{e}"),
+            PipelineError::NoProcGiven => {
+                write!(f, "SpecClient builder needs .proc(...) or .compiled(...)")
+            }
+            PipelineError::Deploy(e) => write!(f, "deploy failed: {e}"),
         }
     }
 }
@@ -78,6 +86,10 @@ pub struct CompiledProc {
     pub generated: GeneratedStubs,
 }
 
+/// A resolved specialization target: `(program, version, procedure)`
+/// numbers plus argument and result shapes.
+pub type ResolvedTarget = ((u32, u32, u32), MsgShape, MsgShape);
+
 /// Builder for [`CompiledProc`]s.
 #[derive(Debug, Clone, Default)]
 pub struct ProcPipeline {
@@ -102,14 +114,16 @@ impl ProcPipeline {
         self
     }
 
-    /// Run the full pipeline from IDL source for procedure `proc_num` of
-    /// the first (or named) program.
-    pub fn build_from_idl(
+    /// Resolve the `(program, version, procedure)` numbers and message
+    /// shapes for `proc_num` of the first (or named) program — the
+    /// specialization-context identity, without running Tempo. This is
+    /// what [`crate::cache::StubCache`] keys on.
+    pub fn resolve_shapes(
         &self,
         idl: &str,
         program: Option<&str>,
         proc_num: u32,
-    ) -> Result<CompiledProc, PipelineError> {
+    ) -> Result<ResolvedTarget, PipelineError> {
         let file = parse(idl)?;
         let prog = file
             .programs()
@@ -135,9 +149,24 @@ impl ProcPipeline {
                 program: prog.name.clone(),
                 proc_num,
             })?;
-        let gs = stubgen::generate(&file, prog.number, vers.number, proc_, self.pinned_len)
+        let arg = MsgShape::from_idl(&file, &proc_.arg, self.pinned_len)
             .ok_or(PipelineError::UnsupportedShape)?;
-        self.compile_all(gs)
+        let res = MsgShape::from_idl(&file, &proc_.result, self.pinned_len)
+            .ok_or(PipelineError::UnsupportedShape)?;
+        Ok(((prog.number, vers.number, proc_num), arg, res))
+    }
+
+    /// Run the full pipeline from IDL source for procedure `proc_num` of
+    /// the first (or named) program.
+    pub fn build_from_idl(
+        &self,
+        idl: &str,
+        program: Option<&str>,
+        proc_num: u32,
+    ) -> Result<CompiledProc, PipelineError> {
+        let ((prog_num, vers_num, proc_num), arg, res) =
+            self.resolve_shapes(idl, program, proc_num)?;
+        self.build_from_shapes(prog_num, vers_num, proc_num, arg, res)
     }
 
     /// Run the pipeline from explicit message shapes.

@@ -1,0 +1,325 @@
+//! The specialized server facade: a service hosting many procedures.
+//!
+//! [`SpecService`] collects `(compiled stubs, handler)` pairs and installs
+//! each as *both* a raw fast-path handler (compiled decode → user function
+//! → compiled encode) and a generic handler on one [`SvcRegistry`], so
+//! dispatch happens by procedure number and every procedure keeps the
+//! §6.2 guard fallback. The same registry serves over UDP or TCP — the
+//! transport adapters are below the dispatch layer.
+
+use crate::generic::{decode_shape_generic, encode_shape_generic};
+use crate::pipeline::CompiledProc;
+use specrpc_netsim::net::{Addr, Network};
+use specrpc_rpc::error::RpcError;
+use specrpc_rpc::msg::ReplyHeader;
+use specrpc_rpc::svc::{SvcRegistry, REPLY_BUF_SIZE};
+use specrpc_rpc::svc_tcp::serve_tcp;
+use specrpc_rpc::svc_udp::serve_udp;
+use specrpc_rpcgen::sunlib::call_fields;
+use specrpc_tempo::compile::{run_decode, run_encode, Outcome, StubArgs};
+use specrpc_xdr::mem::XdrMem;
+use specrpc_xdr::OpCounts;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// A user service function: argument slots in, result slots out. `Arc`
+/// because one handler backs both the fast and the generic path (and can
+/// later be shared across dispatch threads).
+pub type SpecHandler = Arc<dyn Fn(&StubArgs) -> StubArgs>;
+
+/// A specialized RPC service: multiple procedures, each dispatched by
+/// `(program, version, procedure)` number with a compiled fast path and a
+/// generic fallback.
+#[derive(Default)]
+pub struct SpecService {
+    procs: Vec<(Arc<CompiledProc>, SpecHandler)>,
+}
+
+impl SpecService {
+    /// An empty service.
+    pub fn new() -> Self {
+        SpecService::default()
+    }
+
+    /// Fluently add a procedure: `proc_`'s target numbers route to
+    /// `handler`.
+    pub fn proc(
+        mut self,
+        proc_: Arc<CompiledProc>,
+        handler: impl Fn(&StubArgs) -> StubArgs + 'static,
+    ) -> Self {
+        self.procs.push((proc_, Arc::new(handler)));
+        self
+    }
+
+    /// Add a procedure with an already-shared handler.
+    pub fn proc_shared(mut self, proc_: Arc<CompiledProc>, handler: SpecHandler) -> Self {
+        self.procs.push((proc_, handler));
+        self
+    }
+
+    /// Number of procedures hosted.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether the service hosts no procedures.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+
+    /// Install every procedure on `registry`, fast path + generic
+    /// fallback each.
+    pub fn install(self, registry: &mut SvcRegistry) {
+        for (proc_, handler) in self.procs {
+            install_one(registry, proc_, handler);
+        }
+    }
+
+    /// Install into a fresh registry and serve it over UDP at `addr`.
+    pub fn serve_udp(self, net: &Network, addr: Addr) -> Rc<RefCell<SvcRegistry>> {
+        let mut reg = SvcRegistry::new();
+        self.install(&mut reg);
+        let reg = Rc::new(RefCell::new(reg));
+        serve_udp(net, addr, reg.clone(), None);
+        reg
+    }
+
+    /// Install into a fresh registry and serve it over TCP at `addr`.
+    pub fn serve_tcp(self, net: &Network, addr: Addr) -> Rc<RefCell<SvcRegistry>> {
+        let mut reg = SvcRegistry::new();
+        self.install(&mut reg);
+        let reg = Rc::new(RefCell::new(reg));
+        serve_tcp(net, addr, reg.clone(), None);
+        reg
+    }
+}
+
+/// Install one procedure's fast and generic handlers on the registry.
+fn install_one(registry: &mut SvcRegistry, proc_: Arc<CompiledProc>, handler: SpecHandler) {
+    let (prog, vers, pnum) = proc_.target;
+
+    // Fast path.
+    let p = proc_.clone();
+    let h = handler.clone();
+    registry.register_raw(
+        prog,
+        vers,
+        pnum,
+        Box::new(move |request: &[u8]| {
+            let dec = &p.server_decode;
+            let mut counts = OpCounts::new();
+            let mut args = StubArgs::new(
+                vec![0; dec.layout.scalar_count as usize],
+                vec![Vec::new(); dec.layout.array_count as usize],
+            );
+            match run_decode(&dec.program, request, &mut args, request.len(), &mut counts) {
+                Ok(Outcome::Done { ret: 1, .. }) => {}
+                _ => return None, // guard failed → generic path
+            }
+            let xid = args.scalars[call_fields::XID];
+            let results = h(&args);
+            let enc = &p.server_encode;
+            let mut full = results;
+            // Reply stub scalar slot 0 is the xid.
+            full.scalars.insert(0, xid);
+            let mut reply = vec![0u8; enc.wire_len];
+            match run_encode(&enc.program, &mut reply, &full, &mut counts) {
+                Ok(Outcome::Done { ret: 1, .. }) => Some(reply),
+                _ => {
+                    // Reply-shape guard failed: the handler produced
+                    // results outside the pinned context. Degrade to the
+                    // generic encoder with the results we already have —
+                    // returning None would re-dispatch generically and
+                    // run the (possibly side-effecting) handler twice.
+                    let mut gx = XdrMem::encoder(REPLY_BUF_SIZE);
+                    ReplyHeader::encode_success(&mut gx, xid as u32).ok()?;
+                    // `full` carries the xid at scalar slot 0; user
+                    // result scalars start at 1.
+                    encode_shape_generic(&mut gx, &p.res_shape, 1, &mut full).ok()?;
+                    Some(gx.into_bytes())
+                }
+            }
+        }),
+    );
+
+    // Generic path (also serves guard fallbacks).
+    let p = proc_;
+    let h = handler;
+    registry.register(
+        prog,
+        vers,
+        pnum,
+        Box::new(move |args_x, results_x| {
+            let dec = &p.server_decode;
+            let mut args = StubArgs::new(
+                vec![0; dec.layout.scalar_count as usize],
+                vec![Vec::new(); dec.layout.array_count as usize],
+            );
+            decode_shape_generic(
+                args_x,
+                &p.arg_shape,
+                &dec.layout,
+                call_fields::COUNT as u16,
+                &mut args,
+            )
+            .map_err(RpcError::from)?;
+            let mut results = h(&args);
+            // Generic results have no xid scratch; encode from slot 0.
+            encode_shape_generic(results_x, &p.res_shape, 0, &mut results)
+                .map_err(RpcError::from)?;
+            Ok(())
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{PathUsed, SpecClient};
+    use crate::pipeline::ProcPipeline;
+    use specrpc_netsim::net::NetworkConfig;
+    use specrpc_rpc::ClntUdp;
+
+    const IDL: &str = r#"
+        const MAXARR = 2000;
+        struct int_arr { int arr<MAXARR>; };
+        program ARRAYPROG {
+            version ARRAYVERS {
+                int_arr ECHO(int_arr) = 1;
+                int SUM(int_arr) = 2;
+            } = 1;
+        } = 0x20000101;
+    "#;
+
+    fn setup(n: usize) -> (Network, SpecClient<ClntUdp>, Rc<RefCell<SvcRegistry>>) {
+        let cp = Arc::new(ProcPipeline::new(n).build_from_idl(IDL, None, 1).unwrap());
+        let net = Network::new(NetworkConfig::lan(), 7);
+        let reg = SpecService::new()
+            .proc(cp.clone(), |args: &StubArgs| {
+                // Echo with doubling so we can see the server ran.
+                let doubled: Vec<i32> = args.arrays[0].iter().map(|v| v * 2).collect();
+                StubArgs::new(vec![], vec![doubled])
+            })
+            .serve_udp(&net, 800);
+        let clnt = ClntUdp::create(&net, 5100, 800, 0x2000_0101, 1);
+        (net, SpecClient::from_parts(clnt, cp), reg)
+    }
+
+    #[test]
+    fn fast_call_round_trips() {
+        let (_net, mut client, reg) = setup(10);
+        let data: Vec<i32> = (0..10).collect();
+        let args = client.args(vec![], vec![data.clone()]);
+        let (out, path) = client.call(&args).unwrap();
+        assert_eq!(path, PathUsed::Fast);
+        let want: Vec<i32> = data.iter().map(|v| v * 2).collect();
+        assert_eq!(out.arrays[0], want);
+        assert_eq!(reg.borrow().raw_dispatches, 1);
+        assert_eq!(reg.borrow().generic_dispatches, 0);
+        assert!(client.counts.stub_ops > 0);
+    }
+
+    #[test]
+    fn service_hosts_multiple_procedures() {
+        // One service, two procedures with different shapes, dispatched
+        // by procedure number — both on the fast path.
+        let n = 6;
+        let pipeline = ProcPipeline::new(n);
+        let echo = Arc::new(pipeline.build_from_idl(IDL, None, 1).unwrap());
+        let sum = Arc::new(pipeline.build_from_idl(IDL, None, 2).unwrap());
+        let net = Network::new(NetworkConfig::lan(), 9);
+        let reg = SpecService::new()
+            .proc(echo.clone(), |args: &StubArgs| {
+                StubArgs::new(vec![], vec![args.arrays[0].clone()])
+            })
+            .proc(sum.clone(), |args: &StubArgs| {
+                StubArgs::new(vec![args.arrays[0].iter().sum()], vec![])
+            })
+            .serve_udp(&net, 801);
+
+        let data: Vec<i32> = (1..=n as i32).collect();
+        let mut echo_client =
+            SpecClient::from_parts(ClntUdp::create(&net, 5200, 801, 0x2000_0101, 1), echo);
+        let args = echo_client.args(vec![], vec![data.clone()]);
+        let (out, path) = echo_client.call(&args).unwrap();
+        assert_eq!(path, PathUsed::Fast);
+        assert_eq!(out.arrays[0], data);
+
+        let mut sum_client =
+            SpecClient::from_parts(ClntUdp::create(&net, 5201, 801, 0x2000_0101, 1), sum);
+        let args = sum_client.args(vec![], vec![data.clone()]);
+        let (out, path) = sum_client.call(&args).unwrap();
+        assert_eq!(path, PathUsed::Fast);
+        assert_eq!(*out.scalars.last().unwrap(), 21);
+        assert_eq!(reg.borrow().raw_dispatches, 2);
+    }
+
+    #[test]
+    fn generic_client_triggers_server_guard_fallback() {
+        // The server is specialized for 10 elements. A *generic* client
+        // sends 7: the server's inlen guard fails, the generic dispatch
+        // answers, and semantics are preserved (§6.2 else branch).
+        let (net, _spec_client, reg) = setup(10);
+        let mut generic = ClntUdp::create(&net, 5200, 800, 0x2000_0101, 1);
+        let mut out: Vec<i32> = Vec::new();
+        generic
+            .call(
+                1,
+                &mut |x| {
+                    let mut v: Vec<i32> = (0..7).collect();
+                    specrpc_xdr::composite::xdr_array(
+                        x,
+                        &mut v,
+                        2000,
+                        specrpc_xdr::primitives::xdr_int,
+                    )
+                },
+                &mut |x| {
+                    specrpc_xdr::composite::xdr_array(
+                        x,
+                        &mut out,
+                        2000,
+                        specrpc_xdr::primitives::xdr_int,
+                    )
+                },
+            )
+            .unwrap();
+        let want: Vec<i32> = (0..7).map(|v| v * 2).collect();
+        assert_eq!(out, want);
+        assert_eq!(reg.borrow().raw_fallbacks, 1);
+        assert_eq!(reg.borrow().generic_dispatches, 1);
+    }
+
+    #[test]
+    fn error_reply_reaches_client_through_fallback() {
+        // Call a procedure number the server does not implement via the
+        // specialized client: the ProcUnavail reply fails the reply
+        // guard, the generic decoder runs and surfaces the proper error.
+        let cp10 = Arc::new(ProcPipeline::new(1).build_from_idl(IDL, None, 1).unwrap());
+        let net = Network::new(NetworkConfig::lan(), 9);
+        let reg = Rc::new(RefCell::new(SvcRegistry::new()));
+        // Program registered with no procedures beyond NULL.
+        reg.borrow_mut()
+            .register(0x2000_0101, 1, 0, Box::new(|_, _| Ok(())));
+        serve_udp(&net, 802, reg, None);
+        let clnt = ClntUdp::create(&net, 5300, 802, 0x2000_0101, 1);
+        let mut client = SpecClient::from_parts(clnt, cp10);
+        let args = client.args(vec![], vec![vec![42]]);
+        let err = client.call(&args).unwrap_err();
+        assert_eq!(err, RpcError::ProcUnavail);
+        assert_eq!(client.fallback_calls, 1);
+    }
+
+    #[test]
+    fn wrong_wire_size_from_client_side() {
+        // Encode stub wire length is fixed per context; sending a
+        // different count than the pinned length is a caller error the
+        // stub detects as BadElem (too few) — the API requires matching
+        // the context, mirroring per-size specialized binaries (Table 3).
+        let (_net, mut client, _reg) = setup(10);
+        let args = client.args(vec![], vec![vec![1, 2, 3]]);
+        assert!(client.call(&args).is_err());
+    }
+}

@@ -1,5 +1,6 @@
 //! Mapping specializer statistics onto the paper's §3 categories.
 
+use crate::cache::CacheStats;
 use specrpc_tempo::spec::SpecReport;
 
 /// What specialization eliminated, in the paper's vocabulary.
@@ -23,6 +24,9 @@ pub struct Summary {
     pub dynamic_guards: u64,
     /// Residual statement count.
     pub residual_stmts: usize,
+    /// Stub-cache effectiveness, when the stubs came through a
+    /// [`crate::cache::StubCache`].
+    pub cache: Option<CacheStats>,
 }
 
 impl Summary {
@@ -40,12 +44,19 @@ impl Summary {
             loop_iters_unrolled: r.loop_iters_unrolled,
             dynamic_guards: r.dynamic_ifs_residualized,
             residual_stmts: r.residual_stmts,
+            cache: None,
         }
+    }
+
+    /// Attach stub-cache counters (how many Tempo runs the cache saved).
+    pub fn with_cache(mut self, stats: CacheStats) -> Summary {
+        self.cache = Some(stats);
+        self
     }
 
     /// Render as the report block examples print.
     pub fn render(&self) -> String {
-        format!(
+        let mut text = format!(
             "  §3.1 dispatches eliminated:     {}\n\
              \u{20} §3.2 overflow checks removed:   {}\n\
              \u{20} §3.3 status tests folded:       {}\n\
@@ -60,7 +71,17 @@ impl Summary {
             self.loop_iters_unrolled,
             self.dynamic_guards,
             self.residual_stmts,
-        )
+        );
+        if let Some(c) = self.cache {
+            text.push_str(&format!(
+                "\n\u{20} stub cache:                     {} hit(s), {} miss(es), {} entr{}",
+                c.hits,
+                c.misses,
+                c.entries,
+                if c.entries == 1 { "y" } else { "ies" },
+            ));
+        }
+        text
     }
 }
 
@@ -100,5 +121,18 @@ mod tests {
         let text = s.render();
         assert!(text.contains("§3.1"));
         assert!(text.contains('7'));
+        assert!(!text.contains("stub cache"), "no cache line without stats");
+    }
+
+    #[test]
+    fn render_includes_cache_stats_when_attached() {
+        let s = Summary::default().with_cache(crate::cache::CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+        });
+        let text = s.render();
+        assert!(text.contains("stub cache"));
+        assert!(text.contains("3 hit(s), 1 miss(es), 1 entry"));
     }
 }

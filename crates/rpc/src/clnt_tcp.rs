@@ -4,10 +4,11 @@
 
 use crate::error::RpcError;
 use crate::msg::{CallHeader, ReplyHeader};
+use crate::transport::Transport;
 use crate::xid::XidGen;
 use specrpc_netsim::net::{Addr, Network};
 use specrpc_netsim::tcp::SimTcpStream;
-use specrpc_xdr::rec::XdrRec;
+use specrpc_xdr::rec::{self, XdrRec};
 use specrpc_xdr::{OpCounts, XdrOp, XdrResult, XdrStream};
 
 /// A TCP RPC client handle.
@@ -33,6 +34,11 @@ impl ClntTcp {
             xids: XidGen::new(server as u32 ^ 0x5555),
             counts: OpCounts::new(),
         })
+    }
+
+    /// Access the underlying stream (read-timeout tuning).
+    pub fn stream_mut(&mut self) -> &mut SimTcpStream {
+        &mut self.conn
     }
 
     /// `clnt_call` over TCP: one record out, one record in.
@@ -68,6 +74,44 @@ impl ClntTcp {
             let r = decode_results(&mut dec);
             self.counts += *dec.counts();
             return r.map_err(RpcError::from);
+        }
+    }
+}
+
+impl Transport for ClntTcp {
+    fn prog(&self) -> u32 {
+        self.prog
+    }
+
+    fn vers(&self) -> u32 {
+        self.vers
+    }
+
+    fn next_xid(&mut self) -> u32 {
+        self.xids.next_xid()
+    }
+
+    /// Raw record exchange: the request goes out as one record; reply
+    /// records are read until the xid matches (stale replies skipped, as
+    /// in `clnttcp_call`'s receive loop). The stream is reliable, so
+    /// there is no retransmission.
+    fn call(&mut self, request: Vec<u8>, xid: u32) -> Result<Vec<u8>, RpcError> {
+        debug_assert!(request.len() >= 4);
+        debug_assert_eq!(
+            u32::from_be_bytes([request[0], request[1], request[2], request[3]]),
+            xid,
+            "request must start with its xid"
+        );
+        rec::write_record(&mut self.conn, &request)
+            .map_err(|e| RpcError::Transport(e.to_string()))?;
+        loop {
+            let reply =
+                rec::read_record(&mut self.conn).map_err(|e| RpcError::Transport(e.to_string()))?;
+            if reply.len() >= 4
+                && u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]) == xid
+            {
+                return Ok(reply);
+            }
         }
     }
 }
@@ -197,6 +241,32 @@ mod tests {
             ClntTcp::create(&net, 2049, PROG, 1),
             Err(RpcError::Transport(_))
         ));
+    }
+
+    #[test]
+    fn raw_transport_exchange_round_trips() {
+        // The Transport view of the TCP client: a pre-marshaled call
+        // message goes out as one record and the matching reply comes
+        // back as flat bytes.
+        use crate::msg::{CallHeader, ReplyHeader};
+        use specrpc_xdr::mem::XdrMem;
+        let net = Network::new(NetworkConfig::lan(), 11);
+        serve_tcp(&net, 2049, service(), None);
+        let mut clnt = ClntTcp::create(&net, 2049, PROG, 1).unwrap();
+        let xid = Transport::next_xid(&mut clnt);
+        let mut enc = XdrMem::encoder(256);
+        let mut msg = CallHeader::new(xid, PROG, 1, 1);
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let mut v = vec![5i32, 6, 7];
+        xdr_array(&mut enc, &mut v, 100, xdr_int).unwrap();
+        let reply = Transport::call(&mut clnt, enc.into_bytes(), xid).unwrap();
+        let mut dec = XdrMem::decoder(&reply);
+        let hdr = ReplyHeader::decode(&mut dec).unwrap();
+        assert_eq!(hdr.xid, xid);
+        assert!(hdr.to_error().is_none());
+        let mut out: Vec<i32> = Vec::new();
+        xdr_array(&mut dec, &mut out, 100, xdr_int).unwrap();
+        assert_eq!(out, vec![7, 6, 5]);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use crate::error::RpcError;
 use crate::msg::{CallHeader, ReplyHeader};
+use crate::transport::Transport;
 use crate::xid::XidGen;
 use specrpc_netsim::net::{Addr, Network};
 use specrpc_netsim::udp::SimUdpSocket;
@@ -133,6 +134,24 @@ impl ClntUdp {
         let r = decode_results(&mut dec);
         self.counts += *dec.counts();
         r.map_err(RpcError::from)
+    }
+}
+
+impl Transport for ClntUdp {
+    fn prog(&self) -> u32 {
+        self.prog
+    }
+
+    fn vers(&self) -> u32 {
+        self.vers
+    }
+
+    fn next_xid(&mut self) -> u32 {
+        self.xids.next_xid()
+    }
+
+    fn call(&mut self, request: Vec<u8>, xid: u32) -> Result<Vec<u8>, RpcError> {
+        self.exchange(request, xid)
     }
 }
 

@@ -21,6 +21,7 @@ pub mod pmap;
 pub mod svc;
 pub mod svc_tcp;
 pub mod svc_udp;
+pub mod transport;
 pub mod xid;
 
 pub use auth::OpaqueAuth;
@@ -29,3 +30,4 @@ pub use clnt_udp::ClntUdp;
 pub use error::RpcError;
 pub use msg::{AcceptStat, CallHeader, MsgType, RejectStat, ReplyHeader, ReplyStat, RPC_VERS};
 pub use svc::SvcRegistry;
+pub use transport::Transport;

@@ -341,6 +341,20 @@ mod tests {
     }
 
     #[test]
+    fn unregister_also_drops_raw_handlers() {
+        // Regression guard: unregister must clean BOTH maps. A stale raw
+        // handler left behind would keep answering on the specialized
+        // path after the program is gone.
+        let mut reg = echo_registry();
+        reg.register_raw(100_007, 1, 3, Box::new(|_req| Some(vec![0; 4])));
+        reg.unregister(100_007, 1);
+        let reply = reg.dispatch(&make_call(100_007, 1, 3, 1));
+        let (hdr, _) = parse_reply(&reply);
+        assert_eq!(hdr.to_error(), Some(RpcError::ProgUnavail));
+        assert_eq!(reg.raw_dispatches, 0, "raw handler must be gone");
+    }
+
+    #[test]
     fn peek_call_target_parses_words() {
         let call = make_call(77, 8, 9, 0);
         assert_eq!(peek_call_target(&call), Some((77, 8, 9)));

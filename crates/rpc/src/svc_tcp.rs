@@ -5,14 +5,12 @@
 use crate::svc::SvcRegistry;
 use specrpc_netsim::net::{Addr, Network, TcpHandler};
 use specrpc_netsim::SimTime;
+use specrpc_xdr::rec::{FRAG_LEN_MASK as LEN_MASK, LAST_FRAG_FLAG as LAST_FRAG};
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// Per-(request, reply) byte processing-time model (see `svc_udp`).
 pub type ProcTimeModel = Rc<dyn Fn(usize, usize) -> SimTime>;
-
-const LAST_FRAG: u32 = 0x8000_0000;
-const LEN_MASK: u32 = 0x7fff_ffff;
 
 /// Record-marking reassembler + dispatcher for one connection.
 pub struct SvcTcpConn {

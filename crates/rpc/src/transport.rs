@@ -1,0 +1,33 @@
+//! The transport abstraction the specialized facade is generic over.
+//!
+//! Specialization replaces *marshaling*, not the protocol machinery: a
+//! compiled stub produces the complete request image (xid first), and the
+//! transport's job is to deliver it and return the matching reply bytes.
+//! Both the datagram client ([`crate::ClntUdp`], retransmitting) and the
+//! stream client ([`crate::ClntTcp`], record-marked) provide exactly that
+//! service, so every facade path — specialized, generic, and the §6.2
+//! guard fallback — works unchanged over either.
+
+use crate::error::RpcError;
+
+/// A client-side RPC transport: raw pre-marshaled exchanges plus the
+/// identity of the remote program.
+///
+/// `request` must be a complete RPC call message whose first word is
+/// `xid`; the implementation returns the first complete reply message
+/// whose leading word matches `xid` (stale replies are skipped, and UDP
+/// retransmits on per-try timeout).
+pub trait Transport {
+    /// Program number this transport targets.
+    fn prog(&self) -> u32;
+
+    /// Version number this transport targets.
+    fn vers(&self) -> u32;
+
+    /// Allocate the next transaction id.
+    fn next_xid(&mut self) -> u32;
+
+    /// Perform one raw exchange: send `request`, return the reply whose
+    /// xid matches.
+    fn call(&mut self, request: Vec<u8>, xid: u32) -> Result<Vec<u8>, RpcError>;
+}

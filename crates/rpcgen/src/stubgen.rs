@@ -37,7 +37,7 @@ const MSG_CALL: i64 = 0;
 const MSG_REPLY: i64 = 1;
 
 /// Field shapes the specialized fast path supports.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum FieldShape {
     /// One 32-bit integer.
     Scalar {
@@ -74,7 +74,7 @@ impl FieldShape {
 }
 
 /// The shape of one message (argument or result struct).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct MsgShape {
     /// Fields in wire order.
     pub fields: Vec<FieldShape>,

@@ -67,8 +67,37 @@ impl RecordIo for MemPipe {
 /// send buffer).
 pub const DEFAULT_FRAGMENT_SIZE: usize = 8192;
 
-const LAST_FRAG_FLAG: u32 = 0x8000_0000;
-const FRAG_LEN_MASK: u32 = 0x7fff_ffff;
+/// Record-marking header flag: marks the final fragment of a record.
+pub const LAST_FRAG_FLAG: u32 = 0x8000_0000;
+/// Mask selecting the fragment-length bits of a record-marking header.
+pub const FRAG_LEN_MASK: u32 = 0x7fff_ffff;
+
+/// Write `payload` to `io` as one complete record (a single final
+/// fragment) — the raw-exchange counterpart of [`XdrRec`]'s buffered
+/// encoding, used by pre-marshaled (specialized) messages.
+pub fn write_record<T: RecordIo>(io: &mut T, payload: &[u8]) -> XdrResult {
+    let header = htonl(payload.len() as u32 | LAST_FRAG_FLAG);
+    io.write_all(&header.to_ne_bytes())?;
+    io.write_all(payload)
+}
+
+/// Read one complete record from `io`, reassembling fragment chains into
+/// flat message bytes.
+pub fn read_record<T: RecordIo>(io: &mut T) -> XdrResult<Vec<u8>> {
+    let mut record = Vec::new();
+    loop {
+        let mut raw = [0u8; 4];
+        io.read_exact(&mut raw)?;
+        let header = ntohl(u32::from_ne_bytes(raw));
+        let len = (header & FRAG_LEN_MASK) as usize;
+        let start = record.len();
+        record.resize(start + len, 0);
+        io.read_exact(&mut record[start..])?;
+        if header & LAST_FRAG_FLAG != 0 {
+            return Ok(record);
+        }
+    }
+}
 
 /// A record-marking XDR stream over a byte transport.
 pub struct XdrRec<T: RecordIo> {

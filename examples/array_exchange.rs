@@ -2,13 +2,16 @@
 //! large chunks of structured data over RPC — integer arrays of the
 //! Table 1/2 sizes — measured in virtual time on the simulated network,
 //! plus a demonstration of the §6.2 guard fallback keeping clients and
-//! servers of mismatched specialization contexts interoperable.
+//! servers of mismatched specialization contexts interoperable, and of
+//! the shape-keyed stub cache deduplicating Tempo runs across
+//! deployments.
 //!
 //! ```text
 //! cargo run --release --example array_exchange
 //! ```
 
 use specrpc::echo::{workload, EchoBench, Mode, PAPER_SIZES};
+use specrpc::StubCache;
 
 fn main() {
     println!("== array exchange: the paper's test program on the simulated network ==\n");
@@ -18,8 +21,9 @@ fn main() {
     );
     println!("{}", "-".repeat(62));
 
+    let cache = StubCache::new();
     for &n in &PAPER_SIZES {
-        let mut bench = EchoBench::new(n, None, 42).expect("deploy");
+        let mut bench = EchoBench::new_cached(n, None, 42, &cache).expect("deploy");
         bench.model_cpu(specrpc_netsim::platform::Platform::IpxSunosAtm);
         let data = workload(n);
         let iters = 20;
@@ -35,7 +39,7 @@ fn main() {
             tg.as_millis_f64(),
             ts.as_millis_f64(),
             tg.as_millis_f64() / ts.as_millis_f64(),
-            bench.fast.fast_calls,
+            bench.spec.fast_calls,
             iters,
         );
     }
@@ -43,10 +47,23 @@ fn main() {
     println!("\n(virtual time with IPX/SunOS client CPU weights; the full tables come from");
     println!(" `cargo run -p specrpc-bench --bin paper_tables`)\n");
 
+    // Specialization caching: redeploying the whole fleet hits the cache
+    // for every size — six contexts, six Tempo runs total, ever.
+    println!("-- stub cache: one Tempo run per (program, vers, proc, shape) --");
+    for &n in &PAPER_SIZES {
+        let _ = EchoBench::new_cached(n, None, 43, &cache).expect("redeploy");
+    }
+    let s = cache.stats();
+    println!(
+        "  two full fleet deployments: {} compiles, {} cache hits ({} contexts held)",
+        s.misses, s.hits, s.entries
+    );
+    assert_eq!(s.misses as usize, PAPER_SIZES.len());
+
     // Interoperability: a client specialized for 100-element arrays
     // talking to the same server with a 64-element array falls back to
     // the generic path and still gets the right answer.
-    println!("-- guard fallback (§6.2): mismatched sizes stay correct --");
+    println!("\n-- guard fallback (§6.2): mismatched sizes stay correct --");
     let mut bench = EchoBench::new(100, None, 7).expect("deploy");
     let small = workload(64);
     let out = bench

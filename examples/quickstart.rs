@@ -1,22 +1,19 @@
 //! Quickstart: the paper's introductory `rmin` example — a remote
 //! procedure taking two integers and returning their minimum — called
 //! first through the generic Sun path, then through Tempo-specialized
-//! stubs, over the simulated network.
+//! stubs built with the `SpecClient`/`SpecService` facade, over the
+//! simulated network.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use specrpc::fast::{FastClient, FastHandler, FastServer};
-use specrpc::pipeline::ProcPipeline;
+use specrpc::{PathUsed, ProcSpec, SpecClient, SpecService, StubCache};
 use specrpc_netsim::net::{Network, NetworkConfig};
-use specrpc_rpc::svc::SvcRegistry;
-use specrpc_rpc::svc_udp::serve_udp;
 use specrpc_rpc::ClntUdp;
 use specrpc_tempo::compile::StubArgs;
 use specrpc_xdr::primitives::xdr_int;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The interface definition the paper's §2 example would feed rpcgen.
 const RMIN_IDL: &str = r#"
@@ -37,12 +34,13 @@ const PORT: u16 = 3100;
 fn main() {
     println!("== rmin quickstart: generic vs specialized Sun RPC ==\n");
 
-    // 1. rpcgen → Tempo pipeline: all four stubs for RMIN.
-    let proc_ = Rc::new(
-        ProcPipeline::new(0)
-            .build_from_idl(RMIN_IDL, None, 1)
-            .expect("pipeline"),
-    );
+    // 1. rpcgen → Tempo pipeline, through the shape-keyed cache: all
+    //    four stubs for RMIN, compiled exactly once no matter how many
+    //    clients and services ask for this context.
+    let cache = Arc::new(StubCache::new());
+    let proc_ = ProcSpec::new(RMIN_IDL, 1)
+        .compile(None, Some(&cache))
+        .expect("pipeline");
     println!(
         "specialized stubs compiled: encode {} ops / decode {} ops (request {} bytes)",
         proc_.client_encode.program.len(),
@@ -52,14 +50,14 @@ fn main() {
 
     // 2. Deploy the service (fast + generic paths share one registry).
     let net = Network::new(NetworkConfig::lan(), 1);
-    let mut reg = SvcRegistry::new();
-    let handler: FastHandler = Rc::new(|args: &StubArgs| {
-        // The last two scalar slots are int1, int2 (after header scratch).
-        let ints = &args.scalars[args.scalars.len() - 2..];
-        StubArgs::new(vec![ints[0].min(ints[1])], vec![])
-    });
-    FastServer::install(&mut reg, proc_.clone(), handler);
-    serve_udp(&net, PORT, Rc::new(RefCell::new(reg)), None);
+    SpecService::new()
+        .proc(proc_.clone(), |args: &StubArgs| {
+            // The last two scalar slots are int1, int2 (after header
+            // scratch).
+            let ints = &args.scalars[args.scalars.len() - 2..];
+            StubArgs::new(vec![ints[0].min(ints[1])], vec![])
+        })
+        .serve_udp(&net, PORT);
 
     // 3. Generic call: the Figure 1 layered chain.
     println!("\n-- generic call (the paper's Figure 1 chain) --");
@@ -88,16 +86,27 @@ fn main() {
         generic.counts.dispatches, generic.counts.overflow_checks, generic.counts.layer_calls
     );
 
-    // 4. Specialized call: compiled residual stubs, same wire format.
+    // 4. Specialized call: the fluent builder resolves the same context
+    //    through the cache (a hit — no second Tempo run), wraps the UDP
+    //    transport, and runs the compiled residual stubs.
     println!("\n-- specialized call (Figure 5 residual, compiled) --");
-    let clnt = ClntUdp::create(&net, 5002, PORT, 0x2000_0100, 1);
-    let mut fast = FastClient::new(clnt, proc_);
-    let args = fast.args(vec![42, 7], vec![]);
-    let (out, path) = fast.call(&args).expect("fast rmin");
+    let mut spec = SpecClient::builder(ClntUdp::create(&net, 5002, PORT, 0x2000_0100, 1))
+        .proc(ProcSpec::new(RMIN_IDL, 1))
+        .cache(cache.clone())
+        .build()
+        .expect("specialized client");
+    let args = spec.args(vec![42, 7], vec![]);
+    let (out, path) = spec.call(&args).expect("fast rmin");
+    assert_eq!(path, PathUsed::Fast);
     println!("  rmin(42, 7) = {} (path: {path:?})", out.scalars[6]);
     println!(
         "  specialized marshaling paid: {} stub ops, 0 dispatches, 0 overflow checks",
-        fast.counts.stub_ops
+        spec.counts.stub_ops
+    );
+    let stats = cache.stats();
+    println!(
+        "  stub cache: {} miss (the compile), {} hit (this client)",
+        stats.misses, stats.hits
     );
 
     println!("\nBoth paths produce identical wire messages; the specialized one");

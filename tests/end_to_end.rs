@@ -1,17 +1,16 @@
 //! Cross-crate integration tests: the full system — IDL → Tempo pipeline
-//! → RPC over the simulated network — under normal and faulty conditions.
+//! → RPC over the simulated network — under normal and faulty conditions,
+//! through the transport-agnostic `SpecClient`/`SpecService` facade.
 
-use specrpc::echo::{workload, EchoBench, Mode};
-use specrpc::fast::{FastClient, FastHandler, FastServer};
-use specrpc::pipeline::ProcPipeline;
+use specrpc::echo::{echo_service, workload, EchoBench, Mode};
+use specrpc::{PathUsed, ProcPipeline, SpecClient, StubCache};
 use specrpc_netsim::net::{Network, NetworkConfig};
 use specrpc_netsim::{FaultConfig, SimTime};
-use specrpc_rpc::svc::SvcRegistry;
-use specrpc_rpc::svc_udp::serve_udp;
 use specrpc_rpc::ClntUdp;
 use specrpc_tempo::compile::StubArgs;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 #[test]
 fn echo_round_trips_match_across_modes_and_sizes() {
@@ -24,7 +23,7 @@ fn echo_round_trips_match_across_modes_and_sizes() {
             .expect("specialized");
         assert_eq!(g, data, "n={n}");
         assert_eq!(s, data, "n={n}");
-        assert_eq!(bench.fast.fast_calls, 1, "n={n}: fast path used");
+        assert_eq!(bench.spec.fast_calls, 1, "n={n}: fast path used");
     }
 }
 
@@ -33,7 +32,7 @@ fn specialized_client_survives_lossy_network() {
     // The fast path replaces marshaling, not transaction management:
     // retransmission must still recover from loss/duplication/reordering.
     let n = 64;
-    let proc_ = Rc::new(
+    let proc_ = Arc::new(
         ProcPipeline::new(n)
             .build_from_idl(specrpc::echo::ECHO_IDL, None, 1)
             .expect("pipeline"),
@@ -46,27 +45,23 @@ fn specialized_client_survives_lossy_network() {
         }),
         20_260_612,
     );
-    let mut reg = SvcRegistry::new();
-    let handler: FastHandler =
-        Rc::new(|args: &StubArgs| StubArgs::new(vec![], vec![args.arrays[0].clone()]));
-    FastServer::install(&mut reg, proc_.clone(), handler);
-    serve_udp(&net, 700, Rc::new(RefCell::new(reg)), None);
+    echo_service(proc_.clone()).serve_udp(&net, 700);
 
     let mut clnt = ClntUdp::create(&net, 5005, 700, 0x2000_0101, 1);
     clnt.retry_timeout = SimTime::from_millis(15);
     clnt.total_timeout = SimTime::from_millis(10_000);
-    let mut fast = FastClient::new(clnt, proc_);
+    let mut spec = SpecClient::from_parts(clnt, proc_);
 
     let data = workload(n);
     for round in 0..25 {
-        let args = fast.args(vec![], vec![data.clone()]);
-        let (out, _) = fast
+        let args = spec.args(vec![], vec![data.clone()]);
+        let (out, _) = spec
             .call(&args)
             .unwrap_or_else(|e| panic!("round {round}: {e}"));
         assert_eq!(out.arrays[0], data, "round {round}");
     }
     assert!(
-        fast.transport_mut().retransmits > 0,
+        spec.transport_mut().retransmits > 0,
         "loss must have forced retransmissions"
     );
 }
@@ -77,7 +72,7 @@ fn garbled_reply_falls_back_not_crashes() {
     // dynamic guard must reject it and the generic decoder must report a
     // proper protocol error (never a panic, never silent corruption).
     let n = 8;
-    let proc_ = Rc::new(
+    let proc_ = Arc::new(
         ProcPipeline::new(n)
             .build_from_idl(specrpc::echo::ECHO_IDL, None, 1)
             .expect("pipeline"),
@@ -113,11 +108,11 @@ fn garbled_reply_falls_back_not_crashes() {
         }),
     );
     let clnt = ClntUdp::create(&net, 5006, 700, 0x2000_0101, 1);
-    let mut fast = FastClient::new(clnt, proc_);
-    let args = fast.args(vec![], vec![workload(n)]);
-    let err = fast.call(&args).unwrap_err();
+    let mut spec = SpecClient::from_parts(clnt, proc_);
+    let args = spec.args(vec![], vec![workload(n)]);
+    let err = spec.call(&args).unwrap_err();
     assert_eq!(err, specrpc_rpc::RpcError::SystemErr);
-    assert_eq!(fast.fallback_calls, 1);
+    assert_eq!(spec.fallback_calls, 1);
 }
 
 #[test]
@@ -149,10 +144,57 @@ fn mixed_fleet_interoperates() {
 }
 
 #[test]
+fn stub_cache_reuses_one_compile_across_clients() {
+    // The scale scenario the cache exists for: many clients of the same
+    // (program, version, procedure, shape) context. The second client
+    // must be a cache hit — same Arc, no second Tempo run.
+    let n = 120;
+    let cache = Arc::new(StubCache::new());
+    let net = Network::new(NetworkConfig::lan(), 3);
+
+    let first = SpecClient::builder(ClntUdp::create(&net, 5007, 700, 0x2000_0101, 1))
+        .proc(specrpc::echo::echo_spec(n))
+        .cache(cache.clone())
+        .build()
+        .expect("first client");
+    echo_service(first.compiled().clone()).serve_udp(&net, 700);
+
+    let mut second = SpecClient::builder(ClntUdp::create(&net, 5008, 700, 0x2000_0101, 1))
+        .proc(specrpc::echo::echo_spec(n))
+        .cache(cache.clone())
+        .build()
+        .expect("second client");
+
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "exactly one Tempo run");
+    assert!(stats.hits > 0, "second client hit the cache");
+    assert!(
+        Arc::ptr_eq(first.compiled(), second.compiled()),
+        "both clients share the same compiled stubs"
+    );
+
+    // And the shared stubs actually work on the wire.
+    let data = workload(n);
+    let args = second.args(vec![], vec![data.clone()]);
+    let (out, path) = second.call(&args).expect("call");
+    assert_eq!(path, PathUsed::Fast);
+    assert_eq!(out.arrays[0], data);
+
+    // A different shape context is a miss, not a collision.
+    let third = SpecClient::builder(ClntUdp::create(&net, 5009, 700, 0x2000_0101, 1))
+        .proc(specrpc::echo::echo_spec(n + 1))
+        .cache(cache.clone())
+        .build()
+        .expect("third client");
+    assert!(!Arc::ptr_eq(first.compiled(), third.compiled()));
+    assert_eq!(cache.stats().misses, 2);
+}
+
+#[test]
 fn specialized_and_generic_produce_identical_requests_on_the_wire() {
     // Capture actual datagrams: a mirror server records request bytes.
     let n = 33;
-    let proc_ = Rc::new(
+    let proc_ = Arc::new(
         ProcPipeline::new(n)
             .build_from_idl(specrpc::echo::ECHO_IDL, None, 1)
             .expect("pipeline"),
@@ -170,11 +212,11 @@ fn specialized_and_generic_produce_identical_requests_on_the_wire() {
 
     // Specialized client request.
     let clnt = ClntUdp::create(&net, 5007, 700, 0x2000_0101, 1);
-    let mut fast = FastClient::new(clnt, proc_);
-    fast.transport_mut().retry_timeout = SimTime::from_millis(5);
-    fast.transport_mut().total_timeout = SimTime::from_millis(5);
-    let args = fast.args(vec![], vec![workload(n)]);
-    let _ = fast.call(&args); // times out; the request was captured
+    let mut spec = SpecClient::from_parts(clnt, proc_);
+    spec.transport_mut().retry_timeout = SimTime::from_millis(5);
+    spec.transport_mut().total_timeout = SimTime::from_millis(5);
+    let args = spec.args(vec![], vec![workload(n)]);
+    let _ = spec.call(&args); // times out; the request was captured
 
     // Generic client request.
     let mut generic = ClntUdp::create(&net, 5008, 700, 0x2000_0101, 1);

@@ -4,11 +4,13 @@
 //! code produces (`spec(p, s)(d) == p(s, d)`), and decode inverts encode.
 
 use proptest::prelude::*;
-use specrpc::echo::{build_echo_proc, generic_encode_request};
+use specrpc::echo::{build_echo_proc, generic_encode_request, ECHO_IDL};
+use specrpc::{ProcPipeline, StubCache};
 use specrpc_rpcgen::desc::{xdr_value, TypeDesc, XdrValue};
 use specrpc_tempo::compile::{run_decode, run_encode, Outcome, StubArgs};
 use specrpc_xdr::mem::XdrMem;
 use specrpc_xdr::{OpCounts, XdrStream};
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -52,6 +54,34 @@ proptest! {
         run_encode(&full.client_encode.program, &mut b1, &args, &mut counts).unwrap();
         run_encode(&chunked.client_encode.program, &mut b2, &args, &mut counts).unwrap();
         prop_assert_eq!(b1, b2);
+    }
+
+    /// A `StubCache` hit is byte-equivalent to a fresh Tempo compile of
+    /// the same shape: memoization must not change the wire image.
+    #[test]
+    fn stub_cache_hit_is_byte_identical_to_fresh_compile(
+        data in prop::collection::vec(any::<i32>(), 1..150),
+        xid in any::<u32>(),
+    ) {
+        let n = data.len();
+        let cache = StubCache::new();
+        let p = ProcPipeline::new(n);
+        let first = cache.get_or_compile_idl(&p, ECHO_IDL, None, 1).unwrap();
+        let cached = cache.get_or_compile_idl(&p, ECHO_IDL, None, 1).unwrap();
+        prop_assert!(Arc::ptr_eq(&first, &cached), "second lookup must hit");
+        prop_assert_eq!(cache.stats().hits, 1);
+        prop_assert_eq!(cache.stats().misses, 1);
+
+        let fresh = build_echo_proc(n, None).unwrap();
+        let args = StubArgs::new(vec![xid as i32], vec![data.clone()]);
+        let mut counts = OpCounts::new();
+        let mut from_cache = vec![0u8; cached.client_encode.wire_len];
+        run_encode(&cached.client_encode.program, &mut from_cache, &args, &mut counts)
+            .unwrap();
+        let mut from_fresh = vec![0u8; fresh.client_encode.wire_len];
+        run_encode(&fresh.client_encode.program, &mut from_fresh, &args, &mut counts)
+            .unwrap();
+        prop_assert_eq!(from_cache, from_fresh);
     }
 
     /// Server decode stub inverts client encode stub for all data.

@@ -1,0 +1,165 @@
+//! Transport-agnosticism of the facade: the same `SpecClient`/
+//! `SpecService` pair, the same compiled stubs, and — crucially — the
+//! same §6.2 guard-fallback semantics must hold over retransmitting UDP
+//! datagrams and record-marked TCP streams alike.
+
+use specrpc::echo::{workload, ECHO_IDL};
+use specrpc::{PathUsed, ProcPipeline, SpecClient, SpecService};
+use specrpc_netsim::net::{Network, NetworkConfig};
+use specrpc_rpc::svc::SvcRegistry;
+use specrpc_rpc::{ClntTcp, ClntUdp, Transport};
+use specrpc_tempo::compile::StubArgs;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+const PROG: u32 = 0x2000_0101;
+const PORT: u16 = 760;
+
+fn compile(n: usize) -> Arc<specrpc::CompiledProc> {
+    Arc::new(
+        ProcPipeline::new(n)
+            .build_from_idl(ECHO_IDL, None, 1)
+            .expect("pipeline"),
+    )
+}
+
+/// Deploy an echoing service specialized for `server_n` over both
+/// transports of one network, with a handler that truncates results to
+/// `truncate_to` elements when set. Returns the registry and a counter
+/// of handler invocations (§6.2 fallback must not re-run user code).
+fn deploy(
+    net: &Network,
+    server_n: usize,
+    truncate_to: Option<usize>,
+) -> (Rc<RefCell<SvcRegistry>>, Rc<std::cell::Cell<u64>>) {
+    let calls = Rc::new(std::cell::Cell::new(0u64));
+    let c = calls.clone();
+    let proc_ = compile(server_n);
+    let service = SpecService::new().proc(proc_, move |args: &StubArgs| {
+        c.set(c.get() + 1);
+        let data = match truncate_to {
+            Some(k) => args.arrays[0][..k.min(args.arrays[0].len())].to_vec(),
+            None => args.arrays[0].clone(),
+        };
+        StubArgs::new(vec![], vec![data])
+    });
+    let mut reg = SvcRegistry::new();
+    service.install(&mut reg);
+    let reg = Rc::new(RefCell::new(reg));
+    specrpc_rpc::svc_udp::serve_udp(net, PORT, reg.clone(), None);
+    specrpc_rpc::svc_tcp::serve_tcp(net, PORT + 1, reg.clone(), None);
+    (reg, calls)
+}
+
+fn udp_client(net: &Network, n: usize) -> SpecClient<ClntUdp> {
+    SpecClient::from_parts(ClntUdp::create(net, 5400, PORT, PROG, 1), compile(n))
+}
+
+fn tcp_client(net: &Network, n: usize) -> SpecClient<ClntTcp> {
+    SpecClient::from_parts(
+        ClntTcp::create(net, PORT + 1, PROG, 1).expect("connect"),
+        compile(n),
+    )
+}
+
+/// A client whose specialization context disagrees with the server's
+/// (7 vs 10 elements): the server's inlen guard rejects the request, the
+/// generic dispatch answers, and the data still round-trips — with the
+/// user handler running exactly once.
+fn server_guard_fallback_on<T: Transport>(
+    mut client: SpecClient<T>,
+    reg: &Rc<RefCell<SvcRegistry>>,
+    calls: &Rc<std::cell::Cell<u64>>,
+) {
+    let data = workload(7);
+    let args = client.args(vec![], vec![data.clone()]);
+    let (out, _path) = client.call(&args).expect("mismatched call");
+    assert_eq!(out.arrays[0], data, "fallback must preserve semantics");
+    assert_eq!(reg.borrow().raw_fallbacks, 1, "server guard must fail");
+    assert_eq!(reg.borrow().generic_dispatches, 1);
+    assert_eq!(calls.get(), 1, "handler must run exactly once");
+}
+
+#[test]
+fn server_guard_fallback_over_udp() {
+    let net = Network::new(NetworkConfig::lan(), 41);
+    let (reg, calls) = deploy(&net, 10, None);
+    server_guard_fallback_on(udp_client(&net, 7), &reg, &calls);
+}
+
+#[test]
+fn server_guard_fallback_over_tcp() {
+    let net = Network::new(NetworkConfig::lan(), 42);
+    let (reg, calls) = deploy(&net, 10, None);
+    server_guard_fallback_on(tcp_client(&net, 7), &reg, &calls);
+}
+
+/// A handler that returns fewer elements than the reply stub is pinned
+/// for: the server's raw encode guard fails, so the reply degrades to
+/// the generic encoding (without re-running the handler), and the
+/// client's reply guard fails too (generic decode runs). Both §6.2
+/// fallbacks fire, the answer is still correct, and the user handler
+/// ran exactly once.
+fn reply_shape_mismatch_on<T: Transport>(
+    mut client: SpecClient<T>,
+    reg: &Rc<RefCell<SvcRegistry>>,
+    calls: &Rc<std::cell::Cell<u64>>,
+) {
+    let data = workload(10);
+    let args = client.args(vec![], vec![data.clone()]);
+    let (out, path) = client.call(&args).expect("truncated call");
+    assert_eq!(path, PathUsed::GenericFallback, "client guard must fail");
+    assert_eq!(out.arrays[0], &data[..5], "fallback result must be right");
+    assert_eq!(client.fallback_calls, 1);
+    assert_eq!(calls.get(), 1, "handler must run exactly once");
+    // The raw handler answered (with a generically-encoded reply); no
+    // second dispatch happened.
+    assert_eq!(reg.borrow().raw_dispatches, 1);
+    assert_eq!(reg.borrow().generic_dispatches, 0);
+}
+
+#[test]
+fn reply_shape_mismatch_falls_back_over_udp() {
+    let net = Network::new(NetworkConfig::lan(), 43);
+    let (reg, calls) = deploy(&net, 10, Some(5));
+    reply_shape_mismatch_on(udp_client(&net, 10), &reg, &calls);
+}
+
+#[test]
+fn reply_shape_mismatch_falls_back_over_tcp() {
+    let net = Network::new(NetworkConfig::lan(), 44);
+    let (reg, calls) = deploy(&net, 10, Some(5));
+    reply_shape_mismatch_on(tcp_client(&net, 10), &reg, &calls);
+}
+
+#[test]
+fn same_stubs_same_bytes_on_both_transports() {
+    // Transport-agnosticism at the byte level: the specialized request
+    // image is identical whether it rides a datagram or a record — only
+    // the framing differs. Compare the request bytes each server saw.
+    let n = 12;
+    let net = Network::new(NetworkConfig::lan(), 45);
+    let (reg, _calls) = deploy(&net, n, None);
+    let data = workload(n);
+
+    let mut udp = udp_client(&net, n);
+    let args = udp.args(vec![], vec![data.clone()]);
+    let (out, path) = udp.call(&args).expect("udp call");
+    assert_eq!(
+        (out.arrays[0].clone(), path),
+        (data.clone(), PathUsed::Fast)
+    );
+
+    let mut tcp = tcp_client(&net, n);
+    let args = tcp.args(vec![], vec![data.clone()]);
+    let (out, path) = tcp.call(&args).expect("tcp call");
+    assert_eq!(
+        (out.arrays[0].clone(), path),
+        (data.clone(), PathUsed::Fast)
+    );
+
+    // Both went down the raw fast path on the shared registry.
+    assert_eq!(reg.borrow().raw_dispatches, 2);
+    assert_eq!(reg.borrow().raw_fallbacks, 0);
+}

@@ -4,9 +4,13 @@
 //! It is a real measuring harness, not a no-op: each benchmark is warmed
 //! up, then timed for `sample_size` samples of auto-calibrated iteration
 //! batches, and median / mean wall-clock per iteration is printed. It
-//! does not do outlier analysis, plotting, or baseline comparison.
+//! does not do outlier analysis or plotting. For baseline comparison,
+//! setting `CRITERION_JSON_DIR=<dir>` additionally writes one
+//! `<dir>/<bench-target>.json` per bench binary with the measured
+//! medians/means (consumed by the workspace's `bench_baseline` helper).
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Benchmark identifier: `group/function/parameter`.
@@ -142,6 +146,70 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
+struct JsonEntry {
+    label: String,
+    median_ns: f64,
+    mean_ns: f64,
+}
+
+fn json_sink() -> &'static Mutex<Vec<JsonEntry>> {
+    static SINK: OnceLock<Mutex<Vec<JsonEntry>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn bench_binary_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    // `cargo bench` binaries are `<target>-<16-hex-hash>`; strip the hash.
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Write every measurement recorded so far to
+/// `$CRITERION_JSON_DIR/<bench-target>.json` (no-op when the variable is
+/// unset). Called by `criterion_main!` after all groups ran.
+pub fn flush_json() {
+    let Some(dir) = std::env::var_os("CRITERION_JSON_DIR") else {
+        return;
+    };
+    let entries = json_sink().lock().expect("json sink");
+    if entries.is_empty() {
+        return;
+    }
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("criterion: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"label\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}}}{}\n",
+            json_escape(&e.label),
+            e.median_ns,
+            e.mean_ns,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    let path = dir.join(format!("{}.json", bench_binary_name()));
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: cannot write {}: {e}", path.display());
+    }
+}
+
 fn report(label: &str, b: &Bencher, throughput: Option<Throughput>) {
     let mut per_iter = b.per_iter_nanos();
     if per_iter.is_empty() {
@@ -151,6 +219,13 @@ fn report(label: &str, b: &Bencher, throughput: Option<Throughput>) {
     per_iter.sort_by(|a, c| a.partial_cmp(c).unwrap());
     let median = per_iter[per_iter.len() / 2];
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    if std::env::var_os("CRITERION_JSON_DIR").is_some() {
+        json_sink().lock().expect("json sink").push(JsonEntry {
+            label: label.to_string(),
+            median_ns: median,
+            mean_ns: mean,
+        });
+    }
     let tp = match throughput {
         Some(Throughput::Bytes(n)) if median > 0.0 => {
             format!(
@@ -226,6 +301,7 @@ macro_rules! criterion_main {
                 return;
             }
             $( $group(); )+
+            $crate::flush_json();
         }
     };
 }
