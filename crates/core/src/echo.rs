@@ -26,8 +26,6 @@ use specrpc_xdr::composite::xdr_array;
 use specrpc_xdr::mem::XdrMem;
 use specrpc_xdr::primitives::xdr_int;
 use specrpc_xdr::{OpCounts, XdrResult, XdrStream};
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// Program number of the echo service.
@@ -131,7 +129,7 @@ pub fn echo_service(proc_: Arc<CompiledProc>) -> SpecService {
 }
 
 /// Install the echo service on a network over UDP.
-pub fn serve_echo(net: &Network, proc_: Arc<CompiledProc>) -> Rc<RefCell<SvcRegistry>> {
+pub fn serve_echo(net: &Network, proc_: Arc<CompiledProc>) -> Arc<SvcRegistry> {
     echo_service(proc_).serve_udp(net, ECHO_PORT)
 }
 
@@ -144,7 +142,7 @@ pub struct EchoBench {
     /// Generic client.
     pub generic: ClntUdp,
     /// The shared service registry (path counters).
-    pub registry: Rc<RefCell<SvcRegistry>>,
+    pub registry: Arc<SvcRegistry>,
     /// Array size this deployment is specialized for.
     pub n: usize,
     /// Optional CPU cost model: when set, client marshaling work advances
@@ -264,7 +262,7 @@ pub struct TcpEchoBench {
     /// Generic client.
     pub generic: ClntTcp,
     /// The shared service registry (path counters).
-    pub registry: Rc<RefCell<SvcRegistry>>,
+    pub registry: Arc<SvcRegistry>,
     /// Array size this deployment is specialized for.
     pub n: usize,
 }
@@ -353,7 +351,7 @@ mod tests {
         // Both requests hit the server's raw fast path: the generic
         // client's wire image matches the specialized context too, so
         // server-side specialization also benefits generic clients.
-        assert_eq!(bench.registry.borrow().raw_dispatches, 2);
+        assert_eq!(bench.registry.raw_dispatches(), 2);
     }
 
     #[test]
@@ -365,7 +363,7 @@ mod tests {
         let s = bench.round_trip(Mode::Specialized, &data).unwrap();
         assert_eq!(s, data);
         assert_eq!(bench.spec.fast_calls, 1);
-        assert_eq!(bench.registry.borrow().raw_dispatches, 2);
+        assert_eq!(bench.registry.raw_dispatches(), 2);
     }
 
     #[test]

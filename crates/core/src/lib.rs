@@ -73,6 +73,75 @@
 //! assert_eq!(cache.stats().hits, 1);
 //! ```
 //!
+//! # Threading model
+//!
+//! The entire serving stack is `Send + Sync` and shares through `Arc`:
+//!
+//! - [`Network`](specrpc_netsim::Network) keeps all simulator state —
+//!   including the virtual clock — behind one lock, so any number of
+//!   threads may drive it; with a single driving thread the trace is
+//!   fully deterministic (seeded faults, tie-broken event order), while
+//!   multiple driving threads stay data-race-free but interleave
+//!   scheduling-dependently (see `specrpc_netsim::net` for the precise
+//!   guarantee).
+//! - [`SvcRegistry`](specrpc_rpc::SvcRegistry) stores handlers as
+//!   `Arc<dyn Fn … + Send + Sync>` behind `RwLock`ed maps and dispatches
+//!   through `&self` with no lock held during the handler run, so
+//!   independent requests dispatch concurrently.
+//! - [`StubCache`] is `Arc`/`Mutex`-based: equal contexts compile exactly
+//!   once no matter how many threads race on the lookup.
+//! - [`SpecService::serve_threaded`] puts a worker pool in front of one
+//!   shared registry — per-datagram round-robin for UDP, per-connection
+//!   pinning for TCP — and surfaces per-worker dispatch counts through
+//!   [`Summary::with_threads`].
+//!
+//! A threaded deployment end to end:
+//!
+//! ```
+//! use specrpc::{ProcSpec, SpecClient, SpecService, StubCache, Summary};
+//! use specrpc_netsim::net::{Network, NetworkConfig};
+//! use specrpc_rpc::ClntUdp;
+//! use specrpc_tempo::compile::StubArgs;
+//! use std::sync::Arc;
+//!
+//! const IDL: &str = r#"
+//!     program NEGPROG {
+//!         version NEGVERS { int NEG(int) = 1; } = 1;
+//!     } = 0x20000778;
+//! "#;
+//!
+//! let cache = Arc::new(StubCache::new());
+//! let proc_ = ProcSpec::new(IDL, 1).compile(None, Some(&cache)).unwrap();
+//!
+//! let net = Network::new(NetworkConfig::lan(), 1);
+//! // Four dispatch workers share one registry (and the one cache-held
+//! // stub set); each datagram is processed on a worker thread.
+//! let served = SpecService::new()
+//!     .proc(proc_.clone(), |args: &StubArgs| {
+//!         StubArgs::new(vec![-args.scalars.last().unwrap()], vec![])
+//!     })
+//!     .serve_threaded(&net, 901, 4);
+//!
+//! let transport = ClntUdp::create(&net, 5002, 901, 0x2000_0778, 1);
+//! let mut client = SpecClient::builder(transport)
+//!     .compiled(proc_)
+//!     .build()
+//!     .unwrap();
+//! for i in 0..8 {
+//!     let (out, _) = client.call(&client.args(vec![i], vec![])).unwrap();
+//!     assert_eq!(*out.scalars.last().unwrap(), -i);
+//! }
+//!
+//! // Per-worker dispatch counts flow into the Summary report.
+//! let per_thread = served.per_thread_dispatches();
+//! assert_eq!(per_thread.iter().sum::<u64>(), 8);
+//! let report = Summary::default()
+//!     .with_cache(cache.stats())
+//!     .with_threads(per_thread)
+//!     .render();
+//! assert!(report.contains("threaded dispatch"));
+//! ```
+//!
 //! The [`echo`] module packages the paper's benchmark workload (a remote
 //! procedure exchanging integer arrays, §5 "The test program"); [`client`]
 //! and [`service`] hold the transport-agnostic facade; [`cache`] the
@@ -90,5 +159,5 @@ pub mod summary;
 pub use cache::{CacheStats, ShapeKey, StubCache};
 pub use client::{PathUsed, ProcSpec, SpecClient, SpecClientBuilder};
 pub use pipeline::{CompiledProc, PipelineError, ProcPipeline};
-pub use service::{SpecHandler, SpecService};
+pub use service::{SpecHandler, SpecService, ThreadedService};
 pub use summary::Summary;

@@ -6,6 +6,18 @@
 //! dispatch happens by procedure number and every procedure keeps the
 //! §6.2 guard fallback. The same registry serves over UDP or TCP — the
 //! transport adapters are below the dispatch layer.
+//!
+//! # Threading model
+//!
+//! The whole serving stack is `Send + Sync`: handlers are
+//! `Arc<dyn Fn … + Send + Sync>`, the registry is interior-locked, and
+//! the network is shareable across threads, so one installed service can
+//! be driven (and dispatched) from any number of threads. On top of that,
+//! [`SpecService::serve_threaded`] processes independent requests on a
+//! dedicated worker pool — per-datagram for UDP, per-connection for TCP —
+//! while every worker shares the one registry (and therefore one
+//! `StubCache`-compiled stub set); per-worker dispatch counts surface
+//! through [`crate::Summary`].
 
 use crate::generic::{decode_shape_generic, encode_shape_generic};
 use crate::pipeline::CompiledProc;
@@ -14,19 +26,18 @@ use specrpc_rpc::error::RpcError;
 use specrpc_rpc::msg::ReplyHeader;
 use specrpc_rpc::svc::{SvcRegistry, REPLY_BUF_SIZE};
 use specrpc_rpc::svc_tcp::serve_tcp;
+use specrpc_rpc::svc_threaded::{attach_tcp, attach_udp, DispatchPool};
 use specrpc_rpc::svc_udp::serve_udp;
 use specrpc_rpcgen::sunlib::call_fields;
 use specrpc_tempo::compile::{run_decode, run_encode, Outcome, StubArgs};
 use specrpc_xdr::mem::XdrMem;
 use specrpc_xdr::OpCounts;
-use std::cell::RefCell;
-use std::rc::Rc;
 use std::sync::Arc;
 
 /// A user service function: argument slots in, result slots out. `Arc`
-/// because one handler backs both the fast and the generic path (and can
-/// later be shared across dispatch threads).
-pub type SpecHandler = Arc<dyn Fn(&StubArgs) -> StubArgs>;
+/// with `Send + Sync` because one handler backs both the fast and the
+/// generic path and may run on any dispatch thread.
+pub type SpecHandler = Arc<dyn Fn(&StubArgs) -> StubArgs + Send + Sync>;
 
 /// A specialized RPC service: multiple procedures, each dispatched by
 /// `(program, version, procedure)` number with a compiled fast path and a
@@ -34,6 +45,30 @@ pub type SpecHandler = Arc<dyn Fn(&StubArgs) -> StubArgs>;
 #[derive(Default)]
 pub struct SpecService {
     procs: Vec<(Arc<CompiledProc>, SpecHandler)>,
+}
+
+/// A service deployed through [`SpecService::serve_threaded`]: the shared
+/// registry plus the worker pool that dispatches its requests.
+pub struct ThreadedService {
+    /// The shared dispatch registry (path counters, unregister).
+    pub registry: Arc<SvcRegistry>,
+    /// The worker pool (per-thread dispatch counts).
+    pub pool: Arc<DispatchPool>,
+}
+
+impl ThreadedService {
+    /// Requests dispatched per worker thread — feed this to
+    /// [`crate::Summary::with_threads`].
+    pub fn per_thread_dispatches(&self) -> Vec<u64> {
+        self.pool.per_thread_dispatches()
+    }
+
+    /// Additionally serve the same registry and pool over TCP at `addr`
+    /// (per-connection worker pinning).
+    pub fn also_tcp(&self, net: &Network, addr: Addr) -> &Self {
+        attach_tcp(net, addr, self.pool.clone(), None);
+        self
+    }
 }
 
 impl SpecService {
@@ -47,7 +82,7 @@ impl SpecService {
     pub fn proc(
         mut self,
         proc_: Arc<CompiledProc>,
-        handler: impl Fn(&StubArgs) -> StubArgs + 'static,
+        handler: impl Fn(&StubArgs) -> StubArgs + Send + Sync + 'static,
     ) -> Self {
         self.procs.push((proc_, Arc::new(handler)));
         self
@@ -71,107 +106,111 @@ impl SpecService {
 
     /// Install every procedure on `registry`, fast path + generic
     /// fallback each.
-    pub fn install(self, registry: &mut SvcRegistry) {
+    pub fn install(self, registry: &SvcRegistry) {
         for (proc_, handler) in self.procs {
             install_one(registry, proc_, handler);
         }
     }
 
+    /// Install into a fresh shared registry.
+    pub fn into_registry(self) -> Arc<SvcRegistry> {
+        let reg = SvcRegistry::new();
+        self.install(&reg);
+        Arc::new(reg)
+    }
+
     /// Install into a fresh registry and serve it over UDP at `addr`.
-    pub fn serve_udp(self, net: &Network, addr: Addr) -> Rc<RefCell<SvcRegistry>> {
-        let mut reg = SvcRegistry::new();
-        self.install(&mut reg);
-        let reg = Rc::new(RefCell::new(reg));
+    pub fn serve_udp(self, net: &Network, addr: Addr) -> Arc<SvcRegistry> {
+        let reg = self.into_registry();
         serve_udp(net, addr, reg.clone(), None);
         reg
     }
 
     /// Install into a fresh registry and serve it over TCP at `addr`.
-    pub fn serve_tcp(self, net: &Network, addr: Addr) -> Rc<RefCell<SvcRegistry>> {
-        let mut reg = SvcRegistry::new();
-        self.install(&mut reg);
-        let reg = Rc::new(RefCell::new(reg));
+    pub fn serve_tcp(self, net: &Network, addr: Addr) -> Arc<SvcRegistry> {
+        let reg = self.into_registry();
         serve_tcp(net, addr, reg.clone(), None);
         reg
+    }
+
+    /// Install into a fresh registry and serve it over UDP at `addr`,
+    /// dispatching each datagram on a pool of `pool_size` worker threads
+    /// that share the registry (and any `StubCache`-compiled stubs).
+    /// Chain [`ThreadedService::also_tcp`] to serve TCP from the same
+    /// pool with per-connection worker pinning.
+    pub fn serve_threaded(self, net: &Network, addr: Addr, pool_size: usize) -> ThreadedService {
+        let registry = self.into_registry();
+        let pool = Arc::new(DispatchPool::new(registry.clone(), pool_size));
+        attach_udp(net, addr, pool.clone(), None);
+        ThreadedService { registry, pool }
     }
 }
 
 /// Install one procedure's fast and generic handlers on the registry.
-fn install_one(registry: &mut SvcRegistry, proc_: Arc<CompiledProc>, handler: SpecHandler) {
+fn install_one(registry: &SvcRegistry, proc_: Arc<CompiledProc>, handler: SpecHandler) {
     let (prog, vers, pnum) = proc_.target;
 
     // Fast path.
     let p = proc_.clone();
     let h = handler.clone();
-    registry.register_raw(
-        prog,
-        vers,
-        pnum,
-        Box::new(move |request: &[u8]| {
-            let dec = &p.server_decode;
-            let mut counts = OpCounts::new();
-            let mut args = StubArgs::new(
-                vec![0; dec.layout.scalar_count as usize],
-                vec![Vec::new(); dec.layout.array_count as usize],
-            );
-            match run_decode(&dec.program, request, &mut args, request.len(), &mut counts) {
-                Ok(Outcome::Done { ret: 1, .. }) => {}
-                _ => return None, // guard failed → generic path
+    registry.register_raw(prog, vers, pnum, move |request: &[u8]| {
+        let dec = &p.server_decode;
+        let mut counts = OpCounts::new();
+        let mut args = StubArgs::new(
+            vec![0; dec.layout.scalar_count as usize],
+            vec![Vec::new(); dec.layout.array_count as usize],
+        );
+        match run_decode(&dec.program, request, &mut args, request.len(), &mut counts) {
+            Ok(Outcome::Done { ret: 1, .. }) => {}
+            _ => return None, // guard failed → generic path
+        }
+        let xid = args.scalars[call_fields::XID];
+        let results = h(&args);
+        let enc = &p.server_encode;
+        let mut full = results;
+        // Reply stub scalar slot 0 is the xid.
+        full.scalars.insert(0, xid);
+        let mut reply = vec![0u8; enc.wire_len];
+        match run_encode(&enc.program, &mut reply, &full, &mut counts) {
+            Ok(Outcome::Done { ret: 1, .. }) => Some(reply),
+            _ => {
+                // Reply-shape guard failed: the handler produced
+                // results outside the pinned context. Degrade to the
+                // generic encoder with the results we already have —
+                // returning None would re-dispatch generically and
+                // run the (possibly side-effecting) handler twice.
+                let mut gx = XdrMem::encoder(REPLY_BUF_SIZE);
+                ReplyHeader::encode_success(&mut gx, xid as u32).ok()?;
+                // `full` carries the xid at scalar slot 0; user
+                // result scalars start at 1.
+                encode_shape_generic(&mut gx, &p.res_shape, 1, &mut full).ok()?;
+                Some(gx.into_bytes())
             }
-            let xid = args.scalars[call_fields::XID];
-            let results = h(&args);
-            let enc = &p.server_encode;
-            let mut full = results;
-            // Reply stub scalar slot 0 is the xid.
-            full.scalars.insert(0, xid);
-            let mut reply = vec![0u8; enc.wire_len];
-            match run_encode(&enc.program, &mut reply, &full, &mut counts) {
-                Ok(Outcome::Done { ret: 1, .. }) => Some(reply),
-                _ => {
-                    // Reply-shape guard failed: the handler produced
-                    // results outside the pinned context. Degrade to the
-                    // generic encoder with the results we already have —
-                    // returning None would re-dispatch generically and
-                    // run the (possibly side-effecting) handler twice.
-                    let mut gx = XdrMem::encoder(REPLY_BUF_SIZE);
-                    ReplyHeader::encode_success(&mut gx, xid as u32).ok()?;
-                    // `full` carries the xid at scalar slot 0; user
-                    // result scalars start at 1.
-                    encode_shape_generic(&mut gx, &p.res_shape, 1, &mut full).ok()?;
-                    Some(gx.into_bytes())
-                }
-            }
-        }),
-    );
+        }
+    });
 
     // Generic path (also serves guard fallbacks).
     let p = proc_;
     let h = handler;
-    registry.register(
-        prog,
-        vers,
-        pnum,
-        Box::new(move |args_x, results_x| {
-            let dec = &p.server_decode;
-            let mut args = StubArgs::new(
-                vec![0; dec.layout.scalar_count as usize],
-                vec![Vec::new(); dec.layout.array_count as usize],
-            );
-            decode_shape_generic(
-                args_x,
-                &p.arg_shape,
-                &dec.layout,
-                call_fields::COUNT as u16,
-                &mut args,
-            )
-            .map_err(RpcError::from)?;
-            let mut results = h(&args);
-            // Generic results have no xid scratch; encode from slot 0.
-            encode_shape_generic(results_x, &p.res_shape, 0, &mut results)
-                .map_err(RpcError::from)?;
-            Ok(())
-        }),
-    );
+    registry.register(prog, vers, pnum, move |args_x, results_x| {
+        let dec = &p.server_decode;
+        let mut args = StubArgs::new(
+            vec![0; dec.layout.scalar_count as usize],
+            vec![Vec::new(); dec.layout.array_count as usize],
+        );
+        decode_shape_generic(
+            args_x,
+            &p.arg_shape,
+            &dec.layout,
+            call_fields::COUNT as u16,
+            &mut args,
+        )
+        .map_err(RpcError::from)?;
+        let mut results = h(&args);
+        // Generic results have no xid scratch; encode from slot 0.
+        encode_shape_generic(results_x, &p.res_shape, 0, &mut results).map_err(RpcError::from)?;
+        Ok(())
+    });
 }
 
 #[cfg(test)]
@@ -193,7 +232,16 @@ mod tests {
         } = 0x20000101;
     "#;
 
-    fn setup(n: usize) -> (Network, SpecClient<ClntUdp>, Rc<RefCell<SvcRegistry>>) {
+    #[test]
+    fn serving_stack_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpecService>();
+        assert_send_sync::<SvcRegistry>();
+        assert_send_sync::<Network>();
+        assert_send_sync::<ThreadedService>();
+    }
+
+    fn setup(n: usize) -> (Network, SpecClient<ClntUdp>, Arc<SvcRegistry>) {
         let cp = Arc::new(ProcPipeline::new(n).build_from_idl(IDL, None, 1).unwrap());
         let net = Network::new(NetworkConfig::lan(), 7);
         let reg = SpecService::new()
@@ -216,8 +264,8 @@ mod tests {
         assert_eq!(path, PathUsed::Fast);
         let want: Vec<i32> = data.iter().map(|v| v * 2).collect();
         assert_eq!(out.arrays[0], want);
-        assert_eq!(reg.borrow().raw_dispatches, 1);
-        assert_eq!(reg.borrow().generic_dispatches, 0);
+        assert_eq!(reg.raw_dispatches(), 1);
+        assert_eq!(reg.generic_dispatches(), 0);
         assert!(client.counts.stub_ops > 0);
     }
 
@@ -253,7 +301,7 @@ mod tests {
         let (out, path) = sum_client.call(&args).unwrap();
         assert_eq!(path, PathUsed::Fast);
         assert_eq!(*out.scalars.last().unwrap(), 21);
-        assert_eq!(reg.borrow().raw_dispatches, 2);
+        assert_eq!(reg.raw_dispatches(), 2);
     }
 
     #[test]
@@ -288,8 +336,8 @@ mod tests {
             .unwrap();
         let want: Vec<i32> = (0..7).map(|v| v * 2).collect();
         assert_eq!(out, want);
-        assert_eq!(reg.borrow().raw_fallbacks, 1);
-        assert_eq!(reg.borrow().generic_dispatches, 1);
+        assert_eq!(reg.raw_fallbacks(), 1);
+        assert_eq!(reg.generic_dispatches(), 1);
     }
 
     #[test]
@@ -299,11 +347,10 @@ mod tests {
         // guard, the generic decoder runs and surfaces the proper error.
         let cp10 = Arc::new(ProcPipeline::new(1).build_from_idl(IDL, None, 1).unwrap());
         let net = Network::new(NetworkConfig::lan(), 9);
-        let reg = Rc::new(RefCell::new(SvcRegistry::new()));
+        let reg = SvcRegistry::new();
         // Program registered with no procedures beyond NULL.
-        reg.borrow_mut()
-            .register(0x2000_0101, 1, 0, Box::new(|_, _| Ok(())));
-        serve_udp(&net, 802, reg, None);
+        reg.register(0x2000_0101, 1, 0, |_, _| Ok(()));
+        serve_udp(&net, 802, Arc::new(reg), None);
         let clnt = ClntUdp::create(&net, 5300, 802, 0x2000_0101, 1);
         let mut client = SpecClient::from_parts(clnt, cp10);
         let args = client.args(vec![], vec![vec![42]]);
@@ -321,5 +368,32 @@ mod tests {
         let (_net, mut client, _reg) = setup(10);
         let args = client.args(vec![], vec![vec![1, 2, 3]]);
         assert!(client.call(&args).is_err());
+    }
+
+    #[test]
+    fn threaded_service_round_trips_and_counts_per_worker() {
+        let n = 8;
+        let cp = Arc::new(ProcPipeline::new(n).build_from_idl(IDL, None, 1).unwrap());
+        let net = Network::new(NetworkConfig::lan(), 13);
+        let served = SpecService::new()
+            .proc(cp.clone(), |args: &StubArgs| {
+                StubArgs::new(vec![], vec![args.arrays[0].clone()])
+            })
+            .serve_threaded(&net, 803, 3);
+
+        let clnt = ClntUdp::create(&net, 5400, 803, 0x2000_0101, 1);
+        let mut client = SpecClient::from_parts(clnt, cp);
+        let data: Vec<i32> = (0..n as i32).collect();
+        for _ in 0..6 {
+            let args = client.args(vec![], vec![data.clone()]);
+            let (out, path) = client.call(&args).unwrap();
+            assert_eq!(path, PathUsed::Fast);
+            assert_eq!(out.arrays[0], data);
+        }
+        let per = served.per_thread_dispatches();
+        assert_eq!(per.len(), 3);
+        assert_eq!(per.iter().sum::<u64>(), 6);
+        assert!(per.iter().all(|&c| c == 2), "round-robin: {per:?}");
+        assert_eq!(served.registry.raw_dispatches(), 6);
     }
 }

@@ -27,6 +27,9 @@ pub struct Summary {
     /// Stub-cache effectiveness, when the stubs came through a
     /// [`crate::cache::StubCache`].
     pub cache: Option<CacheStats>,
+    /// Requests dispatched per worker thread, when the service ran under
+    /// [`crate::SpecService::serve_threaded`].
+    pub threads: Option<Vec<u64>>,
 }
 
 impl Summary {
@@ -45,12 +48,20 @@ impl Summary {
             dynamic_guards: r.dynamic_ifs_residualized,
             residual_stmts: r.residual_stmts,
             cache: None,
+            threads: None,
         }
     }
 
     /// Attach stub-cache counters (how many Tempo runs the cache saved).
     pub fn with_cache(mut self, stats: CacheStats) -> Summary {
         self.cache = Some(stats);
+        self
+    }
+
+    /// Attach per-worker dispatch counts from a threaded deployment
+    /// ([`crate::service::ThreadedService::per_thread_dispatches`]).
+    pub fn with_threads(mut self, per_thread: Vec<u64>) -> Summary {
+        self.threads = Some(per_thread);
         self
     }
 
@@ -79,6 +90,16 @@ impl Summary {
                 c.misses,
                 c.entries,
                 if c.entries == 1 { "y" } else { "ies" },
+            ));
+        }
+        if let Some(t) = &self.threads {
+            let total: u64 = t.iter().sum();
+            let per: Vec<String> = t.iter().map(u64::to_string).collect();
+            text.push_str(&format!(
+                "\n\u{20} threaded dispatch:              {} across {} worker(s) [{}]",
+                total,
+                t.len(),
+                per.join(", "),
             ));
         }
         text
@@ -134,5 +155,17 @@ mod tests {
         let text = s.render();
         assert!(text.contains("stub cache"));
         assert!(text.contains("3 hit(s), 1 miss(es), 1 entry"));
+        assert!(
+            !text.contains("threaded dispatch"),
+            "no thread line without stats"
+        );
+    }
+
+    #[test]
+    fn render_includes_per_thread_dispatches_when_attached() {
+        let s = Summary::default().with_threads(vec![4, 3, 5]);
+        let text = s.render();
+        assert!(text.contains("threaded dispatch"));
+        assert!(text.contains("12 across 3 worker(s) [4, 3, 5]"));
     }
 }

@@ -4,6 +4,17 @@
 //! datagrams; the client's retransmission logic (`clntudp_call`) exists
 //! because of it. The simulator reproduces those conditions
 //! deterministically from a seed so failure-path tests are repeatable.
+//!
+//! **Scope: UDP only.** [`FaultState::judge`] is consulted once per UDP
+//! datagram send and never for TCP traffic — the TCP model is a reliable,
+//! ordered byte pipe, exactly the property RPC record marking assumes
+//! (real TCP handles loss/duplication/reordering below that abstraction).
+//! In particular the [`Verdict::Duplicate`] verdict has no TCP analogue:
+//! duplicating bytes inside a reliable stream would corrupt record
+//! framing, not model a network fault. `tests/faults.rs` pins both halves
+//! of this contract: TCP traces are byte- and time-identical with faults
+//! on or off, and TCP traffic does not consume (shift) the seeded UDP
+//! verdict stream.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

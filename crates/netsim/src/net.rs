@@ -1,22 +1,43 @@
 //! The event-driven virtual-time network core.
 //!
-//! A [`Network`] is a single-threaded discrete-event simulator: sends
-//! schedule delivery events at `now + latency + size/bandwidth`; the run
-//! loop pops events in time order, advancing the virtual clock. Servers
-//! are *handlers* — callbacks invoked when traffic reaches their address —
-//! while the test driver plays the client, blocking in
-//! [`Network::run_until`]-style waits that advance the clock.
+//! A [`Network`] is a discrete-event simulator: sends schedule delivery
+//! events at `now + latency + size/bandwidth`; the run loop pops events in
+//! time order, advancing the virtual clock. Servers are *handlers* —
+//! callbacks invoked when traffic reaches their address — while the test
+//! driver plays the client, blocking in [`Network::run_until`]-style waits
+//! that advance the clock.
 //!
 //! Determinism: all randomness (fault injection) is seeded, event ties are
 //! broken by sequence number, and no wall-clock time is consulted; two runs
 //! with the same seed produce byte- and time-identical traces.
+//!
+//! # Threading model
+//!
+//! [`Network`] is `Send + Sync`: every piece of simulator state lives
+//! behind one `Arc<Mutex<NetInner>>`, so the virtual clock, the event
+//! queue, and the traffic counters advance under a single lock and can be
+//! shared freely across threads (handlers must be `Send`). Handlers are
+//! *not* invoked under the simulator lock — each handler sits in its own
+//! `Mutex` slot, so a handler may itself send traffic (re-entering the
+//! simulator) and two threads delivering to the same address serialize on
+//! the handler, never dropping a datagram.
+//!
+//! Determinism guarantees under threads: with a **single** driving thread
+//! the trace is byte- and time-identical run to run (the seeded fault
+//! stream, tie-breaking sequence numbers, and the single clock are all
+//! funneled through the one lock). With **multiple** threads driving
+//! `run_until` concurrently the simulation stays data-race-free and every
+//! event is still delivered exactly once in virtual-time order, but which
+//! thread pops which event — and therefore how idle-time clock advances
+//! interleave — depends on OS scheduling; cross-thread traces are
+//! reproducible only in their per-address payload contents, not in their
+//! global timing.
 
 use crate::fault::{FaultConfig, FaultState, Verdict};
 use crate::time::SimTime;
-use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A network address (think UDP/TCP port; hosts are implicit — the paper's
 /// testbed is two machines on one link).
@@ -35,7 +56,9 @@ pub struct NetworkConfig {
     pub latency: SimTime,
     /// Serialization cost per payload byte.
     pub ns_per_byte: u64,
-    /// Datagram fault model (UDP only).
+    /// Datagram fault model (UDP only — see [`FaultConfig`]; the TCP
+    /// model is a reliable byte pipe and never consults the fault
+    /// stream).
     pub faults: FaultConfig,
 }
 
@@ -102,23 +125,29 @@ impl Ord for Scheduled {
 
 /// A UDP service handler: gets a request datagram, optionally returns a
 /// reply plus the simulated processing time spent producing it.
-pub type UdpHandler = Box<dyn FnMut(&[u8], Addr) -> Option<(Vec<u8>, SimTime)>>;
+pub type UdpHandler = Box<dyn FnMut(&[u8], Addr) -> Option<(Vec<u8>, SimTime)> + Send>;
 
 /// Per-connection TCP service handler: gets newly arrived bytes, returns
 /// bytes to send back plus processing time (empty response is fine — the
 /// handler may be mid-record).
-pub trait TcpHandler {
+pub trait TcpHandler: Send {
     /// Consume newly arrived bytes, produce output bytes and the simulated
     /// processing time.
     fn on_bytes(&mut self, bytes: &[u8]) -> (Vec<u8>, SimTime);
 }
 
 /// Factory producing one [`TcpHandler`] per accepted connection.
-pub type TcpHandlerFactory = Box<dyn FnMut() -> Box<dyn TcpHandler>>;
+pub type TcpHandlerFactory = Box<dyn FnMut() -> Box<dyn TcpHandler> + Send>;
+
+/// A handler checked out of the simulator for invocation: its own lock,
+/// never held together with the simulator lock, so handlers can re-enter
+/// the network and concurrent deliveries to one address serialize instead
+/// of dropping.
+type Slot<T> = Arc<Mutex<T>>;
 
 struct ConnState {
     client_rx: VecDeque<u8>,
-    server_handler: Option<Box<dyn TcpHandler>>,
+    server_handler: Slot<Box<dyn TcpHandler>>,
     /// Transmit-complete times per direction (to_server, to_client):
     /// TCP is FIFO with cumulative serialization, so each send starts
     /// after the previous one finished.
@@ -128,32 +157,39 @@ struct ConnState {
 struct NetInner {
     now: SimTime,
     seq: u64,
+    /// Events popped from the queue whose dispatch has not finished yet.
+    /// A dispatching thread may be about to schedule follow-up events
+    /// (e.g. a server reply), so idle fast-forward must wait for it —
+    /// otherwise a concurrent waiter would see a transiently empty queue
+    /// and jump the clock past its own deadline.
+    in_flight: usize,
     cfg: NetworkConfig,
     faults: FaultState,
     queue: BinaryHeap<Reverse<Scheduled>>,
     /// Client mailboxes keyed by bound address.
     mailboxes: HashMap<Addr, VecDeque<Datagram>>,
-    udp_handlers: HashMap<Addr, UdpHandler>,
-    tcp_listeners: HashMap<Addr, TcpHandlerFactory>,
+    udp_handlers: HashMap<Addr, Slot<UdpHandler>>,
+    tcp_listeners: HashMap<Addr, Slot<TcpHandlerFactory>>,
     conns: Vec<ConnState>,
     /// Total payload bytes that crossed the link (for reports).
     bytes_sent: u64,
     datagrams_sent: u64,
 }
 
-/// Cloneable handle to a simulated network.
+/// Cloneable, thread-shareable handle to a simulated network.
 #[derive(Clone)]
 pub struct Network {
-    inner: Rc<RefCell<NetInner>>,
+    inner: Arc<Mutex<NetInner>>,
 }
 
 impl Network {
     /// A network with the given link parameters and fault seed.
     pub fn new(cfg: NetworkConfig, seed: u64) -> Self {
         Network {
-            inner: Rc::new(RefCell::new(NetInner {
+            inner: Arc::new(Mutex::new(NetInner {
                 now: SimTime::ZERO,
                 seq: 0,
+                in_flight: 0,
                 faults: FaultState::new(cfg.faults, seed),
                 cfg,
                 queue: BinaryHeap::new(),
@@ -167,24 +203,28 @@ impl Network {
         }
     }
 
+    fn lock(&self) -> MutexGuard<'_, NetInner> {
+        self.inner.lock().expect("network lock poisoned")
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.inner.borrow().now
+        self.lock().now
     }
 
     /// Total payload bytes sent so far.
     pub fn bytes_sent(&self) -> u64 {
-        self.inner.borrow().bytes_sent
+        self.lock().bytes_sent
     }
 
     /// Total datagrams sent so far.
     pub fn datagrams_sent(&self) -> u64 {
-        self.inner.borrow().datagrams_sent
+        self.lock().datagrams_sent
     }
 
     /// Bind a client UDP endpoint at `addr` (mailbox semantics).
     pub fn bind_udp(&self, addr: Addr) -> Endpoint {
-        self.inner.borrow_mut().mailboxes.entry(addr).or_default();
+        self.lock().mailboxes.entry(addr).or_default();
         Endpoint {
             net: self.clone(),
             addr,
@@ -193,26 +233,29 @@ impl Network {
 
     /// Install a UDP service at `addr`.
     pub fn serve_udp(&self, addr: Addr, handler: UdpHandler) {
-        self.inner.borrow_mut().udp_handlers.insert(addr, handler);
+        self.lock()
+            .udp_handlers
+            .insert(addr, Arc::new(Mutex::new(handler)));
     }
 
     /// Install a TCP service (one handler per accepted connection).
     pub fn serve_tcp(&self, addr: Addr, factory: TcpHandlerFactory) {
-        self.inner.borrow_mut().tcp_listeners.insert(addr, factory);
+        self.lock()
+            .tcp_listeners
+            .insert(addr, Arc::new(Mutex::new(factory)));
     }
 
     /// Open a TCP connection to a listening address.
     pub fn connect_tcp(&self, addr: Addr) -> Option<crate::tcp::SimTcpStream> {
-        let handler = {
-            let mut inner = self.inner.borrow_mut();
-            let factory = inner.tcp_listeners.get_mut(&addr)?;
-            factory()
-        };
+        let factory = self.lock().tcp_listeners.get(&addr)?.clone();
+        // Run the factory outside the simulator lock (it may be shared
+        // with a concurrently-accepting thread).
+        let handler = (factory.lock().expect("listener lock"))();
         let conn = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.lock();
             inner.conns.push(ConnState {
                 client_rx: VecDeque::new(),
-                server_handler: Some(handler),
+                server_handler: Arc::new(Mutex::new(handler)),
                 busy_until: [SimTime::ZERO; 2],
             });
             inner.conns.len() - 1
@@ -222,7 +265,7 @@ impl Network {
 
     /// Send a datagram from `from` to `to` (applies the fault model).
     pub fn send_udp(&self, from: Addr, to: Addr, payload: Vec<u8>) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.bytes_sent += payload.len() as u64;
         inner.datagrams_sent += 1;
         let base = inner.now
@@ -245,8 +288,14 @@ impl Network {
         }
     }
 
+    /// Stream bytes over a TCP connection. Deliberately **not** subject to
+    /// the fault model: TCP is modeled as the reliable, ordered pipe the
+    /// RPC layer assumes (loss/duplication/reordering are handled below
+    /// the record-marking abstraction by real TCP), so the seeded fault
+    /// stream is consulted for UDP datagrams only — TCP traffic must not
+    /// perturb it (tests pin this).
     pub(crate) fn send_tcp(&self, conn: ConnId, to_server: bool, bytes: Vec<u8>) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.bytes_sent += bytes.len() as u64;
         let dir = usize::from(to_server);
         let start = inner.now.max(inner.conns[conn].busy_until[dir]);
@@ -264,7 +313,7 @@ impl Network {
     }
 
     pub(crate) fn conn_client_rx_take(&self, conn: ConnId, want: usize) -> Option<Vec<u8>> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         let rx = &mut inner.conns[conn].client_rx;
         if rx.len() < want {
             return None;
@@ -280,22 +329,42 @@ impl Network {
                 return true;
             }
             let next = {
-                let mut inner = self.inner.borrow_mut();
+                let mut inner = self.lock();
                 match inner.queue.peek() {
                     Some(Reverse(s)) if s.at <= deadline => {
                         let Reverse(s) = inner.queue.pop().expect("peeked");
                         inner.now = s.at;
+                        inner.in_flight += 1;
                         Some(s.ev)
+                    }
+                    _ if inner.in_flight > 0 => {
+                        // Another thread is mid-dispatch and may still
+                        // schedule events; don't fast-forward past them.
+                        drop(inner);
+                        std::thread::yield_now();
+                        continue;
                     }
                     _ => None,
                 }
             };
             match next {
-                Some(ev) => self.dispatch(ev),
+                Some(ev) => {
+                    // Decrement on unwind too: a panicking handler must
+                    // not leave in_flight stuck and livelock every other
+                    // driving thread.
+                    struct InFlightGuard<'a>(&'a Network);
+                    impl Drop for InFlightGuard<'_> {
+                        fn drop(&mut self) {
+                            self.0.lock().in_flight -= 1;
+                        }
+                    }
+                    let _guard = InFlightGuard(self);
+                    self.dispatch(ev);
+                }
                 None => {
                     // Nothing left before the deadline: advance the clock.
                     {
-                        let mut inner = self.inner.borrow_mut();
+                        let mut inner = self.lock();
                         if inner.now < deadline {
                             inner.now = deadline;
                         }
@@ -318,21 +387,23 @@ impl Network {
             Event::UdpDeliver { to, dg } => {
                 // A handler, if present, consumes the datagram; otherwise a
                 // bound mailbox receives it; otherwise it is dropped
-                // (ICMP-unreachable behaviour is not modeled).
-                let handler = self.inner.borrow_mut().udp_handlers.remove(&to);
-                if let Some(mut h) = handler {
-                    let reply = h(&dg.payload, dg.from);
-                    {
-                        let mut inner = self.inner.borrow_mut();
-                        inner.udp_handlers.insert(to, h);
-                    }
+                // (ICMP-unreachable behaviour is not modeled). The handler
+                // slot is locked *outside* the simulator lock so the
+                // handler may send traffic; a second thread delivering to
+                // the same address waits here instead of losing data.
+                let slot = self.lock().udp_handlers.get(&to).cloned();
+                if let Some(slot) = slot {
+                    let reply = {
+                        let mut h = slot.lock().expect("udp handler lock");
+                        h(&dg.payload, dg.from)
+                    };
                     if let Some((bytes, proc_time)) = reply {
                         self.advance_inner(proc_time);
                         self.send_udp(to, dg.from, bytes);
                     }
                     return;
                 }
-                let mut inner = self.inner.borrow_mut();
+                let mut inner = self.lock();
                 if let Some(mb) = inner.mailboxes.get_mut(&to) {
                     mb.push_back(dg);
                 }
@@ -343,17 +414,17 @@ impl Network {
                 bytes,
             } => {
                 if to_server {
-                    let handler = self.inner.borrow_mut().conns[conn].server_handler.take();
-                    if let Some(mut h) = handler {
-                        let (out, proc_time) = h.on_bytes(&bytes);
-                        self.inner.borrow_mut().conns[conn].server_handler = Some(h);
-                        if !out.is_empty() {
-                            self.advance_inner(proc_time);
-                            self.send_tcp(conn, false, out);
-                        }
+                    let slot = self.lock().conns[conn].server_handler.clone();
+                    let (out, proc_time) = {
+                        let mut h = slot.lock().expect("tcp handler lock");
+                        h.on_bytes(&bytes)
+                    };
+                    if !out.is_empty() {
+                        self.advance_inner(proc_time);
+                        self.send_tcp(conn, false, out);
                     }
                 } else {
-                    let mut inner = self.inner.borrow_mut();
+                    let mut inner = self.lock();
                     inner.conns[conn].client_rx.extend(bytes);
                 }
             }
@@ -361,8 +432,23 @@ impl Network {
     }
 
     fn advance_inner(&self, dt: SimTime) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.now += dt;
+    }
+
+    pub(crate) fn mailbox_nonempty(&self, addr: Addr) -> bool {
+        self.lock()
+            .mailboxes
+            .get(&addr)
+            .map(|mb| !mb.is_empty())
+            .unwrap_or(false)
+    }
+
+    pub(crate) fn mailbox_pop(&self, addr: Addr) -> Option<Datagram> {
+        self.lock()
+            .mailboxes
+            .get_mut(&addr)
+            .and_then(VecDeque::pop_front)
     }
 }
 
@@ -402,29 +488,24 @@ impl Endpoint {
         let deadline = self.net.now() + timeout;
         let addr = self.addr;
         let net = self.net.clone();
-        let got = self.net.run_until(deadline, || {
-            !net.inner
-                .borrow()
-                .mailboxes
-                .get(&addr)
-                .map(VecDeque::is_empty)
-                .unwrap_or(true)
-        });
+        let got = self.net.run_until(deadline, || net.mailbox_nonempty(addr));
         if !got {
             return None;
         }
-        self.net
-            .inner
-            .borrow_mut()
-            .mailboxes
-            .get_mut(&addr)
-            .and_then(VecDeque::pop_front)
+        self.net.mailbox_pop(self.addr)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn network_handles_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Network>();
+        assert_send_sync::<Endpoint>();
+    }
 
     #[test]
     fn udp_echo_handler_round_trip() {
@@ -547,5 +628,57 @@ mod tests {
         ep.send_to(2000, vec![1]);
         ep.recv_timeout(SimTime::from_millis(50)).expect("reply");
         assert!(net.now() >= SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn panicking_handler_does_not_livelock_other_threads() {
+        // The in-flight counter must be released on unwind: after a
+        // handler panic, other threads' idle fast-forward still works
+        // instead of spinning forever on a stuck in_flight.
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp(2000, Box::new(|_, _| panic!("handler bug")));
+        let n2 = net.clone();
+        let h = std::thread::spawn(move || {
+            let ep = n2.bind_udp(5001);
+            ep.send_to(2000, vec![1]);
+            let _ = ep.recv_timeout(SimTime::from_millis(5));
+        });
+        assert!(h.join().is_err(), "handler panic must propagate");
+        // The simulator stays usable from other threads/addresses.
+        let ep = net.bind_udp(5002);
+        assert!(ep.recv_timeout(SimTime::from_millis(2)).is_none());
+    }
+
+    #[test]
+    fn shared_network_works_across_threads() {
+        // The tentpole property at the lowest layer: one simulated
+        // network, a server handler, and two client threads doing
+        // round trips concurrently — every request gets its reply.
+        let net = Network::new(NetworkConfig::lan(), 9);
+        net.serve_udp(
+            2000,
+            Box::new(|req, _| Some((req.to_vec(), SimTime::from_micros(10)))),
+        );
+        let mut handles = Vec::new();
+        for t in 0..2u8 {
+            let net = net.clone();
+            handles.push(std::thread::spawn(move || {
+                let ep = net.bind_udp(6000 + t as Addr);
+                let mut got = 0;
+                for i in 0..20u8 {
+                    ep.send_to(2000, vec![t, i]);
+                    // Generous timeout: the peer thread may advance the
+                    // shared clock while we wait.
+                    if let Some(dg) = ep.recv_timeout(SimTime::from_millis(500)) {
+                        assert_eq!(dg.payload, vec![t, i]);
+                        got += 1;
+                    }
+                }
+                got
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().expect("thread"), 20, "no lost replies");
+        }
     }
 }

@@ -49,18 +49,6 @@ impl RecordIo for SimTcpStream {
     fn read_exact(&mut self, buf: &mut [u8]) -> XdrResult {
         let want = buf.len();
         let deadline = self.net.now() + self.read_timeout;
-        let net = self.net.clone();
-        let conn = self.conn;
-        // Run the network until enough bytes have accumulated.
-        let ready = self.net.run_until(deadline, || {
-            net.conn_client_rx_take(conn, 0).is_some() && {
-                // Probe: take(0) always succeeds; check actual length by
-                // attempting the real take below. We use a cheap peek via
-                // take(want) inside the final step instead.
-                true
-            }
-        });
-        let _ = ready;
         // Poll loop: attempt the take, running the network in slices.
         loop {
             if let Some(bytes) = self.net.conn_client_rx_take(self.conn, want) {

@@ -124,38 +124,27 @@ mod tests {
     use specrpc_netsim::net::NetworkConfig;
     use specrpc_xdr::composite::{xdr_array, xdr_string};
     use specrpc_xdr::primitives::xdr_int;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     const PROG: u32 = 400_100;
 
-    fn service() -> Rc<RefCell<SvcRegistry>> {
-        let mut reg = SvcRegistry::new();
-        reg.register(
-            PROG,
-            1,
-            1,
-            Box::new(|args, results| {
-                let mut v: Vec<i32> = Vec::new();
-                xdr_array(args, &mut v, 100_000, xdr_int)?;
-                v.reverse();
-                xdr_array(results, &mut v, 100_000, xdr_int)?;
-                Ok(())
-            }),
-        );
-        reg.register(
-            PROG,
-            1,
-            2,
-            Box::new(|args, results| {
-                let mut s = String::new();
-                xdr_string(args, &mut s, 1024)?;
-                let mut up = s.to_uppercase();
-                xdr_string(results, &mut up, 1024)?;
-                Ok(())
-            }),
-        );
-        Rc::new(RefCell::new(reg))
+    fn service() -> Arc<SvcRegistry> {
+        let reg = SvcRegistry::new();
+        reg.register(PROG, 1, 1, |args, results| {
+            let mut v: Vec<i32> = Vec::new();
+            xdr_array(args, &mut v, 100_000, xdr_int)?;
+            v.reverse();
+            xdr_array(results, &mut v, 100_000, xdr_int)?;
+            Ok(())
+        });
+        reg.register(PROG, 1, 2, |args, results| {
+            let mut s = String::new();
+            xdr_string(args, &mut s, 1024)?;
+            let mut up = s.to_uppercase();
+            xdr_string(results, &mut up, 1024)?;
+            Ok(())
+        });
+        Arc::new(reg)
     }
 
     #[test]

@@ -164,32 +164,25 @@ mod tests {
     use specrpc_netsim::FaultConfig;
     use specrpc_xdr::composite::xdr_array;
     use specrpc_xdr::primitives::xdr_int;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     const PROG: u32 = 200_001;
 
     fn sum_service() -> SvcRegistry {
-        let mut reg = SvcRegistry::new();
-        reg.register(
-            PROG,
-            1,
-            1,
-            Box::new(|args, results| {
-                let mut v: Vec<i32> = Vec::new();
-                xdr_array(args, &mut v, 100_000, xdr_int)?;
-                let mut sum: i32 = v.iter().sum();
-                xdr_int(results, &mut sum)?;
-                Ok(())
-            }),
-        );
+        let reg = SvcRegistry::new();
+        reg.register(PROG, 1, 1, |args, results| {
+            let mut v: Vec<i32> = Vec::new();
+            xdr_array(args, &mut v, 100_000, xdr_int)?;
+            let mut sum: i32 = v.iter().sum();
+            xdr_int(results, &mut sum)?;
+            Ok(())
+        });
         reg
     }
 
     fn start(net: &Network, faults: bool) -> ClntUdp {
         let _ = faults;
-        let reg = Rc::new(RefCell::new(sum_service()));
-        serve_udp(net, 111 + 900, reg, None);
+        serve_udp(net, 111 + 900, Arc::new(sum_service()), None);
         ClntUdp::create(net, 5000, 111 + 900, PROG, 1)
     }
 

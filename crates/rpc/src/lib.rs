@@ -20,6 +20,7 @@ pub mod msg;
 pub mod pmap;
 pub mod svc;
 pub mod svc_tcp;
+pub mod svc_threaded;
 pub mod svc_udp;
 pub mod transport;
 pub mod xid;
@@ -30,4 +31,5 @@ pub use clnt_udp::ClntUdp;
 pub use error::RpcError;
 pub use msg::{AcceptStat, CallHeader, MsgType, RejectStat, ReplyHeader, ReplyStat, RPC_VERS};
 pub use svc::SvcRegistry;
+pub use svc_threaded::DispatchPool;
 pub use transport::Transport;

@@ -8,9 +8,8 @@ use crate::svc::SvcRegistry;
 use specrpc_netsim::net::{Addr, Network};
 use specrpc_xdr::primitives::{xdr_bool, xdr_u_long};
 use specrpc_xdr::{XdrResult, XdrStream};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Portmapper program number.
 pub const PMAP_PROG: u32 = 100_000;
@@ -57,48 +56,47 @@ impl Mapping {
 }
 
 /// The shared portmapper table: `(prog, vers, prot) -> port`.
-pub type PmapTable = Rc<RefCell<HashMap<(u32, u32, u32), u32>>>;
+pub type PmapTable = Arc<Mutex<HashMap<(u32, u32, u32), u32>>>;
 
 /// Create a portmapper service and install it on the network at
 /// [`PMAP_PORT`]. Returns the shared mapping table.
 pub fn start_portmapper(net: &Network) -> PmapTable {
-    let table: PmapTable = Rc::new(RefCell::new(HashMap::new()));
-    let mut reg = SvcRegistry::new();
+    let table: PmapTable = Arc::new(Mutex::new(HashMap::new()));
+    let reg = SvcRegistry::new();
 
-    reg.register(PMAP_PROG, PMAP_VERS, PMAPPROC_NULL, Box::new(|_, _| Ok(())));
+    reg.register(PMAP_PROG, PMAP_VERS, PMAPPROC_NULL, |_, _| Ok(()));
 
     let t = table.clone();
-    reg.register(
-        PMAP_PROG,
-        PMAP_VERS,
-        PMAPPROC_SET,
-        Box::new(move |args, results| {
-            let mut m = Mapping {
-                prog: 0,
-                vers: 0,
-                prot: 0,
-                port: 0,
-            };
-            Mapping::xdr(args, &mut m)?;
-            let inserted = match t.borrow_mut().entry((m.prog, m.vers, m.prot)) {
-                std::collections::hash_map::Entry::Occupied(_) => false,
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(m.port);
-                    true
-                }
-            };
-            let mut ok = inserted;
-            xdr_bool(results, &mut ok)?;
-            Ok(())
-        }),
-    );
+    reg.register(PMAP_PROG, PMAP_VERS, PMAPPROC_SET, move |args, results| {
+        let mut m = Mapping {
+            prog: 0,
+            vers: 0,
+            prot: 0,
+            port: 0,
+        };
+        Mapping::xdr(args, &mut m)?;
+        let inserted = match t
+            .lock()
+            .expect("pmap table")
+            .entry((m.prog, m.vers, m.prot))
+        {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(m.port);
+                true
+            }
+        };
+        let mut ok = inserted;
+        xdr_bool(results, &mut ok)?;
+        Ok(())
+    });
 
     let t = table.clone();
     reg.register(
         PMAP_PROG,
         PMAP_VERS,
         PMAPPROC_UNSET,
-        Box::new(move |args, results| {
+        move |args, results| {
             let mut m = Mapping {
                 prog: 0,
                 vers: 0,
@@ -107,14 +105,14 @@ pub fn start_portmapper(net: &Network) -> PmapTable {
             };
             Mapping::xdr(args, &mut m)?;
             let mut removed = false;
-            t.borrow_mut().retain(|k, _| {
+            t.lock().expect("pmap table").retain(|k, _| {
                 let hit = k.0 == m.prog && k.1 == m.vers;
                 removed |= hit;
                 !hit
             });
             xdr_bool(results, &mut removed)?;
             Ok(())
-        }),
+        },
     );
 
     let t = table.clone();
@@ -122,7 +120,7 @@ pub fn start_portmapper(net: &Network) -> PmapTable {
         PMAP_PROG,
         PMAP_VERS,
         PMAPPROC_GETPORT,
-        Box::new(move |args, results| {
+        move |args, results| {
             let mut m = Mapping {
                 prog: 0,
                 vers: 0,
@@ -130,13 +128,17 @@ pub fn start_portmapper(net: &Network) -> PmapTable {
                 port: 0,
             };
             Mapping::xdr(args, &mut m)?;
-            let mut port = *t.borrow().get(&(m.prog, m.vers, m.prot)).unwrap_or(&0);
+            let mut port = *t
+                .lock()
+                .expect("pmap table")
+                .get(&(m.prog, m.vers, m.prot))
+                .unwrap_or(&0);
             xdr_u_long(xdrs_cast(results), &mut port)?;
             Ok(())
-        }),
+        },
     );
 
-    crate::svc_udp::serve_udp(net, PMAP_PORT, Rc::new(RefCell::new(reg)), None);
+    crate::svc_udp::serve_udp(net, PMAP_PORT, Arc::new(reg), None);
     table
 }
 

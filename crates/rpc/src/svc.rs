@@ -1,23 +1,41 @@
 //! Server-side dispatch (`svc.c`): program/version/procedure registry,
 //! request decoding, reply construction, and the raw fast-path hook the
 //! specialized server plugs into.
+//!
+//! # Threading model
+//!
+//! [`SvcRegistry`] is `Send + Sync` and dispatches through `&self`:
+//! handlers are stored as `Arc<dyn Fn … + Send + Sync>` behind `RwLock`ed
+//! maps (write-locked only while registering), the dispatch counters are
+//! atomics, and the op-count accumulator sits behind its own `Mutex`.
+//! A handler `Arc` is cloned out under a read lock and invoked with **no**
+//! registry lock held, so independent requests dispatch concurrently from
+//! any number of threads — the property `serve_threaded` builds on.
 
 use crate::error::RpcError;
 use crate::msg::{AcceptStat, CallHeader, RejectStat, ReplyHeader, RPC_VERS};
 use specrpc_xdr::mem::XdrMem;
 use specrpc_xdr::{OpCounts, XdrError, XdrStream};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A generic procedure handler: decode arguments from the first stream
 /// (positioned after the call header), encode results into the second
-/// (positioned after the reply header).
+/// (positioned after the reply header). Shared and thread-safe; handlers
+/// needing mutable state capture it behind a `Mutex`/atomic.
 pub type ProcHandler =
-    Box<dyn FnMut(&mut dyn XdrStream, &mut dyn XdrStream) -> Result<(), RpcError>>;
+    Arc<dyn Fn(&mut dyn XdrStream, &mut dyn XdrStream) -> Result<(), RpcError> + Send + Sync>;
 
 /// A specialized (raw) handler: takes the whole request datagram; returns
 /// the whole reply datagram, or `None` to fall back to the generic path
 /// (dynamic-guard failure, §6.2).
-pub type RawHandler = Box<dyn FnMut(&[u8]) -> Option<Vec<u8>>>;
+pub type RawHandler = Arc<dyn Fn(&[u8]) -> Option<Vec<u8>> + Send + Sync>;
+
+/// How a complete request message becomes a reply: directly through a
+/// registry, or handed to a dispatch-pool worker. The transport adapters
+/// (`svc_udp`, `svc_tcp`, `svc_threaded`) are generic over this.
+pub type Dispatcher = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
 
 /// Default reply buffer size (UDP max payload in the original: 8800).
 pub const REPLY_BUF_SIZE: usize = 66_000;
@@ -25,17 +43,14 @@ pub const REPLY_BUF_SIZE: usize = 66_000;
 /// The service registry and dispatcher.
 #[derive(Default)]
 pub struct SvcRegistry {
-    procs: HashMap<(u32, u32), HashMap<u32, ProcHandler>>,
-    raw: HashMap<(u32, u32, u32), RawHandler>,
+    procs: RwLock<HashMap<(u32, u32), HashMap<u32, ProcHandler>>>,
+    raw: RwLock<HashMap<(u32, u32, u32), RawHandler>>,
     /// Micro-layer counts accumulated by generic dispatches (for the cost
     /// model and reports).
-    pub counts: OpCounts,
-    /// Number of generic dispatches performed.
-    pub generic_dispatches: u64,
-    /// Number of requests served by raw (specialized) handlers.
-    pub raw_dispatches: u64,
-    /// Number of raw-handler fallbacks to the generic path.
-    pub raw_fallbacks: u64,
+    counts: Mutex<OpCounts>,
+    generic_dispatches: AtomicU64,
+    raw_dispatches: AtomicU64,
+    raw_fallbacks: AtomicU64,
 }
 
 impl SvcRegistry {
@@ -45,55 +60,109 @@ impl SvcRegistry {
     }
 
     /// `svc_register`: install a generic handler.
-    pub fn register(&mut self, prog: u32, vers: u32, proc_: u32, handler: ProcHandler) {
+    pub fn register(
+        &self,
+        prog: u32,
+        vers: u32,
+        proc_: u32,
+        handler: impl Fn(&mut dyn XdrStream, &mut dyn XdrStream) -> Result<(), RpcError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
         self.procs
+            .write()
+            .expect("procs lock")
             .entry((prog, vers))
             .or_default()
-            .insert(proc_, handler);
+            .insert(proc_, Arc::new(handler));
     }
 
     /// Install a specialized raw handler for one procedure.
-    pub fn register_raw(&mut self, prog: u32, vers: u32, proc_: u32, handler: RawHandler) {
-        self.raw.insert((prog, vers, proc_), handler);
+    pub fn register_raw(
+        &self,
+        prog: u32,
+        vers: u32,
+        proc_: u32,
+        handler: impl Fn(&[u8]) -> Option<Vec<u8>> + Send + Sync + 'static,
+    ) {
+        self.raw
+            .write()
+            .expect("raw lock")
+            .insert((prog, vers, proc_), Arc::new(handler));
     }
 
     /// Remove a program registration (`svc_unregister`).
-    pub fn unregister(&mut self, prog: u32, vers: u32) {
-        self.procs.remove(&(prog, vers));
-        self.raw.retain(|k, _| (k.0, k.1) != (prog, vers));
+    pub fn unregister(&self, prog: u32, vers: u32) {
+        self.procs
+            .write()
+            .expect("procs lock")
+            .remove(&(prog, vers));
+        self.raw
+            .write()
+            .expect("raw lock")
+            .retain(|k, _| (k.0, k.1) != (prog, vers));
     }
 
     /// Whether a program/version is registered.
     pub fn is_registered(&self, prog: u32, vers: u32) -> bool {
-        self.procs.contains_key(&(prog, vers))
+        self.procs
+            .read()
+            .expect("procs lock")
+            .contains_key(&(prog, vers))
+    }
+
+    /// Number of generic dispatches performed.
+    pub fn generic_dispatches(&self) -> u64 {
+        self.generic_dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests served by raw (specialized) handlers.
+    pub fn raw_dispatches(&self) -> u64 {
+        self.raw_dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Number of raw-handler fallbacks to the generic path.
+    pub fn raw_fallbacks(&self) -> u64 {
+        self.raw_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Micro-layer counts accumulated by generic dispatches.
+    pub fn counts(&self) -> OpCounts {
+        *self.counts.lock().expect("counts lock")
     }
 
     /// Dispatch one request datagram to a reply datagram.
     ///
     /// Tries the specialized raw handler first when one matches the
     /// request's (prog, vers, proc) words; a `None` from it (guard failure)
-    /// falls back to the generic path, preserving semantics.
-    pub fn dispatch(&mut self, request: &[u8]) -> Vec<u8> {
+    /// falls back to the generic path, preserving semantics. Handlers run
+    /// without any registry lock held, so concurrent dispatches from
+    /// different threads proceed in parallel.
+    pub fn dispatch(&self, request: &[u8]) -> Vec<u8> {
         if let Some(key) = peek_call_target(request) {
-            // Raw handlers borrow `self.raw` mutably; take-and-restore to
-            // allow fallback into the generic path.
-            if let Some(mut h) = self.raw.remove(&key) {
-                let out = h(request);
-                self.raw.insert(key, h);
-                match out {
+            let raw = self.raw.read().expect("raw lock").get(&key).cloned();
+            if let Some(h) = raw {
+                match h(request) {
                     Some(reply) => {
-                        self.raw_dispatches += 1;
+                        self.raw_dispatches.fetch_add(1, Ordering::Relaxed);
                         return reply;
                     }
-                    None => self.raw_fallbacks += 1,
+                    None => {
+                        self.raw_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
-        self.generic_dispatches += 1;
+        self.generic_dispatches.fetch_add(1, Ordering::Relaxed);
         self.dispatch_generic(request)
     }
 
-    fn dispatch_generic(&mut self, request: &[u8]) -> Vec<u8> {
+    fn add_counts(&self, c: OpCounts) {
+        *self.counts.lock().expect("counts lock") += c;
+    }
+
+    fn dispatch_generic(&self, request: &[u8]) -> Vec<u8> {
         let mut args = XdrMem::decoder(request);
         let mut msg = CallHeader::new(0, 0, 0, 0);
         if CallHeader::xdr(&mut args, &mut msg).is_err() {
@@ -105,7 +174,7 @@ impl SvcRegistry {
                 .unwrap_or(0);
             return encode_failure(xid, AcceptStat::GarbageArgs, None);
         }
-        self.counts += *args.counts();
+        self.add_counts(*args.counts());
 
         if msg.rpcvers != RPC_VERS {
             let mut enc = XdrMem::encoder(64);
@@ -119,29 +188,45 @@ impl SvcRegistry {
             return enc.into_bytes();
         }
 
-        let versions: Vec<u32> = self
-            .procs
-            .keys()
-            .filter(|(p, _)| *p == msg.prog)
-            .map(|(_, v)| *v)
-            .collect();
-        let Some(table) = self.procs.get_mut(&(msg.prog, msg.vers)) else {
-            if versions.is_empty() {
-                return encode_failure(msg.xid, AcceptStat::ProgUnavail, None);
+        // Resolve the handler under the read lock, then release it for
+        // the (possibly long) handler run.
+        let resolved: Result<ProcHandler, Vec<u8>> = {
+            let procs = self.procs.read().expect("procs lock");
+            match procs.get(&(msg.prog, msg.vers)) {
+                Some(table) => match table.get(&msg.proc_) {
+                    Some(h) => Ok(h.clone()),
+                    None => Err(encode_failure(msg.xid, AcceptStat::ProcUnavail, None)),
+                },
+                None => {
+                    let versions: Vec<u32> = procs
+                        .keys()
+                        .filter(|(p, _)| *p == msg.prog)
+                        .map(|(_, v)| *v)
+                        .collect();
+                    if versions.is_empty() {
+                        Err(encode_failure(msg.xid, AcceptStat::ProgUnavail, None))
+                    } else {
+                        let lo = *versions.iter().min().expect("nonempty");
+                        let hi = *versions.iter().max().expect("nonempty");
+                        Err(encode_failure(
+                            msg.xid,
+                            AcceptStat::ProgMismatch,
+                            Some((lo, hi)),
+                        ))
+                    }
+                }
             }
-            let lo = *versions.iter().min().expect("nonempty");
-            let hi = *versions.iter().max().expect("nonempty");
-            return encode_failure(msg.xid, AcceptStat::ProgMismatch, Some((lo, hi)));
         };
-        let Some(handler) = table.get_mut(&msg.proc_) else {
-            return encode_failure(msg.xid, AcceptStat::ProcUnavail, None);
+        let handler = match resolved {
+            Ok(h) => h,
+            Err(reply) => return reply,
         };
 
         let mut results = XdrMem::encoder(REPLY_BUF_SIZE);
         ReplyHeader::encode_success(&mut results, msg.xid).expect("header fits");
         let r = handler(&mut args, &mut results);
-        self.counts += *args.counts();
-        self.counts += *results.counts();
+        self.add_counts(*args.counts());
+        self.add_counts(*results.counts());
         match r {
             Ok(()) => results.into_bytes(),
             Err(RpcError::Xdr(XdrError::Underflow { .. }))
@@ -190,20 +275,21 @@ mod tests {
     use crate::msg::ReplyBody;
     use specrpc_xdr::primitives::xdr_int;
 
+    #[test]
+    fn registry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SvcRegistry>();
+    }
+
     fn echo_registry() -> SvcRegistry {
-        let mut reg = SvcRegistry::new();
-        reg.register(
-            100_007,
-            1,
-            3,
-            Box::new(|args, results| {
-                let mut v = 0i32;
-                xdr_int(args, &mut v)?;
-                let mut doubled = v * 2;
-                xdr_int(results, &mut doubled)?;
-                Ok(())
-            }),
-        );
+        let reg = SvcRegistry::new();
+        reg.register(100_007, 1, 3, |args, results| {
+            let mut v = 0i32;
+            xdr_int(args, &mut v)?;
+            let mut doubled = v * 2;
+            xdr_int(results, &mut doubled)?;
+            Ok(())
+        });
         reg
     }
 
@@ -224,7 +310,7 @@ mod tests {
 
     #[test]
     fn success_dispatch_doubles() {
-        let mut reg = echo_registry();
+        let reg = echo_registry();
         let reply = reg.dispatch(&make_call(100_007, 1, 3, 21));
         let (hdr, mut dec) = parse_reply(&reply);
         assert_eq!(hdr.xid, 0x1111);
@@ -232,12 +318,12 @@ mod tests {
         let mut out = 0i32;
         xdr_int(&mut dec, &mut out).unwrap();
         assert_eq!(out, 42);
-        assert_eq!(reg.generic_dispatches, 1);
+        assert_eq!(reg.generic_dispatches(), 1);
     }
 
     #[test]
     fn unknown_program() {
-        let mut reg = echo_registry();
+        let reg = echo_registry();
         let reply = reg.dispatch(&make_call(555, 1, 3, 0));
         let (hdr, _) = parse_reply(&reply);
         assert_eq!(hdr.to_error(), Some(RpcError::ProgUnavail));
@@ -245,7 +331,7 @@ mod tests {
 
     #[test]
     fn version_mismatch_reports_range() {
-        let mut reg = echo_registry();
+        let reg = echo_registry();
         let reply = reg.dispatch(&make_call(100_007, 9, 3, 0));
         let (hdr, _) = parse_reply(&reply);
         assert_eq!(
@@ -256,7 +342,7 @@ mod tests {
 
     #[test]
     fn unknown_procedure() {
-        let mut reg = echo_registry();
+        let reg = echo_registry();
         let reply = reg.dispatch(&make_call(100_007, 1, 99, 0));
         let (hdr, _) = parse_reply(&reply);
         assert_eq!(hdr.to_error(), Some(RpcError::ProcUnavail));
@@ -268,7 +354,7 @@ mod tests {
         let mut msg = CallHeader::new(5, 100_007, 1, 3);
         msg.rpcvers = 3;
         CallHeader::xdr(&mut enc, &mut msg).unwrap();
-        let mut reg = echo_registry();
+        let reg = echo_registry();
         let reply = reg.dispatch(&enc.into_bytes());
         let (hdr, _) = parse_reply(&reply);
         assert!(matches!(hdr.body, ReplyBody::Denied { .. }));
@@ -276,7 +362,7 @@ mod tests {
 
     #[test]
     fn truncated_args_yield_garbage_args() {
-        let mut reg = echo_registry();
+        let reg = echo_registry();
         let mut call = make_call(100_007, 1, 3, 21);
         call.truncate(call.len() - 4); // drop the argument
         let reply = reg.dispatch(&call);
@@ -286,52 +372,47 @@ mod tests {
 
     #[test]
     fn garbage_header_still_produces_reply() {
-        let mut reg = echo_registry();
+        let reg = echo_registry();
         let reply = reg.dispatch(&[1, 2, 3]);
         assert!(!reply.is_empty());
     }
 
     #[test]
     fn raw_handler_takes_precedence_and_falls_back() {
-        let mut reg = echo_registry();
-        reg.register_raw(
-            100_007,
-            1,
-            3,
-            Box::new(|req: &[u8]| {
-                // "Specialized" echo: only handles arg == 1 (guard), else
-                // falls back.
-                let arg = i32::from_be_bytes(req[40..44].try_into().unwrap());
-                if arg != 1 {
-                    return None;
-                }
-                let mut enc = XdrMem::encoder(64);
-                let xid = u32::from_be_bytes(req[..4].try_into().unwrap());
-                ReplyHeader::encode_success(&mut enc, xid).unwrap();
-                let mut v = 2i32;
-                xdr_int(&mut enc, &mut v).unwrap();
-                Some(enc.into_bytes())
-            }),
-        );
+        let reg = echo_registry();
+        reg.register_raw(100_007, 1, 3, |req: &[u8]| {
+            // "Specialized" echo: only handles arg == 1 (guard), else
+            // falls back.
+            let arg = i32::from_be_bytes(req[40..44].try_into().unwrap());
+            if arg != 1 {
+                return None;
+            }
+            let mut enc = XdrMem::encoder(64);
+            let xid = u32::from_be_bytes(req[..4].try_into().unwrap());
+            ReplyHeader::encode_success(&mut enc, xid).unwrap();
+            let mut v = 2i32;
+            xdr_int(&mut enc, &mut v).unwrap();
+            Some(enc.into_bytes())
+        });
         // Guard passes: raw path.
         let reply = reg.dispatch(&make_call(100_007, 1, 3, 1));
         let (_, mut dec) = parse_reply(&reply);
         let mut out = 0i32;
         xdr_int(&mut dec, &mut out).unwrap();
         assert_eq!(out, 2);
-        assert_eq!(reg.raw_dispatches, 1);
+        assert_eq!(reg.raw_dispatches(), 1);
         // Guard fails: generic fallback still answers correctly.
         let reply = reg.dispatch(&make_call(100_007, 1, 3, 30));
         let (_, mut dec) = parse_reply(&reply);
         xdr_int(&mut dec, &mut out).unwrap();
         assert_eq!(out, 60);
-        assert_eq!(reg.raw_fallbacks, 1);
-        assert_eq!(reg.generic_dispatches, 1);
+        assert_eq!(reg.raw_fallbacks(), 1);
+        assert_eq!(reg.generic_dispatches(), 1);
     }
 
     #[test]
     fn unregister_removes_program() {
-        let mut reg = echo_registry();
+        let reg = echo_registry();
         assert!(reg.is_registered(100_007, 1));
         reg.unregister(100_007, 1);
         assert!(!reg.is_registered(100_007, 1));
@@ -345,13 +426,13 @@ mod tests {
         // Regression guard: unregister must clean BOTH maps. A stale raw
         // handler left behind would keep answering on the specialized
         // path after the program is gone.
-        let mut reg = echo_registry();
-        reg.register_raw(100_007, 1, 3, Box::new(|_req| Some(vec![0; 4])));
+        let reg = echo_registry();
+        reg.register_raw(100_007, 1, 3, |_req| Some(vec![0; 4]));
         reg.unregister(100_007, 1);
         let reply = reg.dispatch(&make_call(100_007, 1, 3, 1));
         let (hdr, _) = parse_reply(&reply);
         assert_eq!(hdr.to_error(), Some(RpcError::ProgUnavail));
-        assert_eq!(reg.raw_dispatches, 0, "raw handler must be gone");
+        assert_eq!(reg.raw_dispatches(), 0, "raw handler must be gone");
     }
 
     #[test]
@@ -363,9 +444,35 @@ mod tests {
 
     #[test]
     fn generic_dispatch_accumulates_counts() {
-        let mut reg = echo_registry();
+        let reg = echo_registry();
         reg.dispatch(&make_call(100_007, 1, 3, 21));
-        assert!(reg.counts.dispatches > 0);
-        assert!(reg.counts.mem_moves > 0);
+        assert!(reg.counts().dispatches > 0);
+        assert!(reg.counts().mem_moves > 0);
+    }
+
+    #[test]
+    fn concurrent_dispatches_share_one_registry() {
+        // `&self` dispatch + atomic counters: N threads hammer one
+        // registry; every reply is correct and the counters add up.
+        let reg = Arc::new(echo_registry());
+        let mut handles = Vec::new();
+        for t in 0..4i32 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let arg = t * 100 + i;
+                    let reply = reg.dispatch(&make_call(100_007, 1, 3, arg));
+                    let (hdr, mut dec) = parse_reply(&reply);
+                    assert!(hdr.to_error().is_none());
+                    let mut out = 0i32;
+                    xdr_int(&mut dec, &mut out).unwrap();
+                    assert_eq!(out, arg * 2);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.generic_dispatches(), 200);
     }
 }

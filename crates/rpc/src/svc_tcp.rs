@@ -1,20 +1,24 @@
 //! TCP transport adapter for the server (`svctcp_create`): a
 //! record-marking reassembly state machine per connection, dispatching
 //! complete records through the shared [`SvcRegistry`].
+//!
+//! No duplicate-request cache here: the stream transport is reliable and
+//! ordered, the client never retransmits, and the simulator's fault model
+//! deliberately does not apply to TCP (see `specrpc_netsim::fault`), so a
+//! record arrives exactly once by construction.
 
 use crate::svc::SvcRegistry;
+use crate::svc_udp::{default_proc_time, ProcTimeModel};
 use specrpc_netsim::net::{Addr, Network, TcpHandler};
 use specrpc_netsim::SimTime;
 use specrpc_xdr::rec::{FRAG_LEN_MASK as LEN_MASK, LAST_FRAG_FLAG as LAST_FRAG};
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
-/// Per-(request, reply) byte processing-time model (see `svc_udp`).
-pub type ProcTimeModel = Rc<dyn Fn(usize, usize) -> SimTime>;
+pub use crate::svc::Dispatcher;
 
 /// Record-marking reassembler + dispatcher for one connection.
 pub struct SvcTcpConn {
-    registry: Rc<RefCell<SvcRegistry>>,
+    dispatch: Dispatcher,
     model: ProcTimeModel,
     buf: Vec<u8>,
     /// Payload of the record being assembled (across fragments).
@@ -22,9 +26,16 @@ pub struct SvcTcpConn {
 }
 
 impl SvcTcpConn {
-    fn new(registry: Rc<RefCell<SvcRegistry>>, model: ProcTimeModel) -> Self {
+    /// A fresh per-connection reassembler over the shared registry.
+    pub fn new(registry: Arc<SvcRegistry>, model: ProcTimeModel) -> Self {
+        Self::with_dispatcher(Arc::new(move |req: &[u8]| registry.dispatch(req)), model)
+    }
+
+    /// A reassembler whose complete records go through an arbitrary
+    /// dispatcher (e.g. a [`crate::svc_threaded::DispatchPool`] worker).
+    pub fn with_dispatcher(dispatch: Dispatcher, model: ProcTimeModel) -> Self {
         SvcTcpConn {
-            registry,
+            dispatch,
             model,
             buf: Vec::new(),
             record: Vec::new(),
@@ -60,7 +71,7 @@ impl TcpHandler for SvcTcpConn {
         let mut out = Vec::new();
         let mut time = SimTime::ZERO;
         for request in self.drain_records() {
-            let reply = self.registry.borrow_mut().dispatch(&request);
+            let reply = (self.dispatch)(&request);
             time += (self.model)(request.len(), reply.len());
             // Reply as a single record.
             let header = (reply.len() as u32 | LAST_FRAG).to_be_bytes();
@@ -75,12 +86,10 @@ impl TcpHandler for SvcTcpConn {
 pub fn serve_tcp(
     net: &Network,
     addr: Addr,
-    registry: Rc<RefCell<SvcRegistry>>,
+    registry: Arc<SvcRegistry>,
     proc_time: Option<ProcTimeModel>,
 ) {
-    let model: ProcTimeModel = proc_time.unwrap_or_else(|| {
-        Rc::new(|req, rep| SimTime::from_nanos(50_000 + 20 * (req + rep) as u64))
-    });
+    let model: ProcTimeModel = proc_time.unwrap_or_else(default_proc_time);
     net.serve_tcp(
         addr,
         Box::new(move || {
@@ -94,21 +103,16 @@ mod tests {
     use super::*;
     use specrpc_xdr::primitives::xdr_int;
 
-    fn reg() -> Rc<RefCell<SvcRegistry>> {
-        let mut r = SvcRegistry::new();
-        r.register(
-            1,
-            1,
-            1,
-            Box::new(|args, results| {
-                let mut v = 0i32;
-                xdr_int(args, &mut v)?;
-                let mut neg = -v;
-                xdr_int(results, &mut neg)?;
-                Ok(())
-            }),
-        );
-        Rc::new(RefCell::new(r))
+    fn reg() -> Arc<SvcRegistry> {
+        let r = SvcRegistry::new();
+        r.register(1, 1, 1, |args, results| {
+            let mut v = 0i32;
+            xdr_int(args, &mut v)?;
+            let mut neg = -v;
+            xdr_int(results, &mut neg)?;
+            Ok(())
+        });
+        Arc::new(r)
     }
 
     fn call_record(xid: u32, arg: i32) -> Vec<u8> {
@@ -125,9 +129,13 @@ mod tests {
         rec
     }
 
+    fn zero_time() -> ProcTimeModel {
+        Arc::new(|_, _| SimTime::ZERO)
+    }
+
     #[test]
     fn complete_record_dispatches() {
-        let mut conn = SvcTcpConn::new(reg(), Rc::new(|_, _| SimTime::ZERO));
+        let mut conn = SvcTcpConn::new(reg(), zero_time());
         let (out, _) = conn.on_bytes(&call_record(7, 5));
         assert!(!out.is_empty());
         // Reply record header then xid.
@@ -136,7 +144,7 @@ mod tests {
 
     #[test]
     fn partial_bytes_accumulate() {
-        let mut conn = SvcTcpConn::new(reg(), Rc::new(|_, _| SimTime::ZERO));
+        let mut conn = SvcTcpConn::new(reg(), zero_time());
         let rec = call_record(9, 1);
         let (mid, _) = conn.on_bytes(&rec[..10]);
         assert!(mid.is_empty(), "incomplete record must not dispatch");
@@ -146,7 +154,7 @@ mod tests {
 
     #[test]
     fn multi_fragment_record_reassembles() {
-        let mut conn = SvcTcpConn::new(reg(), Rc::new(|_, _| SimTime::ZERO));
+        let mut conn = SvcTcpConn::new(reg(), zero_time());
         let full = call_record(3, 2);
         let payload = &full[4..];
         // Split payload into two fragments: first without LAST bit.
@@ -161,7 +169,7 @@ mod tests {
 
     #[test]
     fn two_records_in_one_burst() {
-        let mut conn = SvcTcpConn::new(reg(), Rc::new(|_, _| SimTime::ZERO));
+        let mut conn = SvcTcpConn::new(reg(), zero_time());
         let mut wire = call_record(1, 10);
         wire.extend_from_slice(&call_record(2, 20));
         let (out, _) = conn.on_bytes(&wire);
@@ -174,7 +182,7 @@ mod tests {
 
     #[test]
     fn processing_time_sums_per_record() {
-        let mut conn = SvcTcpConn::new(reg(), Rc::new(|_, _| SimTime::from_millis(1)));
+        let mut conn = SvcTcpConn::new(reg(), Arc::new(|_, _| SimTime::from_millis(1)));
         let mut wire = call_record(1, 10);
         wire.extend_from_slice(&call_record(2, 20));
         let (_, t) = conn.on_bytes(&wire);

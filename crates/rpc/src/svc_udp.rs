@@ -1,34 +1,142 @@
 //! UDP transport adapter for the server: plugs a [`SvcRegistry`] into the
-//! simulated network as a datagram handler (`svcudp_create`).
+//! simulated network as a datagram handler (`svcudp_create`), with the
+//! classic Sun duplicate-request cache (`svcudp_enablecache`) built in.
 
-use crate::svc::SvcRegistry;
+use crate::svc::{Dispatcher, SvcRegistry};
 use specrpc_netsim::net::{Addr, Network};
 use specrpc_netsim::SimTime;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Server processing-time model: given (request bytes, reply bytes),
-/// return the simulated service time.
-pub type ProcTimeModel = Box<dyn Fn(usize, usize) -> SimTime>;
+/// return the simulated service time. Shared by every transport adapter.
+pub type ProcTimeModel = Arc<dyn Fn(usize, usize) -> SimTime + Send + Sync>;
 
-/// Install the registry as a UDP service at `addr`. The optional
-/// processing-time model defaults to a fixed 50 µs dispatch cost plus a
+/// The default processing-time model: a fixed 50 µs dispatch cost plus a
 /// per-byte term (a small stand-in; the paper-table harness models server
 /// time from real op counts instead).
+pub fn default_proc_time() -> ProcTimeModel {
+    Arc::new(|req, rep| SimTime::from_nanos(50_000 + 20 * (req + rep) as u64))
+}
+
+/// Entries held by the duplicate-request cache (`SPCACHESIZE`-ish; small,
+/// FIFO-evicted — enough to absorb retransmission windows).
+pub const DUP_CACHE_ENTRIES: usize = 256;
+
+/// The duplicate-request (reply) cache of `svcudp_cache`: keyed by
+/// `(xid, sender)` and *verified against the full request bytes*, it
+/// replays the recorded reply for a retransmitted or fault-duplicated
+/// request instead of re-dispatching it — giving *exactly-once handler
+/// execution* per transaction even when the network delivers the request
+/// datagram twice. The byte comparison matters: xids are only unique per
+/// client instance, so a fresh client reusing a port (and therefore the
+/// deterministic xid stream) must not be answered with a stale reply —
+/// only a byte-identical datagram is indistinguishable from a
+/// retransmission.
+pub(crate) struct DupCache {
+    replies: HashMap<(u32, Addr), (Vec<u8>, Vec<u8>)>,
+    order: VecDeque<(u32, Addr)>,
+    cap: usize,
+}
+
+impl DupCache {
+    pub(crate) fn new(cap: usize) -> Self {
+        DupCache {
+            replies: HashMap::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    pub(crate) fn get(&self, xid: u32, from: Addr, request: &[u8]) -> Option<&Vec<u8>> {
+        self.replies
+            .get(&(xid, from))
+            .filter(|(req, _)| req == request)
+            .map(|(_, reply)| reply)
+    }
+
+    pub(crate) fn put(&mut self, xid: u32, from: Addr, request: Vec<u8>, reply: Vec<u8>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.replies.insert((xid, from), (request, reply)).is_none() {
+            self.order.push_back((xid, from));
+            if self.order.len() > self.cap {
+                if let Some(old) = self.order.pop_front() {
+                    self.replies.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn xid_of(request: &[u8]) -> Option<u32> {
+    request
+        .get(..4)
+        .map(|b| u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+/// Install the registry as a UDP service at `addr`, with a
+/// [`DUP_CACHE_ENTRIES`]-entry duplicate-request cache. The optional
+/// processing-time model defaults to [`default_proc_time`].
 pub fn serve_udp(
     net: &Network,
     addr: Addr,
-    registry: Rc<RefCell<SvcRegistry>>,
+    registry: Arc<SvcRegistry>,
     proc_time: Option<ProcTimeModel>,
 ) {
-    let model: ProcTimeModel = proc_time.unwrap_or_else(|| {
-        Box::new(|req, rep| SimTime::from_nanos(50_000 + 20 * (req + rep) as u64))
-    });
+    serve_udp_with_cache(net, addr, registry, proc_time, DUP_CACHE_ENTRIES)
+}
+
+/// [`serve_udp`] with an explicit duplicate-request cache size
+/// (`0` disables caching: every delivery re-dispatches, the pre-cache
+/// at-least-once behavior).
+pub fn serve_udp_with_cache(
+    net: &Network,
+    addr: Addr,
+    registry: Arc<SvcRegistry>,
+    proc_time: Option<ProcTimeModel>,
+    cache_entries: usize,
+) {
+    serve_dispatcher_udp(
+        net,
+        addr,
+        Arc::new(move |request: &[u8]| registry.dispatch(request)),
+        proc_time,
+        cache_entries,
+    );
+}
+
+/// Install an arbitrary [`Dispatcher`] as the UDP service at `addr`,
+/// fronted by the duplicate-request cache — the one handler body shared
+/// by the direct ([`serve_udp`]) and pooled
+/// (`svc_threaded::attach_udp`) paths, so cache policy and replay cost
+/// stay identical between them.
+pub(crate) fn serve_dispatcher_udp(
+    net: &Network,
+    addr: Addr,
+    dispatch: Dispatcher,
+    proc_time: Option<ProcTimeModel>,
+    cache_entries: usize,
+) {
+    let model: ProcTimeModel = proc_time.unwrap_or_else(default_proc_time);
+    let mut cache = DupCache::new(cache_entries);
     net.serve_udp(
         addr,
-        Box::new(move |request, _from| {
-            let reply = registry.borrow_mut().dispatch(request);
+        Box::new(move |request, from| {
+            if let Some(xid) = xid_of(request) {
+                if let Some(hit) = cache.get(xid, from, request) {
+                    // Replay, charging only the (cheap) cache lookup as a
+                    // fraction of the dispatch cost.
+                    let t = SimTime::from_nanos(5_000);
+                    return Some((hit.clone(), t));
+                }
+            }
+            let reply = dispatch(request);
             let t = model(request.len(), reply.len());
+            if let Some(xid) = xid_of(request) {
+                cache.put(xid, from, request.to_vec(), reply.clone());
+            }
             Some((reply, t))
         }),
     );
@@ -41,22 +149,18 @@ mod tests {
     use specrpc_netsim::net::NetworkConfig;
     use specrpc_xdr::mem::XdrMem;
     use specrpc_xdr::primitives::xdr_int;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn registry_answers_over_the_network() {
         let net = Network::new(NetworkConfig::lan(), 5);
-        let mut reg = SvcRegistry::new();
-        reg.register(
-            300,
-            1,
-            0,
-            Box::new(|_, results| {
-                let mut v = 99i32;
-                xdr_int(results, &mut v)?;
-                Ok(())
-            }),
-        );
-        serve_udp(&net, 650, Rc::new(RefCell::new(reg)), None);
+        let reg = SvcRegistry::new();
+        reg.register(300, 1, 0, |_, results| {
+            let mut v = 99i32;
+            xdr_int(results, &mut v)?;
+            Ok(())
+        });
+        serve_udp(&net, 650, Arc::new(reg), None);
 
         let ep = net.bind_udp(4000);
         let mut enc = XdrMem::encoder(128);
@@ -75,13 +179,13 @@ mod tests {
     #[test]
     fn custom_processing_time_advances_clock() {
         let net = Network::new(NetworkConfig::lan(), 5);
-        let mut reg = SvcRegistry::new();
-        reg.register(300, 1, 0, Box::new(|_, _| Ok(())));
+        let reg = SvcRegistry::new();
+        reg.register(300, 1, 0, |_, _| Ok(()));
         serve_udp(
             &net,
             650,
-            Rc::new(RefCell::new(reg)),
-            Some(Box::new(|_, _| SimTime::from_millis(7))),
+            Arc::new(reg),
+            Some(Arc::new(|_, _| SimTime::from_millis(7))),
         );
         let ep = net.bind_udp(4000);
         let mut enc = XdrMem::encoder(128);
@@ -90,5 +194,82 @@ mod tests {
         ep.send_to(650, enc.into_bytes());
         ep.recv_timeout(SimTime::from_millis(50)).expect("reply");
         assert!(net.now() >= SimTime::from_millis(7));
+    }
+
+    #[test]
+    fn duplicate_request_cache_replays_instead_of_redispatching() {
+        // The same call datagram delivered twice (a retransmission or a
+        // network duplicate): the handler runs once, the second delivery
+        // is answered from the reply cache, and both replies are
+        // byte-identical.
+        let net = Network::new(NetworkConfig::lan(), 5);
+        let reg = Arc::new(SvcRegistry::new());
+        let runs = Arc::new(AtomicU64::new(0));
+        let r = runs.clone();
+        reg.register(300, 1, 0, move |_, results| {
+            r.fetch_add(1, Ordering::Relaxed);
+            let mut v = 5i32;
+            xdr_int(results, &mut v)?;
+            Ok(())
+        });
+        serve_udp(&net, 650, reg.clone(), None);
+
+        let ep = net.bind_udp(4000);
+        let mut enc = XdrMem::encoder(128);
+        let mut msg = CallHeader::new(0x42, 300, 1, 0);
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let call = enc.into_bytes();
+        ep.send_to(650, call.clone());
+        let first = ep.recv_timeout(SimTime::from_millis(20)).expect("reply 1");
+        ep.send_to(650, call);
+        let second = ep.recv_timeout(SimTime::from_millis(20)).expect("reply 2");
+        assert_eq!(first.payload, second.payload, "replayed reply identical");
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "handler ran exactly once");
+        assert_eq!(reg.generic_dispatches(), 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_senders_with_equal_xids() {
+        // Two clients may collide on xid values; the cache key includes
+        // the sender address, so each still gets its own dispatch.
+        let net = Network::new(NetworkConfig::lan(), 5);
+        let reg = Arc::new(SvcRegistry::new());
+        reg.register(300, 1, 0, |_, results| {
+            let mut v = 1i32;
+            xdr_int(results, &mut v)?;
+            Ok(())
+        });
+        serve_udp(&net, 650, reg.clone(), None);
+        let make = || {
+            let mut enc = XdrMem::encoder(128);
+            let mut msg = CallHeader::new(7, 300, 1, 0);
+            CallHeader::xdr(&mut enc, &mut msg).unwrap();
+            enc.into_bytes()
+        };
+        let a = net.bind_udp(4000);
+        let b = net.bind_udp(4001);
+        a.send_to(650, make());
+        assert!(a.recv_timeout(SimTime::from_millis(20)).is_some());
+        b.send_to(650, make());
+        assert!(b.recv_timeout(SimTime::from_millis(20)).is_some());
+        assert_eq!(reg.generic_dispatches(), 2, "distinct senders dispatch");
+    }
+
+    #[test]
+    fn zero_sized_cache_redispatches_every_delivery() {
+        let net = Network::new(NetworkConfig::lan(), 5);
+        let reg = Arc::new(SvcRegistry::new());
+        reg.register(300, 1, 0, |_, _| Ok(()));
+        serve_udp_with_cache(&net, 650, reg.clone(), None, 0);
+        let ep = net.bind_udp(4000);
+        let mut enc = XdrMem::encoder(128);
+        let mut msg = CallHeader::new(9, 300, 1, 0);
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let call = enc.into_bytes();
+        for _ in 0..3 {
+            ep.send_to(650, call.clone());
+            assert!(ep.recv_timeout(SimTime::from_millis(20)).is_some());
+        }
+        assert_eq!(reg.generic_dispatches(), 3);
     }
 }

@@ -73,7 +73,7 @@ fn main() {
     println!(
         "  64-element call against 100-element stubs: served generically \
          (server fallbacks: {})",
-        bench.registry.borrow().raw_fallbacks
+        bench.registry.raw_fallbacks()
     );
     let exact = workload(100);
     let out = bench
@@ -82,6 +82,6 @@ fn main() {
     assert_eq!(out, exact);
     println!(
         "  100-element call: fast path (server raw dispatches: {})",
-        bench.registry.borrow().raw_dispatches
+        bench.registry.raw_dispatches()
     );
 }

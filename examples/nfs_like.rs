@@ -21,9 +21,8 @@ use specrpc_rpc::svc_tcp::serve_tcp;
 use specrpc_tempo::compile::StubArgs;
 use specrpc_xdr::composite::{xdr_bytes, xdr_string};
 use specrpc_xdr::primitives::{xdr_int, xdr_u_int};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 const NFS_PROG: u32 = 100_003;
 const NFS_VERS: u32 = 2;
@@ -52,7 +51,7 @@ const STATFS_IDL: &str = r#"
 "#;
 
 /// The in-memory "filesystem": file handle -> (name, contents).
-type FileTable = Rc<RefCell<HashMap<u32, (String, Vec<u8>)>>>;
+type FileTable = Arc<Mutex<HashMap<u32, (String, Vec<u8>)>>>;
 
 fn main() {
     println!("== NFS-like service over the Sun RPC substrate ==\n");
@@ -60,7 +59,7 @@ fn main() {
 
     // 1. Portmapper up, service registered.
     pmap::start_portmapper(&net);
-    let files: FileTable = Rc::new(RefCell::new(
+    let files: FileTable = Arc::new(Mutex::new(
         [
             (1u32, ("README".to_string(), b"specialized RPC".to_vec())),
             (2, ("paper.ps".to_string(), vec![0x25, 0x21])),
@@ -69,72 +68,58 @@ fn main() {
         .collect(),
     ));
 
-    let mut reg = SvcRegistry::new();
+    let reg = SvcRegistry::new();
     // LOOKUP(name) -> fhandle (0 = not found)
     let f = files.clone();
-    reg.register(
-        NFS_PROG,
-        NFS_VERS,
-        PROC_LOOKUP,
-        Box::new(move |args, results| {
-            let mut name = String::new();
-            xdr_string(args, &mut name, 255)?;
-            let mut handle = f
-                .borrow()
-                .iter()
-                .find(|(_, (n, _))| *n == name)
-                .map(|(h, _)| *h)
-                .unwrap_or(0);
-            xdr_u_int(results, &mut handle)?;
-            Ok(())
-        }),
-    );
+    reg.register(NFS_PROG, NFS_VERS, PROC_LOOKUP, move |args, results| {
+        let mut name = String::new();
+        xdr_string(args, &mut name, 255)?;
+        let mut handle = f
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|(_, (n, _))| *n == name)
+            .map(|(h, _)| *h)
+            .unwrap_or(0);
+        xdr_u_int(results, &mut handle)?;
+        Ok(())
+    });
     // READ(fhandle, offset, count) -> opaque<>
     let f = files.clone();
-    reg.register(
-        NFS_PROG,
-        NFS_VERS,
-        PROC_READ,
-        Box::new(move |args, results| {
-            let (mut h, mut off, mut cnt) = (0u32, 0u32, 0u32);
-            xdr_u_int(args, &mut h)?;
-            xdr_u_int(args, &mut off)?;
-            xdr_u_int(args, &mut cnt)?;
-            let store = f.borrow();
-            let data = store
-                .get(&h)
-                .map(|(_, d)| {
-                    let start = (off as usize).min(d.len());
-                    let end = (start + cnt as usize).min(d.len());
-                    d[start..end].to_vec()
-                })
-                .unwrap_or_default();
-            let mut out = data;
-            xdr_bytes(results, &mut out, 8192)?;
-            Ok(())
-        }),
-    );
+    reg.register(NFS_PROG, NFS_VERS, PROC_READ, move |args, results| {
+        let (mut h, mut off, mut cnt) = (0u32, 0u32, 0u32);
+        xdr_u_int(args, &mut h)?;
+        xdr_u_int(args, &mut off)?;
+        xdr_u_int(args, &mut cnt)?;
+        let store = f.lock().unwrap();
+        let data = store
+            .get(&h)
+            .map(|(_, d)| {
+                let start = (off as usize).min(d.len());
+                let end = (start + cnt as usize).min(d.len());
+                d[start..end].to_vec()
+            })
+            .unwrap_or_default();
+        let mut out = data;
+        xdr_bytes(results, &mut out, 8192)?;
+        Ok(())
+    });
     // WRITE(fhandle, data) -> new size
     let f = files.clone();
-    reg.register(
-        NFS_PROG,
-        NFS_VERS,
-        PROC_WRITE,
-        Box::new(move |args, results| {
-            let mut h = 0u32;
-            xdr_u_int(args, &mut h)?;
-            let mut data = Vec::new();
-            xdr_bytes(args, &mut data, 8192)?;
-            let mut store = f.borrow_mut();
-            let mut size = 0i32;
-            if let Some((_, contents)) = store.get_mut(&h) {
-                contents.extend_from_slice(&data);
-                size = contents.len() as i32;
-            }
-            xdr_int(results, &mut size)?;
-            Ok(())
-        }),
-    );
+    reg.register(NFS_PROG, NFS_VERS, PROC_WRITE, move |args, results| {
+        let mut h = 0u32;
+        xdr_u_int(args, &mut h)?;
+        let mut data = Vec::new();
+        xdr_bytes(args, &mut data, 8192)?;
+        let mut store = f.lock().unwrap();
+        let mut size = 0i32;
+        if let Some((_, contents)) = store.get_mut(&h) {
+            contents.extend_from_slice(&data);
+            size = contents.len() as i32;
+        }
+        xdr_int(results, &mut size)?;
+        Ok(())
+    });
     // STATFS: fixed shape → specialized fast path, same registry, same
     // TCP transport (guard fallback keeps generic clients working too).
     let statfs_stubs = ProcSpec::new(STATFS_IDL, PROC_STATFS)
@@ -143,13 +128,18 @@ fn main() {
     let f = files.clone();
     SpecService::new()
         .proc(statfs_stubs.clone(), move |_args: &StubArgs| {
-            let total: i32 = f.borrow().values().map(|(_, d)| d.len() as i32).sum();
+            let total: i32 = f
+                .lock()
+                .unwrap()
+                .values()
+                .map(|(_, d)| d.len() as i32)
+                .sum();
             // tsize, bsize, blocks, bfree, bavail (modeled numbers).
             StubArgs::new(vec![8192, 512, 4096, 4096 - total / 512, 4000], vec![])
         })
-        .install(&mut reg);
+        .install(&reg);
 
-    serve_tcp(&net, NFS_PORT, Rc::new(RefCell::new(reg)), None);
+    serve_tcp(&net, NFS_PORT, Arc::new(reg), None);
     pmap::pmap_set(
         &net,
         5900,

@@ -1,0 +1,185 @@
+//! Concurrency stress: the tentpole property of this refactor. The whole
+//! serving stack is `Send + Sync` (compile-time asserted below), one
+//! `SpecService` served in `serve_threaded` mode handles N client threads
+//! hammering it over one shared network, every thread resolves its stubs
+//! through one shared `StubCache`, and afterwards every counter adds up:
+//! no lost or duplicated replies, `hits + misses == cache lookups`, and
+//! the pool's per-thread dispatch counts sum to the number of unique
+//! transactions.
+
+use specrpc::echo::{echo_spec, ECHO_IDL, ECHO_PROG, ECHO_VERS};
+use specrpc::{
+    PathUsed, ProcPipeline, SpecClient, SpecService, StubCache, Summary, ThreadedService,
+};
+use specrpc_netsim::net::{Network, NetworkConfig};
+use specrpc_netsim::SimTime;
+use specrpc_rpc::{ClntUdp, DispatchPool, SvcRegistry};
+use specrpc_tempo::compile::StubArgs;
+use std::sync::Arc;
+
+const N: usize = 32;
+const THREADS: usize = 8;
+const CALLS: usize = 12;
+const PORT: u16 = 780;
+
+/// Compile-time assertion (static_assertions-style): the serving stack
+/// crosses threads. A reintroduced `Rc`/`RefCell` anywhere inside these
+/// types fails this test at *compile* time.
+#[test]
+fn serving_stack_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Network>();
+    assert_send_sync::<SvcRegistry>();
+    assert_send_sync::<SpecService>();
+    assert_send_sync::<StubCache>();
+    assert_send_sync::<DispatchPool>();
+    assert_send_sync::<ThreadedService>();
+}
+
+fn thread_data(t: usize, i: usize) -> Vec<i32> {
+    (0..N)
+        .map(|k| (t * 1_000_000 + i * 1_000 + k) as i32)
+        .collect()
+}
+
+#[test]
+fn n_threads_hammer_one_threaded_service_through_one_cache() {
+    let cache = Arc::new(StubCache::new());
+    let net = Network::new(NetworkConfig::lan(), 4242);
+
+    // The server compiles through the shared cache: lookup #1, the miss.
+    let proc_ = cache
+        .get_or_compile_idl(&ProcPipeline::new(N), ECHO_IDL, None, 1)
+        .expect("server stubs");
+    let served = SpecService::new()
+        .proc(proc_, |args: &StubArgs| {
+            StubArgs::new(vec![], vec![args.arrays[0].clone()])
+        })
+        .serve_threaded(&net, PORT, 4);
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let net = net.clone();
+        let cache = cache.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut clnt = ClntUdp::create(&net, 6000 + t as u16, PORT, ECHO_PROG, ECHO_VERS);
+            // Other threads may fast-forward the shared clock while we
+            // wait; keep per-try short and the total budget huge.
+            clnt.retry_timeout = SimTime::from_millis(50);
+            clnt.total_timeout = SimTime::from_millis(600_000);
+            // Lookups #2..=#THREADS+1: hits on the shared cache.
+            let mut client = SpecClient::builder(clnt)
+                .proc(echo_spec(N))
+                .cache(cache)
+                .build()
+                .expect("client stubs");
+            let mut replies = 0u64;
+            for i in 0..CALLS {
+                let data = thread_data(t, i);
+                let args = client.args(vec![], vec![data.clone()]);
+                let (out, _path) = client
+                    .call(&args)
+                    .unwrap_or_else(|e| panic!("thread {t} call {i}: {e}"));
+                // A lost reply would time out above; a duplicated or
+                // cross-matched reply would fail here.
+                assert_eq!(out.arrays[0], data, "thread {t} call {i}");
+                replies += 1;
+            }
+            (replies, client.fast_calls + client.fallback_calls)
+        }));
+    }
+
+    let mut total_replies = 0u64;
+    for h in handles {
+        let (replies, calls) = h.join().expect("client thread");
+        assert_eq!(replies, CALLS as u64, "every call got exactly one reply");
+        assert_eq!(calls, CALLS as u64);
+        total_replies += replies;
+    }
+    assert_eq!(total_replies, (THREADS * CALLS) as u64);
+
+    // Cache accounting: hits + misses == lookups (1 server + THREADS
+    // clients), with exactly one Tempo run for the shared context.
+    let stats = cache.stats();
+    let lookups = (THREADS + 1) as u64;
+    assert_eq!(stats.hits + stats.misses, lookups, "{stats:?}");
+    assert_eq!(stats.misses, 1, "one compile for everyone: {stats:?}");
+    assert_eq!(stats.entries, 1);
+
+    // Pool accounting: each unique transaction dispatched exactly once
+    // (retransmissions replay from the duplicate-request cache and are
+    // not re-dispatched), spread across the workers.
+    let per_thread = served.per_thread_dispatches();
+    assert_eq!(per_thread.len(), 4);
+    assert_eq!(
+        per_thread.iter().sum::<u64>(),
+        (THREADS * CALLS) as u64,
+        "unique dispatches: {per_thread:?}"
+    );
+    assert_eq!(
+        served.registry.raw_dispatches(),
+        (THREADS * CALLS) as u64,
+        "all calls took the specialized fast path"
+    );
+    assert_eq!(served.registry.raw_fallbacks(), 0);
+
+    // The whole story surfaces through one Summary.
+    let report = Summary::default()
+        .with_cache(stats)
+        .with_threads(per_thread)
+        .render();
+    assert!(report.contains("stub cache"), "{report}");
+    assert!(report.contains("threaded dispatch"), "{report}");
+}
+
+#[test]
+fn threaded_tcp_pins_connections_to_workers() {
+    // serve_threaded + also_tcp: connections from different client
+    // threads dispatch on (round-robin) pinned workers; records within a
+    // connection stay ordered.
+    let net = Network::new(NetworkConfig::lan(), 777);
+    let proc_ = Arc::new(
+        ProcPipeline::new(N)
+            .build_from_idl(ECHO_IDL, None, 1)
+            .expect("pipeline"),
+    );
+    let served = SpecService::new()
+        .proc(proc_.clone(), |args: &StubArgs| {
+            StubArgs::new(vec![], vec![args.arrays[0].clone()])
+        })
+        .serve_threaded(&net, PORT + 10, 2);
+    served.also_tcp(&net, PORT + 11);
+
+    let mut handles = Vec::new();
+    for t in 0..4usize {
+        let net = net.clone();
+        let proc_ = proc_.clone();
+        handles.push(std::thread::spawn(move || {
+            let clnt = specrpc_rpc::ClntTcp::create(&net, PORT + 11, ECHO_PROG, ECHO_VERS)
+                .expect("connect");
+            let mut client = SpecClient::from_parts(clnt, proc_);
+            client
+                .transport_mut()
+                .stream_mut()
+                .set_read_timeout(SimTime::from_millis(600_000));
+            for i in 0..5 {
+                let data = thread_data(t, i);
+                let args = client.args(vec![], vec![data.clone()]);
+                let (out, path) = client
+                    .call(&args)
+                    .unwrap_or_else(|e| panic!("tcp thread {t} call {i}: {e}"));
+                assert_eq!(out.arrays[0], data);
+                assert_eq!(path, PathUsed::Fast);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("tcp client thread");
+    }
+    let per_thread = served.per_thread_dispatches();
+    assert_eq!(per_thread.iter().sum::<u64>(), 20, "{per_thread:?}");
+    assert!(
+        per_thread.iter().all(|&c| c > 0),
+        "both workers saw connections: {per_thread:?}"
+    );
+}

@@ -8,9 +8,7 @@ use specrpc_netsim::net::{Network, NetworkConfig};
 use specrpc_netsim::{FaultConfig, SimTime};
 use specrpc_rpc::ClntUdp;
 use specrpc_tempo::compile::StubArgs;
-use std::cell::RefCell;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 #[test]
 fn echo_round_trips_match_across_modes_and_sizes() {
@@ -138,9 +136,12 @@ fn mixed_fleet_interoperates() {
             .expect("generic other size");
         assert_eq!(out, data, "size {other}");
     }
-    let reg = bench.registry.borrow();
-    assert!(reg.raw_fallbacks >= 4, "mismatched sizes fell back");
-    assert!(reg.raw_dispatches >= 2, "matching sizes took the fast path");
+    let reg = &bench.registry;
+    assert!(reg.raw_fallbacks() >= 4, "mismatched sizes fell back");
+    assert!(
+        reg.raw_dispatches() >= 2,
+        "matching sizes took the fast path"
+    );
 }
 
 #[test]
@@ -200,12 +201,12 @@ fn specialized_and_generic_produce_identical_requests_on_the_wire() {
             .expect("pipeline"),
     );
     let net = Network::new(NetworkConfig::lan(), 5);
-    let seen: Rc<RefCell<Vec<Vec<u8>>>> = Rc::new(RefCell::new(Vec::new()));
+    let seen: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
     let s2 = seen.clone();
     net.serve_udp(
         700,
         Box::new(move |req, _from| {
-            s2.borrow_mut().push(req.to_vec());
+            s2.lock().unwrap().push(req.to_vec());
             None // never reply; we only inspect requests
         }),
     );
@@ -236,7 +237,7 @@ fn specialized_and_generic_produce_identical_requests_on_the_wire() {
         &mut |_| Ok(()),
     );
 
-    let seen = seen.borrow();
+    let seen = seen.lock().unwrap();
     assert!(seen.len() >= 2);
     let a = &seen[0];
     let b = &seen[seen.len() - 1];

@@ -10,26 +10,20 @@ use specrpc_rpc::svc_udp::serve_udp;
 use specrpc_rpc::ClntUdp;
 use specrpc_xdr::composite::xdr_array;
 use specrpc_xdr::primitives::xdr_int;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 const PROG: u32 = 600_000;
 
-fn sum_registry() -> Rc<RefCell<SvcRegistry>> {
-    let mut reg = SvcRegistry::new();
-    reg.register(
-        PROG,
-        1,
-        1,
-        Box::new(|args, results| {
-            let mut v: Vec<i32> = Vec::new();
-            xdr_array(args, &mut v, 1 << 20, xdr_int)?;
-            let mut sum: i32 = v.iter().copied().fold(0i32, i32::wrapping_add);
-            xdr_int(results, &mut sum)?;
-            Ok(())
-        }),
-    );
-    Rc::new(RefCell::new(reg))
+fn sum_registry() -> Arc<SvcRegistry> {
+    let reg = SvcRegistry::new();
+    reg.register(PROG, 1, 1, |args, results| {
+        let mut v: Vec<i32> = Vec::new();
+        xdr_array(args, &mut v, 1 << 20, xdr_int)?;
+        let mut sum: i32 = v.iter().copied().fold(0i32, i32::wrapping_add);
+        xdr_int(results, &mut sum)?;
+        Ok(())
+    });
+    Arc::new(reg)
 }
 
 #[test]

@@ -9,8 +9,7 @@ use specrpc_netsim::net::{Network, NetworkConfig};
 use specrpc_rpc::svc::SvcRegistry;
 use specrpc_rpc::{ClntTcp, ClntUdp, Transport};
 use specrpc_tempo::compile::StubArgs;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const PROG: u32 = 0x2000_0101;
@@ -32,21 +31,19 @@ fn deploy(
     net: &Network,
     server_n: usize,
     truncate_to: Option<usize>,
-) -> (Rc<RefCell<SvcRegistry>>, Rc<std::cell::Cell<u64>>) {
-    let calls = Rc::new(std::cell::Cell::new(0u64));
+) -> (Arc<SvcRegistry>, Arc<AtomicU64>) {
+    let calls = Arc::new(AtomicU64::new(0));
     let c = calls.clone();
     let proc_ = compile(server_n);
     let service = SpecService::new().proc(proc_, move |args: &StubArgs| {
-        c.set(c.get() + 1);
+        c.fetch_add(1, Ordering::Relaxed);
         let data = match truncate_to {
             Some(k) => args.arrays[0][..k.min(args.arrays[0].len())].to_vec(),
             None => args.arrays[0].clone(),
         };
         StubArgs::new(vec![], vec![data])
     });
-    let mut reg = SvcRegistry::new();
-    service.install(&mut reg);
-    let reg = Rc::new(RefCell::new(reg));
+    let reg = service.into_registry();
     specrpc_rpc::svc_udp::serve_udp(net, PORT, reg.clone(), None);
     specrpc_rpc::svc_tcp::serve_tcp(net, PORT + 1, reg.clone(), None);
     (reg, calls)
@@ -69,16 +66,20 @@ fn tcp_client(net: &Network, n: usize) -> SpecClient<ClntTcp> {
 /// user handler running exactly once.
 fn server_guard_fallback_on<T: Transport>(
     mut client: SpecClient<T>,
-    reg: &Rc<RefCell<SvcRegistry>>,
-    calls: &Rc<std::cell::Cell<u64>>,
+    reg: &Arc<SvcRegistry>,
+    calls: &Arc<AtomicU64>,
 ) {
     let data = workload(7);
     let args = client.args(vec![], vec![data.clone()]);
     let (out, _path) = client.call(&args).expect("mismatched call");
     assert_eq!(out.arrays[0], data, "fallback must preserve semantics");
-    assert_eq!(reg.borrow().raw_fallbacks, 1, "server guard must fail");
-    assert_eq!(reg.borrow().generic_dispatches, 1);
-    assert_eq!(calls.get(), 1, "handler must run exactly once");
+    assert_eq!(reg.raw_fallbacks(), 1, "server guard must fail");
+    assert_eq!(reg.generic_dispatches(), 1);
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        1,
+        "handler must run exactly once"
+    );
 }
 
 #[test]
@@ -103,8 +104,8 @@ fn server_guard_fallback_over_tcp() {
 /// ran exactly once.
 fn reply_shape_mismatch_on<T: Transport>(
     mut client: SpecClient<T>,
-    reg: &Rc<RefCell<SvcRegistry>>,
-    calls: &Rc<std::cell::Cell<u64>>,
+    reg: &Arc<SvcRegistry>,
+    calls: &Arc<AtomicU64>,
 ) {
     let data = workload(10);
     let args = client.args(vec![], vec![data.clone()]);
@@ -112,11 +113,15 @@ fn reply_shape_mismatch_on<T: Transport>(
     assert_eq!(path, PathUsed::GenericFallback, "client guard must fail");
     assert_eq!(out.arrays[0], &data[..5], "fallback result must be right");
     assert_eq!(client.fallback_calls, 1);
-    assert_eq!(calls.get(), 1, "handler must run exactly once");
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        1,
+        "handler must run exactly once"
+    );
     // The raw handler answered (with a generically-encoded reply); no
     // second dispatch happened.
-    assert_eq!(reg.borrow().raw_dispatches, 1);
-    assert_eq!(reg.borrow().generic_dispatches, 0);
+    assert_eq!(reg.raw_dispatches(), 1);
+    assert_eq!(reg.generic_dispatches(), 0);
 }
 
 #[test]
@@ -160,6 +165,6 @@ fn same_stubs_same_bytes_on_both_transports() {
     );
 
     // Both went down the raw fast path on the shared registry.
-    assert_eq!(reg.borrow().raw_dispatches, 2);
-    assert_eq!(reg.borrow().raw_fallbacks, 0);
+    assert_eq!(reg.raw_dispatches(), 2);
+    assert_eq!(reg.raw_fallbacks(), 0);
 }
