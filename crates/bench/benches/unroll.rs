@@ -1,9 +1,14 @@
-//! Table 4 — full unrolling vs bounded (250-element) unrolling of the
-//! specialized marshaling stubs (real wall clock; the modeled instruction-
-//! cache numbers come from `paper_tables`).
+//! Table 4 — full unrolling vs bounded unrolling of the specialized
+//! marshaling stubs, swept over power-of-two bounds (real wall clock; the
+//! modeled instruction-cache numbers and the auto-detected knee come from
+//! `paper_tables` / `examples/specialization_report`).
+//!
+//! The paper probes only {25, 250, full}; the sweep covers 8..4096 so the
+//! knee of the curve (where a bigger unroll bound stops paying) is
+//! measured rather than guessed.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use specrpc::echo::{build_echo_proc, workload};
+use specrpc::echo::{build_echo_proc, unroll_bounds, workload};
 use specrpc_tempo::compile::{run_encode, StubArgs};
 use specrpc_xdr::OpCounts;
 use std::hint::black_box;
@@ -17,11 +22,9 @@ fn bench_unroll(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
 
     for n in [500usize, 1000, 2000] {
-        for (label, chunk) in [
-            ("full", None),
-            ("chunk250", Some(250)),
-            ("chunk25", Some(25)),
-        ] {
+        let mut variants: Vec<(String, Option<usize>)> = vec![("full".into(), None)];
+        variants.extend(unroll_bounds(n).map(|chunk| (format!("chunk{chunk}"), Some(chunk))));
+        for (label, chunk) in variants {
             let proc_ = build_echo_proc(n, chunk).expect("pipeline");
             let args = StubArgs::new(vec![1], vec![workload(n)]);
             let mut buf = vec![0u8; proc_.client_encode.wire_len];

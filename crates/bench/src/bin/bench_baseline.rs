@@ -14,7 +14,8 @@
 //! `diff` prints per-benchmark deltas and flags changes beyond the
 //! threshold (default ±50% — wall-clock on shared machines is noisy;
 //! pass `--threshold <pct>` to tighten). `--strict` exits non-zero on
-//! flagged regressions, for CI use.
+//! flagged *regressions* and missing benchmarks (improvements beyond the
+//! threshold are reported but never fail), for CI use.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -143,6 +144,7 @@ fn capture() -> Result<(), String> {
 
 fn diff(threshold_pct: f64, strict: bool) -> Result<ExitCode, String> {
     let mut flagged = 0usize;
+    let mut regressions = 0usize;
     for target in TARGETS {
         let baseline = load(&baseline_path(target))?;
         let fresh = load(&fresh_path(target))?;
@@ -151,12 +153,14 @@ fn diff(threshold_pct: f64, strict: bool) -> Result<ExitCode, String> {
             let Some(f) = fresh.iter().find(|f| f.label == b.label) else {
                 println!("  {:<44} MISSING from fresh run", b.label);
                 flagged += 1;
+                regressions += 1;
                 continue;
             };
             let delta = (f.median_ns - b.median_ns) / b.median_ns * 100.0;
             let mark = if delta.abs() > threshold_pct {
                 flagged += 1;
                 if delta > 0.0 {
+                    regressions += 1;
                     "  <-- REGRESSION"
                 } else {
                     "  <-- improvement"
@@ -176,8 +180,11 @@ fn diff(threshold_pct: f64, strict: bool) -> Result<ExitCode, String> {
         }
     }
     if flagged > 0 {
-        println!("\n{flagged} benchmark(s) beyond ±{threshold_pct}% of baseline");
-        if strict {
+        println!(
+            "\n{flagged} benchmark(s) beyond ±{threshold_pct}% of baseline \
+             ({regressions} regression(s)/missing)"
+        );
+        if strict && regressions > 0 {
             return Ok(ExitCode::FAILURE);
         }
     } else {

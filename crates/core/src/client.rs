@@ -15,9 +15,9 @@ use specrpc_rpc::error::RpcError;
 use specrpc_rpc::msg::ReplyHeader;
 use specrpc_rpc::transport::Transport;
 use specrpc_rpcgen::sunlib::reply_fields;
-use specrpc_tempo::compile::{run_decode, run_encode, Outcome, StubArgs};
+use specrpc_tempo::compile::{run_decode, run_encode_with_xid, Outcome, StubArgs};
 use specrpc_xdr::mem::XdrMem;
-use specrpc_xdr::{OpCounts, XdrStream};
+use specrpc_xdr::{OpCounts, WireBuf, XdrStream};
 use std::sync::Arc;
 
 /// Which path served a call.
@@ -138,16 +138,29 @@ impl<T: Transport> SpecClientBuilder<T> {
 /// A specialized RPC client for one procedure: compiled stubs over the
 /// shared transaction layer of any [`Transport`], with a generic decoder
 /// fallback.
+///
+/// The request lane is zero-copy and allocation-free in steady state: the
+/// compiled stub stamps header and arguments in **one pass** directly into
+/// a [`WireBuf`] that is preallocated once at the stub's exact wire length
+/// and rewound per call, the transport borrows those bytes (copying only
+/// into the pooled datagram it actually transmits), and consumed reply
+/// buffers are recycled back to the transport's pool. `counts.heap_allocs`
+/// accounts every wire-path allocation — zero per call once warm, which
+/// `tests/zero_copy.rs` pins.
 pub struct SpecClient<T: Transport> {
     transport: T,
     proc_: Arc<CompiledProc>,
-    /// Stub-op and byte counts from specialized marshaling (generic
-    /// fallback decoding accumulates here too).
+    /// Reusable request image (exact wire length, rewound per call).
+    req: WireBuf,
+    /// Stub-op, byte, and allocation counts from specialized marshaling
+    /// (generic fallback decoding accumulates here too).
     pub counts: OpCounts,
     /// Calls served by the fast path.
     pub fast_calls: u64,
     /// Calls that fell back to the generic decoder.
     pub fallback_calls: u64,
+    /// Calls performed (for allocs-per-call reporting).
+    pub calls: u64,
 }
 
 impl<T: Transport> SpecClient<T> {
@@ -166,9 +179,11 @@ impl<T: Transport> SpecClient<T> {
         SpecClient {
             transport,
             proc_,
+            req: WireBuf::new(),
             counts: OpCounts::new(),
             fast_calls: 0,
             fallback_calls: 0,
+            calls: 0,
         }
     }
 
@@ -186,45 +201,82 @@ impl<T: Transport> SpecClient<T> {
     /// *after* the xid slot 0, arrays from 0) — build it with
     /// [`SpecClient::args`]. Returns the result slots and which path
     /// decoded the reply.
+    ///
+    /// Allocates fresh result slots per call; steady-state callers that
+    /// want the allocation-free lane use [`SpecClient::call_into`].
     pub fn call(&mut self, args: &StubArgs) -> Result<(StubArgs, PathUsed), RpcError> {
+        let mut out = StubArgs::default();
+        let path = self.call_into(args, &mut out)?;
+        Ok((out, path))
+    }
+
+    /// [`SpecClient::call`] decoding into caller-provided result slots,
+    /// reusing their capacity: with a warm `out` and a warm transport
+    /// pool, a round trip performs zero wire-path heap allocations
+    /// (`counts.heap_allocs` stays flat).
+    ///
+    /// Accounting caveat: transport allocations are attributed by
+    /// pool-counter delta across the call, so when several clients share
+    /// one `BufPool` *and* run concurrently, misses provoked by a peer
+    /// inside this call's window land in this client's counts. Per-client
+    /// readings are exact for the single-driver deployments the tests
+    /// measure; the aggregate across clients is exact always.
+    pub fn call_into(&mut self, args: &StubArgs, out: &mut StubArgs) -> Result<PathUsed, RpcError> {
+        let allocs_before = self.transport.wire_allocs();
+        self.calls += 1;
+        let result = self.call_inner(args, out);
+        // The pool misses this call's window provoked are its wire
+        // allocations — folded on success *and* failure (a timed-out
+        // retransmit storm allocates just as physically).
+        self.counts.heap_allocs += self.transport.wire_allocs() - allocs_before;
+        result
+    }
+
+    fn call_inner(&mut self, args: &StubArgs, out: &mut StubArgs) -> Result<PathUsed, RpcError> {
         let xid = self.transport.next_xid();
-        let mut request = vec![0u8; self.proc_.client_encode.wire_len];
-        let mut full_args = args.clone();
-        full_args.scalars[0] = xid as i32;
-        run_encode(
-            &self.proc_.client_encode.program,
-            &mut request,
-            &full_args,
+
+        // Single-copy encode: the compiled stub emits header + arguments
+        // in one pass straight into the rewound exact-size wire buffer
+        // (xid stamped via the slot-0 override, not an args clone).
+        let enc = &self.proc_.client_encode;
+        self.req.reset(enc.wire_len);
+        let encoded = run_encode_with_xid(
+            &enc.program,
+            self.req.bytes_mut(),
+            args,
+            xid as i32,
             &mut self.counts,
-        )
-        .map_err(|e| RpcError::Transport(e.to_string()))?;
-
-        let reply = self.transport.call(request, xid)?;
-
-        // Specialized decode with generic fallback.
-        let dec = &self.proc_.client_decode;
-        let mut out = StubArgs::new(
-            vec![0; dec.layout.scalar_count as usize],
-            vec![Vec::new(); dec.layout.array_count as usize],
         );
-        match run_decode(
-            &dec.program,
-            &reply,
-            &mut out,
-            reply.len(),
-            &mut self.counts,
-        ) {
+        // Fold the wire buffer's (re)allocation accounting before any
+        // early return so no growth event is lost.
+        let wb_counts = *self.req.counts();
+        self.req.counts_mut().reset();
+        self.counts += wb_counts;
+        encoded.map_err(|e| RpcError::Transport(e.to_string()))?;
+
+        let reply = self.transport.call(self.req.bytes(), xid)?;
+
+        // Specialized decode with generic fallback, into reused slots.
+        let dec = &self.proc_.client_decode;
+        out.prepare(
+            dec.layout.scalar_count as usize,
+            dec.layout.array_count as usize,
+        );
+        let result = match run_decode(&dec.program, &reply, out, reply.len(), &mut self.counts) {
             Ok(Outcome::Done { ret: 1, .. }) => {
                 self.fast_calls += 1;
-                Ok((out, PathUsed::Fast))
+                Ok(PathUsed::Fast)
             }
             Ok(Outcome::Done { .. }) | Ok(Outcome::Fallback) => {
                 self.fallback_calls += 1;
-                let out = self.decode_generic(&reply)?;
-                Ok((out, PathUsed::GenericFallback))
+                self.decode_generic(&reply, out)
+                    .map(|()| PathUsed::GenericFallback)
             }
             Err(e) => Err(RpcError::Transport(e.to_string())),
-        }
+        };
+        // The consumed reply buffer feeds the transport's pool.
+        self.transport.recycle(reply);
+        result
     }
 
     /// Build the argument [`StubArgs`] with the xid slot reserved.
@@ -237,25 +289,25 @@ impl<T: Transport> SpecClient<T> {
 
     /// The generic reply path (§6.2 `else` branch): full header
     /// validation and layered decoding.
-    fn decode_generic(&mut self, reply: &[u8]) -> Result<StubArgs, RpcError> {
+    fn decode_generic(&mut self, reply: &[u8], out: &mut StubArgs) -> Result<(), RpcError> {
         let mut dec = XdrMem::decoder(reply);
         let hdr = ReplyHeader::decode(&mut dec)?;
         if let Some(err) = hdr.to_error() {
             return Err(err);
         }
         let decp = &self.proc_.client_decode;
-        let mut out = StubArgs::new(
-            vec![0; decp.layout.scalar_count as usize],
-            vec![Vec::new(); decp.layout.array_count as usize],
+        out.prepare(
+            decp.layout.scalar_count as usize,
+            decp.layout.array_count as usize,
         );
         decode_shape_generic(
             &mut dec,
             &self.proc_.res_shape,
             &decp.layout,
             reply_fields::COUNT as u16,
-            &mut out,
+            out,
         )?;
         self.counts += *dec.counts();
-        Ok(out)
+        Ok(())
     }
 }

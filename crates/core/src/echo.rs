@@ -59,6 +59,19 @@ pub const ECHO_IDL: &str = r#"
 /// The array sizes of the paper's tables.
 pub const PAPER_SIZES: [usize; 6] = [20, 100, 250, 500, 1000, 2000];
 
+/// Power-of-two unroll bounds swept by the unroll benchmark and the
+/// knee detector in `examples/specialization_report.rs` (one source so
+/// the measured curve and the modeled knee always cover the same
+/// bounds).
+pub const UNROLL_SWEEP: [usize; 10] = [8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// The sweep bounds applicable to arrays of `n` integers: a bound only
+/// re-rolls element runs of at least `2 × bound` ops, so bounds above
+/// `n / 2` compile to the full unroll and are excluded.
+pub fn unroll_bounds(n: usize) -> impl Iterator<Item = usize> {
+    UNROLL_SWEEP.into_iter().filter(move |&c| 2 * c <= n)
+}
+
 /// The [`ProcSpec`] for `ECHO` pinned to arrays of `n` integers.
 pub fn echo_spec(n: usize) -> ProcSpec {
     ProcSpec::new(ECHO_IDL, ECHO_PROC).pinned(n)
@@ -175,7 +188,17 @@ impl EchoBench {
         let net = Network::new(NetworkConfig::lan(), seed);
         let registry = serve_echo(&net, proc_.clone());
         let generic = ClntUdp::create(&net, 5001, ECHO_PORT, ECHO_PROG, ECHO_VERS);
-        let clnt = ClntUdp::create(&net, 5002, ECHO_PORT, ECHO_PROG, ECHO_VERS);
+        // The specialized client shares the registry's wire-buffer pool:
+        // reply buffers it recycles come back as the server's next reply
+        // images, closing the allocation loop within one deployment.
+        let clnt = ClntUdp::create_pooled(
+            &net,
+            5002,
+            ECHO_PORT,
+            ECHO_PROG,
+            ECHO_VERS,
+            registry.pool().clone(),
+        );
         let spec = SpecClient::from_parts(clnt, proc_);
         Ok(EchoBench {
             net,
@@ -195,15 +218,7 @@ impl EchoBench {
 
     fn advance_for(&self, before: OpCounts, after: OpCounts) {
         let Some(c) = self.costs else { return };
-        let d = OpCounts {
-            dispatches: after.dispatches - before.dispatches,
-            overflow_checks: after.overflow_checks - before.overflow_checks,
-            status_checks: after.status_checks - before.status_checks,
-            layer_calls: after.layer_calls - before.layer_calls,
-            byteorder_ops: after.byteorder_ops - before.byteorder_ops,
-            mem_moves: after.mem_moves - before.mem_moves,
-            stub_ops: after.stub_ops - before.stub_ops,
-        };
+        let d = after.since(before);
         let ns = c.marshal_ns(&d, 0) - c.marshal_fixed_ns;
         self.net.advance(SimTime::from_nanos(ns.max(0.0) as u64));
     }
@@ -275,8 +290,14 @@ impl TcpEchoBench {
         let registry = echo_service(proc_.clone()).serve_tcp(&net, ECHO_TCP_PORT);
         let generic = ClntTcp::create(&net, ECHO_TCP_PORT, ECHO_PROG, ECHO_VERS)
             .map_err(|e| PipelineError::Deploy(e.to_string()))?;
-        let clnt = ClntTcp::create(&net, ECHO_TCP_PORT, ECHO_PROG, ECHO_VERS)
-            .map_err(|e| PipelineError::Deploy(e.to_string()))?;
+        let clnt = ClntTcp::create_pooled(
+            &net,
+            ECHO_TCP_PORT,
+            ECHO_PROG,
+            ECHO_VERS,
+            registry.pool().clone(),
+        )
+        .map_err(|e| PipelineError::Deploy(e.to_string()))?;
         let spec = SpecClient::from_parts(clnt, proc_);
         Ok(TcpEchoBench {
             net,

@@ -142,6 +142,80 @@
 //! assert!(report.contains("threaded dispatch"));
 //! ```
 //!
+//! # The wire path
+//!
+//! Marshaling runs on one of two lanes, pinned byte-identical by the
+//! equivalence tests:
+//!
+//! - the **generic counted lane** — the 1984 interpretive structure kept
+//!   on purpose: every primitive dispatches on the stream's `x_op`
+//!   through `&mut dyn XdrStream`, every 4-byte item pays an `x_handy`
+//!   overflow check, every layer propagates status. This is the measured
+//!   baseline and the §6.2 guard-fallback path.
+//! - the **zero-copy lane** — what specialization leaves behind: compiled
+//!   stubs run a fused plan (contiguous element runs execute as single
+//!   bulk block copies, no per-element dispatch), the client emits the
+//!   header and arguments in one pass into a
+//!   [`WireBuf`](specrpc_xdr::WireBuf) preallocated once at the stub's
+//!   exact wire length and rewound per call, transports borrow the
+//!   request (retransmissions rewind and re-send the same image instead
+//!   of cloning it), and every buffer cycles through a shared
+//!   [`BufPool`](specrpc_rpc::BufPool). In steady state a specialized
+//!   UDP round trip performs **zero wire-path heap allocations**;
+//!   `OpCounts::heap_allocs` counts them and `Summary::with_wire`
+//!   reports bytes-copied and allocs-per-call.
+//!
+//! On the checked-in baselines this lane took `marshal/specialized/2000`
+//! from 3346.7 ns to 612.9 ns (−81.7%) and `unroll/full/2000` from
+//! 3018.6 ns to 465.4 ns (−84.6%); see `BENCH_marshal.json` /
+//! `BENCH_unroll.json`.
+//!
+//! The allocation-free loop, end to end:
+//!
+//! ```
+//! use specrpc::echo::{workload, ECHO_IDL, ECHO_PROC, ECHO_PROG, ECHO_VERS};
+//! use specrpc::{PathUsed, ProcPipeline, SpecClient, SpecService};
+//! use specrpc_netsim::net::{Network, NetworkConfig};
+//! use specrpc_rpc::ClntUdp;
+//! use specrpc_tempo::compile::StubArgs;
+//! use std::sync::Arc;
+//!
+//! let n = 64;
+//! let proc_ = Arc::new(
+//!     ProcPipeline::new(n).build_from_idl(ECHO_IDL, None, ECHO_PROC).unwrap(),
+//! );
+//! let net = Network::new(NetworkConfig::lan(), 5);
+//! let reg = SpecService::new()
+//!     .proc(proc_.clone(), |args: &StubArgs| {
+//!         StubArgs::new(vec![], vec![args.arrays[0].clone()])
+//!     })
+//!     .into_registry();
+//! // A small duplicate-request cache keeps the warm-up window short
+//! // (entries recycle into the pool only once the cache is full).
+//! specrpc_rpc::svc_udp::serve_udp_with_cache(&net, 902, reg.clone(), None, 4);
+//!
+//! // The client shares the registry's wire-buffer pool: reply buffers it
+//! // recycles come back as the server's next reply images.
+//! let transport =
+//!     ClntUdp::create_pooled(&net, 5003, 902, ECHO_PROG, ECHO_VERS, reg.pool().clone());
+//! let mut client = SpecClient::from_parts(transport, proc_);
+//!
+//! let data = workload(n);
+//! let args = client.args(vec![], vec![data.clone()]);
+//! let mut out = StubArgs::default(); // reused result slots
+//! for _ in 0..8 {
+//!     let path = client.call_into(&args, &mut out).unwrap();
+//!     assert_eq!(path, PathUsed::Fast);
+//!     assert_eq!(out.arrays[0], data);
+//! }
+//! // Warm-up done: from here the wire path allocates nothing.
+//! let warm = client.counts.heap_allocs;
+//! for _ in 0..5 {
+//!     client.call_into(&args, &mut out).unwrap();
+//! }
+//! assert_eq!(client.counts.heap_allocs, warm);
+//! ```
+//!
 //! The [`echo`] module packages the paper's benchmark workload (a remote
 //! procedure exchanging integer arrays, §5 "The test program"); [`client`]
 //! and [`service`] hold the transport-agnostic facade; [`cache`] the
@@ -160,4 +234,4 @@ pub use cache::{CacheStats, ShapeKey, StubCache};
 pub use client::{PathUsed, ProcSpec, SpecClient, SpecClientBuilder};
 pub use pipeline::{CompiledProc, PipelineError, ProcPipeline};
 pub use service::{SpecHandler, SpecService, ThreadedService};
-pub use summary::Summary;
+pub use summary::{Summary, WireStats};

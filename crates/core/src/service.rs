@@ -22,6 +22,7 @@
 use crate::generic::{decode_shape_generic, encode_shape_generic};
 use crate::pipeline::CompiledProc;
 use specrpc_netsim::net::{Addr, Network};
+use specrpc_rpc::bufpool::BufPool;
 use specrpc_rpc::error::RpcError;
 use specrpc_rpc::msg::ReplyHeader;
 use specrpc_rpc::svc::{SvcRegistry, REPLY_BUF_SIZE};
@@ -32,7 +33,7 @@ use specrpc_rpcgen::sunlib::call_fields;
 use specrpc_tempo::compile::{run_decode, run_encode, Outcome, StubArgs};
 use specrpc_xdr::mem::XdrMem;
 use specrpc_xdr::OpCounts;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A user service function: argument slots in, result slots out. `Arc`
 /// with `Send + Sync` because one handler backs both the fast and the
@@ -150,27 +151,41 @@ impl SpecService {
 fn install_one(registry: &SvcRegistry, proc_: Arc<CompiledProc>, handler: SpecHandler) {
     let (prog, vers, pnum) = proc_.target;
 
-    // Fast path.
+    // Fast path: compiled decode into reused scratch slots → user handler
+    // → compiled encode in one pass straight into a pooled reply buffer
+    // (single-copy encode; the buffer returns through the transport
+    // adapter's cache-eviction recycling).
     let p = proc_.clone();
     let h = handler.clone();
-    registry.register_raw(prog, vers, pnum, move |request: &[u8]| {
+    let scratch: Mutex<StubArgs> = Mutex::new(StubArgs::default());
+    registry.register_raw(prog, vers, pnum, move |request: &[u8], pool: &BufPool| {
         let dec = &p.server_decode;
         let mut counts = OpCounts::new();
-        let mut args = StubArgs::new(
-            vec![0; dec.layout.scalar_count as usize],
-            vec![Vec::new(); dec.layout.array_count as usize],
+        // Argument slots: per-procedure scratch when uncontended (the
+        // steady, allocation-free state); a fresh set when another worker
+        // is mid-dispatch on the same procedure.
+        let mut fresh: Option<StubArgs> = None;
+        let mut guard = scratch.try_lock();
+        let args: &mut StubArgs = match guard {
+            Ok(ref mut g) => g,
+            Err(_) => fresh.get_or_insert_with(StubArgs::default),
+        };
+        args.prepare(
+            dec.layout.scalar_count as usize,
+            dec.layout.array_count as usize,
         );
-        match run_decode(&dec.program, request, &mut args, request.len(), &mut counts) {
+        match run_decode(&dec.program, request, args, request.len(), &mut counts) {
             Ok(Outcome::Done { ret: 1, .. }) => {}
             _ => return None, // guard failed → generic path
         }
         let xid = args.scalars[call_fields::XID];
-        let results = h(&args);
+        let results = h(args);
         let enc = &p.server_encode;
         let mut full = results;
         // Reply stub scalar slot 0 is the xid.
         full.scalars.insert(0, xid);
-        let mut reply = vec![0u8; enc.wire_len];
+        let mut reply = pool.take(enc.wire_len);
+        reply.resize(enc.wire_len, 0);
         match run_encode(&enc.program, &mut reply, &full, &mut counts) {
             Ok(Outcome::Done { ret: 1, .. }) => Some(reply),
             _ => {
@@ -179,7 +194,8 @@ fn install_one(registry: &SvcRegistry, proc_: Arc<CompiledProc>, handler: SpecHa
                 // generic encoder with the results we already have —
                 // returning None would re-dispatch generically and
                 // run the (possibly side-effecting) handler twice.
-                let mut gx = XdrMem::encoder(REPLY_BUF_SIZE);
+                pool.put(reply);
+                let mut gx = XdrMem::encoder_over(pool.take(REPLY_BUF_SIZE), REPLY_BUF_SIZE);
                 ReplyHeader::encode_success(&mut gx, xid as u32).ok()?;
                 // `full` carries the xid at scalar slot 0; user
                 // result scalars start at 1.

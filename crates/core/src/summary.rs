@@ -2,6 +2,21 @@
 
 use crate::cache::CacheStats;
 use specrpc_tempo::spec::SpecReport;
+use specrpc_xdr::OpCounts;
+
+/// Wire-path allocation/copy profile of a measured client (from its
+/// accumulated [`OpCounts`]): the paper's copy-elimination story in two
+/// numbers — bytes that still move (the irreducible data) and heap
+/// allocations (zero per call on the pooled zero-copy lane).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Bytes copied between argument memory and wire buffers.
+    pub bytes_copied: u64,
+    /// Wire-path heap allocations (pool misses + buffer/array growth).
+    pub heap_allocs: u64,
+    /// Calls the counters cover.
+    pub calls: u64,
+}
 
 /// What specialization eliminated, in the paper's vocabulary.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -30,6 +45,8 @@ pub struct Summary {
     /// Requests dispatched per worker thread, when the service ran under
     /// [`crate::SpecService::serve_threaded`].
     pub threads: Option<Vec<u64>>,
+    /// Wire-path bytes-copied / allocs-per-call profile, when measured.
+    pub wire: Option<WireStats>,
 }
 
 impl Summary {
@@ -49,6 +66,7 @@ impl Summary {
             residual_stmts: r.residual_stmts,
             cache: None,
             threads: None,
+            wire: None,
         }
     }
 
@@ -62,6 +80,17 @@ impl Summary {
     /// ([`crate::service::ThreadedService::per_thread_dispatches`]).
     pub fn with_threads(mut self, per_thread: Vec<u64>) -> Summary {
         self.threads = Some(per_thread);
+        self
+    }
+
+    /// Attach a client's wire-path profile: `counts` accumulated over
+    /// `calls` calls (e.g. `SpecClient::counts` / `SpecClient::calls`).
+    pub fn with_wire(mut self, counts: OpCounts, calls: u64) -> Summary {
+        self.wire = Some(WireStats {
+            bytes_copied: counts.mem_moves,
+            heap_allocs: counts.heap_allocs,
+            calls,
+        });
         self
     }
 
@@ -100,6 +129,13 @@ impl Summary {
                 total,
                 t.len(),
                 per.join(", "),
+            ));
+        }
+        if let Some(w) = self.wire {
+            let per_call = w.heap_allocs as f64 / w.calls.max(1) as f64;
+            text.push_str(&format!(
+                "\n\u{20} wire path:                      {} B copied, {} alloc(s) over {} call(s) ({per_call:.2} allocs/call)",
+                w.bytes_copied, w.heap_allocs, w.calls,
             ));
         }
         text
@@ -167,5 +203,17 @@ mod tests {
         let text = s.render();
         assert!(text.contains("threaded dispatch"));
         assert!(text.contains("12 across 3 worker(s) [4, 3, 5]"));
+        assert!(!text.contains("wire path"), "no wire line without stats");
+    }
+
+    #[test]
+    fn render_includes_wire_profile_when_attached() {
+        let mut counts = specrpc_xdr::OpCounts::new();
+        counts.mem_moves = 32_000;
+        counts.heap_allocs = 2;
+        let s = Summary::default().with_wire(counts, 4);
+        let text = s.render();
+        assert!(text.contains("wire path"));
+        assert!(text.contains("32000 B copied, 2 alloc(s) over 4 call(s) (0.50 allocs/call)"));
     }
 }

@@ -125,7 +125,11 @@ impl Ord for Scheduled {
 
 /// A UDP service handler: gets a request datagram, optionally returns a
 /// reply plus the simulated processing time spent producing it.
-pub type UdpHandler = Box<dyn FnMut(&[u8], Addr) -> Option<(Vec<u8>, SimTime)> + Send>;
+///
+/// The payload is passed by mutable reference so a handler may *consume*
+/// it (`std::mem::take`) — e.g. to recycle the buffer into a wire-buffer
+/// pool. The simulator drops whatever remains after the call.
+pub type UdpHandler = Box<dyn FnMut(&mut Vec<u8>, Addr) -> Option<(Vec<u8>, SimTime)> + Send>;
 
 /// Per-connection TCP service handler: gets newly arrived bytes, returns
 /// bytes to send back plus processing time (empty response is fine — the
@@ -384,7 +388,7 @@ impl Network {
 
     fn dispatch(&self, ev: Event) {
         match ev {
-            Event::UdpDeliver { to, dg } => {
+            Event::UdpDeliver { to, mut dg } => {
                 // A handler, if present, consumes the datagram; otherwise a
                 // bound mailbox receives it; otherwise it is dropped
                 // (ICMP-unreachable behaviour is not modeled). The handler
@@ -395,7 +399,7 @@ impl Network {
                 if let Some(slot) = slot {
                     let reply = {
                         let mut h = slot.lock().expect("udp handler lock");
-                        h(&dg.payload, dg.from)
+                        h(&mut dg.payload, dg.from)
                     };
                     if let Some((bytes, proc_time)) = reply {
                         self.advance_inner(proc_time);

@@ -194,7 +194,7 @@ mod tests {
             layer_calls: 2 * n + 4,
             byteorder_ops: n + 1,
             mem_moves: 4 * n + 8,
-            stub_ops: 0,
+            ..OpCounts::new()
         }
     }
 

@@ -2,6 +2,7 @@
 //! calls over the reliable stream, no retransmission (the transport is
 //! reliable), still xid-checked.
 
+use crate::bufpool::BufPool;
 use crate::error::RpcError;
 use crate::msg::{CallHeader, ReplyHeader};
 use crate::transport::Transport;
@@ -10,6 +11,7 @@ use specrpc_netsim::net::{Addr, Network};
 use specrpc_netsim::tcp::SimTcpStream;
 use specrpc_xdr::rec::{self, XdrRec};
 use specrpc_xdr::{OpCounts, XdrOp, XdrResult, XdrStream};
+use std::sync::Arc;
 
 /// A TCP RPC client handle.
 pub struct ClntTcp {
@@ -19,11 +21,28 @@ pub struct ClntTcp {
     xids: XidGen,
     /// Micro-layer counts accumulated by generic marshaling.
     pub counts: OpCounts,
+    /// Wire-buffer pool: raw-exchange replies are read into pooled
+    /// buffers and recycled back by the facade.
+    pool: Arc<BufPool>,
+    /// Largest reply seen so far — the take-size hint for reply buffers
+    /// (replies can exceed the request, e.g. read-style procedures).
+    reply_hint: usize,
 }
 
 impl ClntTcp {
     /// `clnttcp_create`: connect to the server's TCP service.
     pub fn create(net: &Network, server: Addr, prog: u32, vers: u32) -> Result<Self, RpcError> {
+        Self::create_pooled(net, server, prog, vers, Arc::new(BufPool::new()))
+    }
+
+    /// [`ClntTcp::create`] sharing an existing wire-buffer pool.
+    pub fn create_pooled(
+        net: &Network,
+        server: Addr,
+        prog: u32,
+        vers: u32,
+        pool: Arc<BufPool>,
+    ) -> Result<Self, RpcError> {
         let conn = net
             .connect_tcp(server)
             .ok_or_else(|| RpcError::Transport(format!("connect to {server} refused")))?;
@@ -33,7 +52,14 @@ impl ClntTcp {
             vers,
             xids: XidGen::new(server as u32 ^ 0x5555),
             counts: OpCounts::new(),
+            pool,
+            reply_hint: 0,
         })
+    }
+
+    /// The wire-buffer pool this client reads replies through.
+    pub fn pool(&self) -> &Arc<BufPool> {
+        &self.pool
     }
 
     /// Access the underlying stream (read-timeout tuning).
@@ -94,25 +120,45 @@ impl Transport for ClntTcp {
     /// Raw record exchange: the request goes out as one record; reply
     /// records are read until the xid matches (stale replies skipped, as
     /// in `clnttcp_call`'s receive loop). The stream is reliable, so
-    /// there is no retransmission.
-    fn call(&mut self, request: Vec<u8>, xid: u32) -> Result<Vec<u8>, RpcError> {
+    /// there is no retransmission. Reply records are assembled into a
+    /// pooled buffer (stale records simply reuse it), so steady-state
+    /// exchanges allocate nothing.
+    fn call(&mut self, request: &[u8], xid: u32) -> Result<Vec<u8>, RpcError> {
         debug_assert!(request.len() >= 4);
         debug_assert_eq!(
             u32::from_be_bytes([request[0], request[1], request[2], request[3]]),
             xid,
             "request must start with its xid"
         );
-        rec::write_record(&mut self.conn, &request)
+        rec::write_record(&mut self.conn, request)
             .map_err(|e| RpcError::Transport(e.to_string()))?;
+        let mut reply = self.pool.take(request.len().max(self.reply_hint));
+        let mut cap0 = reply.capacity();
         loop {
-            let reply =
-                rec::read_record(&mut self.conn).map_err(|e| RpcError::Transport(e.to_string()))?;
+            rec::read_record_into(&mut self.conn, &mut reply)
+                .map_err(|e| RpcError::Transport(e.to_string()))?;
+            self.reply_hint = self.reply_hint.max(reply.len());
+            if reply.capacity() > cap0 {
+                // The reassembler outgrew the pooled buffer (an
+                // oversized reply): account the hidden allocation so
+                // allocs-per-call stays honest.
+                self.pool.note_alloc();
+                cap0 = reply.capacity();
+            }
             if reply.len() >= 4
                 && u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]) == xid
             {
                 return Ok(reply);
             }
         }
+    }
+
+    fn recycle(&mut self, reply: Vec<u8>) {
+        self.pool.put(reply);
+    }
+
+    fn wire_allocs(&self) -> u64 {
+        self.pool.allocs()
     }
 }
 
@@ -248,7 +294,7 @@ mod tests {
         CallHeader::xdr(&mut enc, &mut msg).unwrap();
         let mut v = vec![5i32, 6, 7];
         xdr_array(&mut enc, &mut v, 100, xdr_int).unwrap();
-        let reply = Transport::call(&mut clnt, enc.into_bytes(), xid).unwrap();
+        let reply = Transport::call(&mut clnt, &enc.into_bytes(), xid).unwrap();
         let mut dec = XdrMem::decoder(&reply);
         let hdr = ReplyHeader::decode(&mut dec).unwrap();
         assert_eq!(hdr.xid, xid);

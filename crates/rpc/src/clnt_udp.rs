@@ -2,6 +2,7 @@
 //! per-try timeout with retransmission, reply matching, and the generic
 //! marshaling path through the layered XDR routines.
 
+use crate::bufpool::BufPool;
 use crate::error::RpcError;
 use crate::msg::{CallHeader, ReplyHeader};
 use crate::transport::Transport;
@@ -11,6 +12,7 @@ use specrpc_netsim::udp::SimUdpSocket;
 use specrpc_netsim::SimTime;
 use specrpc_xdr::mem::XdrMem;
 use specrpc_xdr::{OpCounts, XdrResult, XdrStream};
+use std::sync::Arc;
 
 /// Maximum UDP payload the original transport allows (`UDPMSGSIZE` is
 /// 8800; we allow larger so the paper's 2000-integer workload fits in one
@@ -31,11 +33,28 @@ pub struct ClntUdp {
     pub counts: OpCounts,
     /// Retransmissions performed (observability for fault tests).
     pub retransmits: u64,
+    /// Wire-buffer pool: every outbound datagram is built in a pooled
+    /// buffer, and consumed replies are recycled back. Shareable across
+    /// clients and with the serving side.
+    pool: Arc<BufPool>,
 }
 
 impl ClntUdp {
     /// `clntudp_create`: bind `local`, aim at `server` for `prog`/`vers`.
     pub fn create(net: &Network, local: Addr, server: Addr, prog: u32, vers: u32) -> Self {
+        Self::create_pooled(net, local, server, prog, vers, Arc::new(BufPool::new()))
+    }
+
+    /// [`ClntUdp::create`] sharing an existing wire-buffer pool (e.g. one
+    /// pool across many clients, or client + server in one process).
+    pub fn create_pooled(
+        net: &Network,
+        local: Addr,
+        server: Addr,
+        prog: u32,
+        vers: u32,
+        pool: Arc<BufPool>,
+    ) -> Self {
         ClntUdp {
             sock: SimUdpSocket::connect(net, local, server),
             prog,
@@ -45,7 +64,13 @@ impl ClntUdp {
             total_timeout: SimTime::from_millis(2_000),
             counts: OpCounts::new(),
             retransmits: 0,
+            pool,
         }
+    }
+
+    /// The wire-buffer pool this client cycles datagrams through.
+    pub fn pool(&self) -> &Arc<BufPool> {
+        &self.pool
     }
 
     /// Program number this client targets.
@@ -68,7 +93,13 @@ impl ClntUdp {
     /// whose xid matches. This is the path shared by the generic and
     /// specialized clients — specialization replaces marshaling, not
     /// transaction management.
-    pub fn exchange(&mut self, request: Vec<u8>, xid: u32) -> Result<Vec<u8>, RpcError> {
+    ///
+    /// The request stays in the caller's (rewindable) buffer: each
+    /// transmission — first try and retransmissions alike — copies it into
+    /// a pooled datagram buffer rather than cloning a fresh `Vec`, and
+    /// stale replies are recycled straight back into the pool, so a
+    /// retransmitting call performs no steady-state allocation.
+    pub fn exchange(&mut self, request: &[u8], xid: u32) -> Result<Vec<u8>, RpcError> {
         debug_assert!(request.len() >= 4);
         debug_assert_eq!(
             u32::from_be_bytes([request[0], request[1], request[2], request[3]]),
@@ -77,7 +108,9 @@ impl ClntUdp {
         );
         let start = self.sock.now();
         loop {
-            self.sock.send(request.clone());
+            let mut dg = self.pool.take(request.len());
+            dg.extend_from_slice(request);
+            self.sock.send(dg);
             // Drain replies until the per-try deadline passes (recv
             // returning None), then retransmit. Both deadlines are held in
             // virtual time, so stale-xid replies are charged for the time
@@ -96,8 +129,9 @@ impl ClntUdp {
                 {
                     return Ok(reply);
                 }
-                // Stale xid (a late reply to a retransmitted call):
-                // keep waiting out the remainder of this try.
+                // Stale xid (a late reply to a retransmitted call): its
+                // buffer feeds the pool; keep waiting out this try.
+                self.pool.put(reply);
             }
             if self.sock.now() - start >= self.total_timeout {
                 return Err(RpcError::TimedOut);
@@ -123,7 +157,7 @@ impl ClntUdp {
         self.counts += *enc.counts();
         let request = enc.into_bytes();
 
-        let reply = self.exchange(request, xid)?;
+        let reply = self.exchange(&request, xid)?;
 
         let mut dec = XdrMem::decoder_owned(reply);
         let hdr = ReplyHeader::decode(&mut dec)?;
@@ -150,8 +184,16 @@ impl Transport for ClntUdp {
         self.xids.next_xid()
     }
 
-    fn call(&mut self, request: Vec<u8>, xid: u32) -> Result<Vec<u8>, RpcError> {
+    fn call(&mut self, request: &[u8], xid: u32) -> Result<Vec<u8>, RpcError> {
         self.exchange(request, xid)
+    }
+
+    fn recycle(&mut self, reply: Vec<u8>) {
+        self.pool.put(reply);
+    }
+
+    fn wire_allocs(&self) -> u64 {
+        self.pool.allocs()
     }
 }
 

@@ -13,6 +13,7 @@
 //! back to these generic routines when a dynamic guard fails (§6.2).
 
 pub mod auth;
+pub mod bufpool;
 pub mod clnt_tcp;
 pub mod clnt_udp;
 pub mod error;
@@ -26,6 +27,7 @@ pub mod transport;
 pub mod xid;
 
 pub use auth::OpaqueAuth;
+pub use bufpool::{BufPool, PoolStats};
 pub use clnt_tcp::ClntTcp;
 pub use clnt_udp::ClntUdp;
 pub use error::RpcError;

@@ -12,6 +12,7 @@
 //! registry lock held, so independent requests dispatch concurrently from
 //! any number of threads — the property `serve_threaded` builds on.
 
+use crate::bufpool::BufPool;
 use crate::error::RpcError;
 use crate::msg::{AcceptStat, CallHeader, RejectStat, ReplyHeader, RPC_VERS};
 use specrpc_xdr::mem::XdrMem;
@@ -27,10 +28,12 @@ use std::sync::{Arc, Mutex, RwLock};
 pub type ProcHandler =
     Arc<dyn Fn(&mut dyn XdrStream, &mut dyn XdrStream) -> Result<(), RpcError> + Send + Sync>;
 
-/// A specialized (raw) handler: takes the whole request datagram; returns
-/// the whole reply datagram, or `None` to fall back to the generic path
-/// (dynamic-guard failure, §6.2).
-pub type RawHandler = Arc<dyn Fn(&[u8]) -> Option<Vec<u8>> + Send + Sync>;
+/// A specialized (raw) handler: takes the whole request datagram plus the
+/// registry's wire-buffer pool (so the reply image can be emitted straight
+/// into a pooled buffer — single-copy encode); returns the whole reply
+/// datagram, or `None` to fall back to the generic path (dynamic-guard
+/// failure, §6.2).
+pub type RawHandler = Arc<dyn Fn(&[u8], &BufPool) -> Option<Vec<u8>> + Send + Sync>;
 
 /// How a complete request message becomes a reply: directly through a
 /// registry, or handed to a dispatch-pool worker. The transport adapters
@@ -48,6 +51,9 @@ pub struct SvcRegistry {
     /// Micro-layer counts accumulated by generic dispatches (for the cost
     /// model and reports).
     counts: Mutex<OpCounts>,
+    /// Wire-buffer pool shared by every reply path of this registry (raw
+    /// handlers, generic replies, and the transport adapters' caches).
+    pool: Arc<BufPool>,
     generic_dispatches: AtomicU64,
     raw_dispatches: AtomicU64,
     raw_fallbacks: AtomicU64,
@@ -78,13 +84,18 @@ impl SvcRegistry {
             .insert(proc_, Arc::new(handler));
     }
 
+    /// The registry's shared wire-buffer pool.
+    pub fn pool(&self) -> &Arc<BufPool> {
+        &self.pool
+    }
+
     /// Install a specialized raw handler for one procedure.
     pub fn register_raw(
         &self,
         prog: u32,
         vers: u32,
         proc_: u32,
-        handler: impl Fn(&[u8]) -> Option<Vec<u8>> + Send + Sync + 'static,
+        handler: impl Fn(&[u8], &BufPool) -> Option<Vec<u8>> + Send + Sync + 'static,
     ) {
         self.raw
             .write()
@@ -143,7 +154,7 @@ impl SvcRegistry {
         if let Some(key) = peek_call_target(request) {
             let raw = self.raw.read().expect("raw lock").get(&key).cloned();
             if let Some(h) = raw {
-                match h(request) {
+                match h(request, &self.pool) {
                     Some(reply) => {
                         self.raw_dispatches.fetch_add(1, Ordering::Relaxed);
                         return reply;
@@ -222,7 +233,9 @@ impl SvcRegistry {
             Err(reply) => return reply,
         };
 
-        let mut results = XdrMem::encoder(REPLY_BUF_SIZE);
+        // Reply image in a pooled backing buffer: in steady state this is
+        // a rewind, not an allocation.
+        let mut results = XdrMem::encoder_over(self.pool.take(REPLY_BUF_SIZE), REPLY_BUF_SIZE);
         ReplyHeader::encode_success(&mut results, msg.xid).expect("header fits");
         let r = handler(&mut args, &mut results);
         self.add_counts(*args.counts());
@@ -380,7 +393,7 @@ mod tests {
     #[test]
     fn raw_handler_takes_precedence_and_falls_back() {
         let reg = echo_registry();
-        reg.register_raw(100_007, 1, 3, |req: &[u8]| {
+        reg.register_raw(100_007, 1, 3, |req: &[u8], _pool: &BufPool| {
             // "Specialized" echo: only handles arg == 1 (guard), else
             // falls back.
             let arg = i32::from_be_bytes(req[40..44].try_into().unwrap());
@@ -427,7 +440,7 @@ mod tests {
         // handler left behind would keep answering on the specialized
         // path after the program is gone.
         let reg = echo_registry();
-        reg.register_raw(100_007, 1, 3, |_req| Some(vec![0; 4]));
+        reg.register_raw(100_007, 1, 3, |_req, _pool| Some(vec![0; 4]));
         reg.unregister(100_007, 1);
         let reply = reg.dispatch(&make_call(100_007, 1, 3, 1));
         let (hdr, _) = parse_reply(&reply);

@@ -35,6 +35,8 @@ pub struct DispatchPool {
     dispatched: Arc<Vec<AtomicU64>>,
     next: AtomicUsize,
     handles: Vec<JoinHandle<()>>,
+    /// The shared registry (kept for access to its wire-buffer pool).
+    registry: Arc<SvcRegistry>,
 }
 
 impl DispatchPool {
@@ -73,7 +75,13 @@ impl DispatchPool {
             dispatched,
             next: AtomicUsize::new(0),
             handles,
+            registry,
         }
+    }
+
+    /// The shared registry the workers dispatch through.
+    pub fn registry(&self) -> &Arc<SvcRegistry> {
+        &self.registry
     }
 
     /// Number of workers.
@@ -154,12 +162,14 @@ pub fn attach_udp(
     pool: Arc<DispatchPool>,
     proc_time: Option<ProcTimeModel>,
 ) {
+    let bufs = pool.registry().pool().clone();
     crate::svc_udp::serve_dispatcher_udp(
         net,
         addr,
         Arc::new(move |request: &[u8]| pool.dispatch(request)),
         proc_time,
         DUP_CACHE_ENTRIES,
+        bufs,
     );
 }
 

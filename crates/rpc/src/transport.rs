@@ -17,6 +17,13 @@ use crate::error::RpcError;
 /// `xid`; the implementation returns the first complete reply message
 /// whose leading word matches `xid` (stale replies are skipped, and UDP
 /// retransmits on per-try timeout).
+///
+/// The request is **borrowed**, not owned: the caller keeps its encode
+/// buffer and rewinds it for the next call, and a retransmitting transport
+/// re-reads the same bytes instead of cloning the message per try. Pooled
+/// transports additionally accept consumed reply buffers back through
+/// [`Transport::recycle`], closing the allocation loop — see
+/// [`crate::BufPool`].
 pub trait Transport {
     /// Program number this transport targets.
     fn prog(&self) -> u32;
@@ -29,5 +36,18 @@ pub trait Transport {
 
     /// Perform one raw exchange: send `request`, return the reply whose
     /// xid matches.
-    fn call(&mut self, request: Vec<u8>, xid: u32) -> Result<Vec<u8>, RpcError>;
+    fn call(&mut self, request: &[u8], xid: u32) -> Result<Vec<u8>, RpcError>;
+
+    /// Hand a consumed reply buffer back for reuse (no-op by default;
+    /// pooled transports park it for the next transmission).
+    fn recycle(&mut self, reply: Vec<u8>) {
+        let _ = reply;
+    }
+
+    /// Cumulative wire-path heap allocations this transport has performed
+    /// (pool misses). Zero in steady state for pooled transports; the
+    /// facade folds the per-call delta into `OpCounts::heap_allocs`.
+    fn wire_allocs(&self) -> u64 {
+        0
+    }
 }

@@ -1,14 +1,20 @@
 //! Execution of compiled stub programs against real buffers.
 //!
 //! [`run_encode`] and [`run_decode`] are the tight loops the benchmarks
-//! measure. Per array element they perform one match on a copied micro-op
-//! plus one bounds-checked 4-byte move — versus the generic path's two
-//! virtual calls, an operation dispatch, an overflow check and a status
-//! test. The difference between the two is exactly the interpretation
-//! overhead the paper's specialization removes.
+//! measure. They run the program's fused [`PlanOp`] form: scalar and guard
+//! ops execute one at a time, while contiguous element runs execute as
+//! **bulk block copies** — one bounds check and one byte-swapping pass per
+//! array instead of one dispatch, one slot lookup, and one bounds check
+//! per element. This is the runtime analog of the paper compiling the
+//! residual with `gcc -O2`: the interpretation is gone, only the work the
+//! data requires (byte order + memory movement) remains. The op-by-op
+//! interpretation survives only for hand-assembled programs without a
+//! prebuilt plan (planned on the fly) — wire bytes and [`OpCounts`] are
+//! identical either way, which the equivalence tests pin.
 
-use super::{count_op, StubOp, StubProgram};
+use super::{build_plan, count_op, PlanOp, StubOp, StubProgram};
 use specrpc_xdr::OpCounts;
+use std::borrow::Cow;
 use std::fmt;
 
 /// The specialized calling convention: scalar arguments and integer arrays
@@ -25,6 +31,22 @@ impl StubArgs {
     /// Convenience constructor.
     pub fn new(scalars: Vec<i32>, arrays: Vec<Vec<i32>>) -> Self {
         StubArgs { scalars, arrays }
+    }
+
+    /// Shape the slots for a decode: `scalars` zeroed scalar slots,
+    /// `arrays` cleared array slots — reusing every existing allocation
+    /// (the zero-allocation reset both facade sides use between calls).
+    pub fn prepare(&mut self, scalars: usize, arrays: usize) {
+        self.scalars.clear();
+        self.scalars.resize(scalars, 0);
+        if self.arrays.len() > arrays {
+            self.arrays.truncate(arrays);
+        } else {
+            self.arrays.resize_with(arrays, Vec::new);
+        }
+        for a in &mut self.arrays {
+            a.clear();
+        }
     }
 }
 
@@ -104,6 +126,16 @@ struct LoopFrame {
     idx_stride: u32,
 }
 
+/// The program's fused plan, borrowing the prebuilt one when present and
+/// planning hand-assembled programs on the fly.
+fn plan_of(prog: &StubProgram) -> Cow<'_, [PlanOp]> {
+    if prog.plan.is_empty() && !prog.ops.is_empty() {
+        Cow::Owned(build_plan(&prog.ops))
+    } else {
+        Cow::Borrowed(prog.plan.as_slice())
+    }
+}
+
 /// Run an encode stub: reads `args`, writes `buf`.
 pub fn run_encode(
     prog: &StubProgram,
@@ -111,91 +143,143 @@ pub fn run_encode(
     args: &StubArgs,
     counts: &mut OpCounts,
 ) -> Result<Outcome, StubError> {
-    let ops = &prog.ops;
+    encode_inner(prog, buf, args, None, counts)
+}
+
+/// Run an encode stub with scalar slot 0 (the xid slot of the RPC calling
+/// convention) overridden by `xid` — the zero-copy lane's way of stamping
+/// a fresh transaction id without cloning the caller's argument slots.
+pub fn run_encode_with_xid(
+    prog: &StubProgram,
+    buf: &mut [u8],
+    args: &StubArgs,
+    xid: i32,
+    counts: &mut OpCounts,
+) -> Result<Outcome, StubError> {
+    encode_inner(prog, buf, args, Some(xid), counts)
+}
+
+fn encode_inner(
+    prog: &StubProgram,
+    buf: &mut [u8],
+    args: &StubArgs,
+    xid_override: Option<i32>,
+    counts: &mut OpCounts,
+) -> Result<Outcome, StubError> {
+    let plan = plan_of(prog);
+    let plan = plan.as_ref();
     let mut pc = 0usize;
     let mut lp: Option<LoopFrame> = None;
     let mut off_acc = 0u32;
     let mut idx_acc = 0u32;
-    while pc < ops.len() {
-        let op = ops[pc];
-        match op {
-            StubOp::PutImm { off, word } => {
-                let o = (off + off_acc) as usize;
-                put4(buf, o, word.to_le_bytes())?;
-                count_op(counts, 4);
-            }
-            StubOp::PutScalar { off, slot } => {
-                let v = *args
-                    .scalars
-                    .get(slot as usize)
-                    .ok_or(StubError::BadScalarSlot(slot))?;
-                put4(buf, (off + off_acc) as usize, v.to_be_bytes())?;
-                count_op(counts, 4);
-            }
-            StubOp::PutElem { off, arr, idx } => {
+    while pc < plan.len() {
+        match plan[pc] {
+            PlanOp::BulkPut {
+                off,
+                arr,
+                idx,
+                n,
+                ops,
+            } => {
                 let a = args
                     .arrays
                     .get(arr as usize)
                     .ok_or(StubError::BadArraySlot(arr))?;
-                let i = (idx + idx_acc) as usize;
-                let v = *a.get(i).ok_or(StubError::BadElem {
+                let i0 = (idx + idx_acc) as usize;
+                let nn = n as usize;
+                let src = a.get(i0..i0 + nn).ok_or(StubError::BadElem {
                     arr,
-                    idx: i,
+                    idx: a.len().max(i0),
                     len: a.len(),
                 })?;
-                put4(buf, (off + off_acc) as usize, v.to_be_bytes())?;
-                count_op(counts, 4);
+                bulk_put(buf, (off + off_acc) as usize, src)?;
+                counts.stub_ops += ops as u64;
+                counts.mem_moves += 4 * n as u64;
             }
-            StubOp::Loop {
-                times,
-                off_stride,
-                idx_stride,
-                ..
-            } => {
-                count_op(counts, 0);
-                if times == 0 {
-                    // Skip the body entirely.
-                    pc = skip_loop(ops, pc)?;
-                    continue;
+            PlanOp::BulkGet { .. } => {
+                return Err(StubError::WrongDirection("get in encode"));
+            }
+            PlanOp::Op(op) => match op {
+                StubOp::PutImm { off, word } => {
+                    let o = (off + off_acc) as usize;
+                    put4(buf, o, word.to_le_bytes())?;
+                    count_op(counts, 4);
                 }
-                lp = Some(LoopFrame {
-                    start_pc: pc + 1,
-                    remaining: times,
-                    off_acc,
-                    idx_acc,
+                StubOp::PutScalar { off, slot } => {
+                    let v = match xid_override {
+                        Some(x) if slot == 0 => x,
+                        _ => *args
+                            .scalars
+                            .get(slot as usize)
+                            .ok_or(StubError::BadScalarSlot(slot))?,
+                    };
+                    put4(buf, (off + off_acc) as usize, v.to_be_bytes())?;
+                    count_op(counts, 4);
+                }
+                StubOp::PutElem { off, arr, idx } => {
+                    let a = args
+                        .arrays
+                        .get(arr as usize)
+                        .ok_or(StubError::BadArraySlot(arr))?;
+                    let i = (idx + idx_acc) as usize;
+                    let v = *a.get(i).ok_or(StubError::BadElem {
+                        arr,
+                        idx: i,
+                        len: a.len(),
+                    })?;
+                    put4(buf, (off + off_acc) as usize, v.to_be_bytes())?;
+                    count_op(counts, 4);
+                }
+                StubOp::Loop {
+                    times,
                     off_stride,
                     idx_stride,
-                });
-            }
-            StubOp::EndLoop => {
-                let frame = lp.as_mut().ok_or(StubError::BadLoop)?;
-                frame.remaining -= 1;
-                if frame.remaining > 0 {
-                    off_acc += frame.off_stride;
-                    idx_acc += frame.idx_stride;
-                    pc = frame.start_pc;
-                    continue;
+                    ..
+                } => {
+                    count_op(counts, 0);
+                    if times == 0 {
+                        pc = skip_loop(plan, pc)?;
+                        continue;
+                    }
+                    lp = Some(LoopFrame {
+                        start_pc: pc + 1,
+                        remaining: times,
+                        off_acc,
+                        idx_acc,
+                        off_stride,
+                        idx_stride,
+                    });
                 }
-                off_acc = frame.off_acc;
-                idx_acc = frame.idx_acc;
-                lp = None;
-            }
-            StubOp::Ret { val } => {
-                count_op(counts, 0);
-                return Ok(Outcome::Done {
-                    ret: val,
-                    wire_len: prog.wire_len,
-                });
-            }
-            StubOp::SetScalarImm { .. } | StubOp::SetArrLen { .. } => {
-                return Err(StubError::WrongDirection("decode-only op in encode"))
-            }
-            StubOp::GetScalar { .. } | StubOp::GetElem { .. } => {
-                return Err(StubError::WrongDirection("get in encode"))
-            }
-            StubOp::CheckWord { .. } | StubOp::CheckScalar { .. } | StubOp::LenGuard { .. } => {
-                return Err(StubError::WrongDirection("guard in encode"))
-            }
+                StubOp::EndLoop => {
+                    let frame = lp.as_mut().ok_or(StubError::BadLoop)?;
+                    frame.remaining -= 1;
+                    if frame.remaining > 0 {
+                        off_acc += frame.off_stride;
+                        idx_acc += frame.idx_stride;
+                        pc = frame.start_pc;
+                        continue;
+                    }
+                    off_acc = frame.off_acc;
+                    idx_acc = frame.idx_acc;
+                    lp = None;
+                }
+                StubOp::Ret { val } => {
+                    count_op(counts, 0);
+                    return Ok(Outcome::Done {
+                        ret: val,
+                        wire_len: prog.wire_len,
+                    });
+                }
+                StubOp::SetScalarImm { .. } | StubOp::SetArrLen { .. } => {
+                    return Err(StubError::WrongDirection("decode-only op in encode"))
+                }
+                StubOp::GetScalar { .. } | StubOp::GetElem { .. } => {
+                    return Err(StubError::WrongDirection("get in encode"))
+                }
+                StubOp::CheckWord { .. } | StubOp::CheckScalar { .. } | StubOp::LenGuard { .. } => {
+                    return Err(StubError::WrongDirection("guard in encode"))
+                }
+            },
         }
         pc += 1;
     }
@@ -213,117 +297,151 @@ pub fn run_decode(
     inlen: usize,
     counts: &mut OpCounts,
 ) -> Result<Outcome, StubError> {
-    let ops = &prog.ops;
+    let plan = plan_of(prog);
+    let plan = plan.as_ref();
     let mut pc = 0usize;
     let mut lp: Option<LoopFrame> = None;
     let mut off_acc = 0u32;
     let mut idx_acc = 0u32;
-    while pc < ops.len() {
-        let op = ops[pc];
-        match op {
-            StubOp::LenGuard { expected } => {
-                count_op(counts, 0);
-                if inlen != expected as usize {
-                    return Ok(Outcome::Fallback);
-                }
-            }
-            StubOp::CheckWord { off, want } => {
-                let v = get4(buf, (off + off_acc) as usize)?;
-                count_op(counts, 4);
-                if i32::from_be_bytes(v) != want {
-                    return Ok(Outcome::Fallback);
-                }
-            }
-            StubOp::CheckScalar { slot, want } => {
-                let v = *args
-                    .scalars
-                    .get(slot as usize)
-                    .ok_or(StubError::BadScalarSlot(slot))?;
-                count_op(counts, 0);
-                if v != want {
-                    return Ok(Outcome::Fallback);
-                }
-            }
-            StubOp::GetScalar { off, slot } => {
-                let v = i32::from_be_bytes(get4(buf, (off + off_acc) as usize)?);
-                let s = args
-                    .scalars
-                    .get_mut(slot as usize)
-                    .ok_or(StubError::BadScalarSlot(slot))?;
-                *s = v;
-                count_op(counts, 4);
-            }
-            StubOp::GetElem { off, arr, idx } => {
-                let v = i32::from_be_bytes(get4(buf, (off + off_acc) as usize)?);
-                let a = args
-                    .arrays
-                    .get_mut(arr as usize)
-                    .ok_or(StubError::BadArraySlot(arr))?;
-                let i = (idx + idx_acc) as usize;
-                let len = a.len();
-                *a.get_mut(i)
-                    .ok_or(StubError::BadElem { arr, idx: i, len })? = v;
-                count_op(counts, 4);
-            }
-            StubOp::SetScalarImm { slot, val } => {
-                let s = args
-                    .scalars
-                    .get_mut(slot as usize)
-                    .ok_or(StubError::BadScalarSlot(slot))?;
-                *s = val;
-                count_op(counts, 0);
-            }
-            StubOp::SetArrLen { arr, len } => {
-                let a = args
-                    .arrays
-                    .get_mut(arr as usize)
-                    .ok_or(StubError::BadArraySlot(arr))?;
-                a.resize(len as usize, 0);
-                count_op(counts, 0);
-            }
-            StubOp::Loop {
-                times,
-                off_stride,
-                idx_stride,
-                ..
+    while pc < plan.len() {
+        match plan[pc] {
+            PlanOp::BulkGet {
+                off,
+                arr,
+                idx,
+                n,
+                ops,
             } => {
-                count_op(counts, 0);
-                if times == 0 {
-                    pc = skip_loop(ops, pc)?;
-                    continue;
+                let a = args
+                    .arrays
+                    .get_mut(arr as usize)
+                    .ok_or(StubError::BadArraySlot(arr))?;
+                let i0 = (idx + idx_acc) as usize;
+                let nn = n as usize;
+                let len = a.len();
+                let dst = a.get_mut(i0..i0 + nn).ok_or(StubError::BadElem {
+                    arr,
+                    idx: len.max(i0),
+                    len,
+                })?;
+                bulk_get(buf, (off + off_acc) as usize, dst)?;
+                counts.stub_ops += ops as u64;
+                counts.mem_moves += 4 * n as u64;
+            }
+            PlanOp::BulkPut { .. } => {
+                return Err(StubError::WrongDirection("put in decode"));
+            }
+            PlanOp::Op(op) => match op {
+                StubOp::LenGuard { expected } => {
+                    count_op(counts, 0);
+                    if inlen != expected as usize {
+                        return Ok(Outcome::Fallback);
+                    }
                 }
-                lp = Some(LoopFrame {
-                    start_pc: pc + 1,
-                    remaining: times,
-                    off_acc,
-                    idx_acc,
+                StubOp::CheckWord { off, want } => {
+                    let v = get4(buf, (off + off_acc) as usize)?;
+                    count_op(counts, 4);
+                    if i32::from_be_bytes(v) != want {
+                        return Ok(Outcome::Fallback);
+                    }
+                }
+                StubOp::CheckScalar { slot, want } => {
+                    let v = *args
+                        .scalars
+                        .get(slot as usize)
+                        .ok_or(StubError::BadScalarSlot(slot))?;
+                    count_op(counts, 0);
+                    if v != want {
+                        return Ok(Outcome::Fallback);
+                    }
+                }
+                StubOp::GetScalar { off, slot } => {
+                    let v = i32::from_be_bytes(get4(buf, (off + off_acc) as usize)?);
+                    let s = args
+                        .scalars
+                        .get_mut(slot as usize)
+                        .ok_or(StubError::BadScalarSlot(slot))?;
+                    *s = v;
+                    count_op(counts, 4);
+                }
+                StubOp::GetElem { off, arr, idx } => {
+                    let v = i32::from_be_bytes(get4(buf, (off + off_acc) as usize)?);
+                    let a = args
+                        .arrays
+                        .get_mut(arr as usize)
+                        .ok_or(StubError::BadArraySlot(arr))?;
+                    let i = (idx + idx_acc) as usize;
+                    let len = a.len();
+                    *a.get_mut(i)
+                        .ok_or(StubError::BadElem { arr, idx: i, len })? = v;
+                    count_op(counts, 4);
+                }
+                StubOp::SetScalarImm { slot, val } => {
+                    let s = args
+                        .scalars
+                        .get_mut(slot as usize)
+                        .ok_or(StubError::BadScalarSlot(slot))?;
+                    *s = val;
+                    count_op(counts, 0);
+                }
+                StubOp::SetArrLen { arr, len } => {
+                    let a = args
+                        .arrays
+                        .get_mut(arr as usize)
+                        .ok_or(StubError::BadArraySlot(arr))?;
+                    // The §3 statically-known size: resizing within an
+                    // already-warm capacity is a pure length store; growth
+                    // is a real heap event the wire-path counter reports.
+                    if a.capacity() < len as usize {
+                        counts.heap_allocs += 1;
+                    }
+                    a.resize(len as usize, 0);
+                    count_op(counts, 0);
+                }
+                StubOp::Loop {
+                    times,
                     off_stride,
                     idx_stride,
-                });
-            }
-            StubOp::EndLoop => {
-                let frame = lp.as_mut().ok_or(StubError::BadLoop)?;
-                frame.remaining -= 1;
-                if frame.remaining > 0 {
-                    off_acc += frame.off_stride;
-                    idx_acc += frame.idx_stride;
-                    pc = frame.start_pc;
-                    continue;
+                    ..
+                } => {
+                    count_op(counts, 0);
+                    if times == 0 {
+                        pc = skip_loop(plan, pc)?;
+                        continue;
+                    }
+                    lp = Some(LoopFrame {
+                        start_pc: pc + 1,
+                        remaining: times,
+                        off_acc,
+                        idx_acc,
+                        off_stride,
+                        idx_stride,
+                    });
                 }
-                off_acc = frame.off_acc;
-                idx_acc = frame.idx_acc;
-                lp = None;
-            }
-            StubOp::Ret { val } => {
-                count_op(counts, 0);
-                return Ok(Outcome::Done {
-                    ret: val,
-                    wire_len: prog.wire_len,
-                });
-            }
-            StubOp::PutImm { .. } | StubOp::PutScalar { .. } | StubOp::PutElem { .. } => {
-                return Err(StubError::WrongDirection("put in decode"))
-            }
+                StubOp::EndLoop => {
+                    let frame = lp.as_mut().ok_or(StubError::BadLoop)?;
+                    frame.remaining -= 1;
+                    if frame.remaining > 0 {
+                        off_acc += frame.off_stride;
+                        idx_acc += frame.idx_stride;
+                        pc = frame.start_pc;
+                        continue;
+                    }
+                    off_acc = frame.off_acc;
+                    idx_acc = frame.idx_acc;
+                    lp = None;
+                }
+                StubOp::Ret { val } => {
+                    count_op(counts, 0);
+                    return Ok(Outcome::Done {
+                        ret: val,
+                        wire_len: prog.wire_len,
+                    });
+                }
+                StubOp::PutImm { .. } | StubOp::PutScalar { .. } | StubOp::PutElem { .. } => {
+                    return Err(StubError::WrongDirection("put in decode"))
+                }
+            },
         }
         pc += 1;
     }
@@ -362,12 +480,45 @@ fn get4(buf: &[u8], off: usize) -> Result<[u8; 4], StubError> {
     }
 }
 
-fn skip_loop(ops: &[StubOp], pc: usize) -> Result<usize, StubError> {
-    match ops.get(pc) {
-        Some(StubOp::Loop { body, .. }) => {
+/// Fused element encode: one bounds check, then a byte-swapping block copy
+/// the optimizer vectorizes — no per-element dispatch survives.
+#[inline(always)]
+fn bulk_put(buf: &mut [u8], off: usize, src: &[i32]) -> Result<(), StubError> {
+    let nbytes = src.len() * 4;
+    let Some(dst) = buf.get_mut(off..off + nbytes) else {
+        return Err(StubError::BufTooSmall {
+            off,
+            len: buf.len(),
+        });
+    };
+    for (chunk, v) in dst.chunks_exact_mut(4).zip(src) {
+        chunk.copy_from_slice(&v.to_be_bytes());
+    }
+    Ok(())
+}
+
+/// Fused element decode, mirror of [`bulk_put`].
+#[inline(always)]
+fn bulk_get(buf: &[u8], off: usize, dst: &mut [i32]) -> Result<(), StubError> {
+    let nbytes = dst.len() * 4;
+    let Some(src) = buf.get(off..off + nbytes) else {
+        return Err(StubError::BufTooSmall {
+            off,
+            len: buf.len(),
+        });
+    };
+    for (v, chunk) in dst.iter_mut().zip(src.chunks_exact(4)) {
+        *v = i32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    Ok(())
+}
+
+fn skip_loop(plan: &[PlanOp], pc: usize) -> Result<usize, StubError> {
+    match plan.get(pc) {
+        Some(PlanOp::Op(StubOp::Loop { body, .. })) => {
             let end = pc + 1 + *body as usize;
-            match ops.get(end) {
-                Some(StubOp::EndLoop) => Ok(end + 1),
+            match plan.get(end) {
+                Some(PlanOp::Op(StubOp::EndLoop)) => Ok(end + 1),
                 _ => Err(StubError::BadLoop),
             }
         }

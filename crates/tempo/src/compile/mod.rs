@@ -22,7 +22,7 @@ mod exec;
 #[cfg(test)]
 mod tests;
 
-pub use exec::{run_decode, run_encode, Outcome, StubArgs, StubError};
+pub use exec::{run_decode, run_encode, run_encode_with_xid, Outcome, StubArgs, StubError};
 
 /// Where a struct field lands in the [`StubArgs`] calling convention.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,11 +191,62 @@ pub enum StubOp {
     },
 }
 
+/// One step of the precompiled monomorphic execution plan.
+///
+/// The interpretive executor pays one `match` plus slot/bounds lookups per
+/// [`StubOp`] — a small residue of dispatch the paper's compiled residual
+/// C does not have (`gcc -O2` emits straight-line stores). The plan is the
+/// analog of that final compilation step: contiguous element runs (and
+/// bounded loops whose body is one contiguous run) are *fused* into single
+/// bulk micro-ops, so the hot path is one bounds check and one
+/// byte-swapping block copy per array instead of per element. Fusion is
+/// purely a representation change — wire bytes and [`OpCounts`] accounting
+/// are identical to executing the underlying ops one by one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanOp {
+    /// A single micro-op, executed exactly as the interpreter would.
+    Op(StubOp),
+    /// Fused encode of `n` consecutive elements of array `arr` starting at
+    /// element `idx`, wire offset `off`. `ops` is the number of stub ops
+    /// this step accounts for (`n`, plus one when a loop header was
+    /// absorbed).
+    BulkPut {
+        /// Buffer byte offset of the first element.
+        off: u32,
+        /// Array slot.
+        arr: u16,
+        /// First element index.
+        idx: u32,
+        /// Element count.
+        n: u32,
+        /// Stub ops accounted (for [`OpCounts`] parity).
+        ops: u32,
+    },
+    /// Decode-side mirror of [`PlanOp::BulkPut`].
+    BulkGet {
+        /// Buffer byte offset of the first element.
+        off: u32,
+        /// Array slot.
+        arr: u16,
+        /// First element index.
+        idx: u32,
+        /// Element count.
+        n: u32,
+        /// Stub ops accounted (for [`OpCounts`] parity).
+        ops: u32,
+    },
+}
+
 /// A compiled stub: the runtime form of the residual function.
 #[derive(Debug, Clone)]
 pub struct StubProgram {
-    /// The micro-op sequence.
+    /// The micro-op sequence (the Table 3/4 "code" — kept for inspection,
+    /// code-size modeling, and the interpretive fallback).
     pub ops: Vec<StubOp>,
+    /// The fused monomorphic plan the executor actually runs (built once
+    /// at compile time from `ops`; empty only for hand-assembled
+    /// programs, which the executor plans on the fly).
+    pub plan: Vec<PlanOp>,
     /// Total wire bytes the stub reads/writes.
     pub wire_len: usize,
     /// Name (inherited from the residual function).
@@ -203,6 +254,18 @@ pub struct StubProgram {
 }
 
 impl StubProgram {
+    /// Build a program from raw ops, deriving the wire length and the
+    /// fused execution plan.
+    pub fn from_ops(ops: Vec<StubOp>, name: String) -> Self {
+        let wire_len = wire_len(&ops);
+        let plan = build_plan(&ops);
+        StubProgram {
+            ops,
+            plan,
+            wire_len,
+            name,
+        }
+    }
     /// Number of ops (the Table 3/4 "code size" proxy).
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -272,12 +335,7 @@ pub fn compile(
     if let Some(chunk) = opts.chunk {
         ops = rechunk(ops, chunk.max(1));
     }
-    let wire_len = wire_len(&ops);
-    Ok(StubProgram {
-        ops,
-        wire_len,
-        name: f.name.clone(),
-    })
+    Ok(StubProgram::from_ops(ops, f.name.clone()))
 }
 
 struct Compiler<'a> {
@@ -665,6 +723,102 @@ fn elem_run_len(ops: &[StubOp]) -> usize {
         }
     }
     n
+}
+
+/// Fuse a flat op sequence into the monomorphic execution plan:
+/// contiguous element runs become bulk ops, and a bounded loop whose body
+/// is exactly one contiguous element run (what [`rechunk`] emits) is
+/// collapsed into a single bulk op covering all iterations.
+pub(crate) fn build_plan(ops: &[StubOp]) -> Vec<PlanOp> {
+    let mut plan = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        if let StubOp::Loop {
+            times,
+            body,
+            off_stride,
+            idx_stride,
+        } = ops[i]
+        {
+            let b = body as usize;
+            let well_formed =
+                i + b + 1 < ops.len() && matches!(ops.get(i + b + 1), Some(StubOp::EndLoop));
+            if !well_formed {
+                // Malformed loop structure: keep everything verbatim so the
+                // executor reports the same BadLoop the interpreter would.
+                plan.extend(ops[i..].iter().copied().map(PlanOp::Op));
+                return plan;
+            }
+            let fusible = times > 0
+                && elem_run_len(&ops[i + 1..i + 1 + b]) == b
+                && off_stride == 4 * body
+                && idx_stride == body;
+            if fusible {
+                let (put, arr, off0, idx0) = match ops[i + 1] {
+                    StubOp::PutElem { off, arr, idx } => (true, arr, off, idx),
+                    StubOp::GetElem { off, arr, idx } => (false, arr, off, idx),
+                    _ => unreachable!("element run starts with an element op"),
+                };
+                let n = times * body;
+                // Interpretive cost of the loop: one op for the header plus
+                // one per executed element (EndLoop is not counted).
+                let fused_ops = n + 1;
+                plan.push(if put {
+                    PlanOp::BulkPut {
+                        off: off0,
+                        arr,
+                        idx: idx0,
+                        n,
+                        ops: fused_ops,
+                    }
+                } else {
+                    PlanOp::BulkGet {
+                        off: off0,
+                        arr,
+                        idx: idx0,
+                        n,
+                        ops: fused_ops,
+                    }
+                });
+            } else {
+                // Copy loop + body + EndLoop verbatim: `body` keeps meaning
+                // "plan steps" because nothing inside is fused.
+                plan.extend(ops[i..=i + b + 1].iter().copied().map(PlanOp::Op));
+            }
+            i += b + 2;
+            continue;
+        }
+        let run = elem_run_len(&ops[i..]);
+        if run >= 2 {
+            let (put, arr, off0, idx0) = match ops[i] {
+                StubOp::PutElem { off, arr, idx } => (true, arr, off, idx),
+                StubOp::GetElem { off, arr, idx } => (false, arr, off, idx),
+                _ => unreachable!("element run starts with an element op"),
+            };
+            plan.push(if put {
+                PlanOp::BulkPut {
+                    off: off0,
+                    arr,
+                    idx: idx0,
+                    n: run as u32,
+                    ops: run as u32,
+                }
+            } else {
+                PlanOp::BulkGet {
+                    off: off0,
+                    arr,
+                    idx: idx0,
+                    n: run as u32,
+                    ops: run as u32,
+                }
+            });
+            i += run;
+            continue;
+        }
+        plan.push(PlanOp::Op(ops[i]));
+        i += 1;
+    }
+    plan
 }
 
 /// Static wire length: the highest byte any op touches.

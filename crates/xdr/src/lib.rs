@@ -22,6 +22,12 @@
 //! baseline that is measured against and the runtime used for the parts of
 //! the protocol that stay generic (message headers, error paths).
 //!
+//! The crate also hosts the other side of that comparison: the [`wire`]
+//! module is the **zero-copy lane** the specialized runtime writes and
+//! reads through — a monomorphic [`WireBuf`]/[`WireView`] pair with
+//! exact-size preallocation and borrowed-slice decode, no `dyn` dispatch
+//! anywhere, and allocation/copy accounting folded into [`OpCounts`].
+//!
 //! # Quick example
 //!
 //! ```
@@ -53,10 +59,12 @@ pub mod primitives;
 pub mod rec;
 pub mod sizes;
 pub mod stream;
+pub mod wire;
 
 pub use cost::OpCounts;
 pub use error::{XdrError, XdrResult};
 pub use stream::{XdrOp, XdrStream};
+pub use wire::{WireBuf, WireView};
 
 /// Byte-order conversion micro-layer.
 ///

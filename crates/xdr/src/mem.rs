@@ -56,6 +56,21 @@ impl XdrMem {
         }
     }
 
+    /// An encoder over a caller-provided backing buffer (e.g. a pooled
+    /// wire buffer): cleared and zero-filled to `capacity`, reusing the
+    /// buffer's allocation when its capacity suffices.
+    pub fn encoder_over(mut buf: Vec<u8>, capacity: usize) -> Self {
+        buf.clear();
+        buf.resize(capacity, 0);
+        XdrMem {
+            op: XdrOp::Encode,
+            buf,
+            pos: 0,
+            handy: capacity as isize,
+            counts: OpCounts::new(),
+        }
+    }
+
     /// A decoder that takes ownership of the buffer (avoids a copy when the
     /// transport already hands us a `Vec`).
     pub fn decoder_owned(data: Vec<u8>) -> Self {

@@ -85,6 +85,15 @@ pub fn write_record<T: RecordIo>(io: &mut T, payload: &[u8]) -> XdrResult {
 /// flat message bytes.
 pub fn read_record<T: RecordIo>(io: &mut T) -> XdrResult<Vec<u8>> {
     let mut record = Vec::new();
+    read_record_into(io, &mut record)?;
+    Ok(record)
+}
+
+/// Read one complete record from `io` into `record` (cleared first),
+/// reusing its existing capacity — the zero-allocation receive path for
+/// callers cycling buffers through a pool.
+pub fn read_record_into<T: RecordIo>(io: &mut T, record: &mut Vec<u8>) -> XdrResult {
+    record.clear();
     loop {
         let mut raw = [0u8; 4];
         io.read_exact(&mut raw)?;
@@ -94,7 +103,7 @@ pub fn read_record<T: RecordIo>(io: &mut T) -> XdrResult<Vec<u8>> {
         record.resize(start + len, 0);
         io.read_exact(&mut record[start..])?;
         if header & LAST_FRAG_FLAG != 0 {
-            return Ok(record);
+            return Ok(());
         }
     }
 }

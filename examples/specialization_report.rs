@@ -8,18 +8,60 @@
 //! 3. the compiled micro-op program,
 //! 4. the specialization report mapped to the paper's §3 categories —
 //!    including stub-cache effectiveness when the same context is
-//!    requested repeatedly.
+//!    requested repeatedly,
+//! 5. the decode-side residual with its dynamic guards,
+//! 6. an unroll-bound sweep (powers of two 8..4096) with the knee of the
+//!    modeled time curve auto-detected per platform — the measurement the
+//!    paper's Table 4 samples at only {25, 250, full}.
 //!
 //! ```text
 //! cargo run --example specialization_report
 //! ```
 
+use specrpc::echo::{build_echo_proc, unroll_bounds, workload};
 use specrpc::summary::Summary;
 use specrpc::{ProcPipeline, StubCache};
+use specrpc_netsim::platform::Platform;
 use specrpc_rpcgen::stubgen::{self, FieldShape, MsgShape, StubKind};
 use specrpc_rpcgen::sunlib::{self, xdr_fields};
 use specrpc_tempo::bta::{AVal, Bta};
+use specrpc_tempo::compile::{run_encode, StubArgs};
 use specrpc_tempo::ir::pretty;
+use specrpc_xdr::OpCounts;
+
+/// Modeled marshal time of the echo encode stub for `n` integers under
+/// the given unroll bound: counts from really executing the stub, cost
+/// weights from the platform table (including the icache penalty that
+/// makes over-unrolling lose).
+fn modeled_marshal_ns(platform: Platform, n: usize, chunk: Option<usize>) -> f64 {
+    let cp = build_echo_proc(n, chunk).expect("pipeline");
+    let args = StubArgs::new(vec![1], vec![workload(n)]);
+    let mut buf = vec![0u8; cp.client_encode.wire_len];
+    let mut counts = OpCounts::new();
+    run_encode(&cp.client_encode.program, &mut buf, &args, &mut counts).expect("encode");
+    platform
+        .costs()
+        .marshal_ns(&counts, cp.client_encode.program.code_size_bytes())
+}
+
+/// Sweep the unroll bound for one size and report `(bound, modeled ns)`
+/// per candidate plus the knee: the smallest bound whose modeled time is
+/// within 2% of the sweep's best (beyond it, more unrolling buys nothing
+/// but code size).
+fn unroll_knee(platform: Platform, n: usize) -> (Vec<(usize, f64)>, usize) {
+    let mut curve: Vec<(usize, f64)> = unroll_bounds(n)
+        .map(|c| (c, modeled_marshal_ns(platform, n, Some(c))))
+        .collect();
+    curve.push((n, modeled_marshal_ns(platform, n, None))); // full unroll
+    let best = curve.iter().map(|&(_, t)| t).fold(f64::INFINITY, f64::min);
+    let knee = curve
+        .iter()
+        .filter(|&&(_, t)| t <= best * 1.02)
+        .map(|&(c, _)| c)
+        .min()
+        .expect("nonempty sweep");
+    (curve, knee)
+}
 
 fn main() {
     println!("== Tempo-style specialization report ==");
@@ -93,4 +135,36 @@ fn main() {
     println!("\n-- residual server decoder (guards stay dynamic, §3.4/§6.2) --\n");
     print!("{}", pretty::function_str(&gs.program, &dec_res));
     println!("\n{}", Summary::from_report(&dec_report).render());
+
+    // ---- 6. Unroll-bound sweep with auto-detected knee (Table 4) ----
+    println!("\n-- unroll-bound sweep: modeled marshal time, knee per size --");
+    println!(
+        "   (at runtime the fused plan executes every bound as one bulk op,\n\
+         \u{20}   so the knee tracks the modeled 1997 icache curve: the smallest\n\
+         \u{20}   bound — smallest residual code — already achieves best time)\n"
+    );
+    for platform in Platform::all() {
+        println!("  [{}]", platform.costs().name);
+        for n in [500usize, 1000, 2000] {
+            let (curve, knee) = unroll_knee(platform, n);
+            let points: Vec<String> = curve
+                .iter()
+                .map(|&(c, t)| {
+                    let label = if c == n {
+                        "full".to_string()
+                    } else {
+                        c.to_string()
+                    };
+                    format!("{label}:{:.0}µs", t / 1e3)
+                })
+                .collect();
+            let knee_label = if knee == n {
+                "full unrolling".to_string()
+            } else {
+                format!("bound {knee}")
+            };
+            println!("    n={n:<5} {}", points.join("  "));
+            println!("    n={n:<5} knee = {knee_label} (within 2% of best)\n");
+        }
+    }
 }

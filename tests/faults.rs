@@ -105,7 +105,7 @@ fn run_udp(cfg: FaultConfig, seed: u64) -> RunResult {
         let mut data = call_data(i);
         generic_encode_request(&mut enc, xid, &mut data).expect("encode");
         let reply = clnt
-            .exchange(enc.into_bytes(), xid)
+            .exchange(&enc.into_bytes(), xid)
             .unwrap_or_else(|e| panic!("call {i} under faults: {e}"));
         replies.push(reply);
     }
@@ -128,7 +128,7 @@ fn run_tcp(cfg: FaultConfig, seed: u64) -> RunResult {
         let mut data = call_data(i);
         generic_encode_request(&mut enc, xid, &mut data).expect("encode");
         let reply =
-            Transport::call(&mut clnt, enc.into_bytes(), xid).unwrap_or_else(|e| panic!("{e}"));
+            Transport::call(&mut clnt, &enc.into_bytes(), xid).unwrap_or_else(|e| panic!("{e}"));
         replies.push(reply);
     }
     RunResult {
@@ -238,7 +238,7 @@ fn tcp_traffic_does_not_consume_the_udp_fault_stream() {
                 let mut enc = XdrMem::encoder(1 << 16);
                 let mut data = call_data(i);
                 generic_encode_request(&mut enc, xid, &mut data).expect("encode");
-                Transport::call(&mut clnt, enc.into_bytes(), xid).expect("tcp call");
+                Transport::call(&mut clnt, &enc.into_bytes(), xid).expect("tcp call");
             }
         }
         let a = net.bind_udp(6000);

@@ -188,7 +188,17 @@ pub fn flush_json() {
     if entries.is_empty() {
         return;
     }
-    let dir = std::path::PathBuf::from(dir);
+    let mut dir = std::path::PathBuf::from(dir);
+    if dir.is_relative() {
+        // Bench binaries run with CWD = their package root, so a relative
+        // dir would scatter JSON per package. Resolve against the
+        // workspace root (this crate is vendored at `vendor/criterion`)
+        // so the documented `CRITERION_JSON_DIR=target/bench-json cargo
+        // bench` lands in one place no matter which package emits it.
+        dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(dir);
+    }
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("criterion: cannot create {}: {e}", dir.display());
         return;
