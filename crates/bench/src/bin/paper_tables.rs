@@ -87,6 +87,23 @@ fn main() {
     }
     println!("(paper: 500: 0.29/0.11/0.108; 1000: 0.51/0.17/0.15; 2000: 0.97/0.29/0.25)\n");
 
+    for platform in Platform::all() {
+        println!(
+            "{}",
+            render_transport_rows(
+                &format!(
+                    "Modeled transports — round trip (ms), {}\n\
+                     (UDP vs record-marked TCP vs lossy UDP: {:.0}% loss/direction,\n\
+                     \u{20}RTO = {:.0}x clean RTT)",
+                    platform.costs().name,
+                    MODELED_LOSS * 100.0,
+                    MODELED_RTO_RTT_MULTIPLE,
+                ),
+                &transport_table(platform),
+            )
+        );
+    }
+
     println!("Figure 6 — series (x = array size)");
     for (name, series) in fig6 {
         let points: Vec<String> = series

@@ -13,7 +13,7 @@ use specrpc::echo::{
     build_echo_proc, generic_decode_reply, generic_encode_request, workload, PAPER_SIZES,
 };
 use specrpc::pipeline::CompiledProc;
-use specrpc_netsim::platform::{Platform, RoundTripSample};
+use specrpc_netsim::platform::{Platform, PlatformCosts, RoundTripSample};
 use specrpc_rpc::msg::{CallHeader, ReplyHeader};
 use specrpc_tempo::compile::{run_decode, run_encode, StubArgs};
 use specrpc_xdr::composite::xdr_array;
@@ -282,6 +282,138 @@ pub fn table4() -> Vec<(usize, f64, f64, f64)> {
         .collect()
 }
 
+/// Record-mark fragment size of the TCP clients (the `XdrRec` default
+/// the transports use — aliased so the modeled record-marking overhead
+/// can never drift from what the real stream does).
+pub const TCP_FRAGMENT_BYTES: usize = specrpc_xdr::rec::DEFAULT_FRAGMENT_SIZE;
+
+/// Loss probability of the modeled lossy-UDP rows (each direction).
+pub const MODELED_LOSS: f64 = 0.05;
+
+/// Retransmission timer of the modeled lossy-UDP rows, as a multiple of
+/// the clean round-trip time (an adaptive, RTT-derived RTO à la
+/// Jacobson, not the fixed multi-second default of `clntudp_create` —
+/// a fixed timer would swamp the table with idle waiting).
+pub const MODELED_RTO_RTT_MULTIPLE: f64 = 4.0;
+
+/// Modeled round-trip time over record-marked TCP: the UDP cost plus
+/// what the stream framing adds — 4 record-mark bytes per fragment on
+/// the wire, one reassembly pass copying each message out of its
+/// fragments, and a per-fragment processing event.
+pub fn modeled_tcp_round_trip_ns(
+    costs: &PlatformCosts,
+    sample: &RoundTripSample,
+    request_len: usize,
+    reply_len: usize,
+) -> f64 {
+    let frags = |len: usize| len.div_ceil(TCP_FRAGMENT_BYTES).max(1);
+    let fragments = frags(request_len) + frags(reply_len);
+    let mark_bytes = 4 * fragments;
+    let mut marked = sample.clone();
+    marked.wire_bytes += mark_bytes;
+    costs.round_trip_ns(&marked)
+        + (request_len + reply_len) as f64 * costs.mem_byte_ns
+        + fragments as f64 * costs.interp_event_ns
+}
+
+/// Modeled round-trip time over UDP with per-direction loss probability
+/// `loss` and retransmission timer `retry_ns`: the clean cost plus the
+/// expected retransmission stalls. A transaction survives when both the
+/// request and the reply get through (probability `(1-loss)²`); each
+/// failed try costs one full timer before the retry.
+pub fn modeled_lossy_udp_round_trip_ns(
+    costs: &PlatformCosts,
+    sample: &RoundTripSample,
+    loss: f64,
+    retry_ns: f64,
+) -> f64 {
+    assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+    let q = (1.0 - loss) * (1.0 - loss);
+    costs.round_trip_ns(sample) + (1.0 - q) / q * retry_ns
+}
+
+/// One row of the modeled transport-comparison table: round-trip times
+/// (ms) for generic and specialized marshaling over clean UDP,
+/// record-marked TCP, and lossy UDP with retransmission.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportRow {
+    /// Array size in 4-byte integers.
+    pub n: usize,
+    /// Clean UDP, generic / specialized (the Table 2 columns).
+    pub udp: (f64, f64),
+    /// Record-marked TCP, generic / specialized.
+    pub tcp: (f64, f64),
+    /// Lossy UDP ([`MODELED_LOSS`] per direction,
+    /// [`MODELED_RTO_RTT_MULTIPLE`]×RTT timer), generic / specialized.
+    pub lossy: (f64, f64),
+}
+
+/// The modeled transport table (the ROADMAP's "TCP and lossy-UDP rows"):
+/// §5's round trip re-modeled over both transports plus a faulty link,
+/// from the same measured op counts as Table 2.
+pub fn transport_table(platform: Platform) -> Vec<TransportRow> {
+    let costs = platform.costs();
+    PAPER_SIZES
+        .iter()
+        .map(|&n| {
+            let g = measure_generic(n);
+            let proc_ = build_echo_proc(n, None).expect("pipeline");
+            let s = measure_specialized(&proc_, n);
+            let sample = |m: &MeasuredCounts, specialized: bool| RoundTripSample {
+                marshals: vec![
+                    (m.client_enc, m.code_bytes),
+                    (m.server_dec, m.code_bytes),
+                    (m.server_enc, m.code_bytes),
+                    (m.client_dec, m.code_bytes),
+                ],
+                wire_bytes: m.request_len + m.reply_len,
+                specialized,
+            };
+            let per_mode = |m: &MeasuredCounts, specialized: bool| {
+                let sm = sample(m, specialized);
+                let udp = costs.round_trip_ns(&sm);
+                let tcp = modeled_tcp_round_trip_ns(&costs, &sm, m.request_len, m.reply_len);
+                let lossy = modeled_lossy_udp_round_trip_ns(
+                    &costs,
+                    &sm,
+                    MODELED_LOSS,
+                    MODELED_RTO_RTT_MULTIPLE * udp,
+                );
+                (udp / 1e6, tcp / 1e6, lossy / 1e6)
+            };
+            let (gu, gt, gl) = per_mode(&g, false);
+            let (su, st, sl) = per_mode(&s, true);
+            TransportRow {
+                n,
+                udp: (gu, su),
+                tcp: (gt, st),
+                lossy: (gl, sl),
+            }
+        })
+        .collect()
+}
+
+/// Render the modeled transport table.
+pub fn render_transport_rows(title: &str, rows: &[TransportRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9}",
+        "n", "udp-orig", "udp-spec", "tcp-orig", "tcp-spec", "loss-orig", "loss-spec"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(72));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3} | {:>9.3} {:>9.3}",
+            r.n, r.udp.0, r.udp.1, r.tcp.0, r.tcp.1, r.lossy.0, r.lossy.1
+        );
+    }
+    out
+}
+
 /// Render a Table-1/2-style table with paper reference values.
 pub fn render_rows(title: &str, rows: &[Row], paper: &[(f64, f64)]) -> String {
     use std::fmt::Write;
@@ -444,6 +576,76 @@ mod tests {
             if *n >= 1000 {
                 assert!(chunked < full, "n={n}: chunked {chunked} < full {full}");
             }
+        }
+    }
+
+    #[test]
+    fn transport_table_orders_and_shapes_hold() {
+        for platform in Platform::all() {
+            let rows = transport_table(platform);
+            assert_eq!(rows.len(), PAPER_SIZES.len());
+            for r in &rows {
+                for (udp, tcp, lossy) in
+                    [(r.udp.0, r.tcp.0, r.lossy.0), (r.udp.1, r.tcp.1, r.lossy.1)]
+                {
+                    assert!(
+                        tcp > udp,
+                        "n={}: record marking must cost ({platform:?})",
+                        r.n
+                    );
+                    assert!(lossy > udp, "n={}: loss must cost ({platform:?})", r.n);
+                }
+                // Specialization still wins on every transport.
+                assert!(r.udp.1 < r.udp.0, "n={}", r.n);
+                assert!(r.tcp.1 < r.tcp.0, "n={}", r.n);
+                assert!(r.lossy.1 < r.lossy.0, "n={}", r.n);
+                // The TCP premium is framing + one reassembly copy — an
+                // overhead, not a new order of magnitude.
+                assert!(r.tcp.0 < r.udp.0 * 2.0, "n={}: {:?}", r.n, r.tcp);
+            }
+            // Lossy-UDP rows stay proportional: ~10.8% expected extra
+            // tries at 5% loss with a 4×RTT timer → ~1.43× clean UDP.
+            let want = 1.0
+                + MODELED_RTO_RTT_MULTIPLE * (1.0 - (1.0 - MODELED_LOSS).powi(2))
+                    / (1.0 - MODELED_LOSS).powi(2);
+            for r in &rows {
+                let ratio = r.lossy.0 / r.udp.0;
+                assert!(
+                    (ratio - want).abs() < 1e-6,
+                    "n={}: lossy/udp ratio {ratio} vs {want}",
+                    r.n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_model_degenerates_to_clean_at_zero_loss() {
+        let costs = Platform::PcLinuxFastEthernet.costs();
+        let g = measure_generic(100);
+        let sample = RoundTripSample {
+            marshals: vec![(g.client_enc, g.code_bytes); 4],
+            wire_bytes: g.request_len + g.reply_len,
+            specialized: false,
+        };
+        let clean = costs.round_trip_ns(&sample);
+        assert_eq!(
+            modeled_lossy_udp_round_trip_ns(&costs, &sample, 0.0, 4.0 * clean),
+            clean
+        );
+    }
+
+    #[test]
+    fn render_transport_rows_includes_all_columns() {
+        let rows = vec![TransportRow {
+            n: 20,
+            udp: (1.0, 0.5),
+            tcp: (1.2, 0.6),
+            lossy: (1.4, 0.7),
+        }];
+        let text = render_transport_rows("T", &rows);
+        for col in ["udp-orig", "tcp-spec", "loss-orig"] {
+            assert!(text.contains(col), "{text}");
         }
     }
 

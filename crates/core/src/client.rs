@@ -152,6 +152,12 @@ pub struct SpecClient<T: Transport> {
     proc_: Arc<CompiledProc>,
     /// Reusable request image (exact wire length, rewound per call).
     req: WireBuf,
+    /// Per-slot request images for batched calls: slot `i` holds batch
+    /// position `i`'s wire image, preallocated on first use and rewound
+    /// every batch (one `WireBuf` scratch per slot).
+    batch_req: Vec<WireBuf>,
+    /// Reused xid scratch for batched calls.
+    batch_xids: Vec<u32>,
     /// Stub-op, byte, and allocation counts from specialized marshaling
     /// (generic fallback decoding accumulates here too).
     pub counts: OpCounts,
@@ -180,6 +186,8 @@ impl<T: Transport> SpecClient<T> {
             transport,
             proc_,
             req: WireBuf::new(),
+            batch_req: Vec::new(),
+            batch_xids: Vec::new(),
             counts: OpCounts::new(),
             fast_calls: 0,
             fallback_calls: 0,
@@ -234,49 +242,151 @@ impl<T: Transport> SpecClient<T> {
 
     fn call_inner(&mut self, args: &StubArgs, out: &mut StubArgs) -> Result<PathUsed, RpcError> {
         let xid = self.transport.next_xid();
+        Self::encode_into(&self.proc_, &mut self.req, args, xid, &mut self.counts)?;
+        let reply = self.transport.call(self.req.bytes(), xid)?;
+        let result = self.decode_reply(&reply, out);
+        // The consumed reply buffer feeds the transport's pool.
+        self.transport.recycle(reply);
+        result
+    }
 
-        // Single-copy encode: the compiled stub emits header + arguments
-        // in one pass straight into the rewound exact-size wire buffer
-        // (xid stamped via the slot-0 override, not an args clone).
-        let enc = &self.proc_.client_encode;
-        self.req.reset(enc.wire_len);
-        let encoded = run_encode_with_xid(
-            &enc.program,
-            self.req.bytes_mut(),
-            args,
-            xid as i32,
-            &mut self.counts,
-        );
+    /// Single-copy encode: the compiled stub emits header + arguments in
+    /// one pass straight into the rewound exact-size wire buffer (xid
+    /// stamped via the slot-0 override, not an args clone). An associated
+    /// function so batched encoding can borrow per-slot buffers while
+    /// `self`'s other fields stay accessible.
+    fn encode_into(
+        proc_: &CompiledProc,
+        req: &mut WireBuf,
+        args: &StubArgs,
+        xid: u32,
+        counts: &mut OpCounts,
+    ) -> Result<(), RpcError> {
+        let enc = &proc_.client_encode;
+        req.reset(enc.wire_len);
+        let encoded = run_encode_with_xid(&enc.program, req.bytes_mut(), args, xid as i32, counts);
         // Fold the wire buffer's (re)allocation accounting before any
         // early return so no growth event is lost.
-        let wb_counts = *self.req.counts();
-        self.req.counts_mut().reset();
-        self.counts += wb_counts;
-        encoded.map_err(|e| RpcError::Transport(e.to_string()))?;
+        let wb_counts = *req.counts();
+        req.counts_mut().reset();
+        *counts += wb_counts;
+        encoded
+            .map(|_| ())
+            .map_err(|e| RpcError::Transport(e.to_string()))
+    }
 
-        let reply = self.transport.call(self.req.bytes(), xid)?;
-
-        // Specialized decode with generic fallback, into reused slots.
+    /// Specialized decode with generic fallback, into reused slots.
+    fn decode_reply(&mut self, reply: &[u8], out: &mut StubArgs) -> Result<PathUsed, RpcError> {
         let dec = &self.proc_.client_decode;
         out.prepare(
             dec.layout.scalar_count as usize,
             dec.layout.array_count as usize,
         );
-        let result = match run_decode(&dec.program, &reply, out, reply.len(), &mut self.counts) {
+        match run_decode(&dec.program, reply, out, reply.len(), &mut self.counts) {
             Ok(Outcome::Done { ret: 1, .. }) => {
                 self.fast_calls += 1;
                 Ok(PathUsed::Fast)
             }
             Ok(Outcome::Done { .. }) | Ok(Outcome::Fallback) => {
                 self.fallback_calls += 1;
-                self.decode_generic(&reply, out)
+                self.decode_generic(reply, out)
                     .map(|()| PathUsed::GenericFallback)
             }
             Err(e) => Err(RpcError::Transport(e.to_string())),
-        };
-        // The consumed reply buffer feeds the transport's pool.
-        self.transport.recycle(reply);
+        }
+    }
+
+    /// Perform `batch.len()` calls as **one pipelined batch**: every
+    /// request is encoded (into its own reused per-slot [`WireBuf`]) and
+    /// handed to [`Transport::call_batch`], which keeps all of them in
+    /// flight at once and matches replies by xid; results come back in
+    /// submission order. The fixed per-call round-trip overhead — wire
+    /// latency, server dispatch hand-off — is paid once per batch, the
+    /// same way the compiled stubs amortize per-element marshaling
+    /// overhead (see the `batched` bench scenario).
+    ///
+    /// Allocates fresh result slots; steady-state callers use
+    /// [`SpecClient::call_batch_into`].
+    pub fn call_batch(
+        &mut self,
+        batch: &[StubArgs],
+    ) -> Result<Vec<(StubArgs, PathUsed)>, RpcError> {
+        let mut outs: Vec<StubArgs> = batch.iter().map(|_| StubArgs::default()).collect();
+        let paths = self.call_batch_into(batch, &mut outs)?;
+        Ok(outs.into_iter().zip(paths).collect())
+    }
+
+    /// [`SpecClient::call_batch`] decoding into caller-provided result
+    /// slots, reusing their capacity: with warm slots and a warm
+    /// transport pool the whole batch performs zero wire-path heap
+    /// allocations. Any transport or decode failure fails the batch.
+    ///
+    /// # Panics
+    /// Panics if `batch` and `outs` have different lengths.
+    pub fn call_batch_into(
+        &mut self,
+        batch: &[StubArgs],
+        outs: &mut [StubArgs],
+    ) -> Result<Vec<PathUsed>, RpcError> {
+        assert_eq!(batch.len(), outs.len(), "one result slot per call");
+        let allocs_before = self.transport.wire_allocs();
+        self.calls += batch.len() as u64;
+        let result = self.call_batch_inner(batch, outs);
+        self.counts.heap_allocs += self.transport.wire_allocs() - allocs_before;
         result
+    }
+
+    fn call_batch_inner(
+        &mut self,
+        batch: &[StubArgs],
+        outs: &mut [StubArgs],
+    ) -> Result<Vec<PathUsed>, RpcError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One WireBuf scratch per slot, grown once and rewound per batch.
+        while self.batch_req.len() < batch.len() {
+            self.batch_req.push(WireBuf::new());
+        }
+        self.batch_xids.clear();
+        for (args, req) in batch.iter().zip(self.batch_req.iter_mut()) {
+            let xid = self.transport.next_xid();
+            Self::encode_into(&self.proc_, req, args, xid, &mut self.counts)?;
+            self.batch_xids.push(xid);
+        }
+        let requests: Vec<&[u8]> = self.batch_req[..batch.len()]
+            .iter()
+            .map(WireBuf::bytes)
+            .collect();
+        let replies = self.transport.call_batch(&requests, &self.batch_xids)?;
+        if replies.len() != batch.len() {
+            // A transport violating the one-reply-per-request contract
+            // must surface as an error, not as silently truncated
+            // results.
+            return Err(RpcError::Transport(format!(
+                "transport returned {} replies for a batch of {}",
+                replies.len(),
+                batch.len()
+            )));
+        }
+        let mut paths = Vec::with_capacity(batch.len());
+        let mut first_err = None;
+        for (reply, out) in replies.into_iter().zip(outs.iter_mut()) {
+            // Even when one call's decode fails, every reply buffer must
+            // still feed the transport's pool — dropped buffers come
+            // back as allocating misses on the next batch.
+            if first_err.is_none() {
+                match self.decode_reply(&reply, out) {
+                    Ok(path) => paths.push(path),
+                    Err(e) => first_err = Some(e),
+                }
+            }
+            self.transport.recycle(reply);
+        }
+        match first_err {
+            None => Ok(paths),
+            Some(e) => Err(e),
+        }
     }
 
     /// Build the argument [`StubArgs`] with the xid slot reserved.

@@ -60,10 +60,11 @@ pub const ECHO_IDL: &str = r#"
 pub const PAPER_SIZES: [usize; 6] = [20, 100, 250, 500, 1000, 2000];
 
 /// Power-of-two unroll bounds swept by the unroll benchmark and the
-/// knee detector in `examples/specialization_report.rs` (one source so
-/// the measured curve and the modeled knee always cover the same
-/// bounds).
-pub const UNROLL_SWEEP: [usize; 10] = [8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+/// knee detector in `examples/specialization_report.rs` — the same
+/// candidate set [`ProcPipeline::with_icache_budget`] picks from, so
+/// the measured curve, the modeled knee, and the auto-tuner always
+/// cover the same bounds.
+pub const UNROLL_SWEEP: [usize; 10] = crate::pipeline::UNROLL_CANDIDATES;
 
 /// The sweep bounds applicable to arrays of `n` integers: a bound only
 /// re-rolls element runs of at least `2 × bound` ops, so bounds above
@@ -330,6 +331,93 @@ impl TcpEchoBench {
     }
 }
 
+/// The echo deployment on the event-driven serving core, driven through
+/// batched pipelined calls — what the `batched` criterion scenario
+/// measures. The reactor worker(s) process requests off the driving
+/// thread, so with a batch in flight the server's decode → handler →
+/// encode work overlaps the client's own marshaling and reply decoding;
+/// argument and result slots are prebuilt and reused, keeping the
+/// steady-state batch on the allocation-free lane.
+pub struct BatchEchoBench {
+    /// The network.
+    pub net: Network,
+    /// Specialized client (pool shared with the serving side).
+    pub spec: SpecClient<ClntUdp>,
+    /// The event-driven service (registry + reactor counters).
+    pub service: crate::service::EventService,
+    /// Array size this deployment is specialized for.
+    pub n: usize,
+    /// Calls per batch.
+    pub batch: usize,
+    args: Vec<StubArgs>,
+    outs: Vec<StubArgs>,
+    expect: Vec<i32>,
+}
+
+impl BatchEchoBench {
+    /// Deploy client + event-served echo for arrays of `n` integers,
+    /// issuing `batch` pipelined calls per [`BatchEchoBench::round_trips`]
+    /// on a reactor of `workers` threads.
+    pub fn new(
+        n: usize,
+        batch: usize,
+        workers: usize,
+        seed: u64,
+    ) -> Result<BatchEchoBench, PipelineError> {
+        let proc_ = Arc::new(build_echo_proc(n, None)?);
+        let net = Network::new(NetworkConfig::lan(), seed);
+        // Size the shared pool to the batch: `batch` request datagrams,
+        // their replies, and the dup-cache's stored images are all in
+        // flight at once — the default cap would overflow (dropping
+        // buffers that come back later as allocating misses).
+        let pool = Arc::new(specrpc_rpc::BufPool::with_max_slots(3 * batch + 16));
+        let registry = Arc::new(specrpc_rpc::SvcRegistry::with_pool(pool));
+        echo_service(proc_.clone()).install(&registry);
+        let reactor = specrpc_rpc::svc_event::serve_udp_event(
+            &net,
+            ECHO_PORT,
+            registry.clone(),
+            workers,
+            None,
+        );
+        let service = crate::service::EventService { registry, reactor };
+        let clnt = ClntUdp::create_pooled(
+            &net,
+            5002,
+            ECHO_PORT,
+            ECHO_PROG,
+            ECHO_VERS,
+            service.registry.pool().clone(),
+        );
+        let spec = SpecClient::from_parts(clnt, proc_);
+        let expect = workload(n);
+        let args = (0..batch)
+            .map(|_| spec.args(vec![], vec![expect.clone()]))
+            .collect();
+        let outs = (0..batch).map(|_| StubArgs::default()).collect();
+        Ok(BatchEchoBench {
+            net,
+            spec,
+            service,
+            n,
+            batch,
+            args,
+            outs,
+            expect,
+        })
+    }
+
+    /// One batch of pipelined round trips (the prebuilt arguments, the
+    /// reused result slots). Returns the batch size so callers can
+    /// amortize measured time per call.
+    pub fn round_trips(&mut self) -> Result<usize, RpcError> {
+        let paths = self.spec.call_batch_into(&self.args, &mut self.outs)?;
+        debug_assert!(paths.iter().all(|p| *p == crate::client::PathUsed::Fast));
+        debug_assert!(self.outs.iter().all(|o| o.arrays[0] == self.expect));
+        Ok(self.batch)
+    }
+}
+
 /// Deterministic workload data for size `n` (the paper's arrays of
 /// 4-byte integers).
 pub fn workload(n: usize) -> Vec<i32> {
@@ -448,5 +536,16 @@ mod tests {
     fn workload_is_deterministic() {
         assert_eq!(workload(10), workload(10));
         assert_eq!(workload(3).len(), 3);
+    }
+
+    #[test]
+    fn batch_bench_round_trips_and_counts() {
+        let mut bench = BatchEchoBench::new(16, 4, 1, 3).unwrap();
+        for _ in 0..3 {
+            assert_eq!(bench.round_trips().unwrap(), 4);
+        }
+        assert_eq!(bench.service.total_events(), 12);
+        assert_eq!(bench.spec.fast_calls, 12);
+        assert_eq!(bench.spec.calls, 12);
     }
 }

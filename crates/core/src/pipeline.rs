@@ -64,11 +64,22 @@ impl From<StubGenError> for PipelineError {
     }
 }
 
+/// Power-of-two unroll bounds considered by the automatic bound picker
+/// ([`ProcPipeline::with_icache_budget`]) and swept by the unroll
+/// benchmark / the knee detector in `examples/specialization_report.rs`
+/// (one source, so the tuner and the measured curve always cover the
+/// same candidates).
+pub const UNROLL_CANDIDATES: [usize; 10] = [8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
 /// All four compiled stubs of one procedure in one specialization context.
 #[derive(Debug)]
 pub struct CompiledProc {
     /// (program, version, procedure) numbers.
     pub target: (u32, u32, u32),
+    /// The unroll bound the stubs were compiled with (`None` = full
+    /// unrolling) — explicit via [`ProcPipeline::with_chunk`] or picked
+    /// automatically by [`ProcPipeline::with_icache_budget`].
+    pub unroll_bound: Option<usize>,
     /// Client request encoder.
     pub client_encode: CompiledStub,
     /// Client reply decoder.
@@ -95,8 +106,14 @@ pub type ResolvedTarget = ((u32, u32, u32), MsgShape, MsgShape);
 pub struct ProcPipeline {
     /// Pinned length for counted arrays (the paper's per-size contexts).
     pub pinned_len: usize,
-    /// Bounded-unroll chunk (Table 4); `None` = full unrolling.
+    /// Bounded-unroll chunk (Table 4); `None` = full unrolling (unless
+    /// an icache budget picks a bound automatically).
     pub chunk: Option<usize>,
+    /// Target instruction-cache footprint for the residual stubs: when
+    /// set (and no explicit chunk overrides it), the pipeline picks the
+    /// unroll bound itself — the feedback loop the unroll-knee sweep of
+    /// `examples/specialization_report.rs` motivates.
+    pub icache_budget: Option<usize>,
 }
 
 impl ProcPipeline {
@@ -105,12 +122,27 @@ impl ProcPipeline {
         ProcPipeline {
             pinned_len,
             chunk: None,
+            icache_budget: None,
         }
     }
 
     /// Use bounded unrolling with the given chunk.
     pub fn with_chunk(mut self, chunk: usize) -> Self {
         self.chunk = Some(chunk);
+        self
+    }
+
+    /// Pick the unroll bound automatically from a target
+    /// instruction-cache budget (bytes), e.g. a platform's
+    /// `icache_capacity_bytes`: full unrolling when the whole residual
+    /// encoder fits, otherwise the **largest** [`UNROLL_CANDIDATES`]
+    /// bound whose compiled client-encode stub still fits (largest =
+    /// fewest residual loop iterations for the allowed footprint; past
+    /// the budget, every extra op pays the icache-miss penalty the
+    /// Table 4 sweep measures). An explicit [`ProcPipeline::with_chunk`]
+    /// always wins over the budget.
+    pub fn with_icache_budget(mut self, budget_bytes: usize) -> Self {
+        self.icache_budget = Some(budget_bytes);
         self
     }
 
@@ -183,12 +215,14 @@ impl ProcPipeline {
     }
 
     fn compile_all(&self, gs: GeneratedStubs) -> Result<CompiledProc, PipelineError> {
-        let client_encode = stubgen::specialize_stub(&gs, StubKind::ClientEncode, self.chunk)?;
-        let client_decode = stubgen::specialize_stub(&gs, StubKind::ClientDecode, self.chunk)?;
-        let server_decode = stubgen::specialize_stub(&gs, StubKind::ServerDecode, self.chunk)?;
-        let server_encode = stubgen::specialize_stub(&gs, StubKind::ServerEncode, self.chunk)?;
+        let chunk = self.effective_chunk(&gs)?;
+        let client_encode = stubgen::specialize_stub(&gs, StubKind::ClientEncode, chunk)?;
+        let client_decode = stubgen::specialize_stub(&gs, StubKind::ClientDecode, chunk)?;
+        let server_decode = stubgen::specialize_stub(&gs, StubKind::ServerDecode, chunk)?;
+        let server_encode = stubgen::specialize_stub(&gs, StubKind::ServerEncode, chunk)?;
         Ok(CompiledProc {
             target: gs.target,
+            unroll_bound: chunk,
             client_encode,
             client_decode,
             server_decode,
@@ -197,6 +231,56 @@ impl ProcPipeline {
             res_shape: gs.res_shape.clone(),
             generated: gs,
         })
+    }
+
+    /// Resolve the unroll bound this pipeline will compile with: the
+    /// explicit chunk if set, otherwise the bound the icache budget
+    /// picks (compiling trial client-encode stubs to measure real
+    /// residual code sizes), otherwise full unrolling.
+    fn effective_chunk(&self, gs: &GeneratedStubs) -> Result<Option<usize>, PipelineError> {
+        if self.chunk.is_some() {
+            return Ok(self.chunk);
+        }
+        let Some(budget) = self.icache_budget else {
+            return Ok(None);
+        };
+        let code_bytes = |chunk: Option<usize>| -> Result<usize, PipelineError> {
+            let stub = stubgen::specialize_stub(gs, StubKind::ClientEncode, chunk)?;
+            Ok(stub.program.code_size_bytes())
+        };
+        if code_bytes(None)? <= budget {
+            return Ok(None); // the full unroll already fits
+        }
+        let mut smallest_applicable = None;
+        for &c in UNROLL_CANDIDATES.iter().rev() {
+            // A bound only re-rolls element runs of at least 2×bound ops;
+            // larger bounds compile to the full unroll we just rejected.
+            if 2 * c > self.pinned_len {
+                continue;
+            }
+            if code_bytes(Some(c))? <= budget {
+                return Ok(Some(c));
+            }
+            smallest_applicable = Some(c);
+        }
+        // Nothing fits (or no candidate applies): the smallest applicable
+        // bound is the best effort — the tightest residual we can emit.
+        Ok(smallest_applicable)
+    }
+
+    /// The unroll bound [`ProcPipeline::build_from_idl`] would compile
+    /// `proc_num` with — exposed so reports can show what an icache
+    /// budget picked without keeping the compile.
+    pub fn auto_chunk_from_idl(
+        &self,
+        idl: &str,
+        program: Option<&str>,
+        proc_num: u32,
+    ) -> Result<Option<usize>, PipelineError> {
+        let ((prog_num, vers_num, proc_num), arg, res) =
+            self.resolve_shapes(idl, program, proc_num)?;
+        let gs = stubgen::generate_from_shapes(prog_num, vers_num, proc_num, arg, res);
+        self.effective_chunk(&gs)
     }
 }
 
@@ -231,6 +315,74 @@ mod tests {
             .build_from_idl(IDL, None, 1)
             .unwrap();
         assert!(chunked.client_encode.program.len() < full.client_encode.program.len() / 3);
+    }
+
+    #[test]
+    fn icache_budget_picks_full_unroll_when_it_fits() {
+        let cp = ProcPipeline::new(100)
+            .with_icache_budget(1 << 20)
+            .build_from_idl(IDL, None, 1)
+            .unwrap();
+        assert_eq!(cp.unroll_bound, None, "a huge budget needs no bound");
+    }
+
+    #[test]
+    fn icache_budget_picks_the_largest_bound_that_fits() {
+        let n = 2000;
+        let full = ProcPipeline::new(n).build_from_idl(IDL, None, 1).unwrap();
+        let full_bytes = full.client_encode.program.code_size_bytes();
+        // A budget at 1/4 of the full footprint forces a real bound.
+        let budget = full_bytes / 4;
+        let cp = ProcPipeline::new(n)
+            .with_icache_budget(budget)
+            .build_from_idl(IDL, None, 1)
+            .unwrap();
+        let bound = cp.unroll_bound.expect("budget must pick a bound");
+        assert!(UNROLL_CANDIDATES.contains(&bound), "{bound}");
+        assert!(
+            cp.client_encode.program.code_size_bytes() <= budget,
+            "picked stub must fit the budget"
+        );
+        // Maximality: the next larger applicable candidate must NOT fit.
+        if let Some(&next) = UNROLL_CANDIDATES.iter().find(|&&c| c > bound) {
+            if 2 * next <= n {
+                let bigger = ProcPipeline::new(n)
+                    .with_chunk(next)
+                    .build_from_idl(IDL, None, 1)
+                    .unwrap();
+                assert!(
+                    bigger.client_encode.program.code_size_bytes() > budget,
+                    "a larger bound would have fit — picker not maximal"
+                );
+            }
+        }
+        // The auto-pick is observable without compiling all four stubs.
+        assert_eq!(
+            ProcPipeline::new(n)
+                .with_icache_budget(budget)
+                .auto_chunk_from_idl(IDL, None, 1)
+                .unwrap(),
+            Some(bound)
+        );
+    }
+
+    #[test]
+    fn icache_budget_degrades_to_smallest_bound_when_nothing_fits() {
+        let cp = ProcPipeline::new(2000)
+            .with_icache_budget(1) // absurd: nothing fits
+            .build_from_idl(IDL, None, 1)
+            .unwrap();
+        assert_eq!(cp.unroll_bound, Some(8), "tightest residual is best effort");
+    }
+
+    #[test]
+    fn explicit_chunk_overrides_the_budget() {
+        let cp = ProcPipeline::new(2000)
+            .with_icache_budget(1)
+            .with_chunk(250)
+            .build_from_idl(IDL, None, 1)
+            .unwrap();
+        assert_eq!(cp.unroll_bound, Some(250));
     }
 
     #[test]

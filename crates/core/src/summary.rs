@@ -1,6 +1,7 @@
 //! Mapping specializer statistics onto the paper's §3 categories.
 
 use crate::cache::CacheStats;
+use specrpc_rpc::bufpool::PoolStats;
 use specrpc_tempo::spec::SpecReport;
 use specrpc_xdr::OpCounts;
 
@@ -16,6 +17,11 @@ pub struct WireStats {
     pub heap_allocs: u64,
     /// Calls the counters cover.
     pub calls: u64,
+    /// Wire-buffer pool counters, when the deployment shares one
+    /// [`specrpc_rpc::BufPool`]. Overflow drops are the misconfiguration
+    /// signal: a cap smaller than the in-flight buffer count drops
+    /// returns, and every drop resurfaces later as an allocating miss.
+    pub pool: Option<PoolStats>,
 }
 
 /// What specialization eliminated, in the paper's vocabulary.
@@ -45,6 +51,9 @@ pub struct Summary {
     /// Requests dispatched per worker thread, when the service ran under
     /// [`crate::SpecService::serve_threaded`].
     pub threads: Option<Vec<u64>>,
+    /// Events processed per reactor worker, when the service ran under
+    /// [`crate::SpecService::serve_event`].
+    pub events: Option<Vec<u64>>,
     /// Wire-path bytes-copied / allocs-per-call profile, when measured.
     pub wire: Option<WireStats>,
 }
@@ -66,6 +75,7 @@ impl Summary {
             residual_stmts: r.residual_stmts,
             cache: None,
             threads: None,
+            events: None,
             wire: None,
         }
     }
@@ -83,13 +93,25 @@ impl Summary {
         self
     }
 
+    /// Attach per-worker event-loop throughput counts from an
+    /// event-driven deployment
+    /// ([`crate::service::EventService::per_worker_events`]).
+    pub fn with_events(mut self, per_worker: Vec<u64>) -> Summary {
+        self.events = Some(per_worker);
+        self
+    }
+
     /// Attach a client's wire-path profile: `counts` accumulated over
-    /// `calls` calls (e.g. `SpecClient::counts` / `SpecClient::calls`).
-    pub fn with_wire(mut self, counts: OpCounts, calls: u64) -> Summary {
+    /// `calls` calls (e.g. `SpecClient::counts` / `SpecClient::calls`),
+    /// plus — when the deployment shares a wire-buffer pool — that
+    /// pool's counters so cap misconfiguration (overflow drops) is
+    /// visible next to the allocs-per-call number it inflates.
+    pub fn with_wire(mut self, counts: OpCounts, calls: u64, pool: Option<PoolStats>) -> Summary {
         self.wire = Some(WireStats {
             bytes_copied: counts.mem_moves,
             heap_allocs: counts.heap_allocs,
             calls,
+            pool,
         });
         self
     }
@@ -131,12 +153,28 @@ impl Summary {
                 per.join(", "),
             ));
         }
+        if let Some(e) = &self.events {
+            let total: u64 = e.iter().sum();
+            let per: Vec<String> = e.iter().map(u64::to_string).collect();
+            text.push_str(&format!(
+                "\n\u{20} event loop:                     {} event(s) across {} worker(s) [{}]",
+                total,
+                e.len(),
+                per.join(", "),
+            ));
+        }
         if let Some(w) = self.wire {
             let per_call = w.heap_allocs as f64 / w.calls.max(1) as f64;
             text.push_str(&format!(
                 "\n\u{20} wire path:                      {} B copied, {} alloc(s) over {} call(s) ({per_call:.2} allocs/call)",
                 w.bytes_copied, w.heap_allocs, w.calls,
             ));
+            if let Some(p) = w.pool {
+                text.push_str(&format!(
+                    "\n\u{20} buffer pool:                    {} hit(s), {} miss(es), {} overflow drop(s)",
+                    p.hits, p.misses, p.overflow_drops,
+                ));
+            }
         }
         text
     }
@@ -204,6 +242,15 @@ mod tests {
         assert!(text.contains("threaded dispatch"));
         assert!(text.contains("12 across 3 worker(s) [4, 3, 5]"));
         assert!(!text.contains("wire path"), "no wire line without stats");
+        assert!(!text.contains("event loop"), "no event line without stats");
+    }
+
+    #[test]
+    fn render_includes_event_loop_throughput_when_attached() {
+        let s = Summary::default().with_events(vec![7, 9]);
+        let text = s.render();
+        assert!(text.contains("event loop"));
+        assert!(text.contains("16 event(s) across 2 worker(s) [7, 9]"));
     }
 
     #[test]
@@ -211,9 +258,26 @@ mod tests {
         let mut counts = specrpc_xdr::OpCounts::new();
         counts.mem_moves = 32_000;
         counts.heap_allocs = 2;
-        let s = Summary::default().with_wire(counts, 4);
+        let s = Summary::default().with_wire(counts, 4, None);
         let text = s.render();
         assert!(text.contains("wire path"));
         assert!(text.contains("32000 B copied, 2 alloc(s) over 4 call(s) (0.50 allocs/call)"));
+        assert!(!text.contains("buffer pool"), "no pool line without stats");
+    }
+
+    #[test]
+    fn render_surfaces_pool_overflow_drops() {
+        let counts = specrpc_xdr::OpCounts::new();
+        let pool = specrpc_rpc::PoolStats {
+            hits: 100,
+            misses: 3,
+            recycled: 90,
+            overflow_drops: 13,
+        };
+        let text = Summary::default()
+            .with_wire(counts, 10, Some(pool))
+            .render();
+        assert!(text.contains("buffer pool"));
+        assert!(text.contains("100 hit(s), 3 miss(es), 13 overflow drop(s)"));
     }
 }

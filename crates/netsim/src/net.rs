@@ -32,12 +32,36 @@
 //! interleave — depends on OS scheduling; cross-thread traces are
 //! reproducible only in their per-address payload contents, not in their
 //! global timing.
+//!
+//! # Readiness (event) mode
+//!
+//! Besides the blocking handler slots, an address can be registered in
+//! **event mode** ([`Network::serve_udp_events`]): a delivery becomes a
+//! *readiness event* — the datagram is queued under the simulator lock
+//! and reactor threads drain it with the nonblocking
+//! [`Network::poll_udp`] (sleeping in [`Network::wait_ready`] between
+//! bursts). Because the queue push replaces the handler invocation,
+//! deliveries never serialize on a per-address handler `Mutex`: any
+//! number of datagrams — to the same address or different ones — can be
+//! in flight at once, processed in parallel by as many reactor workers
+//! as are polling.
+//!
+//! Virtual-time determinism is preserved for the single-driver case by
+//! the same mechanism that protects mid-dispatch handlers: a queued or
+//! checked-out readiness event counts as *pending*, and the idle
+//! fast-forward in [`Network::run_until`] refuses to jump the clock while
+//! anything is pending. The driving thread therefore always yields to the
+//! reactor at the exact virtual instant the delivery happened, the
+//! reactor charges its processing time and schedules the reply from that
+//! same instant, and the resulting trace is byte- and time-identical to
+//! the blocking-handler execution of the same workload.
 
 use crate::fault::{FaultConfig, FaultState, Verdict};
 use crate::time::SimTime;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// A network address (think UDP/TCP port; hosts are implicit — the paper's
 /// testbed is two machines on one link).
@@ -149,6 +173,21 @@ pub type TcpHandlerFactory = Box<dyn FnMut() -> Box<dyn TcpHandler> + Send>;
 /// of dropping.
 type Slot<T> = Arc<Mutex<T>>;
 
+/// A shareable event-mode processor (the [`UdpHandler`] contract through
+/// `&self`): reactors invoke it via [`Network::poll_udp`], and — when
+/// registered with [`Network::serve_udp_events_with`] — a *driving*
+/// thread blocked on pending events invokes it inline (work stealing),
+/// so single-core deployments pay no cross-thread hand-off per event.
+pub type EventProcessor =
+    Arc<dyn Fn(&mut Vec<u8>, Addr) -> Option<(Vec<u8>, SimTime)> + Send + Sync>;
+
+/// One event-mode address: its readiness queue plus the optional inline
+/// processor driving threads may steal work through.
+struct EventQueue {
+    ready: VecDeque<Datagram>,
+    processor: Option<EventProcessor>,
+}
+
 struct ConnState {
     client_rx: VecDeque<u8>,
     server_handler: Slot<Box<dyn TcpHandler>>,
@@ -167,12 +206,34 @@ struct NetInner {
     /// otherwise a concurrent waiter would see a transiently empty queue
     /// and jump the clock past its own deadline.
     in_flight: usize,
+    /// Readiness events queued for (or checked out by) event-mode
+    /// reactors. Counted exactly like `in_flight`: the idle fast-forward
+    /// must not jump the clock while a reactor still owes a reply for a
+    /// delivery that happened at the current virtual instant.
+    pending_events: usize,
+    /// The subset of `pending_events` belonging to addresses registered
+    /// **with** an inline processor ([`Network::serve_udp_events_with`]).
+    /// These are *strict*: while one is queued or checked out, a driving
+    /// thread must not pop scheduled events at all — otherwise a reactor
+    /// worker that won the race for the datagram would charge its
+    /// processing time from a clock the driver has meanwhile advanced,
+    /// and the trace would diverge from the blocking-handler execution.
+    /// Pure-poll registrations stay *loose* (the driver keeps delivering
+    /// so multiple workers can hold events concurrently).
+    pending_strict: usize,
     cfg: NetworkConfig,
     faults: FaultState,
     queue: BinaryHeap<Reverse<Scheduled>>,
     /// Client mailboxes keyed by bound address.
     mailboxes: HashMap<Addr, VecDeque<Datagram>>,
     udp_handlers: HashMap<Addr, Slot<UdpHandler>>,
+    /// Event-mode service addresses: deliveries become readiness events
+    /// drained by [`Network::poll_udp`] instead of handler invocations.
+    /// A `BTreeMap` so the driver's work-steal scan visits addresses in
+    /// a deterministic (sorted) order — a hash map's randomized
+    /// iteration would make multi-address steal order, and therefore the
+    /// virtual-time trace, differ run to run.
+    event_queues: BTreeMap<Addr, EventQueue>,
     tcp_listeners: HashMap<Addr, Slot<TcpHandlerFactory>>,
     conns: Vec<ConnState>,
     /// Total payload bytes that crossed the link (for reports).
@@ -180,35 +241,62 @@ struct NetInner {
     datagrams_sent: u64,
 }
 
+struct NetShared {
+    state: Mutex<NetInner>,
+    /// Signaled when a readiness event is queued (eager mode) — what
+    /// [`Network::wait_ready`] reactors sleep on.
+    ready_cv: Condvar,
+    /// Signaled when pending work retires — what *driving* threads
+    /// blocked in [`Network::run_until`]'s fast-forward guard sleep on.
+    /// Separate from `ready_cv` so an event completion does not wake
+    /// idle reactors (on one core such a wake is a pure context-switch
+    /// tax on every single event).
+    retired_cv: Condvar,
+    /// Whether enqueuing a readiness event eagerly wakes sleeping
+    /// reactors. On a multi-core host that buys parallel processing; on
+    /// a single core every wake is a pure context-switch tax (the
+    /// driving thread steals the work anyway), so reactors rely on their
+    /// bounded [`Network::wait_ready`] timeout instead.
+    eager_wakes: bool,
+}
+
 /// Cloneable, thread-shareable handle to a simulated network.
 #[derive(Clone)]
 pub struct Network {
-    inner: Arc<Mutex<NetInner>>,
+    shared: Arc<NetShared>,
 }
 
 impl Network {
     /// A network with the given link parameters and fault seed.
     pub fn new(cfg: NetworkConfig, seed: u64) -> Self {
         Network {
-            inner: Arc::new(Mutex::new(NetInner {
-                now: SimTime::ZERO,
-                seq: 0,
-                in_flight: 0,
-                faults: FaultState::new(cfg.faults, seed),
-                cfg,
-                queue: BinaryHeap::new(),
-                mailboxes: HashMap::new(),
-                udp_handlers: HashMap::new(),
-                tcp_listeners: HashMap::new(),
-                conns: Vec::new(),
-                bytes_sent: 0,
-                datagrams_sent: 0,
-            })),
+            shared: Arc::new(NetShared {
+                state: Mutex::new(NetInner {
+                    now: SimTime::ZERO,
+                    seq: 0,
+                    in_flight: 0,
+                    pending_events: 0,
+                    pending_strict: 0,
+                    faults: FaultState::new(cfg.faults, seed),
+                    cfg,
+                    queue: BinaryHeap::new(),
+                    mailboxes: HashMap::new(),
+                    udp_handlers: HashMap::new(),
+                    event_queues: BTreeMap::new(),
+                    tcp_listeners: HashMap::new(),
+                    conns: Vec::new(),
+                    bytes_sent: 0,
+                    datagrams_sent: 0,
+                }),
+                ready_cv: Condvar::new(),
+                retired_cv: Condvar::new(),
+                eager_wakes: std::thread::available_parallelism().is_ok_and(|n| n.get() > 1),
+            }),
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, NetInner> {
-        self.inner.lock().expect("network lock poisoned")
+        self.shared.state.lock().expect("network lock poisoned")
     }
 
     /// Current virtual time.
@@ -242,6 +330,187 @@ impl Network {
             .insert(addr, Arc::new(Mutex::new(handler)));
     }
 
+    /// Register `addr` in **event mode**: deliveries are queued as
+    /// readiness events instead of invoking a blocking handler. Drain
+    /// them with [`Network::poll_udp`]; block between bursts with
+    /// [`Network::wait_ready`]. An address is either event-mode or
+    /// handler-mode, never both (event registration wins on conflict).
+    ///
+    /// Every queued-but-undrained event counts as *pending*: the idle
+    /// fast-forward of [`Network::run_until`] will not advance the clock
+    /// past it, so a reactor must be draining the address (or the address
+    /// must be unregistered with [`Network::unserve_udp_events`]) for
+    /// driving threads to make progress.
+    pub fn serve_udp_events(&self, addr: Addr) {
+        self.lock().event_queues.entry(addr).or_insert(EventQueue {
+            ready: VecDeque::new(),
+            processor: None,
+        });
+    }
+
+    /// [`Network::serve_udp_events`] with an inline processor: reactors
+    /// still drain the address via [`Network::poll_udp`], but a
+    /// *driving* thread that would otherwise sleep on pending events
+    /// **steals** queued work and runs `processor` itself. On a
+    /// single-core host this collapses the per-event cross-thread
+    /// hand-off to zero (the driver does the work in place, like the
+    /// blocking handler path) while multi-core hosts keep full reactor
+    /// parallelism.
+    pub fn serve_udp_events_with(&self, addr: Addr, processor: EventProcessor) {
+        let mut inner = self.lock();
+        // Re-registration drops a prior queue's undrained deliveries —
+        // un-count them, or the pending accounting would pin the clock
+        // forever on events nobody can reach anymore.
+        if let Some(old) = inner.event_queues.insert(
+            addr,
+            EventQueue {
+                ready: VecDeque::new(),
+                processor: Some(processor),
+            },
+        ) {
+            inner.pending_events -= old.ready.len();
+            if old.processor.is_some() {
+                inner.pending_strict -= old.ready.len();
+            }
+        }
+    }
+
+    /// Remove an event-mode registration, dropping (and un-counting) any
+    /// queued deliveries, and wake every [`Network::wait_ready`] sleeper.
+    pub fn unserve_udp_events(&self, addr: Addr) {
+        {
+            let mut inner = self.lock();
+            if let Some(q) = inner.event_queues.remove(&addr) {
+                inner.pending_events -= q.ready.len();
+                if q.processor.is_some() {
+                    inner.pending_strict -= q.ready.len();
+                }
+            }
+        }
+        self.shared.ready_cv.notify_all();
+        self.shared.retired_cv.notify_all();
+    }
+
+    /// Nonblocking poll of one event-mode address: if a delivery is
+    /// queued, pop it, run `process` on the payload **outside every
+    /// simulator lock**, charge the returned processing time to the
+    /// virtual clock, send the reply (if any), and return `true`. Returns
+    /// `false` immediately when nothing is ready (or `addr` is not in
+    /// event mode).
+    ///
+    /// Multiple reactor threads may poll the same address concurrently:
+    /// each pops a distinct datagram, so — unlike the blocking handler
+    /// slot — in-flight deliveries to one address process in parallel.
+    /// The contract of `process` matches [`UdpHandler`]: it may consume
+    /// the payload (`std::mem::take`) and may itself send traffic.
+    pub fn poll_udp(
+        &self,
+        addr: Addr,
+        process: impl FnOnce(&mut Vec<u8>, Addr) -> Option<(Vec<u8>, SimTime)>,
+    ) -> bool {
+        let Some((dg, strict)) = ({
+            let mut inner = self.lock();
+            inner.event_queues.get_mut(&addr).and_then(|q| {
+                let strict = q.processor.is_some();
+                q.ready.pop_front().map(|dg| (dg, strict))
+            })
+        }) else {
+            return false;
+        };
+        self.complete_event(addr, dg, strict, process);
+        true
+    }
+
+    /// Run one checked-out readiness event to completion: `process`
+    /// outside every simulator lock, then clock charge + reply send +
+    /// pending retire under a single lock acquisition, then a wake for
+    /// any fast-forward waiter. The unwinding guard keeps `pending`
+    /// honest if `process` panics.
+    fn complete_event(
+        &self,
+        addr: Addr,
+        mut dg: Datagram,
+        strict: bool,
+        process: impl FnOnce(&mut Vec<u8>, Addr) -> Option<(Vec<u8>, SimTime)>,
+    ) {
+        struct PendingGuard<'a>(&'a Network, bool, bool);
+        impl Drop for PendingGuard<'_> {
+            fn drop(&mut self) {
+                if self.1 {
+                    let mut inner = self.0.lock();
+                    inner.pending_events -= 1;
+                    if self.2 {
+                        inner.pending_strict -= 1;
+                    }
+                    drop(inner);
+                    self.0.shared.retired_cv.notify_all();
+                }
+            }
+        }
+        let mut guard = PendingGuard(self, true, strict);
+        let reply = process(&mut dg.payload, dg.from);
+        {
+            let mut inner = self.lock();
+            if let Some((bytes, proc_time)) = reply {
+                inner.now += proc_time;
+                inner.send_udp_locked(addr, dg.from, bytes);
+            }
+            inner.pending_events -= 1;
+            if strict {
+                inner.pending_strict -= 1;
+            }
+        }
+        guard.1 = false;
+        self.shared.retired_cv.notify_all();
+    }
+
+    /// Number of deliveries currently queued on an event-mode address
+    /// (a nonblocking readiness probe).
+    pub fn ready_udp(&self, addr: Addr) -> usize {
+        self.lock()
+            .event_queues
+            .get(&addr)
+            .map_or(0, |q| q.ready.len())
+    }
+
+    /// Block (in real time, up to `timeout`) until at least one of
+    /// `addrs` has a queued readiness event, returning whether one does.
+    /// Wakes spuriously on [`Network::notify_ready`] /
+    /// [`Network::unserve_udp_events`] so reactors can observe shutdown
+    /// flags promptly.
+    pub fn wait_ready(&self, addrs: &[Addr], timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.lock();
+        loop {
+            if addrs.iter().any(|a| {
+                inner
+                    .event_queues
+                    .get(a)
+                    .is_some_and(|q| !q.ready.is_empty())
+            }) {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _res) = self
+                .shared
+                .ready_cv
+                .wait_timeout(inner, deadline - now)
+                .expect("network lock poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Wake every [`Network::wait_ready`] sleeper and every blocked
+    /// driving thread (e.g. so reactor workers re-check a shutdown
+    /// flag).
+    pub fn notify_ready(&self) {
+        self.shared.ready_cv.notify_all();
+        self.shared.retired_cv.notify_all();
+    }
+
     /// Install a TCP service (one handler per accepted connection).
     pub fn serve_tcp(&self, addr: Addr, factory: TcpHandlerFactory) {
         self.lock()
@@ -269,27 +538,7 @@ impl Network {
 
     /// Send a datagram from `from` to `to` (applies the fault model).
     pub fn send_udp(&self, from: Addr, to: Addr, payload: Vec<u8>) {
-        let mut inner = self.lock();
-        inner.bytes_sent += payload.len() as u64;
-        inner.datagrams_sent += 1;
-        let base = inner.now
-            + inner.cfg.latency
-            + SimTime::from_nanos(payload.len() as u64 * inner.cfg.ns_per_byte);
-        let verdict = inner.faults.judge();
-        let dg = Datagram { from, payload };
-        match verdict {
-            Verdict::Drop => {}
-            Verdict::Deliver => inner.schedule(base, Event::UdpDeliver { to, dg }),
-            Verdict::Duplicate => {
-                inner.schedule(base, Event::UdpDeliver { to, dg: dg.clone() });
-                let jitter = SimTime::from_nanos(inner.faults.delay_ns());
-                inner.schedule(base + jitter, Event::UdpDeliver { to, dg });
-            }
-            Verdict::Delay => {
-                let jitter = SimTime::from_nanos(inner.faults.delay_ns());
-                inner.schedule(base + jitter, Event::UdpDeliver { to, dg });
-            }
-        }
+        self.lock().send_udp_locked(from, to, payload);
     }
 
     /// Stream bytes over a TCP connection. Deliberately **not** subject to
@@ -327,6 +576,14 @@ impl Network {
 
     /// Process events until `pred` holds or virtual time passes `deadline`.
     /// Returns whether the predicate was satisfied.
+    ///
+    /// Ordering: queued readiness events with an inline processor are
+    /// **overdue** work — their deliveries happened at or before the
+    /// current instant — so the driving thread steals and processes them
+    /// *before* popping events scheduled in the future. This is what
+    /// makes a pipelined batch overlap server processing with reply
+    /// flight in virtual time (and, on a single-core host, what removes
+    /// every cross-thread hand-off: the driver does the work in place).
     pub fn run_until(&self, deadline: SimTime, mut pred: impl FnMut() -> bool) -> bool {
         loop {
             if pred() {
@@ -334,12 +591,55 @@ impl Network {
             }
             let next = {
                 let mut inner = self.lock();
+                let stolen = if inner.pending_events > 0 {
+                    inner.event_queues.iter_mut().find_map(|(&addr, q)| {
+                        let processor = q.processor.clone()?;
+                        let dg = q.ready.pop_front()?;
+                        Some((addr, dg, processor))
+                    })
+                } else {
+                    None
+                };
+                if let Some((addr, dg, processor)) = stolen {
+                    drop(inner);
+                    self.complete_event(addr, dg, true, |payload, from| processor(payload, from));
+                    continue;
+                }
+                if inner.pending_strict > 0 {
+                    // A strict (processor-registered) event is checked
+                    // out by a peer — a reactor worker or another
+                    // driver. Popping a scheduled event now would
+                    // advance (or rewind) the clock the peer's
+                    // completion is about to charge from, diverging from
+                    // the blocking-handler trace; hold the clock until
+                    // the work retires (completion notifies
+                    // `retired_cv`).
+                    let _ = self
+                        .shared
+                        .retired_cv
+                        .wait_timeout(inner, Duration::from_micros(100))
+                        .expect("network lock poisoned");
+                    continue;
+                }
                 match inner.queue.peek() {
                     Some(Reverse(s)) if s.at <= deadline => {
                         let Reverse(s) = inner.queue.pop().expect("peeked");
                         inner.now = s.at;
                         inner.in_flight += 1;
                         Some(s.ev)
+                    }
+                    _ if inner.pending_events > 0 => {
+                        // Loose (pure-poll) deliveries are checked out or
+                        // queued; the driver keeps delivering so several
+                        // workers can hold events at once, but it must
+                        // not fast-forward past work that may still
+                        // schedule replies.
+                        let _ = self
+                            .shared
+                            .retired_cv
+                            .wait_timeout(inner, Duration::from_micros(100))
+                            .expect("network lock poisoned");
+                        continue;
                     }
                     _ if inner.in_flight > 0 => {
                         // Another thread is mid-dispatch and may still
@@ -389,12 +689,31 @@ impl Network {
     fn dispatch(&self, ev: Event) {
         match ev {
             Event::UdpDeliver { to, mut dg } => {
-                // A handler, if present, consumes the datagram; otherwise a
-                // bound mailbox receives it; otherwise it is dropped
+                // An event-mode address queues the delivery as a
+                // readiness event (counted as pending so the clock cannot
+                // run past it) and wakes the reactors; a handler, if
+                // present, consumes the datagram; otherwise a bound
+                // mailbox receives it; otherwise it is dropped
                 // (ICMP-unreachable behaviour is not modeled). The handler
                 // slot is locked *outside* the simulator lock so the
                 // handler may send traffic; a second thread delivering to
                 // the same address waits here instead of losing data.
+                {
+                    let mut inner = self.lock();
+                    if let Some(q) = inner.event_queues.get_mut(&to) {
+                        let strict = q.processor.is_some();
+                        q.ready.push_back(dg);
+                        inner.pending_events += 1;
+                        if strict {
+                            inner.pending_strict += 1;
+                        }
+                        drop(inner);
+                        if self.shared.eager_wakes {
+                            self.shared.ready_cv.notify_all();
+                        }
+                        return;
+                    }
+                }
                 let slot = self.lock().udp_handlers.get(&to).cloned();
                 if let Some(slot) = slot {
                     let reply = {
@@ -454,6 +773,18 @@ impl Network {
             .get_mut(&addr)
             .and_then(VecDeque::pop_front)
     }
+
+    /// Swap the whole mailbox of `addr` with `buf` (which must be
+    /// empty): a bulk receive under **one** lock acquisition. The caller
+    /// processes the datagrams outside the lock and reuses `buf` (its
+    /// capacity becomes the next mailbox), so draining a pipelined batch
+    /// of replies costs one lock instead of one per datagram.
+    pub(crate) fn mailbox_swap(&self, addr: Addr, buf: &mut VecDeque<Datagram>) {
+        debug_assert!(buf.is_empty(), "swap buffer must be empty");
+        if let Some(mb) = self.lock().mailboxes.get_mut(&addr) {
+            std::mem::swap(mb, buf);
+        }
+    }
 }
 
 impl NetInner {
@@ -461,6 +792,32 @@ impl NetInner {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(Reverse(Scheduled { at, seq, ev }));
+    }
+
+    /// [`Network::send_udp`] body, callable while the simulator lock is
+    /// already held (the reactor completes clock charge + reply send +
+    /// pending retire under one acquisition).
+    fn send_udp_locked(&mut self, from: Addr, to: Addr, payload: Vec<u8>) {
+        self.bytes_sent += payload.len() as u64;
+        self.datagrams_sent += 1;
+        let base = self.now
+            + self.cfg.latency
+            + SimTime::from_nanos(payload.len() as u64 * self.cfg.ns_per_byte);
+        let verdict = self.faults.judge();
+        let dg = Datagram { from, payload };
+        match verdict {
+            Verdict::Drop => {}
+            Verdict::Deliver => self.schedule(base, Event::UdpDeliver { to, dg }),
+            Verdict::Duplicate => {
+                self.schedule(base, Event::UdpDeliver { to, dg: dg.clone() });
+                let jitter = SimTime::from_nanos(self.faults.delay_ns());
+                self.schedule(base + jitter, Event::UdpDeliver { to, dg });
+            }
+            Verdict::Delay => {
+                let jitter = SimTime::from_nanos(self.faults.delay_ns());
+                self.schedule(base + jitter, Event::UdpDeliver { to, dg });
+            }
+        }
     }
 }
 
@@ -497,6 +854,29 @@ impl Endpoint {
             return None;
         }
         self.net.mailbox_pop(self.addr)
+    }
+
+    /// Nonblocking receive: process whatever is already due at the
+    /// current virtual instant (including waiting out reactors still
+    /// finishing deliveries that happened *now*) without advancing the
+    /// clock, then pop the mailbox. The readiness half of the poll
+    /// surface — pair with [`Endpoint::recv_timeout`] when the caller is
+    /// the thread that drives virtual time forward.
+    pub fn try_recv(&self) -> Option<Datagram> {
+        let addr = self.addr;
+        let net = self.net.clone();
+        self.net
+            .run_until(self.net.now(), || net.mailbox_nonempty(addr));
+        self.net.mailbox_pop(self.addr)
+    }
+
+    /// Bulk receive of everything **already delivered**: swap the
+    /// mailbox out under one lock into the (empty, capacity-reusing)
+    /// `buf`, without running the simulation. Pipelined clients drain a
+    /// batch of replies this way — one lock per burst instead of one
+    /// per datagram.
+    pub fn drain_ready(&self, buf: &mut VecDeque<Datagram>) {
+        self.net.mailbox_swap(self.addr, buf);
     }
 }
 
@@ -651,6 +1031,192 @@ mod tests {
         // The simulator stays usable from other threads/addresses.
         let ep = net.bind_udp(5002);
         assert!(ep.recv_timeout(SimTime::from_millis(2)).is_none());
+    }
+
+    /// Spawn a reactor thread echoing on `addr` in event mode; returns
+    /// a shutdown closure that must be called before the test ends.
+    fn spawn_echo_reactor(net: &Network, addr: Addr, proc_time: SimTime) -> impl FnOnce() + use<> {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        net.serve_udp_events(addr);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (n, s) = (net.clone(), stop.clone());
+        let h = std::thread::spawn(move || {
+            while !s.load(Ordering::Acquire) {
+                if !n.poll_udp(addr, |req, _from| Some((req.to_vec(), proc_time))) {
+                    n.wait_ready(&[addr], Duration::from_millis(1));
+                }
+            }
+        });
+        let net = net.clone();
+        move || {
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            net.notify_ready();
+            h.join().expect("reactor thread");
+            net.unserve_udp_events(addr);
+        }
+    }
+
+    #[test]
+    fn event_mode_round_trip_matches_blocking_handler_timing() {
+        // The tentpole determinism property: the same workload served
+        // through the readiness queue + reactor thread produces the SAME
+        // bytes at the SAME virtual times as the blocking handler slot.
+        let proc_time = SimTime::from_micros(50);
+        let run_blocking = || {
+            let net = Network::new(NetworkConfig::lan(), 3);
+            net.serve_udp(
+                2000,
+                Box::new(move |req, _| Some((req.to_vec(), proc_time))),
+            );
+            let ep = net.bind_udp(5001);
+            let mut replies = Vec::new();
+            for i in 0..10u8 {
+                ep.send_to(2000, vec![i, i + 1]);
+                replies.push(ep.recv_timeout(SimTime::from_millis(10)).expect("reply"));
+            }
+            (replies, net.now())
+        };
+        let run_event = || {
+            let net = Network::new(NetworkConfig::lan(), 3);
+            let shutdown = spawn_echo_reactor(&net, 2000, proc_time);
+            let ep = net.bind_udp(5001);
+            let mut replies = Vec::new();
+            for i in 0..10u8 {
+                ep.send_to(2000, vec![i, i + 1]);
+                replies.push(ep.recv_timeout(SimTime::from_millis(10)).expect("reply"));
+            }
+            let out = (replies, net.now());
+            shutdown();
+            out
+        };
+        let (b_replies, b_now) = run_blocking();
+        let (e_replies, e_now) = run_event();
+        assert_eq!(e_replies, b_replies, "byte-identical traces");
+        assert_eq!(e_now, b_now, "time-identical traces");
+    }
+
+    #[test]
+    fn driver_steals_inline_processor_work_with_no_reactor_at_all() {
+        // An event-mode address registered WITH a processor needs no
+        // reactor thread: the driving thread steals queued deliveries
+        // when it would otherwise sleep on them, and the trace is byte-
+        // and time-identical to the blocking handler path.
+        let proc_time = SimTime::from_micros(50);
+        let run_blocking = || {
+            let net = Network::new(NetworkConfig::lan(), 3);
+            net.serve_udp(
+                2000,
+                Box::new(move |req, _| Some((req.to_vec(), proc_time))),
+            );
+            let ep = net.bind_udp(5001);
+            let mut replies = Vec::new();
+            for i in 0..10u8 {
+                ep.send_to(2000, vec![i, i + 1]);
+                replies.push(ep.recv_timeout(SimTime::from_millis(10)).expect("reply"));
+            }
+            (replies, net.now())
+        };
+        let run_steal = || {
+            let net = Network::new(NetworkConfig::lan(), 3);
+            net.serve_udp_events_with(
+                2000,
+                Arc::new(move |req: &mut Vec<u8>, _from| Some((req.to_vec(), proc_time))),
+            );
+            let ep = net.bind_udp(5001);
+            let mut replies = Vec::new();
+            for i in 0..10u8 {
+                ep.send_to(2000, vec![i, i + 1]);
+                replies.push(ep.recv_timeout(SimTime::from_millis(10)).expect("reply"));
+            }
+            net.unserve_udp_events(2000);
+            (replies, net.now())
+        };
+        assert_eq!(run_steal(), run_blocking());
+    }
+
+    #[test]
+    fn poll_udp_returns_false_when_nothing_is_ready() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp_events(2000);
+        assert!(!net.poll_udp(2000, |_, _| None));
+        assert!(!net.poll_udp(999, |_, _| None), "unregistered address");
+        assert_eq!(net.ready_udp(2000), 0);
+        net.unserve_udp_events(2000);
+    }
+
+    #[test]
+    fn same_address_deliveries_process_in_parallel() {
+        // Two deliveries to ONE address, two reactor workers, and a
+        // barrier that only opens when both are inside `process` at the
+        // same time: impossible under the per-address handler slot lock,
+        // the point of the readiness model.
+        use std::sync::Barrier;
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp_events(2000);
+        let barrier = Arc::new(Barrier::new(2));
+        let mut workers = Vec::new();
+        for _ in 0..2 {
+            let (n, b) = (net.clone(), barrier.clone());
+            workers.push(std::thread::spawn(move || {
+                loop {
+                    let processed = n.poll_udp(2000, |req, _| {
+                        b.wait(); // both workers must be in here at once
+                        Some((std::mem::take(req), SimTime::ZERO))
+                    });
+                    if processed {
+                        return;
+                    }
+                    n.wait_ready(&[2000], Duration::from_millis(1));
+                }
+            }));
+        }
+        let ep = net.bind_udp(5001);
+        ep.send_to(2000, vec![1]);
+        ep.send_to(2000, vec![2]);
+        let a = ep.recv_timeout(SimTime::from_millis(50)).expect("reply 1");
+        let b = ep.recv_timeout(SimTime::from_millis(50)).expect("reply 2");
+        let mut got = [a.payload[0], b.payload[0]];
+        got.sort_unstable();
+        assert_eq!(got, [1, 2]);
+        for w in workers {
+            w.join().expect("worker");
+        }
+        net.unserve_udp_events(2000);
+    }
+
+    #[test]
+    fn unserve_releases_pending_events_for_fast_forward() {
+        // A queued-but-never-drained event pins the clock (pending); once
+        // the address is unregistered the driver can fast-forward again.
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp_events(2000);
+        let ep = net.bind_udp(5001);
+        ep.send_to(2000, vec![7]);
+        // Run just far enough to deliver the datagram into the queue.
+        net.run_until(SimTime::from_millis(1), || net.ready_udp(2000) > 0);
+        assert_eq!(net.ready_udp(2000), 1);
+        net.unserve_udp_events(2000);
+        assert_eq!(net.ready_udp(2000), 0);
+        let before = net.now();
+        assert!(ep.recv_timeout(SimTime::from_millis(2)).is_none());
+        assert_eq!(net.now(), before + SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking_in_virtual_time() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        let a = net.bind_udp(5001);
+        let b = net.bind_udp(5002);
+        assert!(b.try_recv().is_none(), "nothing sent yet");
+        a.send_to(5002, vec![9]);
+        assert!(
+            b.try_recv().is_none(),
+            "delivery is still in flight; try_recv must not advance time"
+        );
+        let before = net.now();
+        assert!(b.recv_timeout(SimTime::from_millis(5)).is_some());
+        assert!(net.now() > before);
+        assert!(b.try_recv().is_none());
     }
 
     #[test]

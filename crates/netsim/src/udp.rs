@@ -3,6 +3,7 @@
 
 use crate::net::{Addr, Datagram, Endpoint, Network};
 use crate::time::SimTime;
+use std::collections::VecDeque;
 
 /// A UDP socket bound to a local address and "connected" to a peer:
 /// `send` goes to the peer, `recv` filters datagrams from the peer
@@ -53,6 +54,32 @@ impl SimUdpSocket {
                 return None;
             }
             remaining = deadline - now;
+        }
+    }
+
+    /// Nonblocking receive: pop an already-delivered datagram from the
+    /// peer without advancing virtual time (stranger traffic is
+    /// discarded, like a connected socket). The readiness half of the
+    /// transport poll surface.
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        loop {
+            let dg = self.ep.try_recv()?;
+            if dg.from == self.peer {
+                return Some(dg.payload);
+            }
+        }
+    }
+
+    /// Bulk receive: hand every already-delivered datagram from the peer
+    /// to `f` in arrival order, under a single mailbox lock acquisition
+    /// (stranger traffic is discarded). `buf` is the caller's reusable
+    /// swap buffer — it must be passed in empty and comes back empty.
+    pub fn drain_ready(&self, buf: &mut VecDeque<Datagram>, mut f: impl FnMut(Vec<u8>)) {
+        self.ep.drain_ready(buf);
+        for dg in buf.drain(..) {
+            if dg.from == self.peer {
+                f(dg.payload);
+            }
         }
     }
 

@@ -26,8 +26,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Maximum buffers parked in a pool (beyond this, returned buffers are
-/// simply dropped — the pool bounds memory, not correctness).
+/// Default maximum buffers parked in a pool (beyond this, returned
+/// buffers are simply dropped — the pool bounds memory, not
+/// correctness). Per-pool caps are configurable via
+/// [`BufPool::with_max_slots`].
 pub const POOL_MAX_SLOTS: usize = 64;
 
 /// Observability counters for a [`BufPool`].
@@ -40,21 +42,54 @@ pub struct PoolStats {
     pub misses: u64,
     /// Buffers returned to the pool so far.
     pub recycled: u64,
+    /// Buffers dropped on return because the pool was already full. A
+    /// steadily climbing count means the cap is too small for the
+    /// deployment (e.g. batch sizes larger than the pool) — every drop
+    /// is a future `take` miss, i.e. an avoidable allocation.
+    pub overflow_drops: u64,
 }
 
 /// A bounded, thread-safe free list of wire buffers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BufPool {
     slots: Mutex<Vec<Vec<u8>>>,
+    max_slots: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     recycled: AtomicU64,
+    overflow_drops: AtomicU64,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        BufPool::with_max_slots(POOL_MAX_SLOTS)
+    }
 }
 
 impl BufPool {
-    /// An empty pool.
+    /// An empty pool with the default [`POOL_MAX_SLOTS`] cap.
     pub fn new() -> Self {
         BufPool::default()
+    }
+
+    /// An empty pool parking at most `max_slots` buffers. Returns beyond
+    /// the cap are dropped and counted in [`PoolStats::overflow_drops`];
+    /// size the cap to the deployment's in-flight buffer count (e.g. at
+    /// least `2 × batch size` for pipelined batched calls).
+    pub fn with_max_slots(max_slots: usize) -> Self {
+        BufPool {
+            slots: Mutex::new(Vec::new()),
+            max_slots,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
+            overflow_drops: AtomicU64::new(0),
+        }
+    }
+
+    /// The maximum number of buffers this pool parks.
+    pub fn max_slots(&self) -> usize {
+        self.max_slots
     }
 
     /// Take a cleared buffer with at least `min_capacity` bytes of
@@ -90,16 +125,19 @@ impl BufPool {
         }
     }
 
-    /// Return a buffer to the pool for reuse. Zero-capacity buffers and
-    /// returns beyond [`POOL_MAX_SLOTS`] are dropped.
+    /// Return a buffer to the pool for reuse. Zero-capacity buffers are
+    /// silently dropped; returns beyond the pool's cap are dropped and
+    /// counted in [`PoolStats::overflow_drops`].
     pub fn put(&self, buf: Vec<u8>) {
         if buf.capacity() == 0 {
             return;
         }
         let mut slots = self.slots.lock().expect("buffer pool lock");
-        if slots.len() < POOL_MAX_SLOTS {
+        if slots.len() < self.max_slots {
             slots.push(buf);
             self.recycled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.overflow_drops.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -109,6 +147,7 @@ impl BufPool {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             recycled: self.recycled.load(Ordering::Relaxed),
+            overflow_drops: self.overflow_drops.load(Ordering::Relaxed),
         }
     }
 
@@ -190,6 +229,22 @@ mod tests {
         }
         assert_eq!(pool.parked(), POOL_MAX_SLOTS);
         assert_eq!(pool.stats().recycled, POOL_MAX_SLOTS as u64);
+        assert_eq!(pool.stats().overflow_drops, 10, "drops beyond cap counted");
+    }
+
+    #[test]
+    fn custom_cap_is_respected_and_overflow_is_visible() {
+        let pool = BufPool::with_max_slots(2);
+        assert_eq!(pool.max_slots(), 2);
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.parked(), 2);
+        let s = pool.stats();
+        assert_eq!((s.recycled, s.overflow_drops), (2, 3));
+        // Zero-capacity returns are not pool pressure.
+        pool.put(Vec::new());
+        assert_eq!(pool.stats().overflow_drops, 3);
     }
 
     #[test]

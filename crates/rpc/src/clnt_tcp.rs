@@ -153,6 +153,54 @@ impl Transport for ClntTcp {
         }
     }
 
+    /// Pipelined batch over the stream: every call record is written
+    /// before any reply record is read, so the per-record round-trip
+    /// latency overlaps across the batch (the server answers records in
+    /// arrival order on one connection; matching is still by xid).
+    fn call_batch(&mut self, requests: &[&[u8]], xids: &[u32]) -> Result<Vec<Vec<u8>>, RpcError> {
+        assert_eq!(requests.len(), xids.len(), "one xid per request");
+        for (r, &xid) in requests.iter().zip(xids) {
+            debug_assert!(r.len() >= 4);
+            debug_assert_eq!(
+                u32::from_be_bytes([r[0], r[1], r[2], r[3]]),
+                xid,
+                "each request must start with its xid"
+            );
+            rec::write_record(&mut self.conn, r).map_err(|e| RpcError::Transport(e.to_string()))?;
+        }
+        let mut replies: Vec<Option<Vec<u8>>> = (0..requests.len()).map(|_| None).collect();
+        let mut outstanding = requests.len();
+        let hint = requests.iter().map(|r| r.len()).max().unwrap_or(0);
+        while outstanding > 0 {
+            let mut reply = self.pool.take(hint.max(self.reply_hint));
+            let cap0 = reply.capacity();
+            rec::read_record_into(&mut self.conn, &mut reply)
+                .map_err(|e| RpcError::Transport(e.to_string()))?;
+            self.reply_hint = self.reply_hint.max(reply.len());
+            if reply.capacity() > cap0 {
+                self.pool.note_alloc();
+            }
+            let slot = if reply.len() >= 4 {
+                let rx = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]);
+                xids.iter().position(|&x| x == rx)
+            } else {
+                None
+            };
+            match slot {
+                Some(i) if replies[i].is_none() => {
+                    replies[i] = Some(reply);
+                    outstanding -= 1;
+                }
+                _ => self.pool.put(reply), // stale record: reuse the buffer
+            }
+        }
+        Ok(replies.into_iter().map(|r| r.expect("filled")).collect())
+    }
+
+    fn batch_mode(&self) -> crate::transport::BatchMode {
+        crate::transport::BatchMode::Pipelined
+    }
+
     fn recycle(&mut self, reply: Vec<u8>) {
         self.pool.put(reply);
     }
@@ -302,6 +350,49 @@ mod tests {
         let mut out: Vec<i32> = Vec::new();
         xdr_array(&mut dec, &mut out, 100, xdr_int).unwrap();
         assert_eq!(out, vec![7, 6, 5]);
+    }
+
+    #[test]
+    fn pipelined_batch_over_one_connection() {
+        // All records written before any reply is read; replies return in
+        // submission order and match a sequential run byte for byte.
+        use specrpc_xdr::mem::XdrMem;
+        let build = |clnt: &mut ClntTcp, count: usize| {
+            let mut requests = Vec::new();
+            let mut xids = Vec::new();
+            for i in 0..count as i32 {
+                let xid = Transport::next_xid(clnt);
+                let mut enc = XdrMem::encoder(256);
+                let mut msg = crate::msg::CallHeader::new(xid, PROG, 1, 1);
+                crate::msg::CallHeader::xdr(&mut enc, &mut msg).unwrap();
+                let mut v = vec![i, i + 1, i + 2];
+                xdr_array(&mut enc, &mut v, 100, xdr_int).unwrap();
+                requests.push(enc.into_bytes());
+                xids.push(xid);
+            }
+            (requests, xids)
+        };
+        let net = Network::new(NetworkConfig::lan(), 11);
+        serve_tcp(&net, 2049, service(), None);
+        let mut batch_clnt = ClntTcp::create(&net, 2049, PROG, 1).unwrap();
+        let (requests, xids) = build(&mut batch_clnt, 6);
+        let refs: Vec<&[u8]> = requests.iter().map(Vec::as_slice).collect();
+        let batched = batch_clnt.call_batch(&refs, &xids).unwrap();
+        assert_eq!(
+            batch_clnt.batch_mode(),
+            crate::transport::BatchMode::Pipelined
+        );
+
+        let net2 = Network::new(NetworkConfig::lan(), 11);
+        serve_tcp(&net2, 2049, service(), None);
+        let mut seq_clnt = ClntTcp::create(&net2, 2049, PROG, 1).unwrap();
+        let (requests2, xids2) = build(&mut seq_clnt, 6);
+        let sequential: Vec<Vec<u8>> = requests2
+            .iter()
+            .zip(&xids2)
+            .map(|(r, &x)| Transport::call(&mut seq_clnt, r, x).unwrap())
+            .collect();
+        assert_eq!(batched, sequential, "pipelining must not change bytes");
     }
 
     #[test]

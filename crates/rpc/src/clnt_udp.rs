@@ -37,6 +37,9 @@ pub struct ClntUdp {
     /// buffer, and consumed replies are recycled back. Shareable across
     /// clients and with the serving side.
     pool: Arc<BufPool>,
+    /// Reusable swap buffer for bulk reply draining in
+    /// [`ClntUdp::exchange_batch`].
+    drain_buf: std::collections::VecDeque<specrpc_netsim::net::Datagram>,
 }
 
 impl ClntUdp {
@@ -65,6 +68,7 @@ impl ClntUdp {
             counts: OpCounts::new(),
             retransmits: 0,
             pool,
+            drain_buf: std::collections::VecDeque::new(),
         }
     }
 
@@ -140,6 +144,107 @@ impl ClntUdp {
         }
     }
 
+    /// Pipelined batch of [`ClntUdp::exchange`]s: transmit **every**
+    /// request before awaiting any reply, match replies to requests by
+    /// xid as they arrive (in any order), and return them in submission
+    /// order. On a per-try timeout every still-outstanding request is
+    /// retransmitted (each counted in `retransmits`); the total timeout
+    /// bounds the whole batch.
+    ///
+    /// The N-1 overlapped round trips are where batching wins: wire
+    /// latency and server dispatch for calls `1..N` overlap call `0`'s
+    /// wait, so the fixed per-call overhead amortizes across the batch.
+    /// Like [`ClntUdp::exchange`], every transmission copies the
+    /// caller's request image into a pooled datagram and consumed stale
+    /// replies recycle straight back, so a warm batch allocates nothing.
+    ///
+    /// # Panics
+    /// Panics if `requests` and `xids` have different lengths.
+    pub fn exchange_batch(
+        &mut self,
+        requests: &[&[u8]],
+        xids: &[u32],
+    ) -> Result<Vec<Vec<u8>>, RpcError> {
+        assert_eq!(requests.len(), xids.len(), "one xid per request");
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        for (r, &xid) in requests.iter().zip(xids) {
+            debug_assert!(r.len() >= 4);
+            debug_assert_eq!(
+                u32::from_be_bytes([r[0], r[1], r[2], r[3]]),
+                xid,
+                "each request must start with its xid"
+            );
+        }
+        let start = self.sock.now();
+        let mut replies: Vec<Option<Vec<u8>>> = (0..requests.len()).map(|_| None).collect();
+        let mut outstanding = requests.len();
+        let mut first_try = true;
+        loop {
+            // (Re)transmit every request still awaiting its reply.
+            for (i, r) in requests.iter().enumerate() {
+                if replies[i].is_none() {
+                    let mut dg = self.pool.take(r.len());
+                    dg.extend_from_slice(r);
+                    self.sock.send(dg);
+                    if !first_try {
+                        self.retransmits += 1;
+                    }
+                }
+            }
+            first_try = false;
+            let try_deadline = self.sock.now() + self.retry_timeout;
+            while outstanding > 0 {
+                let now = self.sock.now();
+                if now >= try_deadline {
+                    break;
+                }
+                let Some(reply) = self.sock.recv(try_deadline - now) else {
+                    break; // per-try timeout: retransmit the stragglers
+                };
+                let pool = &self.pool;
+                let mut accept = |reply: Vec<u8>| {
+                    let slot = if reply.len() >= 4 {
+                        let rx = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]);
+                        xids.iter().position(|&x| x == rx)
+                    } else {
+                        None
+                    };
+                    match slot {
+                        Some(i) if replies[i].is_none() => {
+                            replies[i] = Some(reply);
+                            outstanding -= 1;
+                        }
+                        // Stale: a duplicate of a completed call or an
+                        // alien xid — its buffer feeds the pool.
+                        _ => pool.put(reply),
+                    }
+                };
+                accept(reply);
+                // Bulk-drain whatever else the pipeline has already
+                // delivered: one mailbox lock for the burst instead of a
+                // full receive round per reply.
+                let mut buf = std::mem::take(&mut self.drain_buf);
+                self.sock.drain_ready(&mut buf, &mut accept);
+                self.drain_buf = buf;
+            }
+            if outstanding == 0 {
+                return Ok(replies.into_iter().map(|r| r.expect("filled")).collect());
+            }
+            if self.sock.now() - start >= self.total_timeout {
+                // The batch failed, but the replies that did arrive are
+                // pooled buffers — feed them back instead of dropping
+                // them (a dropped buffer resurfaces as an allocating
+                // miss on the next batch).
+                for reply in replies.into_iter().flatten() {
+                    self.pool.put(reply);
+                }
+                return Err(RpcError::TimedOut);
+            }
+        }
+    }
+
     /// `clnt_call`: the generic path. Marshals the call header and the
     /// arguments through the layered XDR routines, performs the exchange,
     /// validates the reply header, and unmarshals results.
@@ -186,6 +291,39 @@ impl Transport for ClntUdp {
 
     fn call(&mut self, request: &[u8], xid: u32) -> Result<Vec<u8>, RpcError> {
         self.exchange(request, xid)
+    }
+
+    fn call_batch(&mut self, requests: &[&[u8]], xids: &[u32]) -> Result<Vec<Vec<u8>>, RpcError> {
+        self.exchange_batch(requests, xids)
+    }
+
+    fn batch_mode(&self) -> crate::transport::BatchMode {
+        crate::transport::BatchMode::Pipelined
+    }
+
+    fn try_exchange(&mut self, request: &[u8], xid: u32) -> Result<Option<Vec<u8>>, RpcError> {
+        debug_assert!(request.len() >= 4);
+        debug_assert_eq!(
+            u32::from_be_bytes([request[0], request[1], request[2], request[3]]),
+            xid,
+            "request must start with its xid"
+        );
+        let mut dg = self.pool.take(request.len());
+        dg.extend_from_slice(request);
+        self.sock.send(dg);
+        self.poll_reply(xid)
+    }
+
+    fn poll_reply(&mut self, xid: u32) -> Result<Option<Vec<u8>>, RpcError> {
+        while let Some(reply) = self.sock.try_recv() {
+            if reply.len() >= 4
+                && u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]) == xid
+            {
+                return Ok(Some(reply));
+            }
+            self.pool.put(reply);
+        }
+        Ok(None)
     }
 
     fn recycle(&mut self, reply: Vec<u8>) {
@@ -338,6 +476,108 @@ mod tests {
             .unwrap();
             assert_eq!(out, 2 * i);
         }
+    }
+
+    #[test]
+    fn batch_replies_come_back_in_submission_order() {
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let mut clnt = start(&net, false);
+        let mut requests = Vec::new();
+        let mut xids = Vec::new();
+        for i in 0..5i32 {
+            let xid = clnt.next_xid();
+            let mut enc = XdrMem::encoder(256);
+            let mut msg = CallHeader::new(xid, PROG, 1, 1);
+            CallHeader::xdr(&mut enc, &mut msg).unwrap();
+            let mut v = vec![i; 3];
+            xdr_array(&mut enc, &mut v, 100, xdr_int).unwrap();
+            requests.push(enc.into_bytes());
+            xids.push(xid);
+        }
+        let refs: Vec<&[u8]> = requests.iter().map(Vec::as_slice).collect();
+        let replies = clnt.exchange_batch(&refs, &xids).unwrap();
+        assert_eq!(replies.len(), 5);
+        for (i, reply) in replies.iter().enumerate() {
+            let mut dec = XdrMem::decoder(reply);
+            let hdr = ReplyHeader::decode(&mut dec).unwrap();
+            assert_eq!(hdr.xid, xids[i], "submission order preserved");
+            let mut sum = 0i32;
+            xdr_int(&mut dec, &mut sum).unwrap();
+            assert_eq!(sum, i as i32 * 3);
+        }
+        assert_eq!(clnt.retransmits, 0);
+    }
+
+    #[test]
+    fn batch_retransmits_only_the_outstanding_requests() {
+        let net = Network::new(
+            NetworkConfig::lan().with_faults(FaultConfig {
+                loss: 0.4,
+                duplicate: 0.0,
+                reorder: 0.2,
+            }),
+            99,
+        );
+        let mut clnt = start(&net, true);
+        clnt.retry_timeout = SimTime::from_millis(20);
+        clnt.total_timeout = SimTime::from_millis(10_000);
+        let mut requests = Vec::new();
+        let mut xids = Vec::new();
+        for i in 0..8i32 {
+            let xid = clnt.next_xid();
+            let mut enc = XdrMem::encoder(256);
+            let mut msg = CallHeader::new(xid, PROG, 1, 1);
+            CallHeader::xdr(&mut enc, &mut msg).unwrap();
+            let mut v = vec![i, i];
+            xdr_array(&mut enc, &mut v, 100, xdr_int).unwrap();
+            requests.push(enc.into_bytes());
+            xids.push(xid);
+        }
+        let refs: Vec<&[u8]> = requests.iter().map(Vec::as_slice).collect();
+        let replies = clnt.exchange_batch(&refs, &xids).unwrap();
+        for (i, reply) in replies.iter().enumerate() {
+            let mut dec = XdrMem::decoder(reply);
+            let hdr = ReplyHeader::decode(&mut dec).unwrap();
+            assert_eq!(hdr.xid, xids[i]);
+        }
+        assert!(clnt.retransmits > 0, "loss must have forced retries");
+        assert!(
+            clnt.retransmits < 8 * 10,
+            "only stragglers retransmit, not the whole batch forever"
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let mut clnt = start(&net, false);
+        assert_eq!(
+            clnt.exchange_batch(&[], &[]).unwrap(),
+            Vec::<Vec<u8>>::new()
+        );
+    }
+
+    #[test]
+    fn try_exchange_completes_after_the_network_runs() {
+        use crate::transport::Transport;
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let mut clnt = start(&net, false);
+        let xid = Transport::next_xid(&mut clnt);
+        let mut enc = XdrMem::encoder(256);
+        let mut msg = CallHeader::new(xid, PROG, 1, 1);
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let mut v = vec![2i32, 3];
+        xdr_array(&mut enc, &mut v, 100, xdr_int).unwrap();
+        let request = enc.into_bytes();
+        // The reply cannot be ready at the send instant…
+        assert!(clnt.try_exchange(&request, xid).unwrap().is_none());
+        assert!(clnt.poll_reply(xid).unwrap().is_none());
+        // …but once virtual time runs past the round trip it is.
+        net.advance(SimTime::from_millis(5));
+        let reply = clnt.poll_reply(xid).unwrap().expect("ready now");
+        let mut dec = XdrMem::decoder(&reply);
+        let hdr = ReplyHeader::decode(&mut dec).unwrap();
+        assert_eq!(hdr.xid, xid);
     }
 
     #[test]

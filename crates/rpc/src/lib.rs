@@ -20,6 +20,7 @@ pub mod error;
 pub mod msg;
 pub mod pmap;
 pub mod svc;
+pub mod svc_event;
 pub mod svc_tcp;
 pub mod svc_threaded;
 pub mod svc_udp;
@@ -33,5 +34,6 @@ pub use clnt_udp::ClntUdp;
 pub use error::RpcError;
 pub use msg::{AcceptStat, CallHeader, MsgType, RejectStat, ReplyHeader, ReplyStat, RPC_VERS};
 pub use svc::SvcRegistry;
+pub use svc_event::EventLoop;
 pub use svc_threaded::DispatchPool;
-pub use transport::Transport;
+pub use transport::{BatchMode, Transport};

@@ -65,6 +65,18 @@ impl SvcRegistry {
         SvcRegistry::default()
     }
 
+    /// An empty registry sharing (or sizing) its wire-buffer pool — e.g.
+    /// `BufPool::with_max_slots(2 * batch + 16)` for a deployment that
+    /// keeps `batch` pipelined calls in flight (the default
+    /// [`crate::bufpool::POOL_MAX_SLOTS`]-slot cap overflows under large
+    /// batches, visible as `PoolStats::overflow_drops`).
+    pub fn with_pool(pool: Arc<BufPool>) -> Self {
+        SvcRegistry {
+            pool,
+            ..SvcRegistry::default()
+        }
+    }
+
     /// `svc_register`: install a generic handler.
     pub fn register(
         &self,

@@ -10,6 +10,15 @@
 
 use crate::error::RpcError;
 
+/// How [`Transport::call_batch`] ran a batch, for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMode {
+    /// All requests were transmitted before any reply was awaited.
+    Pipelined,
+    /// The transport fell back to one blocking exchange per request.
+    Sequential,
+}
+
 /// A client-side RPC transport: raw pre-marshaled exchanges plus the
 /// identity of the remote program.
 ///
@@ -37,6 +46,56 @@ pub trait Transport {
     /// Perform one raw exchange: send `request`, return the reply whose
     /// xid matches.
     fn call(&mut self, request: &[u8], xid: u32) -> Result<Vec<u8>, RpcError>;
+
+    /// Perform `requests.len()` exchanges as one batch, returning the
+    /// reply for `requests[i]`/`xids[i]` at position `i` (submission
+    /// order), regardless of the order replies arrived in.
+    ///
+    /// Pipelining transports ([`crate::ClntUdp`], [`crate::ClntTcp`])
+    /// transmit every request before awaiting any reply, so the fixed
+    /// per-call round-trip overhead — wire latency, server dispatch,
+    /// cross-thread hand-off — is paid once per *batch* instead of once
+    /// per call, the same way specialized stubs amortize marshaling
+    /// overhead. The default implementation degrades to sequential
+    /// blocking [`Transport::call`]s, which every transport supports.
+    ///
+    /// # Panics
+    /// Panics if `requests` and `xids` have different lengths.
+    fn call_batch(&mut self, requests: &[&[u8]], xids: &[u32]) -> Result<Vec<Vec<u8>>, RpcError> {
+        assert_eq!(requests.len(), xids.len(), "one xid per request");
+        requests
+            .iter()
+            .zip(xids)
+            .map(|(r, &xid)| self.call(r, xid))
+            .collect()
+    }
+
+    /// How this transport runs [`Transport::call_batch`].
+    fn batch_mode(&self) -> BatchMode {
+        BatchMode::Sequential
+    }
+
+    /// Nonblocking half-exchange: transmit `request` and poll once for
+    /// its reply without advancing virtual time. `Ok(None)` means the
+    /// reply is not ready yet — keep polling with
+    /// [`Transport::poll_reply`] while something else drives the network
+    /// forward. Blocking transports default to completing the exchange
+    /// inline (never returning `Ok(None)`).
+    ///
+    /// At most one exchange may be outstanding through this surface at a
+    /// time; replies to other transactions are discarded as stale. Use
+    /// [`Transport::call_batch`] for multiple in-flight calls.
+    fn try_exchange(&mut self, request: &[u8], xid: u32) -> Result<Option<Vec<u8>>, RpcError> {
+        self.call(request, xid).map(Some)
+    }
+
+    /// Nonblocking readiness poll for the reply to an earlier
+    /// [`Transport::try_exchange`]. The default (for transports whose
+    /// `try_exchange` completes inline) always reports not-ready.
+    fn poll_reply(&mut self, xid: u32) -> Result<Option<Vec<u8>>, RpcError> {
+        let _ = xid;
+        Ok(None)
+    }
 
     /// Hand a consumed reply buffer back for reuse (no-op by default;
     /// pooled transports park it for the next transmission).

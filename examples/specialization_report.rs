@@ -12,7 +12,11 @@
 //! 5. the decode-side residual with its dynamic guards,
 //! 6. an unroll-bound sweep (powers of two 8..4096) with the knee of the
 //!    modeled time curve auto-detected per platform — the measurement the
-//!    paper's Table 4 samples at only {25, 250, full}.
+//!    paper's Table 4 samples at only {25, 250, full},
+//! 7. the tuner feedback loop: `ProcPipeline::with_icache_budget` fed
+//!    each platform's instruction-cache capacity picks the unroll bound
+//!    by itself (compiling trial stubs and measuring real residual code
+//!    sizes) — the sweep's conclusion turned into an automatic knob.
 //!
 //! ```text
 //! cargo run --example specialization_report
@@ -166,5 +170,36 @@ fn main() {
             println!("    n={n:<5} {}", points.join("  "));
             println!("    n={n:<5} knee = {knee_label} (within 2% of best)\n");
         }
+    }
+
+    // ---- 7. Feed the knee back: the pipeline picks its own bound ----
+    println!("-- unroll auto-tuner: ProcPipeline::with_icache_budget picks the bound --");
+    println!(
+        "   (budget = each platform's icache capacity; the pipeline compiles\n\
+         \u{20}   trial encode stubs and keeps the largest bound whose residual\n\
+         \u{20}   still fits — an explicit .with_chunk() always overrides it)\n"
+    );
+    for platform in Platform::all() {
+        let budget = platform.costs().icache_capacity_bytes;
+        println!("  [{}] budget = {budget} B", platform.costs().name);
+        for n in [500usize, 1000, 2000] {
+            let pipeline = specrpc::echo::echo_pipeline(n, None).with_icache_budget(budget);
+            let picked = pipeline
+                .auto_chunk_from_idl(specrpc::echo::ECHO_IDL, None, specrpc::echo::ECHO_PROC)
+                .expect("auto chunk");
+            let cp = pipeline
+                .build_from_idl(specrpc::echo::ECHO_IDL, None, specrpc::echo::ECHO_PROC)
+                .expect("pipeline");
+            assert_eq!(cp.unroll_bound, picked, "report matches the compile");
+            let label = match picked {
+                None => "full unrolling (fits the budget)".to_string(),
+                Some(c) => format!("bound {c}"),
+            };
+            println!(
+                "    n={n:<5} picked {label:<34} residual encode = {} B",
+                cp.client_encode.program.code_size_bytes()
+            );
+        }
+        println!();
     }
 }

@@ -95,7 +95,35 @@ fn call_data(i: usize) -> Vec<i32> {
 fn run_udp(cfg: FaultConfig, seed: u64) -> RunResult {
     let net = Network::new(NetworkConfig::lan().with_faults(cfg), seed);
     let runs = deploy(&net, 700, 701);
-    let mut clnt = ClntUdp::create(&net, 5000, 700, ECHO_PROG, ECHO_VERS);
+    drive_udp(&net, runs)
+}
+
+/// Like [`run_udp`] but serving through the event-driven reactor
+/// (`serve_event`, one worker) instead of the blocking handler slot.
+fn run_udp_event(cfg: FaultConfig, seed: u64) -> RunResult {
+    let net = Network::new(NetworkConfig::lan().with_faults(cfg), seed);
+    let runs = Arc::new(AtomicU64::new(0));
+    let r = runs.clone();
+    let proc_ = Arc::new(
+        ProcPipeline::new(N)
+            .build_from_idl(ECHO_IDL, None, 1)
+            .expect("pipeline"),
+    );
+    let service = SpecService::new()
+        .proc(proc_, move |args: &StubArgs| {
+            r.fetch_add(1, Ordering::Relaxed);
+            StubArgs::new(vec![], vec![args.arrays[0].clone()])
+        })
+        .serve_event(&net, 700, 1);
+    let result = drive_udp(&net, runs);
+    drop(service);
+    result
+}
+
+/// The shared client driver: CALLS sequential exchanges against the UDP
+/// service at port 700.
+fn drive_udp(net: &Network, runs: Arc<AtomicU64>) -> RunResult {
+    let mut clnt = ClntUdp::create(net, 5000, 700, ECHO_PROG, ECHO_VERS);
     clnt.retry_timeout = SimTime::from_millis(20);
     clnt.total_timeout = SimTime::from_millis(60_000);
     let mut replies = Vec::new();
@@ -188,6 +216,53 @@ fn udp_duplicated_datagrams_execute_handlers_exactly_once() {
             "seed {seed}: duplicates must replay, not re-dispatch"
         );
         let clean = run_udp(FaultConfig::NONE, seed);
+        assert_eq!(r.replies, clean.replies, "seed {seed}");
+    }
+}
+
+#[test]
+fn udp_event_reactor_fault_matrix_matches_the_blocking_path() {
+    // The whole matrix again through `serve_event`: every conformance
+    // property of the blocking path must survive the reactor — and the
+    // traces must be IDENTICAL between the two serving modes (bytes,
+    // handler runs, retransmits, and the virtual clock), because with a
+    // single driver the event core is just a re-staging of the same
+    // dispatch at the same virtual instants.
+    for (name, cfg) in configs() {
+        for seed in SEEDS {
+            let blocking = run_udp(cfg, seed);
+            let event = run_udp_event(cfg, seed);
+            assert_eq!(
+                event.replies, blocking.replies,
+                "{name}/{seed}: reply bytes must match the blocking path"
+            );
+            assert_eq!(
+                event.end_time, blocking.end_time,
+                "{name}/{seed}: virtual time must match the blocking path"
+            );
+            assert_eq!(event.retransmits, blocking.retransmits, "{name}/{seed}");
+            assert_eq!(
+                event.handler_runs, CALLS as u64,
+                "{name}/{seed}: handler must run exactly once per transaction"
+            );
+        }
+    }
+}
+
+#[test]
+fn udp_event_reactor_duplicates_execute_handlers_exactly_once() {
+    let every_dup = FaultConfig {
+        loss: 0.0,
+        duplicate: 1.0,
+        reorder: 0.0,
+    };
+    for seed in SEEDS {
+        let r = run_udp_event(every_dup, seed);
+        assert_eq!(
+            r.handler_runs, CALLS as u64,
+            "seed {seed}: duplicates must replay, not re-dispatch"
+        );
+        let clean = run_udp_event(FaultConfig::NONE, seed);
         assert_eq!(r.replies, clean.replies, "seed {seed}");
     }
 }

@@ -76,11 +76,81 @@ fn pooled_specialized_round_trip_allocates_zero_after_warmup() {
         client.calls - calls_before
     );
 
-    // The Summary line reports the profile the counter just proved.
+    // The Summary line reports the profile the counter just proved,
+    // including the shared pool's counters (overflow drops visible).
+    let pool_stats = client.transport_mut().pool().stats();
     let text = Summary::default()
-        .with_wire(client.counts, client.calls)
+        .with_wire(client.counts, client.calls, Some(pool_stats))
         .render();
     assert!(text.contains("wire path"), "{text}");
+    assert!(text.contains("buffer pool"), "{text}");
+    assert!(text.contains("overflow drop(s)"), "{text}");
+}
+
+#[test]
+fn event_reactor_keeps_the_wire_path_allocation_free() {
+    // The same steady-state bar under `serve_event`: the reactor (and
+    // the driver's work stealing) dispatch through the same pooled path,
+    // so once warm a specialized round trip still performs zero
+    // wire-path heap allocations — batched or one at a time.
+    use specrpc_rpc::svc_event::serve_udp_event_with_cache;
+    let n = 200;
+    let proc_ = Arc::new(
+        ProcPipeline::new(n)
+            .build_from_idl(ECHO_IDL, None, ECHO_PROC)
+            .unwrap(),
+    );
+    let net = Network::new(NetworkConfig::lan(), 23);
+    let reg = SpecService::new()
+        .proc(proc_.clone(), |args: &StubArgs| {
+            StubArgs::new(vec![], vec![args.arrays[0].clone()])
+        })
+        .into_registry();
+    let reactor = serve_udp_event_with_cache(&net, 912, reg.clone(), 1, None, 4);
+    let clnt = ClntUdp::create_pooled(&net, 5602, 912, ECHO_PROG, ECHO_VERS, reg.pool().clone());
+    let mut client = SpecClient::from_parts(clnt, proc_);
+
+    let data = workload(n);
+    let args = client.args(vec![], vec![data.clone()]);
+    let mut out = StubArgs::default();
+    // Warm-up: pool, request buffer, result slots, dup cache.
+    for _ in 0..10 {
+        let path = client.call_into(&args, &mut out).unwrap();
+        assert_eq!(path, PathUsed::Fast);
+        assert_eq!(out.arrays[0], data);
+    }
+    let allocs_before = client.counts.heap_allocs;
+    for round in 0..25 {
+        let path = client.call_into(&args, &mut out).unwrap();
+        assert_eq!(path, PathUsed::Fast, "round {round}");
+        assert_eq!(out.arrays[0], data, "round {round}");
+    }
+    assert_eq!(
+        client.counts.heap_allocs - allocs_before,
+        0,
+        "the reactor must preserve the allocation-free steady state"
+    );
+
+    // Batched steady state too: warm batch slots, then pin zero allocs.
+    let batch: Vec<StubArgs> = (0..4)
+        .map(|_| client.args(vec![], vec![data.clone()]))
+        .collect();
+    let mut outs: Vec<StubArgs> = (0..4).map(|_| StubArgs::default()).collect();
+    for _ in 0..6 {
+        client.call_batch_into(&batch, &mut outs).unwrap();
+    }
+    let allocs_before = client.counts.heap_allocs;
+    for _ in 0..10 {
+        let paths = client.call_batch_into(&batch, &mut outs).unwrap();
+        assert!(paths.iter().all(|p| *p == PathUsed::Fast));
+        assert!(outs.iter().all(|o| o.arrays[0] == data));
+    }
+    assert_eq!(
+        client.counts.heap_allocs - allocs_before,
+        0,
+        "a warm pipelined batch must allocate nothing on the wire path"
+    );
+    assert!(reactor.total_events() >= 35);
 }
 
 #[test]

@@ -74,6 +74,23 @@ impl Bencher {
         }
     }
 
+    /// Upstream-compatible `iter_custom`: the closure runs `iters`
+    /// iterations and returns the measured duration for them — the
+    /// caller owns the clock. This is how benches measure a time domain
+    /// other than host wall-clock (e.g. the deterministic virtual time
+    /// of a simulated network).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // One warm-up call; custom clocks need no wall calibration — a
+        // single iteration per sample keeps samples exact for
+        // deterministic time domains.
+        std::hint::black_box(f(1));
+        self.iters_per_sample = 1;
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            self.samples.push(f(1));
+        }
+    }
+
     fn per_iter_nanos(&self) -> Vec<f64> {
         self.samples
             .iter()
