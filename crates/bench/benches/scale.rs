@@ -1,0 +1,51 @@
+//! The open-loop scale scenario as a bench: p99 **virtual-time**
+//! latency of the zipf-skewed client population through the sharded
+//! serving core, at shard widths 1/2/8 over the same socket set.
+//!
+//! Like `batched/*`, the recorded quantity is virtual time — wire
+//! latency + serialization + modeled server time — so the medians are
+//! deterministic and machine-independent: the baseline flags ANY real
+//! behavior change in the reactor, the dup cache, or the open-loop
+//! driver, regardless of runner noise. The three shard widths must
+//! report the *same* p99 (shard count is a parallelism knob, not a
+//! semantic one); a divergence between rows is a determinism bug, not
+//! a perf delta.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specrpc::{run_scale, ScaleConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    // Hold the socket set fixed (8 sockets) while the shard width
+    // varies: the arrival stream depends only on the total port count,
+    // so every row measures the same workload through a differently
+    // partitioned reactor map.
+    let (clients, sockets) = (200usize, 8usize);
+    for shards in [1usize, 2, 8] {
+        let mut cfg = ScaleConfig::smoke().scaled_to(clients);
+        cfg.shards = shards;
+        cfg.ports_per_shard = sockets / shards;
+        group.bench_with_input(BenchmarkId::new("p99", shards), &shards, |b, _| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let report = black_box(run_scale(&cfg).unwrap());
+                    assert_eq!(report.replies, clients as u64, "every endpoint answered");
+                    total += Duration::from_nanos(report.latency.p99().as_nanos());
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scale);
+criterion_main!(benches);

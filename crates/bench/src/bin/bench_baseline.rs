@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The bench targets with checked-in baselines.
-const TARGETS: [&str; 4] = ["marshal", "roundtrip", "unroll", "ablation"];
+const TARGETS: [&str; 5] = ["marshal", "roundtrip", "unroll", "ablation", "scale"];
 
 /// One measured benchmark.
 #[derive(Debug, Clone, PartialEq)]

@@ -59,6 +59,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct compiled contexts currently held.
     pub entries: usize,
+    /// Entries discarded to stay within the cache's capacity (each one a
+    /// future re-compile if its context recurs).
+    pub evictions: u64,
 }
 
 /// Full cache key: `(program, version, procedure,` [`ShapeKey`]`)`.
@@ -69,21 +72,60 @@ pub type CacheKey = (u32, u32, u32, ShapeKey);
 /// (compile exactly once) while different contexts compile in parallel.
 type Slot = Arc<Mutex<Option<Arc<CompiledProc>>>>;
 
-/// A shape-keyed cache of compiled stub sets.
-#[derive(Default)]
+/// Default entry capacity: generous next to the paper's Table 3 (one
+/// context per procedure × array size) yet a hard bound, so a service
+/// fed adversarially varied shapes cannot grow the cache without limit.
+pub const DEFAULT_STUB_CACHE_ENTRIES: usize = 256;
+
+/// The slot plus its last-used tick (for least-recently-used eviction).
+struct Entry {
+    slot: Slot,
+    last_used: u64,
+}
+
+/// A shape-keyed cache of compiled stub sets, bounded to a fixed number
+/// of contexts with least-recently-used eviction.
 pub struct StubCache {
-    map: Mutex<HashMap<CacheKey, Slot>>,
+    /// Map + monotone access tick, under one lock.
+    map: Mutex<(HashMap<CacheKey, Entry>, u64)>,
+    cap: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for StubCache {
+    fn default() -> Self {
+        StubCache::new()
+    }
 }
 
 impl StubCache {
-    /// An empty cache.
+    /// An empty cache holding at most [`DEFAULT_STUB_CACHE_ENTRIES`]
+    /// contexts.
     pub fn new() -> Self {
-        StubCache::default()
+        StubCache::with_capacity(DEFAULT_STUB_CACHE_ENTRIES)
     }
 
-    /// Hit/miss/entry counters.
+    /// An empty cache holding at most `cap` contexts; the least recently
+    /// used entry is evicted when an insertion would exceed the bound.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "stub cache needs capacity for at least one entry");
+        StubCache {
+            map: Mutex::new((HashMap::new(), 0)),
+            cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Entry capacity (the LRU bound).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Hit/miss/entry/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -93,16 +135,19 @@ impl StubCache {
                 .map
                 .lock()
                 .expect("cache lock")
+                .0
                 .values()
-                .filter(|s| s.lock().expect("slot lock").is_some())
+                .filter(|e| e.slot.lock().expect("slot lock").is_some())
                 .count(),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Return the compiled stub set for the context, running the Tempo
     /// pipeline only on a miss. The global map lock is held only to find
-    /// or create the entry; the compile itself holds the per-entry lock,
-    /// so one context is never specialized twice and unrelated contexts
+    /// or create the entry (and evict the least recently used one when
+    /// over capacity); the compile itself holds the per-entry lock, so
+    /// one context is never specialized twice and unrelated contexts
     /// never wait on each other's compiles.
     pub fn get_or_compile(
         &self,
@@ -114,13 +159,37 @@ impl StubCache {
         res: &MsgShape,
     ) -> Result<Arc<CompiledProc>, PipelineError> {
         let key = (prog, vers, proc_num, ShapeKey::of(pipeline, arg, res));
-        let slot = self
-            .map
-            .lock()
-            .expect("cache lock")
-            .entry(key)
-            .or_default()
-            .clone();
+        let slot = {
+            let mut guard = self.map.lock().expect("cache lock");
+            let (map, tick) = &mut *guard;
+            *tick += 1;
+            let now = *tick;
+            let slot = {
+                let entry = map.entry(key.clone()).or_insert_with(|| Entry {
+                    slot: Slot::default(),
+                    last_used: now,
+                });
+                entry.last_used = now;
+                entry.slot.clone()
+            };
+            if map.len() > self.cap {
+                // Over the bound (the insertion above was a new context):
+                // drop the least recently used entry other than the one
+                // just touched. An entry mid-compile keeps its slot alive
+                // through the compiling thread's clone; only the cache's
+                // reference is discarded.
+                if let Some(victim) = map
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                {
+                    map.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            slot
+        };
         let mut slot = slot.lock().expect("slot lock");
         if let Some(hit) = slot.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -208,6 +277,46 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.misses, 1, "one Tempo run for four threads");
         assert_eq!(s.hits, 3);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let cache = StubCache::with_capacity(2);
+        let a = cache
+            .get_or_compile_idl(&ProcPipeline::new(10), IDL, None, 1)
+            .unwrap();
+        let _b = cache
+            .get_or_compile_idl(&ProcPipeline::new(11), IDL, None, 1)
+            .unwrap();
+        // Touch `a` so `b` becomes the least recently used entry…
+        let a2 = cache
+            .get_or_compile_idl(&ProcPipeline::new(10), IDL, None, 1)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        // …then a third context must evict `b`, not `a`.
+        let _c = cache
+            .get_or_compile_idl(&ProcPipeline::new(12), IDL, None, 1)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!(s.entries, 2, "bounded at capacity");
+        assert_eq!(s.evictions, 1);
+        // `a` survives (hit); `b` was evicted and recompiles (miss).
+        let hits_before = cache.stats().hits;
+        cache
+            .get_or_compile_idl(&ProcPipeline::new(10), IDL, None, 1)
+            .unwrap();
+        assert_eq!(cache.stats().hits, hits_before + 1, "a still cached");
+        let misses_before = cache.stats().misses;
+        cache
+            .get_or_compile_idl(&ProcPipeline::new(11), IDL, None, 1)
+            .unwrap();
+        assert_eq!(cache.stats().misses, misses_before + 1, "b recompiles");
+    }
+
+    #[test]
+    fn default_capacity_is_bounded() {
+        let cache = StubCache::new();
+        assert_eq!(cache.capacity(), DEFAULT_STUB_CACHE_ENTRIES);
     }
 
     #[test]

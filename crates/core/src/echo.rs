@@ -14,7 +14,7 @@ use crate::cache::StubCache;
 use crate::client::{ProcSpec, SpecClient};
 use crate::pipeline::{CompiledProc, PipelineError, ProcPipeline};
 use crate::service::SpecService;
-use specrpc_netsim::net::{Network, NetworkConfig};
+use specrpc_netsim::net::{Addr, Network, NetworkConfig};
 use specrpc_netsim::platform::{Platform, PlatformCosts};
 use specrpc_netsim::SimTime;
 use specrpc_rpc::error::RpcError;
@@ -35,9 +35,9 @@ pub const ECHO_VERS: u32 = 1;
 /// Procedure number of `ECHO`.
 pub const ECHO_PROC: u32 = 1;
 /// Server port in simulations (UDP).
-pub const ECHO_PORT: u16 = 2060;
+pub const ECHO_PORT: Addr = 2060;
 /// Server port for the TCP deployment.
-pub const ECHO_TCP_PORT: u16 = 2061;
+pub const ECHO_TCP_PORT: Addr = 2061;
 /// Maximum array size (the paper's largest measured point).
 pub const MAX_ARR: usize = 100_000;
 

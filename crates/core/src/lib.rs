@@ -290,22 +290,81 @@
 //! assert!(report.contains("event loop"));
 //! ```
 //!
+//! ## Sharding the reactor
+//!
+//! Past one reactor, [`SpecService::serve_sharded`] partitions the
+//! *(prog, vers, addr)* space across N reactors: each shard owns a
+//! slice of the serving sockets together with that slice's
+//! duplicate-request caches and buffer pool, and a shard whose own
+//! sockets run dry steals one datagram at a time from its peers. With
+//! `workers_per_shard = 0` the map runs in **deterministic
+//! single-driver mode** — no threads, every delivery executed inline by
+//! whichever thread drives the network — and replies are byte- and
+//! virtual-time-identical to a 1-shard (or `serve_udp`) deployment:
+//! shard assignment moves ownership, never delivery order. Per-shard
+//! throughput flows into the report via [`Summary::with_shards`];
+//! reply-latency quantiles via [`Summary::with_latency`].
+//!
+//! ```
+//! use specrpc::echo::{build_echo_proc, echo_service, ECHO_PROG, ECHO_VERS};
+//! use specrpc::{SpecClient, Summary};
+//! use specrpc_netsim::net::{Network, NetworkConfig};
+//! use specrpc_rpc::ClntUdp;
+//! use std::sync::Arc;
+//!
+//! let net = Network::new(NetworkConfig::lan(), 5);
+//! let proc_ = Arc::new(build_echo_proc(8, None).unwrap());
+//! // Four sockets partitioned across two shards, single-driver mode.
+//! let ports = [910, 911, 912, 913];
+//! let served = echo_service(proc_.clone()).serve_sharded(&net, &ports, 2, 0);
+//!
+//! for (i, &port) in ports.iter().enumerate() {
+//!     let transport = ClntUdp::create(&net, 5200 + i as u32, port, ECHO_PROG, ECHO_VERS);
+//!     let mut client = SpecClient::from_parts(transport, proc_.clone());
+//!     let args = client.args(vec![], vec![vec![1, 2, 3, 4, 5, 6, 7, 8]]);
+//!     let (out, _path) = client.call(&args).unwrap();
+//!     assert_eq!(out.arrays[0], vec![1, 2, 3, 4, 5, 6, 7, 8]);
+//! }
+//!
+//! assert_eq!(served.total_events(), 4);
+//! let report = Summary::default()
+//!     .with_shards(served.per_shard_events())
+//!     .render();
+//! assert!(report.contains("shard map"));
+//! ```
+//!
+//! On top of the same readiness surface, the `specrpc-async` crate
+//! wraps the nonblocking client lane ([`SpecClient::call_begin`] /
+//! `call_poll` / `call_finish`) and the shard map's
+//! [`specrpc_rpc::ShardedEventLoop::poll_once`] sweep in ordinary
+//! `Future`s, with a tiny `block_on` executor that interleaves polling
+//! with simulator steps — async-capable entry points without touching
+//! the core wire path. The open-loop **million-client scenario** (one
+//! pre-encoded request per endpoint, zipf-skewed shape mix, latency
+//! quantiles and per-shard throughput through [`Summary`]) lives in
+//! [`scenario`]; run it via `cargo run --release --example
+//! million_clients`.
+//!
 //! The [`echo`] module packages the paper's benchmark workload (a remote
 //! procedure exchanging integer arrays, §5 "The test program"); [`client`]
 //! and [`service`] hold the transport-agnostic facade; [`cache`] the
 //! shape-keyed specialization cache; [`pipeline`] the IDL-to-stub driver;
-//! [`summary`] maps specializer statistics onto the paper's §3 categories.
+//! [`summary`] maps specializer statistics onto the paper's §3 categories
+//! (plus the log-bucket latency histogram); [`scenario`] the open-loop
+//! scale scenarios.
 
 pub mod cache;
 pub mod client;
 pub mod echo;
 pub mod generic;
 pub mod pipeline;
+pub mod scenario;
 pub mod service;
 pub mod summary;
 
-pub use cache::{CacheStats, ShapeKey, StubCache};
+pub use cache::{CacheStats, ShapeKey, StubCache, DEFAULT_STUB_CACHE_ENTRIES};
 pub use client::{PathUsed, ProcSpec, SpecClient, SpecClientBuilder};
 pub use pipeline::{CompiledProc, PipelineError, ProcPipeline, UNROLL_CANDIDATES};
-pub use service::{EventService, SpecHandler, SpecService, ThreadedService};
-pub use summary::{Summary, WireStats};
+pub use scenario::{run_scale, run_scale_single_shard, ScaleConfig, ScaleReport};
+pub use service::{EventService, ShardedService, SpecHandler, SpecService, ThreadedService};
+pub use summary::{LatencyHistogram, Summary, WireStats};

@@ -1,0 +1,440 @@
+//! Open-loop scale scenarios: a zipf-skewed client population driving a
+//! sharded serving core, reporting virtual-time latency quantiles and
+//! per-shard throughput.
+//!
+//! The acceptance scenario behind this module is the **million-client
+//! run**: ≥10⁶ simulated client endpoints, each issuing one echo call at
+//! a random instant inside an arrival window, against a service hosting
+//! one procedure per array shape with a zipf-ranked shape mix (small
+//! requests dominate, heavy tails exist). The server side is a
+//! [`SpecService::serve_sharded`] map; the client side is raw pre-encoded
+//! datagrams — one wire template per shape with only the xid patched per
+//! request — so the open loop costs O(1) client state per endpoint and
+//! the run scales to a million senders in one process.
+//!
+//! Everything is deterministic: arrivals, shapes, and target ports come
+//! from one seeded [`StdRng`]; the default single-driver shard mode
+//! executes all serving inline on the driving thread, so a fixed
+//! [`ScaleConfig`] produces a byte-identical [`ScaleReport::render`]
+//! every run.
+
+use crate::pipeline::{PipelineError, ProcPipeline};
+use crate::service::SpecService;
+use crate::summary::{LatencyHistogram, Summary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use specrpc_netsim::net::{Addr, Endpoint, Network, NetworkConfig};
+use specrpc_netsim::SimTime;
+use specrpc_rpc::msg::CallHeader;
+use specrpc_tempo::compile::StubArgs;
+use specrpc_xdr::composite::xdr_array;
+use specrpc_xdr::mem::XdrMem;
+use specrpc_xdr::primitives::xdr_int;
+use specrpc_xdr::XdrStream;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Program number of the scale service.
+pub const SCALE_PROG: u32 = 0x2000_0303;
+/// Version number.
+pub const SCALE_VERS: u32 = 1;
+/// First server port; the shard map's sockets are sequential from here.
+pub const SCALE_PORT_BASE: Addr = 40_000;
+/// First client endpoint address (client `i` binds `base + i`).
+pub const SCALE_CLIENT_BASE: Addr = 1_000_000;
+/// Array bound in the generated IDL (matches the echo service).
+const SCALE_MAX_ARR: usize = 100_000;
+
+/// Configuration of one open-loop scale run.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Simulated client endpoints; each issues exactly one call.
+    pub clients: usize,
+    /// Shards in the serving map.
+    pub shards: usize,
+    /// Server sockets per shard (the map serves
+    /// `shards × ports_per_shard` sequential ports).
+    pub ports_per_shard: usize,
+    /// Array shapes, zipf rank order: `shapes[0]` is the most popular.
+    /// One procedure (and one compiled stub set) per shape.
+    pub shapes: Vec<usize>,
+    /// Zipf skew exponent `s` (rank `r` weighted `1/r^s`).
+    pub zipf_s: f64,
+    /// Arrival window: every request's send instant is uniform in
+    /// `[0, span)` virtual time.
+    pub span: SimTime,
+    /// Seed for arrivals, shape mix, and port targeting.
+    pub seed: u64,
+    /// Max in-flight requests before the oldest is reaped — bounds
+    /// client-side memory without closing the loop (the window is sized
+    /// far above the steady-state in-flight population).
+    pub window: usize,
+    /// Reactor threads per shard; `0` = deterministic single-driver
+    /// mode (all serving inline on this thread).
+    pub workers_per_shard: usize,
+    /// Unroll bound for the per-shape compiled stubs (keeps big-shape
+    /// stub programs compact).
+    pub chunk: Option<usize>,
+}
+
+impl ScaleConfig {
+    /// A test-sized run: hundreds of clients, seconds to execute in
+    /// debug builds, same code path as the full scenario.
+    pub fn smoke() -> ScaleConfig {
+        ScaleConfig {
+            clients: 400,
+            shards: 2,
+            ports_per_shard: 1,
+            shapes: vec![8, 64, 256],
+            zipf_s: 1.2,
+            span: SimTime::from_millis(80),
+            seed: 42,
+            window: 128,
+            workers_per_shard: 0,
+            chunk: Some(32),
+        }
+    }
+
+    /// The acceptance scenario: 10⁶ client endpoints, 8 shards × 2
+    /// sockets, six zipf-ranked shapes. The 120s virtual arrival window
+    /// keeps the (globally serialized) server demand near 50%
+    /// utilization so tail latencies reflect queueing, not collapse.
+    /// Run in release builds; scale `clients` down for smoke jobs.
+    pub fn million() -> ScaleConfig {
+        ScaleConfig {
+            clients: 1_000_000,
+            shards: 8,
+            ports_per_shard: 2,
+            shapes: vec![8, 16, 64, 256, 1024, 4096],
+            zipf_s: 1.1,
+            span: SimTime::from_millis(120_000),
+            seed: 7,
+            window: 4096,
+            workers_per_shard: 0,
+            chunk: Some(32),
+        }
+    }
+
+    /// This config's `clients` scaled to `n`, arrival window scaled
+    /// proportionally (keeps offered load identical) — how the CI smoke
+    /// job shrinks the million-client scenario.
+    pub fn scaled_to(mut self, n: usize) -> ScaleConfig {
+        assert!(self.clients > 0);
+        let ratio = n as f64 / self.clients as f64;
+        self.span = SimTime::from_nanos((self.span.as_nanos() as f64 * ratio).max(1.0) as u64);
+        self.clients = n;
+        self
+    }
+
+    /// The server socket addresses of this config.
+    pub fn ports(&self) -> Vec<Addr> {
+        (0..(self.shards * self.ports_per_shard) as u32)
+            .map(|i| SCALE_PORT_BASE + i)
+            .collect()
+    }
+}
+
+/// Outcome of one [`run_scale`] execution.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Clients that issued a request.
+    pub clients: usize,
+    /// Replies received (and measured) within the reap timeout.
+    pub replies: u64,
+    /// Requests whose reply never arrived within the reap timeout.
+    pub timeouts: u64,
+    /// Virtual time at the end of the run.
+    pub elapsed: SimTime,
+    /// Reply latency distribution (send instant → reply arrival).
+    pub latency: LatencyHistogram,
+    /// Events processed per shard.
+    pub per_shard: Vec<u64>,
+    /// Cross-shard steals observed (0 in single-driver mode).
+    pub steals: u64,
+}
+
+impl ScaleReport {
+    /// Per-shard throughput in events per virtual second.
+    pub fn per_shard_rate(&self) -> Vec<f64> {
+        let secs = self.elapsed.as_nanos() as f64 / 1e9;
+        self.per_shard
+            .iter()
+            .map(|&e| if secs > 0.0 { e as f64 / secs } else { 0.0 })
+            .collect()
+    }
+
+    /// The run as a [`Summary`] (shard map + latency lines).
+    pub fn summary(&self) -> Summary {
+        Summary::default()
+            .with_shards(self.per_shard.clone())
+            .with_latency(self.latency.clone())
+    }
+
+    /// Human-readable report: the [`Summary`] lines plus the open-loop
+    /// accounting. Byte-identical across runs of the same config in
+    /// single-driver mode.
+    pub fn render(&self) -> String {
+        let mut out = self.summary().render();
+        out.push_str(&format!(
+            "\n\u{20} open loop:                      {} client(s), {} replie(s), {} timeout(s) over {} virtual",
+            self.clients, self.replies, self.timeouts, self.elapsed
+        ));
+        let rates: Vec<String> = self
+            .per_shard_rate()
+            .iter()
+            .map(|r| format!("{r:.0}/s"))
+            .collect();
+        out.push_str(&format!(
+            "\n\u{20} shard throughput:               [{}]",
+            rates.join(", ")
+        ));
+        out
+    }
+}
+
+/// The generated interface: one `int_arr ECHO<k>(int_arr)` procedure per
+/// shape, numbered `1..=shapes.len()`.
+fn scale_idl(shapes: usize) -> String {
+    let mut procs = String::new();
+    for k in 1..=shapes {
+        procs.push_str(&format!("            int_arr ECHO{k}(int_arr) = {k};\n"));
+    }
+    format!(
+        "const MAXARR = {SCALE_MAX_ARR};\n\n\
+         struct int_arr {{\n    int arr<MAXARR>;\n}};\n\n\
+         program SCALEPROG {{\n    version SCALEVERS {{\n{procs}    }} = {SCALE_VERS};\n\
+         }} = {SCALE_PROG};\n"
+    )
+}
+
+/// One pre-encoded request image for a shape: the per-request xid is
+/// patched into the first four bytes (the call header leads with it).
+fn encode_template(shape: usize, proc_num: u32) -> Vec<u8> {
+    let mut enc = XdrMem::encoder(64 + 4 * shape);
+    let mut hdr = CallHeader::new(0, SCALE_PROG, SCALE_VERS, proc_num);
+    CallHeader::xdr(&mut enc, &mut hdr).expect("header encode");
+    let mut data: Vec<i32> = (0..shape as i32).collect();
+    xdr_array(&mut enc, &mut data, SCALE_MAX_ARR, xdr_int).expect("array encode");
+    let len = enc.getpos();
+    enc.bytes()[..len].to_vec()
+}
+
+/// The zipf CDF over ranks `1..=n` with exponent `s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut acc = 0.0;
+    let mut cdf: Vec<f64> = (1..=n)
+        .map(|r| {
+            acc += 1.0 / (r as f64).powf(s);
+            acc
+        })
+        .collect();
+    for c in &mut cdf {
+        *c /= acc;
+    }
+    cdf
+}
+
+/// One queued request awaiting its reply.
+struct InFlight {
+    ep: Endpoint,
+    xid: u32,
+    sent: SimTime,
+}
+
+/// How long the reaper waits on a straggler before declaring it lost.
+const REAP_TIMEOUT: SimTime = SimTime::from_millis(2_000);
+
+/// Execute one open-loop scale run: deploy the sharded service, fire
+/// every arrival at its instant, measure reply latency (send instant →
+/// reply [`specrpc_netsim::net::Datagram::at`] arrival stamp), and
+/// collect per-shard throughput.
+pub fn run_scale(cfg: &ScaleConfig) -> Result<ScaleReport, PipelineError> {
+    assert!(!cfg.shapes.is_empty(), "at least one shape");
+    assert!(cfg.window > 0, "window must be positive");
+    let net = Network::new(NetworkConfig::lan(), cfg.seed);
+    let service = deploy_scale_service(cfg)?;
+    let ports = cfg.ports();
+    let sharded = service.serve_sharded(&net, &ports, cfg.shards, cfg.workers_per_shard);
+
+    let templates: Vec<Vec<u8>> = cfg
+        .shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &shape)| encode_template(shape, i as u32 + 1))
+        .collect();
+
+    // Arrivals: instant, shape, and target port all from one seeded
+    // stream; sorted by instant (stable, so ties keep draw order).
+    let cdf = zipf_cdf(cfg.shapes.len(), cfg.zipf_s);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let span_ns = cfg.span.as_nanos() as f64;
+    let mut arrivals: Vec<(SimTime, usize, Addr)> = (0..cfg.clients)
+        .map(|_| {
+            let at = SimTime::from_nanos((rng.random::<f64>() * span_ns) as u64);
+            let u = rng.random::<f64>();
+            let shape = cdf.partition_point(|&c| c < u).min(cfg.shapes.len() - 1);
+            let port = ports[rng.random_range(0..ports.len())];
+            (at, shape, port)
+        })
+        .collect();
+    arrivals.sort_by_key(|a| a.0);
+
+    let mut inflight: VecDeque<InFlight> = VecDeque::new();
+    let mut latency = LatencyHistogram::new();
+    let (mut replies, mut timeouts) = (0u64, 0u64);
+    let mut reap = |inflight: &mut VecDeque<InFlight>| {
+        let Some(f) = inflight.pop_front() else {
+            return;
+        };
+        loop {
+            match f.ep.recv_timeout(REAP_TIMEOUT) {
+                Some(dg) if dg.payload.len() >= 4 && dg.payload[0..4] == f.xid.to_be_bytes() => {
+                    latency.record(dg.at.saturating_sub(f.sent));
+                    replies += 1;
+                    return;
+                }
+                // Stale or foreign datagram: keep draining this mailbox.
+                Some(_) => continue,
+                None => {
+                    timeouts += 1;
+                    return;
+                }
+            }
+        }
+    };
+
+    for (i, &(at, shape, port)) in arrivals.iter().enumerate() {
+        net.run_until(at, || false);
+        let ep = net.bind_udp(SCALE_CLIENT_BASE + i as u32);
+        let xid = i as u32 + 1;
+        let mut req = templates[shape].clone();
+        req[0..4].copy_from_slice(&xid.to_be_bytes());
+        let sent = net.now();
+        ep.send_to(port, req);
+        inflight.push_back(InFlight { ep, xid, sent });
+        if inflight.len() >= cfg.window {
+            reap(&mut inflight);
+        }
+    }
+    while !inflight.is_empty() {
+        reap(&mut inflight);
+    }
+
+    Ok(ScaleReport {
+        clients: cfg.clients,
+        replies,
+        timeouts,
+        elapsed: net.now(),
+        latency,
+        per_shard: sharded.per_shard_events(),
+        steals: sharded.cross_shard_steals(),
+    })
+}
+
+/// Build the scale [`SpecService`]: one echo procedure per shape, each
+/// compiled specialized to that shape.
+pub fn deploy_scale_service(cfg: &ScaleConfig) -> Result<SpecService, PipelineError> {
+    let idl = scale_idl(cfg.shapes.len());
+    let mut service = SpecService::new();
+    for (i, &shape) in cfg.shapes.iter().enumerate() {
+        let mut pipeline = ProcPipeline::new(shape);
+        pipeline.chunk = cfg.chunk;
+        let proc_ = Arc::new(pipeline.build_from_idl(&idl, None, i as u32 + 1)?);
+        service = service.proc(proc_, |args: &StubArgs| {
+            StubArgs::new(vec![], vec![args.arrays[0].clone()])
+        });
+    }
+    Ok(service)
+}
+
+/// [`run_scale`] with the full sharded map replaced by a single shard —
+/// the determinism baseline the sharding tests compare against.
+pub fn run_scale_single_shard(cfg: &ScaleConfig) -> Result<ScaleReport, PipelineError> {
+    let mut one = cfg.clone();
+    // Same socket count, one shard: shard assignment is the only change.
+    one.ports_per_shard = cfg.shards * cfg.ports_per_shard;
+    one.shards = 1;
+    run_scale(&one)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_answers_every_client() {
+        let cfg = ScaleConfig::smoke();
+        let report = run_scale(&cfg).unwrap();
+        assert_eq!(report.replies, cfg.clients as u64);
+        assert_eq!(report.timeouts, 0);
+        assert_eq!(report.latency.count(), cfg.clients as u64);
+        assert_eq!(
+            report.per_shard.iter().sum::<u64>(),
+            cfg.clients as u64,
+            "every request processed exactly once"
+        );
+        assert_eq!(report.per_shard.len(), cfg.shards);
+        assert!(report.elapsed >= cfg.span.saturating_sub(SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn fixed_seed_renders_byte_identical_reports() {
+        let cfg = ScaleConfig::smoke();
+        let a = run_scale(&cfg).unwrap();
+        let b = run_scale(&cfg).unwrap();
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.latency, b.latency);
+        assert_eq!(a.per_shard, b.per_shard);
+    }
+
+    #[test]
+    fn zipf_mix_skews_toward_the_first_shape() {
+        let cdf = zipf_cdf(4, 1.2);
+        assert!(cdf[0] > 0.4, "rank 1 dominates: {cdf:?}");
+        assert!((cdf[3] - 1.0).abs() < 1e-12, "cdf normalized");
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let u = rng.random::<f64>();
+            counts[cdf.partition_point(|&c| c < u).min(3)] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn report_renders_quantiles_and_throughput() {
+        let mut cfg = ScaleConfig::smoke();
+        cfg.clients = 150;
+        let report = run_scale(&cfg).unwrap();
+        let text = report.render();
+        assert!(text.contains("shard map:"), "{text}");
+        assert!(text.contains("latency (virtual time):"), "{text}");
+        assert!(text.contains("p999"), "{text}");
+        assert!(
+            text.contains("150 client(s), 150 replie(s), 0 timeout(s)"),
+            "{text}"
+        );
+        assert!(text.contains("shard throughput:"), "{text}");
+    }
+
+    #[test]
+    fn scaled_to_preserves_offered_load() {
+        let cfg = ScaleConfig::million().scaled_to(1_000);
+        assert_eq!(cfg.clients, 1_000);
+        assert_eq!(cfg.span, SimTime::from_millis(120));
+    }
+
+    #[test]
+    fn single_shard_baseline_matches_reply_counts() {
+        let mut cfg = ScaleConfig::smoke();
+        cfg.clients = 200;
+        let many = run_scale(&cfg).unwrap();
+        let one = run_scale_single_shard(&cfg).unwrap();
+        assert_eq!(one.per_shard.len(), 1);
+        assert_eq!(one.replies, many.replies);
+        // Shard assignment never changes delivery order in single-driver
+        // mode: the measured latencies are identical, not just similar.
+        assert_eq!(one.latency, many.latency);
+        assert_eq!(one.elapsed, many.elapsed);
+    }
+}

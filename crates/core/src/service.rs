@@ -27,9 +27,11 @@ use specrpc_rpc::error::RpcError;
 use specrpc_rpc::msg::ReplyHeader;
 use specrpc_rpc::svc::{SvcRegistry, REPLY_BUF_SIZE};
 use specrpc_rpc::svc_event::{serve_udp_event, EventLoop};
+use specrpc_rpc::svc_shard::{serve_udp_sharded, ShardPlan, ShardedEventLoop};
 use specrpc_rpc::svc_tcp::serve_tcp;
 use specrpc_rpc::svc_threaded::{attach_tcp, attach_udp, DispatchPool};
 use specrpc_rpc::svc_udp::serve_udp;
+use specrpc_rpc::svc_udp::DUP_CACHE_ENTRIES;
 use specrpc_rpcgen::sunlib::call_fields;
 use specrpc_tempo::compile::{run_decode, run_encode, Outcome, StubArgs};
 use specrpc_xdr::mem::XdrMem;
@@ -95,6 +97,38 @@ impl EventService {
     /// Total events processed by the reactor.
     pub fn total_events(&self) -> u64 {
         self.reactor.total_events()
+    }
+}
+
+/// A service deployed through [`SpecService::serve_sharded`]: the shared
+/// registry plus the shard map serving it — N reactors, each owning its
+/// slice of the address space with that slice's dup caches and buffer
+/// pool, stealing cross-shard when dry.
+///
+/// Dropping the service shuts every shard down (workers joined, the
+/// event-mode addresses released).
+pub struct ShardedService {
+    /// The shared dispatch registry (path counters, unregister).
+    pub registry: Arc<SvcRegistry>,
+    /// The shard map (per-shard throughput, steal counts).
+    pub reactor: ShardedEventLoop,
+}
+
+impl ShardedService {
+    /// Events processed per shard — feed this to
+    /// [`crate::Summary::with_shards`].
+    pub fn per_shard_events(&self) -> Vec<u64> {
+        self.reactor.per_shard_events()
+    }
+
+    /// Total events processed across the map.
+    pub fn total_events(&self) -> u64 {
+        self.reactor.total_events()
+    }
+
+    /// Cross-shard steals performed by idle shard workers.
+    pub fn cross_shard_steals(&self) -> u64 {
+        self.reactor.cross_shard_steals()
     }
 }
 
@@ -190,6 +224,39 @@ impl SpecService {
         let registry = self.into_registry();
         let reactor = serve_udp_event(net, addr, registry.clone(), workers, None);
         EventService { registry, reactor }
+    }
+
+    /// Install into a fresh registry and serve it at `addrs` through a
+    /// **shard map** of `shards` reactors: each address is assigned to a
+    /// shard (modulo spread), and each shard owns its slice's
+    /// duplicate-request caches and wire-buffer pool plus
+    /// `workers_per_shard` reactor threads; a shard whose queues run dry
+    /// steals one datagram at a time from its peers.
+    ///
+    /// `workers_per_shard == 0` is the **deterministic single-driver
+    /// mode**: no threads are spawned and every delivery executes inline
+    /// on the driving thread, producing byte- and virtual-time-identical
+    /// traces for any shard count (the shard map then only partitions
+    /// cache/pool ownership). This is the mode the million-client
+    /// scenario measures.
+    pub fn serve_sharded(
+        self,
+        net: &Network,
+        addrs: &[Addr],
+        shards: usize,
+        workers_per_shard: usize,
+    ) -> ShardedService {
+        let registry = self.into_registry();
+        let reactor = serve_udp_sharded(
+            net,
+            addrs,
+            registry.clone(),
+            ShardPlan::modulo(shards),
+            workers_per_shard,
+            None,
+            DUP_CACHE_ENTRIES,
+        );
+        ShardedService { registry, reactor }
     }
 }
 
@@ -302,6 +369,7 @@ mod tests {
         assert_send_sync::<Network>();
         assert_send_sync::<ThreadedService>();
         assert_send_sync::<EventService>();
+        assert_send_sync::<ShardedService>();
     }
 
     fn setup(n: usize) -> (Network, SpecClient<ClntUdp>, Arc<SvcRegistry>) {
@@ -491,6 +559,36 @@ mod tests {
         assert_eq!(served.total_events(), 5);
         assert_eq!(client.fast_calls, 5);
         assert_eq!(client.calls, 5);
+    }
+
+    #[test]
+    fn sharded_service_round_trips_and_counts_per_shard() {
+        let n = 8;
+        let cp = Arc::new(ProcPipeline::new(n).build_from_idl(IDL, None, 1).unwrap());
+        let net = Network::new(NetworkConfig::lan(), 13);
+        let ports: Vec<u32> = (806..810).collect();
+        let served = SpecService::new()
+            .proc(cp.clone(), |args: &StubArgs| {
+                StubArgs::new(vec![], vec![args.arrays[0].clone()])
+            })
+            .serve_sharded(&net, &ports, 2, 0);
+
+        let data: Vec<i32> = (0..n as i32).collect();
+        for (i, &port) in ports.iter().enumerate() {
+            let clnt = ClntUdp::create(&net, 5600 + i as u32, port, 0x2000_0101, 1);
+            let mut client = SpecClient::from_parts(clnt, cp.clone());
+            let args = client.args(vec![], vec![data.clone()]);
+            let (out, path) = client.call(&args).unwrap();
+            assert_eq!(path, PathUsed::Fast);
+            assert_eq!(out.arrays[0], data);
+        }
+        let per = served.per_shard_events();
+        assert_eq!(per.len(), 2);
+        assert_eq!(served.total_events(), 4);
+        assert_eq!(per, vec![2, 2], "modulo spread over even/odd ports");
+        assert_eq!(served.registry.raw_dispatches(), 4);
+        let report = crate::Summary::default().with_shards(per).render();
+        assert!(report.contains("shard map"));
     }
 
     #[test]

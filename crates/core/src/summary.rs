@@ -1,9 +1,127 @@
-//! Mapping specializer statistics onto the paper's §3 categories.
+//! Mapping specializer statistics onto the paper's §3 categories, plus
+//! the latency/throughput tables of the scaled serving scenarios.
 
 use crate::cache::CacheStats;
+use specrpc_netsim::SimTime;
 use specrpc_rpc::bufpool::PoolStats;
 use specrpc_tempo::spec::SpecReport;
 use specrpc_xdr::OpCounts;
+
+/// Minor buckets per power-of-two octave: latency values land in
+/// logarithmic octaves subdivided 16 ways, bounding the relative
+/// quantile error at ~6% while the whole histogram stays 8 KiB.
+const SUB_BUCKETS: usize = 16;
+const SUB_SHIFT: u32 = 4; // log2(SUB_BUCKETS)
+const BUCKETS: usize = SUB_BUCKETS * 64;
+
+/// A log-bucket histogram of virtual-time latencies: fixed memory for
+/// any value range, deterministic, with percentile accessors. Built for
+/// the open-loop scaling scenarios (a million recorded round trips cost
+/// one array index each), replacing ad-hoc sort-the-samples percentile
+/// math.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns < SUB_BUCKETS as u64 {
+            return ns as usize; // exact below one full octave of minors
+        }
+        let octave = 63 - ns.leading_zeros(); // ns in [2^octave, 2^(octave+1))
+        let minor = (ns >> (octave - SUB_SHIFT)) as usize & (SUB_BUCKETS - 1);
+        (octave as usize) * SUB_BUCKETS + minor
+    }
+
+    /// The midpoint of a bucket's value range (what quantiles report).
+    fn bucket_mid(index: usize) -> u64 {
+        if index < SUB_BUCKETS {
+            return index as u64;
+        }
+        let octave = (index / SUB_BUCKETS) as u32;
+        let minor = (index % SUB_BUCKETS) as u64;
+        let step = 1u64 << (octave - SUB_SHIFT);
+        let low = (1u64 << octave) + minor * step;
+        low + step / 2
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, latency: SimTime) {
+        let ns = latency.as_nanos();
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.total += 1;
+        self.max = self.max.max(ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> SimTime {
+        SimTime::from_nanos(self.max)
+    }
+
+    /// The latency at quantile `q` in `[0, 1]` (bucket midpoint, ~6%
+    /// relative resolution). Zero when empty.
+    pub fn quantile(&self, q: f64) -> SimTime {
+        if self.total == 0 {
+            return SimTime::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return SimTime::from_nanos(Self::bucket_mid(i).min(self.max));
+            }
+        }
+        SimTime::from_nanos(self.max)
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> SimTime {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> SimTime {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile latency.
+    pub fn p999(&self) -> SimTime {
+        self.quantile(0.999)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+}
 
 /// Wire-path allocation/copy profile of a measured client (from its
 /// accumulated [`OpCounts`]): the paper's copy-elimination story in two
@@ -54,6 +172,12 @@ pub struct Summary {
     /// Events processed per reactor worker, when the service ran under
     /// [`crate::SpecService::serve_event`].
     pub events: Option<Vec<u64>>,
+    /// Events processed per shard, when the service ran under
+    /// [`crate::SpecService::serve_sharded`] (per-shard throughput).
+    pub shards: Option<Vec<u64>>,
+    /// Virtual-time latency distribution, when the deployment recorded
+    /// one (the open-loop scaling scenarios).
+    pub latency: Option<LatencyHistogram>,
     /// Wire-path bytes-copied / allocs-per-call profile, when measured.
     pub wire: Option<WireStats>,
 }
@@ -76,6 +200,8 @@ impl Summary {
             cache: None,
             threads: None,
             events: None,
+            shards: None,
+            latency: None,
             wire: None,
         }
     }
@@ -98,6 +224,21 @@ impl Summary {
     /// ([`crate::service::EventService::per_worker_events`]).
     pub fn with_events(mut self, per_worker: Vec<u64>) -> Summary {
         self.events = Some(per_worker);
+        self
+    }
+
+    /// Attach per-shard event throughput counts from a sharded
+    /// deployment
+    /// ([`crate::service::ShardedService::per_shard_events`]).
+    pub fn with_shards(mut self, per_shard: Vec<u64>) -> Summary {
+        self.shards = Some(per_shard);
+        self
+    }
+
+    /// Attach a virtual-time latency distribution (p50/p99/p999 lines in
+    /// the report).
+    pub fn with_latency(mut self, hist: LatencyHistogram) -> Summary {
+        self.latency = Some(hist);
         self
     }
 
@@ -142,6 +283,9 @@ impl Summary {
                 c.entries,
                 if c.entries == 1 { "y" } else { "ies" },
             ));
+            if c.evictions > 0 {
+                text.push_str(&format!(", {} evicted", c.evictions));
+            }
         }
         if let Some(t) = &self.threads {
             let total: u64 = t.iter().sum();
@@ -161,6 +305,26 @@ impl Summary {
                 total,
                 e.len(),
                 per.join(", "),
+            ));
+        }
+        if let Some(s) = &self.shards {
+            let total: u64 = s.iter().sum();
+            let per: Vec<String> = s.iter().map(u64::to_string).collect();
+            text.push_str(&format!(
+                "\n\u{20} shard map:                      {} event(s) across {} shard(s) [{}]",
+                total,
+                s.len(),
+                per.join(", "),
+            ));
+        }
+        if let Some(l) = &self.latency {
+            text.push_str(&format!(
+                "\n\u{20} latency (virtual time):         p50 {}, p99 {}, p999 {}, max {} over {} sample(s)",
+                l.p50(),
+                l.p99(),
+                l.p999(),
+                l.max(),
+                l.count(),
             ));
         }
         if let Some(w) = self.wire {
@@ -225,6 +389,7 @@ mod tests {
             hits: 3,
             misses: 1,
             entries: 1,
+            evictions: 0,
         });
         let text = s.render();
         assert!(text.contains("stub cache"));
@@ -251,6 +416,89 @@ mod tests {
         let text = s.render();
         assert!(text.contains("event loop"));
         assert!(text.contains("16 event(s) across 2 worker(s) [7, 9]"));
+    }
+
+    #[test]
+    fn histogram_quantiles_land_in_the_right_octaves() {
+        let mut h = LatencyHistogram::new();
+        // 10_000 samples at ~100µs, 90 at ~1ms, 10 at ~10ms: p50 and p99
+        // land in the 100µs mass, p999 in the 1ms tail.
+        for _ in 0..10_000 {
+            h.record(SimTime::from_micros(100));
+        }
+        for _ in 0..90 {
+            h.record(SimTime::from_millis(1));
+        }
+        for _ in 0..10 {
+            h.record(SimTime::from_millis(10));
+        }
+        assert_eq!(h.count(), 10_100);
+        let (p50, p99, p999) = (h.p50(), h.p99(), h.p999());
+        // Log-bucket resolution: within ~6% of the true value.
+        let near = |got: SimTime, want_ns: u64| {
+            let g = got.as_nanos() as f64;
+            let w = want_ns as f64;
+            (g - w).abs() / w < 0.07
+        };
+        assert!(near(p50, 100_000), "p50 {p50}");
+        assert!(near(p99, 100_000), "p99 {p99}");
+        assert!(near(p999, 1_000_000), "p999 {p999}");
+        assert_eq!(h.max(), SimTime::from_millis(10), "max is exact");
+        assert_eq!(h.quantile(1.0), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn histogram_is_deterministic_and_mergeable() {
+        let build = || {
+            let mut h = LatencyHistogram::new();
+            for i in 0..10_000u64 {
+                h.record(SimTime::from_nanos(50_000 + i * 37));
+            }
+            h
+        };
+        assert_eq!(build(), build(), "same samples, same histogram");
+        let mut merged = build();
+        merged.merge(&build());
+        assert_eq!(merged.count(), 20_000);
+        assert_eq!(
+            merged.p50(),
+            build().p50(),
+            "merge of equals keeps quantiles"
+        );
+    }
+
+    #[test]
+    fn histogram_handles_empty_and_tiny_values() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.p50(), SimTime::ZERO);
+        let mut h = LatencyHistogram::new();
+        h.record(SimTime::from_nanos(3));
+        assert_eq!(h.p50(), SimTime::from_nanos(3), "sub-octave values exact");
+    }
+
+    #[test]
+    fn render_includes_shard_and_latency_lines_when_attached() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(SimTime::from_micros(120));
+        let text = Summary::default()
+            .with_shards(vec![5, 6, 7, 8])
+            .with_latency(hist)
+            .render();
+        assert!(text.contains("shard map"));
+        assert!(text.contains("26 event(s) across 4 shard(s) [5, 6, 7, 8]"));
+        assert!(text.contains("latency (virtual time)"));
+        assert!(text.contains("p999"));
+    }
+
+    #[test]
+    fn render_mentions_cache_evictions_only_when_nonzero() {
+        let evicting = Summary::default().with_cache(crate::cache::CacheStats {
+            hits: 1,
+            misses: 4,
+            entries: 2,
+            evictions: 2,
+        });
+        assert!(evicting.render().contains("2 evicted"));
     }
 
     #[test]

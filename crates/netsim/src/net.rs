@@ -64,8 +64,10 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// A network address (think UDP/TCP port; hosts are implicit — the paper's
-/// testbed is two machines on one link).
-pub type Addr = u16;
+/// testbed is two machines on one link). Wide enough for the scale
+/// scenarios' ≥10⁶ simulated client endpoints (a 16-bit port space would
+/// cap a "millions of users" run at 65 536 addresses).
+pub type Addr = u32;
 
 /// Identifier of a bound client endpoint.
 pub type EndpointId = usize;
@@ -110,6 +112,12 @@ pub struct Datagram {
     pub from: Addr,
     /// Payload bytes.
     pub payload: Vec<u8>,
+    /// Virtual delivery time: when the datagram reached (or will reach)
+    /// its destination. Receivers use it to measure per-request latency
+    /// without bookkeeping outside the simulator — drain a mailbox after
+    /// a run and `at - send_time` is the virtual-time latency even though
+    /// the drain happens later.
+    pub at: SimTime,
 }
 
 enum Event {
@@ -473,6 +481,27 @@ impl Network {
             .map_or(0, |q| q.ready.len())
     }
 
+    /// Nonblocking probe over a socket *set*: whether any of `addrs` has
+    /// a queued readiness event. One lock acquisition for the whole set —
+    /// what a shard's reactor (or a steal pass over a peer shard's
+    /// sockets) checks before committing to a sweep.
+    pub fn ready_any(&self, addrs: &[Addr]) -> bool {
+        let inner = self.lock();
+        addrs.iter().any(|a| {
+            inner
+                .event_queues
+                .get(a)
+                .is_some_and(|q| !q.ready.is_empty())
+        })
+    }
+
+    /// Readiness events currently queued or checked out across **all**
+    /// event-mode addresses — the simulator-wide backlog the idle
+    /// fast-forward refuses to jump (observability for reactor sizing).
+    pub fn pending_events(&self) -> usize {
+        self.lock().pending_events
+    }
+
     /// Block (in real time, up to `timeout`) until at least one of
     /// `addrs` has a queued readiness event, returning whether one does.
     /// Wakes spuriously on [`Network::notify_ready`] /
@@ -589,6 +618,30 @@ impl Network {
             if pred() {
                 return true;
             }
+            if !self.step(deadline) {
+                // Nothing left before the deadline: advance the clock.
+                {
+                    let mut inner = self.lock();
+                    if inner.now < deadline {
+                        inner.now = deadline;
+                    }
+                }
+                return pred();
+            }
+        }
+    }
+
+    /// Process **one** unit of due work: steal one queued readiness event
+    /// (inline-processor registrations first, in deterministic address
+    /// order) or pop-and-dispatch one scheduled event at or before
+    /// `deadline`, advancing the clock to exactly that event's instant.
+    /// Returns `false` — without touching the clock — when nothing is due,
+    /// so callers interleaving simulation progress with their own work
+    /// (e.g. the async block-on executor polling a future between events)
+    /// observe the same virtual-time trace as a blocking
+    /// [`Network::run_until`] drive.
+    pub fn step(&self, deadline: SimTime) -> bool {
+        loop {
             let next = {
                 let mut inner = self.lock();
                 let stolen = if inner.pending_events > 0 {
@@ -603,7 +656,7 @@ impl Network {
                 if let Some((addr, dg, processor)) = stolen {
                     drop(inner);
                     self.complete_event(addr, dg, true, |payload, from| processor(payload, from));
-                    continue;
+                    return true;
                 }
                 if inner.pending_strict > 0 {
                     // A strict (processor-registered) event is checked
@@ -664,17 +717,9 @@ impl Network {
                     }
                     let _guard = InFlightGuard(self);
                     self.dispatch(ev);
+                    return true;
                 }
-                None => {
-                    // Nothing left before the deadline: advance the clock.
-                    {
-                        let mut inner = self.lock();
-                        if inner.now < deadline {
-                            inner.now = deadline;
-                        }
-                    }
-                    return pred();
-                }
+                None => return false,
             }
         }
     }
@@ -804,17 +849,27 @@ impl NetInner {
             + self.cfg.latency
             + SimTime::from_nanos(payload.len() as u64 * self.cfg.ns_per_byte);
         let verdict = self.faults.judge();
-        let dg = Datagram { from, payload };
+        // The arrival stamp equals the event's scheduled time: the run
+        // loop sets `now` to exactly that instant before dispatching.
+        let dg = Datagram {
+            from,
+            payload,
+            at: base,
+        };
         match verdict {
             Verdict::Drop => {}
             Verdict::Deliver => self.schedule(base, Event::UdpDeliver { to, dg }),
             Verdict::Duplicate => {
                 self.schedule(base, Event::UdpDeliver { to, dg: dg.clone() });
                 let jitter = SimTime::from_nanos(self.faults.delay_ns());
+                let mut dg = dg;
+                dg.at = base + jitter;
                 self.schedule(base + jitter, Event::UdpDeliver { to, dg });
             }
             Verdict::Delay => {
                 let jitter = SimTime::from_nanos(self.faults.delay_ns());
+                let mut dg = dg;
+                dg.at = base + jitter;
                 self.schedule(base + jitter, Event::UdpDeliver { to, dg });
             }
         }

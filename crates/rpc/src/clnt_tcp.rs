@@ -50,7 +50,7 @@ impl ClntTcp {
             conn,
             prog,
             vers,
-            xids: XidGen::new(server as u32 ^ 0x5555),
+            xids: XidGen::new(server ^ 0x5555),
             counts: OpCounts::new(),
             pool,
             reply_hint: 0,

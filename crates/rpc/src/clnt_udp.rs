@@ -62,7 +62,7 @@ impl ClntUdp {
             sock: SimUdpSocket::connect(net, local, server),
             prog,
             vers,
-            xids: XidGen::new(local as u32),
+            xids: XidGen::new(local),
             retry_timeout: SimTime::from_millis(200),
             total_timeout: SimTime::from_millis(2_000),
             counts: OpCounts::new(),
@@ -302,15 +302,7 @@ impl Transport for ClntUdp {
     }
 
     fn try_exchange(&mut self, request: &[u8], xid: u32) -> Result<Option<Vec<u8>>, RpcError> {
-        debug_assert!(request.len() >= 4);
-        debug_assert_eq!(
-            u32::from_be_bytes([request[0], request[1], request[2], request[3]]),
-            xid,
-            "request must start with its xid"
-        );
-        let mut dg = self.pool.take(request.len());
-        dg.extend_from_slice(request);
-        self.sock.send(dg);
+        self.send_request(request, xid)?;
         self.poll_reply(xid)
     }
 
@@ -320,6 +312,36 @@ impl Transport for ClntUdp {
                 && u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]) == xid
             {
                 return Ok(Some(reply));
+            }
+            self.pool.put(reply);
+        }
+        Ok(None)
+    }
+
+    fn nonblocking(&self) -> bool {
+        true
+    }
+
+    fn send_request(&mut self, request: &[u8], xid: u32) -> Result<(), RpcError> {
+        debug_assert!(request.len() >= 4);
+        debug_assert_eq!(
+            u32::from_be_bytes([request[0], request[1], request[2], request[3]]),
+            xid,
+            "request must start with its xid"
+        );
+        let mut dg = self.pool.take(request.len());
+        dg.extend_from_slice(request);
+        self.sock.send(dg);
+        Ok(())
+    }
+
+    fn poll_reply_any(&mut self, xids: &[u32]) -> Result<Option<(usize, Vec<u8>)>, RpcError> {
+        while let Some(reply) = self.sock.try_recv() {
+            if reply.len() >= 4 {
+                let rx = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]);
+                if let Some(i) = xids.iter().position(|&x| x == rx) {
+                    return Ok(Some((i, reply)));
+                }
             }
             self.pool.put(reply);
         }

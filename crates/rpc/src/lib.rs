@@ -21,6 +21,7 @@ pub mod msg;
 pub mod pmap;
 pub mod svc;
 pub mod svc_event;
+pub mod svc_shard;
 pub mod svc_tcp;
 pub mod svc_threaded;
 pub mod svc_udp;
@@ -35,5 +36,6 @@ pub use error::RpcError;
 pub use msg::{AcceptStat, CallHeader, MsgType, RejectStat, ReplyHeader, ReplyStat, RPC_VERS};
 pub use svc::SvcRegistry;
 pub use svc_event::EventLoop;
+pub use svc_shard::{ShardPlan, ShardedEventLoop};
 pub use svc_threaded::DispatchPool;
 pub use transport::{BatchMode, Transport};

@@ -336,7 +336,7 @@ mod tests {
         );
         assert_eq!(el.addrs(), vec![650, 651]);
         let ep = net.bind_udp(4000);
-        for (i, port) in [(0u32, 650u16), (1, 651), (2, 650), (3, 651)] {
+        for (i, port) in [(0u32, 650u32), (1, 651), (2, 650), (3, 651)] {
             ep.send_to(port, call(i, i as i32));
             let dg = ep.recv_timeout(SimTime::from_millis(50)).expect("reply");
             assert_eq!(dg.from, port);

@@ -97,6 +97,37 @@ pub trait Transport {
         Ok(None)
     }
 
+    /// Whether this transport has a *real* nonblocking surface: a
+    /// [`Transport::send_request`] that only transmits and a
+    /// [`Transport::poll_reply`]/[`Transport::poll_reply_any`] that can
+    /// report not-ready. The async adapter uses this to decide between
+    /// overlapping calls and degrading to the blocking path.
+    fn nonblocking(&self) -> bool {
+        false
+    }
+
+    /// Transmit `request` without polling for any reply — the multi-call
+    /// async lane, where several transactions are in flight through one
+    /// transport and replies are collected by
+    /// [`Transport::poll_reply_any`]. Errors by default: a transport
+    /// without a nonblocking surface cannot overlap calls (check
+    /// [`Transport::nonblocking`] first).
+    fn send_request(&mut self, request: &[u8], xid: u32) -> Result<(), RpcError> {
+        let _ = (request, xid);
+        Err(RpcError::Transport(
+            "transport has no nonblocking send surface".into(),
+        ))
+    }
+
+    /// Nonblocking poll matching *any* of `xids`: returns the position in
+    /// `xids` plus the reply when one has arrived. Replies matching none
+    /// of the listed xids are discarded as stale. The default (for
+    /// blocking transports) always reports not-ready.
+    fn poll_reply_any(&mut self, xids: &[u32]) -> Result<Option<(usize, Vec<u8>)>, RpcError> {
+        let _ = xids;
+        Ok(None)
+    }
+
     /// Hand a consumed reply buffer back for reuse (no-op by default;
     /// pooled transports park it for the next transmission).
     fn recycle(&mut self, reply: Vec<u8>) {

@@ -1,0 +1,42 @@
+//! The million-client scenario: an open-loop, zipf-skewed client
+//! population against the sharded serving core, reporting virtual-time
+//! latency quantiles (p50/p99/p999) and per-shard throughput.
+//!
+//! ```text
+//! cargo run --release --example million_clients                         # 20k endpoints
+//! SPECRPC_CLIENTS=1000000 cargo run --release --example million_clients # the full run
+//! ```
+//!
+//! The default endpoint count keeps the example fast enough for the
+//! examples smoke test; the full 10⁶-endpoint acceptance run is the
+//! same code path with `SPECRPC_CLIENTS=1000000` (release build
+//! recommended). Offered load is held constant across sizes — the
+//! arrival window scales with the endpoint count — so the reported
+//! distribution keeps its shape.
+
+use specrpc::{run_scale, ScaleConfig};
+
+fn main() {
+    let clients: usize = std::env::var("SPECRPC_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) {
+            2_000
+        } else {
+            20_000
+        });
+    let cfg = ScaleConfig::million().scaled_to(clients);
+
+    println!("== open-loop scale scenario: {clients} client endpoint(s) ==\n");
+    println!(
+        "shapes {:?} (zipf s = {}), {} shard(s) x {} socket(s), arrival window {}",
+        cfg.shapes, cfg.zipf_s, cfg.shards, cfg.ports_per_shard, cfg.span,
+    );
+
+    let report = run_scale(&cfg).expect("scenario deploys");
+    println!("{}", report.render());
+
+    assert_eq!(report.replies, clients as u64, "every endpoint answered");
+    assert_eq!(report.timeouts, 0);
+    println!("\nall {clients} endpoint(s) answered exactly once.");
+}

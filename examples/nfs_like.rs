@@ -30,7 +30,7 @@ const PROC_LOOKUP: u32 = 4;
 const PROC_READ: u32 = 6;
 const PROC_WRITE: u32 = 8;
 const PROC_STATFS: u32 = 17;
-const NFS_PORT: u16 = 2049;
+const NFS_PORT: u32 = 2049;
 
 /// The fixed-shape corner of the protocol: `STATFS(fhandle)` returns
 /// five integers. Fixed shapes are exactly what Tempo specializes.
@@ -147,7 +147,7 @@ fn main() {
             prog: NFS_PROG,
             vers: NFS_VERS,
             prot: IPPROTO_TCP,
-            port: NFS_PORT as u32,
+            port: NFS_PORT,
         },
     )
     .expect("pmap_set");

@@ -29,7 +29,7 @@ const RMIN_IDL: &str = r#"
     } = 0x20000100;
 "#;
 
-const PORT: u16 = 3100;
+const PORT: u32 = 3100;
 
 fn main() {
     println!("== rmin quickstart: generic vs specialized Sun RPC ==\n");

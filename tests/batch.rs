@@ -18,7 +18,7 @@ use specrpc_tempo::compile::StubArgs;
 use specrpc_xdr::mem::XdrMem;
 use std::sync::Arc;
 
-const PORT: u16 = 820;
+const PORT: u32 = 820;
 
 /// Deploy the echo service (event-driven) and a specialized client. The
 /// returned `EventService` keeps the reactor alive for the test's

@@ -21,7 +21,7 @@ use std::sync::Arc;
 const N: usize = 32;
 const THREADS: usize = 8;
 const CALLS: usize = 12;
-const PORT: u16 = 780;
+const PORT: u32 = 780;
 
 /// Compile-time assertion (static_assertions-style): the serving stack
 /// crosses threads. A reintroduced `Rc`/`RefCell` anywhere inside these
@@ -65,7 +65,7 @@ fn n_threads_hammer_one_threaded_service_through_one_cache() {
         let net = net.clone();
         let cache = cache.clone();
         handles.push(std::thread::spawn(move || {
-            let mut clnt = ClntUdp::create(&net, 6000 + t as u16, PORT, ECHO_PROG, ECHO_VERS);
+            let mut clnt = ClntUdp::create(&net, 6000 + t as u32, PORT, ECHO_PROG, ECHO_VERS);
             // Other threads may fast-forward the shared clock while we
             // wait; keep per-try short and the total budget huge.
             clnt.retry_timeout = SimTime::from_millis(50);
@@ -161,7 +161,7 @@ fn n_threads_hammer_one_event_served_service_with_batches() {
         let net = net.clone();
         let cache = cache.clone();
         handles.push(std::thread::spawn(move || {
-            let mut clnt = ClntUdp::create(&net, 6100 + t as u16, PORT + 20, ECHO_PROG, ECHO_VERS);
+            let mut clnt = ClntUdp::create(&net, 6100 + t as u32, PORT + 20, ECHO_PROG, ECHO_VERS);
             clnt.retry_timeout = SimTime::from_millis(50);
             clnt.total_timeout = SimTime::from_millis(600_000);
             let mut client = SpecClient::builder(clnt)

@@ -12,6 +12,7 @@ const EXAMPLES: &[&str] = &[
     "array_exchange",
     "nfs_like",
     "specialization_report",
+    "million_clients",
 ];
 
 #[test]

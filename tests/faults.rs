@@ -70,7 +70,7 @@ struct RunResult {
 }
 
 /// Deploy the counting echo service on `net` over both transports.
-fn deploy(net: &Network, udp_port: u16, tcp_port: u16) -> Arc<AtomicU64> {
+fn deploy(net: &Network, udp_port: u32, tcp_port: u32) -> Arc<AtomicU64> {
     let runs = Arc::new(AtomicU64::new(0));
     let r = runs.clone();
     let proc_ = Arc::new(

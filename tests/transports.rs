@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const PROG: u32 = 0x2000_0101;
-const PORT: u16 = 760;
+const PORT: u32 = 760;
 
 fn compile(n: usize) -> Arc<specrpc::CompiledProc> {
     Arc::new(
