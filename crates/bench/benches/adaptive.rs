@@ -1,0 +1,102 @@
+//! The adaptive specialization scenario as a bench: p99 **virtual-time**
+//! latency of the shape-churn run through the tiered runtime, against
+//! the always-generic and inline-compile baselines.
+//!
+//! Like `scale`, the recorded quantity is virtual time — wire latency +
+//! modeled marshaling CPU + (for the inline row) the modeled Tempo
+//! compile stall — so the medians are deterministic and
+//! machine-independent. The rows tell the tiering story:
+//!
+//! * `p99/generic` — promotion disabled, every call Tier-0: the
+//!   interpretive baseline.
+//! * `p99/adaptive` — background compiles + hot-swap: steady state must
+//!   hold a ≥90% Tier-1 hit rate under churn, and cold calls must stay
+//!   within 2× of the generic round trip (the tentpole's acceptance
+//!   bars, asserted inside the measurement loop).
+//! * `p99/inline_compile` — the pre-adaptive stall: the cold caller pays
+//!   the whole compile, which the p99 makes visible.
+//! * `cold_p99/adaptive` — the Tier-0 subset of the adaptive run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specrpc::{run_adaptive, AdaptiveScenarioConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn cfg_small() -> AdaptiveScenarioConfig {
+    let mut cfg = AdaptiveScenarioConfig::smoke();
+    cfg.rotations = 6;
+    cfg.calls_per_rotation = 40;
+    cfg
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    let generic = cfg_small().generic_baseline();
+    let adaptive = cfg_small();
+    let inline = cfg_small().inline_compile();
+
+    // The generic baseline p99, reused by the cold-call bound below.
+    let generic_p99 = run_adaptive(&generic).unwrap().latency.p99();
+
+    group.bench_with_input(BenchmarkId::new("p99", "generic"), &(), |b, ()| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let report = black_box(run_adaptive(&generic).unwrap());
+                assert_eq!(report.stats.tier1_calls, 0, "baseline never promotes");
+                total += Duration::from_nanos(report.latency.p99().as_nanos());
+            }
+            total
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("p99", "adaptive"), &(), |b, ()| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let report = black_box(run_adaptive(&adaptive).unwrap());
+                let rate = report.steady_hit_rate();
+                assert!(rate >= 0.9, "steady-state hit rate {rate:.3} under churn");
+                let cold = report.cold_latency.p99();
+                assert!(
+                    cold.as_nanos() <= 2 * generic_p99.as_nanos(),
+                    "cold p99 {cold} exceeds 2x generic p99 {generic_p99}"
+                );
+                total += Duration::from_nanos(report.latency.p99().as_nanos());
+            }
+            total
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("p99", "inline_compile"), &(), |b, ()| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let report = black_box(run_adaptive(&inline).unwrap());
+                total += Duration::from_nanos(report.latency.p99().as_nanos());
+            }
+            total
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("cold_p99", "adaptive"), &(), |b, ()| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let report = black_box(run_adaptive(&adaptive).unwrap());
+                total += Duration::from_nanos(report.cold_latency.p99().as_nanos());
+            }
+            total
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

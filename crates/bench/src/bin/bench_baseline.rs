@@ -21,7 +21,14 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The bench targets with checked-in baselines.
-const TARGETS: [&str; 5] = ["marshal", "roundtrip", "unroll", "ablation", "scale"];
+const TARGETS: [&str; 6] = [
+    "marshal",
+    "roundtrip",
+    "unroll",
+    "ablation",
+    "scale",
+    "adaptive",
+];
 
 /// One measured benchmark.
 #[derive(Debug, Clone, PartialEq)]

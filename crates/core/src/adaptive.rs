@@ -1,0 +1,614 @@
+//! Adaptive specialization: tiered execution between the generic
+//! marshaling path and the compiled specialized stubs.
+//!
+//! The paper specializes ahead of time — every context it measures had
+//! its Tempo run before the first call. At production scale the shape
+//! population is open-ended: a cold `(procedure, ShapeKey)` seen for the
+//! first time would pay a full Tempo compile **inline on the calling
+//! path** (milliseconds) to save microseconds of marshaling. This module
+//! turns the static model into the tiered-compilation shape every JIT
+//! uses:
+//!
+//! * **Tier-0** serves cold calls immediately through the generic
+//!   micro-layer path ([`crate::generic`]) — byte-identical wire output,
+//!   no compile, no stall.
+//! * A **promotion policy** (compile on first sight, or after `K` hits —
+//!   [`AdaptiveConfig::promote_after`]) enqueues the context to the
+//!   background [`Specializer`] pool, which runs Tempo off the calling
+//!   path and atomically publishes the compiled stub set into the shared
+//!   [`StubCache`].
+//! * The next lookup **hot-swaps** to **Tier-1**: in-flight callers
+//!   simply find the filled cache entry — no stall, and no reply byte
+//!   changes, because both tiers speak the same wire format.
+//!
+//! [`AdaptiveRuntime`] is the shared policy object (client and server
+//! can share one, or run their own); [`AdaptiveClient`] is the
+//! per-connection facade mirroring [`crate::SpecClient`] but choosing
+//! its marshaling tier per call.
+
+use crate::cache::{modeled_compile_ns, CacheKey, CompileClock, ShapeKey, StubCache, COST_CLASSES};
+use crate::generic::{decode_shape_generic, encode_shape_generic, shape_counts};
+use crate::pipeline::{CompiledProc, PipelineError, ProcPipeline};
+use crate::specializer::{CompileJob, Specializer};
+use specrpc_rpc::error::RpcError;
+use specrpc_rpc::msg::{CallHeader, ReplyHeader};
+use specrpc_rpc::transport::Transport;
+use specrpc_rpcgen::stubgen::{FieldShape, MsgShape};
+use specrpc_rpcgen::sunlib::reply_fields;
+use specrpc_tempo::compile::{run_decode, run_encode_with_xid, Outcome, StubArgs};
+use specrpc_xdr::mem::XdrMem;
+use specrpc_xdr::{OpCounts, WireBuf, XdrStream};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which tier marshaled a call (the adaptive analog of
+/// [`crate::PathUsed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierUsed {
+    /// Tier-0: the generic micro-layer path (cold context).
+    Generic,
+    /// Tier-1: compiled specialized stubs (cache hit, possibly freshly
+    /// hot-swapped).
+    Specialized,
+}
+
+/// A tier decision for one call.
+pub enum Tier {
+    /// Marshal generically.
+    Generic,
+    /// Marshal with this compiled stub set.
+    Specialized(Arc<CompiledProc>),
+}
+
+/// When background compiles become visible to callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PublishMode {
+    /// Publish the instant a worker finishes (lowest time-to-Tier-1;
+    /// swap timing follows wall-clock thread scheduling).
+    #[default]
+    Immediate,
+    /// Park finished compiles until [`AdaptiveRuntime::drain`] — the
+    /// deterministic mode: the simulation drains at fixed call indices,
+    /// so hot-swap points reproduce run to run.
+    OnDrain,
+}
+
+/// Policy knobs for an [`AdaptiveRuntime`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Promote (queue a compile for) a context on its `K`-th Tier-0
+    /// lookup. `1` = compile on first sight; `u32::MAX` effectively
+    /// never promotes (an always-generic baseline).
+    pub promote_after: u32,
+    /// Background compile threads.
+    pub workers: usize,
+    /// Compile **inline on the calling path** instead of in the
+    /// background — the pre-adaptive behavior, kept as the baseline the
+    /// cold-call benchmark measures against.
+    pub inline_compile: bool,
+    /// When background compiles become visible.
+    pub publish: PublishMode,
+    /// Pre-seed the cache from IDL at service registration
+    /// ([`crate::SpecService::proc_adaptive`] honors this).
+    pub compile_ahead: bool,
+    /// Entry capacity of the runtime's own cache (ignored by
+    /// [`AdaptiveRuntime::with_cache`]).
+    pub cache_entries: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            promote_after: 1,
+            workers: 1,
+            inline_compile: false,
+            publish: PublishMode::Immediate,
+            compile_ahead: false,
+            cache_entries: crate::cache::DEFAULT_STUB_CACHE_ENTRIES,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Promote after `k` Tier-0 hits (default 1: first sight).
+    pub fn promote_after(mut self, k: u32) -> Self {
+        self.promote_after = k;
+        self
+    }
+
+    /// Use `n` background compile threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Compile inline on the calling path (the stall the adaptive tiers
+    /// exist to remove — for baselines).
+    pub fn inline_compile(mut self) -> Self {
+        self.inline_compile = true;
+        self
+    }
+
+    /// Select the publication mode.
+    pub fn publish(mut self, mode: PublishMode) -> Self {
+        self.publish = mode;
+        self
+    }
+
+    /// Pre-seed the cache at service registration.
+    pub fn compile_ahead(mut self, on: bool) -> Self {
+        self.compile_ahead = on;
+        self
+    }
+
+    /// Entry capacity for the runtime's cache.
+    pub fn cache_entries(mut self, n: usize) -> Self {
+        self.cache_entries = n;
+        self
+    }
+}
+
+/// A procedure registered with the adaptive runtime: the specialization
+/// context plus the resolved target and shapes. Resolution (IDL parse,
+/// shape extraction) happens once here — per-call lookups only hash the
+/// key.
+#[derive(Debug, Clone)]
+pub struct AdaptiveProc {
+    /// Specialization context.
+    pub pipeline: ProcPipeline,
+    /// `(program, version, procedure)` numbers.
+    pub target: (u32, u32, u32),
+    /// Argument shape.
+    pub arg: MsgShape,
+    /// Result shape.
+    pub res: MsgShape,
+}
+
+impl AdaptiveProc {
+    /// Resolve `proc_num` of the (named or first) program in `idl` under
+    /// `pipeline`'s context — no Tempo run.
+    pub fn resolve(
+        pipeline: ProcPipeline,
+        idl: &str,
+        program: Option<&str>,
+        proc_num: u32,
+    ) -> Result<AdaptiveProc, PipelineError> {
+        let (target, arg, res) = pipeline.resolve_shapes(idl, program, proc_num)?;
+        Ok(AdaptiveProc {
+            pipeline,
+            target,
+            arg,
+            res,
+        })
+    }
+
+    /// The cache key this procedure's compiles live under.
+    pub fn key(&self) -> CacheKey {
+        (
+            self.target.0,
+            self.target.1,
+            self.target.2,
+            ShapeKey::of(&self.pipeline, &self.arg, &self.res),
+        )
+    }
+
+    fn job(&self) -> CompileJob {
+        CompileJob {
+            pipeline: self.pipeline.clone(),
+            prog: self.target.0,
+            vers: self.target.1,
+            proc_num: self.target.2,
+            arg: self.arg.clone(),
+            res: self.res.clone(),
+        }
+    }
+}
+
+/// Promotion bookkeeping for one cold context.
+#[derive(Default)]
+struct Pending {
+    hits: u32,
+    queued: bool,
+}
+
+/// CPU-charge hook: receives nanoseconds of inline compile work.
+type ChargeHook = Arc<dyn Fn(u64) + Send + Sync>;
+
+/// Counter snapshot of an [`AdaptiveRuntime`] (rendered by
+/// [`crate::Summary::with_adaptive`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptiveStats {
+    /// Calls marshaled on Tier-0 (generic).
+    pub tier0_calls: u64,
+    /// Calls marshaled on Tier-1 (specialized).
+    pub tier1_calls: u64,
+    /// Contexts whose callers switched from Tier-0 to Tier-1 mid-stream
+    /// (counted once per promotion, at the first post-publish lookup).
+    pub hot_swaps: u64,
+    /// Compiles queued (background jobs, plus inline compiles).
+    pub compiles_queued: u64,
+    /// Compiles finished.
+    pub compiles_completed: u64,
+    /// Deepest the background compile queue ever got.
+    pub compile_queue_high_water: u64,
+    /// Cache evictions split by the victim's compile-cost class.
+    pub evictions_by_class: [u64; COST_CLASSES],
+    /// Total compile time recorded by the cache (shared with eviction).
+    pub compile_ns_total: u64,
+}
+
+/// The shared tiered-execution policy: a [`StubCache`] probe that never
+/// compiles on the calling path (unless configured to), plus the
+/// promotion ledger and the background [`Specializer`] pool.
+pub struct AdaptiveRuntime {
+    cfg: AdaptiveConfig,
+    cache: Arc<StubCache>,
+    spec: Option<Specializer>,
+    pending: Mutex<HashMap<CacheKey, Pending>>,
+    tier0: AtomicU64,
+    tier1: AtomicU64,
+    hot_swaps: AtomicU64,
+    inline_compiles: AtomicU64,
+    /// Hook charging inline-compile CPU time to a clock (the simulation
+    /// wires `Network::advance` here so an inline Tempo run stalls the
+    /// virtual clock the way it stalls a real caller).
+    charge: Mutex<Option<ChargeHook>>,
+}
+
+impl AdaptiveRuntime {
+    /// A runtime with its own cache sized by
+    /// [`AdaptiveConfig::cache_entries`].
+    pub fn new(cfg: AdaptiveConfig) -> Arc<AdaptiveRuntime> {
+        let cache = Arc::new(StubCache::with_capacity(cfg.cache_entries));
+        AdaptiveRuntime::with_cache(cfg, cache)
+    }
+
+    /// A runtime over an existing (possibly shared) cache.
+    pub fn with_cache(cfg: AdaptiveConfig, cache: Arc<StubCache>) -> Arc<AdaptiveRuntime> {
+        let spec = (!cfg.inline_compile).then(|| {
+            Specializer::new(
+                cache.clone(),
+                cfg.workers,
+                cfg.publish == PublishMode::OnDrain,
+                CompileClock::Modeled,
+            )
+        });
+        Arc::new(AdaptiveRuntime {
+            cfg,
+            cache,
+            spec,
+            pending: Mutex::new(HashMap::new()),
+            tier0: AtomicU64::new(0),
+            tier1: AtomicU64::new(0),
+            hot_swaps: AtomicU64::new(0),
+            inline_compiles: AtomicU64::new(0),
+            charge: Mutex::new(None),
+        })
+    }
+
+    /// The cache this runtime publishes into.
+    pub fn cache(&self) -> &Arc<StubCache> {
+        &self.cache
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AdaptiveConfig {
+        &self.cfg
+    }
+
+    /// Install the inline-compile CPU-charge hook (e.g.
+    /// `net.advance(SimTime::from_nanos(ns))` in simulation).
+    pub fn set_charge(&self, f: impl Fn(u64) + Send + Sync + 'static) {
+        *self.charge.lock().expect("charge lock") = Some(Arc::new(f));
+    }
+
+    /// Pick the tier for one call of `proc_` and do the promotion
+    /// bookkeeping. Infallible: every failure mode (unsupported shape,
+    /// compile error) degrades to [`Tier::Generic`], which always works.
+    pub fn lookup(&self, proc_: &AdaptiveProc) -> Tier {
+        let key = proc_.key();
+        if let Some(cp) = self.cache.peek(&key) {
+            self.tier1.fetch_add(1, Ordering::Relaxed);
+            // First sight of the published compile for a context that
+            // served Tier-0 traffic: that is the hot swap, exactly once
+            // per promotion even when client and server share a runtime.
+            if let Some(p) = self.pending.lock().expect("pending lock").remove(&key) {
+                if p.hits > 0 {
+                    self.hot_swaps.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return Tier::Specialized(cp);
+        }
+        let should_promote = {
+            let mut pending = self.pending.lock().expect("pending lock");
+            let p = pending.entry(key.clone()).or_default();
+            p.hits += 1;
+            let promote = !p.queued && p.hits >= self.cfg.promote_after;
+            if promote {
+                p.queued = true;
+            }
+            promote
+        };
+        if should_promote {
+            if self.cfg.inline_compile {
+                // The baseline stall: the K-th cold caller pays the whole
+                // Tempo run before its bytes hit the wire.
+                let (prog, vers, pnum) = proc_.target;
+                if let Ok(cp) = self.cache.get_or_compile(
+                    &proc_.pipeline,
+                    prog,
+                    vers,
+                    pnum,
+                    &proc_.arg,
+                    &proc_.res,
+                ) {
+                    self.inline_compiles.fetch_add(1, Ordering::Relaxed);
+                    let hook = self.charge.lock().expect("charge lock").clone();
+                    if let Some(hook) = hook {
+                        hook(modeled_compile_ns(&cp));
+                    }
+                    self.pending.lock().expect("pending lock").remove(&key);
+                    self.tier1.fetch_add(1, Ordering::Relaxed);
+                    return Tier::Specialized(cp);
+                }
+                // Compile failed (e.g. unsupported shape): `queued` stays
+                // set so we never retry; the context serves Tier-0
+                // forever.
+            } else if let Some(spec) = &self.spec {
+                spec.enqueue(proc_.job());
+            }
+        }
+        self.tier0.fetch_add(1, Ordering::Relaxed);
+        Tier::Generic
+    }
+
+    /// Compile-ahead: specialize `proc_` right now through the cache
+    /// (used at service registration when
+    /// [`AdaptiveConfig::compile_ahead`] is set, and available to warm
+    /// any context by hand).
+    pub fn precompile(&self, proc_: &AdaptiveProc) -> Result<Arc<CompiledProc>, PipelineError> {
+        let (prog, vers, pnum) = proc_.target;
+        self.cache
+            .get_or_compile(&proc_.pipeline, prog, vers, pnum, &proc_.arg, &proc_.res)
+    }
+
+    /// Wait for every queued background compile, then (in
+    /// [`PublishMode::OnDrain`]) flip the staged results live. Returns
+    /// how many compiles became visible. The deterministic simulation
+    /// calls this at fixed points; immediate-mode deployments never need
+    /// to.
+    pub fn drain(&self) -> usize {
+        match &self.spec {
+            Some(spec) => {
+                spec.wait_idle();
+                spec.publish_staged()
+            }
+            None => 0,
+        }
+    }
+
+    /// Counter snapshot (tiers, compiles, hot-swaps, eviction classes).
+    pub fn stats(&self) -> AdaptiveStats {
+        let inline = self.inline_compiles.load(Ordering::Relaxed);
+        let (queued, completed, high_water) = match &self.spec {
+            Some(spec) => {
+                let s = spec.stats();
+                (s.queued, s.completed, s.depth_high_water)
+            }
+            None => (0, 0, 0),
+        };
+        let cs = self.cache.stats();
+        AdaptiveStats {
+            tier0_calls: self.tier0.load(Ordering::Relaxed),
+            tier1_calls: self.tier1.load(Ordering::Relaxed),
+            hot_swaps: self.hot_swaps.load(Ordering::Relaxed),
+            compiles_queued: queued + inline,
+            compiles_completed: completed + inline,
+            compile_queue_high_water: high_water,
+            evictions_by_class: cs.evictions_by_class,
+            compile_ns_total: cs.compile_ns_total,
+        }
+    }
+}
+
+/// Exact wire size of `shape`'s payload for the argument values in
+/// `args` (var-arrays priced at their actual length).
+fn payload_wire_bytes(shape: &MsgShape, args: &StubArgs) -> usize {
+    let mut bytes = 0;
+    let mut a = 0;
+    for f in &shape.fields {
+        match f {
+            FieldShape::Scalar { .. } => bytes += 4,
+            FieldShape::VarIntArray { .. } => {
+                bytes += 4 + 4 * args.arrays.get(a).map(Vec::len).unwrap_or(0);
+                a += 1;
+            }
+            FieldShape::FixedIntArray { len, .. } => {
+                bytes += 4 * len;
+                a += 1;
+            }
+        }
+    }
+    bytes
+}
+
+/// A tier-picking RPC client for one adaptively specialized procedure:
+/// the [`crate::SpecClient`] facade, but every call asks the shared
+/// [`AdaptiveRuntime`] which marshaling tier to use. Cold calls go out
+/// generic (and come back byte-identical); once the background compile
+/// publishes, the same client hot-swaps onto the specialized stubs
+/// mid-stream.
+pub struct AdaptiveClient<T: Transport> {
+    transport: T,
+    runtime: Arc<AdaptiveRuntime>,
+    proc_: AdaptiveProc,
+    /// Reusable specialized-path request image.
+    req: WireBuf,
+    /// Scratch for the generic encoder's `&mut` slot convention.
+    gen_scratch: StubArgs,
+    /// Marshaling op/byte/alloc counts across both tiers.
+    pub counts: OpCounts,
+    /// Calls this client marshaled on Tier-0.
+    pub tier0_calls: u64,
+    /// Calls this client marshaled on Tier-1.
+    pub tier1_calls: u64,
+    /// Tier-1 calls whose reply decode fell back to the generic path
+    /// (dynamic guard failure — still Tier-1 wire-wise).
+    pub fallback_calls: u64,
+    /// Calls performed.
+    pub calls: u64,
+}
+
+impl<T: Transport> AdaptiveClient<T> {
+    /// Wrap `transport` for `proc_`, deciding tiers through `runtime`.
+    pub fn new(transport: T, runtime: Arc<AdaptiveRuntime>, proc_: AdaptiveProc) -> Self {
+        AdaptiveClient {
+            transport,
+            runtime,
+            proc_,
+            req: WireBuf::new(),
+            gen_scratch: StubArgs::default(),
+            counts: OpCounts::new(),
+            tier0_calls: 0,
+            tier1_calls: 0,
+            fallback_calls: 0,
+            calls: 0,
+        }
+    }
+
+    /// The runtime this client consults.
+    pub fn runtime(&self) -> &Arc<AdaptiveRuntime> {
+        &self.runtime
+    }
+
+    /// The procedure this client calls.
+    pub fn proc_(&self) -> &AdaptiveProc {
+        &self.proc_
+    }
+
+    /// Access the underlying transport (timeout tuning).
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Build the argument [`StubArgs`] with the xid slot reserved (same
+    /// convention as [`crate::SpecClient::args`], shared by both tiers).
+    pub fn args(&self, scalars: Vec<i32>, arrays: Vec<Vec<i32>>) -> StubArgs {
+        let mut all = Vec::with_capacity(scalars.len() + 1);
+        all.push(0); // xid slot
+        all.extend(scalars);
+        StubArgs::new(all, arrays)
+    }
+
+    /// Perform the call, letting the runtime pick the tier. Returns the
+    /// result slots and the tier that marshaled the request.
+    pub fn call(&mut self, args: &StubArgs) -> Result<(StubArgs, TierUsed), RpcError> {
+        let mut out = StubArgs::default();
+        let tier = self.call_into(args, &mut out)?;
+        Ok((out, tier))
+    }
+
+    /// [`AdaptiveClient::call`] into caller-provided result slots.
+    pub fn call_into(&mut self, args: &StubArgs, out: &mut StubArgs) -> Result<TierUsed, RpcError> {
+        let allocs_before = self.transport.wire_allocs();
+        self.calls += 1;
+        let result = self.call_inner(args, out);
+        self.counts.heap_allocs += self.transport.wire_allocs() - allocs_before;
+        result
+    }
+
+    fn call_inner(&mut self, args: &StubArgs, out: &mut StubArgs) -> Result<TierUsed, RpcError> {
+        match self.runtime.lookup(&self.proc_) {
+            Tier::Specialized(cp) => {
+                self.tier1_calls += 1;
+                let xid = self.transport.next_xid();
+                let enc = &cp.client_encode;
+                self.req.reset(enc.wire_len);
+                run_encode_with_xid(
+                    &enc.program,
+                    self.req.bytes_mut(),
+                    args,
+                    xid as i32,
+                    &mut self.counts,
+                )
+                .map_err(|e| RpcError::Transport(e.to_string()))?;
+                let wb_counts = *self.req.counts();
+                self.req.counts_mut().reset();
+                self.counts += wb_counts;
+                let reply = self.transport.call(self.req.bytes(), xid)?;
+                let result = self.decode_specialized(&cp, &reply, out);
+                self.transport.recycle(reply);
+                result.map(|()| TierUsed::Specialized)
+            }
+            Tier::Generic => {
+                self.tier0_calls += 1;
+                let xid = self.transport.next_xid();
+                let request = self.encode_request_generic(args, xid)?;
+                let reply = self.transport.call(&request, xid)?;
+                let result = self.decode_reply_generic(&reply, out);
+                self.transport.recycle(reply);
+                result.map(|()| TierUsed::Generic)
+            }
+        }
+    }
+
+    /// Tier-0 request marshaling: layered header encode + generic shape
+    /// walk. Public so the byte-identity tests can compare its output
+    /// against the compiled stub's image for the same `(args, xid)`.
+    pub fn encode_request_generic(
+        &mut self,
+        args: &StubArgs,
+        xid: u32,
+    ) -> Result<Vec<u8>, RpcError> {
+        let (prog, vers, pnum) = self.proc_.target;
+        let mut hdr = CallHeader::new(xid, prog, vers, pnum);
+        let cap = hdr.wire_size() + payload_wire_bytes(&self.proc_.arg, args);
+        let mut enc = XdrMem::encoder(cap);
+        CallHeader::xdr(&mut enc, &mut hdr)?;
+        self.gen_scratch.clone_from(args);
+        encode_shape_generic(&mut enc, &self.proc_.arg, 1, &mut self.gen_scratch)?;
+        self.counts += *enc.counts();
+        Ok(enc.into_bytes())
+    }
+
+    /// Tier-1 reply decode: compiled stub with the generic fallback on
+    /// guard failure (same semantics as [`crate::SpecClient`]).
+    fn decode_specialized(
+        &mut self,
+        cp: &CompiledProc,
+        reply: &[u8],
+        out: &mut StubArgs,
+    ) -> Result<(), RpcError> {
+        let dec = &cp.client_decode;
+        out.prepare(
+            dec.layout.scalar_count as usize,
+            dec.layout.array_count as usize,
+        );
+        match run_decode(&dec.program, reply, out, reply.len(), &mut self.counts) {
+            Ok(Outcome::Done { ret: 1, .. }) => Ok(()),
+            Ok(Outcome::Done { .. }) | Ok(Outcome::Fallback) => {
+                self.fallback_calls += 1;
+                self.decode_reply_generic(reply, out)
+            }
+            Err(e) => Err(RpcError::Transport(e.to_string())),
+        }
+    }
+
+    /// Tier-0 reply decode: full header validation + generic shape walk.
+    /// The slot convention matches the compiled decoder's layout
+    /// (protocol fields first), so results land in the same places on
+    /// both tiers.
+    fn decode_reply_generic(&mut self, reply: &[u8], out: &mut StubArgs) -> Result<(), RpcError> {
+        let mut dec = XdrMem::decoder(reply);
+        let hdr = ReplyHeader::decode(&mut dec)?;
+        if let Some(err) = hdr.to_error() {
+            return Err(err);
+        }
+        let (rs, ra) = shape_counts(&self.proc_.res);
+        out.prepare(reply_fields::COUNT + rs, ra);
+        decode_shape_generic(&mut dec, &self.proc_.res, reply_fields::COUNT as u16, out)?;
+        self.counts += *dec.counts();
+        Ok(())
+    }
+}

@@ -512,7 +512,6 @@ impl<T: Transport> SpecClient<T> {
         decode_shape_generic(
             &mut dec,
             &self.proc_.res_shape,
-            &decp.layout,
             reply_fields::COUNT as u16,
             out,
         )?;

@@ -19,7 +19,8 @@
 //! `StubCache`-compiled stub set); per-worker dispatch counts surface
 //! through [`crate::Summary`].
 
-use crate::generic::{decode_shape_generic, encode_shape_generic};
+use crate::adaptive::{AdaptiveProc, AdaptiveRuntime, Tier};
+use crate::generic::{decode_shape_generic, encode_shape_generic, shape_counts};
 use crate::pipeline::CompiledProc;
 use specrpc_netsim::net::{Addr, Network};
 use specrpc_rpc::bufpool::BufPool;
@@ -43,12 +44,20 @@ use std::sync::{Arc, Mutex};
 /// generic path and may run on any dispatch thread.
 pub type SpecHandler = Arc<dyn Fn(&StubArgs) -> StubArgs + Send + Sync>;
 
+/// One registered procedure: statically specialized (the paper's model —
+/// stubs compiled before serving) or adaptively tiered (Tier-0 generic
+/// until the shared [`AdaptiveRuntime`] publishes a compile).
+enum ProcEntry {
+    Static(Arc<CompiledProc>, SpecHandler),
+    Adaptive(Arc<AdaptiveRuntime>, AdaptiveProc, SpecHandler),
+}
+
 /// A specialized RPC service: multiple procedures, each dispatched by
 /// `(program, version, procedure)` number with a compiled fast path and a
 /// generic fallback.
 #[derive(Default)]
 pub struct SpecService {
-    procs: Vec<(Arc<CompiledProc>, SpecHandler)>,
+    procs: Vec<ProcEntry>,
 }
 
 /// A service deployed through [`SpecService::serve_threaded`]: the shared
@@ -145,13 +154,35 @@ impl SpecService {
         proc_: Arc<CompiledProc>,
         handler: impl Fn(&StubArgs) -> StubArgs + Send + Sync + 'static,
     ) -> Self {
-        self.procs.push((proc_, Arc::new(handler)));
+        self.procs.push(ProcEntry::Static(proc_, Arc::new(handler)));
         self
     }
 
     /// Add a procedure with an already-shared handler.
     pub fn proc_shared(mut self, proc_: Arc<CompiledProc>, handler: SpecHandler) -> Self {
-        self.procs.push((proc_, handler));
+        self.procs.push(ProcEntry::Static(proc_, handler));
+        self
+    }
+
+    /// Add an **adaptively specialized** procedure: dispatch asks
+    /// `runtime` which tier serves each call — the compiled fast path
+    /// once a specialization is published, the generic path while the
+    /// context is cold. No Tempo run happens at registration unless
+    /// [`crate::AdaptiveConfig::compile_ahead`] is set, in which case the
+    /// cache is pre-seeded here so the first call already hits Tier-1.
+    ///
+    /// Sharing one runtime between this service and its
+    /// [`crate::AdaptiveClient`]s makes both sides hot-swap on the same
+    /// published compile; each call then contributes one client-side and
+    /// one server-side lookup to the promotion ledger.
+    pub fn proc_adaptive(
+        mut self,
+        runtime: Arc<AdaptiveRuntime>,
+        proc_: AdaptiveProc,
+        handler: impl Fn(&StubArgs) -> StubArgs + Send + Sync + 'static,
+    ) -> Self {
+        self.procs
+            .push(ProcEntry::Adaptive(runtime, proc_, Arc::new(handler)));
         self
     }
 
@@ -168,8 +199,13 @@ impl SpecService {
     /// Install every procedure on `registry`, fast path + generic
     /// fallback each.
     pub fn install(self, registry: &SvcRegistry) {
-        for (proc_, handler) in self.procs {
-            install_one(registry, proc_, handler);
+        for entry in self.procs {
+            match entry {
+                ProcEntry::Static(proc_, handler) => install_one(registry, proc_, handler),
+                ProcEntry::Adaptive(runtime, proc_, handler) => {
+                    install_one_adaptive(registry, runtime, proc_, handler)
+                }
+            }
         }
     }
 
@@ -260,62 +296,74 @@ impl SpecService {
     }
 }
 
+/// The compiled fast-path dispatch body shared by static and adaptive
+/// registrations: compiled decode into reused scratch slots → user
+/// handler → compiled encode in one pass straight into a pooled reply
+/// buffer (single-copy encode; the buffer returns through the transport
+/// adapter's cache-eviction recycling). `None` sends the request to the
+/// generic dispatch (§6.2 guard fallback).
+fn raw_dispatch(
+    p: &CompiledProc,
+    scratch: &Mutex<StubArgs>,
+    h: &SpecHandler,
+    request: &[u8],
+    pool: &BufPool,
+) -> Option<Vec<u8>> {
+    let dec = &p.server_decode;
+    let mut counts = OpCounts::new();
+    // Argument slots: per-procedure scratch when uncontended (the
+    // steady, allocation-free state); a fresh set when another worker
+    // is mid-dispatch on the same procedure.
+    let mut fresh: Option<StubArgs> = None;
+    let mut guard = scratch.try_lock();
+    let args: &mut StubArgs = match guard {
+        Ok(ref mut g) => g,
+        Err(_) => fresh.get_or_insert_with(StubArgs::default),
+    };
+    args.prepare(
+        dec.layout.scalar_count as usize,
+        dec.layout.array_count as usize,
+    );
+    match run_decode(&dec.program, request, args, request.len(), &mut counts) {
+        Ok(Outcome::Done { ret: 1, .. }) => {}
+        _ => return None, // guard failed → generic path
+    }
+    let xid = args.scalars[call_fields::XID];
+    let results = h(args);
+    let enc = &p.server_encode;
+    let mut full = results;
+    // Reply stub scalar slot 0 is the xid.
+    full.scalars.insert(0, xid);
+    let mut reply = pool.take(enc.wire_len);
+    reply.resize(enc.wire_len, 0);
+    match run_encode(&enc.program, &mut reply, &full, &mut counts) {
+        Ok(Outcome::Done { ret: 1, .. }) => Some(reply),
+        _ => {
+            // Reply-shape guard failed: the handler produced
+            // results outside the pinned context. Degrade to the
+            // generic encoder with the results we already have —
+            // returning None would re-dispatch generically and
+            // run the (possibly side-effecting) handler twice.
+            pool.put(reply);
+            let mut gx = XdrMem::encoder_over(pool.take(REPLY_BUF_SIZE), REPLY_BUF_SIZE);
+            ReplyHeader::encode_success(&mut gx, xid as u32).ok()?;
+            // `full` carries the xid at scalar slot 0; user
+            // result scalars start at 1.
+            encode_shape_generic(&mut gx, &p.res_shape, 1, &mut full).ok()?;
+            Some(gx.into_bytes())
+        }
+    }
+}
+
 /// Install one procedure's fast and generic handlers on the registry.
 fn install_one(registry: &SvcRegistry, proc_: Arc<CompiledProc>, handler: SpecHandler) {
     let (prog, vers, pnum) = proc_.target;
 
-    // Fast path: compiled decode into reused scratch slots → user handler
-    // → compiled encode in one pass straight into a pooled reply buffer
-    // (single-copy encode; the buffer returns through the transport
-    // adapter's cache-eviction recycling).
     let p = proc_.clone();
     let h = handler.clone();
     let scratch: Mutex<StubArgs> = Mutex::new(StubArgs::default());
     registry.register_raw(prog, vers, pnum, move |request: &[u8], pool: &BufPool| {
-        let dec = &p.server_decode;
-        let mut counts = OpCounts::new();
-        // Argument slots: per-procedure scratch when uncontended (the
-        // steady, allocation-free state); a fresh set when another worker
-        // is mid-dispatch on the same procedure.
-        let mut fresh: Option<StubArgs> = None;
-        let mut guard = scratch.try_lock();
-        let args: &mut StubArgs = match guard {
-            Ok(ref mut g) => g,
-            Err(_) => fresh.get_or_insert_with(StubArgs::default),
-        };
-        args.prepare(
-            dec.layout.scalar_count as usize,
-            dec.layout.array_count as usize,
-        );
-        match run_decode(&dec.program, request, args, request.len(), &mut counts) {
-            Ok(Outcome::Done { ret: 1, .. }) => {}
-            _ => return None, // guard failed → generic path
-        }
-        let xid = args.scalars[call_fields::XID];
-        let results = h(args);
-        let enc = &p.server_encode;
-        let mut full = results;
-        // Reply stub scalar slot 0 is the xid.
-        full.scalars.insert(0, xid);
-        let mut reply = pool.take(enc.wire_len);
-        reply.resize(enc.wire_len, 0);
-        match run_encode(&enc.program, &mut reply, &full, &mut counts) {
-            Ok(Outcome::Done { ret: 1, .. }) => Some(reply),
-            _ => {
-                // Reply-shape guard failed: the handler produced
-                // results outside the pinned context. Degrade to the
-                // generic encoder with the results we already have —
-                // returning None would re-dispatch generically and
-                // run the (possibly side-effecting) handler twice.
-                pool.put(reply);
-                let mut gx = XdrMem::encoder_over(pool.take(REPLY_BUF_SIZE), REPLY_BUF_SIZE);
-                ReplyHeader::encode_success(&mut gx, xid as u32).ok()?;
-                // `full` carries the xid at scalar slot 0; user
-                // result scalars start at 1.
-                encode_shape_generic(&mut gx, &p.res_shape, 1, &mut full).ok()?;
-                Some(gx.into_bytes())
-            }
-        }
+        raw_dispatch(&p, &scratch, &h, request, pool)
     });
 
     // Generic path (also serves guard fallbacks).
@@ -327,17 +375,58 @@ fn install_one(registry: &SvcRegistry, proc_: Arc<CompiledProc>, handler: SpecHa
             vec![0; dec.layout.scalar_count as usize],
             vec![Vec::new(); dec.layout.array_count as usize],
         );
-        decode_shape_generic(
-            args_x,
-            &p.arg_shape,
-            &dec.layout,
-            call_fields::COUNT as u16,
-            &mut args,
-        )
-        .map_err(RpcError::from)?;
+        decode_shape_generic(args_x, &p.arg_shape, call_fields::COUNT as u16, &mut args)
+            .map_err(RpcError::from)?;
         let mut results = h(&args);
         // Generic results have no xid scratch; encode from slot 0.
         encode_shape_generic(results_x, &p.res_shape, 0, &mut results).map_err(RpcError::from)?;
+        Ok(())
+    });
+}
+
+/// Install one adaptively specialized procedure: the raw handler asks the
+/// runtime which tier serves each call (server-side lookups feed the same
+/// promotion ledger as client-side ones), and the generic handler is
+/// sized purely from the resolved shapes — no compile required for a
+/// service to start serving.
+fn install_one_adaptive(
+    registry: &SvcRegistry,
+    runtime: Arc<AdaptiveRuntime>,
+    proc_: AdaptiveProc,
+    handler: SpecHandler,
+) {
+    let (prog, vers, pnum) = proc_.target;
+    if runtime.config().compile_ahead {
+        // Pre-seed the cache at registration; unsupported shapes simply
+        // stay generic-only.
+        let _ = runtime.precompile(&proc_);
+    }
+
+    let rt = runtime;
+    let ap = proc_.clone();
+    let h = handler.clone();
+    let scratch: Mutex<StubArgs> = Mutex::new(StubArgs::default());
+    registry.register_raw(prog, vers, pnum, move |request: &[u8], pool: &BufPool| {
+        match rt.lookup(&ap) {
+            Tier::Specialized(cp) => raw_dispatch(&cp, &scratch, &h, request, pool),
+            // Tier-0: hand the request to the generic dispatch below.
+            Tier::Generic => None,
+        }
+    });
+
+    let h = handler;
+    let arg_shape = proc_.arg.clone();
+    let res_shape = proc_.res.clone();
+    let (arg_scalars, arg_arrays) = shape_counts(&arg_shape);
+    registry.register(prog, vers, pnum, move |args_x, results_x| {
+        let mut args = StubArgs::new(
+            vec![0; call_fields::COUNT + arg_scalars],
+            vec![Vec::new(); arg_arrays],
+        );
+        decode_shape_generic(args_x, &arg_shape, call_fields::COUNT as u16, &mut args)
+            .map_err(RpcError::from)?;
+        let mut results = h(&args);
+        encode_shape_generic(results_x, &res_shape, 0, &mut results).map_err(RpcError::from)?;
         Ok(())
     });
 }

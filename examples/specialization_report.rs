@@ -132,6 +132,17 @@ fn main() {
             .with_cache(cache.stats())
             .render()
     );
+    // The compile-cost row prices what the cache line reports: the same
+    // per-entry measurement cost-aware eviction weighs, bucketed into
+    // the class an eviction of this entry would be charged to.
+    let stats = cache.stats();
+    let class = ["cheap", "moderate", "expensive"]
+        [specrpc::cache::cost_class(stats.compile_ns_total / stats.misses.max(1))];
+    println!(
+        "\u{20} compile cost/entry:             {}ns ({class} class of {})",
+        stats.compile_ns_total / stats.misses.max(1),
+        specrpc::cache::COST_CLASSES,
+    );
 
     // ---- 5. The decode side keeps its dynamic guards ----
     let (dec_res, _, dec_report) =

@@ -257,7 +257,6 @@ proptest! {
         decode_shape_generic(
             &mut gx,
             &proc_.res_shape,
-            &dec.layout,
             reply_fields::COUNT as u16,
             &mut slow,
         ).unwrap();
