@@ -1,0 +1,56 @@
+//! Retransmission-strategy study on the honest link — the overloaded
+//! burst of `run_congestion` (shared-wire serialization + bounded
+//! drop-tail queues + a rate-limited server), measured per strategy
+//! across the fault matrix.
+//!
+//! Like the `batched` and `scale` groups, every row records **virtual
+//! time**: the deterministic simulated duration until the whole burst
+//! settles under that policy. The medians are exact and
+//! machine-independent, so the baseline gate flags ANY behavior change
+//! in the link model, the queue bounds, or the retry policies —
+//! regardless of runner noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specrpc::congestion::policy_label;
+use specrpc::{run_congestion, CongestionConfig};
+use specrpc_netsim::FaultConfig;
+use std::time::Duration;
+
+fn bench_congestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("congestion");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for (fault_label, faults) in [("clean", FaultConfig::NONE), ("lossy", FaultConfig::LOSSY)] {
+        let base = CongestionConfig::smoke().with_faults(faults);
+        for policy in base.strategies() {
+            let cfg = base.clone().with_policy(policy);
+            group.bench_with_input(
+                BenchmarkId::new(policy_label(policy), fault_label),
+                &cfg,
+                |b, cfg| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let report = run_congestion(cfg).expect("congestion run");
+                            assert_eq!(
+                                report.completed + report.failed,
+                                cfg.clients as u64,
+                                "every call must settle"
+                            );
+                            // Virtual time until the burst settles.
+                            total += Duration::from_nanos(report.elapsed.as_nanos());
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_congestion);
+criterion_main!(benches);

@@ -16,18 +16,32 @@
 //! pass `--threshold <pct>` to tighten). `--strict` exits non-zero on
 //! flagged *regressions* and missing benchmarks (improvements beyond the
 //! threshold are reported but never fail), for CI use.
+//!
+//! ## Intentional baseline shifts
+//!
+//! When a PR changes modeled behavior on purpose (e.g. an honest link
+//! model makes `batched/*` virtual-time medians rise), the regression is
+//! real but intended. Rather than loosening the threshold for everyone,
+//! the PR declares the shift in `BENCH_SHIFTS.json` at the workspace
+//! root — an array of `{"target": ..., "label": ..., "reason": ...}`
+//! entries. `diff` reports a matching regression as an intentional
+//! shift and does not fail strict mode on it. The ledger is **one-shot**:
+//! the next `capture` blesses the shifted numbers as the new baselines
+//! and deletes the ledger, so a stale entry can never mask a second,
+//! unrelated regression on the same row.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The bench targets with checked-in baselines.
-const TARGETS: [&str; 6] = [
+const TARGETS: [&str; 7] = [
     "marshal",
     "roundtrip",
     "unroll",
     "ablation",
     "scale",
     "adaptive",
+    "congestion",
 ];
 
 /// One measured benchmark.
@@ -106,6 +120,72 @@ fn split_fields(obj: &str) -> Vec<&str> {
     fields
 }
 
+/// One declared intentional baseline shift (see the module docs).
+#[derive(Debug, Clone)]
+struct Shift {
+    target: String,
+    label: String,
+    reason: String,
+}
+
+/// Parse `BENCH_SHIFTS.json`: an array of flat objects with the string
+/// fields `target`, `label`, and `reason` (same serialization rules as
+/// the baseline entries).
+fn parse_shifts(text: &str) -> Result<Vec<Shift>, String> {
+    let mut shifts = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..]
+            .find('}')
+            .ok_or_else(|| "unterminated object".to_string())?;
+        let obj = &rest[start + 1..start + end];
+        let mut target = None;
+        let mut label = None;
+        let mut reason = None;
+        for field in split_fields(obj) {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| format!("bad field `{field}`"))?;
+            let key = key.trim().trim_matches('"');
+            let value = value
+                .trim()
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| format!("shift field `{key}` not a string"))?
+                .replace("\\\"", "\"")
+                .replace("\\\\", "\\");
+            match key {
+                "target" => target = Some(value),
+                "label" => label = Some(value),
+                "reason" => reason = Some(value),
+                _ => {}
+            }
+        }
+        shifts.push(Shift {
+            target: target.ok_or("shift without target")?,
+            label: label.ok_or("shift without label")?,
+            reason: reason.ok_or("shift without reason")?,
+        });
+        rest = &rest[start + end + 1..];
+    }
+    Ok(shifts)
+}
+
+fn shifts_path() -> PathBuf {
+    workspace_root().join("BENCH_SHIFTS.json")
+}
+
+/// Load the intentional-shift ledger, if one is checked in.
+fn load_shifts() -> Result<Vec<Shift>, String> {
+    let path = shifts_path();
+    if !path.exists() {
+        return Ok(Vec::new());
+    }
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_shifts(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
 fn parse_num(s: &str) -> Result<f64, String> {
     s.parse::<f64>()
         .map_err(|e| format!("bad number `{s}`: {e}"))
@@ -146,12 +226,28 @@ fn capture() -> Result<(), String> {
             to.display()
         );
     }
+    // One-shot: blessing new baselines consumes the intentional-shift
+    // ledger — the shifts are now IN the baselines, and a stale entry
+    // must not mask a future regression on the same row.
+    let shifts = load_shifts()?;
+    if !shifts.is_empty() {
+        std::fs::remove_file(shifts_path())
+            .map_err(|e| format!("cannot remove {}: {e}", shifts_path().display()))?;
+        println!(
+            "consumed {} intentional-shift entr{} ({} deleted)",
+            shifts.len(),
+            if shifts.len() == 1 { "y" } else { "ies" },
+            shifts_path().display()
+        );
+    }
     Ok(())
 }
 
 fn diff(threshold_pct: f64, strict: bool) -> Result<ExitCode, String> {
     let mut flagged = 0usize;
     let mut regressions = 0usize;
+    let shifts = load_shifts()?;
+    let mut shifts_used = vec![false; shifts.len()];
     for target in TARGETS {
         let baseline = load(&baseline_path(target))?;
         let fresh = load(&fresh_path(target))?;
@@ -164,11 +260,21 @@ fn diff(threshold_pct: f64, strict: bool) -> Result<ExitCode, String> {
                 continue;
             };
             let delta = (f.median_ns - b.median_ns) / b.median_ns * 100.0;
+            let mut shift_reason = None;
             let mark = if delta.abs() > threshold_pct {
                 flagged += 1;
                 if delta > 0.0 {
-                    regressions += 1;
-                    "  <-- REGRESSION"
+                    let declared = shifts
+                        .iter()
+                        .position(|s| s.target == target && s.label == b.label);
+                    if let Some(i) = declared {
+                        shifts_used[i] = true;
+                        shift_reason = Some(shifts[i].reason.clone());
+                        "  <-- intentional shift"
+                    } else {
+                        regressions += 1;
+                        "  <-- REGRESSION"
+                    }
                 } else {
                     "  <-- improvement"
                 }
@@ -176,14 +282,30 @@ fn diff(threshold_pct: f64, strict: bool) -> Result<ExitCode, String> {
                 ""
             };
             println!(
-                "  {:<44} {:>12.1} ns -> {:>12.1} ns  {:>+7.1}%{}",
-                f.label, b.median_ns, f.median_ns, delta, mark
+                "  {:<44} {:>12.1} ns -> {:>12.1} ns  {:>+7.1}%{}{}",
+                f.label,
+                b.median_ns,
+                f.median_ns,
+                delta,
+                mark,
+                shift_reason.map(|r| format!(" ({r})")).unwrap_or_default()
             );
         }
         for f in &fresh {
             if !baseline.iter().any(|b| b.label == f.label) {
                 println!("  {:<44} NEW (not in baseline)", f.label);
             }
+        }
+    }
+    for (i, used) in shifts_used.iter().enumerate() {
+        if !used {
+            // A declared shift that matched nothing flagged: either the
+            // regression never materialized or the baselines were already
+            // recaptured. Surface it so the ledger gets cleaned up.
+            println!(
+                "\nwarning: unused intentional shift {}/{} ({})",
+                shifts[i].target, shifts[i].label, shifts[i].reason
+            );
         }
     }
     if flagged > 0 {

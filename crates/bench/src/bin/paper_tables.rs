@@ -104,6 +104,16 @@ fn main() {
         );
     }
 
+    println!(
+        "{}",
+        render_congestion_rows(
+            "Retransmission-strategy study — overloaded burst on the honest\n\
+             link (48 clients, drop-tail queue cap 12, rate-limited server;\n\
+             deterministic virtual time, see `run_congestion`)",
+            &congestion_study(),
+        )
+    );
+
     println!("Figure 6 — series (x = array size)");
     for (name, series) in fig6 {
         let points: Vec<String> = series

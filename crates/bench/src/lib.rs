@@ -414,6 +414,98 @@ pub fn render_transport_rows(title: &str, rows: &[TransportRow]) -> String {
     out
 }
 
+/// One row of the retransmission-strategy study: one policy from
+/// [`specrpc::CongestionConfig::strategies`] driven through the
+/// overloaded burst of [`specrpc::run_congestion`] under one fault
+/// configuration. All
+/// quantities are deterministic virtual-time results, not models — the
+/// burst really runs through the honest link.
+#[derive(Debug, Clone)]
+pub struct CongestionRow {
+    /// Fault-matrix column ("clean" or "lossy").
+    pub faults: &'static str,
+    /// Strategy label ("fixed", "expbackoff", "paced").
+    pub strategy: &'static str,
+    /// Calls that completed / were abandoned at the retry cap.
+    pub completed: u64,
+    /// Abandoned calls.
+    pub failed: u64,
+    /// Spurious + recovery retransmissions per settled call.
+    pub retransmits_per_call: f64,
+    /// Datagrams dropped tail-first at the bounded receive queues.
+    pub queue_drops: u64,
+    /// Deepest bounded queue observed.
+    pub depth_high_water: u64,
+    /// 99th-percentile call latency (ms, virtual).
+    pub p99_ms: f64,
+    /// Virtual time until the whole burst settled (ms).
+    pub settle_ms: f64,
+}
+
+/// Run the retransmission-strategy study: the smoke-sized overloaded
+/// burst, three strategies × {clean, lossy}. Deterministic — the same
+/// rows every run.
+pub fn congestion_study() -> Vec<CongestionRow> {
+    use specrpc::{run_congestion_matrix, CongestionConfig};
+    use specrpc_netsim::FaultConfig;
+
+    let mut rows = Vec::new();
+    for (faults_label, faults) in [("clean", FaultConfig::NONE), ("lossy", FaultConfig::LOSSY)] {
+        let cfg = CongestionConfig::smoke().with_faults(faults);
+        for report in run_congestion_matrix(&cfg).expect("congestion matrix") {
+            rows.push(CongestionRow {
+                faults: faults_label,
+                strategy: report.policy_label(),
+                completed: report.completed,
+                failed: report.failed,
+                retransmits_per_call: report.retransmits_per_call(),
+                queue_drops: report.link.queue_drops,
+                depth_high_water: report.link.queue_depth_high_water,
+                p99_ms: report.latency.p99().as_nanos() as f64 / 1e6,
+                settle_ms: report.elapsed.as_nanos() as f64 / 1e6,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the retransmission-strategy study table.
+pub fn render_congestion_rows(title: &str, rows: &[CongestionRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>11} | {:>5} {:>6} {:>8} | {:>6} {:>6} | {:>8} {:>9}",
+        "faults",
+        "strategy",
+        "done",
+        "failed",
+        "rtx/call",
+        "drops",
+        "depth",
+        "p99(ms)",
+        "settle(ms)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(78));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>11} | {:>5} {:>6} {:>8.2} | {:>6} {:>6} | {:>8.3} {:>9.3}",
+            r.faults,
+            r.strategy,
+            r.completed,
+            r.failed,
+            r.retransmits_per_call,
+            r.queue_drops,
+            r.depth_high_water,
+            r.p99_ms,
+            r.settle_ms,
+        );
+    }
+    out
+}
+
 /// Render a Table-1/2-style table with paper reference values.
 pub fn render_rows(title: &str, rows: &[Row], paper: &[(f64, f64)]) -> String {
     use std::fmt::Write;
@@ -645,6 +737,36 @@ mod tests {
         }];
         let text = render_transport_rows("T", &rows);
         for col in ["udp-orig", "tcp-spec", "loss-orig"] {
+            assert!(text.contains(col), "{text}");
+        }
+    }
+
+    #[test]
+    fn congestion_study_covers_the_matrix_and_backoff_wins() {
+        let rows = congestion_study();
+        assert_eq!(rows.len(), 6, "3 strategies x 2 fault columns");
+        let find = |f: &str, s: &str| {
+            rows.iter()
+                .find(|r| r.faults == f && r.strategy == s)
+                .unwrap()
+        };
+        for f in ["clean", "lossy"] {
+            let fixed = find(f, "fixed");
+            let backoff = find(f, "expbackoff");
+            assert!(
+                backoff.retransmits_per_call < fixed.retransmits_per_call,
+                "{f}: backoff {} vs fixed {}",
+                backoff.retransmits_per_call,
+                fixed.retransmits_per_call
+            );
+            for s in ["fixed", "expbackoff", "paced"] {
+                let r = find(f, s);
+                assert_eq!(r.completed + r.failed, 48, "{f}/{s}: every call settles");
+                assert!(r.queue_drops > 0, "{f}/{s}: the burst must overflow");
+            }
+        }
+        let text = render_congestion_rows("T", &rows);
+        for col in ["rtx/call", "drops", "settle(ms)", "expbackoff"] {
             assert!(text.contains(col), "{text}");
         }
     }

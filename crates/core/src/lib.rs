@@ -424,6 +424,7 @@
 pub mod adaptive;
 pub mod cache;
 pub mod client;
+pub mod congestion;
 pub mod echo;
 pub mod generic;
 pub mod pipeline;
@@ -441,6 +442,7 @@ pub use cache::{
     DEFAULT_STUB_CACHE_ENTRIES,
 };
 pub use client::{PathUsed, ProcSpec, SpecClient, SpecClientBuilder};
+pub use congestion::{run_congestion, run_congestion_matrix, CongestionConfig, CongestionReport};
 pub use pipeline::{CompiledProc, PipelineError, ProcPipeline, UNROLL_CANDIDATES};
 pub use scenario::{
     run_adaptive, run_scale, run_scale_single_shard, AdaptiveScenarioConfig,

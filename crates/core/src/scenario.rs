@@ -28,7 +28,7 @@ use crate::service::SpecService;
 use crate::summary::{LatencyHistogram, Summary};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use specrpc_netsim::net::{Addr, Endpoint, Network, NetworkConfig};
+use specrpc_netsim::net::{Addr, Endpoint, LinkStats, Network, NetworkConfig};
 use specrpc_netsim::{Platform, SimTime};
 use specrpc_rpc::msg::CallHeader;
 use specrpc_rpc::svc_udp::serve_udp;
@@ -86,6 +86,11 @@ pub struct ScaleConfig {
     /// this many request draws (`0` = static mix). Under churn the
     /// popular shape keeps moving, so no single stub set stays hot.
     pub churn_every: usize,
+    /// Receive-queue capacity per mailbox/ready-queue
+    /// ([`NetworkConfig::with_rx_queue_cap`]); deliveries beyond it are
+    /// dropped tail-first and counted in [`ScaleReport::link`].
+    /// `usize::MAX` = effectively unbounded (the default).
+    pub rx_queue_cap: usize,
 }
 
 impl ScaleConfig {
@@ -104,6 +109,7 @@ impl ScaleConfig {
             workers_per_shard: 0,
             chunk: Some(32),
             churn_every: 0,
+            rx_queue_cap: usize::MAX,
         }
     }
 
@@ -125,6 +131,7 @@ impl ScaleConfig {
             workers_per_shard: 0,
             chunk: Some(32),
             churn_every: 0,
+            rx_queue_cap: usize::MAX,
         }
     }
 
@@ -164,6 +171,10 @@ pub struct ScaleReport {
     pub per_shard: Vec<u64>,
     /// Cross-shard steals observed (0 in single-driver mode).
     pub steals: u64,
+    /// Link receive-queue accounting at the end of the run: drop-tail
+    /// discards plus the deepest queue observed
+    /// ([`Network::link_stats`]).
+    pub link: LinkStats,
 }
 
 impl ScaleReport {
@@ -200,6 +211,10 @@ impl ScaleReport {
         out.push_str(&format!(
             "\n\u{20} shard throughput:               [{}]",
             rates.join(", ")
+        ));
+        out.push_str(&format!(
+            "\n\u{20} link queues:                    {} drop(s), depth high-water {}",
+            self.link.queue_drops, self.link.queue_depth_high_water
         ));
         out
     }
@@ -264,7 +279,10 @@ const REAP_TIMEOUT: SimTime = SimTime::from_millis(2_000);
 pub fn run_scale(cfg: &ScaleConfig) -> Result<ScaleReport, PipelineError> {
     assert!(!cfg.shapes.is_empty(), "at least one shape");
     assert!(cfg.window > 0, "window must be positive");
-    let net = Network::new(NetworkConfig::lan(), cfg.seed);
+    let net = Network::new(
+        NetworkConfig::lan().with_rx_queue_cap(cfg.rx_queue_cap),
+        cfg.seed,
+    );
     let service = deploy_scale_service(cfg)?;
     let ports = cfg.ports();
     let sharded = service.serve_sharded(&net, &ports, cfg.shards, cfg.workers_per_shard);
@@ -346,6 +364,7 @@ pub fn run_scale(cfg: &ScaleConfig) -> Result<ScaleReport, PipelineError> {
         latency,
         per_shard: sharded.per_shard_events(),
         steals: sharded.cross_shard_steals(),
+        link: net.link_stats(),
     })
 }
 
@@ -643,6 +662,17 @@ mod tests {
         );
         assert_eq!(report.per_shard.len(), cfg.shards);
         assert!(report.elapsed >= cfg.span.saturating_sub(SimTime::from_millis(1)));
+    }
+
+    #[test]
+    fn report_surfaces_link_queue_counters() {
+        // The smoke run is single-driver (queue depth never exceeds 1),
+        // so the bounded-queue counters must read clean — and render.
+        let report = run_scale(&ScaleConfig::smoke()).unwrap();
+        assert_eq!(report.link.queue_drops, 0);
+        let text = report.render();
+        assert!(text.contains("link queues:"), "{text}");
+        assert!(text.contains("0 drop(s)"), "{text}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use crate::adaptive::AdaptiveStats;
 use crate::cache::CacheStats;
-use specrpc_netsim::SimTime;
+use specrpc_netsim::{LinkStats, SimTime};
 use specrpc_rpc::bufpool::PoolStats;
 use specrpc_tempo::spec::SpecReport;
 use specrpc_xdr::OpCounts;
@@ -141,6 +141,14 @@ pub struct WireStats {
     /// signal: a cap smaller than the in-flight buffer count drops
     /// returns, and every drop resurfaces later as an allocating miss.
     pub pool: Option<PoolStats>,
+    /// Link receive-queue accounting ([`Network::link_stats`]) under the
+    /// bounded drop-tail model: deliveries the wire discarded at full
+    /// queues, plus the deepest queue observed. Nonzero drops mean the
+    /// offered load exceeded what the receive queues could absorb —
+    /// every drop resurfaces as a client retransmission.
+    ///
+    /// [`Network::link_stats`]: specrpc_netsim::Network::link_stats
+    pub link: Option<LinkStats>,
 }
 
 /// What specialization eliminated, in the paper's vocabulary.
@@ -251,13 +259,23 @@ impl Summary {
     /// `calls` calls (e.g. `SpecClient::counts` / `SpecClient::calls`),
     /// plus — when the deployment shares a wire-buffer pool — that
     /// pool's counters so cap misconfiguration (overflow drops) is
-    /// visible next to the allocs-per-call number it inflates.
-    pub fn with_wire(mut self, counts: OpCounts, calls: u64, pool: Option<PoolStats>) -> Summary {
+    /// visible next to the allocs-per-call number it inflates, and —
+    /// when the network ran with bounded drop-tail receive queues — the
+    /// link's queue-drop / high-water accounting
+    /// (`Network::link_stats`).
+    pub fn with_wire(
+        mut self,
+        counts: OpCounts,
+        calls: u64,
+        pool: Option<PoolStats>,
+        link: Option<LinkStats>,
+    ) -> Summary {
         self.wire = Some(WireStats {
             bytes_copied: counts.mem_moves,
             heap_allocs: counts.heap_allocs,
             calls,
             pool,
+            link,
         });
         self
     }
@@ -374,6 +392,12 @@ impl Summary {
                 text.push_str(&format!(
                     "\n\u{20} buffer pool:                    {} hit(s), {} miss(es), {} overflow drop(s)",
                     p.hits, p.misses, p.overflow_drops,
+                ));
+            }
+            if let Some(l) = w.link {
+                text.push_str(&format!(
+                    "\n\u{20} link queues:                    {} drop(s), depth high-water {}",
+                    l.queue_drops, l.queue_depth_high_water,
                 ));
             }
         }
@@ -590,11 +614,26 @@ mod tests {
         let mut counts = specrpc_xdr::OpCounts::new();
         counts.mem_moves = 32_000;
         counts.heap_allocs = 2;
-        let s = Summary::default().with_wire(counts, 4, None);
+        let s = Summary::default().with_wire(counts, 4, None, None);
         let text = s.render();
         assert!(text.contains("wire path"));
         assert!(text.contains("32000 B copied, 2 alloc(s) over 4 call(s) (0.50 allocs/call)"));
         assert!(!text.contains("buffer pool"), "no pool line without stats");
+        assert!(!text.contains("link queues"), "no link line without stats");
+    }
+
+    #[test]
+    fn render_surfaces_link_queue_drops() {
+        let counts = specrpc_xdr::OpCounts::new();
+        let link = LinkStats {
+            queue_drops: 42,
+            queue_depth_high_water: 9,
+        };
+        let text = Summary::default()
+            .with_wire(counts, 10, None, Some(link))
+            .render();
+        assert!(text.contains("link queues"));
+        assert!(text.contains("42 drop(s), depth high-water 9"));
     }
 
     #[test]
@@ -607,7 +646,7 @@ mod tests {
             overflow_drops: 13,
         };
         let text = Summary::default()
-            .with_wire(counts, 10, Some(pool))
+            .with_wire(counts, 10, Some(pool), None)
             .render();
         assert!(text.contains("buffer pool"));
         assert!(text.contains("100 hit(s), 3 miss(es), 13 overflow drop(s)"));

@@ -15,6 +15,14 @@
 //! of this contract: TCP traces are byte- and time-identical with faults
 //! on or off, and TCP traffic does not consume (shift) the seeded UDP
 //! verdict stream.
+//!
+//! **Composition with the link model.** Fault charges apply *after* the
+//! sender's occupancy charge (see "Link model" in [`crate::net`]): a
+//! delayed or duplicated datagram still holds the uplink for its full
+//! transmission time first, and a [`Verdict::Delay`] pushes the arrival
+//! past `tx_done + latency`, never under it — so faults can reorder
+//! deliveries but can never teleport bytes past a busy wire (pinned by
+//! the occupancy unit tests in `net.rs`).
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -9,9 +9,13 @@
 //! This crate substitutes for them in two parts:
 //!
 //! 1. [`net`] / [`udp`] / [`tcp`] — an event-driven, virtual-time network
-//!    with latency + bandwidth links and seeded fault injection (loss,
-//!    duplication, reordering), over which the `specrpc-rpc` protocol layer
-//!    runs deterministically;
+//!    whose links are *shared serial resources*: every send (UDP and TCP
+//!    alike) occupies its sender's wire for `bytes·ns_per_byte` before the
+//!    one-way latency, back-to-back sends queue cumulatively behind each
+//!    other, receive queues are bounded drop-tail, and seeded fault
+//!    injection (loss, duplication, reordering) composes on top — see the
+//!    "Link model" section of [`net`]. Over this the `specrpc-rpc`
+//!    protocol layer runs deterministically;
 //! 2. [`platform`] — per-platform cost models that convert **operation
 //!    counts measured from real executions** of the generic and specialized
 //!    marshaling code ([`specrpc_xdr::OpCounts`]) into modeled milliseconds.
@@ -28,6 +32,6 @@ pub mod time;
 pub mod udp;
 
 pub use fault::FaultConfig;
-pub use net::{Endpoint, Network, NetworkConfig};
+pub use net::{Endpoint, LinkStats, Network, NetworkConfig};
 pub use platform::{Platform, PlatformCosts};
 pub use time::SimTime;

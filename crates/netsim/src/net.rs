@@ -1,15 +1,55 @@
 //! The event-driven virtual-time network core.
 //!
-//! A [`Network`] is a discrete-event simulator: sends schedule delivery
-//! events at `now + latency + size/bandwidth`; the run loop pops events in
-//! time order, advancing the virtual clock. Servers are *handlers* —
-//! callbacks invoked when traffic reaches their address — while the test
-//! driver plays the client, blocking in [`Network::run_until`]-style waits
-//! that advance the clock.
+//! A [`Network`] is a discrete-event simulator: a send first *occupies the
+//! sender's link* (serialization at `ns_per_byte`, queued behind the
+//! sender's previous transmissions), then schedules the delivery event at
+//! `tx_done + latency`; the run loop pops events in time order, advancing
+//! the virtual clock. Servers are *handlers* — callbacks invoked when
+//! traffic reaches their address — while the test driver plays the client,
+//! blocking in [`Network::run_until`]-style waits that advance the clock.
 //!
 //! Determinism: all randomness (fault injection) is seeded, event ties are
 //! broken by sequence number, and no wall-clock time is consulted; two runs
 //! with the same seed produce byte- and time-identical traces.
+//!
+//! # Link model
+//!
+//! Both transports charge wire time the same way — the link is a shared
+//! serial resource, not an infinitely parallel one:
+//!
+//! * **TCP** serializes per connection *direction* through
+//!   `ConnState::busy_until`: each record starts transmitting when the
+//!   previous one in that direction has finished
+//!   (`start = max(now, busy_until)`, `tx_done = start + bytes·ns_per_byte`,
+//!   delivery at `tx_done + latency`).
+//! * **UDP** serializes per sending *endpoint* through the same formula
+//!   (`NetInner::udp_busy`): back-to-back datagrams from one address queue
+//!   behind each other cumulatively, so a pipelined batch of N size-S
+//!   datagrams occupies the wire for at least `N·S·ns_per_byte` — exactly
+//!   like the TCP path, and unlike the pre-PR-8 model that charged every
+//!   datagram independently (letting a 64-deep batch transmit in zero
+//!   cumulative wire time).
+//!
+//! For a *solitary* datagram the two orderings commute
+//! (`now + tx + latency == now + latency + tx`), so single-call round-trip
+//! timings are unchanged by the occupancy model; only overlapping traffic
+//! from one endpoint shifts.
+//!
+//! Fault verdicts compose **on top of** occupancy: every judged datagram
+//! (including dropped ones — the sender did transmit it) charges exactly
+//! one serialization interval; a [`Verdict::Duplicate`] delivers twice but
+//! occupies the wire once, and [`Verdict::Delay`] jitter is added after
+//! `tx_done + latency` — a delayed datagram can never arrive earlier than
+//! a busy link allows.
+//!
+//! Receive side: a delivery lands in a bounded drop-tail queue (the
+//! mailbox of a bound endpoint or the readiness queue of an event-mode
+//! address). When the queue already holds
+//! [`NetworkConfig::rx_queue_cap`] datagrams the delivery is silently
+//! dropped — like a kernel socket buffer overflowing — and counted in
+//! [`Network::link_stats`] (`queue_drops`, plus the high-water depth
+//! `queue_depth_high_water`). The default cap is effectively unbounded;
+//! congestion studies opt in via [`NetworkConfig::with_rx_queue_cap`].
 //!
 //! # Threading model
 //!
@@ -86,6 +126,11 @@ pub struct NetworkConfig {
     /// model is a reliable byte pipe and never consults the fault
     /// stream).
     pub faults: FaultConfig,
+    /// Bounded receive-queue depth (datagrams) per mailbox / event-mode
+    /// readiness queue. A delivery to a full queue is dropped (drop-tail)
+    /// and counted in [`Network::link_stats`]. `usize::MAX` (the
+    /// default) is effectively unbounded.
+    pub rx_queue_cap: usize,
 }
 
 impl NetworkConfig {
@@ -95,6 +140,7 @@ impl NetworkConfig {
             latency: SimTime::from_micros(150),
             ns_per_byte: 80, // ≈ 100 Mbit/s
             faults: FaultConfig::NONE,
+            rx_queue_cap: usize::MAX,
         }
     }
 
@@ -103,6 +149,25 @@ impl NetworkConfig {
         self.faults = faults;
         self
     }
+
+    /// Same link with bounded drop-tail receive queues of `cap`
+    /// datagrams (see [`NetworkConfig::rx_queue_cap`]).
+    pub fn with_rx_queue_cap(mut self, cap: usize) -> Self {
+        self.rx_queue_cap = cap;
+        self
+    }
+}
+
+/// Receive-queue accounting under the drop-tail link model: how many
+/// deliveries were discarded because their destination queue was at
+/// [`NetworkConfig::rx_queue_cap`], and the deepest any receive queue
+/// ever got. Snapshot via [`Network::link_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Deliveries discarded at a full mailbox / readiness queue.
+    pub queue_drops: u64,
+    /// Maximum depth any receive queue reached (after a push).
+    pub queue_depth_high_water: u64,
 }
 
 /// A datagram in flight or delivered.
@@ -247,6 +312,14 @@ struct NetInner {
     /// Total payload bytes that crossed the link (for reports).
     bytes_sent: u64,
     datagrams_sent: u64,
+    /// Per-endpoint UDP transmit occupancy: when each sending address's
+    /// link becomes free. The UDP counterpart of
+    /// `ConnState::busy_until` — back-to-back sends from one endpoint
+    /// serialize cumulatively (see the module-level "Link model" docs).
+    udp_busy: HashMap<Addr, SimTime>,
+    /// Drop-tail accounting (see [`LinkStats`]).
+    queue_drops: u64,
+    queue_high_water: u64,
 }
 
 struct NetShared {
@@ -295,6 +368,9 @@ impl Network {
                     conns: Vec::new(),
                     bytes_sent: 0,
                     datagrams_sent: 0,
+                    udp_busy: HashMap::new(),
+                    queue_drops: 0,
+                    queue_high_water: 0,
                 }),
                 ready_cv: Condvar::new(),
                 retired_cv: Condvar::new(),
@@ -320,6 +396,16 @@ impl Network {
     /// Total datagrams sent so far.
     pub fn datagrams_sent(&self) -> u64 {
         self.lock().datagrams_sent
+    }
+
+    /// Drop-tail receive-queue accounting: deliveries discarded at full
+    /// queues plus the deepest queue observed (see [`LinkStats`]).
+    pub fn link_stats(&self) -> LinkStats {
+        let inner = self.lock();
+        LinkStats {
+            queue_drops: inner.queue_drops,
+            queue_depth_high_water: inner.queue_high_water,
+        }
     }
 
     /// Bind a client UDP endpoint at `addr` (mailbox semantics).
@@ -745,13 +831,24 @@ impl Network {
                 // the same address waits here instead of losing data.
                 {
                     let mut inner = self.lock();
-                    if let Some(q) = inner.event_queues.get_mut(&to) {
+                    let cap = inner.cfg.rx_queue_cap;
+                    if inner.event_queues.contains_key(&to) {
+                        let q = inner.event_queues.get_mut(&to).expect("checked");
+                        if q.ready.len() >= cap {
+                            // Drop-tail: the readiness queue is full, the
+                            // delivery is discarded (never counted as
+                            // pending — nobody will drain it).
+                            inner.queue_drops += 1;
+                            return;
+                        }
                         let strict = q.processor.is_some();
                         q.ready.push_back(dg);
+                        let depth = q.ready.len() as u64;
                         inner.pending_events += 1;
                         if strict {
                             inner.pending_strict += 1;
                         }
+                        inner.queue_high_water = inner.queue_high_water.max(depth);
                         drop(inner);
                         if self.shared.eager_wakes {
                             self.shared.ready_cv.notify_all();
@@ -772,8 +869,15 @@ impl Network {
                     return;
                 }
                 let mut inner = self.lock();
+                let cap = inner.cfg.rx_queue_cap;
                 if let Some(mb) = inner.mailboxes.get_mut(&to) {
+                    if mb.len() >= cap {
+                        inner.queue_drops += 1;
+                        return;
+                    }
                     mb.push_back(dg);
+                    let depth = mb.len() as u64;
+                    inner.queue_high_water = inner.queue_high_water.max(depth);
                 }
             }
             Event::TcpDeliver {
@@ -845,32 +949,45 @@ impl NetInner {
     fn send_udp_locked(&mut self, from: Addr, to: Addr, payload: Vec<u8>) {
         self.bytes_sent += payload.len() as u64;
         self.datagrams_sent += 1;
-        let base = self.now
-            + self.cfg.latency
-            + SimTime::from_nanos(payload.len() as u64 * self.cfg.ns_per_byte);
+        // Link occupancy: the sender's endpoint is a serial resource.
+        // This send starts when the wire is free (which may be in the
+        // past relative to a rewound clock — `busy` is monotone) and
+        // finishes after its serialization interval; the next send from
+        // this endpoint queues behind it. Mirrors the TCP per-direction
+        // `busy_until` in `send_tcp`.
+        let busy = self.udp_busy.entry(from).or_insert(SimTime::ZERO);
+        let start = self.now.max(*busy);
+        let tx_done = start + SimTime::from_nanos(payload.len() as u64 * self.cfg.ns_per_byte);
+        *busy = tx_done;
+        let arrival = tx_done + self.cfg.latency;
+        // Faults compose on top of occupancy: every verdict — including
+        // Drop, the sender still transmitted — charges exactly one
+        // serialization interval, and jitter applies after `tx_done`.
         let verdict = self.faults.judge();
         // The arrival stamp equals the event's scheduled time: the run
         // loop sets `now` to exactly that instant before dispatching.
         let dg = Datagram {
             from,
             payload,
-            at: base,
+            at: arrival,
         };
         match verdict {
             Verdict::Drop => {}
-            Verdict::Deliver => self.schedule(base, Event::UdpDeliver { to, dg }),
+            Verdict::Deliver => self.schedule(arrival, Event::UdpDeliver { to, dg }),
             Verdict::Duplicate => {
-                self.schedule(base, Event::UdpDeliver { to, dg: dg.clone() });
+                // One wire charge, two deliveries: the duplicate is
+                // minted in the network, not retransmitted by the sender.
+                self.schedule(arrival, Event::UdpDeliver { to, dg: dg.clone() });
                 let jitter = SimTime::from_nanos(self.faults.delay_ns());
                 let mut dg = dg;
-                dg.at = base + jitter;
-                self.schedule(base + jitter, Event::UdpDeliver { to, dg });
+                dg.at = arrival + jitter;
+                self.schedule(arrival + jitter, Event::UdpDeliver { to, dg });
             }
             Verdict::Delay => {
                 let jitter = SimTime::from_nanos(self.faults.delay_ns());
                 let mut dg = dg;
-                dg.at = base + jitter;
-                self.schedule(base + jitter, Event::UdpDeliver { to, dg });
+                dg.at = arrival + jitter;
+                self.schedule(arrival + jitter, Event::UdpDeliver { to, dg });
             }
         }
     }
@@ -971,6 +1088,161 @@ mod tests {
         ep.recv_timeout(SimTime::from_millis(100)).expect("reply");
         // 10 KB at 80 ns/B = 0.8 ms one way.
         assert!(net.now() >= SimTime::from_nanos(800_000), "{}", net.now());
+    }
+
+    #[test]
+    fn udp_back_to_back_sends_serialize_cumulatively() {
+        // The UDP analogue of `virtual_time_includes_serialization`:
+        // N size-S datagrams blasted from ONE endpoint share its wire,
+        // so the last cannot arrive before N·S·ns_per_byte of
+        // cumulative serialization (plus latency) has elapsed.
+        let net = Network::new(NetworkConfig::lan(), 1);
+        let a = net.bind_udp(5001);
+        let b = net.bind_udp(5002);
+        for _ in 0..8 {
+            a.send_to(5002, vec![0u8; 10_000]);
+        }
+        let mut last = SimTime::ZERO;
+        for _ in 0..8 {
+            let dg = b.recv_timeout(SimTime::from_millis(100)).expect("delivery");
+            last = last.max(dg.at);
+        }
+        // 8 × 10 KB at 80 ns/B = 6.4 ms of wire time, then one latency.
+        let floor = SimTime::from_nanos(8 * 10_000 * 80) + SimTime::from_micros(150);
+        assert!(last >= floor, "last arrival {last} beat the wire ({floor})");
+        // Independent endpoints do NOT share a wire: a fresh sender's
+        // datagram is not queued behind the first endpoint's backlog.
+        let c = net.bind_udp(5003);
+        let t0 = net.now();
+        c.send_to(5002, vec![0u8; 100]);
+        let dg = b.recv_timeout(SimTime::from_millis(100)).expect("delivery");
+        assert_eq!(
+            dg.at,
+            t0 + SimTime::from_nanos(100 * 80) + SimTime::from_micros(150)
+        );
+    }
+
+    #[test]
+    fn duplicate_charges_one_serialization_interval() {
+        // A duplicated datagram occupies the wire once: the copy is
+        // minted in the network, so the NEXT send from the same endpoint
+        // queues behind one tx interval, not two.
+        let net = Network::new(
+            NetworkConfig::lan().with_faults(FaultConfig {
+                loss: 0.0,
+                duplicate: 1.0,
+                reorder: 0.0,
+            }),
+            1,
+        );
+        let a = net.bind_udp(5001);
+        let b = net.bind_udp(5002);
+        a.send_to(5002, vec![1u8; 10_000]);
+        a.send_to(5002, vec![2u8; 10_000]);
+        let mut arrivals: Vec<(u8, SimTime)> = Vec::new();
+        for _ in 0..4 {
+            let dg = b.recv_timeout(SimTime::from_millis(100)).expect("copy");
+            arrivals.push((dg.payload[0], dg.at));
+        }
+        let first_of = |tag: u8| {
+            arrivals
+                .iter()
+                .filter(|&&(t, _)| t == tag)
+                .map(|&(_, at)| at)
+                .min()
+                .expect("both copies delivered")
+        };
+        // Datagram 1 transmits over 0..0.8 ms; its first copy lands at
+        // tx_done + latency. Datagram 2 queues behind exactly ONE tx
+        // interval: 0.8..1.6 ms, first copy at 1.75 ms.
+        assert_eq!(first_of(1), SimTime::from_nanos(10_000 * 80 + 150_000));
+        assert_eq!(
+            first_of(2),
+            SimTime::from_nanos(2 * 10_000 * 80 + 150_000),
+            "duplicate of datagram 1 must not charge a second tx interval"
+        );
+    }
+
+    #[test]
+    fn delayed_datagram_cannot_race_ahead_of_a_busy_link() {
+        // Delay jitter applies AFTER the send's own tx_done behind a
+        // busy wire. The first datagram occupies the wire for 4 ms —
+        // more than the maximum 2 ms jitter — so under the old model
+        // (jitter from the bare send instant) the small datagram would
+        // arrive well before this floor.
+        let net = Network::new(
+            NetworkConfig::lan().with_faults(FaultConfig {
+                loss: 0.0,
+                duplicate: 0.0,
+                reorder: 1.0,
+            }),
+            7,
+        );
+        let a = net.bind_udp(5001);
+        let b = net.bind_udp(5002);
+        a.send_to(5002, vec![0u8; 50_000]); // tx = 4 ms
+        a.send_to(5002, vec![9u8; 100]); // queues behind the big one
+        let floor = SimTime::from_nanos(50_000 * 80 + 100 * 80 + 150_000);
+        let mut small_seen = false;
+        for _ in 0..2 {
+            let dg = b.recv_timeout(SimTime::from_millis(100)).expect("delivery");
+            if dg.payload[0] == 9 {
+                assert!(
+                    dg.at >= floor,
+                    "delayed arrival {} raced ahead of the busy link (floor {floor})",
+                    dg.at
+                );
+                small_seen = true;
+            }
+        }
+        assert!(small_seen);
+    }
+
+    #[test]
+    fn bounded_mailbox_drops_tail_and_counts() {
+        let net = Network::new(NetworkConfig::lan().with_rx_queue_cap(2), 1);
+        let a = net.bind_udp(5001);
+        let b = net.bind_udp(5002);
+        for i in 0..5u8 {
+            a.send_to(5002, vec![i]);
+        }
+        net.advance(SimTime::from_millis(10));
+        assert_eq!(
+            net.link_stats(),
+            LinkStats {
+                queue_drops: 3,
+                queue_depth_high_water: 2,
+            }
+        );
+        // Drop-tail: the two OLDEST datagrams survive.
+        assert_eq!(b.try_recv().expect("kept").payload, vec![0]);
+        assert_eq!(b.try_recv().expect("kept").payload, vec![1]);
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn bounded_event_queue_drops_tail_and_counts() {
+        let net = Network::new(NetworkConfig::lan().with_rx_queue_cap(2), 1);
+        net.serve_udp_events(2000);
+        let ep = net.bind_udp(5001);
+        for i in 0..5u8 {
+            ep.send_to(2000, vec![i]);
+        }
+        // Dropped deliveries must not count as pending (nothing would
+        // ever drain them), so the driver reaches all five deliveries.
+        assert!(net.run_until(net.now() + SimTime::from_millis(10), || {
+            net.link_stats().queue_drops == 3
+        }));
+        assert_eq!(net.ready_udp(2000), 2);
+        assert_eq!(net.pending_events(), 2);
+        for want in 0..2u8 {
+            assert!(net.poll_udp(2000, |req, _| {
+                assert_eq!(req[0], want);
+                None
+            }));
+        }
+        assert_eq!(net.pending_events(), 0);
+        net.unserve_udp_events(2000);
     }
 
     #[test]

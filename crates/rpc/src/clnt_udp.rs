@@ -19,6 +19,75 @@ use std::sync::Arc;
 /// datagram, as its ATM/Fast-Ethernet setup effectively did).
 pub const UDP_BUF_SIZE: usize = 66_000;
 
+/// Retransmission strategy for [`ClntUdp`] — the knob the congestion /
+/// retransmission study turns. All strategies use
+/// [`ClntUdp::retry_timeout`] as the base per-try wait and
+/// [`ClntUdp::total_timeout`] as the overall bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// Classic `clntudp_call` (the default): every try waits the same
+    /// fixed `retry_timeout` before retransmitting everything still
+    /// outstanding.
+    Fixed,
+    /// Exponential backoff: try `k` waits `retry_timeout · 2^k`, capped
+    /// at `cap` — fewer, later retransmissions, easing pressure on a
+    /// congested link at the price of slower loss recovery.
+    ExpBackoff {
+        /// Upper bound on the per-try timeout.
+        cap: SimTime,
+    },
+    /// Fixed per-try timeout, but batch retransmissions are *paced*
+    /// `gap` apart in virtual time instead of re-blasted back-to-back,
+    /// and replies landing inside a gap are drained immediately — a
+    /// straggler answered mid-pace is not resent. Spreads the resend
+    /// burst so a bounded server queue can absorb it.
+    Paced {
+        /// Virtual-time spacing between consecutive resends of a round.
+        gap: SimTime,
+    },
+}
+
+impl RetryPolicy {
+    /// Per-try timeout for the 0-based retry round `attempt`.
+    pub fn try_timeout(self, base: SimTime, attempt: u32) -> SimTime {
+        match self {
+            RetryPolicy::Fixed | RetryPolicy::Paced { .. } => base,
+            RetryPolicy::ExpBackoff { cap } => {
+                let mult = 1u64 << attempt.min(20);
+                SimTime::from_nanos(base.as_nanos().saturating_mul(mult).min(cap.as_nanos()))
+            }
+        }
+    }
+}
+
+/// Route one received datagram: file it under its xid's slot (first
+/// arrival wins) or recycle it into the pool as stale. Free function so
+/// the batch exchange can route from several borrow contexts (the main
+/// drain loop and the paced-resend gaps).
+fn accept_reply(
+    pool: &BufPool,
+    xids: &[u32],
+    replies: &mut [Option<Vec<u8>>],
+    outstanding: &mut usize,
+    reply: Vec<u8>,
+) {
+    let slot = if reply.len() >= 4 {
+        let rx = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]);
+        xids.iter().position(|&x| x == rx)
+    } else {
+        None
+    };
+    match slot {
+        Some(i) if replies[i].is_none() => {
+            replies[i] = Some(reply);
+            *outstanding -= 1;
+        }
+        // Stale: a duplicate of a completed call or an alien xid — its
+        // buffer feeds the pool.
+        _ => pool.put(reply),
+    }
+}
+
 /// A UDP RPC client handle (the `CLIENT` of the original API).
 pub struct ClntUdp {
     sock: SimUdpSocket,
@@ -29,6 +98,9 @@ pub struct ClntUdp {
     pub retry_timeout: SimTime,
     /// Total timeout for one call (`cu_total`).
     pub total_timeout: SimTime,
+    /// How per-try timeouts grow and how batch resends are spaced (see
+    /// [`RetryPolicy`]; defaults to the classic fixed-timeout behavior).
+    pub retry_policy: RetryPolicy,
     /// Micro-layer counts accumulated by generic marshaling.
     pub counts: OpCounts,
     /// Retransmissions performed (observability for fault tests).
@@ -65,6 +137,7 @@ impl ClntUdp {
             xids: XidGen::new(local),
             retry_timeout: SimTime::from_millis(200),
             total_timeout: SimTime::from_millis(2_000),
+            retry_policy: RetryPolicy::Fixed,
             counts: OpCounts::new(),
             retransmits: 0,
             pool,
@@ -111,6 +184,7 @@ impl ClntUdp {
             "request must start with its xid"
         );
         let start = self.sock.now();
+        let mut attempt = 0u32;
         loop {
             let mut dg = self.pool.take(request.len());
             dg.extend_from_slice(request);
@@ -119,7 +193,8 @@ impl ClntUdp {
             // returning None), then retransmit. Both deadlines are held in
             // virtual time, so stale-xid replies are charged for the time
             // they actually consumed waiting — not a token decrement.
-            let try_deadline = self.sock.now() + self.retry_timeout;
+            let try_deadline =
+                self.sock.now() + self.retry_policy.try_timeout(self.retry_timeout, attempt);
             loop {
                 let now = self.sock.now();
                 if now >= try_deadline {
@@ -141,6 +216,7 @@ impl ClntUdp {
                 return Err(RpcError::TimedOut);
             }
             self.retransmits += 1;
+            attempt += 1;
         }
     }
 
@@ -181,20 +257,55 @@ impl ClntUdp {
         let mut replies: Vec<Option<Vec<u8>>> = (0..requests.len()).map(|_| None).collect();
         let mut outstanding = requests.len();
         let mut first_try = true;
+        let mut attempt = 0u32;
         loop {
-            // (Re)transmit every request still awaiting its reply.
-            for (i, r) in requests.iter().enumerate() {
-                if replies[i].is_none() {
-                    let mut dg = self.pool.take(r.len());
-                    dg.extend_from_slice(r);
-                    self.sock.send(dg);
-                    if !first_try {
-                        self.retransmits += 1;
+            // (Re)transmit every request still awaiting its reply. A
+            // paced policy spaces the resends of a retry round `gap`
+            // apart in virtual time, draining replies that land inside
+            // each gap — a straggler answered mid-pace is not resent.
+            let pace = match self.retry_policy {
+                RetryPolicy::Paced { gap } if !first_try => Some(gap),
+                _ => None,
+            };
+            let mut sent_any = false;
+            for i in 0..requests.len() {
+                if replies[i].is_some() {
+                    continue;
+                }
+                if let (Some(gap), true) = (pace, sent_any) {
+                    let pace_deadline = self.sock.now() + gap;
+                    loop {
+                        let now = self.sock.now();
+                        if now >= pace_deadline || outstanding == 0 {
+                            break;
+                        }
+                        match self.sock.recv(pace_deadline - now) {
+                            Some(reply) => accept_reply(
+                                &self.pool,
+                                xids,
+                                &mut replies,
+                                &mut outstanding,
+                                reply,
+                            ),
+                            None => break,
+                        }
+                    }
+                    if replies[i].is_some() {
+                        continue;
                     }
                 }
+                let r = requests[i];
+                let mut dg = self.pool.take(r.len());
+                dg.extend_from_slice(r);
+                self.sock.send(dg);
+                if !first_try {
+                    self.retransmits += 1;
+                }
+                sent_any = true;
             }
             first_try = false;
-            let try_deadline = self.sock.now() + self.retry_timeout;
+            let try_deadline =
+                self.sock.now() + self.retry_policy.try_timeout(self.retry_timeout, attempt);
             while outstanding > 0 {
                 let now = self.sock.now();
                 if now >= try_deadline {
@@ -203,30 +314,14 @@ impl ClntUdp {
                 let Some(reply) = self.sock.recv(try_deadline - now) else {
                     break; // per-try timeout: retransmit the stragglers
                 };
-                let pool = &self.pool;
-                let mut accept = |reply: Vec<u8>| {
-                    let slot = if reply.len() >= 4 {
-                        let rx = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]);
-                        xids.iter().position(|&x| x == rx)
-                    } else {
-                        None
-                    };
-                    match slot {
-                        Some(i) if replies[i].is_none() => {
-                            replies[i] = Some(reply);
-                            outstanding -= 1;
-                        }
-                        // Stale: a duplicate of a completed call or an
-                        // alien xid — its buffer feeds the pool.
-                        _ => pool.put(reply),
-                    }
-                };
-                accept(reply);
+                accept_reply(&self.pool, xids, &mut replies, &mut outstanding, reply);
                 // Bulk-drain whatever else the pipeline has already
                 // delivered: one mailbox lock for the burst instead of a
                 // full receive round per reply.
                 let mut buf = std::mem::take(&mut self.drain_buf);
-                self.sock.drain_ready(&mut buf, &mut accept);
+                self.sock.drain_ready(&mut buf, &mut |r| {
+                    accept_reply(&self.pool, xids, &mut replies, &mut outstanding, r)
+                });
                 self.drain_buf = buf;
             }
             if outstanding == 0 {
@@ -242,6 +337,7 @@ impl ClntUdp {
                 }
                 return Err(RpcError::TimedOut);
             }
+            attempt += 1;
         }
     }
 
@@ -567,6 +663,68 @@ mod tests {
             clnt.retransmits < 8 * 10,
             "only stragglers retransmit, not the whole batch forever"
         );
+    }
+
+    #[test]
+    fn exp_backoff_retransmits_less_than_fixed() {
+        let run = |policy| {
+            let net = Network::new(NetworkConfig::lan(), 3);
+            let mut clnt = ClntUdp::create(&net, 5000, 999, PROG, 1);
+            clnt.retry_timeout = SimTime::from_millis(10);
+            clnt.total_timeout = SimTime::from_millis(500);
+            clnt.retry_policy = policy;
+            let err = clnt.call(1, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err();
+            assert_eq!(err, RpcError::TimedOut);
+            clnt.retransmits
+        };
+        let fixed = run(RetryPolicy::Fixed);
+        let backoff = run(RetryPolicy::ExpBackoff {
+            cap: SimTime::from_millis(200),
+        });
+        assert!(backoff < fixed, "backoff {backoff} >= fixed {fixed}");
+        // 10+20+40+80+160+200 ms already exceeds the 500 ms total.
+        assert!(backoff <= 7, "backoff retried {backoff} times");
+    }
+
+    #[test]
+    fn paced_batch_survives_loss() {
+        let net = Network::new(
+            NetworkConfig::lan().with_faults(FaultConfig {
+                loss: 0.4,
+                duplicate: 0.1,
+                reorder: 0.2,
+            }),
+            99,
+        );
+        let mut clnt = start(&net, true);
+        clnt.retry_timeout = SimTime::from_millis(20);
+        clnt.total_timeout = SimTime::from_millis(10_000);
+        clnt.retry_policy = RetryPolicy::Paced {
+            gap: SimTime::from_micros(500),
+        };
+        let mut requests = Vec::new();
+        let mut xids = Vec::new();
+        for i in 0..8i32 {
+            let xid = clnt.next_xid();
+            let mut enc = XdrMem::encoder(256);
+            let mut msg = CallHeader::new(xid, PROG, 1, 1);
+            CallHeader::xdr(&mut enc, &mut msg).unwrap();
+            let mut v = vec![i, i, i];
+            xdr_array(&mut enc, &mut v, 100, xdr_int).unwrap();
+            requests.push(enc.into_bytes());
+            xids.push(xid);
+        }
+        let refs: Vec<&[u8]> = requests.iter().map(Vec::as_slice).collect();
+        let replies = clnt.exchange_batch(&refs, &xids).unwrap();
+        for (i, reply) in replies.iter().enumerate() {
+            let mut dec = XdrMem::decoder(reply);
+            let hdr = ReplyHeader::decode(&mut dec).unwrap();
+            assert_eq!(hdr.xid, xids[i], "submission order preserved");
+            let mut sum = 0i32;
+            xdr_int(&mut dec, &mut sum).unwrap();
+            assert_eq!(sum, i as i32 * 3);
+        }
+        assert!(clnt.retransmits > 0, "loss must have forced paced retries");
     }
 
     #[test]

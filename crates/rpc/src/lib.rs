@@ -31,7 +31,7 @@ pub mod xid;
 pub use auth::OpaqueAuth;
 pub use bufpool::{BufPool, PoolStats};
 pub use clnt_tcp::ClntTcp;
-pub use clnt_udp::ClntUdp;
+pub use clnt_udp::{ClntUdp, RetryPolicy};
 pub use error::RpcError;
 pub use msg::{AcceptStat, CallHeader, MsgType, RejectStat, ReplyHeader, ReplyStat, RPC_VERS};
 pub use svc::SvcRegistry;

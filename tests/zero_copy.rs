@@ -80,7 +80,7 @@ fn pooled_specialized_round_trip_allocates_zero_after_warmup() {
     // including the shared pool's counters (overflow drops visible).
     let pool_stats = client.transport_mut().pool().stats();
     let text = Summary::default()
-        .with_wire(client.counts, client.calls, Some(pool_stats))
+        .with_wire(client.counts, client.calls, Some(pool_stats), None)
         .render();
     assert!(text.contains("wire path"), "{text}");
     assert!(text.contains("buffer pool"), "{text}");
