@@ -1,0 +1,51 @@
+//! Availability study under the chaos layer — the mid-run primary
+//! crash of `run_chaos`, measured per client mode (resilience layer on
+//! or off) across the fault matrix.
+//!
+//! Like the `congestion` group, every row records **virtual time**: the
+//! deterministic simulated duration until the run (fault schedule
+//! included) finishes under that mode. The medians are exact and
+//! machine-independent, so the baseline gate flags ANY behavior change
+//! in the chaos schedule, the failover/breaker logic, or the timeout
+//! clamps — regardless of runner noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specrpc::{run_chaos, ChaosConfig};
+use specrpc_netsim::FaultConfig;
+use std::time::Duration;
+
+fn bench_chaos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for (fault_label, faults) in [("clean", FaultConfig::NONE), ("lossy", FaultConfig::LOSSY)] {
+        let base = ChaosConfig::smoke().with_faults(faults);
+        for failover in [true, false] {
+            let cfg = base.clone().with_failover(failover);
+            let mode = if failover { "failover" } else { "no-failover" };
+            group.bench_with_input(BenchmarkId::new(mode, fault_label), &cfg, |b, cfg| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let report = run_chaos(cfg).expect("chaos run");
+                        assert_eq!(
+                            report.completed + report.failed,
+                            report.calls,
+                            "every call must settle"
+                        );
+                        // Virtual time until the schedule plays out.
+                        total += Duration::from_nanos(report.elapsed.as_nanos());
+                    }
+                    total
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos);
+criterion_main!(benches);

@@ -34,7 +34,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The bench targets with checked-in baselines.
-const TARGETS: [&str; 7] = [
+const TARGETS: [&str; 8] = [
     "marshal",
     "roundtrip",
     "unroll",
@@ -42,6 +42,7 @@ const TARGETS: [&str; 7] = [
     "scale",
     "adaptive",
     "congestion",
+    "chaos",
 ];
 
 /// One measured benchmark.

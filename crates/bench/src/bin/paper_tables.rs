@@ -114,6 +114,16 @@ fn main() {
         )
     );
 
+    println!(
+        "{}",
+        render_chaos_rows(
+            "Availability study — mid-run primary crash with one backup\n\
+             (8 clients, 24 calls each; deadline 8 ms, 30 ms downtime;\n\
+             \u{20}deterministic virtual time, see `run_chaos`)",
+            &chaos_study(),
+        )
+    );
+
     println!("Figure 6 — series (x = array size)");
     for (name, series) in fig6 {
         let points: Vec<String> = series

@@ -506,6 +506,109 @@ pub fn render_congestion_rows(title: &str, rows: &[CongestionRow]) -> String {
     out
 }
 
+/// One row of the availability study: one client mode (resilience
+/// layer on/off) driven through the mid-run primary crash of
+/// [`specrpc::run_chaos`] under one fault configuration. All
+/// quantities are deterministic virtual-time results — the crash,
+/// restart, and failovers really happen on the simulated wire.
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Fault-matrix column ("clean" or "lossy").
+    pub faults: &'static str,
+    /// Client mode ("failover" or "no-failover").
+    pub mode: &'static str,
+    /// Availability in basis points (9_967 = 99.67%).
+    pub availability_bp: u32,
+    /// Calls that completed within the scenario deadline / issued.
+    pub within_deadline: u64,
+    /// Calls issued.
+    pub calls: u64,
+    /// Calls that errored outright.
+    pub failed: u64,
+    /// Crash → first completed post-crash call (ms, virtual).
+    pub recovery_ms: f64,
+    /// Client retargetings to a backup replica.
+    pub failovers: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_trips: u64,
+    /// Handler executions beyond one per completed call.
+    pub extra_executions: u64,
+    /// 99th-percentile call latency (ms, virtual).
+    pub p99_ms: f64,
+}
+
+/// Run the availability study: the smoke-sized crash schedule, two
+/// client modes × {clean, lossy}. Deterministic — the same rows every
+/// run.
+pub fn chaos_study() -> Vec<ChaosRow> {
+    use specrpc::{run_chaos_matrix, ChaosConfig};
+    use specrpc_netsim::FaultConfig;
+
+    let mut rows = Vec::new();
+    for (faults_label, faults) in [("clean", FaultConfig::NONE), ("lossy", FaultConfig::LOSSY)] {
+        let cfg = ChaosConfig::smoke().with_faults(faults);
+        for report in run_chaos_matrix(&cfg).expect("chaos matrix") {
+            rows.push(ChaosRow {
+                faults: faults_label,
+                mode: report.mode_label(),
+                availability_bp: report.availability_bp(),
+                within_deadline: report.within_deadline,
+                calls: report.calls,
+                failed: report.failed,
+                recovery_ms: report
+                    .recovery
+                    .map_or(f64::NAN, |r| r.as_nanos() as f64 / 1e6),
+                failovers: report.failovers,
+                breaker_trips: report.breaker_trips,
+                extra_executions: report.extra_executions,
+                p99_ms: report.latency.p99().as_nanos() as f64 / 1e6,
+            });
+        }
+    }
+    rows
+}
+
+/// Render the availability study table.
+pub fn render_chaos_rows(title: &str, rows: &[ChaosRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} | {:>8} {:>9} {:>6} | {:>8} | {:>5} {:>5} {:>5} | {:>8}",
+        "faults",
+        "mode",
+        "avail",
+        "in-ddl",
+        "failed",
+        "rcvr(ms)",
+        "f/o",
+        "trips",
+        "dups",
+        "p99(ms)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(86));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12} | {:>5}.{:02}% {:>5}/{:<3} {:>6} | {:>8.3} | {:>5} {:>5} {:>5} | {:>8.3}",
+            r.faults,
+            r.mode,
+            r.availability_bp / 100,
+            r.availability_bp % 100,
+            r.within_deadline,
+            r.calls,
+            r.failed,
+            r.recovery_ms,
+            r.failovers,
+            r.breaker_trips,
+            r.extra_executions,
+            r.p99_ms,
+        );
+    }
+    out
+}
+
 /// Render a Table-1/2-style table with paper reference values.
 pub fn render_rows(title: &str, rows: &[Row], paper: &[(f64, f64)]) -> String {
     use std::fmt::Write;
@@ -767,6 +870,43 @@ mod tests {
         }
         let text = render_congestion_rows("T", &rows);
         for col in ["rtx/call", "drops", "settle(ms)", "expbackoff"] {
+            assert!(text.contains(col), "{text}");
+        }
+    }
+
+    #[test]
+    fn chaos_study_shows_failover_holding_availability() {
+        let rows = chaos_study();
+        assert_eq!(rows.len(), 4, "2 modes x 2 fault columns");
+        let find = |f: &str, m: &str| rows.iter().find(|r| r.faults == f && r.mode == m).unwrap();
+        for f in ["clean", "lossy"] {
+            let with = find(f, "failover");
+            let without = find(f, "no-failover");
+            // The ≥99% availability bound is the crash-only claim; the
+            // lossy column stacks random datagram loss on top, where a
+            // deadline miss or two is the loss model's doing.
+            let floor = if f == "clean" { 9_900 } else { 9_700 };
+            assert!(
+                with.availability_bp >= floor,
+                "{f}: failover availability {} bp under floor {floor}",
+                with.availability_bp
+            );
+            assert!(
+                without.availability_bp < with.availability_bp,
+                "{f}: classic client must degrade: {} vs {}",
+                without.availability_bp,
+                with.availability_bp
+            );
+            assert!(
+                with.recovery_ms < without.recovery_ms,
+                "{f}: failover recovery {} must beat {}",
+                with.recovery_ms,
+                without.recovery_ms
+            );
+            assert_eq!(without.failovers, 0, "{f}: classic clients cannot move");
+        }
+        let text = render_chaos_rows("T", &rows);
+        for col in ["avail", "rcvr(ms)", "trips", "no-failover"] {
             assert!(text.contains(col), "{text}");
         }
     }

@@ -423,6 +423,7 @@
 
 pub mod adaptive;
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod congestion;
 pub mod echo;
@@ -441,6 +442,7 @@ pub use cache::{
     CacheStats, CompileClock, EvictionPolicy, ShapeKey, StubCache, COST_CLASSES,
     DEFAULT_STUB_CACHE_ENTRIES,
 };
+pub use chaos::{run_chaos, run_chaos_matrix, ChaosConfig, ChaosReport};
 pub use client::{PathUsed, ProcSpec, SpecClient, SpecClientBuilder};
 pub use congestion::{run_congestion, run_congestion_matrix, CongestionConfig, CongestionReport};
 pub use pipeline::{CompiledProc, PipelineError, ProcPipeline, UNROLL_CANDIDATES};
@@ -450,4 +452,4 @@ pub use scenario::{
 };
 pub use service::{EventService, ShardedService, SpecHandler, SpecService, ThreadedService};
 pub use specializer::{CompileJob, Specializer, SpecializerStats};
-pub use summary::{LatencyHistogram, Summary, WireStats};
+pub use summary::{ChaosSummary, LatencyHistogram, Summary, WireStats};

@@ -151,6 +151,37 @@ pub struct WireStats {
     pub link: Option<LinkStats>,
 }
 
+/// Availability profile of a chaos run: how the deployment behaved
+/// while the fault schedule crashed, restarted, and partitioned its
+/// endpoints. Availability is carried in basis points (1/100 of a
+/// percent) so the summary stays `Eq` and renders byte-identically
+/// across runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosSummary {
+    /// Calls attempted over the run.
+    pub calls: u64,
+    /// Calls that completed within the scenario's deadline.
+    pub within_deadline: u64,
+    /// Calls that errored outright (timed out, gave up, or were refused
+    /// fast by open circuit breakers).
+    pub failed: u64,
+    /// `within_deadline / calls` in basis points (9_967 = 99.67%).
+    pub availability_bp: u32,
+    /// Virtual time from the primary's crash to the next completed
+    /// call, when one completed after the crash at all.
+    pub recovery: Option<SimTime>,
+    /// Handler executions beyond one per completed call — the
+    /// exactly-once → at-least-once erosion a restart's duplicate-cache
+    /// amnesia (and failover re-sends) cause.
+    pub extra_executions: u64,
+    /// Times clients retargeted to a backup replica.
+    pub failovers: u64,
+    /// Circuit-breaker open transitions across all clients.
+    pub breaker_trips: u64,
+    /// Total endpoint downtime the chaos schedule inflicted.
+    pub downtime: SimTime,
+}
+
 /// What specialization eliminated, in the paper's vocabulary.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Summary {
@@ -192,6 +223,9 @@ pub struct Summary {
     /// Tiered-execution counters, when the deployment ran through an
     /// [`crate::AdaptiveRuntime`].
     pub adaptive: Option<AdaptiveStats>,
+    /// Availability-under-faults profile, when the deployment ran under
+    /// a chaos schedule ([`crate::run_chaos`]).
+    pub chaos: Option<ChaosSummary>,
 }
 
 impl Summary {
@@ -216,6 +250,7 @@ impl Summary {
             latency: None,
             wire: None,
             adaptive: None,
+            chaos: None,
         }
     }
 
@@ -286,6 +321,15 @@ impl Summary {
     /// high-water, total compile cost, and evictions by cost class.
     pub fn with_adaptive(mut self, stats: AdaptiveStats) -> Summary {
         self.adaptive = Some(stats);
+        self
+    }
+
+    /// Attach an availability-under-faults profile from a chaos run
+    /// ([`crate::run_chaos`]): deadline-availability in basis points,
+    /// crash-recovery time, duplicate handler executions, and the
+    /// failover/breaker activity that kept the deployment serving.
+    pub fn with_chaos(mut self, stats: ChaosSummary) -> Summary {
+        self.chaos = Some(stats);
         self
     }
 
@@ -401,6 +445,30 @@ impl Summary {
                 ));
             }
         }
+        if let Some(c) = self.chaos {
+            text.push_str(&format!(
+                "\n\u{20} chaos availability:             {}.{:02}% ({}/{} within deadline, {} failed)",
+                c.availability_bp / 100,
+                c.availability_bp % 100,
+                c.within_deadline,
+                c.calls,
+                c.failed,
+            ));
+            match c.recovery {
+                Some(r) => text.push_str(&format!(
+                    "\n\u{20} crash recovery:                 {r} after the crash, downtime {}",
+                    c.downtime,
+                )),
+                None => text.push_str(&format!(
+                    "\n\u{20} crash recovery:                 never recovered, downtime {}",
+                    c.downtime,
+                )),
+            }
+            text.push_str(&format!(
+                "\n\u{20} at-least-once erosion:          {} duplicate execution(s), {} failover(s), {} breaker trip(s)",
+                c.extra_executions, c.failovers, c.breaker_trips,
+            ));
+        }
         text
     }
 }
@@ -478,6 +546,29 @@ mod tests {
         let text = s.render();
         assert!(text.contains("event loop"));
         assert!(text.contains("16 event(s) across 2 worker(s) [7, 9]"));
+    }
+
+    #[test]
+    fn render_includes_chaos_lines_when_attached() {
+        let s = Summary::default().with_chaos(ChaosSummary {
+            calls: 96,
+            within_deadline: 95,
+            failed: 0,
+            availability_bp: 9_895,
+            recovery: Some(SimTime::from_millis(6)),
+            extra_executions: 1,
+            failovers: 1,
+            breaker_trips: 2,
+            downtime: SimTime::from_millis(30),
+        });
+        let text = s.render();
+        assert!(text.contains("chaos availability"));
+        assert!(text.contains("98.95% (95/96 within deadline, 0 failed)"));
+        assert!(text.contains("6.000ms after the crash"), "{text}");
+        assert!(text.contains("1 duplicate execution(s), 1 failover(s), 2 breaker trip(s)"));
+
+        let never = Summary::default().with_chaos(ChaosSummary::default());
+        assert!(never.render().contains("never recovered"));
     }
 
     #[test]

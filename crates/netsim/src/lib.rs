@@ -24,6 +24,7 @@
 //!    substitution preserves the paper's *shape* (who wins, by what factor,
 //!    where the curves bend).
 
+pub mod chaos;
 pub mod fault;
 pub mod net;
 pub mod platform;
@@ -31,6 +32,7 @@ pub mod tcp;
 pub mod time;
 pub mod udp;
 
+pub use chaos::{ChaosEvent, ChaosSchedule, ChaosStats};
 pub use fault::FaultConfig;
 pub use net::{Endpoint, LinkStats, Network, NetworkConfig};
 pub use platform::{Platform, PlatformCosts};

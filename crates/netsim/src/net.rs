@@ -96,6 +96,7 @@
 //! same instant, and the resulting trace is byte- and time-identical to
 //! the blocking-handler execution of the same workload.
 
+use crate::chaos::{ChaosEvent, ChaosSchedule, ChaosState, ChaosStats};
 use crate::fault::{FaultConfig, FaultState, Verdict};
 use crate::time::SimTime;
 use std::cmp::Reverse;
@@ -195,6 +196,10 @@ enum Event {
         to_server: bool,
         bytes: Vec<u8>,
     },
+    /// A scheduled lifecycle fault (see [`crate::chaos`]). Routed through
+    /// the ordinary event queue so a [`ChaosSchedule`] interleaves with
+    /// traffic at exact virtual instants, replaying byte-identically.
+    Chaos(ChaosEvent),
 }
 
 struct Scheduled {
@@ -227,6 +232,12 @@ impl Ord for Scheduled {
 /// it (`std::mem::take`) — e.g. to recycle the buffer into a wire-buffer
 /// pool. The simulator drops whatever remains after the call.
 pub type UdpHandler = Box<dyn FnMut(&mut Vec<u8>, Addr) -> Option<(Vec<u8>, SimTime)> + Send>;
+
+/// Factory producing a [`UdpHandler`] with **fresh state** — what
+/// [`Network::serve_udp_restartable`] registers so a
+/// [`Network::restart`]ed endpoint comes back amnesiac (e.g. an RPC
+/// server whose duplicate-request cache is empty again).
+pub type UdpHandlerFactory = Box<dyn FnMut() -> UdpHandler + Send>;
 
 /// Per-connection TCP service handler: gets newly arrived bytes, returns
 /// bytes to send back plus processing time (empty response is fine — the
@@ -300,6 +311,10 @@ struct NetInner {
     /// Client mailboxes keyed by bound address.
     mailboxes: HashMap<Addr, VecDeque<Datagram>>,
     udp_handlers: HashMap<Addr, Slot<UdpHandler>>,
+    /// Handler factories for restartable services: [`Network::restart`]
+    /// re-installs a freshly built handler from here (crash/restart
+    /// amnesia — see [`crate::chaos`]).
+    udp_factories: HashMap<Addr, Slot<UdpHandlerFactory>>,
     /// Event-mode service addresses: deliveries become readiness events
     /// drained by [`Network::poll_udp`] instead of handler invocations.
     /// A `BTreeMap` so the driver's work-steal scan visits addresses in
@@ -320,6 +335,9 @@ struct NetInner {
     /// Drop-tail accounting (see [`LinkStats`]).
     queue_drops: u64,
     queue_high_water: u64,
+    /// Endpoint lifecycle faults: who is crashed / paused / partitioned,
+    /// plus downtime accounting (see [`crate::chaos`]).
+    chaos: ChaosState,
 }
 
 struct NetShared {
@@ -363,6 +381,7 @@ impl Network {
                     queue: BinaryHeap::new(),
                     mailboxes: HashMap::new(),
                     udp_handlers: HashMap::new(),
+                    udp_factories: HashMap::new(),
                     event_queues: BTreeMap::new(),
                     tcp_listeners: HashMap::new(),
                     conns: Vec::new(),
@@ -371,6 +390,7 @@ impl Network {
                     udp_busy: HashMap::new(),
                     queue_drops: 0,
                     queue_high_water: 0,
+                    chaos: ChaosState::new(),
                 }),
                 ready_cv: Condvar::new(),
                 retired_cv: Condvar::new(),
@@ -422,6 +442,119 @@ impl Network {
         self.lock()
             .udp_handlers
             .insert(addr, Arc::new(Mutex::new(handler)));
+    }
+
+    /// Install a **restartable** UDP service at `addr`: the factory is
+    /// invoked once now and again on every [`Network::restart`], so the
+    /// endpoint comes back from a [`Network::crash`] with fresh handler
+    /// state — the dup-cache amnesia the chaos scenarios exercise (see
+    /// [`crate::chaos`]).
+    pub fn serve_udp_restartable(&self, addr: Addr, mut factory: UdpHandlerFactory) {
+        let handler = factory();
+        let mut inner = self.lock();
+        inner
+            .udp_handlers
+            .insert(addr, Arc::new(Mutex::new(handler)));
+        inner
+            .udp_factories
+            .insert(addr, Arc::new(Mutex::new(factory)));
+    }
+
+    /// Crash `addr` now (see [`ChaosEvent::Crash`]): its mailbox and
+    /// queued readiness events are dropped (and un-counted from the
+    /// pending guards), its handler and event-mode registration are
+    /// removed, and deliveries arriving while it is down vanish.
+    pub fn crash(&self, addr: Addr) {
+        self.apply_chaos_event(ChaosEvent::Crash(addr));
+    }
+
+    /// Restart a crashed `addr` now (see [`ChaosEvent::Restart`]): closes
+    /// its downtime span and — if the address was registered through
+    /// [`Network::serve_udp_restartable`] — installs a freshly built
+    /// handler (empty dup cache and all).
+    pub fn restart(&self, addr: Addr) {
+        self.apply_chaos_event(ChaosEvent::Restart(addr));
+    }
+
+    /// Cut the link between `a` and `b` (both directions) until
+    /// [`Network::heal`]: sends between the pair are dropped at the
+    /// sender (which still pays its wire occupancy).
+    pub fn partition(&self, a: Addr, b: Addr) {
+        self.apply_chaos_event(ChaosEvent::Partition(a, b));
+    }
+
+    /// Restore a pair cut by [`Network::partition`].
+    pub fn heal(&self, a: Addr, b: Addr) {
+        self.apply_chaos_event(ChaosEvent::Heal(a, b));
+    }
+
+    /// Stall `addr` (a GC-style pause): deliveries are deferred, not
+    /// lost, and re-delivered in arrival order on [`Network::resume`].
+    pub fn pause(&self, addr: Addr) {
+        self.apply_chaos_event(ChaosEvent::Pause(addr));
+    }
+
+    /// End a [`Network::pause`], re-delivering everything deferred.
+    pub fn resume(&self, addr: Addr) {
+        self.apply_chaos_event(ChaosEvent::Resume(addr));
+    }
+
+    /// Whether `addr` is currently crashed.
+    pub fn is_down(&self, addr: Addr) -> bool {
+        self.lock().chaos.is_down(addr)
+    }
+
+    /// Schedule every event of a [`ChaosSchedule`] into the simulator's
+    /// event queue (events dated before the current instant fire
+    /// immediately — the clock never rewinds). The schedule interleaves
+    /// with traffic at exact virtual times, so a fixed schedule + seed
+    /// replays byte-identically.
+    pub fn apply_chaos(&self, schedule: &ChaosSchedule) {
+        let mut inner = self.lock();
+        for (at, ev) in schedule.events() {
+            let at = at.max(inner.now);
+            inner.schedule(at, Event::Chaos(ev));
+        }
+    }
+
+    /// Lifecycle-fault accounting snapshot (crashes, partitions, drops,
+    /// total downtime — see [`ChaosStats`]).
+    pub fn chaos_stats(&self) -> ChaosStats {
+        let inner = self.lock();
+        inner.chaos.snapshot(inner.now)
+    }
+
+    /// Dead + stalled virtual time accumulated by `addr` (an open span
+    /// counts up to the current instant).
+    pub fn downtime(&self, addr: Addr) -> SimTime {
+        let inner = self.lock();
+        inner.chaos.downtime(addr, inner.now)
+    }
+
+    /// Apply one lifecycle fault at the current instant — the shared body
+    /// of the direct `crash`/`restart`/… methods and of scheduled
+    /// [`Event::Chaos`] dispatches.
+    fn apply_chaos_event(&self, ev: ChaosEvent) {
+        let reinstall = {
+            let mut inner = self.lock();
+            inner.apply_chaos_locked(ev)
+        };
+        // A restart re-builds the handler from its factory OUTSIDE the
+        // simulator lock (the factory is user code and may touch the
+        // network itself).
+        if let Some(addr) = reinstall {
+            let factory = self.lock().udp_factories.get(&addr).cloned();
+            if let Some(factory) = factory {
+                let handler = (factory.lock().expect("udp factory lock"))();
+                self.lock()
+                    .udp_handlers
+                    .insert(addr, Arc::new(Mutex::new(handler)));
+            }
+        }
+        // Crash may have dropped pending events; wake both sleeper kinds
+        // so reactors and fast-forward waiters re-check.
+        self.shared.ready_cv.notify_all();
+        self.shared.retired_cv.notify_all();
     }
 
     /// Register `addr` in **event mode**: deliveries are queued as
@@ -831,6 +964,20 @@ impl Network {
                 // the same address waits here instead of losing data.
                 {
                     let mut inner = self.lock();
+                    if inner.chaos.armed() {
+                        if inner.chaos.is_down(to) {
+                            // The destination process is dead: the
+                            // delivery vanishes (there is no ICMP).
+                            inner.chaos.stats.drops_down += 1;
+                            return;
+                        }
+                        if inner.chaos.is_paused(to) {
+                            // A stalled process: the kernel keeps
+                            // buffering — defer until resume.
+                            inner.chaos.defer(to, dg);
+                            return;
+                        }
+                    }
                     let cap = inner.cfg.rx_queue_cap;
                     if inner.event_queues.contains_key(&to) {
                         let q = inner.event_queues.get_mut(&to).expect("checked");
@@ -900,6 +1047,7 @@ impl Network {
                     inner.conns[conn].client_rx.extend(bytes);
                 }
             }
+            Event::Chaos(ev) => self.apply_chaos_event(ev),
         }
     }
 
@@ -943,6 +1091,60 @@ impl NetInner {
         self.queue.push(Reverse(Scheduled { at, seq, ev }));
     }
 
+    /// Apply one lifecycle fault under the simulator lock. Returns
+    /// `Some(addr)` when the caller must re-install a handler from the
+    /// address's factory (restart of a restartable service) — that runs
+    /// user code and must happen outside this lock.
+    fn apply_chaos_locked(&mut self, ev: ChaosEvent) -> Option<Addr> {
+        let now = self.now;
+        match ev {
+            ChaosEvent::Crash(addr) => {
+                if self.chaos.crash(addr, now) {
+                    // Everything the process held in memory dies with it:
+                    // mailbox contents, queued readiness events (which
+                    // must be un-counted from the pending guards exactly
+                    // like `unserve_udp_events`, or the clock would pin
+                    // forever on events nobody can drain), and the
+                    // handler itself. The factory survives — that is what
+                    // restart rebuilds from.
+                    if let Some(mb) = self.mailboxes.get_mut(&addr) {
+                        mb.clear();
+                    }
+                    if let Some(q) = self.event_queues.remove(&addr) {
+                        self.pending_events -= q.ready.len();
+                        if q.processor.is_some() {
+                            self.pending_strict -= q.ready.len();
+                        }
+                    }
+                    self.udp_handlers.remove(&addr);
+                }
+                None
+            }
+            ChaosEvent::Restart(addr) => self.chaos.restart(addr, now).then_some(addr),
+            ChaosEvent::Partition(a, b) => {
+                self.chaos.partition(a, b);
+                None
+            }
+            ChaosEvent::Heal(a, b) => {
+                self.chaos.heal(a, b);
+                None
+            }
+            ChaosEvent::Pause(addr) => {
+                self.chaos.pause(addr, now);
+                None
+            }
+            ChaosEvent::Resume(addr) => {
+                // Deferred deliveries re-enter the event queue at the
+                // resume instant, preserving arrival order via seq.
+                for mut dg in self.chaos.resume(addr, now) {
+                    dg.at = now;
+                    self.schedule(now, Event::UdpDeliver { to: addr, dg });
+                }
+                None
+            }
+        }
+    }
+
     /// [`Network::send_udp`] body, callable while the simulator lock is
     /// already held (the reactor completes clock charge + reply send +
     /// pending retire under one acquisition).
@@ -960,6 +1162,22 @@ impl NetInner {
         let tx_done = start + SimTime::from_nanos(payload.len() as u64 * self.cfg.ns_per_byte);
         *busy = tx_done;
         let arrival = tx_done + self.cfg.latency;
+        // Lifecycle faults gate the send after the occupancy charge (the
+        // sender did transmit) and before the datagram fault stream is
+        // consulted — a partitioned or dead-sender datagram was never
+        // judged, it just died in the cut. Destination-side crash/pause
+        // is checked at *arrival* time in `dispatch` instead, so a
+        // datagram in flight across a restart still lands.
+        if self.chaos.armed() {
+            if self.chaos.partitioned(from, to) {
+                self.chaos.stats.drops_partitioned += 1;
+                return;
+            }
+            if self.chaos.is_down(from) {
+                self.chaos.stats.drops_down += 1;
+                return;
+            }
+        }
         // Faults compose on top of occupancy: every verdict — including
         // Drop, the sender still transmitted — charges exactly one
         // serialization interval, and jitter applies after `tx_done`.
@@ -1544,6 +1762,196 @@ mod tests {
         assert!(b.recv_timeout(SimTime::from_millis(5)).is_some());
         assert!(net.now() > before);
         assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn crash_drops_deliveries_and_restart_restores_service() {
+        use crate::chaos::ChaosStats;
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp_restartable(
+            2000,
+            Box::new(|| Box::new(|req: &mut Vec<u8>, _| Some((req.to_vec(), SimTime::ZERO)))),
+        );
+        let ep = net.bind_udp(5001);
+        ep.send_to(2000, vec![1]);
+        assert!(ep.recv_timeout(SimTime::from_millis(5)).is_some());
+        net.crash(2000);
+        assert!(net.is_down(2000));
+        ep.send_to(2000, vec![2]);
+        assert!(
+            ep.recv_timeout(SimTime::from_millis(5)).is_none(),
+            "dead server must not answer"
+        );
+        net.restart(2000);
+        assert!(!net.is_down(2000));
+        ep.send_to(2000, vec![3]);
+        assert_eq!(
+            ep.recv_timeout(SimTime::from_millis(5))
+                .expect("back up")
+                .payload,
+            vec![3]
+        );
+        let stats = net.chaos_stats();
+        assert_eq!(
+            stats,
+            ChaosStats {
+                crashes: 1,
+                restarts: 1,
+                drops_down: 1,
+                downtime: stats.downtime,
+                ..ChaosStats::default()
+            }
+        );
+        assert_eq!(net.downtime(2000), stats.downtime);
+        assert!(
+            stats.downtime >= SimTime::from_millis(5),
+            "the failed recv waited out 5ms of downtime"
+        );
+    }
+
+    #[test]
+    fn restart_installs_fresh_handler_state() {
+        // The amnesia property: a restartable handler's captured state is
+        // rebuilt by the factory, so a restarted endpoint forgets what it
+        // saw — the netsim half of dup-cache amnesia.
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp_restartable(
+            2000,
+            Box::new(|| {
+                let mut seen = 0u8;
+                Box::new(move |_req: &mut Vec<u8>, _| {
+                    seen += 1;
+                    Some((vec![seen], SimTime::ZERO))
+                })
+            }),
+        );
+        let ep = net.bind_udp(5001);
+        for want in 1..=2u8 {
+            ep.send_to(2000, vec![0]);
+            assert_eq!(
+                ep.recv_timeout(SimTime::from_millis(5))
+                    .expect("reply")
+                    .payload,
+                vec![want]
+            );
+        }
+        net.crash(2000);
+        net.restart(2000);
+        ep.send_to(2000, vec![0]);
+        assert_eq!(
+            ep.recv_timeout(SimTime::from_millis(5))
+                .expect("reply")
+                .payload,
+            vec![1],
+            "fresh state counts from one again"
+        );
+    }
+
+    #[test]
+    fn partition_drops_sends_both_ways_until_heal() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        let a = net.bind_udp(5001);
+        let b = net.bind_udp(5002);
+        net.partition(5001, 5002);
+        a.send_to(5002, vec![1]);
+        b.send_to(5001, vec![2]);
+        assert!(a.recv_timeout(SimTime::from_millis(3)).is_none());
+        assert!(b.recv_timeout(SimTime::from_millis(3)).is_none());
+        // A third party still reaches both sides: the cut is pairwise.
+        let c = net.bind_udp(5003);
+        c.send_to(5002, vec![3]);
+        assert!(b.recv_timeout(SimTime::from_millis(3)).is_some());
+        net.heal(5001, 5002);
+        a.send_to(5002, vec![4]);
+        assert_eq!(
+            b.recv_timeout(SimTime::from_millis(3))
+                .expect("healed")
+                .payload,
+            vec![4]
+        );
+        assert_eq!(net.chaos_stats().drops_partitioned, 2);
+    }
+
+    #[test]
+    fn pause_defers_deliveries_until_resume() {
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp(2000, Box::new(|req, _| Some((req.to_vec(), SimTime::ZERO))));
+        let ep = net.bind_udp(5001);
+        net.pause(2000);
+        ep.send_to(2000, vec![1]);
+        ep.send_to(2000, vec![2]);
+        assert!(
+            ep.recv_timeout(SimTime::from_millis(5)).is_none(),
+            "stalled server answers nothing"
+        );
+        net.resume(2000);
+        let r1 = ep
+            .recv_timeout(SimTime::from_millis(5))
+            .expect("deferred 1");
+        let r2 = ep
+            .recv_timeout(SimTime::from_millis(5))
+            .expect("deferred 2");
+        assert_eq!(r1.payload, vec![1], "arrival order preserved");
+        assert_eq!(r2.payload, vec![2]);
+        let stats = net.chaos_stats();
+        assert_eq!(stats.deferred, 2);
+        assert_eq!(stats.pauses, 1);
+        assert!(stats.downtime >= SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn crash_releases_queued_readiness_events() {
+        // A crash must un-count pending readiness events exactly like
+        // unserve_udp_events, or the idle fast-forward would pin forever.
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp_events(2000);
+        let ep = net.bind_udp(5001);
+        ep.send_to(2000, vec![7]);
+        net.run_until(SimTime::from_millis(1), || net.ready_udp(2000) > 0);
+        assert_eq!(net.pending_events(), 1);
+        net.crash(2000);
+        assert_eq!(net.pending_events(), 0);
+        let before = net.now();
+        assert!(ep.recv_timeout(SimTime::from_millis(2)).is_none());
+        assert_eq!(net.now(), before + SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn chaos_schedule_replays_byte_identically() {
+        use crate::chaos::ChaosSchedule;
+        let run = || {
+            let net = Network::new(NetworkConfig::lan(), 11);
+            net.serve_udp_restartable(
+                2000,
+                Box::new(|| {
+                    Box::new(|req: &mut Vec<u8>, _| Some((req.to_vec(), SimTime::from_micros(20))))
+                }),
+            );
+            net.apply_chaos(&ChaosSchedule::new().crash_window(
+                2000,
+                SimTime::from_millis(3),
+                SimTime::from_millis(2),
+            ));
+            let ep = net.bind_udp(5001);
+            let mut replies = Vec::new();
+            for i in 0..12u8 {
+                ep.send_to(2000, vec![i]);
+                replies.push(
+                    ep.recv_timeout(SimTime::from_millis(1))
+                        .map(|d| (d.payload, d.at)),
+                );
+            }
+            (replies, net.now(), net.chaos_stats())
+        };
+        assert_eq!(run(), run(), "fixed schedule + seed replays identically");
+        let (replies, _, stats) = run();
+        assert!(
+            replies.iter().any(Option::is_none),
+            "crash window lost calls"
+        );
+        assert!(replies.iter().any(Option::is_some), "service recovered");
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 1);
     }
 
     #[test]

@@ -32,6 +32,14 @@ impl SimUdpSocket {
         self.peer
     }
 
+    /// Re-aim the socket at a different peer (keeps the local binding and
+    /// mailbox) — what replica failover uses to move a call to the next
+    /// server. Datagrams already in flight from the old peer are filtered
+    /// out by the connected-socket receive path.
+    pub fn retarget(&mut self, peer: Addr) {
+        self.peer = peer;
+    }
+
     /// Send a datagram to the peer.
     pub fn send(&self, payload: Vec<u8>) {
         self.ep.send_to(self.peer, payload);

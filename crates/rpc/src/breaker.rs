@@ -1,0 +1,175 @@
+//! Per-host circuit breaker for the resilient client path.
+//!
+//! The classic three-state machine, run entirely in **virtual time** so a
+//! chaos replay is deterministic:
+//!
+//! * **Closed** — calls flow; consecutive failures are counted.
+//! * **Open** — after `threshold` consecutive failures the breaker trips:
+//!   calls to this host are refused outright (no datagram is even sent)
+//!   until `cooldown` of virtual time has passed. This is what lets a
+//!   failover client stop burning its retry budget on a crashed replica.
+//! * **HalfOpen** — the cooldown elapsed; the next call is admitted as a
+//!   probe. Success closes the breaker, failure re-opens it for another
+//!   full cooldown.
+//!
+//! The breaker never consults the wall clock and holds no lock — each
+//! [`crate::ClntUdp`] owns one breaker per replica and drives it from the
+//! simulator's clock, so repeated runs of a seeded chaos schedule see the
+//! same admit/refuse decisions datagram for datagram.
+
+use specrpc_netsim::SimTime;
+
+/// Which stage of the trip/cool-down cycle a [`CircuitBreaker`] is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow normally; consecutive failures are being counted.
+    Closed,
+    /// Tripped: calls are refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next call is admitted as a probe.
+    HalfOpen,
+}
+
+/// A per-host circuit breaker (see the module docs for the state machine).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    /// Consecutive failures that trip the breaker.
+    threshold: u32,
+    /// Virtual-time span the breaker stays open after tripping.
+    cooldown: SimTime,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: SimTime,
+    /// How many times this breaker has tripped (closed/half-open → open).
+    pub trips: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that trips after `threshold` consecutive failures
+    /// and stays open for `cooldown` of virtual time.
+    pub fn new(threshold: u32, cooldown: SimTime) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: SimTime::ZERO,
+            trips: 0,
+        }
+    }
+
+    /// Current state, updating Open → HalfOpen if the cooldown has
+    /// elapsed by `now`.
+    pub fn state(&mut self, now: SimTime) -> BreakerState {
+        if self.state == BreakerState::Open && now >= self.opened_at + self.cooldown {
+            self.state = BreakerState::HalfOpen;
+        }
+        self.state
+    }
+
+    /// May a call be admitted at virtual time `now`?
+    pub fn allow(&mut self, now: SimTime) -> bool {
+        self.state(now) != BreakerState::Open
+    }
+
+    /// Record a successful call: the breaker closes and the failure
+    /// count resets.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Record a failed call at virtual time `now`: a half-open probe
+    /// failure re-opens immediately; the `threshold`-th consecutive
+    /// closed-state failure trips the breaker.
+    pub fn on_failure(&mut self, now: SimTime) {
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+                self.trips += 1;
+            }
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                    self.trips += 1;
+                }
+            }
+            // A failure reported while open (a call admitted just before
+            // the trip landed) extends the cooldown window.
+            BreakerState::Open => self.opened_at = now,
+        }
+    }
+}
+
+impl Default for CircuitBreaker {
+    /// Trip after 3 consecutive failures, cool down for 500 ms of
+    /// virtual time — a couple of retry rounds at the default
+    /// `retry_timeout`.
+    fn default() -> Self {
+        CircuitBreaker::new(3, SimTime::from_millis(500))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut b = CircuitBreaker::new(3, SimTime::from_millis(100));
+        let t = SimTime::from_millis(1);
+        assert!(b.allow(t));
+        b.on_failure(t);
+        b.on_failure(t);
+        assert!(b.allow(t), "below threshold stays closed");
+        assert_eq!(b.trips, 0);
+        b.on_failure(t);
+        assert!(!b.allow(t), "third consecutive failure trips");
+        assert_eq!(b.trips, 1);
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = CircuitBreaker::new(2, SimTime::from_millis(100));
+        b.on_failure(SimTime::ZERO);
+        b.on_success();
+        b.on_failure(SimTime::from_millis(1));
+        assert!(
+            b.allow(SimTime::from_millis(1)),
+            "non-consecutive failures must not trip"
+        );
+    }
+
+    #[test]
+    fn cooldown_admits_a_half_open_probe() {
+        let mut b = CircuitBreaker::new(1, SimTime::from_millis(100));
+        b.on_failure(SimTime::from_millis(10));
+        assert!(!b.allow(SimTime::from_millis(50)), "open during cooldown");
+        assert!(b.allow(SimTime::from_millis(110)), "cooldown elapsed");
+        assert_eq!(b.state(SimTime::from_millis(110)), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_success_closes() {
+        let mut b = CircuitBreaker::new(1, SimTime::from_millis(100));
+        b.on_failure(SimTime::from_millis(0));
+        assert!(b.allow(SimTime::from_millis(100)));
+        b.on_failure(SimTime::from_millis(100));
+        assert!(!b.allow(SimTime::from_millis(150)), "probe failure reopens");
+        assert_eq!(b.trips, 2);
+        assert!(b.allow(SimTime::from_millis(200)));
+        b.on_success();
+        assert_eq!(b.state(SimTime::from_millis(200)), BreakerState::Closed);
+        assert!(b.allow(SimTime::from_millis(200)));
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let mut b = CircuitBreaker::new(0, SimTime::from_millis(10));
+        b.on_failure(SimTime::ZERO);
+        assert!(!b.allow(SimTime::ZERO), "clamped threshold of 1 trips");
+    }
+}

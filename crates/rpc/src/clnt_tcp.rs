@@ -16,11 +16,16 @@ use std::sync::Arc;
 /// A TCP RPC client handle.
 pub struct ClntTcp {
     conn: SimTcpStream,
+    net: Network,
+    server: Addr,
     prog: u32,
     vers: u32,
     xids: XidGen,
     /// Micro-layer counts accumulated by generic marshaling.
     pub counts: OpCounts,
+    /// Reconnections performed by the one-shot reconnect-and-retry path
+    /// (a transport error no longer poisons the client permanently).
+    pub reconnects: u64,
     /// Wire-buffer pool: raw-exchange replies are read into pooled
     /// buffers and recycled back by the facade.
     pool: Arc<BufPool>,
@@ -48,10 +53,13 @@ impl ClntTcp {
             .ok_or_else(|| RpcError::Transport(format!("connect to {server} refused")))?;
         Ok(ClntTcp {
             conn,
+            net: net.clone(),
+            server,
             prog,
             vers,
             xids: XidGen::new(server ^ 0x5555),
             counts: OpCounts::new(),
+            reconnects: 0,
             pool,
             reply_hint: 0,
         })
@@ -65,6 +73,96 @@ impl ClntTcp {
     /// Access the underlying stream (read-timeout tuning).
     pub fn stream_mut(&mut self) -> &mut SimTcpStream {
         &mut self.conn
+    }
+
+    /// Replace the poisoned connection with a fresh one to the same
+    /// server (the one-shot recovery the raw transport paths use before
+    /// surfacing a transport error).
+    fn reconnect(&mut self) -> Result<(), RpcError> {
+        self.conn = self
+            .net
+            .connect_tcp(self.server)
+            .ok_or_else(|| RpcError::Transport(format!("reconnect to {} refused", self.server)))?;
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// One raw record exchange on the current connection (the body of
+    /// `Transport::call`; the wrapper adds the one-shot reconnect).
+    fn call_once(&mut self, request: &[u8], xid: u32) -> Result<Vec<u8>, RpcError> {
+        debug_assert!(request.len() >= 4);
+        debug_assert_eq!(
+            u32::from_be_bytes([request[0], request[1], request[2], request[3]]),
+            xid,
+            "request must start with its xid"
+        );
+        rec::write_record(&mut self.conn, request)
+            .map_err(|e| RpcError::Transport(e.to_string()))?;
+        let mut reply = self.pool.take(request.len().max(self.reply_hint));
+        let mut cap0 = reply.capacity();
+        loop {
+            rec::read_record_into(&mut self.conn, &mut reply)
+                .map_err(|e| RpcError::Transport(e.to_string()))?;
+            self.reply_hint = self.reply_hint.max(reply.len());
+            if reply.capacity() > cap0 {
+                // The reassembler outgrew the pooled buffer (an
+                // oversized reply): account the hidden allocation so
+                // allocs-per-call stays honest.
+                self.pool.note_alloc();
+                cap0 = reply.capacity();
+            }
+            if reply.len() >= 4
+                && u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]) == xid
+            {
+                return Ok(reply);
+            }
+        }
+    }
+
+    /// One pipelined-batch attempt on the current connection (the body
+    /// of `Transport::call_batch`; the wrapper adds the reconnect).
+    fn call_batch_once(
+        &mut self,
+        requests: &[&[u8]],
+        xids: &[u32],
+    ) -> Result<Vec<Vec<u8>>, RpcError> {
+        assert_eq!(requests.len(), xids.len(), "one xid per request");
+        for (r, &xid) in requests.iter().zip(xids) {
+            debug_assert!(r.len() >= 4);
+            debug_assert_eq!(
+                u32::from_be_bytes([r[0], r[1], r[2], r[3]]),
+                xid,
+                "each request must start with its xid"
+            );
+            rec::write_record(&mut self.conn, r).map_err(|e| RpcError::Transport(e.to_string()))?;
+        }
+        let mut replies: Vec<Option<Vec<u8>>> = (0..requests.len()).map(|_| None).collect();
+        let mut outstanding = requests.len();
+        let hint = requests.iter().map(|r| r.len()).max().unwrap_or(0);
+        while outstanding > 0 {
+            let mut reply = self.pool.take(hint.max(self.reply_hint));
+            let cap0 = reply.capacity();
+            rec::read_record_into(&mut self.conn, &mut reply)
+                .map_err(|e| RpcError::Transport(e.to_string()))?;
+            self.reply_hint = self.reply_hint.max(reply.len());
+            if reply.capacity() > cap0 {
+                self.pool.note_alloc();
+            }
+            let slot = if reply.len() >= 4 {
+                let rx = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]);
+                xids.iter().position(|&x| x == rx)
+            } else {
+                None
+            };
+            match slot {
+                Some(i) if replies[i].is_none() => {
+                    replies[i] = Some(reply);
+                    outstanding -= 1;
+                }
+                _ => self.pool.put(reply), // stale record: reuse the buffer
+            }
+        }
+        Ok(replies.into_iter().map(|r| r.expect("filled")).collect())
     }
 
     /// `clnt_call` over TCP: one record out, one record in.
@@ -120,81 +218,34 @@ impl Transport for ClntTcp {
     /// Raw record exchange: the request goes out as one record; reply
     /// records are read until the xid matches (stale replies skipped, as
     /// in `clnttcp_call`'s receive loop). The stream is reliable, so
-    /// there is no retransmission. Reply records are assembled into a
-    /// pooled buffer (stale records simply reuse it), so steady-state
-    /// exchanges allocate nothing.
+    /// there is no retransmission; a transport error (dead peer, read
+    /// timeout) triggers one reconnect-and-retry on a fresh connection
+    /// before surfacing — the whole record is resent, which is safe
+    /// because nothing of the failed attempt was answered.
     fn call(&mut self, request: &[u8], xid: u32) -> Result<Vec<u8>, RpcError> {
-        debug_assert!(request.len() >= 4);
-        debug_assert_eq!(
-            u32::from_be_bytes([request[0], request[1], request[2], request[3]]),
-            xid,
-            "request must start with its xid"
-        );
-        rec::write_record(&mut self.conn, request)
-            .map_err(|e| RpcError::Transport(e.to_string()))?;
-        let mut reply = self.pool.take(request.len().max(self.reply_hint));
-        let mut cap0 = reply.capacity();
-        loop {
-            rec::read_record_into(&mut self.conn, &mut reply)
-                .map_err(|e| RpcError::Transport(e.to_string()))?;
-            self.reply_hint = self.reply_hint.max(reply.len());
-            if reply.capacity() > cap0 {
-                // The reassembler outgrew the pooled buffer (an
-                // oversized reply): account the hidden allocation so
-                // allocs-per-call stays honest.
-                self.pool.note_alloc();
-                cap0 = reply.capacity();
+        match self.call_once(request, xid) {
+            Err(RpcError::Transport(_)) => {
+                self.reconnect()?;
+                self.call_once(request, xid)
             }
-            if reply.len() >= 4
-                && u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]) == xid
-            {
-                return Ok(reply);
-            }
+            done => done,
         }
     }
 
     /// Pipelined batch over the stream: every call record is written
     /// before any reply record is read, so the per-record round-trip
     /// latency overlaps across the batch (the server answers records in
-    /// arrival order on one connection; matching is still by xid).
+    /// arrival order on one connection; matching is still by xid). A
+    /// transport error triggers one reconnect and a retry of the whole
+    /// batch on the fresh connection before surfacing.
     fn call_batch(&mut self, requests: &[&[u8]], xids: &[u32]) -> Result<Vec<Vec<u8>>, RpcError> {
-        assert_eq!(requests.len(), xids.len(), "one xid per request");
-        for (r, &xid) in requests.iter().zip(xids) {
-            debug_assert!(r.len() >= 4);
-            debug_assert_eq!(
-                u32::from_be_bytes([r[0], r[1], r[2], r[3]]),
-                xid,
-                "each request must start with its xid"
-            );
-            rec::write_record(&mut self.conn, r).map_err(|e| RpcError::Transport(e.to_string()))?;
-        }
-        let mut replies: Vec<Option<Vec<u8>>> = (0..requests.len()).map(|_| None).collect();
-        let mut outstanding = requests.len();
-        let hint = requests.iter().map(|r| r.len()).max().unwrap_or(0);
-        while outstanding > 0 {
-            let mut reply = self.pool.take(hint.max(self.reply_hint));
-            let cap0 = reply.capacity();
-            rec::read_record_into(&mut self.conn, &mut reply)
-                .map_err(|e| RpcError::Transport(e.to_string()))?;
-            self.reply_hint = self.reply_hint.max(reply.len());
-            if reply.capacity() > cap0 {
-                self.pool.note_alloc();
+        match self.call_batch_once(requests, xids) {
+            Err(RpcError::Transport(_)) => {
+                self.reconnect()?;
+                self.call_batch_once(requests, xids)
             }
-            let slot = if reply.len() >= 4 {
-                let rx = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]);
-                xids.iter().position(|&x| x == rx)
-            } else {
-                None
-            };
-            match slot {
-                Some(i) if replies[i].is_none() => {
-                    replies[i] = Some(reply);
-                    outstanding -= 1;
-                }
-                _ => self.pool.put(reply), // stale record: reuse the buffer
-            }
+            done => done,
         }
-        Ok(replies.into_iter().map(|r| r.expect("filled")).collect())
     }
 
     fn batch_mode(&self) -> crate::transport::BatchMode {
@@ -393,6 +444,93 @@ mod tests {
             .map(|(r, &x)| Transport::call(&mut seq_clnt, r, x).unwrap())
             .collect();
         assert_eq!(batched, sequential, "pipelining must not change bytes");
+    }
+
+    #[test]
+    fn one_shot_reconnect_recovers_from_a_dead_connection() {
+        use crate::svc_tcp::SvcTcpConn;
+        use crate::svc_udp::default_proc_time;
+        use specrpc_netsim::net::TcpHandler;
+        use specrpc_netsim::SimTime;
+        use specrpc_xdr::mem::XdrMem;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        // A listener whose FIRST connection is dead (swallows every byte,
+        // never answers); subsequent connections dispatch normally. The
+        // client's first raw call hits the read timeout, reconnects once,
+        // and completes on the fresh connection.
+        struct DeadConn;
+        impl TcpHandler for DeadConn {
+            fn on_bytes(&mut self, _bytes: &[u8]) -> (Vec<u8>, SimTime) {
+                (Vec::new(), SimTime::ZERO)
+            }
+        }
+        let net = Network::new(NetworkConfig::lan(), 11);
+        let registry = service();
+        let conns = Arc::new(AtomicU64::new(0));
+        net.serve_tcp(2049, {
+            let conns = conns.clone();
+            Box::new(move || {
+                if conns.fetch_add(1, Ordering::Relaxed) == 0 {
+                    Box::new(DeadConn) as Box<dyn TcpHandler>
+                } else {
+                    Box::new(SvcTcpConn::new(registry.clone(), default_proc_time()))
+                }
+            })
+        });
+        let mut clnt = ClntTcp::create(&net, 2049, PROG, 1).unwrap();
+        clnt.stream_mut().set_read_timeout(SimTime::from_millis(5));
+        let xid = Transport::next_xid(&mut clnt);
+        let mut enc = XdrMem::encoder(256);
+        let mut msg = CallHeader::new(xid, PROG, 1, 1);
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let mut v = vec![4i32, 5];
+        xdr_array(&mut enc, &mut v, 100, xdr_int).unwrap();
+        let reply = Transport::call(&mut clnt, &enc.into_bytes(), xid).expect("recovered");
+        let mut dec = XdrMem::decoder(&reply);
+        let hdr = crate::msg::ReplyHeader::decode(&mut dec).unwrap();
+        assert_eq!(hdr.xid, xid);
+        assert_eq!(clnt.reconnects, 1, "exactly one reconnect");
+        // Later calls ride the recovered connection without reconnecting.
+        let mut out: Vec<i32> = Vec::new();
+        clnt.call(
+            1,
+            &mut |x| {
+                let mut v = vec![7, 8];
+                xdr_array(x, &mut v, 100, xdr_int)
+            },
+            &mut |x| xdr_array(x, &mut out, 100, xdr_int),
+        )
+        .unwrap();
+        assert_eq!(out, vec![8, 7]);
+        assert_eq!(clnt.reconnects, 1);
+    }
+
+    #[test]
+    fn reconnect_is_one_shot_not_a_loop() {
+        use specrpc_netsim::net::TcpHandler;
+        use specrpc_netsim::SimTime;
+        use specrpc_xdr::mem::XdrMem;
+
+        // Every connection is dead: the single retry also fails and the
+        // transport error surfaces after exactly one reconnect.
+        struct DeadConn;
+        impl TcpHandler for DeadConn {
+            fn on_bytes(&mut self, _bytes: &[u8]) -> (Vec<u8>, SimTime) {
+                (Vec::new(), SimTime::ZERO)
+            }
+        }
+        let net = Network::new(NetworkConfig::lan(), 11);
+        net.serve_tcp(2049, Box::new(|| Box::new(DeadConn) as Box<dyn TcpHandler>));
+        let mut clnt = ClntTcp::create(&net, 2049, PROG, 1).unwrap();
+        clnt.stream_mut().set_read_timeout(SimTime::from_millis(2));
+        let xid = Transport::next_xid(&mut clnt);
+        let mut enc = XdrMem::encoder(64);
+        let mut msg = CallHeader::new(xid, PROG, 1, 1);
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let err = Transport::call(&mut clnt, &enc.into_bytes(), xid).unwrap_err();
+        assert!(matches!(err, RpcError::Transport(_)));
+        assert_eq!(clnt.reconnects, 1);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! per-try timeout with retransmission, reply matching, and the generic
 //! marshaling path through the layered XDR routines.
 
+use crate::breaker::CircuitBreaker;
 use crate::bufpool::BufPool;
 use crate::error::RpcError;
 use crate::msg::{CallHeader, ReplyHeader};
@@ -98,6 +99,27 @@ pub struct ClntUdp {
     pub retry_timeout: SimTime,
     /// Total timeout for one call (`cu_total`).
     pub total_timeout: SimTime,
+    /// Per-call deadline, tighter than `total_timeout` when set: the
+    /// virtual-time budget one call may spend **on one replica** before
+    /// the resilience layer declares that replica unresponsive (and, with
+    /// replicas configured, moves on). `None` falls back to
+    /// `total_timeout`.
+    pub call_deadline: Option<SimTime>,
+    /// Retry *budget*: maximum retransmissions per replica attempt,
+    /// independent of the time-based `total_timeout`. Exhausting it
+    /// surfaces [`RpcError::GaveUp`] (and trips failover) instead of
+    /// waiting out the clock. `None` means time-limited only.
+    pub retry_budget: Option<u32>,
+    /// Failovers performed (replica moves, observability for chaos runs).
+    pub failovers: u64,
+    /// Ordered replica set (`[primary, backup, ...]`); empty = classic
+    /// single-host client with no failover machinery in the call path.
+    replicas: Vec<Addr>,
+    /// One circuit breaker per replica (parallel to `replicas`).
+    breakers: Vec<CircuitBreaker>,
+    /// Index into `replicas` the socket currently targets (sticky: a
+    /// successful failover stays on the new replica).
+    active: usize,
     /// How per-try timeouts grow and how batch resends are spaced (see
     /// [`RetryPolicy`]; defaults to the classic fixed-timeout behavior).
     pub retry_policy: RetryPolicy,
@@ -137,6 +159,12 @@ impl ClntUdp {
             xids: XidGen::new(local),
             retry_timeout: SimTime::from_millis(200),
             total_timeout: SimTime::from_millis(2_000),
+            call_deadline: None,
+            retry_budget: None,
+            failovers: 0,
+            replicas: Vec::new(),
+            breakers: Vec::new(),
+            active: 0,
             retry_policy: RetryPolicy::Fixed,
             counts: OpCounts::new(),
             retransmits: 0,
@@ -165,6 +193,53 @@ impl ClntUdp {
         self.xids.next_xid()
     }
 
+    /// Enable replica failover: the full ordered replica set becomes
+    /// `[server, backups...]` (the address given at create time stays the
+    /// primary), each guarded by its own [`CircuitBreaker`]. When the
+    /// active replica's breaker is open, or an attempt on it ends in
+    /// [`RpcError::TimedOut`] / [`RpcError::GaveUp`], the call moves to
+    /// the next replica (sticky: later calls start from the survivor).
+    /// With every breaker open the call fails fast with
+    /// [`RpcError::HostDown`] — no datagram is sent.
+    pub fn with_replicas(mut self, backups: &[Addr]) -> Self {
+        let primary = self.sock.peer_addr();
+        self.replicas = std::iter::once(primary)
+            .chain(backups.iter().copied())
+            .collect();
+        self.breakers = vec![CircuitBreaker::default(); self.replicas.len()];
+        self.active = 0;
+        self
+    }
+
+    /// Replace every replica's circuit breaker with fresh clones of
+    /// `template` (call after [`ClntUdp::with_replicas`]).
+    pub fn with_breaker(mut self, template: CircuitBreaker) -> Self {
+        self.breakers = vec![template; self.replicas.len()];
+        self
+    }
+
+    /// Set the per-replica call deadline (see [`ClntUdp::call_deadline`]).
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.call_deadline = Some(deadline);
+        self
+    }
+
+    /// Set the retransmission budget (see [`ClntUdp::retry_budget`]).
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = Some(budget);
+        self
+    }
+
+    /// The replica the socket currently targets.
+    pub fn active_replica(&self) -> Addr {
+        self.sock.peer_addr()
+    }
+
+    /// Total circuit-breaker trips across all replicas.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breakers.iter().map(|b| b.trips).sum()
+    }
+
     /// Raw transaction: send `request` (whose first word must be `xid`),
     /// retransmit on per-try timeout, and return the first reply datagram
     /// whose xid matches. This is the path shared by the generic and
@@ -177,6 +252,54 @@ impl ClntUdp {
     /// stale replies are recycled straight back into the pool, so a
     /// retransmitting call performs no steady-state allocation.
     pub fn exchange(&mut self, request: &[u8], xid: u32) -> Result<Vec<u8>, RpcError> {
+        if self.replicas.is_empty() {
+            return self.exchange_current(request, xid);
+        }
+        // Failover path: walk the replica ring starting from the sticky
+        // active index, skipping breaker-open hosts. An attempt that ends
+        // in TimedOut/GaveUp feeds its breaker and moves on; any reply
+        // (even a server-side error decoded upstream) is liveness and
+        // closes the breaker.
+        let n = self.replicas.len();
+        let mut last_err = None;
+        for k in 0..n {
+            let idx = (self.active + k) % n;
+            let now = self.sock.now();
+            if !self.breakers[idx].allow(now) {
+                continue;
+            }
+            if idx != self.active {
+                self.sock.retarget(self.replicas[idx]);
+                self.active = idx;
+                self.failovers += 1;
+            }
+            match self.exchange_current(request, xid) {
+                Ok(reply) => {
+                    self.breakers[idx].on_success();
+                    return Ok(reply);
+                }
+                Err(e @ (RpcError::TimedOut | RpcError::GaveUp { .. })) => {
+                    let now = self.sock.now();
+                    self.breakers[idx].on_failure(now);
+                    last_err = Some(e);
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        // Every admitted replica failed this round, or every breaker was
+        // open and nothing was even sent.
+        match last_err {
+            Some(e) => Err(e),
+            None => Err(RpcError::HostDown(format!(
+                "all {n} replicas refused by open circuit breakers"
+            ))),
+        }
+    }
+
+    /// One [`ClntUdp::exchange`] attempt against the currently targeted
+    /// replica: retransmit on per-try timeout under the clamped total
+    /// deadline and the retry budget.
+    fn exchange_current(&mut self, request: &[u8], xid: u32) -> Result<Vec<u8>, RpcError> {
         debug_assert!(request.len() >= 4);
         debug_assert_eq!(
             u32::from_be_bytes([request[0], request[1], request[2], request[3]]),
@@ -184,6 +307,10 @@ impl ClntUdp {
             "request must start with its xid"
         );
         let start = self.sock.now();
+        let total = self
+            .call_deadline
+            .map_or(self.total_timeout, |d| d.min(self.total_timeout));
+        let total_deadline = start + total;
         let mut attempt = 0u32;
         loop {
             let mut dg = self.pool.take(request.len());
@@ -192,9 +319,12 @@ impl ClntUdp {
             // Drain replies until the per-try deadline passes (recv
             // returning None), then retransmit. Both deadlines are held in
             // virtual time, so stale-xid replies are charged for the time
-            // they actually consumed waiting — not a token decrement.
-            let try_deadline =
-                self.sock.now() + self.retry_policy.try_timeout(self.retry_timeout, attempt);
+            // they actually consumed waiting — not a token decrement. The
+            // per-try deadline is clamped to the total deadline so the
+            // last try cannot overshoot the promised bound.
+            let try_deadline = (self.sock.now()
+                + self.retry_policy.try_timeout(self.retry_timeout, attempt))
+            .min(total_deadline);
             loop {
                 let now = self.sock.now();
                 if now >= try_deadline {
@@ -212,8 +342,13 @@ impl ClntUdp {
                 // buffer feeds the pool; keep waiting out this try.
                 self.pool.put(reply);
             }
-            if self.sock.now() - start >= self.total_timeout {
+            if self.sock.now() >= total_deadline {
                 return Err(RpcError::TimedOut);
+            }
+            if let Some(budget) = self.retry_budget {
+                if attempt >= budget {
+                    return Err(RpcError::GaveUp { tries: attempt + 1 });
+                }
             }
             self.retransmits += 1;
             attempt += 1;
@@ -254,6 +389,10 @@ impl ClntUdp {
             );
         }
         let start = self.sock.now();
+        let total = self
+            .call_deadline
+            .map_or(self.total_timeout, |d| d.min(self.total_timeout));
+        let total_deadline = start + total;
         let mut replies: Vec<Option<Vec<u8>>> = (0..requests.len()).map(|_| None).collect();
         let mut outstanding = requests.len();
         let mut first_try = true;
@@ -304,8 +443,11 @@ impl ClntUdp {
                 sent_any = true;
             }
             first_try = false;
-            let try_deadline =
-                self.sock.now() + self.retry_policy.try_timeout(self.retry_timeout, attempt);
+            // Clamped to the total deadline so the last retry round cannot
+            // overshoot the promised bound (same fix as `exchange`).
+            let try_deadline = (self.sock.now()
+                + self.retry_policy.try_timeout(self.retry_timeout, attempt))
+            .min(total_deadline);
             while outstanding > 0 {
                 let now = self.sock.now();
                 if now >= try_deadline {
@@ -327,7 +469,8 @@ impl ClntUdp {
             if outstanding == 0 {
                 return Ok(replies.into_iter().map(|r| r.expect("filled")).collect());
             }
-            if self.sock.now() - start >= self.total_timeout {
+            let gave_up = self.retry_budget.is_some_and(|b| attempt >= b);
+            if self.sock.now() >= total_deadline || gave_up {
                 // The batch failed, but the replies that did arrive are
                 // pooled buffers — feed them back instead of dropping
                 // them (a dropped buffer resurfaces as an allocating
@@ -335,7 +478,11 @@ impl ClntUdp {
                 for reply in replies.into_iter().flatten() {
                     self.pool.put(reply);
                 }
-                return Err(RpcError::TimedOut);
+                return Err(if gave_up {
+                    RpcError::GaveUp { tries: attempt + 1 }
+                } else {
+                    RpcError::TimedOut
+                });
             }
             attempt += 1;
         }
@@ -767,6 +914,162 @@ mod tests {
         // Unknown procedure.
         let err = clnt.call(42, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err();
         assert_eq!(err, RpcError::ProcUnavail);
+    }
+
+    #[test]
+    fn total_timeout_is_a_hard_bound() {
+        // retry_timeout 30ms with total_timeout 50ms: the second try's
+        // deadline must clamp to the 50ms bound instead of overshooting
+        // to 60ms (the pre-fix behavior).
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let mut clnt = ClntUdp::create(&net, 5000, 999, PROG, 1);
+        clnt.retry_timeout = SimTime::from_millis(30);
+        clnt.total_timeout = SimTime::from_millis(50);
+        let start = net.now();
+        let err = clnt.call(1, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err();
+        assert_eq!(err, RpcError::TimedOut);
+        let took = net.now() - start;
+        assert_eq!(
+            took,
+            SimTime::from_millis(50),
+            "per-try deadline must clamp to the total bound, took {took}"
+        );
+    }
+
+    #[test]
+    fn batch_total_timeout_is_a_hard_bound() {
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let mut clnt = ClntUdp::create(&net, 5000, 999, PROG, 1);
+        clnt.retry_timeout = SimTime::from_millis(30);
+        clnt.total_timeout = SimTime::from_millis(50);
+        let xid = clnt.next_xid();
+        let mut enc = XdrMem::encoder(64);
+        let mut msg = CallHeader::new(xid, PROG, 1, 1);
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let request = enc.into_bytes();
+        let start = net.now();
+        let err = clnt
+            .exchange_batch(&[request.as_slice()], &[xid])
+            .unwrap_err();
+        assert_eq!(err, RpcError::TimedOut);
+        assert_eq!(net.now() - start, SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn retry_budget_gives_up_before_the_clock() {
+        // Budget of 2 retransmissions: first try + 2 retries = 3 sends,
+        // then GaveUp — well before the 10s total timeout.
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let mut clnt = ClntUdp::create(&net, 5000, 999, PROG, 1).with_retry_budget(2);
+        clnt.retry_timeout = SimTime::from_millis(10);
+        clnt.total_timeout = SimTime::from_millis(10_000);
+        let start = net.now();
+        let err = clnt.call(1, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err();
+        assert_eq!(err, RpcError::GaveUp { tries: 3 });
+        assert_eq!(clnt.retransmits, 2);
+        assert!(
+            net.now() - start < SimTime::from_millis(50),
+            "gave up on the budget, not the clock"
+        );
+    }
+
+    #[test]
+    fn call_deadline_tightens_total_timeout() {
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let mut clnt =
+            ClntUdp::create(&net, 5000, 999, PROG, 1).with_deadline(SimTime::from_millis(20));
+        clnt.retry_timeout = SimTime::from_millis(15);
+        clnt.total_timeout = SimTime::from_millis(2_000);
+        let start = net.now();
+        let err = clnt.call(1, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err();
+        assert_eq!(err, RpcError::TimedOut);
+        assert_eq!(net.now() - start, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn failover_moves_to_a_live_backup_and_sticks() {
+        // Primary 999 is dead; backup serves. The first call fails over
+        // (one failover), later calls start on the survivor directly.
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let backup = 111 + 900;
+        serve_udp(&net, backup, Arc::new(sum_service()), None);
+        let mut clnt = ClntUdp::create(&net, 5000, 999, PROG, 1).with_replicas(&[backup]);
+        clnt.retry_timeout = SimTime::from_millis(10);
+        clnt.total_timeout = SimTime::from_millis(30);
+        for round in 0..3i32 {
+            let mut out = 0i32;
+            clnt.call(
+                1,
+                &mut |x| {
+                    let mut v = vec![round; 4];
+                    xdr_array(x, &mut v, 100, xdr_int)
+                },
+                &mut |x| xdr_int(x, &mut out),
+            )
+            .unwrap();
+            assert_eq!(out, round * 4);
+        }
+        assert_eq!(clnt.failovers, 1, "sticky: only the first call moves");
+        assert_eq!(clnt.active_replica(), backup);
+    }
+
+    #[test]
+    fn open_breakers_fail_fast_with_host_down() {
+        use crate::breaker::CircuitBreaker;
+        // Both replicas dead, breakers tripping on the first failure:
+        // call 1 burns real (virtual) time on both hosts, call 2 is
+        // refused instantly without a single datagram.
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let mut clnt = ClntUdp::create(&net, 5000, 999, PROG, 1)
+            .with_replicas(&[998])
+            .with_breaker(CircuitBreaker::new(1, SimTime::from_millis(500)));
+        clnt.retry_timeout = SimTime::from_millis(10);
+        clnt.total_timeout = SimTime::from_millis(20);
+        let err = clnt.call(1, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err();
+        assert_eq!(err, RpcError::TimedOut);
+        assert_eq!(clnt.breaker_trips(), 2, "both hosts tripped");
+        let before = net.now();
+        let sends_before = clnt.retransmits;
+        let err = clnt.call(1, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err();
+        assert!(matches!(err, RpcError::HostDown(_)), "got {err:?}");
+        assert_eq!(net.now(), before, "fail-fast: no virtual time burned");
+        assert_eq!(clnt.retransmits, sends_before, "nothing was sent");
+    }
+
+    #[test]
+    fn half_open_probe_recovers_after_cooldown() {
+        use crate::breaker::CircuitBreaker;
+        // Single host, breaker trips, the host comes back during the
+        // cooldown: the half-open probe after the cooldown succeeds and
+        // the breaker closes again.
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let addr = 111 + 900;
+        let mut clnt = ClntUdp::create(&net, 5000, addr, PROG, 1)
+            .with_replicas(&[])
+            .with_breaker(CircuitBreaker::new(1, SimTime::from_millis(50)));
+        clnt.retry_timeout = SimTime::from_millis(10);
+        clnt.total_timeout = SimTime::from_millis(20);
+        let err = clnt.call(1, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err();
+        assert_eq!(err, RpcError::TimedOut);
+        assert!(matches!(
+            clnt.call(1, &mut |_| Ok(()), &mut |_| Ok(())).unwrap_err(),
+            RpcError::HostDown(_)
+        ));
+        // The server appears; once the cooldown elapses the probe lands.
+        serve_udp(&net, addr, Arc::new(sum_service()), None);
+        net.advance(SimTime::from_millis(60));
+        let mut out = 0i32;
+        clnt.call(
+            1,
+            &mut |x| {
+                let mut v = vec![2i32, 3];
+                xdr_array(x, &mut v, 100, xdr_int)
+            },
+            &mut |x| xdr_int(x, &mut out),
+        )
+        .unwrap();
+        assert_eq!(out, 5);
+        assert_eq!(clnt.breaker_trips(), 1);
     }
 
     #[test]

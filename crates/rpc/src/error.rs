@@ -42,6 +42,20 @@ pub enum RpcError {
     ProgNotRegistered,
     /// Transport-level failure (simulated connection problems).
     Transport(String),
+    /// Every candidate host was refused by its circuit breaker — the
+    /// call never made it onto the wire. Distinct from [`TimedOut`]
+    /// (which burned its full timeout waiting): the resilience layer
+    /// *knows* the hosts are down and fails fast.
+    ///
+    /// [`TimedOut`]: RpcError::TimedOut
+    HostDown(String),
+    /// The retry *budget* ran out before the total timeout did: the call
+    /// was transmitted `tries` times without an answer and the client
+    /// gave up early rather than burning the rest of its timeout.
+    GaveUp {
+        /// Transmissions performed before giving up (first try included).
+        tries: u32,
+    },
 }
 
 impl fmt::Display for RpcError {
@@ -66,6 +80,10 @@ impl fmt::Display for RpcError {
             RpcError::BadReply(why) => write!(f, "malformed reply: {why}"),
             RpcError::ProgNotRegistered => write!(f, "program not registered with portmapper"),
             RpcError::Transport(why) => write!(f, "transport error: {why}"),
+            RpcError::HostDown(why) => write!(f, "host down: {why}"),
+            RpcError::GaveUp { tries } => {
+                write!(f, "gave up after {tries} tries (retry budget exhausted)")
+            }
         }
     }
 }
@@ -88,6 +106,17 @@ mod tests {
         assert!(RpcError::ProgMismatch { low: 1, high: 3 }
             .to_string()
             .contains("1..3"));
+    }
+
+    #[test]
+    fn resilience_errors_are_distinguishable() {
+        assert!(RpcError::HostDown("all 3 replicas open".into())
+            .to_string()
+            .contains("host down"));
+        assert!(RpcError::GaveUp { tries: 4 }
+            .to_string()
+            .contains("4 tries"));
+        assert_ne!(RpcError::GaveUp { tries: 1 }, RpcError::TimedOut);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! back to these generic routines when a dynamic guard fails (§6.2).
 
 pub mod auth;
+pub mod breaker;
 pub mod bufpool;
 pub mod clnt_tcp;
 pub mod clnt_udp;
@@ -29,6 +30,7 @@ pub mod transport;
 pub mod xid;
 
 pub use auth::OpaqueAuth;
+pub use breaker::{BreakerState, CircuitBreaker};
 pub use bufpool::{BufPool, PoolStats};
 pub use clnt_tcp::ClntTcp;
 pub use clnt_udp::{ClntUdp, RetryPolicy};

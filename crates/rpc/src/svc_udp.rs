@@ -223,6 +223,37 @@ pub fn serve_udp_with_cache(
     );
 }
 
+/// [`serve_udp`] registered through the chaos layer's restartable slot:
+/// a `crash`/`restart` cycle on `addr` rebuilds the service from scratch,
+/// and in particular hands it a **fresh, empty duplicate-request cache**
+/// — the amnesiac-server failure mode Sun RPC's cache cannot protect
+/// against. A retransmission of a pre-crash call re-executes its handler
+/// (exactly-once degrades to at-least-once), which the chaos scenario
+/// measures as `extra_executions`. The registry itself (and its handler
+/// state) is shared across incarnations, like an NFS server whose disk
+/// survives the reboot that wipes its in-memory cache.
+pub fn serve_udp_restartable(
+    net: &Network,
+    addr: Addr,
+    registry: Arc<SvcRegistry>,
+    proc_time: Option<ProcTimeModel>,
+) {
+    let bufs = registry.pool().clone();
+    net.serve_udp_restartable(
+        addr,
+        Box::new(move || {
+            let reg = registry.clone();
+            let cd = CachedDispatch::new(
+                Arc::new(move |request: &[u8]| reg.dispatch(request)),
+                proc_time.clone(),
+                DUP_CACHE_ENTRIES,
+                bufs.clone(),
+            );
+            Box::new(move |request: &mut Vec<u8>, from| cd.handle(request, from))
+        }),
+    );
+}
+
 /// Mutable duplicate-suppression state of one [`CachedDispatch`], held
 /// behind a single short-lived lock (never across a dispatch).
 struct DupState {
@@ -546,6 +577,51 @@ mod tests {
         }
         assert_ne!(h, fingerprint64(&base[..199]), "length must matter");
         assert_ne!(fingerprint64(b""), fingerprint64(&[0]));
+    }
+
+    #[test]
+    fn restart_wipes_the_dup_cache() {
+        // The amnesiac-server failure mode: a crash/restart cycle
+        // rebuilds the service with an empty duplicate-request cache, so
+        // a retransmission of a pre-crash call re-executes its handler —
+        // exactly-once degrades to at-least-once, observably.
+        let net = Network::new(NetworkConfig::lan(), 5);
+        let reg = Arc::new(SvcRegistry::new());
+        let runs = Arc::new(AtomicU64::new(0));
+        let r = runs.clone();
+        reg.register(300, 1, 0, move |_, results| {
+            r.fetch_add(1, Ordering::Relaxed);
+            let mut v = 5i32;
+            xdr_int(results, &mut v)?;
+            Ok(())
+        });
+        serve_udp_restartable(&net, 650, reg, None);
+
+        let ep = net.bind_udp(4000);
+        let mut enc = XdrMem::encoder(128);
+        let mut msg = CallHeader::new(0x42, 300, 1, 0);
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let call = enc.into_bytes();
+        ep.send_to(650, call.clone());
+        let first = ep.recv_timeout(SimTime::from_millis(20)).expect("reply 1");
+        // Same bytes again pre-crash: absorbed by the cache.
+        ep.send_to(650, call.clone());
+        assert!(ep.recv_timeout(SimTime::from_millis(20)).is_some());
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "cache absorbed the dup");
+
+        net.crash(650);
+        net.restart(650);
+        ep.send_to(650, call);
+        let replayed = ep.recv_timeout(SimTime::from_millis(20)).expect("reply 3");
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            2,
+            "fresh cache re-executes the handler"
+        );
+        assert_eq!(
+            first.payload, replayed.payload,
+            "re-execution is byte-identical for a deterministic handler"
+        );
     }
 
     #[test]

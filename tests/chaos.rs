@@ -1,0 +1,92 @@
+//! Availability conformance for the chaos layer: the mid-run primary
+//! crash of `run_chaos`, checked end to end.
+//!
+//! What must hold (the acceptance properties of the availability
+//! study):
+//!
+//! - **availability** — with the resilience layer (deadlines, retry
+//!   budgets, circuit breakers, replica failover) the deployment stays
+//!   ≥ 99% available through a mid-run primary crash on a clean link,
+//!   while the classic client population measurably degrades;
+//! - **recovery** — failover reaches its first post-crash completion
+//!   faster than waiting out the restart;
+//! - **determinism** — a fixed `ChaosConfig` (schedule + seed) replays
+//!   byte-identically: same report text, same histogram, same chaos
+//!   accounting, run after run.
+
+use specrpc::{run_chaos, run_chaos_matrix, ChaosConfig};
+use specrpc_netsim::FaultConfig;
+
+#[test]
+fn failover_availability_holds_while_the_classic_client_degrades() {
+    let reports = run_chaos_matrix(&ChaosConfig::smoke()).expect("chaos matrix");
+    let (with, without) = (&reports[0], &reports[1]);
+    assert!(with.failover && !without.failover);
+    for r in &reports {
+        assert_eq!(r.completed + r.failed, r.calls, "every call must settle");
+    }
+    assert!(
+        with.availability_bp() >= 9_900,
+        "failover availability must stay ≥ 99% through the crash: {} bp",
+        with.availability_bp()
+    );
+    assert!(
+        without.availability_bp() < with.availability_bp(),
+        "the classic client must measurably degrade: {} vs {} bp",
+        without.availability_bp(),
+        with.availability_bp()
+    );
+    assert!(with.failovers > 0, "the crash must force failovers");
+    assert!(with.breaker_trips > 0, "give-ups must trip breakers");
+    assert_eq!(without.failovers, 0, "classic clients cannot fail over");
+}
+
+#[test]
+fn failover_recovers_before_the_restart_does() {
+    let reports = run_chaos_matrix(&ChaosConfig::smoke()).expect("chaos matrix");
+    let with = reports[0].recovery.expect("failover run recovers");
+    let without = reports[1]
+        .recovery
+        .expect("the restart eventually recovers");
+    assert!(
+        with < without,
+        "failover recovery {with} must beat waiting out the restart {without}"
+    );
+}
+
+#[test]
+fn chaos_replay_is_byte_identical_across_runs() {
+    for faults in [FaultConfig::NONE, FaultConfig::LOSSY] {
+        for failover in [true, false] {
+            let cfg = ChaosConfig::smoke()
+                .with_faults(faults)
+                .with_failover(failover);
+            let a = run_chaos(&cfg).expect("chaos run");
+            let b = run_chaos(&cfg).expect("chaos run");
+            assert_eq!(
+                a.render(),
+                b.render(),
+                "failover={failover}: reports must replay byte-identically"
+            );
+            assert_eq!(a.latency, b.latency);
+            assert_eq!(a.chaos, b.chaos);
+        }
+    }
+}
+
+#[test]
+fn every_mode_observes_the_scheduled_crash_and_restart() {
+    for r in run_chaos_matrix(&ChaosConfig::smoke()).expect("chaos matrix") {
+        assert_eq!(r.chaos.crashes, 1, "{:?}", r.chaos);
+        assert_eq!(r.chaos.restarts, 1, "{:?}", r.chaos);
+        assert!(
+            r.chaos.downtime >= ChaosConfig::smoke().crash_downtime,
+            "downtime {} must cover the scheduled window",
+            r.chaos.downtime
+        );
+        assert!(
+            r.chaos.drops_down > 0,
+            "retries into the outage must be dropped at the down host"
+        );
+    }
+}

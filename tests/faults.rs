@@ -21,7 +21,7 @@
 use specrpc::echo::{generic_encode_request, ECHO_IDL, ECHO_PROG, ECHO_VERS};
 use specrpc::{ProcPipeline, SpecService};
 use specrpc_netsim::net::{Network, NetworkConfig};
-use specrpc_netsim::{FaultConfig, SimTime};
+use specrpc_netsim::{ChaosSchedule, FaultConfig, SimTime};
 use specrpc_rpc::{ClntTcp, ClntUdp, Transport};
 use specrpc_tempo::compile::StubArgs;
 use specrpc_xdr::mem::XdrMem;
@@ -145,6 +145,30 @@ fn drive_udp(net: &Network, runs: Arc<AtomicU64>) -> RunResult {
     }
 }
 
+/// Like [`run_udp`] but serving **restartably** with a crash/restart
+/// window armed mid-sequence: the server loses its mailbox and its
+/// duplicate-request cache at `crash_at` and comes back `downtime`
+/// later with a fresh (amnesiac) cache.
+fn run_udp_chaos(cfg: FaultConfig, seed: u64, crash_at: SimTime, downtime: SimTime) -> RunResult {
+    let net = Network::new(NetworkConfig::lan().with_faults(cfg), seed);
+    let runs = Arc::new(AtomicU64::new(0));
+    let r = runs.clone();
+    let proc_ = Arc::new(
+        ProcPipeline::new(N)
+            .build_from_idl(ECHO_IDL, None, 1)
+            .expect("pipeline"),
+    );
+    let reg = SpecService::new()
+        .proc(proc_, move |args: &StubArgs| {
+            r.fetch_add(1, Ordering::Relaxed);
+            StubArgs::new(vec![], vec![args.arrays[0].clone()])
+        })
+        .into_registry();
+    specrpc_rpc::svc_udp::serve_udp_restartable(&net, 700, reg, None);
+    net.apply_chaos(&ChaosSchedule::new().crash_window(700, crash_at, downtime));
+    drive_udp(&net, runs)
+}
+
 fn run_tcp(cfg: FaultConfig, seed: u64) -> RunResult {
     let net = Network::new(NetworkConfig::lan().with_faults(cfg), seed);
     let runs = deploy(&net, 700, 701);
@@ -265,6 +289,105 @@ fn udp_event_reactor_duplicates_execute_handlers_exactly_once() {
         let clean = run_udp_event(FaultConfig::NONE, seed);
         assert_eq!(r.replies, clean.replies, "seed {seed}");
     }
+}
+
+#[test]
+fn crash_restart_matrix_completed_calls_stay_byte_identical() {
+    // The whole fault matrix again, now with the server crashing
+    // mid-sequence and restarting 50 ms later. A patient client
+    // (total timeout ≫ downtime) must ride out the outage: every call
+    // completes, and the completed replies are byte-identical to a
+    // fault-free, chaos-free run of the same call sequence — the crash
+    // may cost time and duplicate executions, never data.
+    let crash_at = SimTime::from_micros(500);
+    let downtime = SimTime::from_millis(50);
+    for (name, cfg) in configs() {
+        for seed in SEEDS {
+            let clean = run_udp(FaultConfig::NONE, seed);
+            let chaotic = run_udp_chaos(cfg, seed, crash_at, downtime);
+            assert_eq!(
+                chaotic.replies, clean.replies,
+                "{name}/{seed}: completed calls must match the fault-free run"
+            );
+            assert!(
+                chaotic.retransmits > 0,
+                "{name}/{seed}: the outage must force retransmissions"
+            );
+            assert!(
+                chaotic.end_time > clean.end_time,
+                "{name}/{seed}: the downtime must cost virtual time"
+            );
+            // Exactly-once degrades to at-least-once across the wipe:
+            // never fewer runs than calls, and the surplus is bounded by
+            // the requests the crash could have caught executed-but-
+            // unreplied (the in-flight call, plus a stray duplicate).
+            assert!(
+                chaotic.handler_runs >= CALLS as u64,
+                "{name}/{seed}: at-least-once must hold: {} runs",
+                chaotic.handler_runs
+            );
+            assert!(
+                chaotic.handler_runs <= CALLS as u64 + 4,
+                "{name}/{seed}: amnesia duplicates stay bounded: {} runs",
+                chaotic.handler_runs
+            );
+        }
+    }
+}
+
+#[test]
+fn restart_amnesia_duplicate_execution_count_is_exact() {
+    // The duplicate-execution mechanism, pinned deterministically: a
+    // completed call replayed across a crash/restart re-executes
+    // exactly once (the restarted cache is empty), returns the same
+    // bytes, and the rebuilt cache absorbs further replays.
+    let net = Network::new(NetworkConfig::lan(), 5);
+    let runs = Arc::new(AtomicU64::new(0));
+    let r = runs.clone();
+    let proc_ = Arc::new(
+        ProcPipeline::new(N)
+            .build_from_idl(ECHO_IDL, None, 1)
+            .expect("pipeline"),
+    );
+    let reg = SpecService::new()
+        .proc(proc_, move |args: &StubArgs| {
+            r.fetch_add(1, Ordering::Relaxed);
+            StubArgs::new(vec![], vec![args.arrays[0].clone()])
+        })
+        .into_registry();
+    specrpc_rpc::svc_udp::serve_udp_restartable(&net, 700, reg, None);
+
+    let mut clnt = ClntUdp::create(&net, 5000, 700, ECHO_PROG, ECHO_VERS);
+    clnt.retry_timeout = SimTime::from_millis(20);
+    clnt.total_timeout = SimTime::from_millis(60_000);
+    let xid = clnt.next_xid();
+    let mut enc = XdrMem::encoder(1 << 16);
+    let mut data = call_data(0);
+    generic_encode_request(&mut enc, xid, &mut data).expect("encode");
+    let request = enc.into_bytes();
+
+    let first = clnt.exchange(&request, xid).expect("first call");
+    assert_eq!(runs.load(Ordering::Relaxed), 1);
+
+    net.crash(700);
+    net.restart(700);
+    let second = clnt.exchange(&request, xid).expect("replay across restart");
+    assert_eq!(
+        runs.load(Ordering::Relaxed),
+        2,
+        "the wiped cache must re-execute the replayed request"
+    );
+    assert_eq!(second, first, "re-execution must produce identical bytes");
+
+    let third = clnt
+        .exchange(&request, xid)
+        .expect("same-incarnation replay");
+    assert_eq!(
+        runs.load(Ordering::Relaxed),
+        2,
+        "the rebuilt cache must absorb the replay without re-executing"
+    );
+    assert_eq!(third, first);
 }
 
 #[test]
