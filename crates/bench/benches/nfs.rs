@@ -1,0 +1,48 @@
+//! NFS-like mixed-procedure study — datagram coalescing and Sun-style
+//! one-way batching over a link with an honest per-packet cost,
+//! measured coalesced vs one-datagram-per-call.
+//!
+//! Like the `congestion` and `chaos` groups, every row records
+//! **virtual time**: the deterministic simulated duration of the run
+//! under that policy. The medians are exact and machine-independent,
+//! so the baseline gate flags ANY behavior change in the coalescing
+//! envelope, the one-way flush/ack pipeline, or the per-packet cost
+//! model — regardless of runner noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use specrpc::{run_nfs, NfsConfig};
+use std::time::Duration;
+
+fn bench_nfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nfs");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for (mode, cfg) in [
+        ("coalesced", NfsConfig::smoke()),
+        ("per-call", NfsConfig::smoke().per_call()),
+    ] {
+        group.bench_with_input(BenchmarkId::new(mode, "smoke"), &cfg, |b, cfg| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let report = run_nfs(cfg).expect("nfs run");
+                    assert_eq!(
+                        report.ops,
+                        report.sync_calls + report.oneway_writes,
+                        "every op settles"
+                    );
+                    // Virtual time for the whole mixed workload.
+                    total += Duration::from_nanos(report.elapsed.as_nanos());
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nfs);
+criterion_main!(benches);

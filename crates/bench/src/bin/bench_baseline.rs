@@ -34,7 +34,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// The bench targets with checked-in baselines.
-const TARGETS: [&str; 8] = [
+const TARGETS: [&str; 9] = [
     "marshal",
     "roundtrip",
     "unroll",
@@ -43,6 +43,7 @@ const TARGETS: [&str; 8] = [
     "adaptive",
     "congestion",
     "chaos",
+    "nfs",
 ];
 
 /// One measured benchmark.

@@ -116,6 +116,17 @@ fn main() {
 
     println!(
         "{}",
+        render_nfs_rows(
+            "Coalescing study — NFS-like mixed workload over the honest\n\
+             per-packet link (8 clients, zipf handles, one-way WRITE bursts\n\
+             \u{20}sealed by sync COMMITs; deterministic virtual time, see\n\
+             \u{20}`run_nfs`)",
+            &nfs_study(),
+        )
+    );
+
+    println!(
+        "{}",
         render_chaos_rows(
             "Availability study — mid-run primary crash with one backup\n\
              (8 clients, 24 calls each; deadline 8 ms, 30 ms downtime;\n\

@@ -609,6 +609,111 @@ pub fn render_chaos_rows(title: &str, rows: &[ChaosRow]) -> String {
     out
 }
 
+/// One row of the coalescing study: the NFS-like mixed workload of
+/// [`specrpc::run_nfs`] driven under one packing policy over the
+/// honest per-packet link. All quantities are deterministic
+/// virtual-time results — the envelopes, flushes, and acks really
+/// cross the simulated wire.
+#[derive(Debug, Clone)]
+pub struct NfsRow {
+    /// Packing policy ("coalesced" or "per-call").
+    pub mode: &'static str,
+    /// Total operations issued (sync calls + one-way writes).
+    pub ops: u64,
+    /// Synchronous round trips.
+    pub sync_calls: u64,
+    /// One-way WRITEs batched behind them.
+    pub oneway_writes: u64,
+    /// Datagrams that hit the wire.
+    pub datagrams: u64,
+    /// MTU fragments those datagrams paid for.
+    pub fragments: u64,
+    /// Datagrams per operation.
+    pub datagrams_per_op: f64,
+    /// Envelope flushes forced by MTU pressure.
+    pub flushes_mtu: u64,
+    /// Envelope flushes sealed by a sync call.
+    pub flushes_sync: u64,
+    /// 99th-percentile sync-call latency (ms, virtual).
+    pub p99_ms: f64,
+    /// Amortized virtual time per operation (µs).
+    pub amortized_us: f64,
+    /// Virtual time until the whole workload settled (ms).
+    pub settle_ms: f64,
+}
+
+/// Run the coalescing study: the smoke-sized NFS-like mix, coalesced
+/// vs one-datagram-per-call. Deterministic — the same rows every run.
+pub fn nfs_study() -> Vec<NfsRow> {
+    use specrpc::{run_nfs, NfsConfig};
+
+    let mut rows = Vec::new();
+    for (mode, cfg) in [
+        ("coalesced", NfsConfig::smoke()),
+        ("per-call", NfsConfig::smoke().per_call()),
+    ] {
+        let report = run_nfs(&cfg).expect("nfs run");
+        rows.push(NfsRow {
+            mode,
+            ops: report.ops,
+            sync_calls: report.sync_calls,
+            oneway_writes: report.oneway_writes,
+            datagrams: report.link.datagrams,
+            fragments: report.link.fragments,
+            datagrams_per_op: report.datagrams_per_op(),
+            flushes_mtu: report.coalesce.flushes_mtu,
+            flushes_sync: report.coalesce.flushes_sync,
+            p99_ms: report.latency.p99().as_nanos() as f64 / 1e6,
+            amortized_us: report.amortized_per_op().as_nanos() as f64 / 1e3,
+            settle_ms: report.elapsed.as_nanos() as f64 / 1e6,
+        });
+    }
+    rows
+}
+
+/// Render the coalescing study table.
+pub fn render_nfs_rows(title: &str, rows: &[NfsRow]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>10} | {:>5} {:>5} {:>7} | {:>6} {:>6} {:>7} | {:>5} {:>5} | {:>8} {:>8} {:>9}",
+        "mode",
+        "ops",
+        "sync",
+        "one-way",
+        "dgrams",
+        "frags",
+        "dg/op",
+        "f-mtu",
+        "f-syn",
+        "p99(ms)",
+        "amrt(us)",
+        "settle(ms)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>10} | {:>5} {:>5} {:>7} | {:>6} {:>6} {:>7.2} | {:>5} {:>5} | {:>8.3} {:>8.1} {:>9.3}",
+            r.mode,
+            r.ops,
+            r.sync_calls,
+            r.oneway_writes,
+            r.datagrams,
+            r.fragments,
+            r.datagrams_per_op,
+            r.flushes_mtu,
+            r.flushes_sync,
+            r.p99_ms,
+            r.amortized_us,
+            r.settle_ms,
+        );
+    }
+    out
+}
+
 /// Render a Table-1/2-style table with paper reference values.
 pub fn render_rows(title: &str, rows: &[Row], paper: &[(f64, f64)]) -> String {
     use std::fmt::Write;
@@ -907,6 +1012,35 @@ mod tests {
         }
         let text = render_chaos_rows("T", &rows);
         for col in ["avail", "rcvr(ms)", "trips", "no-failover"] {
+            assert!(text.contains(col), "{text}");
+        }
+    }
+
+    #[test]
+    fn nfs_study_shows_coalescing_saving_datagrams_and_time() {
+        let rows = nfs_study();
+        assert_eq!(rows.len(), 2, "coalesced + per-call");
+        let find = |m: &str| rows.iter().find(|r| r.mode == m).unwrap();
+        let coalesced = find("coalesced");
+        let per_call = find("per-call");
+        assert_eq!(
+            coalesced.ops, per_call.ops,
+            "both policies drive the identical workload"
+        );
+        assert!(
+            coalesced.datagrams + coalesced.oneway_writes / 2 < per_call.datagrams,
+            "packing must save most one-way datagrams: {} vs {}",
+            coalesced.datagrams,
+            per_call.datagrams
+        );
+        assert!(
+            coalesced.settle_ms < per_call.settle_ms,
+            "coalescing must win elapsed virtual time: {} vs {} ms",
+            coalesced.settle_ms,
+            per_call.settle_ms
+        );
+        let text = render_nfs_rows("T", &rows);
+        for col in ["dg/op", "f-mtu", "amrt(us)", "per-call"] {
             assert!(text.contains(col), "{text}");
         }
     }

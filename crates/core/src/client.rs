@@ -172,6 +172,8 @@ pub struct SpecClient<T: Transport> {
     pub fallback_calls: u64,
     /// Calls performed (for allocs-per-call reporting).
     pub calls: u64,
+    /// One-way calls issued through [`SpecClient::call_oneway`].
+    pub oneway_calls: u64,
 }
 
 impl<T: Transport> SpecClient<T> {
@@ -198,6 +200,7 @@ impl<T: Transport> SpecClient<T> {
             fast_calls: 0,
             fallback_calls: 0,
             calls: 0,
+            oneway_calls: 0,
         }
     }
 
@@ -254,6 +257,87 @@ impl<T: Transport> SpecClient<T> {
         // The consumed reply buffer feeds the transport's pool.
         self.transport.recycle(reply);
         result
+    }
+
+    /// Sun-style **one-way** call: encode through the compiled stub and
+    /// hand the request to [`Transport::call_oneway`] — no reply is
+    /// awaited, decoded, or returned. Over a coalescing UDP transport
+    /// (`ClntUdp::with_coalescing`) the call is *queued* into an
+    /// MTU-sized envelope and flushed by MTU fill, the linger bound, or
+    /// the next synchronous call, whose reply acknowledges the whole
+    /// pipeline; other transports degrade to a blocking call with the
+    /// reply discarded. The one-way trade is the classic batch-mode one:
+    /// at-most-once execution, with loss only detected by the next
+    /// synchronous call in the stream.
+    ///
+    /// ```
+    /// use specrpc::{ProcSpec, SpecClient, SpecService, StubCache};
+    /// use specrpc_netsim::net::{Network, NetworkConfig};
+    /// use specrpc_netsim::SimTime;
+    /// use specrpc_rpc::{ClntUdp, CoalescePolicy};
+    /// use specrpc_tempo::compile::StubArgs;
+    /// use std::sync::Arc;
+    ///
+    /// const IDL: &str = r#"
+    ///     program INCPROG {
+    ///         version INCVERS { int INC(int) = 1; } = 1;
+    ///     } = 0x20000779;
+    /// "#;
+    ///
+    /// let cache = Arc::new(StubCache::new());
+    /// let proc_ = ProcSpec::new(IDL, 1).compile(None, Some(&cache)).unwrap();
+    ///
+    /// let net = Network::new(NetworkConfig::lan(), 1);
+    /// SpecService::new()
+    ///     .proc(proc_.clone(), |args: &StubArgs| {
+    ///         let v = *args.scalars.last().unwrap();
+    ///         StubArgs::new(vec![v + 1], vec![])
+    ///     })
+    ///     .serve_udp(&net, 901);
+    ///
+    /// // Coalescing on: one-way INCs pack into MTU-sized envelopes and
+    /// // ride with the next synchronous call, whose reply acknowledges
+    /// // the whole pipeline in one round trip.
+    /// let transport = ClntUdp::create(&net, 5002, 901, 0x2000_0779, 1)
+    ///     .with_coalescing(CoalescePolicy::new(1400, SimTime::from_micros(100)));
+    /// let mut client = SpecClient::builder(transport)
+    ///     .proc(ProcSpec::new(IDL, 1))
+    ///     .cache(cache)
+    ///     .build()
+    ///     .unwrap();
+    ///
+    /// for i in 0..8 {
+    ///     client.call_oneway(&client.args(vec![i], vec![])).unwrap();
+    /// }
+    /// // Nothing has hit the wire yet; the sync call seals and flushes.
+    /// let (out, _) = client.call(&client.args(vec![100], vec![])).unwrap();
+    /// assert_eq!(*out.scalars.last().unwrap(), 101);
+    /// assert_eq!(client.oneway_calls, 8);
+    /// ```
+    pub fn call_oneway(&mut self, args: &StubArgs) -> Result<(), RpcError> {
+        let allocs_before = self.transport.wire_allocs();
+        self.calls += 1;
+        self.oneway_calls += 1;
+        let xid = self.transport.next_xid();
+        let result =
+            match Self::encode_into(&self.proc_, &mut self.req, args, xid, &mut self.counts) {
+                Ok(()) => self.transport.call_oneway(self.req.bytes(), xid),
+                Err(e) => Err(e),
+            };
+        self.counts.heap_allocs += self.transport.wire_allocs() - allocs_before;
+        result
+    }
+
+    /// Push queued one-way calls to the wire without waiting for a
+    /// synchronous call (see [`Transport::flush_oneways`]).
+    pub fn flush_oneways(&mut self) -> Result<(), RpcError> {
+        self.transport.flush_oneways()
+    }
+
+    /// Whether [`SpecClient::call_oneway`] really queues (a batching
+    /// transport) rather than degrading to a blocking call.
+    pub fn oneway_batching(&self) -> bool {
+        self.transport.oneway_batching()
     }
 
     /// Single-copy encode: the compiled stub emits header + arguments in

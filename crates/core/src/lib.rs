@@ -447,8 +447,8 @@ pub use client::{PathUsed, ProcSpec, SpecClient, SpecClientBuilder};
 pub use congestion::{run_congestion, run_congestion_matrix, CongestionConfig, CongestionReport};
 pub use pipeline::{CompiledProc, PipelineError, ProcPipeline, UNROLL_CANDIDATES};
 pub use scenario::{
-    run_adaptive, run_scale, run_scale_single_shard, AdaptiveScenarioConfig,
-    AdaptiveScenarioReport, ScaleConfig, ScaleReport,
+    deploy_nfs_service, run_adaptive, run_nfs, run_scale, run_scale_single_shard,
+    AdaptiveScenarioConfig, AdaptiveScenarioReport, NfsConfig, NfsReport, ScaleConfig, ScaleReport,
 };
 pub use service::{EventService, ShardedService, SpecHandler, SpecService, ThreadedService};
 pub use specializer::{CompileJob, Specializer, SpecializerStats};

@@ -32,12 +32,12 @@ use specrpc_netsim::net::{Addr, Endpoint, LinkStats, Network, NetworkConfig};
 use specrpc_netsim::{Platform, SimTime};
 use specrpc_rpc::msg::CallHeader;
 use specrpc_rpc::svc_udp::serve_udp;
-use specrpc_rpc::ClntUdp;
+use specrpc_rpc::{ClntUdp, CoalescePolicy, CoalesceStats, Transport};
 use specrpc_tempo::compile::StubArgs;
 use specrpc_xdr::composite::xdr_array;
 use specrpc_xdr::mem::XdrMem;
 use specrpc_xdr::primitives::xdr_int;
-use specrpc_xdr::XdrStream;
+use specrpc_xdr::{OpCounts, XdrStream};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -634,6 +634,377 @@ pub fn run_adaptive(cfg: &AdaptiveScenarioConfig) -> Result<AdaptiveScenarioRepo
     })
 }
 
+// ---------------------------------------------------------------------
+// NFS-like mixed-procedure scenario (coalescing & one-way batching).
+// ---------------------------------------------------------------------
+
+/// Program number of the NFS-like service.
+pub const NFS_PROG: u32 = 0x2000_0404;
+/// Version number.
+pub const NFS_VERS: u32 = 1;
+/// Server socket of the NFS-like service.
+pub const NFS_PORT: Addr = 46_000;
+/// First client endpoint address (client `i` binds `base + i`).
+pub const NFS_CLIENT_BASE: Addr = 47_000;
+
+/// Procedure numbers of the NFS-like program.
+pub const NFS_GETATTR: u32 = 1;
+/// `LOOKUP(dir, name) -> fh`.
+pub const NFS_LOOKUP: u32 = 2;
+/// `READ(fh, offset, count) -> (len, check)`.
+pub const NFS_READ: u32 = 3;
+/// `WRITE(fh, offset, len) -> size` — issued **one-way** in bursts.
+pub const NFS_WRITE: u32 = 4;
+/// `COMMIT(fh) -> committed` — the synchronous call that flushes and
+/// acknowledges a preceding one-way WRITE burst.
+pub const NFS_COMMIT: u32 = 5;
+
+/// The NFS-like interface: five fixed-shape (scalar-only) procedures, so
+/// every call message stays small — the regime where per-datagram cost
+/// dominates and coalescing pays.
+const NFS_IDL: &str = r#"
+    struct getattr_arg { int fh; };
+    struct getattr_res { int size; int mtime; int mode; };
+    struct lookup_arg { int dir; int name; };
+    struct lookup_res { int fh; };
+    struct read_arg { int fh; int offset; int count; };
+    struct read_res { int len; int check; };
+    struct write_arg { int fh; int offset; int len; };
+    struct write_res { int size; };
+    struct commit_arg { int fh; };
+    struct commit_res { int committed; };
+    program NFSPROG {
+        version NFSVERS {
+            getattr_res GETATTR(getattr_arg) = 1;
+            lookup_res LOOKUP(lookup_arg) = 2;
+            read_res READ(read_arg) = 3;
+            write_res WRITE(write_arg) = 4;
+            commit_res COMMIT(commit_arg) = 5;
+        } = 1;
+    } = 0x20000404;
+"#;
+
+/// Configuration of one NFS-like run: a zipf-popular file-handle
+/// population under a mixed GETATTR/LOOKUP/READ workload, with WRITE
+/// issued as **one-way bursts** each closed by a synchronous COMMIT
+/// (Sun batch mode: the COMMIT reply acknowledges the burst). The
+/// network charges an honest per-packet cost, so the report's datagram
+/// counts and amortized latency expose what coalescing saves.
+#[derive(Debug, Clone)]
+pub struct NfsConfig {
+    /// Client endpoints; each runs `ops_per_client` op draws in turn.
+    pub clients: usize,
+    /// File handles (`1..=files`), zipf-ranked: handle 1 most popular.
+    pub files: usize,
+    /// Op draws per client (a WRITE-burst draw issues
+    /// `write_burst + 1` calls).
+    pub ops_per_client: usize,
+    /// One-way WRITEs per burst, before the sync COMMIT that seals,
+    /// flushes, and acknowledges them.
+    pub write_burst: usize,
+    /// Zipf skew exponent over file-handle ranks.
+    pub zipf_s: f64,
+    /// Seed for handle draws and the op mix.
+    pub seed: u64,
+    /// Client coalescing policy ([`CoalescePolicy::per_call`] is the
+    /// honest one-datagram-per-call A/B baseline).
+    pub policy: CoalescePolicy,
+    /// Per-fragment header bytes charged by the link
+    /// ([`NetworkConfig::with_datagram_cost`]).
+    pub header_bytes: usize,
+    /// Fixed per-fragment cost in virtual ns.
+    pub per_datagram_ns: u64,
+    /// Link MTU: payloads fragment at this size
+    /// ([`NetworkConfig::with_mtu`]).
+    pub wire_mtu: usize,
+}
+
+impl NfsConfig {
+    /// A test-sized run: seconds in debug builds, same code path as any
+    /// larger configuration. Ethernet-flavored coalescing over a link
+    /// that charges 28 header bytes + 100 µs per wire fragment (the
+    /// per-packet protocol-stack traversal the paper's era paid on
+    /// every UDP send — the fixed cost batching amortizes).
+    pub fn smoke() -> NfsConfig {
+        NfsConfig {
+            clients: 8,
+            files: 32,
+            ops_per_client: 40,
+            write_burst: 8,
+            zipf_s: 1.1,
+            seed: 42,
+            policy: CoalescePolicy::ethernet(),
+            header_bytes: specrpc_netsim::UDP_IP_HEADER_BYTES,
+            per_datagram_ns: 100_000,
+            wire_mtu: 1500,
+        }
+    }
+
+    /// This config with coalescing degraded to one datagram per call —
+    /// identical framing and one-way semantics, no amortization. The
+    /// baseline every coalescing win is measured against.
+    pub fn per_call(mut self) -> NfsConfig {
+        self.policy = CoalescePolicy::per_call();
+        self
+    }
+}
+
+/// Outcome of one [`run_nfs`] execution.
+#[derive(Debug, Clone)]
+pub struct NfsReport {
+    /// Client endpoints that ran.
+    pub clients: usize,
+    /// Calls issued (sync + one-way).
+    pub ops: u64,
+    /// Synchronous calls (GETATTR/LOOKUP/READ/COMMIT).
+    pub sync_calls: u64,
+    /// One-way WRITE calls.
+    pub oneway_writes: u64,
+    /// COMMIT calls (one per WRITE burst).
+    pub commits: u64,
+    /// Latency distribution of the synchronous calls.
+    pub latency: LatencyHistogram,
+    /// Virtual time at the end of the run.
+    pub elapsed: SimTime,
+    /// Link accounting at the end of the run, including datagram and
+    /// wire-fragment counts under the per-packet cost model.
+    pub link: LinkStats,
+    /// Client coalescer counters, summed across all clients.
+    pub coalesce: CoalesceStats,
+}
+
+impl NfsReport {
+    /// Datagrams the whole run put on the wire, per issued call — the
+    /// number coalescing drives below 2.0 (request + reply) and one-way
+    /// batching drives toward `1/burst`.
+    pub fn datagrams_per_op(&self) -> f64 {
+        self.link.datagrams as f64 / self.ops.max(1) as f64
+    }
+
+    /// Amortized virtual time per issued call over the full run.
+    pub fn amortized_per_op(&self) -> SimTime {
+        SimTime::from_nanos(self.elapsed.as_nanos() / self.ops.max(1))
+    }
+
+    /// The run as a [`Summary`] (latency + link lines).
+    pub fn summary(&self) -> Summary {
+        Summary::default()
+            .with_latency(self.latency.clone())
+            .with_wire(OpCounts::default(), self.sync_calls, None, Some(self.link))
+    }
+
+    /// Human-readable report; byte-identical across runs of the same
+    /// config (sequential clients, one seeded stream, virtual clock).
+    pub fn render(&self) -> String {
+        let mut out = self.summary().render();
+        out.push_str(&format!(
+            "\n\u{20} nfs mix:                        {} op(s) from {} client(s): {} sync, {} one-way write(s), {} commit(s)",
+            self.ops, self.clients, self.sync_calls, self.oneway_writes, self.commits
+        ));
+        out.push_str(&format!(
+            "\n\u{20} coalescing:                     {} queued, flushes mtu {} / linger {} / sync {} / explicit {}",
+            self.coalesce.oneways_queued,
+            self.coalesce.flushes_mtu,
+            self.coalesce.flushes_linger,
+            self.coalesce.flushes_sync,
+            self.coalesce.flushes_explicit,
+        ));
+        out.push_str(&format!(
+            "\n\u{20} wire economy:                   {:.2} datagram(s)/op, {} amortized/op",
+            self.datagrams_per_op(),
+            self.amortized_per_op(),
+        ));
+        out
+    }
+}
+
+/// Encode one NFS-like call message: header for `proc_num` under `xid`,
+/// then the argument scalars in field order.
+fn encode_nfs_call(xid: u32, proc_num: u32, scalars: &[i32]) -> Vec<u8> {
+    let mut enc = XdrMem::encoder(64 + 4 * scalars.len());
+    let mut hdr = CallHeader::new(xid, NFS_PROG, NFS_VERS, proc_num);
+    CallHeader::xdr(&mut enc, &mut hdr).expect("header encode");
+    for &v in scalars {
+        let mut v = v;
+        xdr_int(&mut enc, &mut v).expect("arg encode");
+    }
+    let len = enc.getpos();
+    enc.bytes()[..len].to_vec()
+}
+
+/// Build the NFS-like [`SpecService`]: five compiled fixed-shape
+/// procedures over one shared in-memory file table. WRITE sizes and
+/// COMMIT counters are real state, so replies (and the equivalence
+/// tests over them) observe every handler execution.
+pub fn deploy_nfs_service(files: usize) -> Result<SpecService, PipelineError> {
+    #[derive(Default)]
+    struct NfsState {
+        sizes: Vec<i32>,
+        uncommitted: Vec<i32>,
+    }
+    let state = Arc::new(std::sync::Mutex::new(NfsState {
+        sizes: (0..files).map(|i| 512 * (i as i32 % 7 + 1)).collect(),
+        uncommitted: vec![0; files],
+    }));
+    let fh_index = move |fh: i32| (fh - 1).rem_euclid(files as i32) as usize;
+
+    let mut service = SpecService::new();
+    let compiled: Vec<Arc<crate::pipeline::CompiledProc>> = (NFS_GETATTR..=NFS_COMMIT)
+        .map(|p| {
+            ProcPipeline::new(0)
+                .build_from_idl(NFS_IDL, None, p)
+                .map(Arc::new)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let s = state.clone();
+    service = service.proc(compiled[0].clone(), move |args: &StubArgs| {
+        let fh = *args.scalars.last().expect("getattr arg");
+        let size = s.lock().unwrap().sizes[fh_index(fh)];
+        StubArgs::new(vec![size, fh * 31 + size, 420], vec![])
+    });
+    service = service.proc(compiled[1].clone(), move |args: &StubArgs| {
+        let n = args.scalars.len();
+        let (dir, name) = (args.scalars[n - 2], args.scalars[n - 1]);
+        StubArgs::new(vec![(dir + name).rem_euclid(files as i32) + 1], vec![])
+    });
+    let s = state.clone();
+    service = service.proc(compiled[2].clone(), move |args: &StubArgs| {
+        let n = args.scalars.len();
+        let (fh, offset, count) = (
+            args.scalars[n - 3],
+            args.scalars[n - 2],
+            args.scalars[n - 1],
+        );
+        let size = s.lock().unwrap().sizes[fh_index(fh)];
+        let len = count.min((size - offset).max(0));
+        StubArgs::new(vec![len, fh ^ offset], vec![])
+    });
+    let s = state.clone();
+    service = service.proc(compiled[3].clone(), move |args: &StubArgs| {
+        let n = args.scalars.len();
+        let (fh, offset, len) = (
+            args.scalars[n - 3],
+            args.scalars[n - 2],
+            args.scalars[n - 1],
+        );
+        let mut st = s.lock().unwrap();
+        let i = fh_index(fh);
+        st.sizes[i] = st.sizes[i].max(offset + len);
+        st.uncommitted[i] += 1;
+        let size = st.sizes[i];
+        StubArgs::new(vec![size], vec![])
+    });
+    let s = state.clone();
+    service = service.proc(compiled[4].clone(), move |args: &StubArgs| {
+        let fh = *args.scalars.last().expect("commit arg");
+        let mut st = s.lock().unwrap();
+        let i = fh_index(fh);
+        let committed = st.uncommitted[i];
+        st.uncommitted[i] = 0;
+        StubArgs::new(vec![committed], vec![])
+    });
+    Ok(service)
+}
+
+/// Execute one NFS-like run: deploy the five-procedure service behind
+/// the shared cache-fronted dispatch, then drive each client through a
+/// zipf-skewed mix of synchronous GETATTR/LOOKUP/READ calls and one-way
+/// WRITE bursts sealed by sync COMMITs, over a link that charges every
+/// wire fragment its header bytes plus a fixed per-packet cost.
+///
+/// Clients run sequentially on the virtual clock, so a fixed config
+/// produces a byte-identical [`NfsReport::render`] every run.
+pub fn run_nfs(cfg: &NfsConfig) -> Result<NfsReport, PipelineError> {
+    assert!(cfg.clients > 0 && cfg.files > 0, "non-empty run");
+    let net = Network::new(
+        NetworkConfig::lan()
+            .with_datagram_cost(cfg.header_bytes, cfg.per_datagram_ns)
+            .with_mtu(cfg.wire_mtu),
+        cfg.seed,
+    );
+    let service = deploy_nfs_service(cfg.files)?;
+    serve_udp(&net, NFS_PORT, service.into_registry(), None);
+
+    let cdf = zipf_cdf(cfg.files, cfg.zipf_s);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut latency = LatencyHistogram::new();
+    let (mut ops, mut sync_calls, mut oneway_writes, mut commits) = (0u64, 0u64, 0u64, 0u64);
+    let mut coalesce = CoalesceStats::default();
+
+    for c in 0..cfg.clients {
+        let mut clnt = ClntUdp::create(
+            &net,
+            NFS_CLIENT_BASE + c as Addr,
+            NFS_PORT,
+            NFS_PROG,
+            NFS_VERS,
+        )
+        .with_coalescing(cfg.policy);
+        fn sync_call(
+            net: &Network,
+            clnt: &mut ClntUdp,
+            latency: &mut LatencyHistogram,
+            proc_num: u32,
+            scalars: &[i32],
+        ) {
+            let xid = clnt.next_xid();
+            let req = encode_nfs_call(xid, proc_num, scalars);
+            let t0 = net.now();
+            let reply = Transport::call(clnt, &req, xid).expect("lossless link answers");
+            latency.record(net.now().saturating_sub(t0));
+            clnt.recycle(reply);
+        }
+        for _ in 0..cfg.ops_per_client {
+            let u = rng.random::<f64>();
+            let rank = cdf.partition_point(|&c| c < u).min(cfg.files - 1);
+            let fh = rank as i32 + 1;
+            let (proc_num, args) = match rng.random_range(0..4u32) {
+                0 => {
+                    // One-way WRITE burst, sealed by a sync COMMIT whose
+                    // reply acknowledges the whole pipeline.
+                    for b in 0..cfg.write_burst {
+                        let xid = clnt.next_xid();
+                        let req = encode_nfs_call(xid, NFS_WRITE, &[fh, 64 * b as i32, 64]);
+                        clnt.call_oneway(&req, xid).expect("one-way queue");
+                        oneway_writes += 1;
+                        ops += 1;
+                    }
+                    commits += 1;
+                    (NFS_COMMIT, vec![fh])
+                }
+                1 => (NFS_GETATTR, vec![fh]),
+                2 => (NFS_LOOKUP, vec![fh, rng.random_range(0..64)]),
+                _ => (NFS_READ, vec![fh, rng.random_range(0..4) * 64, 64]),
+            };
+            sync_call(&net, &mut clnt, &mut latency, proc_num, &args);
+            sync_calls += 1;
+            ops += 1;
+        }
+        if let Some(s) = clnt.coalesce_stats() {
+            coalesce.oneways_queued += s.oneways_queued;
+            coalesce.flushes_mtu += s.flushes_mtu;
+            coalesce.flushes_linger += s.flushes_linger;
+            coalesce.flushes_sync += s.flushes_sync;
+            coalesce.flushes_explicit += s.flushes_explicit;
+            coalesce.pending_submessages += s.pending_submessages;
+            coalesce.unacked_envelopes += s.unacked_envelopes;
+        }
+    }
+
+    Ok(NfsReport {
+        clients: cfg.clients,
+        ops,
+        sync_calls,
+        oneway_writes,
+        commits,
+        latency,
+        elapsed: net.now(),
+        link: net.link_stats(),
+        coalesce,
+    })
+}
+
 /// [`run_scale`] with the full sharded map replaced by a single shard —
 /// the determinism baseline the sharding tests compare against.
 pub fn run_scale_single_shard(cfg: &ScaleConfig) -> Result<ScaleReport, PipelineError> {
@@ -752,6 +1123,66 @@ mod tests {
         let text = a.render();
         assert!(text.contains("adaptive tiers"), "{text}");
         assert!(text.contains("steady-state hit rate"), "{text}");
+    }
+
+    #[test]
+    fn nfs_smoke_runs_the_full_mix() {
+        let report = run_nfs(&NfsConfig::smoke()).unwrap();
+        assert!(report.oneway_writes > 0, "bursts drawn: {report:?}");
+        assert!(report.commits > 0);
+        assert_eq!(
+            report.ops,
+            report.sync_calls + report.oneway_writes,
+            "every op is sync or one-way"
+        );
+        assert_eq!(report.latency.count(), report.sync_calls);
+        assert_eq!(report.coalesce.oneways_queued, report.oneway_writes);
+        assert_eq!(report.coalesce.pending_submessages, 0, "all bursts sealed");
+        assert_eq!(report.coalesce.unacked_envelopes, 0, "all bursts acked");
+        assert_eq!(report.link.queue_drops, 0);
+    }
+
+    #[test]
+    fn nfs_fixed_seed_renders_byte_identical_reports() {
+        let cfg = NfsConfig::smoke();
+        let a = run_nfs(&cfg).unwrap();
+        let b = run_nfs(&cfg).unwrap();
+        assert_eq!(a.render(), b.render());
+        let text = a.render();
+        assert!(text.contains("nfs mix:"), "{text}");
+        assert!(text.contains("coalescing:"), "{text}");
+        assert!(text.contains("datagram(s)/op"), "{text}");
+        assert!(text.contains("link packets:"), "{text}");
+    }
+
+    #[test]
+    fn nfs_coalescing_beats_the_per_call_baseline() {
+        let coalesced = run_nfs(&NfsConfig::smoke()).unwrap();
+        let plain = run_nfs(&NfsConfig::smoke().per_call()).unwrap();
+        // Same seed, same op sequence, same handler state transitions.
+        assert_eq!(plain.ops, coalesced.ops);
+        assert_eq!(plain.oneway_writes, coalesced.oneway_writes);
+        // Coalescing packs each WRITE burst + COMMIT into one envelope,
+        // so nearly every one-way write rides free; the baseline pays
+        // one datagram per call.
+        let saved = plain.link.datagrams - coalesced.link.datagrams;
+        assert!(
+            saved * 10 >= coalesced.oneway_writes * 9,
+            "saved {} datagrams over {} one-way writes (coalesced {} vs per-call {})",
+            saved,
+            coalesced.oneway_writes,
+            coalesced.link.datagrams,
+            plain.link.datagrams
+        );
+        // Fewer packet taxes: less virtual time for the same work.
+        assert!(
+            coalesced.elapsed < plain.elapsed,
+            "coalesced {} vs per-call {}",
+            coalesced.elapsed,
+            plain.elapsed
+        );
+        assert!(coalesced.coalesce.flushes_sync > 0);
+        assert_eq!(plain.coalesce.flushes_mtu, plain.oneway_writes);
     }
 
     #[test]

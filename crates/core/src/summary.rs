@@ -443,6 +443,10 @@ impl Summary {
                     "\n\u{20} link queues:                    {} drop(s), depth high-water {}",
                     l.queue_drops, l.queue_depth_high_water,
                 ));
+                text.push_str(&format!(
+                    "\n\u{20} link packets:                   {} datagram(s) in {} wire fragment(s)",
+                    l.datagrams, l.fragments,
+                ));
             }
         }
         if let Some(c) = self.chaos {
@@ -719,12 +723,15 @@ mod tests {
         let link = LinkStats {
             queue_drops: 42,
             queue_depth_high_water: 9,
+            datagrams: 120,
+            fragments: 130,
         };
         let text = Summary::default()
             .with_wire(counts, 10, None, Some(link))
             .render();
         assert!(text.contains("link queues"));
         assert!(text.contains("42 drop(s), depth high-water 9"));
+        assert!(text.contains("120 datagram(s) in 130 wire fragment(s)"));
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod udp;
 
 pub use chaos::{ChaosEvent, ChaosSchedule, ChaosStats};
 pub use fault::FaultConfig;
-pub use net::{Endpoint, LinkStats, Network, NetworkConfig};
+pub use net::{Endpoint, LinkStats, Network, NetworkConfig, UDP_IP_HEADER_BYTES};
 pub use platform::{Platform, PlatformCosts};
 pub use time::SimTime;

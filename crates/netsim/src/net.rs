@@ -35,6 +35,15 @@
 //! timings are unchanged by the occupancy model; only overlapping traffic
 //! from one endpoint shifts.
 //!
+//! **Per-packet cost** (opt-in): with
+//! [`NetworkConfig::with_datagram_cost`] / [`NetworkConfig::with_mtu`]
+//! every UDP send charges `(payload + header_bytes)·ns_per_byte +
+//! per_datagram_ns` *per MTU-sized fragment* — so 64 tiny calls sent
+//! one-per-packet pay 64 packet taxes, while the same calls coalesced
+//! into a few MTU-filling datagrams pay only a few. The defaults (no
+//! header, no fixed cost, unbounded MTU) keep every pre-existing trace
+//! byte- and time-identical.
+//!
 //! Fault verdicts compose **on top of** occupancy: every judged datagram
 //! (including dropped ones — the sender did transmit it) charges exactly
 //! one serialization interval; a [`Verdict::Duplicate`] delivers twice but
@@ -132,6 +141,21 @@ pub struct NetworkConfig {
     /// and counted in [`Network::link_stats`]. `usize::MAX` (the
     /// default) is effectively unbounded.
     pub rx_queue_cap: usize,
+    /// Protocol header bytes charged per UDP wire fragment on top of the
+    /// payload (UDP/IP is 28; Ethernet framing would add more). `0` (the
+    /// default) keeps the pre-existing payload-only cost model —
+    /// existing traces stay byte- and time-identical.
+    pub header_bytes: usize,
+    /// Fixed per-fragment cost in nanoseconds (interrupt/stack traversal
+    /// per packet) charged on top of serialization. `0` (the default)
+    /// disables it.
+    pub per_datagram_ns: u64,
+    /// Maximum payload bytes per wire fragment: a UDP send larger than
+    /// this is charged as `ceil(len/mtu)` fragments, each paying
+    /// `header_bytes` and `per_datagram_ns` (IP fragmentation — the
+    /// datagram still arrives whole, reassembly is free). `usize::MAX`
+    /// (the default) never fragments.
+    pub mtu: usize,
 }
 
 impl NetworkConfig {
@@ -142,6 +166,9 @@ impl NetworkConfig {
             ns_per_byte: 80, // ≈ 100 Mbit/s
             faults: FaultConfig::NONE,
             rx_queue_cap: usize::MAX,
+            header_bytes: 0,
+            per_datagram_ns: 0,
+            mtu: usize::MAX,
         }
     }
 
@@ -157,7 +184,28 @@ impl NetworkConfig {
         self.rx_queue_cap = cap;
         self
     }
+
+    /// Same link with an honest per-packet cost: every UDP wire fragment
+    /// charges `header_bytes` extra serialized bytes plus a fixed
+    /// `per_datagram_ns` (see [`NetworkConfig::header_bytes`] /
+    /// [`NetworkConfig::per_datagram_ns`]).
+    pub fn with_datagram_cost(mut self, header_bytes: usize, per_datagram_ns: u64) -> Self {
+        self.header_bytes = header_bytes;
+        self.per_datagram_ns = per_datagram_ns;
+        self
+    }
+
+    /// Same link with UDP payloads fragmented at `mtu` bytes per wire
+    /// fragment (see [`NetworkConfig::mtu`]).
+    pub fn with_mtu(mut self, mtu: usize) -> Self {
+        self.mtu = mtu;
+        self
+    }
 }
+
+/// UDP + IPv4 header bytes — the conventional value for
+/// [`NetworkConfig::header_bytes`] when modeling a real IP link.
+pub const UDP_IP_HEADER_BYTES: usize = 28;
 
 /// Receive-queue accounting under the drop-tail link model: how many
 /// deliveries were discarded because their destination queue was at
@@ -169,6 +217,13 @@ pub struct LinkStats {
     pub queue_drops: u64,
     /// Maximum depth any receive queue reached (after a push).
     pub queue_depth_high_water: u64,
+    /// Logical UDP sends (one per [`Network::send_udp`], regardless of
+    /// fragmentation).
+    pub datagrams: u64,
+    /// UDP wire fragments charged: `ceil(len/mtu)` per send (equals
+    /// `datagrams` when [`NetworkConfig::mtu`] is unbounded). Each
+    /// fragment paid `header_bytes` and `per_datagram_ns`.
+    pub fragments: u64,
 }
 
 /// A datagram in flight or delivered.
@@ -231,6 +286,10 @@ impl Ord for Scheduled {
 /// The payload is passed by mutable reference so a handler may *consume*
 /// it (`std::mem::take`) — e.g. to recycle the buffer into a wire-buffer
 /// pool. The simulator drops whatever remains after the call.
+///
+/// Returning `Some((vec![], proc_time))` charges `proc_time` to the
+/// virtual clock but sends **no** reply datagram — how a server
+/// acknowledges work on one-way (batched) calls that expect no reply.
 pub type UdpHandler = Box<dyn FnMut(&mut Vec<u8>, Addr) -> Option<(Vec<u8>, SimTime)> + Send>;
 
 /// Factory producing a [`UdpHandler`] with **fresh state** — what
@@ -327,6 +386,8 @@ struct NetInner {
     /// Total payload bytes that crossed the link (for reports).
     bytes_sent: u64,
     datagrams_sent: u64,
+    /// UDP wire fragments charged (`ceil(len/mtu)` per send).
+    fragments_sent: u64,
     /// Per-endpoint UDP transmit occupancy: when each sending address's
     /// link becomes free. The UDP counterpart of
     /// `ConnState::busy_until` — back-to-back sends from one endpoint
@@ -387,6 +448,7 @@ impl Network {
                     conns: Vec::new(),
                     bytes_sent: 0,
                     datagrams_sent: 0,
+                    fragments_sent: 0,
                     udp_busy: HashMap::new(),
                     queue_drops: 0,
                     queue_high_water: 0,
@@ -418,13 +480,21 @@ impl Network {
         self.lock().datagrams_sent
     }
 
-    /// Drop-tail receive-queue accounting: deliveries discarded at full
-    /// queues plus the deepest queue observed (see [`LinkStats`]).
+    /// Total UDP wire fragments charged so far (see
+    /// [`LinkStats::fragments`]).
+    pub fn fragments_sent(&self) -> u64 {
+        self.lock().fragments_sent
+    }
+
+    /// Link accounting snapshot: drop-tail receive-queue counters plus
+    /// datagram/fragment totals (see [`LinkStats`]).
     pub fn link_stats(&self) -> LinkStats {
         let inner = self.lock();
         LinkStats {
             queue_drops: inner.queue_drops,
             queue_depth_high_water: inner.queue_high_water,
+            datagrams: inner.datagrams_sent,
+            fragments: inner.fragments_sent,
         }
     }
 
@@ -680,7 +750,11 @@ impl Network {
             let mut inner = self.lock();
             if let Some((bytes, proc_time)) = reply {
                 inner.now += proc_time;
-                inner.send_udp_locked(addr, dg.from, bytes);
+                // Empty reply: charge the time, send nothing (one-way
+                // calls — same convention as the blocking dispatch path).
+                if !bytes.is_empty() {
+                    inner.send_udp_locked(addr, dg.from, bytes);
+                }
             }
             inner.pending_events -= 1;
             if strict {
@@ -1011,7 +1085,13 @@ impl Network {
                     };
                     if let Some((bytes, proc_time)) = reply {
                         self.advance_inner(proc_time);
-                        self.send_udp(to, dg.from, bytes);
+                        // An empty reply means "processed, nothing to
+                        // send" (one-way calls): charge the processing
+                        // time but emit no datagram — mirrors the TCP
+                        // mid-record `!out.is_empty()` guard.
+                        if !bytes.is_empty() {
+                            self.send_udp(to, dg.from, bytes);
+                        }
                     }
                     return;
                 }
@@ -1151,6 +1231,17 @@ impl NetInner {
     fn send_udp_locked(&mut self, from: Addr, to: Addr, payload: Vec<u8>) {
         self.bytes_sent += payload.len() as u64;
         self.datagrams_sent += 1;
+        // Per-packet honesty: a send larger than the MTU transmits as
+        // `ceil(len/mtu)` wire fragments, and EVERY fragment pays the
+        // protocol header's serialization plus the fixed per-packet cost
+        // (an empty payload is still one packet). With the default
+        // config (header 0, per-packet 0, unbounded MTU) this reduces to
+        // exactly `len·ns_per_byte` — pre-existing traces unchanged.
+        let mtu = self.cfg.mtu.max(1);
+        let frags = payload.len().div_ceil(mtu).max(1) as u64;
+        self.fragments_sent += frags;
+        let wire_bytes = payload.len() as u64 + frags * self.cfg.header_bytes as u64;
+        let tx_ns = wire_bytes * self.cfg.ns_per_byte + frags * self.cfg.per_datagram_ns;
         // Link occupancy: the sender's endpoint is a serial resource.
         // This send starts when the wire is free (which may be in the
         // past relative to a rewound clock — `busy` is monotone) and
@@ -1159,7 +1250,7 @@ impl NetInner {
         // `busy_until` in `send_tcp`.
         let busy = self.udp_busy.entry(from).or_insert(SimTime::ZERO);
         let start = self.now.max(*busy);
-        let tx_done = start + SimTime::from_nanos(payload.len() as u64 * self.cfg.ns_per_byte);
+        let tx_done = start + SimTime::from_nanos(tx_ns);
         *busy = tx_done;
         let arrival = tx_done + self.cfg.latency;
         // Lifecycle faults gate the send after the occupancy charge (the
@@ -1430,6 +1521,8 @@ mod tests {
             LinkStats {
                 queue_drops: 3,
                 queue_depth_high_water: 2,
+                datagrams: 5,
+                fragments: 5,
             }
         );
         // Drop-tail: the two OLDEST datagrams survive.
@@ -1544,6 +1637,84 @@ mod tests {
         a.send_to(2, vec![0; 100]);
         assert_eq!(net.bytes_sent(), 100);
         assert_eq!(net.datagrams_sent(), 1);
+        assert_eq!(net.fragments_sent(), 1);
+    }
+
+    #[test]
+    fn default_config_charges_payload_bytes_only() {
+        // The trace-preservation contract: with header/per-packet cost
+        // off (the defaults), a send's arrival instant is exactly the
+        // pre-PR-10 `len·ns_per_byte + latency` — no hidden packet tax.
+        let net = Network::new(NetworkConfig::lan(), 1);
+        let a = net.bind_udp(5001);
+        let b = net.bind_udp(5002);
+        a.send_to(5002, vec![0u8; 100]);
+        let dg = b.recv_timeout(SimTime::from_millis(10)).expect("delivery");
+        assert_eq!(dg.at, SimTime::from_nanos(100 * 80 + 150_000));
+    }
+
+    #[test]
+    fn per_datagram_cost_charges_headers_and_fixed_ns() {
+        let net = Network::new(
+            NetworkConfig::lan().with_datagram_cost(UDP_IP_HEADER_BYTES, 20_000),
+            1,
+        );
+        let a = net.bind_udp(5001);
+        let b = net.bind_udp(5002);
+        a.send_to(5002, vec![0u8; 100]);
+        // An empty payload is still one packet; queued back to back it
+        // serializes behind the first send's occupancy (`busy_until`).
+        a.send_to(5002, vec![]);
+        let dg = b.recv_timeout(SimTime::from_millis(10)).expect("delivery");
+        // (100 payload + 28 header) · 80 ns/B + 20 µs packet + latency.
+        assert_eq!(
+            dg.at,
+            SimTime::from_nanos((100 + 28) * 80 + 20_000 + 150_000)
+        );
+        let t0 = SimTime::from_nanos((100 + 28) * 80 + 20_000);
+        let dg = b.recv_timeout(SimTime::from_millis(10)).expect("delivery");
+        assert_eq!(dg.at, t0 + SimTime::from_nanos(28 * 80 + 20_000 + 150_000));
+        assert_eq!(net.fragments_sent(), 2);
+    }
+
+    #[test]
+    fn mtu_fragments_charge_per_fragment() {
+        let net = Network::new(
+            NetworkConfig::lan()
+                .with_datagram_cost(UDP_IP_HEADER_BYTES, 20_000)
+                .with_mtu(1000),
+            1,
+        );
+        let a = net.bind_udp(5001);
+        let b = net.bind_udp(5002);
+        a.send_to(5002, vec![0u8; 2500]);
+        let dg = b.recv_timeout(SimTime::from_millis(10)).expect("delivery");
+        // ceil(2500/1000) = 3 fragments: each pays its header bytes and
+        // the fixed packet cost; the payload still arrives whole.
+        let tx = (2500 + 3 * 28) * 80 + 3 * 20_000;
+        assert_eq!(dg.at, SimTime::from_nanos(tx + 150_000));
+        assert_eq!(dg.payload.len(), 2500);
+        assert_eq!(net.datagrams_sent(), 1);
+        assert_eq!(net.fragments_sent(), 3);
+        let stats = net.link_stats();
+        assert_eq!(stats.datagrams, 1);
+        assert_eq!(stats.fragments, 3);
+    }
+
+    #[test]
+    fn empty_reply_charges_time_but_sends_nothing() {
+        // The one-way convention: Some((vec![], t)) advances the clock
+        // by t and emits no reply datagram.
+        let net = Network::new(NetworkConfig::lan(), 1);
+        net.serve_udp(
+            2000,
+            Box::new(|_, _| Some((vec![], SimTime::from_millis(3)))),
+        );
+        let ep = net.bind_udp(5001);
+        ep.send_to(2000, vec![1]);
+        assert!(ep.recv_timeout(SimTime::from_millis(50)).is_none());
+        assert!(net.now() >= SimTime::from_millis(3));
+        assert_eq!(net.datagrams_sent(), 1, "only the request crossed the wire");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 
 use crate::breaker::CircuitBreaker;
 use crate::bufpool::BufPool;
+use crate::coalesce::{CallCoalescer, CoalescePolicy, CoalesceStats, FlushReason, WINDOW_CAP};
 use crate::error::RpcError;
 use crate::msg::{CallHeader, ReplyHeader};
 use crate::transport::Transport;
@@ -11,6 +12,7 @@ use crate::xid::XidGen;
 use specrpc_netsim::net::{Addr, Network};
 use specrpc_netsim::udp::SimUdpSocket;
 use specrpc_netsim::SimTime;
+use specrpc_xdr::coalesce;
 use specrpc_xdr::mem::XdrMem;
 use specrpc_xdr::{OpCounts, XdrResult, XdrStream};
 use std::sync::Arc;
@@ -89,6 +91,33 @@ fn accept_reply(
     }
 }
 
+/// [`accept_reply`] for a raw datagram that may be a coalesced reply
+/// envelope (the server packs several sub-replies into one datagram when
+/// the request arrived coalesced): when `unpack` is set and the datagram
+/// parses as an envelope, each sub-reply is copied into a pooled buffer
+/// and routed individually; otherwise the datagram is one plain reply.
+fn accept_datagram(
+    pool: &BufPool,
+    unpack: bool,
+    xids: &[u32],
+    replies: &mut [Option<Vec<u8>>],
+    outstanding: &mut usize,
+    dg: Vec<u8>,
+) {
+    if unpack {
+        if let Some(parts) = coalesce::split(&dg) {
+            for (bytes, _oneway) in parts {
+                let mut sub = pool.take(bytes.len());
+                sub.extend_from_slice(bytes);
+                accept_reply(pool, xids, replies, outstanding, sub);
+            }
+            pool.put(dg);
+            return;
+        }
+    }
+    accept_reply(pool, xids, replies, outstanding, dg);
+}
+
 /// A UDP RPC client handle (the `CLIENT` of the original API).
 pub struct ClntUdp {
     sock: SimUdpSocket,
@@ -134,6 +163,12 @@ pub struct ClntUdp {
     /// Reusable swap buffer for bulk reply draining in
     /// [`ClntUdp::exchange_batch`].
     drain_buf: std::collections::VecDeque<specrpc_netsim::net::Datagram>,
+    /// MTU-aware one-way coalescing state (`None` = classic one datagram
+    /// per call, byte- and time-identical to the pre-coalescing client).
+    coalescer: Option<CallCoalescer>,
+    /// Sub-replies unpacked from a coalesced reply envelope, awaiting
+    /// pickup by the receive paths in arrival order.
+    rx_pending: std::collections::VecDeque<Vec<u8>>,
 }
 
 impl ClntUdp {
@@ -170,7 +205,24 @@ impl ClntUdp {
             retransmits: 0,
             pool,
             drain_buf: std::collections::VecDeque::new(),
+            coalescer: None,
+            rx_pending: std::collections::VecDeque::new(),
         }
+    }
+
+    /// Enable MTU-aware coalescing and Sun-style one-way batching (see
+    /// [`crate::CoalescePolicy`] and [`Transport::call_oneway`]): queued
+    /// one-way calls pack into envelopes up to `policy.mtu`, flushed by
+    /// MTU fill, the linger bound, or the next synchronous call — whose
+    /// reply acknowledges the pipeline.
+    pub fn with_coalescing(mut self, policy: CoalescePolicy) -> Self {
+        self.coalescer = Some(CallCoalescer::new(policy));
+        self
+    }
+
+    /// Coalescing counters, when coalescing is enabled.
+    pub fn coalesce_stats(&self) -> Option<CoalesceStats> {
+        self.coalescer.as_ref().map(|c| c.stats())
     }
 
     /// The wire-buffer pool this client cycles datagrams through.
@@ -240,6 +292,138 @@ impl ClntUdp {
         self.breakers.iter().map(|b| b.trips).sum()
     }
 
+    /// Queue a one-way call into the coalescing envelope, flushing first
+    /// when the linger bound has passed or the sub-message would not fit
+    /// under the MTU. Requires coalescing to be enabled.
+    fn queue_oneway(&mut self, request: &[u8], xid: u32) {
+        debug_assert!(request.len() >= 4);
+        debug_assert_eq!(
+            u32::from_be_bytes([request[0], request[1], request[2], request[3]]),
+            xid,
+            "request must start with its xid"
+        );
+        let _ = xid;
+        let now = self.sock.now();
+        let (linger_due, mtu_over) = {
+            let c = self.coalescer.as_ref().expect("coalescing enabled");
+            let linger_due = c
+                .first_queued_at
+                .is_some_and(|t0| now >= t0 + c.policy.linger);
+            let mtu_over = coalesce::count(&c.pending) > 0
+                && c.pending.len() + coalesce::pushed_len(request.len()) > c.policy.mtu;
+            (linger_due, mtu_over)
+        };
+        if linger_due {
+            self.flush_pending_oneways(FlushReason::Linger);
+        } else if mtu_over {
+            self.flush_pending_oneways(FlushReason::Mtu);
+        }
+        let c = self.coalescer.as_mut().expect("coalescing enabled");
+        if c.pending.is_empty() {
+            let mut env = self
+                .pool
+                .take(coalesce::ENVELOPE_HEADER_BYTES + coalesce::pushed_len(request.len()));
+            coalesce::begin(&mut env);
+            c.pending = env;
+        }
+        coalesce::push(&mut c.pending, request, true);
+        c.note_queued();
+        if c.first_queued_at.is_none() {
+            c.first_queued_at = Some(now);
+        }
+        if c.pending.len() >= c.policy.mtu {
+            self.flush_pending_oneways(FlushReason::Mtu);
+        }
+    }
+
+    /// Transmit the envelope under construction (if non-empty) and park
+    /// its image in the unacknowledged-envelope window for replay
+    /// alongside a retransmitting synchronous call.
+    fn flush_pending_oneways(&mut self, reason: FlushReason) {
+        let Some(c) = self.coalescer.as_mut() else {
+            return;
+        };
+        if coalesce::count(&c.pending) == 0 {
+            return;
+        }
+        let img = std::mem::take(&mut c.pending);
+        c.first_queued_at = None;
+        c.note_flush(reason);
+        let mut dg = self.pool.take(img.len());
+        dg.extend_from_slice(&img);
+        self.sock.send(dg);
+        c.window.push(img);
+        if c.window.len() > WINDOW_CAP {
+            // Oldest unacknowledged one-ways fall off: at-most-once, the
+            // classic Sun batch-mode trade.
+            let old = c.window.remove(0);
+            self.pool.put(old);
+        }
+    }
+
+    /// Seal pending one-ways together with a synchronous `request` when
+    /// everything fits one envelope (returning the sealed wire image the
+    /// exchange should transmit instead of the plain request); otherwise
+    /// flush the one-ways on their own and let the request go plain.
+    fn seal_with_pending(&mut self, request: &[u8]) -> Option<Vec<u8>> {
+        let fits = {
+            let c = self.coalescer.as_ref()?;
+            if coalesce::count(&c.pending) == 0 {
+                return None;
+            }
+            c.pending.len() + coalesce::pushed_len(request.len()) <= c.policy.mtu
+        };
+        if fits {
+            let c = self.coalescer.as_mut().expect("checked above");
+            coalesce::push(&mut c.pending, request, false);
+            c.first_queued_at = None;
+            c.note_flush(FlushReason::Sync);
+            Some(std::mem::take(&mut c.pending))
+        } else {
+            self.flush_pending_oneways(FlushReason::Sync);
+            None
+        }
+    }
+
+    /// File one received datagram into `rx_pending`, unpacking coalesced
+    /// reply envelopes into pooled per-reply buffers when coalescing is
+    /// enabled (a client that never coalesces never receives envelopes).
+    fn enqueue_reply(&mut self, dg: Vec<u8>) {
+        if self.coalescer.is_some() {
+            if let Some(parts) = coalesce::split(&dg) {
+                for (bytes, _oneway) in parts {
+                    let mut sub = self.pool.take(bytes.len());
+                    sub.extend_from_slice(bytes);
+                    self.rx_pending.push_back(sub);
+                }
+                self.pool.put(dg);
+                return;
+            }
+        }
+        self.rx_pending.push_back(dg);
+    }
+
+    /// Next reply message within `timeout`: unpacked sub-replies first,
+    /// then the socket.
+    fn next_reply(&mut self, timeout: SimTime) -> Option<Vec<u8>> {
+        if let Some(r) = self.rx_pending.pop_front() {
+            return Some(r);
+        }
+        let dg = self.sock.recv(timeout)?;
+        self.enqueue_reply(dg);
+        self.rx_pending.pop_front()
+    }
+
+    /// Nonblocking [`ClntUdp::next_reply`].
+    fn next_reply_nonblocking(&mut self) -> Option<Vec<u8>> {
+        if let Some(r) = self.rx_pending.pop_front() {
+            return Some(r);
+        }
+        let dg = self.sock.try_recv()?;
+        self.enqueue_reply(dg);
+        self.rx_pending.pop_front()
+    }
+
     /// Raw transaction: send `request` (whose first word must be `xid`),
     /// retransmit on per-try timeout, and return the first reply datagram
     /// whose xid matches. This is the path shared by the generic and
@@ -306,6 +490,11 @@ impl ClntUdp {
             xid,
             "request must start with its xid"
         );
+        // Batch mode: pending one-ways seal into the same envelope as
+        // this call when they fit (one datagram carries the pipeline),
+        // or flush ahead of it when they don't. Either way this call's
+        // reply acknowledges every envelope in the window.
+        let mut sealed = self.seal_with_pending(request);
         let start = self.sock.now();
         let total = self
             .call_deadline
@@ -313,9 +502,26 @@ impl ClntUdp {
         let total_deadline = start + total;
         let mut attempt = 0u32;
         loop {
-            let mut dg = self.pool.take(request.len());
-            dg.extend_from_slice(request);
-            self.sock.send(dg);
+            if attempt > 0 {
+                // Replay unacknowledged one-way envelopes ahead of the
+                // retransmitted call: a lost batch reaches the server
+                // after all, and a delivered one is absorbed sub-message
+                // by sub-message in the duplicate-request cache.
+                if let Some(c) = &self.coalescer {
+                    for env in &c.window {
+                        let mut dg = self.pool.take(env.len());
+                        dg.extend_from_slice(env);
+                        self.sock.send(dg);
+                    }
+                    self.retransmits += c.window.len() as u64;
+                }
+            }
+            {
+                let image: &[u8] = sealed.as_deref().unwrap_or(request);
+                let mut dg = self.pool.take(image.len());
+                dg.extend_from_slice(image);
+                self.sock.send(dg);
+            }
             // Drain replies until the per-try deadline passes (recv
             // returning None), then retransmit. Both deadlines are held in
             // virtual time, so stale-xid replies are charged for the time
@@ -330,12 +536,22 @@ impl ClntUdp {
                 if now >= try_deadline {
                     break;
                 }
-                let Some(reply) = self.sock.recv(try_deadline - now) else {
+                let Some(reply) = self.next_reply(try_deadline - now) else {
                     break; // per-try timeout: retransmit
                 };
                 if reply.len() >= 4
                     && u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]) == xid
                 {
+                    // Pipeline acknowledged: the matched reply proves the
+                    // server saw everything sent ahead of this call.
+                    if let Some(c) = self.coalescer.as_mut() {
+                        while let Some(env) = c.window.pop() {
+                            self.pool.put(env);
+                        }
+                    }
+                    if let Some(img) = sealed.take() {
+                        self.pool.put(img);
+                    }
                     return Ok(reply);
                 }
                 // Stale xid (a late reply to a retransmitted call): its
@@ -343,10 +559,16 @@ impl ClntUdp {
                 self.pool.put(reply);
             }
             if self.sock.now() >= total_deadline {
+                if let Some(img) = sealed.take() {
+                    self.pool.put(img);
+                }
                 return Err(RpcError::TimedOut);
             }
             if let Some(budget) = self.retry_budget {
                 if attempt >= budget {
+                    if let Some(img) = sealed.take() {
+                        self.pool.put(img);
+                    }
                     return Err(RpcError::GaveUp { tries: attempt + 1 });
                 }
             }
@@ -393,56 +615,100 @@ impl ClntUdp {
             .call_deadline
             .map_or(self.total_timeout, |d| d.min(self.total_timeout));
         let total_deadline = start + total;
+        let unpack = self.coalescer.is_some();
         let mut replies: Vec<Option<Vec<u8>>> = (0..requests.len()).map(|_| None).collect();
         let mut outstanding = requests.len();
         let mut first_try = true;
         let mut attempt = 0u32;
+        let mut skip_transmit = false;
+        if let Some(c) = &self.coalescer {
+            // Coalesced initial burst: pack the batch into ≤MTU
+            // envelopes (every sub-message reply-expected), so the
+            // per-datagram cost amortizes across the pipeline. The
+            // server coalesces the matching sub-replies on the return
+            // path. Straggler retransmissions below fall back to plain
+            // per-message datagrams — a lost envelope must not resend
+            // sub-messages that were already answered.
+            let mtu = c.policy.mtu;
+            let mut env = self.pool.take(coalesce::ENVELOPE_HEADER_BYTES);
+            coalesce::begin(&mut env);
+            for r in requests {
+                let fits_alone =
+                    coalesce::ENVELOPE_HEADER_BYTES + coalesce::pushed_len(r.len()) <= mtu;
+                if !fits_alone {
+                    // Too big for any envelope (or MTU 0, the per-call
+                    // baseline): this request goes plain.
+                    let mut dg = self.pool.take(r.len());
+                    dg.extend_from_slice(r);
+                    self.sock.send(dg);
+                    continue;
+                }
+                if coalesce::count(&env) > 0 && env.len() + coalesce::pushed_len(r.len()) > mtu {
+                    let mut fresh = self.pool.take(coalesce::ENVELOPE_HEADER_BYTES);
+                    coalesce::begin(&mut fresh);
+                    self.sock.send(std::mem::replace(&mut env, fresh));
+                }
+                coalesce::push(&mut env, r, false);
+            }
+            if coalesce::count(&env) > 0 {
+                self.sock.send(env);
+            } else {
+                self.pool.put(env);
+            }
+            skip_transmit = true;
+            first_try = false;
+        }
         loop {
             // (Re)transmit every request still awaiting its reply. A
             // paced policy spaces the resends of a retry round `gap`
             // apart in virtual time, draining replies that land inside
             // each gap — a straggler answered mid-pace is not resent.
-            let pace = match self.retry_policy {
-                RetryPolicy::Paced { gap } if !first_try => Some(gap),
-                _ => None,
-            };
-            let mut sent_any = false;
-            for i in 0..requests.len() {
-                if replies[i].is_some() {
-                    continue;
-                }
-                if let (Some(gap), true) = (pace, sent_any) {
-                    let pace_deadline = self.sock.now() + gap;
-                    loop {
-                        let now = self.sock.now();
-                        if now >= pace_deadline || outstanding == 0 {
-                            break;
-                        }
-                        match self.sock.recv(pace_deadline - now) {
-                            Some(reply) => accept_reply(
-                                &self.pool,
-                                xids,
-                                &mut replies,
-                                &mut outstanding,
-                                reply,
-                            ),
-                            None => break,
-                        }
-                    }
+            if skip_transmit {
+                skip_transmit = false;
+            } else {
+                let pace = match self.retry_policy {
+                    RetryPolicy::Paced { gap } if !first_try => Some(gap),
+                    _ => None,
+                };
+                let mut sent_any = false;
+                for i in 0..requests.len() {
                     if replies[i].is_some() {
                         continue;
                     }
+                    if let (Some(gap), true) = (pace, sent_any) {
+                        let pace_deadline = self.sock.now() + gap;
+                        loop {
+                            let now = self.sock.now();
+                            if now >= pace_deadline || outstanding == 0 {
+                                break;
+                            }
+                            match self.sock.recv(pace_deadline - now) {
+                                Some(reply) => accept_datagram(
+                                    &self.pool,
+                                    unpack,
+                                    xids,
+                                    &mut replies,
+                                    &mut outstanding,
+                                    reply,
+                                ),
+                                None => break,
+                            }
+                        }
+                        if replies[i].is_some() {
+                            continue;
+                        }
+                    }
+                    let r = requests[i];
+                    let mut dg = self.pool.take(r.len());
+                    dg.extend_from_slice(r);
+                    self.sock.send(dg);
+                    if !first_try {
+                        self.retransmits += 1;
+                    }
+                    sent_any = true;
                 }
-                let r = requests[i];
-                let mut dg = self.pool.take(r.len());
-                dg.extend_from_slice(r);
-                self.sock.send(dg);
-                if !first_try {
-                    self.retransmits += 1;
-                }
-                sent_any = true;
+                first_try = false;
             }
-            first_try = false;
             // Clamped to the total deadline so the last retry round cannot
             // overshoot the promised bound (same fix as `exchange`).
             let try_deadline = (self.sock.now()
@@ -456,13 +722,20 @@ impl ClntUdp {
                 let Some(reply) = self.sock.recv(try_deadline - now) else {
                     break; // per-try timeout: retransmit the stragglers
                 };
-                accept_reply(&self.pool, xids, &mut replies, &mut outstanding, reply);
+                accept_datagram(
+                    &self.pool,
+                    unpack,
+                    xids,
+                    &mut replies,
+                    &mut outstanding,
+                    reply,
+                );
                 // Bulk-drain whatever else the pipeline has already
                 // delivered: one mailbox lock for the burst instead of a
                 // full receive round per reply.
                 let mut buf = std::mem::take(&mut self.drain_buf);
                 self.sock.drain_ready(&mut buf, &mut |r| {
-                    accept_reply(&self.pool, xids, &mut replies, &mut outstanding, r)
+                    accept_datagram(&self.pool, unpack, xids, &mut replies, &mut outstanding, r)
                 });
                 self.drain_buf = buf;
             }
@@ -550,7 +823,7 @@ impl Transport for ClntUdp {
     }
 
     fn poll_reply(&mut self, xid: u32) -> Result<Option<Vec<u8>>, RpcError> {
-        while let Some(reply) = self.sock.try_recv() {
+        while let Some(reply) = self.next_reply_nonblocking() {
             if reply.len() >= 4
                 && u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]) == xid
             {
@@ -579,7 +852,7 @@ impl Transport for ClntUdp {
     }
 
     fn poll_reply_any(&mut self, xids: &[u32]) -> Result<Option<(usize, Vec<u8>)>, RpcError> {
-        while let Some(reply) = self.sock.try_recv() {
+        while let Some(reply) = self.next_reply_nonblocking() {
             if reply.len() >= 4 {
                 let rx = u32::from_be_bytes([reply[0], reply[1], reply[2], reply[3]]);
                 if let Some(i) = xids.iter().position(|&x| x == rx) {
@@ -589,6 +862,28 @@ impl Transport for ClntUdp {
             self.pool.put(reply);
         }
         Ok(None)
+    }
+
+    fn call_oneway(&mut self, request: &[u8], xid: u32) -> Result<(), RpcError> {
+        if self.coalescer.is_some() {
+            self.queue_oneway(request, xid);
+            Ok(())
+        } else {
+            // No batching surface configured: degrade to a blocking call
+            // (keeps at-least-once) and discard the reply.
+            let reply = self.exchange(request, xid)?;
+            self.pool.put(reply);
+            Ok(())
+        }
+    }
+
+    fn flush_oneways(&mut self) -> Result<(), RpcError> {
+        self.flush_pending_oneways(FlushReason::Explicit);
+        Ok(())
+    }
+
+    fn oneway_batching(&self) -> bool {
+        self.coalescer.is_some()
     }
 
     fn recycle(&mut self, reply: Vec<u8>) {
@@ -1070,6 +1365,210 @@ mod tests {
         .unwrap();
         assert_eq!(out, 5);
         assert_eq!(clnt.breaker_trips(), 1);
+    }
+
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn counting_service(runs: Arc<AtomicU64>) -> SvcRegistry {
+        let reg = SvcRegistry::new();
+        reg.register(PROG, 1, 1, move |args, results| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            let mut v: Vec<i32> = Vec::new();
+            xdr_array(args, &mut v, 100_000, xdr_int)?;
+            let mut sum: i32 = v.iter().sum();
+            xdr_int(results, &mut sum)?;
+            Ok(())
+        });
+        reg
+    }
+
+    fn encode_sum(clnt: &mut ClntUdp, vals: &[i32]) -> (Vec<u8>, u32) {
+        let xid = clnt.next_xid();
+        let mut enc = XdrMem::encoder(256);
+        let mut msg = CallHeader::new(xid, PROG, 1, 1);
+        CallHeader::xdr(&mut enc, &mut msg).unwrap();
+        let mut v = vals.to_vec();
+        xdr_array(&mut enc, &mut v, 100, xdr_int).unwrap();
+        (enc.into_bytes(), xid)
+    }
+
+    #[test]
+    fn oneway_batch_seals_into_one_datagram_with_the_sync_call() {
+        use crate::coalesce::CoalescePolicy;
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let runs = Arc::new(AtomicU64::new(0));
+        serve_udp(&net, 1011, Arc::new(counting_service(runs.clone())), None);
+        let mut clnt = ClntUdp::create(&net, 5000, 1011, PROG, 1)
+            .with_coalescing(CoalescePolicy::new(1400, SimTime::from_millis(10)));
+        let before = net.link_stats().datagrams;
+        for i in 0..3i32 {
+            let (req, xid) = encode_sum(&mut clnt, &[i, i]);
+            clnt.call_oneway(&req, xid).unwrap();
+        }
+        assert_eq!(runs.load(Ordering::Relaxed), 0, "queued, not sent");
+        let (req, xid) = encode_sum(&mut clnt, &[10, 20]);
+        let reply = clnt.exchange(&req, xid).unwrap();
+        let mut dec = XdrMem::decoder(&reply);
+        let hdr = ReplyHeader::decode(&mut dec).unwrap();
+        assert_eq!(hdr.xid, xid);
+        let mut sum = 0i32;
+        xdr_int(&mut dec, &mut sum).unwrap();
+        assert_eq!(sum, 30);
+        assert_eq!(runs.load(Ordering::Relaxed), 4, "all four handlers ran");
+        assert_eq!(
+            net.link_stats().datagrams - before,
+            2,
+            "one sealed request envelope, one sync reply"
+        );
+        let stats = clnt.coalesce_stats().expect("coalescing on");
+        assert_eq!(stats.oneways_queued, 3);
+        assert_eq!(stats.flushes_sync, 1);
+        assert_eq!(stats.pending_submessages, 0);
+        assert_eq!(stats.unacked_envelopes, 0, "sync reply acked the window");
+    }
+
+    #[test]
+    fn per_call_policy_sends_one_datagram_per_oneway() {
+        use crate::coalesce::CoalescePolicy;
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let runs = Arc::new(AtomicU64::new(0));
+        serve_udp(&net, 1011, Arc::new(counting_service(runs.clone())), None);
+        let mut clnt =
+            ClntUdp::create(&net, 5000, 1011, PROG, 1).with_coalescing(CoalescePolicy::per_call());
+        let before = net.link_stats().datagrams;
+        for i in 0..3i32 {
+            let (req, xid) = encode_sum(&mut clnt, &[i]);
+            clnt.call_oneway(&req, xid).unwrap();
+        }
+        let (req, xid) = encode_sum(&mut clnt, &[7]);
+        let reply = clnt.exchange(&req, xid).unwrap();
+        assert_eq!(u32::from_be_bytes(reply[0..4].try_into().unwrap()), xid);
+        assert_eq!(runs.load(Ordering::Relaxed), 4);
+        // 3 solo one-way envelopes (replies suppressed) + sync + its
+        // reply: the per-call baseline pays one datagram per call.
+        assert_eq!(net.link_stats().datagrams - before, 5);
+        let stats = clnt.coalesce_stats().expect("coalescing on");
+        assert_eq!(stats.flushes_mtu, 3, "MTU 0 flushes every push");
+        assert_eq!(stats.unacked_envelopes, 0);
+    }
+
+    #[test]
+    fn coalesced_retransmits_execute_each_handler_exactly_once() {
+        use crate::coalesce::CoalescePolicy;
+        // Loss-faulted link: a lost sealed envelope is retransmitted
+        // whole, a lost reply forces a duplicate envelope delivery — in
+        // both cases the duplicate-request cache must keep every inner
+        // xid at exactly one handler execution.
+        let net = Network::new(
+            NetworkConfig::lan().with_faults(FaultConfig {
+                loss: 0.3,
+                duplicate: 0.1,
+                reorder: 0.1,
+            }),
+            97,
+        );
+        let runs = Arc::new(AtomicU64::new(0));
+        serve_udp(&net, 1011, Arc::new(counting_service(runs.clone())), None);
+        let mut clnt = ClntUdp::create(&net, 5000, 1011, PROG, 1)
+            .with_coalescing(CoalescePolicy::new(1400, SimTime::from_millis(50)));
+        clnt.retry_timeout = SimTime::from_millis(20);
+        clnt.total_timeout = SimTime::from_millis(5_000);
+        const ROUNDS: u64 = 20;
+        for round in 0..ROUNDS {
+            for i in 0..3i32 {
+                let (req, xid) = encode_sum(&mut clnt, &[round as i32, i]);
+                clnt.call_oneway(&req, xid).unwrap();
+            }
+            let (req, xid) = encode_sum(&mut clnt, &[1, 2, 3]);
+            let reply = clnt.exchange(&req, xid).unwrap();
+            assert_eq!(u32::from_be_bytes(reply[0..4].try_into().unwrap()), xid);
+        }
+        assert!(clnt.retransmits > 0, "loss must have forced retries");
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            ROUNDS * 4,
+            "exactly-once execution for every coalesced sub-message"
+        );
+    }
+
+    #[test]
+    fn linger_bound_flushes_aged_oneways() {
+        use crate::coalesce::CoalescePolicy;
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let runs = Arc::new(AtomicU64::new(0));
+        serve_udp(&net, 1011, Arc::new(counting_service(runs.clone())), None);
+        let mut clnt = ClntUdp::create(&net, 5000, 1011, PROG, 1)
+            .with_coalescing(CoalescePolicy::new(1400, SimTime::from_micros(100)));
+        let (req, xid) = encode_sum(&mut clnt, &[1]);
+        clnt.call_oneway(&req, xid).unwrap();
+        net.advance(SimTime::from_millis(1));
+        // The next queue notices the aged batch and flushes it first.
+        let (req, xid) = encode_sum(&mut clnt, &[2]);
+        clnt.call_oneway(&req, xid).unwrap();
+        let stats = clnt.coalesce_stats().expect("coalescing on");
+        assert_eq!(stats.flushes_linger, 1);
+        assert_eq!(stats.pending_submessages, 1, "second call still queued");
+        clnt.flush_oneways().unwrap();
+        let stats = clnt.coalesce_stats().expect("coalescing on");
+        assert_eq!(stats.flushes_explicit, 1);
+        assert_eq!(stats.pending_submessages, 0);
+        // Both one-ways execute once time runs; the sync call acks.
+        let (req, xid) = encode_sum(&mut clnt, &[3]);
+        clnt.exchange(&req, xid).unwrap();
+        assert_eq!(runs.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            clnt.coalesce_stats().unwrap().unacked_envelopes,
+            0,
+            "sync reply acknowledged the flushed envelopes"
+        );
+    }
+
+    #[test]
+    fn oneway_without_coalescing_degrades_to_a_blocking_call() {
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let runs = Arc::new(AtomicU64::new(0));
+        serve_udp(&net, 1011, Arc::new(counting_service(runs.clone())), None);
+        let mut clnt = ClntUdp::create(&net, 5000, 1011, PROG, 1);
+        assert!(clnt.coalesce_stats().is_none());
+        assert!(!Transport::oneway_batching(&clnt));
+        let (req, xid) = encode_sum(&mut clnt, &[5]);
+        clnt.call_oneway(&req, xid).unwrap();
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "ran synchronously");
+    }
+
+    #[test]
+    fn coalesced_batch_packs_requests_and_unpacks_coalesced_replies() {
+        use crate::coalesce::CoalescePolicy;
+        let net = Network::new(NetworkConfig::lan(), 3);
+        let runs = Arc::new(AtomicU64::new(0));
+        serve_udp(&net, 1011, Arc::new(counting_service(runs.clone())), None);
+        let mut clnt = ClntUdp::create(&net, 5000, 1011, PROG, 1)
+            .with_coalescing(CoalescePolicy::new(1400, SimTime::from_millis(10)));
+        let before = net.link_stats().datagrams;
+        let mut requests = Vec::new();
+        let mut xids = Vec::new();
+        for i in 0..5i32 {
+            let (req, xid) = encode_sum(&mut clnt, &[i; 3]);
+            requests.push(req);
+            xids.push(xid);
+        }
+        let refs: Vec<&[u8]> = requests.iter().map(Vec::as_slice).collect();
+        let replies = clnt.exchange_batch(&refs, &xids).unwrap();
+        for (i, reply) in replies.iter().enumerate() {
+            let mut dec = XdrMem::decoder(reply);
+            let hdr = ReplyHeader::decode(&mut dec).unwrap();
+            assert_eq!(hdr.xid, xids[i], "submission order preserved");
+            let mut sum = 0i32;
+            xdr_int(&mut dec, &mut sum).unwrap();
+            assert_eq!(sum, i as i32 * 3);
+        }
+        assert_eq!(runs.load(Ordering::Relaxed), 5);
+        assert_eq!(
+            net.link_stats().datagrams - before,
+            2,
+            "five calls in one request envelope, five replies in one"
+        );
+        assert_eq!(clnt.retransmits, 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod breaker;
 pub mod bufpool;
 pub mod clnt_tcp;
 pub mod clnt_udp;
+pub mod coalesce;
 pub mod error;
 pub mod msg;
 pub mod pmap;
@@ -34,6 +35,7 @@ pub use breaker::{BreakerState, CircuitBreaker};
 pub use bufpool::{BufPool, PoolStats};
 pub use clnt_tcp::ClntTcp;
 pub use clnt_udp::{ClntUdp, RetryPolicy};
+pub use coalesce::{CoalescePolicy, CoalesceStats};
 pub use error::RpcError;
 pub use msg::{AcceptStat, CallHeader, MsgType, RejectStat, ReplyHeader, ReplyStat, RPC_VERS};
 pub use svc::SvcRegistry;

@@ -6,6 +6,7 @@ use crate::bufpool::BufPool;
 use crate::svc::{Dispatcher, SvcRegistry};
 use specrpc_netsim::net::{Addr, Network};
 use specrpc_netsim::SimTime;
+use specrpc_xdr::coalesce;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 
@@ -308,7 +309,68 @@ impl CachedDispatch {
     /// drop a duplicate whose original is still in flight, or dispatch
     /// and record the reply. The contract matches
     /// [`specrpc_netsim::net::UdpHandler`].
+    ///
+    /// A **coalesced** datagram ([`specrpc_xdr::coalesce`]) is unpacked
+    /// here, so every sub-message's xid passes through the duplicate
+    /// cache individually — a retransmitted envelope replays each inner
+    /// transaction without re-executing its handler, exactly like plain
+    /// retransmits. Sub-replies are re-coalesced on the return path when
+    /// more than one sub-message expects a reply; one-way sub-messages
+    /// execute (and cache) but send nothing, and an all-one-way envelope
+    /// returns an empty reply image (processing time charged, no
+    /// datagram emitted — see [`specrpc_netsim::net::UdpHandler`]).
     pub(crate) fn handle(&self, request: &mut Vec<u8>, from: Addr) -> Option<(Vec<u8>, SimTime)> {
+        let parts: Option<Vec<(Vec<u8>, bool)>> = coalesce::split(request).map(|parts| {
+            parts
+                .iter()
+                .map(|(bytes, oneway)| {
+                    let mut sub = self.bufs.take(bytes.len());
+                    sub.extend_from_slice(bytes);
+                    (sub, *oneway)
+                })
+                .collect()
+        });
+        let Some(parts) = parts else {
+            return self.handle_single(request, from);
+        };
+        self.bufs.put(std::mem::take(request));
+        let mut total = SimTime::ZERO;
+        let mut sync_replies: Vec<Vec<u8>> = Vec::new();
+        for (mut sub, oneway) in parts {
+            let Some((reply, t)) = self.handle_single(&mut sub, from) else {
+                continue; // suppressed duplicate: its original is in flight
+            };
+            total += t;
+            if oneway {
+                // The reply is cached for duplicate suppression but never
+                // transmitted — the one-way contract.
+                self.bufs.put(reply);
+            } else {
+                sync_replies.push(reply);
+            }
+        }
+        let reply = match sync_replies.len() {
+            0 => Vec::new(),
+            1 => sync_replies.pop().expect("checked"),
+            _ => {
+                let body: usize = sync_replies
+                    .iter()
+                    .map(|r| coalesce::pushed_len(r.len()))
+                    .sum();
+                let mut env = self.bufs.take(coalesce::ENVELOPE_HEADER_BYTES + body);
+                coalesce::begin(&mut env);
+                for r in sync_replies {
+                    coalesce::push(&mut env, &r, false);
+                    self.bufs.put(r);
+                }
+                env
+            }
+        };
+        Some((reply, total))
+    }
+
+    /// [`CachedDispatch::handle`] for one plain (non-coalesced) message.
+    fn handle_single(&self, request: &mut Vec<u8>, from: Addr) -> Option<(Vec<u8>, SimTime)> {
         let xid = xid_of(request);
         if let Some(xid) = xid {
             let mut state = self.state.lock().expect("dup cache lock");

@@ -75,6 +75,37 @@ pub trait Transport {
         BatchMode::Sequential
     }
 
+    /// Sun-style **one-way** (batched) call: the caller needs no reply
+    /// and gives up the at-least-once guarantee for this transaction.
+    ///
+    /// A batching transport ([`crate::ClntUdp`] with coalescing enabled,
+    /// see `ClntUdp::with_coalescing`) queues the request and returns
+    /// immediately; queued calls ride to the server packed into MTU-sized
+    /// envelopes, and the next **synchronous** call flushes the batch —
+    /// its reply acknowledges the whole pipeline. A transport without a
+    /// batching surface (the default, and [`crate::ClntTcp`]) degrades to
+    /// a blocking [`Transport::call`] whose reply is discarded, which
+    /// keeps the stronger delivery guarantee.
+    fn call_oneway(&mut self, request: &[u8], xid: u32) -> Result<(), RpcError> {
+        let reply = self.call(request, xid)?;
+        self.recycle(reply);
+        Ok(())
+    }
+
+    /// Push any queued one-way calls to the wire without waiting for a
+    /// synchronous call to do it (no-op for non-batching transports).
+    /// Flushed calls are still only *acknowledged* by the next
+    /// synchronous reply.
+    fn flush_oneways(&mut self) -> Result<(), RpcError> {
+        Ok(())
+    }
+
+    /// Whether [`Transport::call_oneway`] really queues (true batching)
+    /// rather than degrading to a blocking call.
+    fn oneway_batching(&self) -> bool {
+        false
+    }
+
     /// Nonblocking half-exchange: transmit `request` and poll once for
     /// its reply without advancing virtual time. `Ok(None)` means the
     /// reply is not ready yet — keep polling with

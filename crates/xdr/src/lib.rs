@@ -51,6 +51,7 @@
 //! assert_eq!((x, y), (7, 42));
 //! ```
 
+pub mod coalesce;
 pub mod composite;
 pub mod cost;
 pub mod error;

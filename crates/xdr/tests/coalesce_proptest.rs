@@ -1,0 +1,81 @@
+//! Property tests of the coalescing envelope (`coalesce.rs`): byte
+//! transparency over arbitrary sub-message splits.
+//!
+//! The batching client packs whatever record-delimited messages fit the
+//! MTU, so the frame must round-trip **any** sequence of payloads — any
+//! lengths (including empty), any one-way flag pattern, any count — and
+//! must never misread a plain message as an envelope.
+
+use proptest::prelude::*;
+use specrpc_xdr::coalesce::{count, pack, split, COALESCE_MAGIC};
+
+/// One-way flags for sub-message `i` drawn from a bitmask (the vendored
+/// proptest shim has no tuple strategies).
+fn flag(mask: u64, i: usize) -> bool {
+    mask >> (i % 64) & 1 == 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `unpack(pack(msgs)) == msgs`: arbitrary payloads and flags
+    /// survive the envelope byte-for-byte, in order.
+    #[test]
+    fn pack_split_round_trips_arbitrary_messages(
+        msgs in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..600),
+            1..12,
+        ),
+        mask in any::<u64>(),
+    ) {
+        let dg = pack(
+            msgs.iter()
+                .enumerate()
+                .map(|(i, m)| (m.as_slice(), flag(mask, i))),
+        );
+        prop_assert_eq!(count(&dg), msgs.len() as u32);
+        let parts = split(&dg).expect("packed envelope must parse");
+        prop_assert_eq!(parts.len(), msgs.len());
+        for (i, ((got, got_ow), want)) in parts.iter().zip(&msgs).enumerate() {
+            prop_assert_eq!(*got, want.as_slice());
+            prop_assert_eq!(*got_ow, flag(mask, i));
+        }
+    }
+
+    /// Plain RPC messages (arbitrary bytes not starting with the magic)
+    /// are never misread as envelopes.
+    #[test]
+    fn non_magic_bytes_are_never_envelopes(
+        payload in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let is_magic = payload.len() >= 4
+            && payload[0..4] == COALESCE_MAGIC.to_be_bytes();
+        if !is_magic {
+            prop_assert!(split(&payload).is_none());
+        }
+    }
+
+    /// Any strict prefix or extension of a valid envelope fails the
+    /// exact-consumption check — truncation and trailing garbage are
+    /// both detected, so a corrupted datagram degrades to "plain
+    /// message" instead of silently dropping sub-messages.
+    #[test]
+    fn truncation_and_padding_disqualify(
+        msgs in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 1..64),
+            1..5,
+        ),
+        mask in any::<u64>(),
+        extra in any::<u8>(),
+    ) {
+        let dg = pack(
+            msgs.iter()
+                .enumerate()
+                .map(|(i, m)| (m.as_slice(), flag(mask, i))),
+        );
+        prop_assert!(split(&dg[..dg.len() - 1]).is_none());
+        let mut padded = dg.clone();
+        padded.push(extra);
+        prop_assert!(split(&padded).is_none());
+    }
+}

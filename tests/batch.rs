@@ -171,6 +171,122 @@ fn empty_batch_is_a_no_op_through_the_facade() {
     assert_eq!(client.calls, 0);
 }
 
+/// A service with one tiny fixed-shape procedure (`int INC(int)` — a
+/// 44-byte call message) for the coalescing economics pins.
+const INC_IDL: &str = r#"
+    program INCPROG {
+        version INCVERS { int INC(int) = 1; } = 1;
+    } = 0x20000808;
+"#;
+
+/// Deploy `INC` behind the cache-fronted UDP dispatch on a link charging
+/// an honest per-packet cost, and return a specialized client whose
+/// transport uses `policy` (or none).
+fn deploy_inc(
+    config: NetworkConfig,
+    policy: Option<specrpc_rpc::CoalescePolicy>,
+) -> (Network, SpecClient<ClntUdp>) {
+    let proc_ = specrpc::ProcSpec::new(INC_IDL, 1)
+        .compile(None, None)
+        .unwrap();
+    let net = Network::new(config, 7);
+    SpecService::new()
+        .proc(proc_.clone(), |args: &StubArgs| {
+            StubArgs::new(vec![args.scalars.last().unwrap() + 1], vec![])
+        })
+        .serve_udp(&net, 830);
+    let mut clnt = ClntUdp::create(&net, 5830, 830, 0x2000_0808, 1);
+    if let Some(p) = policy {
+        clnt = clnt.with_coalescing(p);
+    }
+    (net.clone(), SpecClient::from_parts(clnt, proc_))
+}
+
+/// The per-packet cost model the coalescing pins run under: 28 header
+/// bytes and a 100 µs fixed cost per wire fragment.
+fn packet_taxed_lan() -> NetworkConfig {
+    NetworkConfig::lan()
+        .with_datagram_cost(specrpc_netsim::UDP_IP_HEADER_BYTES, 100_000)
+        .with_mtu(1500)
+}
+
+/// Issue 64 one-way `INC` calls followed by the sync call that seals,
+/// flushes, and acknowledges them; return virtual time for the whole
+/// burst and the datagrams the run put on the wire.
+fn run_burst(policy: specrpc_rpc::CoalescePolicy) -> (SimTime, u64) {
+    let (net, mut client) = deploy_inc(packet_taxed_lan(), Some(policy));
+    let t0 = net.now();
+    for i in 0..64 {
+        client.call_oneway(&client.args(vec![i], vec![])).unwrap();
+    }
+    let (out, path) = client.call(&client.args(vec![1000], vec![])).unwrap();
+    assert_eq!(path, PathUsed::Fast);
+    assert_eq!(*out.scalars.last().unwrap(), 1001);
+    assert_eq!(client.oneway_calls, 64);
+    (net.now().saturating_sub(t0), net.datagrams_sent())
+}
+
+/// The PR's deterministic acceptance pin: a burst of 64 small (≤ 64 B)
+/// calls through coalesced one-way batching improves amortized per-call
+/// latency by at least 40% over the one-datagram-per-call baseline —
+/// same framing, same one-way semantics, only the packing differs.
+#[test]
+fn coalesced_oneway_burst_amortizes_per_call_latency_by_40_percent() {
+    let (coalesced, coalesced_dg) = run_burst(specrpc_rpc::CoalescePolicy::ethernet());
+    let (per_call, per_call_dg) = run_burst(specrpc_rpc::CoalescePolicy::per_call());
+    // 65 calls: 64 one-way + the sealing sync call. The envelope path
+    // needs a handful of datagrams; the baseline pays one per call.
+    assert!(
+        coalesced_dg + 32 < per_call_dg,
+        "coalesced {coalesced_dg} vs per-call {per_call_dg} datagrams"
+    );
+    let amortized_coalesced = coalesced.as_nanos() / 65;
+    let amortized_per_call = per_call.as_nanos() / 65;
+    assert!(
+        amortized_coalesced * 10 <= amortized_per_call * 6,
+        "amortized {amortized_coalesced} ns/call coalesced vs \
+         {amortized_per_call} ns/call per-datagram (need >= 40% win)"
+    );
+}
+
+/// Defaults preserve existing behavior: a solitary large call's RTT and
+/// reply bytes are identical whether the client carries a (quiescent)
+/// coalescer or none at all — coalescing off the call path changes
+/// nothing, byte- or time-wise.
+#[test]
+fn solitary_large_call_rtt_unchanged_when_coalescing_off() {
+    let big = 2000;
+    let run = |policy: Option<specrpc_rpc::CoalescePolicy>| {
+        let proc_ = Arc::new(
+            ProcPipeline::new(big)
+                .build_from_idl(ECHO_IDL, None, ECHO_PROC)
+                .unwrap(),
+        );
+        let net = Network::new(NetworkConfig::lan(), 13);
+        SpecService::new()
+            .proc(proc_.clone(), |args: &StubArgs| {
+                StubArgs::new(vec![], vec![args.arrays[0].clone()])
+            })
+            .serve_udp(&net, 831);
+        let mut clnt = ClntUdp::create(&net, 5831, 831, ECHO_PROG, ECHO_VERS);
+        if let Some(p) = policy {
+            clnt = clnt.with_coalescing(p);
+        }
+        let xid = Transport::next_xid(&mut clnt);
+        let mut enc = XdrMem::encoder(1 << 16);
+        let mut data: Vec<i32> = (0..big as i32).collect();
+        generic_encode_request(&mut enc, xid, &mut data).unwrap();
+        let req = enc.into_bytes();
+        let t0 = net.now();
+        let reply = Transport::call(&mut clnt, &req, xid).unwrap();
+        (net.now().saturating_sub(t0), reply)
+    };
+    let (rtt_plain, reply_plain) = run(None);
+    let (rtt_quiet, reply_quiet) = run(Some(specrpc_rpc::CoalescePolicy::ethernet()));
+    assert_eq!(rtt_plain, rtt_quiet, "time-identical");
+    assert_eq!(reply_plain, reply_quiet, "byte-identical");
+}
+
 #[test]
 fn batch_through_tcp_transport_matches_sequential() {
     // The record-marked stream pipelines batches too (default trait path

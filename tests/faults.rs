@@ -390,6 +390,127 @@ fn restart_amnesia_duplicate_execution_count_is_exact() {
     assert_eq!(third, first);
 }
 
+/// Like [`drive_udp`] but through a coalescing client: every sync call
+/// is preceded by three one-way calls, so each round normally rides the
+/// wire as ONE sealed envelope (3 one-way + 1 reply-expected message)
+/// whose sync reply acknowledges the pipeline.
+fn drive_coalesced(
+    net: &Network,
+    runs: Arc<AtomicU64>,
+    policy: specrpc_rpc::CoalescePolicy,
+) -> RunResult {
+    let mut clnt = ClntUdp::create(net, 5000, 700, ECHO_PROG, ECHO_VERS).with_coalescing(policy);
+    clnt.retry_timeout = SimTime::from_millis(20);
+    clnt.total_timeout = SimTime::from_millis(60_000);
+    let mut replies = Vec::new();
+    for i in 0..CALLS {
+        for j in 0..3 {
+            let xid = clnt.next_xid();
+            let mut enc = XdrMem::encoder(1 << 16);
+            let mut data = call_data(i * 10 + j + 100);
+            generic_encode_request(&mut enc, xid, &mut data).expect("encode");
+            clnt.call_oneway(&enc.into_bytes(), xid)
+                .unwrap_or_else(|e| panic!("one-way {i}/{j} under faults: {e}"));
+        }
+        let xid = clnt.next_xid();
+        let mut enc = XdrMem::encoder(1 << 16);
+        let mut data = call_data(i);
+        generic_encode_request(&mut enc, xid, &mut data).expect("encode");
+        let reply = clnt
+            .exchange(&enc.into_bytes(), xid)
+            .unwrap_or_else(|e| panic!("sync call {i} under faults: {e}"));
+        replies.push(reply);
+    }
+    RunResult {
+        replies,
+        retransmits: clnt.retransmits,
+        handler_runs: runs.load(Ordering::Relaxed),
+        end_time: net.now(),
+    }
+}
+
+fn run_coalesced(cfg: FaultConfig, seed: u64, policy: specrpc_rpc::CoalescePolicy) -> RunResult {
+    let net = Network::new(NetworkConfig::lan().with_faults(cfg), seed);
+    let runs = deploy(&net, 700, 701);
+    drive_coalesced(&net, runs, policy)
+}
+
+#[test]
+fn coalesced_fault_matrix_replies_match_the_uncoalesced_path() {
+    // The coalesced path under the whole fault matrix: sync replies are
+    // byte-identical to (a) a fault-free coalesced run and (b) the
+    // one-datagram-per-call baseline with the same xid stream — packing
+    // sub-messages into envelopes changes wire economics, never bytes.
+    // And every message (one-way or sync) still executes exactly once:
+    // a retransmitting sync call replays its unacknowledged envelopes,
+    // and the server's dup cache absorbs every inner xid.
+    let messages = (CALLS * 4) as u64;
+    for (name, cfg) in configs() {
+        for seed in SEEDS {
+            let clean = run_coalesced(
+                FaultConfig::NONE,
+                seed,
+                specrpc_rpc::CoalescePolicy::ethernet(),
+            );
+            let per_call = run_coalesced(
+                FaultConfig::NONE,
+                seed,
+                specrpc_rpc::CoalescePolicy::per_call(),
+            );
+            let faulty = run_coalesced(cfg, seed, specrpc_rpc::CoalescePolicy::ethernet());
+            assert_eq!(clean.retransmits, 0, "{name}/{seed}");
+            assert_eq!(
+                faulty.replies, clean.replies,
+                "{name}/{seed}: coalesced replies must match the fault-free run"
+            );
+            assert_eq!(
+                per_call.replies, clean.replies,
+                "{name}/{seed}: packing must not change reply bytes"
+            );
+            assert_eq!(
+                faulty.handler_runs, messages,
+                "{name}/{seed}: every sub-message exactly once"
+            );
+            assert_eq!(clean.handler_runs, messages, "{name}/{seed}");
+            assert_eq!(per_call.handler_runs, messages, "{name}/{seed}");
+            if name == "loss" || name == "mixed" {
+                assert!(
+                    faulty.retransmits > 0,
+                    "{name}/{seed}: loss must force envelope replays"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn coalesced_envelopes_duplicated_execute_handlers_exactly_once() {
+    // Satellite regression: a retransmitted/duplicated *coalesced*
+    // datagram replays every inner xid through the duplicate-request
+    // cache — the handlers never re-execute. With every datagram
+    // duplicated, each envelope's second delivery unpacks to all-hit
+    // cache replays (one-way replays are re-cached, not re-sent).
+    let every_dup = FaultConfig {
+        loss: 0.0,
+        duplicate: 1.0,
+        reorder: 0.0,
+    };
+    let messages = (CALLS * 4) as u64;
+    for seed in SEEDS {
+        let r = run_coalesced(every_dup, seed, specrpc_rpc::CoalescePolicy::ethernet());
+        assert_eq!(
+            r.handler_runs, messages,
+            "seed {seed}: duplicated envelopes must replay, not re-dispatch"
+        );
+        let clean = run_coalesced(
+            FaultConfig::NONE,
+            seed,
+            specrpc_rpc::CoalescePolicy::ethernet(),
+        );
+        assert_eq!(r.replies, clean.replies, "seed {seed}");
+    }
+}
+
 #[test]
 fn tcp_trace_is_byte_and_time_identical_under_faults() {
     // Satellite regression: `FaultState::judge()` verdicts (including
